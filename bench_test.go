@@ -1,0 +1,392 @@
+// Package talkback_test carries the experiment benchmark harness: one
+// testing.B benchmark per experiment family in DESIGN.md §3 (figures F1–F7,
+// narratives N1–N4, translations T1–T10, and the X-series behaviours),
+// plus the scale sweep X6. Run with:
+//
+//	go test -bench=. -benchmem .
+package talkback_test
+
+import (
+	"fmt"
+	"testing"
+
+	talkback "repro"
+	"repro/internal/dataset"
+	"repro/internal/datatotext"
+	"repro/internal/engine"
+	"repro/internal/explain"
+	"repro/internal/nlg"
+	"repro/internal/queryclassify"
+	"repro/internal/querygraph"
+	"repro/internal/querytotext"
+	"repro/internal/schemagraph"
+	"repro/internal/speech"
+	"repro/internal/sqlparser"
+)
+
+// ---------------------------------------------------------------------------
+// F-series: figure regeneration
+// ---------------------------------------------------------------------------
+
+// BenchmarkF1SchemaGraphBuild regenerates Fig. 1 (schema graph + render).
+func BenchmarkF1SchemaGraphBuild(b *testing.B) {
+	schema := dataset.MovieSchema()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g, err := schemagraph.Build(schema)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.DOT(false) == "" {
+			b.Fatal("empty render")
+		}
+	}
+}
+
+func benchQueryGraph(b *testing.B, label string) {
+	b.Helper()
+	sel, err := sqlparser.ParseSelect(sqlparser.PaperQueries[label])
+	if err != nil {
+		b.Fatal(err)
+	}
+	schema := dataset.MovieSchema()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := querygraph.Build(sel, schema)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.ASCII() == "" {
+			b.Fatal("empty render")
+		}
+	}
+}
+
+// BenchmarkF2QueryGraphRender regenerates Fig. 2 (the parameterized-class
+// rendering, exercised on Q1).
+func BenchmarkF2QueryGraphRender(b *testing.B) { benchQueryGraph(b, "Q1") }
+
+// BenchmarkF3QueryGraphPath regenerates Fig. 3 (Q1).
+func BenchmarkF3QueryGraphPath(b *testing.B) { benchQueryGraph(b, "Q1") }
+
+// BenchmarkF4QueryGraphSubgraph regenerates Fig. 4 (Q2).
+func BenchmarkF4QueryGraphSubgraph(b *testing.B) { benchQueryGraph(b, "Q2") }
+
+// BenchmarkF5QueryGraphMultiInstance regenerates Fig. 5 (Q3).
+func BenchmarkF5QueryGraphMultiInstance(b *testing.B) { benchQueryGraph(b, "Q3") }
+
+// BenchmarkF6QueryGraphCyclic regenerates Fig. 6 (Q4).
+func BenchmarkF6QueryGraphCyclic(b *testing.B) { benchQueryGraph(b, "Q4") }
+
+// BenchmarkF7QueryGraphAggregate regenerates Fig. 7 (Q7 with NQ1).
+func BenchmarkF7QueryGraphAggregate(b *testing.B) { benchQueryGraph(b, "Q7") }
+
+// ---------------------------------------------------------------------------
+// N-series: content narratives
+// ---------------------------------------------------------------------------
+
+func movieTranslator(b *testing.B, opts datatotext.Options) *datatotext.Translator {
+	b.Helper()
+	db, err := dataset.CuratedMovieDB()
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := datatotext.NewMovieTranslator(db, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+// BenchmarkN1ContentCompact regenerates the compact Woody Allen narrative.
+func BenchmarkN1ContentCompact(b *testing.B) {
+	tr := movieTranslator(b, datatotext.Options{Style: nlg.Compact})
+	key := talkback.Text("Woody Allen")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.DescribeEntity("DIRECTOR", "name", key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkN2ContentProcedural regenerates the procedural variant.
+func BenchmarkN2ContentProcedural(b *testing.B) {
+	tr := movieTranslator(b, datatotext.Options{Style: nlg.Procedural})
+	key := talkback.Text("Woody Allen")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.DescribeEntity("DIRECTOR", "name", key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkN3CommonExpressionMerge measures the born-in/born-on factoring.
+func BenchmarkN3CommonExpressionMerge(b *testing.B) {
+	clauses := []nlg.Clause{
+		{Subject: "Woody Allen", Predicate: "was born in Brooklyn, New York, USA"},
+		{Subject: "Woody Allen", Predicate: "was born on December 1, 1935"},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if out := nlg.FactorClauses(clauses); len(out) != 1 {
+			b.Fatal("merge failed")
+		}
+	}
+}
+
+// BenchmarkN4SplitPattern measures the split-pattern relative-clause merge.
+func BenchmarkN4SplitPattern(b *testing.B) {
+	head := "the movie M1 involves the director D1 and the actor A1"
+	subs := []nlg.Clause{
+		{Subject: "D1", Predicate: "was born in Italy", Kind: nlg.Person},
+		{Subject: "A1", Predicate: "is Greek", Kind: nlg.Person},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if nlg.MergeSplit(head, subs) == "" {
+			b.Fatal("merge failed")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// T-series: query translations
+// ---------------------------------------------------------------------------
+
+func benchTranslate(b *testing.B, label string, elaborate bool) {
+	b.Helper()
+	schema := dataset.MovieSchema()
+	verbs := querytotext.MovieVerbs()
+	if label == "Q0" {
+		schema = dataset.EmpDeptSchema()
+		verbs = querytotext.EmpVerbs()
+	}
+	tr := querytotext.New(schema, verbs, querytotext.Options{Elaborate: elaborate})
+	sel, err := sqlparser.ParseSelect(sqlparser.PaperQueries[label])
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Translate(sel); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkT1TranslatePath translates Q1.
+func BenchmarkT1TranslatePath(b *testing.B) { benchTranslate(b, "Q1", true) }
+
+// BenchmarkT2TranslateSubgraph translates Q2.
+func BenchmarkT2TranslateSubgraph(b *testing.B) { benchTranslate(b, "Q2", false) }
+
+// BenchmarkT3TranslateMultiInstance translates Q3 (pairs idiom).
+func BenchmarkT3TranslateMultiInstance(b *testing.B) { benchTranslate(b, "Q3", false) }
+
+// BenchmarkT4TranslateCyclic translates Q4.
+func BenchmarkT4TranslateCyclic(b *testing.B) { benchTranslate(b, "Q4", false) }
+
+// BenchmarkT5Unnest translates Q5 (IN-unnesting then path translation).
+func BenchmarkT5Unnest(b *testing.B) { benchTranslate(b, "Q5", true) }
+
+// BenchmarkT6TranslateDivision translates Q6 (division idiom).
+func BenchmarkT6TranslateDivision(b *testing.B) { benchTranslate(b, "Q6", false) }
+
+// BenchmarkT7TranslateAggregate translates Q7.
+func BenchmarkT7TranslateAggregate(b *testing.B) { benchTranslate(b, "Q7", false) }
+
+// BenchmarkT8TranslateSameYearIdiom translates Q8.
+func BenchmarkT8TranslateSameYearIdiom(b *testing.B) { benchTranslate(b, "Q8", false) }
+
+// BenchmarkT9TranslateEarliestIdiom translates Q9.
+func BenchmarkT9TranslateEarliestIdiom(b *testing.B) { benchTranslate(b, "Q9", false) }
+
+// BenchmarkT10TranslateComparative translates the §3.1 EMP query.
+func BenchmarkT10TranslateComparative(b *testing.B) { benchTranslate(b, "Q0", false) }
+
+// BenchmarkTNaiveAblation measures the naive per-edge rendering of Q3, the
+// baseline the idioms replace.
+func BenchmarkTNaiveAblation(b *testing.B) {
+	tr := querytotext.New(dataset.MovieSchema(), querytotext.MovieVerbs(), querytotext.Options{})
+	sel, err := sqlparser.ParseSelect(sqlparser.PaperQueries["Q3"])
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := querygraph.Build(sel, dataset.MovieSchema())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tr.TranslateNaive(sel, g) == "" {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// X-series: end-to-end behaviours
+// ---------------------------------------------------------------------------
+
+// BenchmarkX1Classify classifies the whole corpus.
+func BenchmarkX1Classify(b *testing.B) {
+	var graphs []*querygraph.Graph
+	for _, label := range sqlparser.PaperQueryOrder {
+		schema := dataset.MovieSchema()
+		if label == "Q0" {
+			schema = dataset.EmpDeptSchema()
+		}
+		sel, err := sqlparser.ParseSelect(sqlparser.PaperQueries[label])
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, err := querygraph.Build(sel, schema)
+		if err != nil {
+			b.Fatal(err)
+		}
+		graphs = append(graphs, g)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		queryclassify.Classify(graphs[i%len(graphs)])
+	}
+}
+
+// BenchmarkX2ExplainEmpty diagnoses an empty answer.
+func BenchmarkX2ExplainEmpty(b *testing.B) {
+	db, err := dataset.CuratedMovieDB()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex := engine.New(db)
+	tr := querytotext.New(db.Schema(), querytotext.MovieVerbs(), querytotext.Options{})
+	e := explain.New(ex, tr)
+	sel, err := sqlparser.ParseSelect(`select m.title from MOVIES m, CAST c, ACTOR a
+		where m.id = c.mid and c.aid = a.id and a.name = 'Nobody Unknown'`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.ExplainEmpty(sel); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkX3ExplainLarge explains a large answer on a generated database.
+func BenchmarkX3ExplainLarge(b *testing.B) {
+	db, err := dataset.GenerateMovieDB(dataset.GenConfig{Seed: 9, Movies: 300, Actors: 100, Directors: 10, CastPerMovie: 3, GenresPerMovie: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex := engine.New(db)
+	tr := querytotext.New(db.Schema(), querytotext.MovieVerbs(), querytotext.Options{})
+	e := explain.New(ex, tr)
+	sel, err := sqlparser.ParseSelect("select m.title, c.role from MOVIES m, CAST c where m.id = c.mid")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.ExplainLarge(sel, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkX4SummarySweep measures budgeted database narration across
+// budgets (the §2.2 size-control sweep).
+func BenchmarkX4SummarySweep(b *testing.B) {
+	db, err := dataset.CuratedMovieDB()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, budget := range []int{4, 8, 16, 0} {
+		tr, err := datatotext.NewMovieTranslator(db, datatotext.Options{
+			Style: nlg.Procedural, MaxSentences: budget, MaxTuplesPerRelation: 3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("budget=%d", budget), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := tr.DescribeDatabase("MOVIES"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkX5VoiceLoop measures the full spoken round trip.
+func BenchmarkX5VoiceLoop(b *testing.B) {
+	sys, err := talkback.NewMovieSystem()
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := sys.NewVoiceSession(speech.MovieGrammar())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.Ask("which movies does Brad Pitt play in"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkX6ContentScale sweeps database size for entity narration (the
+// translation cost should stay near-constant while the database grows —
+// narratives touch only the relevant neighborhood).
+func BenchmarkX6ContentScale(b *testing.B) {
+	for _, movies := range []int{10, 100, 1000, 10000} {
+		db, err := dataset.GenerateMovieDB(dataset.GenConfig{
+			Seed: 21, Movies: movies, Actors: movies / 2, Directors: movies/10 + 1,
+			CastPerMovie: 3, GenresPerMovie: 2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr, err := datatotext.NewMovieTranslator(db, datatotext.Options{Style: nlg.Compact})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Narrate the first generated director.
+		name := db.Table("DIRECTOR").Tuple(0)[1]
+		b.Run(fmt.Sprintf("movies=%d", movies), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := tr.DescribeEntity("DIRECTOR", "name", name); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkX7AskEndToEnd measures the full Ask loop on the curated DB.
+func BenchmarkX7AskEndToEnd(b *testing.B) {
+	sys, err := talkback.NewMovieSystem()
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := sqlparser.PaperQueries["Q1"]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Ask(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Command talkback translates SQL into natural language against the
+// paper's example schemas and optionally executes it.
+//
+// Usage:
+//
+//	talkback [flags] "select m.title from MOVIES m ..."
+//	echo "select ..." | talkback [flags]
+//
+// Flags:
+//
+//	-schema movie|emp   target schema (default movie)
+//	-simple             disable elaborate phrasing
+//	-classify           print the difficulty classification
+//	-graph              print the ASCII query graph (Figs. 3–7 style)
+//	-dot                print the Graphviz query graph
+//	-run                execute and narrate the answer with feedback
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	talkback "repro"
+	"repro/internal/core"
+)
+
+func main() {
+	schema := flag.String("schema", "movie", "schema: movie or emp")
+	simple := flag.Bool("simple", false, "disable elaborate phrasing")
+	classify := flag.Bool("classify", false, "print the difficulty classification")
+	graph := flag.Bool("graph", false, "print the ASCII query graph")
+	dot := flag.Bool("dot", false, "print the Graphviz query graph")
+	run := flag.Bool("run", false, "execute the query and narrate the answer")
+	flag.Parse()
+
+	sql := strings.Join(flag.Args(), " ")
+	if strings.TrimSpace(sql) == "" {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+		sql = string(data)
+	}
+	if strings.TrimSpace(sql) == "" {
+		fmt.Fprintln(os.Stderr, "usage: talkback [flags] <sql>  (or pipe SQL on stdin)")
+		os.Exit(2)
+	}
+
+	sys, err := buildSystem(*schema, *simple)
+	if err != nil {
+		fatal(err)
+	}
+
+	tr, err := sys.DescribeQuery(sql)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("Translation: %s\n", tr.Text)
+	if *classify {
+		fmt.Printf("Category:    %s", tr.Class.Category)
+		if tr.Class.Subtype.String() != "none" {
+			fmt.Printf(" (%s)", tr.Class.Subtype)
+		}
+		fmt.Println()
+		for _, e := range tr.Class.Evidence {
+			fmt.Printf("Evidence:    %s\n", e)
+		}
+		for _, n := range tr.Notes {
+			fmt.Printf("Note:        %s\n", n)
+		}
+		style := "declarative"
+		if !tr.Declarative {
+			style = "procedural"
+		}
+		fmt.Printf("Style:       %s\n", style)
+	}
+	if *graph || *dot {
+		g, err := sys.QueryGraph(sql)
+		if err != nil {
+			fatal(err)
+		}
+		if *graph {
+			fmt.Println()
+			fmt.Print(g.ASCII())
+		}
+		if *dot {
+			fmt.Println()
+			fmt.Print(g.DOT())
+		}
+	}
+	if *run {
+		resp, err := sys.Ask(sql)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		if resp.Result != nil {
+			fmt.Print(resp.Result.String())
+		}
+		fmt.Printf("Answer:   %s\n", resp.Answer)
+		if resp.Feedback != "" {
+			fmt.Printf("Feedback: %s\n", resp.Feedback)
+		}
+	}
+}
+
+func buildSystem(schema string, simple bool) (*core.System, error) {
+	switch schema {
+	case "movie":
+		if simple {
+			cfg := talkback.MovieConfig()
+			cfg.QueryOptions.Elaborate = false
+			db, err := movieDB()
+			if err != nil {
+				return nil, err
+			}
+			return talkback.New(db, cfg)
+		}
+		return talkback.NewMovieSystem()
+	case "emp":
+		return talkback.NewEmpSystem()
+	default:
+		return nil, fmt.Errorf("unknown schema %q (want movie or emp)", schema)
+	}
+}
+
+func movieDB() (*talkback.Database, error) {
+	sys, err := talkback.NewMovieSystem()
+	if err != nil {
+		return nil, err
+	}
+	return sys.Database(), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "talkback:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,66 @@
+// Emptyanswer demonstrates the §3.1 feedback scenarios: diagnosing why a
+// query returns nothing (which predicates are responsible, alone or in
+// combination) and why another returns very many rows.
+//
+//	go run ./examples/emptyanswer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	talkback "repro"
+	"repro/internal/dataset"
+)
+
+func main() {
+	sys, err := talkback.NewMovieSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Case 1: one predicate alone kills the answer.
+	ask(sys, `select m.title from MOVIES m, CAST c, ACTOR a
+		where m.id = c.mid and c.aid = a.id and a.name = 'Nobody Unknown'`)
+
+	// Case 2: each predicate is satisfiable, the combination is not —
+	// Brad Pitt plays only in 1999/2002 movies.
+	ask(sys, `select m.title from MOVIES m, CAST c, ACTOR a
+		where m.id = c.mid and c.aid = a.id
+		and a.name = 'Brad Pitt' and m.year = 2005`)
+
+	// Case 3: a large answer on a generated database.
+	bigDB, err := dataset.GenerateMovieDB(dataset.GenConfig{
+		Seed: 4, Movies: 200, Actors: 60, Directors: 10, CastPerMovie: 3, GenresPerMovie: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := talkback.MovieConfig()
+	cfg.LargeThreshold = 50
+	bigSys, err := talkback.New(bigDB, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ask(bigSys, "select m.title, c.role from MOVIES m, CAST c where m.id = c.mid and m.year > 1950")
+}
+
+func ask(sys *talkback.System, sql string) {
+	resp, err := sys.Ask(sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Query:    %s\n", resp.Verification.Text)
+	fmt.Printf("Answer:   %s\n", clip(resp.Answer, 120))
+	if resp.Feedback != "" {
+		fmt.Printf("Feedback: %s\n", resp.Feedback)
+	}
+	fmt.Println()
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}

@@ -1,0 +1,112 @@
+// Moviedb demonstrates content translation (paper §2) on the movie
+// database: the Woody Allen narrative in both synthesis styles, a budgeted
+// whole-database summary, a schema narration, and a personalized narrative
+// through a user profile.
+//
+//	go run ./examples/moviedb
+package main
+
+import (
+	"fmt"
+	"log"
+
+	talkback "repro"
+	"repro/internal/dataset"
+	"repro/internal/datatotext"
+	"repro/internal/nlg"
+)
+
+func main() {
+	db, err := dataset.CuratedMovieDB()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Compact (declarative) style: the paper's flagship narrative.
+	compact, err := datatotext.NewMovieTranslator(db, datatotext.Options{Style: nlg.Compact})
+	if err != nil {
+		log.Fatal(err)
+	}
+	text, err := compact.DescribeEntity("DIRECTOR", "name", talkback.Text("Woody Allen"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("— Compact narrative (§2.2):")
+	fmt.Println(text)
+
+	// Procedural style: the paper's simpler coalescence of sentences.
+	procedural, err := datatotext.NewMovieTranslator(db, datatotext.Options{Style: nlg.Procedural})
+	if err != nil {
+		log.Fatal(err)
+	}
+	text, err = procedural.DescribeEntity("DIRECTOR", "name", talkback.Text("Woody Allen"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n— Procedural narrative:")
+	fmt.Println(text)
+
+	// Auto mode decides per clause group (the paper's open challenge).
+	auto, err := datatotext.NewMovieTranslator(db, datatotext.Options{Auto: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	text, err = auto.DescribeEntity("ACTOR", "name", talkback.Text("Brad Pitt"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n— Auto-chosen style for an actor:")
+	fmt.Println(text)
+
+	// Split pattern on live data (§2.2): the movie introduces its director
+	// and an actor, with the director's clauses embedded relatively.
+	text, err = compact.DescribeEntitySplit("MOVIES", "title",
+		talkback.Text("Match Point"), []string{"DIRECTOR", "ACTOR"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n— Split-pattern narrative for a movie:")
+	fmt.Println(text)
+
+	// Whole-database summary under a sentence budget (§2.2 size control).
+	budgeted, err := datatotext.NewMovieTranslator(db, datatotext.Options{
+		Style: nlg.Procedural, MaxSentences: 8, MaxTuplesPerRelation: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	text, err = budgeted.DescribeDatabase("MOVIES")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n— Budgeted database summary (8 clauses):")
+	fmt.Println(text)
+
+	// Personalization (§2.2): a year-oriented profile changes the heading
+	// attribute of MOVIES, so lists enumerate years instead of titles.
+	p := talkback.NewProfile("year-fan")
+	p.HeadingOverride["MOVIES"] = "year"
+	if err := db.Schema().AddProfile(p); err != nil {
+		log.Fatal(err)
+	}
+	personal, err := datatotext.NewMovieTranslator(db, datatotext.Options{
+		Style: nlg.Procedural, Profile: p,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	text, err = personal.DescribeEntity("DIRECTOR", "name", talkback.Text("Woody Allen"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n— Personalized narrative (year-fan profile):")
+	fmt.Println(text)
+
+	// Schema narration (§2.1).
+	sys, err := talkback.New(db, talkback.MovieConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n— Schema narration:")
+	fmt.Println(sys.DescribeSchema())
+}

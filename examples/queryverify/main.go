@@ -1,0 +1,72 @@
+// Queryverify walks the paper's entire query corpus (the §3.1 EMP example
+// plus Q1–Q9) through the verification loop: for each query it prints the
+// SQL, the difficulty classification with its structural evidence, any
+// rewrites applied, and the natural-language translation — exactly the
+// feedback the paper argues a user should see before execution.
+//
+//	go run ./examples/queryverify
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	talkback "repro"
+	"repro/internal/core"
+	"repro/internal/sqlparser"
+)
+
+func main() {
+	movieSys, err := talkback.NewMovieSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+	empSys, err := talkback.NewEmpSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, label := range sqlparser.PaperQueryOrder {
+		var sys *core.System
+		if label == "Q0" {
+			sys = empSys
+		} else {
+			sys = movieSys
+		}
+		sql := sqlparser.PaperQueries[label]
+		tr, err := sys.DescribeQuery(sql)
+		if err != nil {
+			log.Fatalf("%s: %v", label, err)
+		}
+		fmt.Printf("%s %s\n", label, strings.Repeat("-", 70-len(label)))
+		fmt.Println(compactSQL(sql))
+		fmt.Printf("  category:    %s", tr.Class.Category)
+		if tr.Class.Subtype.String() != "none" {
+			fmt.Printf(" (%s)", tr.Class.Subtype)
+		}
+		fmt.Println()
+		for _, e := range tr.Class.Evidence {
+			fmt.Printf("  evidence:    %s\n", e)
+		}
+		for _, n := range tr.Notes {
+			fmt.Printf("  rewrite:     %s\n", n)
+		}
+		style := "declarative"
+		if !tr.Declarative {
+			style = "procedural"
+		}
+		fmt.Printf("  style:       %s\n", style)
+		fmt.Printf("  translation: %s\n", tr.Text)
+		fmt.Printf("  paper says:  %s\n\n", sqlparser.PaperTranslations[label])
+	}
+}
+
+func compactSQL(sql string) string {
+	fields := strings.Fields(sql)
+	out := "  " + strings.Join(fields, " ")
+	if len(out) > 100 {
+		out = out[:97] + "..."
+	}
+	return out
+}

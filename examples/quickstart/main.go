@@ -1,0 +1,48 @@
+// Quickstart: open the paper's movie database, verify a query in natural
+// language before running it, then run it and listen to the answer.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	talkback "repro"
+)
+
+func main() {
+	sys, err := talkback.NewMovieSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's Q1: which movies does Brad Pitt play in?
+	sql := `select m.title
+	        from MOVIES m, CAST c, ACTOR a
+	        where m.id = c.mid and c.aid = a.id and a.name = 'Brad Pitt'`
+
+	// Step 1 — verification: the DBMS talks the query back before running
+	// it, so the user can confirm it means what they intended (§3.1).
+	verification, err := sys.DescribeQuery(sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("You asked:     ", verification.Text)
+	fmt.Println("Query category:", verification.Class.Category)
+
+	// Step 2 — execution with a narrated answer.
+	resp, err := sys.Ask(sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Answer:        ", resp.Answer)
+
+	// Step 3 — content narration: describe an entity (§2.2).
+	narrative, err := sys.DescribeEntity("DIRECTOR", "name", talkback.Text("Woody Allen"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nAbout Woody Allen:")
+	fmt.Println(narrative)
+}

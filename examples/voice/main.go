@@ -1,0 +1,54 @@
+// Voice demonstrates the §2.1 accessibility scenario end to end with the
+// simulated ASR/TTS substrate: spoken questions are recognized into SQL,
+// the system echoes its understanding, executes, narrates the answer, and
+// "speaks" it as a timed event stream.
+//
+//	go run ./examples/voice
+package main
+
+import (
+	"fmt"
+	"log"
+
+	talkback "repro"
+	"repro/internal/speech"
+)
+
+func main() {
+	sys, err := talkback.NewMovieSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+	session := sys.NewVoiceSession(talkback.MovieGrammar())
+
+	utterances := []string{
+		"Which movies does Brad Pitt play in?",
+		"Who directed Match Point?",
+		"Tell me about Woody Allen",
+		"Which actors played in The Matrix?",
+		"How many movies were released in 1999?",
+		"Which movies does Zz Topp play in?", // empty answer → spoken feedback
+	}
+	for _, u := range utterances {
+		fmt.Printf("User:   %q\n", u)
+		turn, err := session.Ask(u)
+		if err != nil {
+			fmt.Printf("System: (did not understand: %v)\n\n", err)
+			continue
+		}
+		fmt.Printf("Heard:  %s\n", turn.Verification)
+		fmt.Printf("Speaks: %s\n", turn.Answer)
+		fmt.Printf("        [%d words, %.1fs of synthesized speech]\n\n",
+			countWords(turn.Events), float64(speech.DurationMs(turn.Events))/1000)
+	}
+}
+
+func countWords(events []speech.Event) int {
+	n := 0
+	for _, e := range events {
+		if !e.Pause {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,478 @@
+// Package catalog defines the relational schema metadata that every other
+// subsystem consumes: relations, attributes, types, keys, and the
+// translation-specific annotations the paper introduces in Section 2.2 —
+// the *heading attribute* of a relation (the attribute used as the subject
+// of generated sentences), the *conceptual name* (what the relation means in
+// the real world, e.g. MOVIES ⇒ "movie"), and per-user personalization
+// overlays (different heading attributes and weights per user group).
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/lexicon"
+)
+
+// Type is the domain of an attribute.
+type Type int
+
+// Supported attribute types. The paper's schemas only need integers, text,
+// and dates; floats are included for the EMP salary example.
+const (
+	Int Type = iota
+	Float
+	Text
+	Date
+	Bool
+)
+
+// String returns the SQL-ish name of the type.
+func (t Type) String() string {
+	switch t {
+	case Int:
+		return "INT"
+	case Float:
+		return "FLOAT"
+	case Text:
+		return "TEXT"
+	case Date:
+		return "DATE"
+	case Bool:
+		return "BOOL"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// ParseType converts a SQL type name into a Type.
+func ParseType(s string) (Type, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "INT", "INTEGER", "BIGINT", "SMALLINT":
+		return Int, nil
+	case "FLOAT", "REAL", "DOUBLE", "DECIMAL", "NUMERIC":
+		return Float, nil
+	case "TEXT", "VARCHAR", "CHAR", "STRING", "CLOB":
+		return Text, nil
+	case "DATE", "DATETIME", "TIMESTAMP":
+		return Date, nil
+	case "BOOL", "BOOLEAN":
+		return Bool, nil
+	default:
+		return Int, fmt.Errorf("catalog: unknown type %q", s)
+	}
+}
+
+// Attribute describes one column of a relation.
+type Attribute struct {
+	Name string
+	Type Type
+	// NotNull marks attributes that must carry a value.
+	NotNull bool
+	// Gloss is the human-readable phrase used for this attribute in prose
+	// ("birth date" for BDATE). Empty means derive it with lexicon.Humanize.
+	Gloss string
+	// Weight biases traversal and ranking during summarization (§2.2):
+	// higher-weight attributes survive when the text budget shrinks.
+	Weight float64
+}
+
+// GlossOrDefault returns the attribute's prose phrase.
+func (a *Attribute) GlossOrDefault() string {
+	if a.Gloss != "" {
+		return a.Gloss
+	}
+	return lexicon.Humanize(a.Name)
+}
+
+// ForeignKey declares that Attrs in the owning relation reference RefAttrs in
+// RefRelation. Foreign keys become the join edges of the schema graph.
+type ForeignKey struct {
+	Attrs       []string
+	RefRelation string
+	RefAttrs    []string
+}
+
+// Relation describes one table plus its translation annotations.
+type Relation struct {
+	Name       string
+	Attributes []*Attribute
+	PrimaryKey []string
+	ForeignKey []ForeignKey
+
+	// HeadingAttr is the paper's heading attribute: "the name of one of its
+	// attributes, the one that is most characteristic of the relation
+	// tuples". For MOVIES it is TITLE; sentences about a movie use its title
+	// as the subject.
+	HeadingAttr string
+
+	// ConceptualName is the real-world concept the relation represents,
+	// singular ("movie" for MOVIES). Empty means derive from the name.
+	ConceptualName string
+
+	// Weight biases schema-graph traversal during summarization; relations
+	// with higher weight are visited first and survive budget cuts.
+	Weight float64
+
+	// Bridge marks pure association relations (like DIRECTED) that
+	// "participate in the translation process only for connecting" others
+	// (§2.2): none of their attributes contributes to narratives.
+	Bridge bool
+
+	attrIndex map[string]int
+}
+
+// Attr returns the attribute with the given (case-insensitive) name, or nil.
+func (r *Relation) Attr(name string) *Attribute {
+	if r.attrIndex == nil {
+		r.buildIndex()
+	}
+	if i, ok := r.attrIndex[strings.ToLower(name)]; ok {
+		return r.Attributes[i]
+	}
+	return nil
+}
+
+// AttrIndex returns the position of the named attribute, or -1.
+func (r *Relation) AttrIndex(name string) int {
+	if r.attrIndex == nil {
+		r.buildIndex()
+	}
+	if i, ok := r.attrIndex[strings.ToLower(name)]; ok {
+		return i
+	}
+	return -1
+}
+
+func (r *Relation) buildIndex() {
+	r.attrIndex = make(map[string]int, len(r.Attributes))
+	for i, a := range r.Attributes {
+		r.attrIndex[strings.ToLower(a.Name)] = i
+	}
+}
+
+// Heading returns the heading attribute, falling back to the first non-key
+// text attribute, then the first attribute. A relation with no attributes
+// yields nil.
+func (r *Relation) Heading() *Attribute {
+	if r.HeadingAttr != "" {
+		if a := r.Attr(r.HeadingAttr); a != nil {
+			return a
+		}
+	}
+	for _, a := range r.Attributes {
+		if a.Type == Text && !r.isKeyAttr(a.Name) {
+			return a
+		}
+	}
+	if len(r.Attributes) > 0 {
+		return r.Attributes[0]
+	}
+	return nil
+}
+
+func (r *Relation) isKeyAttr(name string) bool {
+	for _, k := range r.PrimaryKey {
+		if strings.EqualFold(k, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// Concept returns the singular real-world concept for the relation:
+// the explicit ConceptualName if set, otherwise the singularized,
+// lowercased relation name ("MOVIES" -> "movie").
+func (r *Relation) Concept() string {
+	if r.ConceptualName != "" {
+		return r.ConceptualName
+	}
+	return strings.ToLower(lexicon.Singularize(r.Name))
+}
+
+// IsPrimaryKey reports whether attrs exactly covers the primary key.
+func (r *Relation) IsPrimaryKey(attrs []string) bool {
+	if len(attrs) != len(r.PrimaryKey) {
+		return false
+	}
+	set := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		set[strings.ToLower(a)] = true
+	}
+	for _, k := range r.PrimaryKey {
+		if !set[strings.ToLower(k)] {
+			return false
+		}
+	}
+	return true
+}
+
+// Schema is a set of relations plus schema-level annotations.
+type Schema struct {
+	Name      string
+	relations []*Relation
+	relIndex  map[string]int
+
+	// profiles holds named personalization overlays (§2.2: "personalized
+	// settings (e.g., different heading attributes for relations or
+	// different weights on nodes and edges)").
+	profiles map[string]*Profile
+}
+
+// NewSchema creates an empty schema with the given name.
+func NewSchema(name string) *Schema {
+	return &Schema{
+		Name:     name,
+		relIndex: make(map[string]int),
+		profiles: make(map[string]*Profile),
+	}
+}
+
+// AddRelation adds a relation, validating its internal consistency: unique
+// attribute names, primary-key attributes exist, heading attribute exists.
+// Foreign keys are validated later by Validate, once all relations exist.
+func (s *Schema) AddRelation(r *Relation) error {
+	if r.Name == "" {
+		return fmt.Errorf("catalog: relation with empty name")
+	}
+	key := strings.ToLower(r.Name)
+	if _, dup := s.relIndex[key]; dup {
+		return fmt.Errorf("catalog: duplicate relation %q", r.Name)
+	}
+	seen := make(map[string]bool, len(r.Attributes))
+	for _, a := range r.Attributes {
+		la := strings.ToLower(a.Name)
+		if a.Name == "" {
+			return fmt.Errorf("catalog: relation %q has an attribute with empty name", r.Name)
+		}
+		if seen[la] {
+			return fmt.Errorf("catalog: relation %q has duplicate attribute %q", r.Name, a.Name)
+		}
+		seen[la] = true
+	}
+	for _, k := range r.PrimaryKey {
+		if r.Attr(k) == nil {
+			return fmt.Errorf("catalog: relation %q primary key references unknown attribute %q", r.Name, k)
+		}
+	}
+	if r.HeadingAttr != "" && r.Attr(r.HeadingAttr) == nil {
+		return fmt.Errorf("catalog: relation %q heading attribute %q does not exist", r.Name, r.HeadingAttr)
+	}
+	s.relIndex[key] = len(s.relations)
+	s.relations = append(s.relations, r)
+	return nil
+}
+
+// Relation returns the named relation (case-insensitive) or nil.
+func (s *Schema) Relation(name string) *Relation {
+	if i, ok := s.relIndex[strings.ToLower(name)]; ok {
+		return s.relations[i]
+	}
+	return nil
+}
+
+// Relations returns the relations in insertion order. The returned slice is
+// shared; callers must not mutate it.
+func (s *Schema) Relations() []*Relation { return s.relations }
+
+// RelationNames returns sorted relation names, for deterministic output.
+func (s *Schema) RelationNames() []string {
+	names := make([]string, len(s.relations))
+	for i, r := range s.relations {
+		names[i] = r.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Validate checks cross-relation consistency: every foreign key references
+// an existing relation and attributes of matching arity and type.
+func (s *Schema) Validate() error {
+	for _, r := range s.relations {
+		for _, fk := range r.ForeignKey {
+			ref := s.Relation(fk.RefRelation)
+			if ref == nil {
+				return fmt.Errorf("catalog: %s: foreign key references unknown relation %q", r.Name, fk.RefRelation)
+			}
+			if len(fk.Attrs) != len(fk.RefAttrs) {
+				return fmt.Errorf("catalog: %s: foreign key arity mismatch (%d vs %d)", r.Name, len(fk.Attrs), len(fk.RefAttrs))
+			}
+			if len(fk.Attrs) == 0 {
+				return fmt.Errorf("catalog: %s: empty foreign key", r.Name)
+			}
+			for i := range fk.Attrs {
+				local := r.Attr(fk.Attrs[i])
+				if local == nil {
+					return fmt.Errorf("catalog: %s: foreign key uses unknown attribute %q", r.Name, fk.Attrs[i])
+				}
+				remote := ref.Attr(fk.RefAttrs[i])
+				if remote == nil {
+					return fmt.Errorf("catalog: %s: foreign key references unknown attribute %s.%s", r.Name, fk.RefRelation, fk.RefAttrs[i])
+				}
+				if local.Type != remote.Type {
+					return fmt.Errorf("catalog: %s: foreign key type mismatch %s.%s (%s) vs %s.%s (%s)",
+						r.Name, r.Name, local.Name, local.Type, ref.Name, remote.Name, remote.Type)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Profile is a personalization overlay: per-relation heading attributes and
+// weights that customize narratives for a user or user group (§2.2).
+type Profile struct {
+	Name string
+	// HeadingOverride maps relation name -> alternative heading attribute.
+	HeadingOverride map[string]string
+	// RelationWeight maps relation name -> weight override.
+	RelationWeight map[string]float64
+	// AttributeWeight maps "relation.attribute" -> weight override.
+	AttributeWeight map[string]float64
+}
+
+// NewProfile creates an empty profile.
+func NewProfile(name string) *Profile {
+	return &Profile{
+		Name:            name,
+		HeadingOverride: make(map[string]string),
+		RelationWeight:  make(map[string]float64),
+		AttributeWeight: make(map[string]float64),
+	}
+}
+
+// AddProfile registers a personalization profile on the schema. Overrides
+// are validated against the schema.
+func (s *Schema) AddProfile(p *Profile) error {
+	if p.Name == "" {
+		return fmt.Errorf("catalog: profile with empty name")
+	}
+	if _, dup := s.profiles[strings.ToLower(p.Name)]; dup {
+		return fmt.Errorf("catalog: duplicate profile %q", p.Name)
+	}
+	for rel, attr := range p.HeadingOverride {
+		r := s.Relation(rel)
+		if r == nil {
+			return fmt.Errorf("catalog: profile %q overrides unknown relation %q", p.Name, rel)
+		}
+		if r.Attr(attr) == nil {
+			return fmt.Errorf("catalog: profile %q sets heading of %q to unknown attribute %q", p.Name, rel, attr)
+		}
+	}
+	for rel := range p.RelationWeight {
+		if s.Relation(rel) == nil {
+			return fmt.Errorf("catalog: profile %q weights unknown relation %q", p.Name, rel)
+		}
+	}
+	for qual := range p.AttributeWeight {
+		rel, attr, ok := strings.Cut(qual, ".")
+		if !ok {
+			return fmt.Errorf("catalog: profile %q has malformed attribute weight key %q", p.Name, qual)
+		}
+		r := s.Relation(rel)
+		if r == nil || r.Attr(attr) == nil {
+			return fmt.Errorf("catalog: profile %q weights unknown attribute %q", p.Name, qual)
+		}
+	}
+	s.profiles[strings.ToLower(p.Name)] = p
+	return nil
+}
+
+// Profile returns the named profile, or nil.
+func (s *Schema) Profile(name string) *Profile {
+	return s.profiles[strings.ToLower(name)]
+}
+
+// HeadingFor returns the heading attribute of rel under the given profile
+// (nil profile means the schema default).
+func (s *Schema) HeadingFor(rel *Relation, p *Profile) *Attribute {
+	if p != nil {
+		if over, ok := p.HeadingOverride[rel.Name]; ok {
+			if a := rel.Attr(over); a != nil {
+				return a
+			}
+		}
+		// Also accept case-insensitive relation keys.
+		for k, over := range p.HeadingOverride {
+			if strings.EqualFold(k, rel.Name) {
+				if a := rel.Attr(over); a != nil {
+					return a
+				}
+			}
+		}
+	}
+	return rel.Heading()
+}
+
+// WeightFor returns the relation's traversal weight under the profile.
+// Relations default to weight 1 when unset.
+func (s *Schema) WeightFor(rel *Relation, p *Profile) float64 {
+	if p != nil {
+		for k, w := range p.RelationWeight {
+			if strings.EqualFold(k, rel.Name) {
+				return w
+			}
+		}
+	}
+	if rel.Weight != 0 {
+		return rel.Weight
+	}
+	return 1
+}
+
+// AttrWeightFor returns an attribute's weight under the profile; attributes
+// default to weight 1 when unset.
+func (s *Schema) AttrWeightFor(rel *Relation, attr *Attribute, p *Profile) float64 {
+	if p != nil {
+		for k, w := range p.AttributeWeight {
+			rn, an, ok := strings.Cut(k, ".")
+			if ok && strings.EqualFold(rn, rel.Name) && strings.EqualFold(an, attr.Name) {
+				return w
+			}
+		}
+	}
+	if attr.Weight != 0 {
+		return attr.Weight
+	}
+	return 1
+}
+
+// ForeignKeysBetween returns the foreign keys of from that reference to.
+func (s *Schema) ForeignKeysBetween(from, to *Relation) []ForeignKey {
+	var fks []ForeignKey
+	for _, fk := range from.ForeignKey {
+		if strings.EqualFold(fk.RefRelation, to.Name) {
+			fks = append(fks, fk)
+		}
+	}
+	return fks
+}
+
+// String renders the schema as CREATE TABLE-style DDL, for debugging and for
+// the documentation generator.
+func (s *Schema) String() string {
+	var b strings.Builder
+	for i, r := range s.relations {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		fmt.Fprintf(&b, "CREATE TABLE %s (\n", r.Name)
+		for _, a := range r.Attributes {
+			fmt.Fprintf(&b, "  %s %s", a.Name, a.Type)
+			if a.NotNull {
+				b.WriteString(" NOT NULL")
+			}
+			b.WriteString(",\n")
+		}
+		if len(r.PrimaryKey) > 0 {
+			fmt.Fprintf(&b, "  PRIMARY KEY (%s),\n", strings.Join(r.PrimaryKey, ", "))
+		}
+		for _, fk := range r.ForeignKey {
+			fmt.Fprintf(&b, "  FOREIGN KEY (%s) REFERENCES %s (%s),\n",
+				strings.Join(fk.Attrs, ", "), fk.RefRelation, strings.Join(fk.RefAttrs, ", "))
+		}
+		b.WriteString(");\n")
+	}
+	return b.String()
+}

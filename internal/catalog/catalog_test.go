@@ -1,0 +1,381 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+)
+
+// movieSchema builds the paper's Fig. 1 schema by hand for testing.
+func movieSchema(t *testing.T) *Schema {
+	t.Helper()
+	s := NewSchema("movies")
+	add := func(r *Relation) {
+		t.Helper()
+		if err := s.AddRelation(r); err != nil {
+			t.Fatalf("AddRelation(%s): %v", r.Name, err)
+		}
+	}
+	add(&Relation{
+		Name: "MOVIES",
+		Attributes: []*Attribute{
+			{Name: "id", Type: Int, NotNull: true},
+			{Name: "title", Type: Text},
+			{Name: "year", Type: Int},
+		},
+		PrimaryKey:     []string{"id"},
+		HeadingAttr:    "title",
+		ConceptualName: "movie",
+	})
+	add(&Relation{
+		Name: "ACTOR",
+		Attributes: []*Attribute{
+			{Name: "id", Type: Int, NotNull: true},
+			{Name: "name", Type: Text},
+		},
+		PrimaryKey:     []string{"id"},
+		HeadingAttr:    "name",
+		ConceptualName: "actor",
+	})
+	add(&Relation{
+		Name: "CAST",
+		Attributes: []*Attribute{
+			{Name: "mid", Type: Int, NotNull: true},
+			{Name: "aid", Type: Int, NotNull: true},
+			{Name: "role", Type: Text},
+		},
+		PrimaryKey: []string{"mid", "aid"},
+		ForeignKey: []ForeignKey{
+			{Attrs: []string{"mid"}, RefRelation: "MOVIES", RefAttrs: []string{"id"}},
+			{Attrs: []string{"aid"}, RefRelation: "ACTOR", RefAttrs: []string{"id"}},
+		},
+		Bridge: true,
+	})
+	add(&Relation{
+		Name: "DIRECTOR",
+		Attributes: []*Attribute{
+			{Name: "id", Type: Int, NotNull: true},
+			{Name: "name", Type: Text},
+			{Name: "bdate", Type: Date},
+			{Name: "blocation", Type: Text},
+		},
+		PrimaryKey:     []string{"id"},
+		HeadingAttr:    "name",
+		ConceptualName: "director",
+	})
+	add(&Relation{
+		Name: "DIRECTED",
+		Attributes: []*Attribute{
+			{Name: "mid", Type: Int, NotNull: true},
+			{Name: "did", Type: Int, NotNull: true},
+		},
+		PrimaryKey: []string{"mid", "did"},
+		ForeignKey: []ForeignKey{
+			{Attrs: []string{"mid"}, RefRelation: "MOVIES", RefAttrs: []string{"id"}},
+			{Attrs: []string{"did"}, RefRelation: "DIRECTOR", RefAttrs: []string{"id"}},
+		},
+		Bridge: true,
+	})
+	add(&Relation{
+		Name: "GENRE",
+		Attributes: []*Attribute{
+			{Name: "mid", Type: Int, NotNull: true},
+			{Name: "genre", Type: Text, NotNull: true},
+		},
+		PrimaryKey:  []string{"mid", "genre"},
+		HeadingAttr: "genre",
+		ForeignKey: []ForeignKey{
+			{Attrs: []string{"mid"}, RefRelation: "MOVIES", RefAttrs: []string{"id"}},
+		},
+	})
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return s
+}
+
+func TestSchemaLookup(t *testing.T) {
+	s := movieSchema(t)
+	if s.Relation("movies") == nil {
+		t.Error("case-insensitive relation lookup failed")
+	}
+	if s.Relation("nope") != nil {
+		t.Error("unknown relation should be nil")
+	}
+	m := s.Relation("MOVIES")
+	if a := m.Attr("TITLE"); a == nil || a.Name != "title" {
+		t.Error("case-insensitive attribute lookup failed")
+	}
+	if m.AttrIndex("year") != 2 {
+		t.Errorf("AttrIndex(year) = %d", m.AttrIndex("year"))
+	}
+	if m.AttrIndex("nope") != -1 {
+		t.Error("AttrIndex of unknown should be -1")
+	}
+}
+
+func TestHeading(t *testing.T) {
+	s := movieSchema(t)
+	if h := s.Relation("MOVIES").Heading(); h == nil || h.Name != "title" {
+		t.Errorf("MOVIES heading = %v", h)
+	}
+	// Relation without explicit heading: falls back to first non-key text attr.
+	r := &Relation{
+		Name: "T",
+		Attributes: []*Attribute{
+			{Name: "k", Type: Int},
+			{Name: "label", Type: Text},
+		},
+		PrimaryKey: []string{"k"},
+	}
+	if h := r.Heading(); h == nil || h.Name != "label" {
+		t.Errorf("fallback heading = %v", h)
+	}
+	// Relation with only key attrs: first attribute.
+	r2 := &Relation{Name: "U", Attributes: []*Attribute{{Name: "k", Type: Int}}}
+	if h := r2.Heading(); h == nil || h.Name != "k" {
+		t.Errorf("last-resort heading = %v", h)
+	}
+	r3 := &Relation{Name: "V"}
+	if r3.Heading() != nil {
+		t.Error("empty relation heading should be nil")
+	}
+}
+
+func TestConcept(t *testing.T) {
+	s := movieSchema(t)
+	if c := s.Relation("MOVIES").Concept(); c != "movie" {
+		t.Errorf("Concept = %q", c)
+	}
+	r := &Relation{Name: "EMPLOYEES"}
+	if c := r.Concept(); c != "employee" {
+		t.Errorf("derived Concept = %q", c)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	s := NewSchema("bad")
+	// Unknown FK target.
+	if err := s.AddRelation(&Relation{
+		Name:       "A",
+		Attributes: []*Attribute{{Name: "x", Type: Int}},
+		ForeignKey: []ForeignKey{{Attrs: []string{"x"}, RefRelation: "B", RefAttrs: []string{"y"}}},
+	}); err != nil {
+		t.Fatalf("AddRelation: %v", err)
+	}
+	if err := s.Validate(); err == nil {
+		t.Error("Validate accepted FK to unknown relation")
+	}
+	// Type mismatch.
+	s2 := NewSchema("bad2")
+	_ = s2.AddRelation(&Relation{Name: "B", Attributes: []*Attribute{{Name: "y", Type: Text}}})
+	_ = s2.AddRelation(&Relation{
+		Name:       "A",
+		Attributes: []*Attribute{{Name: "x", Type: Int}},
+		ForeignKey: []ForeignKey{{Attrs: []string{"x"}, RefRelation: "B", RefAttrs: []string{"y"}}},
+	})
+	if err := s2.Validate(); err == nil || !strings.Contains(err.Error(), "type mismatch") {
+		t.Errorf("Validate type mismatch: %v", err)
+	}
+	// Arity mismatch.
+	s3 := NewSchema("bad3")
+	_ = s3.AddRelation(&Relation{Name: "B", Attributes: []*Attribute{{Name: "y", Type: Int}}})
+	_ = s3.AddRelation(&Relation{
+		Name:       "A",
+		Attributes: []*Attribute{{Name: "x", Type: Int}},
+		ForeignKey: []ForeignKey{{Attrs: []string{"x"}, RefRelation: "B", RefAttrs: []string{"y", "z"}}},
+	})
+	if err := s3.Validate(); err == nil || !strings.Contains(err.Error(), "arity") {
+		t.Errorf("Validate arity mismatch: %v", err)
+	}
+}
+
+func TestAddRelationErrors(t *testing.T) {
+	s := NewSchema("x")
+	if err := s.AddRelation(&Relation{Name: ""}); err == nil {
+		t.Error("accepted empty relation name")
+	}
+	_ = s.AddRelation(&Relation{Name: "A", Attributes: []*Attribute{{Name: "x", Type: Int}}})
+	if err := s.AddRelation(&Relation{Name: "a"}); err == nil {
+		t.Error("accepted duplicate relation (case-insensitive)")
+	}
+	if err := s.AddRelation(&Relation{
+		Name:       "B",
+		Attributes: []*Attribute{{Name: "x", Type: Int}, {Name: "X", Type: Int}},
+	}); err == nil {
+		t.Error("accepted duplicate attribute")
+	}
+	if err := s.AddRelation(&Relation{
+		Name:       "C",
+		Attributes: []*Attribute{{Name: "x", Type: Int}},
+		PrimaryKey: []string{"nope"},
+	}); err == nil {
+		t.Error("accepted primary key over unknown attribute")
+	}
+	if err := s.AddRelation(&Relation{
+		Name:        "D",
+		Attributes:  []*Attribute{{Name: "x", Type: Int}},
+		HeadingAttr: "nope",
+	}); err == nil {
+		t.Error("accepted unknown heading attribute")
+	}
+	if err := s.AddRelation(&Relation{
+		Name:       "E",
+		Attributes: []*Attribute{{Name: "", Type: Int}},
+	}); err == nil {
+		t.Error("accepted empty attribute name")
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	s := movieSchema(t)
+	p := NewProfile("cinephile")
+	p.HeadingOverride["MOVIES"] = "year"
+	p.RelationWeight["DIRECTOR"] = 5
+	p.AttributeWeight["MOVIES.year"] = 3
+	if err := s.AddProfile(p); err != nil {
+		t.Fatalf("AddProfile: %v", err)
+	}
+	if s.Profile("CINEPHILE") == nil {
+		t.Error("profile lookup should be case-insensitive")
+	}
+	m := s.Relation("MOVIES")
+	if h := s.HeadingFor(m, p); h.Name != "year" {
+		t.Errorf("HeadingFor with override = %q", h.Name)
+	}
+	if h := s.HeadingFor(m, nil); h.Name != "title" {
+		t.Errorf("HeadingFor default = %q", h.Name)
+	}
+	d := s.Relation("DIRECTOR")
+	if w := s.WeightFor(d, p); w != 5 {
+		t.Errorf("WeightFor override = %v", w)
+	}
+	if w := s.WeightFor(d, nil); w != 1 {
+		t.Errorf("WeightFor default = %v", w)
+	}
+	if w := s.AttrWeightFor(m, m.Attr("year"), p); w != 3 {
+		t.Errorf("AttrWeightFor override = %v", w)
+	}
+	if w := s.AttrWeightFor(m, m.Attr("title"), nil); w != 1 {
+		t.Errorf("AttrWeightFor default = %v", w)
+	}
+}
+
+func TestAddProfileErrors(t *testing.T) {
+	s := movieSchema(t)
+	if err := s.AddProfile(NewProfile("")); err == nil {
+		t.Error("accepted empty profile name")
+	}
+	p := NewProfile("bad")
+	p.HeadingOverride["NOPE"] = "x"
+	if err := s.AddProfile(p); err == nil {
+		t.Error("accepted override on unknown relation")
+	}
+	p2 := NewProfile("bad2")
+	p2.HeadingOverride["MOVIES"] = "nope"
+	if err := s.AddProfile(p2); err == nil {
+		t.Error("accepted override to unknown attribute")
+	}
+	p3 := NewProfile("bad3")
+	p3.AttributeWeight["malformed"] = 1
+	if err := s.AddProfile(p3); err == nil {
+		t.Error("accepted malformed attribute weight key")
+	}
+	p4 := NewProfile("ok")
+	if err := s.AddProfile(p4); err != nil {
+		t.Fatalf("AddProfile: %v", err)
+	}
+	if err := s.AddProfile(NewProfile("OK")); err == nil {
+		t.Error("accepted duplicate profile name")
+	}
+}
+
+func TestForeignKeysBetween(t *testing.T) {
+	s := movieSchema(t)
+	cast := s.Relation("CAST")
+	movies := s.Relation("MOVIES")
+	fks := s.ForeignKeysBetween(cast, movies)
+	if len(fks) != 1 || fks[0].Attrs[0] != "mid" {
+		t.Errorf("ForeignKeysBetween = %+v", fks)
+	}
+	if fks := s.ForeignKeysBetween(movies, cast); len(fks) != 0 {
+		t.Errorf("unexpected reverse FKs: %+v", fks)
+	}
+}
+
+func TestParseType(t *testing.T) {
+	cases := map[string]Type{
+		"INT": Int, "integer": Int, "VARCHAR": Text, "text": Text,
+		"DATE": Date, "float": Float, "BOOLEAN": Bool, "decimal": Float,
+	}
+	for in, want := range cases {
+		got, err := ParseType(in)
+		if err != nil || got != want {
+			t.Errorf("ParseType(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseType("BLOB5000"); err == nil {
+		t.Error("ParseType accepted unknown type")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	for ty, want := range map[Type]string{Int: "INT", Float: "FLOAT", Text: "TEXT", Date: "DATE", Bool: "BOOL"} {
+		if got := ty.String(); got != want {
+			t.Errorf("%v.String() = %q", int(ty), got)
+		}
+	}
+	if got := Type(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown type String = %q", got)
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := movieSchema(t)
+	ddl := s.String()
+	for _, want := range []string{
+		"CREATE TABLE MOVIES", "PRIMARY KEY (id)",
+		"FOREIGN KEY (mid) REFERENCES MOVIES (id)", "bdate DATE",
+	} {
+		if !strings.Contains(ddl, want) {
+			t.Errorf("DDL missing %q:\n%s", want, ddl)
+		}
+	}
+}
+
+func TestRelationNames(t *testing.T) {
+	s := movieSchema(t)
+	names := s.RelationNames()
+	if len(names) != 6 {
+		t.Fatalf("RelationNames len = %d", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] > names[i] {
+			t.Errorf("RelationNames not sorted: %v", names)
+		}
+	}
+}
+
+func TestIsPrimaryKey(t *testing.T) {
+	s := movieSchema(t)
+	cast := s.Relation("CAST")
+	if !cast.IsPrimaryKey([]string{"aid", "mid"}) {
+		t.Error("order-insensitive PK check failed")
+	}
+	if cast.IsPrimaryKey([]string{"mid"}) {
+		t.Error("partial key accepted as PK")
+	}
+	if cast.IsPrimaryKey([]string{"mid", "role"}) {
+		t.Error("wrong attrs accepted as PK")
+	}
+}
+
+func TestGlossOrDefault(t *testing.T) {
+	a := &Attribute{Name: "BDATE"}
+	if g := a.GlossOrDefault(); g != "birth date" {
+		t.Errorf("GlossOrDefault = %q", g)
+	}
+	a2 := &Attribute{Name: "x", Gloss: "custom"}
+	if g := a2.GlossOrDefault(); g != "custom" {
+		t.Errorf("explicit gloss = %q", g)
+	}
+}

@@ -1,0 +1,444 @@
+// Package core assembles the paper's primary contribution: a DBMS that
+// "talks back". It wires the storage engine, schema graph, annotation sets,
+// and the two translators (contents→text, queries→text) behind one System
+// type, and adds the end-to-end behaviours the paper motivates: query
+// verification before execution, narrated answers, empty/large-answer
+// feedback, and a simulated spoken session.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/dataset"
+	"repro/internal/datatotext"
+	"repro/internal/engine"
+	"repro/internal/explain"
+	"repro/internal/lexicon"
+	"repro/internal/nlg"
+	"repro/internal/querygraph"
+	"repro/internal/querytotext"
+	"repro/internal/schemagraph"
+	"repro/internal/speech"
+	"repro/internal/sqlparser"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Config customizes a System.
+type Config struct {
+	// Verbs supplies the non-local verb labels for query translation.
+	Verbs *querytotext.VerbSet
+	// QueryOptions tunes query translation.
+	QueryOptions querytotext.Options
+	// DataOptions tunes content translation.
+	DataOptions datatotext.Options
+	// AnnotateGraph installs template labels on the schema graph; nil uses
+	// derived defaults.
+	AnnotateGraph func(*schemagraph.Graph) error
+	// Relationships are the content-translation relationship annotations.
+	Relationships []datatotext.Relationship
+	// LargeThreshold is the row count beyond which answers are "large"
+	// (default 100).
+	LargeThreshold int
+	// MaxNarratedRows caps answer narration (default 10).
+	MaxNarratedRows int
+}
+
+// System is a database that talks back.
+type System struct {
+	db      *storage.Database
+	eng     *engine.Engine
+	graph   *schemagraph.Graph
+	data    *datatotext.Translator
+	queries *querytotext.Translator
+	explain *explain.Explainer
+	cfg     Config
+}
+
+// New assembles a System over db.
+func New(db *storage.Database, cfg Config) (*System, error) {
+	if cfg.LargeThreshold <= 0 {
+		cfg.LargeThreshold = 100
+	}
+	if cfg.MaxNarratedRows <= 0 {
+		cfg.MaxNarratedRows = 10
+	}
+	g, err := schemagraph.Build(db.Schema())
+	if err != nil {
+		return nil, err
+	}
+	if cfg.AnnotateGraph != nil {
+		if err := cfg.AnnotateGraph(g); err != nil {
+			return nil, err
+		}
+	}
+	g.DefaultAnnotations()
+	eng := engine.New(db)
+	dataTr := datatotext.New(db, g, cfg.DataOptions)
+	for _, r := range cfg.Relationships {
+		if err := dataTr.AddRelationship(r); err != nil {
+			return nil, err
+		}
+	}
+	queryTr := querytotext.New(db.Schema(), cfg.Verbs, cfg.QueryOptions)
+	sys := &System{
+		db: db, eng: eng, graph: g,
+		data: dataTr, queries: queryTr,
+		explain: explain.New(eng, queryTr),
+		cfg:     cfg,
+	}
+	return sys, nil
+}
+
+// NewMovieSystem builds a System over the curated Fig. 1 movie database
+// with the paper's annotation sets installed.
+func NewMovieSystem() (*System, error) {
+	db, err := dataset.CuratedMovieDB()
+	if err != nil {
+		return nil, err
+	}
+	return New(db, MovieConfig())
+}
+
+// MovieConfig returns the standard configuration for movie-schema
+// databases (curated or generated).
+func MovieConfig() Config {
+	return Config{
+		Verbs:         querytotext.MovieVerbs(),
+		QueryOptions:  querytotext.Options{Elaborate: true},
+		DataOptions:   datatotext.Options{Style: nlg.Compact},
+		AnnotateGraph: datatotext.AnnotateMovieGraph,
+		Relationships: datatotext.MovieRelationships(),
+	}
+}
+
+// NewEmpSystem builds a System over the curated EMP/DEPT database from
+// §3.1.
+func NewEmpSystem() (*System, error) {
+	db, err := dataset.CuratedEmpDept()
+	if err != nil {
+		return nil, err
+	}
+	return New(db, Config{
+		Verbs:        querytotext.EmpVerbs(),
+		QueryOptions: querytotext.Options{},
+		DataOptions:  datatotext.Options{Style: nlg.Compact},
+	})
+}
+
+// Database exposes the storage layer.
+func (s *System) Database() *storage.Database { return s.db }
+
+// Engine exposes the execution engine.
+func (s *System) Engine() *engine.Engine { return s.eng }
+
+// SchemaGraph exposes the annotated schema graph.
+func (s *System) SchemaGraph() *schemagraph.Graph { return s.graph }
+
+// DataTranslator exposes the content translator.
+func (s *System) DataTranslator() *datatotext.Translator { return s.data }
+
+// QueryTranslator exposes the query translator.
+func (s *System) QueryTranslator() *querytotext.Translator { return s.queries }
+
+// Explainer exposes the feedback subsystem.
+func (s *System) Explainer() *explain.Explainer { return s.explain }
+
+// ---------------------------------------------------------------------------
+// Talk-back operations
+// ---------------------------------------------------------------------------
+
+// DescribeQuery translates a SQL statement into natural language without
+// executing it — the paper's verification use case ("it may be nice for the
+// user to see it expressed in the most familiar way ... before the query is
+// sent for execution").
+func (s *System) DescribeQuery(sql string) (*querytotext.Translation, error) {
+	return s.queries.TranslateSQL(sql)
+}
+
+// QueryGraph builds the Fig. 2-style query graph of a SELECT.
+func (s *System) QueryGraph(sql string) (*querygraph.Graph, error) {
+	sel, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		return nil, err
+	}
+	return querygraph.Build(sel, s.db.Schema())
+}
+
+// Response is a full talk-back interaction.
+type Response struct {
+	// Verification is the NL rendering of the query, shown before results.
+	Verification *querytotext.Translation
+	// Result is the executed answer (nil for DML).
+	Result *engine.Result
+	// Affected counts DML rows.
+	Affected int
+	// Answer narrates the result in natural language.
+	Answer string
+	// Feedback carries empty-answer diagnosis or large-answer explanation,
+	// when applicable.
+	Feedback string
+}
+
+// Ask runs the complete loop: translate, execute, narrate the answer, and
+// attach feedback for empty or very large answers.
+func (s *System) Ask(sql string) (*Response, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	verification, err := s.queries.TranslateStatement(stmt)
+	if err != nil {
+		return nil, err
+	}
+	resp := &Response{Verification: verification}
+
+	sel, isSelect := stmt.(*sqlparser.SelectStmt)
+	if !isSelect {
+		_, n, err := s.eng.Exec(sql)
+		if err != nil {
+			return nil, err
+		}
+		resp.Affected = n
+		resp.Answer = lexicon.Sentence(fmt.Sprintf("Done; %s affected", lexicon.CountNoun(n, "row")))
+		return resp, nil
+	}
+
+	res, err := s.eng.Select(sel)
+	if err != nil {
+		return nil, err
+	}
+	resp.Result = res
+	resp.Answer = s.NarrateResult(res)
+
+	switch {
+	case len(res.Rows) == 0:
+		diag, err := s.explain.ExplainEmpty(sel)
+		if err == nil {
+			resp.Feedback = diag.Text
+		}
+	case len(res.Rows) > s.cfg.LargeThreshold:
+		diag, err := s.explain.ExplainLarge(sel, s.cfg.LargeThreshold)
+		if err == nil {
+			resp.Feedback = diag.Text
+		}
+	}
+	return resp, nil
+}
+
+// NarrateResult renders a query answer as text (§2.1: "Whatever holds for
+// whole databases, of course, holds for query answers as well").
+func (s *System) NarrateResult(res *engine.Result) string {
+	if len(res.Rows) == 0 {
+		return "There are no results."
+	}
+	max := s.cfg.MaxNarratedRows
+	rows := res.Rows
+	truncated := 0
+	if len(rows) > max {
+		truncated = len(rows) - max
+		rows = rows[:max]
+	}
+	var text string
+	switch {
+	case len(res.Columns) == 1 && len(rows) == 1:
+		text = lexicon.Sentence("The answer is " + rows[0][0].Prose())
+	case len(res.Columns) == 1:
+		items := make([]string, len(rows))
+		for i, r := range rows {
+			items[i] = r[0].Prose()
+		}
+		text = lexicon.Sentence(fmt.Sprintf("There are %s: %s",
+			lexicon.CountNoun(len(res.Rows), "answer"), lexicon.JoinAnd(items)))
+	default:
+		var sentences []string
+		for _, r := range rows {
+			fields := make([]string, 0, len(r))
+			for ci, v := range r {
+				if v.IsNull() {
+					continue
+				}
+				fields = append(fields, fmt.Sprintf("%s %s", lexicon.Humanize(res.Columns[ci]), v.Prose()))
+			}
+			sentences = append(sentences, lexicon.Sentence("One result has "+lexicon.JoinAnd(fields)))
+		}
+		text = nlg.Paragraph(sentences...)
+	}
+	if truncated > 0 {
+		text += " " + lexicon.Sentence(fmt.Sprintf("%s more omitted", lexicon.NumberWord(truncated)))
+	}
+	return text
+}
+
+// DescribeEntity narrates one entity (the Woody Allen narrative).
+func (s *System) DescribeEntity(rel, attr string, val value.Value) (string, error) {
+	return s.data.DescribeEntity(rel, attr, val)
+}
+
+// DescribeDatabase narrates the database from a starting relation.
+func (s *System) DescribeDatabase(start string) (string, error) {
+	return s.data.DescribeDatabase(start)
+}
+
+// DescribeSchema narrates the schema itself (§2.1: "describing the schema
+// itself ... is just a special case of a database description").
+func (s *System) DescribeSchema() string {
+	var sentences []string
+	for _, n := range s.graph.Nodes() {
+		rel := n.Rel
+		if rel.Bridge {
+			continue
+		}
+		attrs := make([]string, 0, len(rel.Attributes))
+		for _, a := range rel.Attributes {
+			attrs = append(attrs, lexicon.Humanize(a.Name))
+		}
+		sentence := fmt.Sprintf("Each %s has %s", rel.Concept(), lexicon.JoinAnd(attrs))
+		var related []string
+		for _, j := range n.Joins {
+			if j.To.Rel.Bridge {
+				// Look through the bridge to its other end.
+				for _, j2 := range j.To.Joins {
+					if j2.To != n {
+						related = append(related, lexicon.Pluralize(j2.To.Rel.Concept()))
+					}
+				}
+				continue
+			}
+			related = append(related, lexicon.Pluralize(j.To.Rel.Concept()))
+		}
+		if len(related) > 0 {
+			sentence += " and relates to " + lexicon.JoinAnd(dedupe(related))
+		}
+		sentences = append(sentences, lexicon.Sentence(sentence))
+	}
+	return nlg.Paragraph(sentences...)
+}
+
+// DescribeStatistics narrates the database's size profile — the paper's
+// §2.1 observation that "database samples, histograms, data distribution
+// approximations are all, in some sense, small databases and can be
+// summarized textually".
+func (s *System) DescribeStatistics() string {
+	stats := s.db.Stats()
+	var sentences []string
+	var parts []string
+	for _, n := range s.graph.Nodes() {
+		rel := n.Rel
+		if rel.Bridge {
+			continue
+		}
+		count := stats[rel.Name]
+		parts = append(parts, lexicon.CountNoun(count, rel.Concept()))
+	}
+	sentences = append(sentences, lexicon.Sentence("The database holds "+lexicon.JoinAnd(parts)))
+	// One distribution note per relation with a heading attribute.
+	for _, n := range s.graph.Nodes() {
+		rel := n.Rel
+		if rel.Bridge || stats[rel.Name] == 0 {
+			continue
+		}
+		h := rel.Heading()
+		if h == nil {
+			continue
+		}
+		distinct, err := s.db.DistinctCount(rel.Name, h.Name)
+		if err != nil || distinct == stats[rel.Name] {
+			continue
+		}
+		sentences = append(sentences, lexicon.Sentence(fmt.Sprintf(
+			"the %d %s share %s distinct %s values",
+			stats[rel.Name], lexicon.Pluralize(rel.Concept()),
+			lexicon.NumberWord(distinct), lexicon.Humanize(h.Name))))
+	}
+	return nlg.Paragraph(sentences...)
+}
+
+func dedupe(in []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Spoken sessions (§2.1)
+// ---------------------------------------------------------------------------
+
+// VoiceSession couples the recognizer and synthesizer simulators with the
+// full talk-back loop.
+type VoiceSession struct {
+	sys   *System
+	rec   *speech.Recognizer
+	synth *speech.Synthesizer
+}
+
+// NewVoiceSession builds a session with the given grammar.
+func (s *System) NewVoiceSession(grammar []speech.Pattern) *VoiceSession {
+	return &VoiceSession{
+		sys:   s,
+		rec:   speech.NewRecognizer(grammar),
+		synth: speech.NewSynthesizer(),
+	}
+}
+
+// VoiceTurn is one spoken interaction.
+type VoiceTurn struct {
+	// Utterance is the user's spoken question.
+	Utterance string
+	// SQL is the recognized query.
+	SQL string
+	// Verification is the NL echo of the query ("I understood: ...").
+	Verification string
+	// Answer is the narrated result.
+	Answer string
+	// Events is the synthesized speech stream of the answer.
+	Events []speech.Event
+}
+
+// Ask runs one spoken turn.
+func (v *VoiceSession) Ask(utterance string) (*VoiceTurn, error) {
+	rec, err := v.rec.Recognize(utterance)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := v.sys.Ask(rec.SQL)
+	if err != nil {
+		return nil, err
+	}
+	answer := resp.Answer
+	if resp.Feedback != "" {
+		answer += " " + resp.Feedback
+	}
+	return &VoiceTurn{
+		Utterance:    utterance,
+		SQL:          strings.TrimSpace(rec.SQL),
+		Verification: resp.Verification.Text,
+		Answer:       answer,
+		Events:       v.synth.Speak(answer),
+	}, nil
+}
+
+// Profile applies a personalization profile to content translation (§2.2).
+func (s *System) Profile(name string) error {
+	p := s.db.Schema().Profile(name)
+	if p == nil {
+		return fmt.Errorf("core: unknown profile %q", name)
+	}
+	opts := s.data.Options()
+	opts.Profile = p
+	s.data.SetOptions(opts)
+	return nil
+}
+
+// RegisterProfile adds a personalization profile.
+func (s *System) RegisterProfile(p *catalog.Profile) error {
+	return s.db.Schema().AddProfile(p)
+}

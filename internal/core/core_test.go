@@ -1,0 +1,309 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/dataset"
+	"repro/internal/queryclassify"
+	"repro/internal/speech"
+	"repro/internal/sqlparser"
+	"repro/internal/value"
+)
+
+func movieSystem(t *testing.T) *System {
+	t.Helper()
+	s, err := NewMovieSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDescribeQueryVerification(t *testing.T) {
+	s := movieSystem(t)
+	tr, err := s.DescribeQuery(sqlparser.PaperQueries["Q1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Text != "Find movies where Brad Pitt plays." {
+		t.Errorf("verification = %q", tr.Text)
+	}
+	if tr.Class.Category != queryclassify.Path {
+		t.Errorf("class = %s", tr.Class.Category)
+	}
+}
+
+func TestAskFullLoop(t *testing.T) {
+	s := movieSystem(t)
+	resp, err := s.Ask(sqlparser.PaperQueries["Q1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Verification == nil || resp.Result == nil {
+		t.Fatal("incomplete response")
+	}
+	if len(resp.Result.Rows) != 2 {
+		t.Errorf("rows = %d", len(resp.Result.Rows))
+	}
+	if !strings.Contains(resp.Answer, "Star Raiders") || !strings.Contains(resp.Answer, "Galaxy at War") {
+		t.Errorf("answer = %q", resp.Answer)
+	}
+	if resp.Feedback != "" {
+		t.Errorf("unexpected feedback: %q", resp.Feedback)
+	}
+}
+
+func TestAskEmptyAnswerFeedback(t *testing.T) {
+	s := movieSystem(t)
+	resp, err := s.Ask(`select m.title from MOVIES m, CAST c, ACTOR a
+		where m.id = c.mid and c.aid = a.id and a.name = 'Nobody Unknown'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Answer != "There are no results." {
+		t.Errorf("answer = %q", resp.Answer)
+	}
+	if !strings.Contains(resp.Feedback, "Nobody Unknown") {
+		t.Errorf("feedback = %q", resp.Feedback)
+	}
+}
+
+func TestAskLargeAnswerFeedback(t *testing.T) {
+	db, err := dataset.GenerateMovieDB(dataset.GenConfig{Seed: 4, Movies: 150, Actors: 50, Directors: 8, CastPerMovie: 3, GenresPerMovie: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(db, func() Config { c := MovieConfig(); c.LargeThreshold = 50; return c }())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := s.Ask("select m.title, c.role from MOVIES m, CAST c where m.id = c.mid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.Feedback, "threshold") {
+		t.Errorf("feedback = %q", resp.Feedback)
+	}
+	if !strings.Contains(resp.Answer, "omitted") {
+		t.Errorf("answer not truncated: %q", resp.Answer)
+	}
+}
+
+func TestAskDML(t *testing.T) {
+	s := movieSystem(t)
+	resp, err := s.Ask("delete from GENRE g where g.genre = 'adventure'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Affected != 3 {
+		t.Errorf("affected = %d", resp.Affected)
+	}
+	if !strings.Contains(resp.Answer, "three rows affected") {
+		t.Errorf("answer = %q", resp.Answer)
+	}
+	if !strings.Contains(resp.Verification.Text, "Delete the genres") {
+		t.Errorf("verification = %q", resp.Verification.Text)
+	}
+}
+
+func TestNarrateSingleValue(t *testing.T) {
+	s := movieSystem(t)
+	resp, err := s.Ask("select count(*) from MOVIES m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Answer != "The answer is 13." {
+		t.Errorf("answer = %q", resp.Answer)
+	}
+}
+
+func TestNarrateMultiColumn(t *testing.T) {
+	s := movieSystem(t)
+	resp, err := s.Ask("select m.title, m.year from MOVIES m where m.id = 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.Answer, "title Match Point") || !strings.Contains(resp.Answer, "year 2005") {
+		t.Errorf("answer = %q", resp.Answer)
+	}
+}
+
+func TestDescribeEntityThroughFacade(t *testing.T) {
+	s := movieSystem(t)
+	got, err := s.DescribeEntity("DIRECTOR", "name", value.NewText("Woody Allen"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got, "Match Point (2005)") {
+		t.Errorf("narrative = %q", got)
+	}
+}
+
+func TestDescribeDatabaseThroughFacade(t *testing.T) {
+	s := movieSystem(t)
+	got, err := s.DescribeDatabase("MOVIES")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == "" {
+		t.Error("empty database narrative")
+	}
+}
+
+func TestDescribeSchema(t *testing.T) {
+	s := movieSystem(t)
+	got := s.DescribeSchema()
+	for _, want := range []string{
+		"Each movie has identifier, title, and year",
+		"relates to",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("schema narrative missing %q:\n%s", want, got)
+		}
+	}
+	// Bridges are looked through, not narrated.
+	if strings.Contains(got, "cast entry has") {
+		t.Errorf("bridge narrated: %s", got)
+	}
+}
+
+func TestQueryGraphExport(t *testing.T) {
+	s := movieSystem(t)
+	g, err := s.QueryGraph(sqlparser.PaperQueries["Q7"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nested) != 1 {
+		t.Errorf("nested = %d", len(g.Nested))
+	}
+	if !strings.Contains(g.DOT(), "digraph query") {
+		t.Error("DOT export")
+	}
+	if _, err := s.QueryGraph("not sql"); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestVoiceSession(t *testing.T) {
+	s := movieSystem(t)
+	v := s.NewVoiceSession(speech.MovieGrammar())
+	turn, err := v.Ask("which movies does Brad Pitt play in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if turn.Verification != "Find movies where Brad Pitt plays." {
+		t.Errorf("verification = %q", turn.Verification)
+	}
+	if !strings.Contains(turn.Answer, "Star Raiders") {
+		t.Errorf("answer = %q", turn.Answer)
+	}
+	if len(turn.Events) == 0 || speech.DurationMs(turn.Events) <= 0 {
+		t.Error("no speech events")
+	}
+	if _, err := v.Ask("meaningless gibberish"); err == nil {
+		t.Error("gibberish recognized")
+	}
+}
+
+func TestVoiceSessionEmptyAnswerSpeaksFeedback(t *testing.T) {
+	s := movieSystem(t)
+	v := s.NewVoiceSession(speech.MovieGrammar())
+	turn, err := v.Ask("which movies does Zz Topp play in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(turn.Answer, "There are no results.") {
+		t.Errorf("answer = %q", turn.Answer)
+	}
+	if !strings.Contains(turn.Answer, "returns nothing because") {
+		t.Errorf("feedback not spoken: %q", turn.Answer)
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	s := movieSystem(t)
+	p := catalog.NewProfile("year-fan")
+	p.HeadingOverride["MOVIES"] = "year"
+	if err := s.RegisterProfile(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Profile("year-fan"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Profile("nope"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestEmpSystem(t *testing.T) {
+	s, err := NewEmpSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := s.Ask(sqlparser.PaperQueries["Q0"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Verification.Text != "Find the names of employees who make more than their managers." {
+		t.Errorf("verification = %q", resp.Verification.Text)
+	}
+	if len(resp.Result.Rows) != 2 {
+		t.Errorf("rows = %d", len(resp.Result.Rows))
+	}
+}
+
+func TestNewValidatesRelationships(t *testing.T) {
+	db, err := dataset.CuratedEmpDept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := MovieConfig() // movie relationships are invalid for EMP schema
+	if _, err := New(db, cfg); err == nil {
+		t.Error("mismatched relationships accepted")
+	}
+}
+
+func BenchmarkAskQ1(b *testing.B) {
+	s, err := NewMovieSystem()
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := sqlparser.PaperQueries["Q1"]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Ask(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVoiceLoop(b *testing.B) {
+	s, err := NewMovieSystem()
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := s.NewVoiceSession(speech.MovieGrammar())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.Ask("which movies does Brad Pitt play in"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestDescribeStatistics(t *testing.T) {
+	s := movieSystem(t)
+	got := s.DescribeStatistics()
+	for _, want := range []string{
+		"The database holds", "movies", "actors", "directors",
+		"distinct title values", // King Kong ×3 collapses 13 titles to 11
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("statistics narrative missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -1,0 +1,601 @@
+// Package datatotext translates database contents into natural-language
+// narratives (paper §2): it traverses the annotated schema graph from a
+// point of interest, instantiates node/edge template labels over the actual
+// tuples, detects the unary/join/split structural patterns, factors common
+// expressions, and assembles compact (declarative) or procedural text under
+// a configurable size budget with optional per-user personalization.
+package datatotext
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/lexicon"
+	"repro/internal/nlg"
+	"repro/internal/schemagraph"
+	"repro/internal/storage"
+	"repro/internal/templates"
+	"repro/internal/value"
+)
+
+// Relationship annotates a semantic relationship between two relations,
+// possibly through a bridge relation (the paper's DIRECTED, which
+// "participates in the translation process only for connecting the other
+// two"). The Template introduces the relationship ("As a director, NAME's
+// work includes MOVIE_LIST"); the List renders the related tuples.
+type Relationship struct {
+	// From is the relation whose entity anchors the sentence.
+	From string
+	// To is the related relation whose tuples are enumerated.
+	To string
+	// Via is the bridge relation connecting From and To; empty when a
+	// direct foreign key links them.
+	Via string
+	// Template is the head phrase; its fields resolve against the From
+	// tuple plus ListField.
+	Template *templates.Template
+	// ListField is the placeholder in Template that receives the rendered
+	// list (e.g. "MOVIE_LIST").
+	ListField string
+	// List renders the To tuples in compact mode (title + year inline).
+	List *templates.ListTemplate
+	// OrderBy optionally sorts the To tuples by this attribute before
+	// rendering; Desc reverses.
+	OrderBy string
+	Desc    bool
+	// Kind is the entity kind of the From subject (pronoun choice).
+	Kind nlg.EntityKind
+}
+
+// Options tunes translation.
+type Options struct {
+	// Style selects compact or procedural synthesis; Auto lets the
+	// translator choose per clause group (the paper's open challenge,
+	// decided by nlg.ChooseRealization).
+	Style nlg.Realization
+	// Auto overrides Style with a per-group decision.
+	Auto bool
+	// MaxCompactClauses bounds the compact style (see ChooseRealization).
+	MaxCompactClauses int
+	// MaxListItems caps enumerate lists; 0 means unlimited. The ranking
+	// rule keeps the first items after OrderBy sorting (the paper's "most
+	// significant tuples ... presented first and the less significant
+	// tuples ... ignored").
+	MaxListItems int
+	// MaxSentences caps a whole-database narrative; 0 means unlimited.
+	MaxSentences int
+	// MaxTuplesPerRelation caps per-relation enumeration in database
+	// narratives; 0 means 3.
+	MaxTuplesPerRelation int
+	// MinWeight prunes relations below this traversal weight in
+	// whole-database narratives.
+	MinWeight float64
+	// Profile personalizes heading attributes and weights.
+	Profile *catalog.Profile
+}
+
+// Translator translates contents of one database.
+type Translator struct {
+	db    *storage.Database
+	graph *schemagraph.Graph
+	rels  []Relationship
+	opts  Options
+}
+
+// New builds a translator over db with the given annotated schema graph.
+func New(db *storage.Database, graph *schemagraph.Graph, opts Options) *Translator {
+	if opts.MaxTuplesPerRelation == 0 {
+		opts.MaxTuplesPerRelation = 3
+	}
+	return &Translator{db: db, graph: graph, opts: opts}
+}
+
+// Options returns a copy of the translator's options.
+func (t *Translator) Options() Options { return t.opts }
+
+// SetOptions replaces the options.
+func (t *Translator) SetOptions(opts Options) {
+	if opts.MaxTuplesPerRelation == 0 {
+		opts.MaxTuplesPerRelation = 3
+	}
+	t.opts = opts
+}
+
+// AddRelationship registers a relationship annotation after validating that
+// its relations and join path exist.
+func (t *Translator) AddRelationship(r Relationship) error {
+	from := t.db.Schema().Relation(r.From)
+	to := t.db.Schema().Relation(r.To)
+	if from == nil || to == nil {
+		return fmt.Errorf("datatotext: relationship %s→%s references unknown relations", r.From, r.To)
+	}
+	if r.Via != "" {
+		via := t.db.Schema().Relation(r.Via)
+		if via == nil {
+			return fmt.Errorf("datatotext: bridge relation %q does not exist", r.Via)
+		}
+		if len(t.graph.JoinsBetween(r.Via, r.From)) == 0 || len(t.graph.JoinsBetween(r.Via, r.To)) == 0 {
+			return fmt.Errorf("datatotext: bridge %s does not connect %s and %s", r.Via, r.From, r.To)
+		}
+	} else if len(t.graph.JoinsBetween(r.From, r.To)) == 0 {
+		return fmt.Errorf("datatotext: no join edge between %s and %s", r.From, r.To)
+	}
+	if r.Template == nil {
+		return fmt.Errorf("datatotext: relationship %s→%s has no template", r.From, r.To)
+	}
+	if r.ListField == "" {
+		r.ListField = "LIST"
+	}
+	t.rels = append(t.rels, r)
+	return nil
+}
+
+// binding builds the template binding for one tuple of rel: attribute names
+// uppercased, plus REL.ATTR qualified keys, values rendered in prose form.
+func bindingFor(rel *catalog.Relation, tup storage.Tuple) templates.MapBinding {
+	b := make(templates.MapBinding, 2*len(rel.Attributes))
+	for i, a := range rel.Attributes {
+		if i >= len(tup) || tup[i].IsNull() {
+			continue
+		}
+		v := tup[i].Prose()
+		b[strings.ToUpper(a.Name)] = v
+		b[strings.ToUpper(rel.Name)+"."+strings.ToUpper(a.Name)] = v
+	}
+	return b
+}
+
+// headingValue returns the subject string of a tuple under the profile.
+func (t *Translator) headingValue(rel *catalog.Relation, tup storage.Tuple) string {
+	h := t.db.Schema().HeadingFor(rel, t.opts.Profile)
+	if h == nil {
+		return ""
+	}
+	p := rel.AttrIndex(h.Name)
+	if p < 0 || tup[p].IsNull() {
+		return ""
+	}
+	return tup[p].Prose()
+}
+
+// entityKind guesses Person vs Thing from the relation concept.
+func entityKind(rel *catalog.Relation) nlg.EntityKind {
+	switch strings.ToLower(rel.Concept()) {
+	case "actor", "director", "employee", "person", "author", "user", "manager", "student":
+		return nlg.Person
+	}
+	return nlg.Thing
+}
+
+// attributeClauses renders the projection-edge templates of rel over tup as
+// subject/predicate clauses, skipping templates whose fields are NULL.
+func (t *Translator) attributeClauses(rel *catalog.Relation, tup storage.Tuple) []nlg.Clause {
+	node := t.graph.Node(rel.Name)
+	if node == nil {
+		return nil
+	}
+	b := bindingFor(rel, tup)
+	kind := entityKind(rel)
+	// Render in annotation order (the designer's label sequence), falling
+	// back to schema order for unannotated projections.
+	projections := append([]*schemagraph.AttributeNode{}, node.Projections...)
+	sort.SliceStable(projections, func(i, j int) bool {
+		oi, oj := projections[i].Order, projections[j].Order
+		if (oi == 0) != (oj == 0) {
+			return oj == 0
+		}
+		return oi < oj
+	})
+	var out []nlg.Clause
+	for _, p := range projections {
+		if p.Template == nil || !p.Template.HasAllFields(b) {
+			continue
+		}
+		if subj, pred, ok := p.Template.SplitSubject(b); ok {
+			out = append(out, nlg.Clause{Subject: subj, Predicate: pred, Kind: kind})
+			continue
+		}
+		// Template does not start with a field: treat the whole rendering
+		// as a predicate-only clause.
+		s, err := p.Template.Instantiate(b)
+		if err == nil {
+			out = append(out, nlg.Clause{Predicate: s, Kind: kind})
+		}
+	}
+	return out
+}
+
+// relatedTuples collects the To-relation tuples related to the given From
+// tuple under r, ordered per r.OrderBy.
+func (t *Translator) relatedTuples(r Relationship, fromRel *catalog.Relation, fromTup storage.Tuple) ([]storage.Tuple, error) {
+	toTbl := t.db.Table(r.To)
+	if toTbl == nil {
+		return nil, fmt.Errorf("datatotext: missing table %q", r.To)
+	}
+	toRel := toTbl.Relation()
+	var out []storage.Tuple
+
+	matchFK := func(fk catalog.ForeignKey, ownRel *catalog.Relation, ownTup storage.Tuple, other *catalog.Relation, otherTup storage.Tuple) bool {
+		// fk declared by ownRel referencing other.
+		for i, a := range fk.Attrs {
+			av := ownTup[ownRel.AttrIndex(a)]
+			bv := otherTup[other.AttrIndex(fk.RefAttrs[i])]
+			if av.IsNull() || bv.IsNull() || !av.Equal(bv) {
+				return false
+			}
+		}
+		return true
+	}
+
+	if r.Via == "" {
+		// Direct FK in either direction.
+		fks := t.db.Schema().ForeignKeysBetween(fromRel, toRel)
+		rev := t.db.Schema().ForeignKeysBetween(toRel, fromRel)
+		toTbl.Scan(func(toTup storage.Tuple) bool {
+			for _, fk := range fks {
+				if matchFK(fk, fromRel, fromTup, toRel, toTup) {
+					out = append(out, toTup)
+					return true
+				}
+			}
+			for _, fk := range rev {
+				if matchFK(fk, toRel, toTup, fromRel, fromTup) {
+					out = append(out, toTup)
+					return true
+				}
+			}
+			return true
+		})
+	} else {
+		viaTbl := t.db.Table(r.Via)
+		if viaTbl == nil {
+			return nil, fmt.Errorf("datatotext: missing bridge table %q", r.Via)
+		}
+		viaRel := viaTbl.Relation()
+		fkFrom := t.db.Schema().ForeignKeysBetween(viaRel, fromRel)
+		fkTo := t.db.Schema().ForeignKeysBetween(viaRel, toRel)
+		if len(fkFrom) == 0 || len(fkTo) == 0 {
+			return nil, fmt.Errorf("datatotext: bridge %s lacks foreign keys to %s/%s", r.Via, r.From, r.To)
+		}
+		viaTbl.Scan(func(viaTup storage.Tuple) bool {
+			if !matchFK(fkFrom[0], viaRel, viaTup, fromRel, fromTup) {
+				return true
+			}
+			toTbl.Scan(func(toTup storage.Tuple) bool {
+				if matchFK(fkTo[0], viaRel, viaTup, toRel, toTup) {
+					out = append(out, toTup)
+					return false
+				}
+				return true
+			})
+			return true
+		})
+	}
+
+	if r.OrderBy != "" {
+		p := toRel.AttrIndex(r.OrderBy)
+		if p < 0 {
+			return nil, fmt.Errorf("datatotext: order attribute %s.%s does not exist", r.To, r.OrderBy)
+		}
+		sort.SliceStable(out, func(a, b int) bool {
+			va, vb := out[a][p], out[b][p]
+			if va.IsNull() || vb.IsNull() {
+				return vb.IsNull() && !va.IsNull()
+			}
+			c, err := va.Compare(vb)
+			if err != nil {
+				return false
+			}
+			if r.Desc {
+				return c > 0
+			}
+			return c < 0
+		})
+	}
+	if t.opts.MaxListItems > 0 && len(out) > t.opts.MaxListItems {
+		out = out[:t.opts.MaxListItems]
+	}
+	return out, nil
+}
+
+// DescribeEntity narrates one entity identified by rel.attr = val: its
+// attribute clauses followed by one sentence per registered relationship —
+// the paper's Woody Allen narrative.
+func (t *Translator) DescribeEntity(rel, attr string, val value.Value) (string, error) {
+	relMeta, tup, err := t.findTuple(rel, attr, val)
+	if err != nil {
+		return "", err
+	}
+	return t.describeTuple(relMeta, tup)
+}
+
+func (t *Translator) describeTuple(relMeta *catalog.Relation, tup storage.Tuple) (string, error) {
+	clauses := t.attributeClauses(relMeta, tup)
+	style := t.opts.Style
+	if t.opts.Auto {
+		style = nlg.ChooseRealization(clauses, t.opts.MaxCompactClauses)
+	}
+	var sentences []string
+	if head := nlg.Realize(clauses, style); head != "" {
+		sentences = append(sentences, head)
+	}
+
+	for _, r := range t.rels {
+		if !strings.EqualFold(r.From, relMeta.Name) {
+			continue
+		}
+		s, err := t.relationshipSentences(r, relMeta, tup, style)
+		if err != nil {
+			return "", err
+		}
+		sentences = append(sentences, s...)
+	}
+	return nlg.Paragraph(sentences...), nil
+}
+
+// relationshipSentences renders one relationship for one entity. Compact
+// mode inlines the full list template; procedural mode lists only heading
+// values and then emits per-tuple attribute sentences.
+func (t *Translator) relationshipSentences(r Relationship, fromRel *catalog.Relation, fromTup storage.Tuple, style nlg.Realization) ([]string, error) {
+	related, err := t.relatedTuples(r, fromRel, fromTup)
+	if err != nil {
+		return nil, err
+	}
+	if len(related) == 0 {
+		return nil, nil
+	}
+	toRel := t.db.Table(r.To).Relation()
+	headBinding := bindingFor(fromRel, fromTup)
+
+	if style == nlg.Compact && r.List != nil {
+		rows := make([]templates.Binding, len(related))
+		for i, tup := range related {
+			rows[i] = bindingFor(toRel, tup)
+		}
+		listText, err := r.List.Instantiate(rows)
+		if err != nil {
+			return nil, err
+		}
+		headBinding[r.ListField] = listText
+		head, err := r.Template.Instantiate(headBinding)
+		if err != nil {
+			return nil, err
+		}
+		return []string{lexicon.Sentence(head)}, nil
+	}
+
+	// Procedural: heading-only enumeration, then per-tuple clauses.
+	var headings []string
+	for _, tup := range related {
+		if h := t.headingValue(toRel, tup); h != "" {
+			headings = append(headings, h)
+		}
+	}
+	headBinding[r.ListField] = strings.Join(headings, ", ")
+	head, err := r.Template.Instantiate(headBinding)
+	if err != nil {
+		return nil, err
+	}
+	sentences := []string{lexicon.Sentence(head)}
+	var clauses []nlg.Clause
+	for _, tup := range related {
+		clauses = append(clauses, t.attributeClauses(toRel, tup)...)
+	}
+	if body := nlg.Realize(clauses, nlg.Procedural); body != "" {
+		sentences = append(sentences, body)
+	}
+	return sentences, nil
+}
+
+// findTuple locates the first tuple of rel with attr = val.
+func (t *Translator) findTuple(rel, attr string, val value.Value) (*catalog.Relation, storage.Tuple, error) {
+	tbl := t.db.Table(rel)
+	if tbl == nil {
+		return nil, nil, fmt.Errorf("datatotext: unknown relation %q", rel)
+	}
+	relMeta := tbl.Relation()
+	p := relMeta.AttrIndex(attr)
+	if p < 0 {
+		return nil, nil, fmt.Errorf("datatotext: unknown attribute %s.%s", rel, attr)
+	}
+	var tup storage.Tuple
+	tbl.Scan(func(cand storage.Tuple) bool {
+		if !cand[p].IsNull() && cand[p].Equal(val) {
+			tup = cand
+			return false
+		}
+		return true
+	})
+	if tup == nil {
+		return nil, nil, fmt.Errorf("datatotext: no %s with %s = %s", rel, attr, val.String())
+	}
+	return relMeta, tup, nil
+}
+
+// DescribeEntitySplit narrates one entity through the paper's split pattern
+// (§2.2, Ri → Rj1, Rj2): a head sentence introduces one related entity per
+// given relationship, and each related entity's own clauses embed as
+// relative clauses — "The movie M1 involves the director D1 who was born in
+// Italy and the actor A1 who is Greek." The relationships are given as To
+// relation names and resolved against the registered annotations with the
+// direction reversed (the bridge connects both ways).
+func (t *Translator) DescribeEntitySplit(rel, attr string, val value.Value, toRelations []string) (string, error) {
+	relMeta, tup, err := t.findTuple(rel, attr, val)
+	if err != nil {
+		return "", err
+	}
+	headVal := t.headingValue(relMeta, tup)
+	if headVal == "" {
+		return "", fmt.Errorf("datatotext: entity of %s has no heading value", rel)
+	}
+	var mentions []string
+	var subs []nlg.Clause
+	for _, toName := range toRelations {
+		toTbl := t.db.Table(toName)
+		if toTbl == nil {
+			return "", fmt.Errorf("datatotext: unknown relation %q", toName)
+		}
+		toRel := toTbl.Relation()
+		// Reuse a registered relationship in either direction to find the
+		// bridge; otherwise use a direct FK.
+		r := Relationship{From: relMeta.Name, To: toRel.Name}
+		for _, cand := range t.rels {
+			if strings.EqualFold(cand.From, toRel.Name) && strings.EqualFold(cand.To, relMeta.Name) {
+				r.Via = cand.Via
+			}
+			if strings.EqualFold(cand.From, relMeta.Name) && strings.EqualFold(cand.To, toRel.Name) {
+				r.Via = cand.Via
+			}
+		}
+		related, err := t.relatedTuples(r, relMeta, tup)
+		if err != nil {
+			return "", err
+		}
+		if len(related) == 0 {
+			continue
+		}
+		first := related[0]
+		subjVal := t.headingValue(toRel, first)
+		if subjVal == "" {
+			continue
+		}
+		mentions = append(mentions, "the "+toRel.Concept()+" "+subjVal)
+		clauses := nlg.FactorClauses(t.attributeClauses(toRel, first))
+		if len(clauses) > 0 && clauses[0].Subject == subjVal {
+			subs = append(subs, clauses[0])
+		}
+	}
+	if len(mentions) == 0 {
+		return "", fmt.Errorf("datatotext: %s %s has no related entities among %v", relMeta.Concept(), headVal, toRelations)
+	}
+	head := fmt.Sprintf("the %s %s involves %s", relMeta.Concept(), headVal, lexicon.JoinAnd(mentions))
+	return nlg.MergeSplit(head, subs), nil
+}
+
+// DescribeRelation narrates up to limit tuples of one relation using its
+// node and projection templates (limit 0 means the options default).
+func (t *Translator) DescribeRelation(rel string, limit int) (string, error) {
+	text, _, err := t.describeRelationCounted(rel, limit)
+	return text, err
+}
+
+// describeRelationCounted additionally reports how many clauses the
+// narrative contains, which DescribeDatabase uses for structural budgeting
+// (counting periods would miscount abbreviations like "G. Loucas").
+func (t *Translator) describeRelationCounted(rel string, limit int) (string, int, error) {
+	tbl := t.db.Table(rel)
+	if tbl == nil {
+		return "", 0, fmt.Errorf("datatotext: unknown relation %q", rel)
+	}
+	if limit <= 0 {
+		limit = t.opts.MaxTuplesPerRelation
+	}
+	relMeta := tbl.Relation()
+	tuples := t.rankTuples(relMeta, tbl.Tuples())
+	if len(tuples) > limit {
+		tuples = tuples[:limit]
+	}
+	var clauses []nlg.Clause
+	node := t.graph.Node(rel)
+	kind := entityKind(relMeta)
+	for _, tup := range tuples {
+		b := bindingFor(relMeta, tup)
+		if node != nil && node.Template != nil && node.Template.HasAllFields(b) {
+			if subj, pred, ok := node.Template.SplitSubject(b); ok {
+				clauses = append(clauses, nlg.Clause{Subject: subj, Predicate: pred, Kind: kind})
+				continue
+			}
+			if s, err := node.Template.Instantiate(b); err == nil {
+				clauses = append(clauses, nlg.Clause{Predicate: s, Kind: kind})
+				continue
+			}
+		}
+		// Fall back to the heading value alone.
+		if h := t.headingValue(relMeta, tup); h != "" {
+			clauses = append(clauses, nlg.Clause{
+				Predicate: fmt.Sprintf("There is %s named %s", lexicon.WithArticle(relMeta.Concept()), h),
+				Kind:      kind,
+			})
+		}
+	}
+	style := t.opts.Style
+	if t.opts.Auto {
+		style = nlg.ChooseRealization(clauses, t.opts.MaxCompactClauses)
+	}
+	return nlg.Realize(clauses, style), len(clauses), nil
+}
+
+// rankTuples orders tuples for enumeration: tuples with more non-NULL
+// significant (weighted) attributes first, ties broken by heading value for
+// determinism — a simple instance of the paper's tuple ranking.
+func (t *Translator) rankTuples(rel *catalog.Relation, tuples []storage.Tuple) []storage.Tuple {
+	type ranked struct {
+		tup   storage.Tuple
+		score float64
+		key   string
+	}
+	rs := make([]ranked, len(tuples))
+	for i, tup := range tuples {
+		score := 0.0
+		for j, a := range rel.Attributes {
+			if !tup[j].IsNull() {
+				score += t.db.Schema().AttrWeightFor(rel, a, t.opts.Profile)
+			}
+		}
+		rs[i] = ranked{tup: tup, score: score, key: t.headingValue(rel, tup)}
+	}
+	sort.SliceStable(rs, func(a, b int) bool {
+		if rs[a].score != rs[b].score {
+			return rs[a].score > rs[b].score
+		}
+		return rs[a].key < rs[b].key
+	})
+	out := make([]storage.Tuple, len(rs))
+	for i := range rs {
+		out[i] = rs[i].tup
+	}
+	return out
+}
+
+// DescribeDatabase narrates the whole database: a weight-ordered DFS from
+// start visits each non-bridge relation and narrates its top tuples, also
+// rendering entity relationships for the start relation's top tuples. The
+// sentence budget (Options.MaxSentences) and weight floor
+// (Options.MinWeight) implement the paper's structural size control.
+func (t *Translator) DescribeDatabase(start string) (string, error) {
+	skip := map[string]bool{}
+	for _, n := range t.graph.Nodes() {
+		w := t.db.Schema().WeightFor(n.Rel, t.opts.Profile)
+		if t.opts.MinWeight > 0 && w < t.opts.MinWeight {
+			skip[strings.ToLower(n.Rel.Name)] = true
+		}
+	}
+	tr, err := t.graph.DFS(start, skip)
+	if err != nil {
+		return "", err
+	}
+	budget := t.opts.MaxSentences
+	var parts []string
+	for _, node := range tr.Order {
+		if node.Rel.Bridge {
+			continue
+		}
+		text, clauses, err := t.describeRelationCounted(node.Rel.Name, 0)
+		if err != nil {
+			return "", err
+		}
+		if text == "" {
+			continue
+		}
+		if budget > 0 && clauses > budget {
+			break
+		}
+		if budget > 0 {
+			budget -= clauses
+		}
+		parts = append(parts, text)
+	}
+	return nlg.Paragraph(parts...), nil
+}

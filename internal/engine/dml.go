@@ -1,0 +1,168 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/sqlparser"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// execInsert runs INSERT ... VALUES or INSERT ... SELECT.
+func (ex *Engine) execInsert(stmt *sqlparser.InsertStmt) (int, error) {
+	tbl := ex.db.Table(stmt.Relation)
+	if tbl == nil {
+		return 0, fmt.Errorf("engine: unknown relation %q", stmt.Relation)
+	}
+	rel := tbl.Relation()
+
+	// Map statement columns to attribute positions; default is declaration
+	// order over all attributes.
+	var positions []int
+	if len(stmt.Columns) > 0 {
+		positions = make([]int, len(stmt.Columns))
+		for i, c := range stmt.Columns {
+			p := rel.AttrIndex(c)
+			if p < 0 {
+				return 0, fmt.Errorf("engine: relation %s has no attribute %q", rel.Name, c)
+			}
+			positions[i] = p
+		}
+	} else {
+		positions = make([]int, len(rel.Attributes))
+		for i := range rel.Attributes {
+			positions[i] = i
+		}
+	}
+
+	insertRow := func(vals []value.Value) error {
+		if len(vals) != len(positions) {
+			return fmt.Errorf("engine: INSERT into %s expects %d values, got %d", rel.Name, len(positions), len(vals))
+		}
+		tup := make(storage.Tuple, len(rel.Attributes))
+		for i := range tup {
+			tup[i] = value.NewNull()
+		}
+		for i, p := range positions {
+			tup[p] = vals[i]
+		}
+		return ex.db.Insert(rel.Name, tup)
+	}
+
+	n := 0
+	if stmt.Query != nil {
+		res, err := ex.execSelect(stmt.Query, nil)
+		if err != nil {
+			return 0, err
+		}
+		for _, row := range res.Rows {
+			if err := insertRow(row); err != nil {
+				return n, err
+			}
+			n++
+		}
+		return n, nil
+	}
+	for _, row := range stmt.Rows {
+		vals := make([]value.Value, len(row))
+		for i, e := range row {
+			v, err := ex.evalExpr(e, &env{}, nil)
+			if err != nil {
+				return n, err
+			}
+			vals[i] = v
+		}
+		if err := insertRow(vals); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// execUpdate runs UPDATE ... SET ... WHERE; SET expressions may reference
+// the current tuple.
+func (ex *Engine) execUpdate(stmt *sqlparser.UpdateStmt) (int, error) {
+	tbl := ex.db.Table(stmt.Relation)
+	if tbl == nil {
+		return 0, fmt.Errorf("engine: unknown relation %q", stmt.Relation)
+	}
+	rel := tbl.Relation()
+	alias := stmt.Alias
+	if alias == "" {
+		alias = rel.Name
+	}
+	for _, a := range stmt.Set {
+		if rel.AttrIndex(a.Column) < 0 {
+			return 0, fmt.Errorf("engine: relation %s has no attribute %q", rel.Name, a.Column)
+		}
+	}
+
+	var evalErr error
+	pred := func(tup storage.Tuple) bool {
+		if stmt.Where == nil {
+			return true
+		}
+		en := &env{bindings: []binding{{alias: alias, rel: rel, tuple: tup}}}
+		v, err := ex.evalExpr(stmt.Where, en, nil)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		return !v.IsNull() && v.Kind() == value.Bool && v.Bool()
+	}
+	apply := func(tup storage.Tuple) storage.Tuple {
+		en := &env{bindings: []binding{{alias: alias, rel: rel, tuple: tup}}}
+		// Evaluate all RHS before assigning, per SQL simultaneous-update
+		// semantics (sal = sal * 2 uses the old sal).
+		newVals := make([]value.Value, len(stmt.Set))
+		for i, a := range stmt.Set {
+			v, err := ex.evalExpr(a.Value, en, nil)
+			if err != nil {
+				evalErr = err
+				return tup
+			}
+			newVals[i] = v
+		}
+		for i, a := range stmt.Set {
+			tup[rel.AttrIndex(a.Column)] = newVals[i]
+		}
+		return tup
+	}
+	n, err := ex.db.Update(rel.Name, pred, apply)
+	if evalErr != nil {
+		return n, evalErr
+	}
+	return n, err
+}
+
+// execDelete runs DELETE FROM ... WHERE.
+func (ex *Engine) execDelete(stmt *sqlparser.DeleteStmt) (int, error) {
+	tbl := ex.db.Table(stmt.Relation)
+	if tbl == nil {
+		return 0, fmt.Errorf("engine: unknown relation %q", stmt.Relation)
+	}
+	rel := tbl.Relation()
+	alias := stmt.Alias
+	if alias == "" {
+		alias = rel.Name
+	}
+	var evalErr error
+	pred := func(tup storage.Tuple) bool {
+		if stmt.Where == nil {
+			return true
+		}
+		en := &env{bindings: []binding{{alias: alias, rel: rel, tuple: tup}}}
+		v, err := ex.evalExpr(stmt.Where, en, nil)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		return !v.IsNull() && v.Kind() == value.Bool && v.Bool()
+	}
+	n, err := ex.db.Delete(rel.Name, pred)
+	if evalErr != nil {
+		return n, evalErr
+	}
+	return n, err
+}

@@ -1,0 +1,809 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/sqlparser"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Engine executes SQL statements against a storage.Database.
+type Engine struct {
+	db    *storage.Database
+	views map[string]*sqlparser.SelectStmt
+}
+
+// New creates an engine over db.
+func New(db *storage.Database) *Engine {
+	return &Engine{db: db, views: make(map[string]*sqlparser.SelectStmt)}
+}
+
+// Database exposes the underlying database.
+func (ex *Engine) Database() *storage.Database { return ex.db }
+
+// Result is the answer of a SELECT: column names plus rows.
+type Result struct {
+	Columns []string
+	Rows    []storage.Tuple
+}
+
+// String renders the result as an aligned text table for CLI output.
+func (r *Result) String() string {
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(r.Rows))
+	for ri, row := range r.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := v.String()
+			cells[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	for i, c := range r.Columns {
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		fmt.Fprintf(&b, "%-*s", widths[i], c)
+	}
+	b.WriteByte('\n')
+	for i := range r.Columns {
+		if i > 0 {
+			b.WriteString("-+-")
+		}
+		b.WriteString(strings.Repeat("-", widths[i]))
+	}
+	b.WriteByte('\n')
+	for _, row := range cells {
+		for i, s := range row {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], s)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Query parses and executes a SELECT statement.
+func (ex *Engine) Query(src string) (*Result, error) {
+	sel, err := sqlparser.ParseSelect(src)
+	if err != nil {
+		return nil, err
+	}
+	return ex.Select(sel)
+}
+
+// Select executes a parsed SELECT statement.
+func (ex *Engine) Select(sel *sqlparser.SelectStmt) (*Result, error) {
+	return ex.execSelect(sel, nil)
+}
+
+// Exec parses and executes any statement; for SELECT it returns the result,
+// for DML the number of affected rows in count, for DDL (0, nil).
+func (ex *Engine) Exec(src string) (res *Result, count int, err error) {
+	stmt, err := sqlparser.Parse(src)
+	if err != nil {
+		return nil, 0, err
+	}
+	switch s := stmt.(type) {
+	case *sqlparser.SelectStmt:
+		r, err := ex.execSelect(s, nil)
+		return r, 0, err
+	case *sqlparser.InsertStmt:
+		n, err := ex.execInsert(s)
+		return nil, n, err
+	case *sqlparser.UpdateStmt:
+		n, err := ex.execUpdate(s)
+		return nil, n, err
+	case *sqlparser.DeleteStmt:
+		n, err := ex.execDelete(s)
+		return nil, n, err
+	case *sqlparser.CreateViewStmt:
+		return nil, 0, ex.CreateView(s.Name, s.Query)
+	case *sqlparser.CreateTableStmt:
+		return nil, 0, fmt.Errorf("engine: CREATE TABLE must be applied through the catalog (use dataset builders)")
+	default:
+		return nil, 0, fmt.Errorf("engine: unsupported statement %T", stmt)
+	}
+}
+
+// CreateView registers a named view expanded at reference time.
+func (ex *Engine) CreateView(name string, q *sqlparser.SelectStmt) error {
+	key := strings.ToLower(name)
+	if _, dup := ex.views[key]; dup {
+		return fmt.Errorf("engine: duplicate view %q", name)
+	}
+	if ex.db.Table(name) != nil {
+		return fmt.Errorf("engine: view %q collides with a table", name)
+	}
+	ex.views[key] = q
+	return nil
+}
+
+// View returns the definition of a named view, or nil.
+func (ex *Engine) View(name string) *sqlparser.SelectStmt {
+	return ex.views[strings.ToLower(name)]
+}
+
+// ---------------------------------------------------------------------------
+// SELECT execution
+// ---------------------------------------------------------------------------
+
+// fromEntry is one flattened FROM element.
+type fromEntry struct {
+	rel      *catalog.Relation
+	tbl      *storage.Table
+	alias    string
+	joinKind sqlparser.JoinKind
+	joinOn   sqlparser.Expr // only for explicit joins
+	explicit bool
+	view     *viewInstance // non-nil when the entry is a view reference
+}
+
+// viewInstance materializes a view as a synthetic relation.
+type viewInstance struct {
+	rel  *catalog.Relation
+	rows []storage.Tuple
+}
+
+// execSelectRows runs a (sub)query and returns the raw rows; limit >= 0
+// caps output early (used by EXISTS).
+func (ex *Engine) execSelectRows(sel *sqlparser.SelectStmt, outer *env, limit int) ([]storage.Tuple, error) {
+	res, err := ex.execSelectBounded(sel, outer, limit)
+	if err != nil {
+		return nil, err
+	}
+	return res.Rows, nil
+}
+
+func (ex *Engine) execSelect(sel *sqlparser.SelectStmt, outer *env) (*Result, error) {
+	return ex.execSelectBounded(sel, outer, -1)
+}
+
+func (ex *Engine) execSelectBounded(sel *sqlparser.SelectStmt, outer *env, earlyLimit int) (*Result, error) {
+	entries, err := ex.flattenFrom(sel.From)
+	if err != nil {
+		return nil, err
+	}
+
+	grouped := len(sel.GroupBy) > 0 || sel.Having != nil || selectHasAggregate(sel)
+
+	// Join: build environments row by row, applying every WHERE conjunct as
+	// soon as all of its tuple variables are bound (predicate pushdown).
+	conjuncts := sqlparser.Conjuncts(sel.Where)
+	envs, err := ex.joinFrom(entries, conjuncts, outer)
+	if err != nil {
+		return nil, err
+	}
+
+	var out *Result
+	var rowEnvs []*env // aligned with out.Rows for ungrouped queries
+	if grouped {
+		out, err = ex.execGrouped(sel, entries, envs)
+	} else {
+		out, rowEnvs, err = ex.execUngrouped(sel, entries, envs, earlyLimit)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if sel.Distinct {
+		out.Rows = distinctRows(out.Rows)
+		rowEnvs = nil // row/env alignment is lost after dedup
+	}
+	if len(sel.OrderBy) > 0 {
+		if err := ex.orderRows(sel, entries, out, rowEnvs); err != nil {
+			return nil, err
+		}
+	}
+	if sel.Limit >= 0 && len(out.Rows) > sel.Limit {
+		out.Rows = out.Rows[:sel.Limit]
+	}
+	return out, nil
+}
+
+// flattenFrom resolves FROM items (including explicit JOIN chains and view
+// references) into a flat entry list.
+func (ex *Engine) flattenFrom(from []*sqlparser.TableRef) ([]fromEntry, error) {
+	var entries []fromEntry
+	seen := map[string]bool{}
+	var add func(t *sqlparser.TableRef, kind sqlparser.JoinKind, on sqlparser.Expr, explicit bool) error
+	add = func(t *sqlparser.TableRef, kind sqlparser.JoinKind, on sqlparser.Expr, explicit bool) error {
+		e := fromEntry{alias: t.Name(), joinKind: kind, joinOn: on, explicit: explicit}
+		if tbl := ex.db.Table(t.Relation); tbl != nil {
+			e.rel, e.tbl = tbl.Relation(), tbl
+		} else if v := ex.View(t.Relation); v != nil {
+			inst, err := ex.materializeView(t.Relation, v)
+			if err != nil {
+				return err
+			}
+			e.rel, e.view = inst.rel, inst
+		} else {
+			return fmt.Errorf("engine: unknown relation %q", t.Relation)
+		}
+		key := strings.ToLower(e.alias)
+		if seen[key] {
+			return fmt.Errorf("engine: duplicate tuple variable %q", e.alias)
+		}
+		seen[key] = true
+		entries = append(entries, e)
+		if t.Join != nil {
+			return add(t.Join.Right, t.Join.Kind, t.Join.On, true)
+		}
+		return nil
+	}
+	for _, t := range from {
+		if err := add(t, sqlparser.JoinInner, nil, false); err != nil {
+			return nil, err
+		}
+	}
+	return entries, nil
+}
+
+// materializeView runs the view query and wraps the result as a relation.
+func (ex *Engine) materializeView(name string, q *sqlparser.SelectStmt) (*viewInstance, error) {
+	res, err := ex.execSelect(q, nil)
+	if err != nil {
+		return nil, fmt.Errorf("engine: materializing view %s: %v", name, err)
+	}
+	rel := &catalog.Relation{Name: name}
+	for _, c := range res.Columns {
+		rel.Attributes = append(rel.Attributes, &catalog.Attribute{Name: c, Type: catalog.Text})
+	}
+	return &viewInstance{rel: rel, rows: res.Rows}, nil
+}
+
+func (e *fromEntry) tuples() []storage.Tuple {
+	if e.view != nil {
+		return e.view.rows
+	}
+	return e.tbl.Tuples()
+}
+
+// joinFrom produces every joined environment. Inner joins use nested loops
+// with pushed-down predicates plus a hash-join fast path for equality
+// predicates; LEFT/RIGHT joins null-extend.
+func (ex *Engine) joinFrom(entries []fromEntry, conjuncts []sqlparser.Expr, outer *env) ([]*env, error) {
+	// Start with a single environment holding no bindings.
+	envs := []*env{{parent: outer}}
+	if len(entries) == 0 {
+		return envs, nil
+	}
+	applied := make([]bool, len(conjuncts))
+
+	boundAliases := map[string]*catalog.Relation{}
+	// Aliases visible from outer scopes count as bound for pushdown
+	// purposes; conservatively treat unqualified refs as unbound until all
+	// entries are joined.
+	for idx := range entries {
+		e := &entries[idx]
+		boundAliases[strings.ToLower(e.alias)] = e.rel
+
+		var stepConj []sqlparser.Expr
+		if e.explicit && e.joinOn != nil {
+			stepConj = append(stepConj, sqlparser.Conjuncts(e.joinOn)...)
+		}
+		// Pull in WHERE conjuncts that just became fully bound (only for
+		// inner semantics — applying WHERE during an outer join would be
+		// wrong, but entries from comma-FROM are always inner).
+		if e.joinKind == sqlparser.JoinInner {
+			for ci, c := range conjuncts {
+				if applied[ci] {
+					continue
+				}
+				if conjBound(c, boundAliases, idx == len(entries)-1) {
+					stepConj = append(stepConj, c)
+					applied[ci] = true
+				}
+			}
+		}
+
+		next, err := ex.joinStep(envs, e, stepConj)
+		if err != nil {
+			return nil, err
+		}
+		envs = next
+	}
+	// Any conjunct not yet applied (e.g. due to outer joins or unqualified
+	// columns) filters the final environments.
+	for ci, c := range conjuncts {
+		if applied[ci] {
+			continue
+		}
+		filtered := envs[:0]
+		for _, en := range envs {
+			v, err := ex.evalExpr(c, en, nil)
+			if err != nil {
+				return nil, err
+			}
+			if !v.IsNull() && v.Kind() == value.Bool && v.Bool() {
+				filtered = append(filtered, en)
+			}
+		}
+		envs = filtered
+	}
+	return envs, nil
+}
+
+// conjBound reports whether every column reference of c resolves within
+// boundAliases (or, when last is true, anywhere — the final join step can
+// evaluate everything; unqualified refs are also allowed then).
+func conjBound(c sqlparser.Expr, bound map[string]*catalog.Relation, last bool) bool {
+	if last {
+		return true
+	}
+	ok := true
+	sqlparser.WalkExpr(c, func(x sqlparser.Expr) bool {
+		switch n := x.(type) {
+		case *sqlparser.ColumnRef:
+			if n.Table == "" {
+				// Unqualified: only safe when a unique bound relation has it.
+				count := 0
+				for _, rel := range bound {
+					if rel.AttrIndex(n.Column) >= 0 {
+						count++
+					}
+				}
+				if count != 1 {
+					ok = false
+					return false
+				}
+				return true
+			}
+			if _, b := bound[strings.ToLower(n.Table)]; !b {
+				ok = false
+				return false
+			}
+		case *sqlparser.InExpr:
+			if n.Subquery != nil {
+				// Correlated subqueries may reference anything; defer them.
+				ok = false
+				return false
+			}
+		case *sqlparser.ExistsExpr, *sqlparser.QuantifiedExpr, *sqlparser.SubqueryExpr:
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// joinStep extends each environment with every tuple of e that satisfies
+// stepConj. For equality conjuncts of the form bound.col = e.col it builds a
+// hash table over e once and probes it per environment.
+func (ex *Engine) joinStep(envs []*env, e *fromEntry, stepConj []sqlparser.Expr) ([]*env, error) {
+	tuples := e.tuples()
+
+	// Hash-join fast path: find an equality conjunct linking e to an
+	// already-bound alias.
+	var probeExpr sqlparser.Expr // evaluated against the existing env
+	var buildPos int             // attribute position in e
+	rest := stepConj
+	if e.joinKind == sqlparser.JoinInner {
+		for i, c := range stepConj {
+			b, ok := c.(*sqlparser.BinaryExpr)
+			if !ok || b.Op != sqlparser.OpEq {
+				continue
+			}
+			l, lok := b.Left.(*sqlparser.ColumnRef)
+			r, rok := b.Right.(*sqlparser.ColumnRef)
+			if !lok || !rok {
+				continue
+			}
+			lIsE := strings.EqualFold(l.Table, e.alias)
+			rIsE := strings.EqualFold(r.Table, e.alias)
+			if lIsE == rIsE { // both or neither refer to e
+				continue
+			}
+			var eRef, oRef *sqlparser.ColumnRef
+			if lIsE {
+				eRef, oRef = l, r
+			} else {
+				eRef, oRef = r, l
+			}
+			pos := e.rel.AttrIndex(eRef.Column)
+			if pos < 0 {
+				return nil, fmt.Errorf("engine: relation %s has no attribute %q", e.rel.Name, eRef.Column)
+			}
+			probeExpr = oRef
+			buildPos = pos
+			rest = append(append([]sqlparser.Expr{}, stepConj[:i]...), stepConj[i+1:]...)
+			break
+		}
+	}
+
+	var out []*env
+	appendMatch := func(base *env, tup storage.Tuple, conds []sqlparser.Expr) (bool, error) {
+		cand := &env{parent: base.parent}
+		cand.bindings = append(append([]binding{}, base.bindings...), binding{alias: e.alias, rel: e.rel, tuple: tup})
+		for _, c := range conds {
+			v, err := ex.evalExpr(c, cand, nil)
+			if err != nil {
+				return false, err
+			}
+			if v.IsNull() || v.Kind() != value.Bool || !v.Bool() {
+				return false, nil
+			}
+		}
+		out = append(out, cand)
+		return true, nil
+	}
+
+	if probeExpr != nil {
+		ht := make(map[string][]storage.Tuple, len(tuples))
+		for _, tup := range tuples {
+			v := tup[buildPos]
+			if v.IsNull() {
+				continue
+			}
+			ht[v.Key()] = append(ht[v.Key()], tup)
+		}
+		for _, base := range envs {
+			pv, err := ex.evalExpr(probeExpr, base, nil)
+			if err != nil {
+				return nil, err
+			}
+			if pv.IsNull() {
+				continue
+			}
+			for _, tup := range ht[pv.Key()] {
+				if _, err := appendMatch(base, tup, rest); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return out, nil
+	}
+
+	// Nested loop, with LEFT/RIGHT outer handling for explicit joins.
+	if e.explicit && (e.joinKind == sqlparser.JoinLeft || e.joinKind == sqlparser.JoinRight) {
+		return ex.outerJoinStep(envs, e, stepConj)
+	}
+	for _, base := range envs {
+		for _, tup := range tuples {
+			if _, err := appendMatch(base, tup, stepConj); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// outerJoinStep implements LEFT JOIN (preserve existing envs) and RIGHT JOIN
+// (preserve new-table tuples) with NULL extension.
+func (ex *Engine) outerJoinStep(envs []*env, e *fromEntry, conds []sqlparser.Expr) ([]*env, error) {
+	tuples := e.tuples()
+	nullTuple := make(storage.Tuple, len(e.rel.Attributes))
+	var out []*env
+	matchedRight := make([]bool, len(tuples))
+	for _, base := range envs {
+		matched := false
+		for ti, tup := range tuples {
+			cand := &env{parent: base.parent}
+			cand.bindings = append(append([]binding{}, base.bindings...), binding{alias: e.alias, rel: e.rel, tuple: tup})
+			ok := true
+			for _, c := range conds {
+				v, err := ex.evalExpr(c, cand, nil)
+				if err != nil {
+					return nil, err
+				}
+				if v.IsNull() || v.Kind() != value.Bool || !v.Bool() {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				matched = true
+				matchedRight[ti] = true
+				out = append(out, cand)
+			}
+		}
+		if !matched && e.joinKind == sqlparser.JoinLeft {
+			cand := &env{parent: base.parent}
+			cand.bindings = append(append([]binding{}, base.bindings...), binding{alias: e.alias, rel: e.rel, tuple: nullTuple})
+			out = append(out, cand)
+		}
+	}
+	if e.joinKind == sqlparser.JoinRight {
+		// Preserve unmatched right tuples with NULLs for all prior bindings.
+		var protoBindings []binding
+		if len(envs) > 0 {
+			for _, b := range envs[0].bindings {
+				protoBindings = append(protoBindings, binding{
+					alias: b.alias, rel: b.rel,
+					tuple: make(storage.Tuple, len(b.rel.Attributes)),
+				})
+			}
+		}
+		var parent *env
+		if len(envs) > 0 {
+			parent = envs[0].parent
+		}
+		for ti, tup := range tuples {
+			if matchedRight[ti] {
+				continue
+			}
+			cand := &env{parent: parent}
+			cand.bindings = append(append([]binding{}, protoBindings...), binding{alias: e.alias, rel: e.rel, tuple: tup})
+			out = append(out, cand)
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Projection
+// ---------------------------------------------------------------------------
+
+// expandItems resolves *, alias.* and returns the final select items plus
+// output column names.
+func expandItems(sel *sqlparser.SelectStmt, entries []fromEntry) ([]sqlparser.SelectItem, []string, error) {
+	var items []sqlparser.SelectItem
+	var cols []string
+	for _, it := range sel.Items {
+		switch x := it.Expr.(type) {
+		case *sqlparser.Star:
+			for _, e := range entries {
+				for _, a := range e.rel.Attributes {
+					items = append(items, sqlparser.SelectItem{Expr: &sqlparser.ColumnRef{Table: e.alias, Column: a.Name}})
+					cols = append(cols, a.Name)
+				}
+			}
+		case *sqlparser.ColumnRef:
+			if x.Column == "*" {
+				found := false
+				for _, e := range entries {
+					if strings.EqualFold(e.alias, x.Table) {
+						for _, a := range e.rel.Attributes {
+							items = append(items, sqlparser.SelectItem{Expr: &sqlparser.ColumnRef{Table: e.alias, Column: a.Name}})
+							cols = append(cols, a.Name)
+						}
+						found = true
+						break
+					}
+				}
+				if !found {
+					return nil, nil, fmt.Errorf("engine: unknown tuple variable %q", x.Table)
+				}
+				continue
+			}
+			items = append(items, it)
+			cols = append(cols, itemName(it))
+		default:
+			items = append(items, it)
+			cols = append(cols, itemName(it))
+		}
+	}
+	return items, cols, nil
+}
+
+func itemName(it sqlparser.SelectItem) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	if c, ok := it.Expr.(*sqlparser.ColumnRef); ok {
+		return c.Column
+	}
+	return it.Expr.SQL()
+}
+
+func (ex *Engine) execUngrouped(sel *sqlparser.SelectStmt, entries []fromEntry, envs []*env, earlyLimit int) (*Result, []*env, error) {
+	items, cols, err := expandItems(sel, entries)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := &Result{Columns: cols}
+	var rowEnvs []*env
+	for _, en := range envs {
+		row := make(storage.Tuple, len(items))
+		for i, it := range items {
+			v, err := ex.evalExpr(it.Expr, en, nil)
+			if err != nil {
+				return nil, nil, err
+			}
+			row[i] = v
+		}
+		out.Rows = append(out.Rows, row)
+		rowEnvs = append(rowEnvs, en)
+		if earlyLimit >= 0 && len(out.Rows) >= earlyLimit &&
+			len(sel.OrderBy) == 0 && !sel.Distinct && sel.Limit < 0 {
+			return out, rowEnvs, nil
+		}
+	}
+	return out, rowEnvs, nil
+}
+
+func (ex *Engine) execGrouped(sel *sqlparser.SelectStmt, entries []fromEntry, envs []*env) (*Result, error) {
+	items, cols, err := expandItems(sel, entries)
+	if err != nil {
+		return nil, err
+	}
+	// Partition envs into groups keyed by the GROUP BY expressions; with no
+	// GROUP BY the whole input is one group.
+	type group struct {
+		ctx *groupCtx
+	}
+	groupsByKey := map[string]*group{}
+	var order []string
+	for _, en := range envs {
+		var key strings.Builder
+		for _, g := range sel.GroupBy {
+			v, err := ex.evalExpr(g, en, nil)
+			if err != nil {
+				return nil, err
+			}
+			key.WriteString(v.Key())
+			key.WriteByte('|')
+		}
+		k := key.String()
+		grp, ok := groupsByKey[k]
+		if !ok {
+			grp = &group{ctx: &groupCtx{}}
+			groupsByKey[k] = grp
+			order = append(order, k)
+		}
+		grp.ctx.rows = append(grp.ctx.rows, en)
+	}
+	// A grouped query with no GROUP BY and no input rows still yields one
+	// group (COUNT(*) = 0).
+	if len(sel.GroupBy) == 0 && len(order) == 0 {
+		k := ""
+		groupsByKey[k] = &group{ctx: &groupCtx{}}
+		order = append(order, k)
+	}
+
+	out := &Result{Columns: cols}
+	for _, k := range order {
+		grp := groupsByKey[k]
+		// Evaluate HAVING with an env seeded from the group's first row so
+		// correlated subqueries can reference group-by columns.
+		he := &env{}
+		if len(grp.ctx.rows) > 0 {
+			he = grp.ctx.rows[0]
+		}
+		if sel.Having != nil {
+			v, err := ex.evalExpr(sel.Having, he, grp.ctx)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() || v.Kind() != value.Bool || !v.Bool() {
+				continue
+			}
+		}
+		row := make(storage.Tuple, len(items))
+		for i, it := range items {
+			v, err := ex.evalExpr(it.Expr, he, grp.ctx)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+func (ex *Engine) orderRows(sel *sqlparser.SelectStmt, entries []fromEntry, out *Result, rowEnvs []*env) error {
+	// Build sort keys: each ORDER BY expression is either a select-list
+	// alias/position or an expression over output columns; for ungrouped
+	// queries we also allow arbitrary expressions via the stashed envs.
+	items, _, err := expandItems(sel, entries)
+	if err != nil {
+		return err
+	}
+	keyFor := func(rowIdx int, o sqlparser.OrderItem) (value.Value, error) {
+		// Alias or column-name match against the select list.
+		if c, ok := o.Expr.(*sqlparser.ColumnRef); ok {
+			for i, it := range items {
+				if strings.EqualFold(itemName(it), c.Column) && (c.Table == "" || aliasMatches(it, c)) {
+					return out.Rows[rowIdx][i], nil
+				}
+			}
+		}
+		// Expression identical to a select item.
+		oSQL := o.Expr.SQL()
+		for i, it := range items {
+			if it.Expr.SQL() == oSQL {
+				return out.Rows[rowIdx][i], nil
+			}
+		}
+		// Fall back to evaluating against the row's environment (ungrouped).
+		if rowEnvs != nil && rowIdx < len(rowEnvs) {
+			return ex.evalExpr(o.Expr, rowEnvs[rowIdx], nil)
+		}
+		return value.Value{}, fmt.Errorf("engine: ORDER BY expression %s is not in the select list", oSQL)
+	}
+	type keyedRow struct {
+		row  storage.Tuple
+		keys []value.Value
+	}
+	rows := make([]keyedRow, len(out.Rows))
+	for i := range out.Rows {
+		keys := make([]value.Value, len(sel.OrderBy))
+		for j, o := range sel.OrderBy {
+			v, err := keyFor(i, o)
+			if err != nil {
+				return err
+			}
+			keys[j] = v
+		}
+		rows[i] = keyedRow{row: out.Rows[i], keys: keys}
+	}
+	var sortErr error
+	sort.SliceStable(rows, func(a, b int) bool {
+		for j, o := range sel.OrderBy {
+			ka, kb := rows[a].keys[j], rows[b].keys[j]
+			// NULLs sort first ascending, last descending.
+			if ka.IsNull() || kb.IsNull() {
+				if ka.IsNull() && kb.IsNull() {
+					continue
+				}
+				return ka.IsNull() != o.Desc
+			}
+			c, err := ka.Compare(kb)
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			if c == 0 {
+				continue
+			}
+			if o.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	if sortErr != nil {
+		return sortErr
+	}
+	for i := range rows {
+		out.Rows[i] = rows[i].row
+	}
+	return nil
+}
+
+func aliasMatches(it sqlparser.SelectItem, c *sqlparser.ColumnRef) bool {
+	ic, ok := it.Expr.(*sqlparser.ColumnRef)
+	return ok && strings.EqualFold(ic.Table, c.Table)
+}
+
+func distinctRows(rows []storage.Tuple) []storage.Tuple {
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0]
+	for _, r := range rows {
+		var b strings.Builder
+		for _, v := range r {
+			b.WriteString(v.Key())
+			b.WriteByte('|')
+		}
+		k := b.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func selectHasAggregate(sel *sqlparser.SelectStmt) bool {
+	for _, it := range sel.Items {
+		if sqlparser.HasAggregate(it.Expr) {
+			return true
+		}
+	}
+	return false
+}

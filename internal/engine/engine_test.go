@@ -1,0 +1,756 @@
+package engine
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/sqlparser"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+func movieEngine(t *testing.T) *Engine {
+	t.Helper()
+	db, err := dataset.CuratedMovieDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(db)
+}
+
+func empEngine(t *testing.T) *Engine {
+	t.Helper()
+	db, err := dataset.CuratedEmpDept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(db)
+}
+
+// col extracts one text column of the result, sorted, for order-insensitive
+// assertions.
+func col(t *testing.T, res *Result, idx int) []string {
+	t.Helper()
+	out := make([]string, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		out = append(out, r[idx].String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+func eq(t *testing.T, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestQ1PathQuery(t *testing.T) {
+	ex := movieEngine(t)
+	res, err := ex.Query(sqlparser.PaperQueries["Q1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq(t, col(t, res, 0), []string{"Galaxy at War", "Star Raiders"})
+}
+
+func TestQ2SubgraphQuery(t *testing.T) {
+	ex := movieEngine(t)
+	res, err := ex.Query(sqlparser.PaperQueries["Q2"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// G. Loucas directs Star Raiders (action, Brad Pitt) and Galaxy at War
+	// (action, Brad Pitt + Mark Hamill).
+	eq(t, col(t, res, 0), []string{"Brad Pitt", "Brad Pitt", "Mark Hamill"})
+}
+
+func TestQ3MultiInstance(t *testing.T) {
+	ex := movieEngine(t)
+	res, err := ex.Query(sqlparser.PaperQueries["Q3"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Matrix casts actors 203, 204, 205 -> pairs (204,203), (205,203),
+	// (205,204); Galaxy at War casts 200 and 210 -> (210, 200);
+	// Match Point casts 201, 202 -> (202, 201);
+	// Silent Autumn casts 301, 302 -> (302, 301).
+	if len(res.Rows) != 6 {
+		t.Fatalf("Q3 rows = %d:\n%s", len(res.Rows), res.String())
+	}
+	for _, row := range res.Rows {
+		if row[0].Text() == row[1].Text() {
+			t.Errorf("self pair %v", row)
+		}
+	}
+}
+
+func TestQ4Cyclic(t *testing.T) {
+	ex := movieEngine(t)
+	res, err := ex.Query(sqlparser.PaperQueries["Q4"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq(t, col(t, res, 0), []string{"Anna"})
+}
+
+func TestQ5NestedEqualsQ1(t *testing.T) {
+	ex := movieEngine(t)
+	r5, err := ex.Query(sqlparser.PaperQueries["Q5"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := ex.Query(sqlparser.PaperQueries["Q1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq(t, col(t, r5, 0), col(t, r1, 0))
+}
+
+func TestQ6Division(t *testing.T) {
+	ex := movieEngine(t)
+	res, err := ex.Query(sqlparser.PaperQueries["Q6"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only Omnibus has every genre (action, drama, comedy, sci-fi,
+	// adventure are the distinct genres... adventure belongs to King Kong,
+	// so Omnibus must carry it too for the test to hold).
+	// Omnibus lacks "adventure": with adventure in the genre set, no movie
+	// has all genres unless Omnibus covers it. Check actual contents.
+	distinct, err := ex.Query("select distinct g.genre from GENRE g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{}
+	if len(distinct.Rows) == 4 {
+		want = []string{"Omnibus"}
+	}
+	_ = want
+	// The curated DB has 5 distinct genres (adventure from King Kong), so
+	// Q6 should return empty — a useful empty-answer case; the paper's
+	// positive case is exercised after removing King Kong genres below.
+	if len(res.Rows) != 0 {
+		t.Fatalf("Q6 expected empty on curated data, got:\n%s", res.String())
+	}
+	// Delete the adventure genre rows; now Omnibus has all genres.
+	if _, _, err := ex.Exec("delete from GENRE g where g.genre = 'adventure'"); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := ex.Query(sqlparser.PaperQueries["Q6"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq(t, col(t, res2, 0), []string{"Omnibus"})
+}
+
+func TestQ7AggregateWithHavingSubquery(t *testing.T) {
+	ex := movieEngine(t)
+	res, err := ex.Query(sqlparser.PaperQueries["Q7"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Movies with >1 genre: The Matrix (action, sci-fi) and Omnibus (4).
+	// Q7 counts cast per such movie: Matrix has 3, Omnibus has 1.
+	if len(res.Rows) != 2 {
+		t.Fatalf("Q7 rows:\n%s", res.String())
+	}
+	counts := map[string]int64{}
+	for _, row := range res.Rows {
+		counts[row[1].Text()] = row[2].Int()
+	}
+	if counts["The Matrix"] != 3 || counts["Omnibus"] != 1 {
+		t.Errorf("Q7 counts = %v", counts)
+	}
+}
+
+func TestQ8CountDistinctIdiom(t *testing.T) {
+	ex := movieEngine(t)
+	res, err := ex.Query(sqlparser.PaperQueries["Q8"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Actors whose movies are all in one year: every single-movie actor
+	// qualifies, plus 301 (two movies, both 2007).
+	names := col(t, res, 1)
+	has := func(n string) bool {
+		for _, x := range names {
+			if x == n {
+				return true
+			}
+		}
+		return false
+	}
+	if !has("Nikos Papadopoulos") {
+		t.Errorf("Q8 missing multi-movie same-year actor: %v", names)
+	}
+	if has("Brad Pitt") {
+		t.Errorf("Q8 includes actor with movies in different years: %v", names)
+	}
+}
+
+func TestQ9EarliestVersion(t *testing.T) {
+	ex := movieEngine(t)
+	res, err := ex.Query(sqlparser.PaperQueries["Q9"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// King Kong is the only repeated title; its earliest version (1933)
+	// casts Fay Wray. Under strict SQL semantics the paper's Q9 also admits
+	// every actor of a unique-title movie (<= ALL over an empty subquery is
+	// true), so the discriminating assertions are: the 1933 actor is in,
+	// the 1976/2005 actors are out.
+	names := map[string]bool{}
+	for _, row := range res.Rows {
+		names[row[0].Text()] = true
+	}
+	if !names["Fay Wray"] {
+		t.Errorf("Q9 missing earliest-version actor: %v", names)
+	}
+	if names["Jessica Lange"] || names["Naomi Watts"] {
+		t.Errorf("Q9 includes later-version actors: %v", names)
+	}
+}
+
+func TestQ0EmployeesOutearningManagers(t *testing.T) {
+	ex := empEngine(t)
+	res, err := ex.Query(sqlparser.PaperQueries["Q0"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq(t, col(t, res, 0), []string{"Ada Papadaki", "Omar Haddad"})
+}
+
+func TestSelectStarAndQualifiedStar(t *testing.T) {
+	ex := movieEngine(t)
+	res, err := ex.Query("select * from MOVIES m where m.id = 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 3 || res.Columns[1] != "title" {
+		t.Errorf("star columns = %v", res.Columns)
+	}
+	res2, err := ex.Query("select m.*, a.name from MOVIES m, CAST c, ACTOR a where m.id = c.mid and c.aid = a.id and m.id = 120")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Columns) != 4 || len(res2.Rows) != 3 {
+		t.Errorf("qualified star = %v rows=%d", res2.Columns, len(res2.Rows))
+	}
+}
+
+func TestOrderByAndLimit(t *testing.T) {
+	ex := movieEngine(t)
+	res, err := ex.Query("select m.title, m.year from MOVIES m order by m.year desc, m.title asc limit 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Rows[0][0].Text() != "Omnibus" {
+		t.Errorf("first = %v", res.Rows[0])
+	}
+	// Descending years.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i][1].Int() > res.Rows[i-1][1].Int() {
+			t.Errorf("not descending: %v", res.Rows)
+		}
+	}
+}
+
+func TestOrderByExpressionNotInSelect(t *testing.T) {
+	ex := movieEngine(t)
+	res, err := ex.Query("select m.title from MOVIES m where m.year > 2004 order by m.year")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	if res.Rows[0][0].Text() != "Match Point" && res.Rows[0][0].Text() != "King Kong" {
+		t.Errorf("first by year 2005 = %v", res.Rows[0])
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	ex := movieEngine(t)
+	res, err := ex.Query("select distinct g.genre from GENRE g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq(t, col(t, res, 0), []string{"action", "adventure", "comedy", "drama", "sci-fi"})
+}
+
+func TestAggregatesUngroupedWholeTable(t *testing.T) {
+	ex := movieEngine(t)
+	res, err := ex.Query("select count(*), min(m.year), max(m.year) from MOVIES m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	row := res.Rows[0]
+	if row[0].Int() != 13 || row[1].Int() != 1933 || row[2].Int() != 2008 {
+		t.Errorf("aggregates = %v", row)
+	}
+}
+
+func TestSumAvg(t *testing.T) {
+	ex := empEngine(t)
+	res, err := ex.Query("select sum(e.sal), avg(e.age) from EMP e where e.did = 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Rows[0]
+	if row[0].Float() != 330000 {
+		t.Errorf("sum = %v", row[0])
+	}
+	if row[1].Float() < 37 || row[1].Float() > 39 {
+		t.Errorf("avg = %v", row[1])
+	}
+}
+
+func TestGroupByHaving(t *testing.T) {
+	ex := movieEngine(t)
+	res, err := ex.Query("select g.mid, count(*) from GENRE g group by g.mid having count(*) > 1 order by g.mid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows:\n%s", res.String())
+	}
+	if res.Rows[0][0].Int() != 120 || res.Rows[0][1].Int() != 2 {
+		t.Errorf("row0 = %v", res.Rows[0])
+	}
+	if res.Rows[1][0].Int() != 122 || res.Rows[1][1].Int() != 4 {
+		t.Errorf("row1 = %v", res.Rows[1])
+	}
+}
+
+func TestCountOnEmptyInput(t *testing.T) {
+	ex := movieEngine(t)
+	res, err := ex.Query("select count(*) from MOVIES m where m.year > 3000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 0 {
+		t.Errorf("count on empty = %v", res.Rows)
+	}
+}
+
+func TestCorrelatedExists(t *testing.T) {
+	ex := movieEngine(t)
+	res, err := ex.Query(`select m.title from MOVIES m
+		where exists (select * from GENRE g where g.mid = m.id and g.genre = 'sci-fi')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq(t, col(t, res, 0), []string{"Omnibus", "The Matrix"})
+}
+
+func TestScalarSubqueryInSelect(t *testing.T) {
+	ex := movieEngine(t)
+	res, err := ex.Query(`select m.title, (select count(*) from GENRE g where g.mid = m.id) from MOVIES m where m.id = 122`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][1].Int() != 4 {
+		t.Errorf("scalar subquery = %v", res.Rows[0])
+	}
+}
+
+func TestQuantifiedAny(t *testing.T) {
+	ex := movieEngine(t)
+	res, err := ex.Query(`select m.title from MOVIES m
+		where m.year > any (select m2.year from MOVIES m2 where m2.title = 'King Kong') and m.title = 'King Kong'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1976 and 2005 are each greater than at least one version's year.
+	if len(res.Rows) != 2 {
+		t.Errorf("any rows:\n%s", res.String())
+	}
+}
+
+func TestInValueList(t *testing.T) {
+	ex := movieEngine(t)
+	res, err := ex.Query("select m.title from MOVIES m where m.year in (2003, 2004)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq(t, col(t, res, 0), []string{"Anything Else", "Melinda and Melinda"})
+	res2, err := ex.Query("select m.title from MOVIES m where m.year not in (select m2.year from MOVIES m2 where m2.id != m.id)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Movies whose year is unique: 2004(101), 2003(102), 2002(111),
+	// 2001(121), 2008(122), 1933(130), 1976(131).
+	if len(res2.Rows) != 7 {
+		t.Errorf("unique-year rows:\n%s", res2.String())
+	}
+}
+
+func TestLikeAndBetween(t *testing.T) {
+	ex := movieEngine(t)
+	res, err := ex.Query("select m.title from MOVIES m where m.title like 'M%' and m.year between 2004 and 2005")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq(t, col(t, res, 0), []string{"Match Point", "Melinda and Melinda"})
+	res2, err := ex.Query("select m.title from MOVIES m where m.title like '%in%'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res2.Rows {
+		if !strings.Contains(r[0].Text(), "in") {
+			t.Errorf("LIKE mismatch %v", r)
+		}
+	}
+	res3, err := ex.Query("select m.title from MOVIES m where m.title like 'Anna'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq(t, col(t, res3, 0), []string{"Anna"})
+	res4, err := ex.Query("select m.title from MOVIES m where m.title like 'A__a'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq(t, col(t, res4, 0), []string{"Anna"})
+}
+
+func TestExplicitJoins(t *testing.T) {
+	ex := movieEngine(t)
+	res, err := ex.Query(`select m.title, a.name from MOVIES m
+		join CAST c on m.id = c.mid join ACTOR a on c.aid = a.id
+		where m.id = 120 order by a.name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 || res.Rows[0][1].Text() != "Carrie-Anne Moss" {
+		t.Errorf("join rows:\n%s", res.String())
+	}
+}
+
+func TestLeftJoin(t *testing.T) {
+	ex := empEngine(t)
+	// Insert a department with no employees.
+	if _, _, err := ex.Exec("insert into DEPT (did, dname, mgr) values (30, 'R and D', NULL)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ex.Query(`select d.dname, e.name from DEPT d left join EMP e on e.did = d.did order by d.dname`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundNull := false
+	for _, row := range res.Rows {
+		if row[0].Text() == "R and D" {
+			foundNull = true
+			if !row[1].IsNull() {
+				t.Errorf("left join should null-extend, got %v", row)
+			}
+		}
+	}
+	if !foundNull {
+		t.Error("left join dropped unmatched left row")
+	}
+}
+
+func TestRightJoin(t *testing.T) {
+	ex := empEngine(t)
+	if _, _, err := ex.Exec("insert into DEPT (did, dname, mgr) values (30, 'R and D', NULL)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ex.Query(`select e.name, d.dname from EMP e right join DEPT d on e.did = d.did`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, row := range res.Rows {
+		if row[1].Text() == "R and D" && row[0].IsNull() {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("right join missing null-extended row:\n%s", res.String())
+	}
+}
+
+func TestThreeValuedLogic(t *testing.T) {
+	ex := empEngine(t)
+	// age NULL row.
+	if _, _, err := ex.Exec("insert into EMP (eid, name, sal, age, did) values (99, 'Null Agey', 1000, NULL, 10)"); err != nil {
+		t.Fatal(err)
+	}
+	// NULL comparison excludes the row from both branches.
+	r1, err := ex.Query("select e.name from EMP e where e.age > 30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ex.Query("select e.name from EMP e where not (e.age > 30)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range []*Result{r1, r2} {
+		for _, row := range res.Rows {
+			if row[0].Text() == "Null Agey" {
+				t.Error("NULL row leaked through three-valued logic")
+			}
+		}
+	}
+	// IS NULL finds it.
+	r3, err := ex.Query("select e.name from EMP e where e.age is null")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq(t, col(t, r3, 0), []string{"Null Agey"})
+}
+
+func TestCaseExpression(t *testing.T) {
+	ex := movieEngine(t)
+	res, err := ex.Query(`select m.title, case when m.year < 2000 then 'old' else 'new' end from MOVIES m where m.id in (100, 130)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]string{}
+	for _, row := range res.Rows {
+		got[row[0].Text()] = row[1].Text()
+	}
+	if got["Match Point"] != "new" || got["King Kong"] != "old" {
+		t.Errorf("case = %v", got)
+	}
+}
+
+func TestViews(t *testing.T) {
+	ex := movieEngine(t)
+	if _, _, err := ex.Exec("create view RECENT as select m.id, m.title from MOVIES m where m.year >= 2005"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ex.Query("select r.title from RECENT r order by r.title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq(t, col(t, res, 0), []string{"King Kong", "Match Point", "Omnibus", "Quiet Winter", "Silent Autumn"})
+	if err := ex.CreateView("RECENT", nil); err == nil {
+		t.Error("duplicate view accepted")
+	}
+	if err := ex.CreateView("MOVIES", nil); err == nil {
+		t.Error("view/table collision accepted")
+	}
+	if ex.View("recent") == nil {
+		t.Error("view lookup case-insensitive")
+	}
+}
+
+func TestInsertUpdateDelete(t *testing.T) {
+	ex := movieEngine(t)
+	_, n, err := ex.Exec("insert into MOVIES (id, title, year) values (999, 'Test Movie', 2020)")
+	if err != nil || n != 1 {
+		t.Fatalf("insert = %d, %v", n, err)
+	}
+	_, n, err = ex.Exec("update MOVIES m set year = year + 1 where m.id = 999")
+	if err != nil || n != 1 {
+		t.Fatalf("update = %d, %v", n, err)
+	}
+	res, err := ex.Query("select m.year from MOVIES m where m.id = 999")
+	if err != nil || res.Rows[0][0].Int() != 2021 {
+		t.Fatalf("post-update year = %v, %v", res.Rows, err)
+	}
+	_, n, err = ex.Exec("delete from MOVIES m where m.id = 999")
+	if err != nil || n != 1 {
+		t.Fatalf("delete = %d, %v", n, err)
+	}
+	res, _ = ex.Query("select count(*) from MOVIES m where m.id = 999")
+	if res.Rows[0][0].Int() != 0 {
+		t.Error("delete did not remove row")
+	}
+}
+
+func TestInsertSelect(t *testing.T) {
+	ex := empEngine(t)
+	_, n, err := ex.Exec("insert into EMP (eid, name, sal, age, did) select e.eid + 100, e.name, e.sal, e.age, e.did from EMP e where e.did = 10")
+	if err != nil || n != 3 {
+		t.Fatalf("insert-select = %d, %v", n, err)
+	}
+}
+
+func TestUpdateSimultaneousSemantics(t *testing.T) {
+	ex := empEngine(t)
+	// Swap-like update: sal = sal + age must use old sal.
+	res, _ := ex.Query("select e.sal from EMP e where e.eid = 5")
+	before := res.Rows[0][0].Float()
+	if _, _, err := ex.Exec("update EMP e set sal = sal * 2, age = age + 1 where e.eid = 5"); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = ex.Query("select e.sal, e.age from EMP e where e.eid = 5")
+	if res.Rows[0][0].Float() != before*2 || res.Rows[0][1].Int() != 30 {
+		t.Errorf("update semantics: %v", res.Rows[0])
+	}
+}
+
+func TestErrorCases(t *testing.T) {
+	ex := movieEngine(t)
+	bad := []string{
+		"select * from NOPE n",
+		"select m.nope from MOVIES m",
+		"select nope from MOVIES m",
+		"select m.title from MOVIES m, MOVIES m",                                             // dup alias
+		"select id from MOVIES m, ACTOR a",                                                   // ambiguous
+		"select m.title from MOVIES m where m.title > 5",                                     // cross-kind order
+		"select count(*) from MOVIES m where count(*) > 1",                                   // agg in where
+		"select m.title from MOVIES m where m.id = (select m2.id from MOVIES m2)",            // >1 row scalar
+		"select m.title from MOVIES m where m.id in (select m2.id, m2.title from MOVIES m2)", // 2-col IN
+		"update NOPE set x = 1",
+		"delete from NOPE",
+		"insert into NOPE values (1)",
+		"insert into MOVIES (id, nope) values (1, 2)",
+		"insert into MOVIES (id) values (1, 2)",
+		"select m.title from MOVIES m where m.year / 0 = 1",
+	}
+	for _, src := range bad {
+		if _, _, err := ex.Exec(src); err == nil {
+			t.Errorf("Exec(%q) succeeded", src)
+		}
+	}
+}
+
+func TestResultString(t *testing.T) {
+	ex := movieEngine(t)
+	res, err := ex.Query("select m.id, m.title from MOVIES m where m.id = 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.String()
+	if !strings.Contains(s, "Match Point") || !strings.Contains(s, "id") {
+		t.Errorf("Result.String:\n%s", s)
+	}
+}
+
+func TestGeneratedDBRuns(t *testing.T) {
+	cfg := dataset.GenConfig{Seed: 7, Movies: 50, Actors: 30, Directors: 5, CastPerMovie: 2, GenresPerMovie: 2}
+	db, err := dataset.GenerateMovieDB(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := New(db)
+	res, err := ex.Query("select count(*) from MOVIES m")
+	if err != nil || res.Rows[0][0].Int() != 50 {
+		t.Fatalf("generated movies = %v, %v", res.Rows, err)
+	}
+	// Determinism: same seed, same answer.
+	db2, _ := dataset.GenerateMovieDB(cfg)
+	ex2 := New(db2)
+	q := "select count(*) from CAST c"
+	r1, _ := ex.Query(q)
+	r2, _ := ex2.Query(q)
+	if r1.Rows[0][0].Int() != r2.Rows[0][0].Int() {
+		t.Error("generator not deterministic")
+	}
+}
+
+// Property: the engine's hash-join fast path agrees with a forced
+// nested-loop (by obfuscating the equality predicate as x <= y and x >= y).
+func TestHashJoinAgreesWithNestedLoopProperty(t *testing.T) {
+	db, err := dataset.GenerateMovieDB(dataset.GenConfig{Seed: 11, Movies: 30, Actors: 20, Directors: 4, CastPerMovie: 2, GenresPerMovie: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := New(db)
+	fast, err := ex.Query("select m.title, a.name from MOVIES m, CAST c, ACTOR a where m.id = c.mid and c.aid = a.id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := ex.Query("select m.title, a.name from MOVIES m, CAST c, ACTOR a where m.id <= c.mid and m.id >= c.mid and c.aid <= a.id and c.aid >= a.id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := func(res *Result) []string {
+		out := make([]string, len(res.Rows))
+		for i, r := range res.Rows {
+			out[i] = r[0].Text() + "|" + r[1].Text()
+		}
+		sort.Strings(out)
+		return out
+	}
+	eq(t, key(fast), key(slow))
+}
+
+// Property: DISTINCT is idempotent and never increases row count.
+func TestDistinctProperty(t *testing.T) {
+	f := func(vals []uint8) bool {
+		rows := make([]storage.Tuple, len(vals))
+		for i, v := range vals {
+			rows[i] = storage.Tuple{value.NewInt(int64(v % 8))}
+		}
+		d1 := distinctRows(append([]storage.Tuple{}, rows...))
+		d2 := distinctRows(append([]storage.Tuple{}, d1...))
+		if len(d1) > len(rows) || len(d2) != len(d1) {
+			return false
+		}
+		seen := map[int64]bool{}
+		for _, r := range d1 {
+			if seen[r[0].Int()] {
+				return false
+			}
+			seen[r[0].Int()] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LIKE with a pattern equal to the string (no wildcards) matches
+// exactly, and '%' always matches.
+func TestLikeProperty(t *testing.T) {
+	f := func(s string) bool {
+		clean := strings.ReplaceAll(strings.ReplaceAll(s, "%", ""), "_", "")
+		return likeMatch(clean, clean) && likeMatch(clean, "%")
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkQ1Execution(b *testing.B) {
+	db, err := dataset.CuratedMovieDB()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex := New(db)
+	sel, _ := sqlparser.ParseSelect(sqlparser.PaperQueries["Q1"])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ex.Select(sel); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJoinScale(b *testing.B) {
+	db, err := dataset.GenerateMovieDB(dataset.GenConfig{Seed: 3, Movies: 500, Actors: 200, Directors: 20, CastPerMovie: 3, GenresPerMovie: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex := New(db)
+	sel, _ := sqlparser.ParseSelect("select m.title, a.name from MOVIES m, CAST c, ACTOR a where m.id = c.mid and c.aid = a.id")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ex.Select(sel); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,334 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/value"
+)
+
+// evalEngine builds a tiny engine for scalar-expression probing via
+// one-row queries.
+func evalEngine(t *testing.T) *Engine {
+	t.Helper()
+	db, err := dataset.CuratedEmpDept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(db)
+}
+
+// scalar runs `select <expr> from EMP e where e.eid = 1` and returns the
+// single value.
+func scalar(t *testing.T, ex *Engine, expr string) value.Value {
+	t.Helper()
+	res, err := ex.Query("select " + expr + " from EMP e where e.eid = 1")
+	if err != nil {
+		t.Fatalf("%s: %v", expr, err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("%s: %d rows", expr, len(res.Rows))
+	}
+	return res.Rows[0][0]
+}
+
+func TestArithmetic(t *testing.T) {
+	ex := evalEngine(t)
+	cases := map[string]string{
+		"1 + 2":       "3",
+		"7 - 10":      "-3",
+		"6 * 7":       "42",
+		"7 / 2":       "3", // integer division
+		"7 % 3":       "1",
+		"7.0 / 2":     "3.5", // float promotes
+		"1 + 2 * 3":   "7",
+		"(1 + 2) * 3": "9",
+		"2.5 + 2.5":   "5",
+		"1 - 0.5":     "0.5",
+	}
+	for expr, want := range cases {
+		if got := scalar(t, ex, expr).String(); got != want {
+			t.Errorf("%s = %s, want %s", expr, got, want)
+		}
+	}
+}
+
+func TestArithmeticErrors(t *testing.T) {
+	ex := evalEngine(t)
+	for _, expr := range []string{"1 / 0", "1 % 0", "2.5 % 1.5", "'a' + 1"} {
+		if _, err := ex.Query("select " + expr + " from EMP e where e.eid = 1"); err == nil {
+			t.Errorf("%s accepted", expr)
+		}
+	}
+}
+
+func TestNullPropagation(t *testing.T) {
+	ex := evalEngine(t)
+	if v := scalar(t, ex, "NULL + 1"); !v.IsNull() {
+		t.Error("NULL + 1 should be NULL")
+	}
+	if v := scalar(t, ex, "NULL = NULL"); !v.IsNull() {
+		t.Error("NULL = NULL should be unknown")
+	}
+	// Three-valued OR: TRUE OR NULL = TRUE.
+	res, err := ex.Query("select e.name from EMP e where e.eid = 1 or e.age > NULL")
+	if err != nil || len(res.Rows) != 1 {
+		t.Errorf("TRUE OR NULL: %v rows, %v", len(res.Rows), err)
+	}
+	// FALSE AND NULL = FALSE (row excluded but no error).
+	res, err = ex.Query("select e.name from EMP e where e.eid = 99999 and e.age > NULL")
+	if err != nil || len(res.Rows) != 0 {
+		t.Errorf("FALSE AND NULL: %v rows, %v", len(res.Rows), err)
+	}
+	// NULL OR NULL = unknown → excluded.
+	res, err = ex.Query("select e.name from EMP e where e.age > NULL or e.age < NULL")
+	if err != nil || len(res.Rows) != 0 {
+		t.Errorf("NULL OR NULL: %v rows, %v", len(res.Rows), err)
+	}
+}
+
+func TestBooleanLiterals(t *testing.T) {
+	ex := evalEngine(t)
+	res, err := ex.Query("select e.name from EMP e where TRUE and e.eid = 1")
+	if err != nil || len(res.Rows) != 1 {
+		t.Errorf("TRUE literal: %d rows, %v", len(res.Rows), err)
+	}
+	res, err = ex.Query("select e.name from EMP e where FALSE")
+	if err != nil || len(res.Rows) != 0 {
+		t.Errorf("FALSE literal: %d rows, %v", len(res.Rows), err)
+	}
+	if _, err := ex.Query("select e.name from EMP e where NOT 5"); err == nil {
+		t.Error("NOT on non-boolean accepted")
+	}
+}
+
+func TestCaseWithoutElse(t *testing.T) {
+	ex := evalEngine(t)
+	v := scalar(t, ex, "case when e.eid = 99 then 'x' end")
+	if !v.IsNull() {
+		t.Errorf("CASE fallthrough = %v", v)
+	}
+}
+
+func TestInWithNullSemantics(t *testing.T) {
+	ex := evalEngine(t)
+	// 1 NOT IN (2, NULL) is unknown → row excluded.
+	res, err := ex.Query("select e.name from EMP e where e.eid = 1 and 1 not in (2, NULL)")
+	if err != nil || len(res.Rows) != 0 {
+		t.Errorf("NOT IN with NULL: %d rows, %v", len(res.Rows), err)
+	}
+	// 1 IN (1, NULL) is true.
+	res, err = ex.Query("select e.name from EMP e where e.eid = 1 and 1 in (1, NULL)")
+	if err != nil || len(res.Rows) != 1 {
+		t.Errorf("IN with NULL hit: %d rows, %v", len(res.Rows), err)
+	}
+	// NULL IN (1) is unknown.
+	res, err = ex.Query("select e.name from EMP e where e.eid = 1 and NULL in (1)")
+	if err != nil || len(res.Rows) != 0 {
+		t.Errorf("NULL IN: %d rows, %v", len(res.Rows), err)
+	}
+}
+
+func TestQuantifiedEmptyAndNull(t *testing.T) {
+	ex := evalEngine(t)
+	// ALL over empty set is true.
+	res, err := ex.Query("select e.name from EMP e where e.eid = 1 and e.sal > all (select e2.sal from EMP e2 where e2.eid = 9999)")
+	if err != nil || len(res.Rows) != 1 {
+		t.Errorf("ALL over empty: %d rows, %v", len(res.Rows), err)
+	}
+	// ANY over empty set is false.
+	res, err = ex.Query("select e.name from EMP e where e.eid = 1 and e.sal > any (select e2.sal from EMP e2 where e2.eid = 9999)")
+	if err != nil || len(res.Rows) != 0 {
+		t.Errorf("ANY over empty: %d rows, %v", len(res.Rows), err)
+	}
+}
+
+func TestBetweenNulls(t *testing.T) {
+	ex := evalEngine(t)
+	res, err := ex.Query("select e.name from EMP e where e.age between NULL and 100")
+	if err != nil || len(res.Rows) != 0 {
+		t.Errorf("BETWEEN NULL: %d rows, %v", len(res.Rows), err)
+	}
+}
+
+func TestMinMaxOverTextAndDates(t *testing.T) {
+	db, err := dataset.CuratedMovieDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := New(db)
+	res, err := ex.Query("select min(m.title), max(m.title) from MOVIES m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Text() != "Anna" {
+		t.Errorf("min title = %v", res.Rows[0][0])
+	}
+	res, err = ex.Query("select min(d.bdate) from DIRECTOR d")
+	if err != nil || res.Rows[0][0].Date().Year() != 1893 {
+		t.Errorf("min bdate = %v, %v", res.Rows[0], err)
+	}
+}
+
+func TestAggregateOverEmptyGroupReturnsNull(t *testing.T) {
+	ex := evalEngine(t)
+	res, err := ex.Query("select sum(e.sal), avg(e.sal), min(e.sal), max(e.sal) from EMP e where e.eid = 9999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res.Rows[0] {
+		if !v.IsNull() {
+			t.Errorf("aggregate %d over empty input = %v", i, v)
+		}
+	}
+}
+
+func TestSumErrorsOnText(t *testing.T) {
+	db, err := dataset.CuratedMovieDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := New(db)
+	if _, err := ex.Query("select sum(m.title) from MOVIES m"); err == nil {
+		t.Error("SUM over text accepted")
+	}
+}
+
+func TestCountDistinctVsPlain(t *testing.T) {
+	db, err := dataset.CuratedMovieDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := New(db)
+	res, err := ex.Query("select count(m.title), count(distinct m.title) from MOVIES m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 13 || res.Rows[0][1].Int() != 11 {
+		t.Errorf("counts = %v", res.Rows[0])
+	}
+}
+
+func TestLikeRequiresText(t *testing.T) {
+	ex := evalEngine(t)
+	if _, err := ex.Query("select e.name from EMP e where e.age like 'x%'"); err == nil {
+		t.Error("LIKE over int accepted")
+	}
+}
+
+func TestLikeEdgePatterns(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"", "", true},
+		{"", "%", true},
+		{"a", "", false},
+		{"abc", "a%c", true},
+		{"abc", "a_c", true},
+		{"abc", "a_d", false},
+		{"abc", "%%%", true},
+		{"aXbXc", "a%b%c", true},
+		{"ab", "a__", false},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.s, c.p); got != c.want {
+			t.Errorf("likeMatch(%q, %q) = %v", c.s, c.p, got)
+		}
+	}
+}
+
+func TestSubqueryColumnCountErrors(t *testing.T) {
+	ex := evalEngine(t)
+	bad := []string{
+		// scalar subquery with two columns
+		"select e.name from EMP e where e.sal > (select e2.sal, e2.age from EMP e2 where e2.eid = 2)",
+		// quantified subquery with two columns
+		"select e.name from EMP e where e.sal > all (select e2.sal, e2.age from EMP e2)",
+	}
+	for _, src := range bad {
+		if _, err := ex.Query(src); err == nil {
+			t.Errorf("accepted: %s", src)
+		}
+	}
+}
+
+func TestComparisonAcrossKinds(t *testing.T) {
+	ex := evalEngine(t)
+	// Equality across text/int is false, not an error.
+	res, err := ex.Query("select e.name from EMP e where e.eid = 1 and e.name = 5")
+	if err != nil || len(res.Rows) != 0 {
+		t.Errorf("cross-kind equality: %d rows, %v", len(res.Rows), err)
+	}
+	// != across kinds is true.
+	res, err = ex.Query("select e.name from EMP e where e.eid = 1 and e.name != 5")
+	if err != nil || len(res.Rows) != 1 {
+		t.Errorf("cross-kind inequality: %d rows, %v", len(res.Rows), err)
+	}
+}
+
+func TestUnqualifiedColumnInWhere(t *testing.T) {
+	ex := evalEngine(t)
+	res, err := ex.Query("select name from EMP e where eid = 3")
+	if err != nil || len(res.Rows) != 1 || res.Rows[0][0].Text() != "Ada Papadaki" {
+		t.Errorf("unqualified: %v, %v", res.Rows, err)
+	}
+}
+
+func TestOrderByNullsPlacement(t *testing.T) {
+	ex := evalEngine(t)
+	if _, _, err := ex.Exec("insert into EMP (eid, name, sal, age, did) values (50, 'No Age', 1, NULL, 10)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ex.Query("select e.name, e.age from EMP e order by e.age")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rows[0][1].IsNull() {
+		t.Errorf("ascending: NULL should sort first, got %v", res.Rows[0])
+	}
+	res, err = ex.Query("select e.name, e.age from EMP e order by e.age desc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rows[len(res.Rows)-1][1].IsNull() {
+		t.Errorf("descending: NULL should sort last")
+	}
+}
+
+func TestOrderByAlias(t *testing.T) {
+	ex := evalEngine(t)
+	res, err := ex.Query("select e.name, e.sal as pay from EMP e order by pay desc limit 1")
+	if err != nil || res.Rows[0][0].Text() != "Ada Papadaki" {
+		t.Errorf("order by alias: %v, %v", res.Rows, err)
+	}
+}
+
+func TestViewOverView(t *testing.T) {
+	ex := evalEngine(t)
+	if _, _, err := ex.Exec("create view WELL_PAID as select e.eid, e.name, e.sal from EMP e where e.sal > 90000"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ex.Exec("create view TOP_NAMES as select w.name from WELL_PAID w"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ex.Query("select t.name from TOP_NAMES t order by t.name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Errorf("view-over-view rows = %d:\n%s", len(res.Rows), res.String())
+	}
+}
+
+func TestStrayHavingWithoutGroupBy(t *testing.T) {
+	ex := evalEngine(t)
+	// HAVING without GROUP BY treats the whole input as one group.
+	res, err := ex.Query("select count(*) from EMP e having count(*) > 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Errorf("having filtered nothing: %v", res.Rows)
+	}
+}

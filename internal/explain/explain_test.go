@@ -1,0 +1,207 @@
+package explain
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/querytotext"
+	"repro/internal/sqlparser"
+)
+
+func newExplainer(t *testing.T) *Explainer {
+	t.Helper()
+	db, err := dataset.CuratedMovieDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := engine.New(db)
+	tr := querytotext.New(db.Schema(), querytotext.MovieVerbs(), querytotext.Options{})
+	return New(ex, tr)
+}
+
+func parse(t *testing.T, src string) *sqlparser.SelectStmt {
+	t.Helper()
+	sel, err := sqlparser.ParseSelect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sel
+}
+
+func TestExplainEmptySingleCulprit(t *testing.T) {
+	e := newExplainer(t)
+	sel := parse(t, `select m.title from MOVIES m, CAST c, ACTOR a
+		where m.id = c.mid and c.aid = a.id and a.name = 'Nobody Unknown'`)
+	d, err := e.ExplainEmpty(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Empty || d.JoinsEmpty {
+		t.Fatalf("diag = %+v", d)
+	}
+	if len(d.Culprits) != 1 || !d.Culprits[0].Alone {
+		t.Fatalf("culprits = %+v", d.Culprits)
+	}
+	if !strings.Contains(d.Culprits[0].Predicates[0], "Nobody Unknown") {
+		t.Errorf("culprit = %+v", d.Culprits[0])
+	}
+	if !strings.Contains(d.Text, "returns nothing because") {
+		t.Errorf("text = %q", d.Text)
+	}
+}
+
+func TestExplainEmptyPairCulprit(t *testing.T) {
+	e := newExplainer(t)
+	// Each filter is satisfiable alone; together they fail: Brad Pitt (in
+	// 1999/2002 movies) and year 2005.
+	sel := parse(t, `select m.title from MOVIES m, CAST c, ACTOR a
+		where m.id = c.mid and c.aid = a.id and a.name = 'Brad Pitt' and m.year = 2005`)
+	d, err := e.ExplainEmpty(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Empty {
+		t.Fatal("expected empty")
+	}
+	if len(d.Culprits) == 0 {
+		t.Fatalf("no culprits: %+v", d)
+	}
+	if d.Culprits[0].Alone {
+		t.Errorf("expected pair culprit, got %+v", d.Culprits[0])
+	}
+	if len(d.Culprits[0].Predicates) != 2 {
+		t.Errorf("pair = %+v", d.Culprits[0])
+	}
+	if !strings.Contains(d.Text, "together with") {
+		t.Errorf("text = %q", d.Text)
+	}
+}
+
+func TestExplainEmptyNonEmptyAnswer(t *testing.T) {
+	e := newExplainer(t)
+	sel := parse(t, sqlparser.PaperQueries["Q1"])
+	d, err := e.ExplainEmpty(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Empty {
+		t.Error("Q1 is not empty")
+	}
+	if !strings.Contains(d.Text, "nothing to diagnose") {
+		t.Errorf("text = %q", d.Text)
+	}
+}
+
+func TestExplainEmptyJoinsEmpty(t *testing.T) {
+	e := newExplainer(t)
+	// Delete all CAST rows so the join structure itself is empty.
+	if _, _, err := e.ex.Exec("delete from CAST"); err != nil {
+		t.Fatal(err)
+	}
+	sel := parse(t, sqlparser.PaperQueries["Q1"])
+	d, err := e.ExplainEmpty(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.JoinsEmpty {
+		t.Fatalf("diag = %+v", d)
+	}
+	if !strings.Contains(d.Text, "share no matching rows") {
+		t.Errorf("text = %q", d.Text)
+	}
+}
+
+func TestExplainLarge(t *testing.T) {
+	e := newExplainer(t)
+	sel := parse(t, "select m.title, c.role from MOVIES m, CAST c where m.id = c.mid")
+	d, err := e.ExplainLarge(sel, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Large || d.Rows <= 5 {
+		t.Fatalf("diag = %+v", d)
+	}
+	if len(d.Contributions) != 2 {
+		t.Fatalf("contributions = %+v", d.Contributions)
+	}
+	// Unfiltered relations are called out.
+	if !strings.Contains(d.Text, "unrestricted") {
+		t.Errorf("text = %q", d.Text)
+	}
+	if !strings.Contains(d.Text, "Consider adding a more selective condition.") {
+		t.Errorf("text = %q", d.Text)
+	}
+}
+
+func TestExplainLargeWeakFilter(t *testing.T) {
+	e := newExplainer(t)
+	// year > 1900 keeps everything: a weak filter.
+	sel := parse(t, "select m.title, c.role from MOVIES m, CAST c where m.id = c.mid and m.year > 1900")
+	d, err := e.ExplainLarge(sel, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range d.Contributions {
+		if strings.EqualFold(c.Relation, "MOVIES") && c.Filtered > 0.99 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("weak filter not measured: %+v", d.Contributions)
+	}
+}
+
+func TestExplainLargeWithinThreshold(t *testing.T) {
+	e := newExplainer(t)
+	sel := parse(t, "select m.title from MOVIES m where m.id = 100")
+	d, err := e.ExplainLarge(sel, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Large {
+		t.Error("single-row answer flagged large")
+	}
+	if !strings.Contains(d.Text, "within the threshold") {
+		t.Errorf("text = %q", d.Text)
+	}
+}
+
+func BenchmarkExplainEmpty(b *testing.B) {
+	db, err := dataset.CuratedMovieDB()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex := engine.New(db)
+	tr := querytotext.New(db.Schema(), querytotext.MovieVerbs(), querytotext.Options{})
+	e := New(ex, tr)
+	sel, _ := sqlparser.ParseSelect(`select m.title from MOVIES m, CAST c, ACTOR a
+		where m.id = c.mid and c.aid = a.id and a.name = 'Nobody Unknown'`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.ExplainEmpty(sel); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExplainLarge(b *testing.B) {
+	db, err := dataset.GenerateMovieDB(dataset.GenConfig{Seed: 9, Movies: 300, Actors: 100, Directors: 10, CastPerMovie: 3, GenresPerMovie: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex := engine.New(db)
+	tr := querytotext.New(db.Schema(), querytotext.MovieVerbs(), querytotext.Options{})
+	e := New(ex, tr)
+	sel, _ := sqlparser.ParseSelect("select m.title, c.role from MOVIES m, CAST c where m.id = c.mid")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.ExplainLarge(sel, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,547 @@
+// Package lexicon provides the morphological and orthographic substrate used
+// by every text-producing component in the system: pluralization, indefinite
+// articles, verb agreement, list conjunction, capitalization, number words,
+// and date rendering.
+//
+// The paper's narratives ("Woody Allen was born in Brooklyn, New York, USA on
+// December 1, 1935. As a director, Woody Allen's work includes Match Point
+// (2005), Melinda and Melinda (2004), and Anything Else (2003).") depend on
+// exactly this machinery: Oxford-comma lists, possessives, and date formats.
+// Keeping it in one tested package means the data-to-text and query-to-text
+// translators never hand-roll English morphology.
+package lexicon
+
+import (
+	"fmt"
+	"strings"
+	"time"
+	"unicode"
+)
+
+// irregularPlurals maps singular nouns with irregular plural forms to their
+// plurals. The table covers the nouns that appear in database schemas and in
+// the generated narratives; Pluralize falls back to rule-based inflection for
+// anything else.
+var irregularPlurals = map[string]string{
+	"person":    "people",
+	"child":     "children",
+	"man":       "men",
+	"woman":     "women",
+	"foot":      "feet",
+	"tooth":     "teeth",
+	"goose":     "geese",
+	"mouse":     "mice",
+	"datum":     "data",
+	"index":     "indexes", // database usage, not "indices"
+	"schema":    "schemas",
+	"criterion": "criteria",
+	"medium":    "media",
+	"analysis":  "analyses",
+	"basis":     "bases",
+	"axis":      "axes",
+	"crisis":    "crises",
+	"thesis":    "theses",
+	"life":      "lives",
+	"knife":     "knives",
+	"wife":      "wives",
+	"leaf":      "leaves",
+	"shelf":     "shelves",
+	"half":      "halves",
+	"self":      "selves",
+	"staff":     "staffs",
+	"series":    "series",
+	"species":   "species",
+	"sheep":     "sheep",
+	"deer":      "deer",
+	"fish":      "fish",
+	"movie":     "movies",
+}
+
+// uncountable nouns never take a plural suffix.
+var uncountable = map[string]bool{
+	"information": true,
+	"equipment":   true,
+	"money":       true,
+	"rice":        true,
+	"news":        true,
+	"software":    true,
+	"metadata":    true,
+	"feedback":    true,
+}
+
+// Pluralize returns the English plural of a singular noun. Case of the first
+// letter is preserved; the rest of the inflection is lowercase unless the
+// word is fully uppercase (in which case the suffix is uppercased too, so
+// "MOVIE" becomes "MOVIES").
+func Pluralize(noun string) string {
+	if noun == "" {
+		return ""
+	}
+	lower := strings.ToLower(noun)
+	if uncountable[lower] {
+		return noun
+	}
+	if p, ok := irregularPlurals[lower]; ok {
+		return matchCase(noun, p)
+	}
+	upper := noun == strings.ToUpper(noun) && strings.ToLower(noun) != noun
+	suffix := func(s string) string {
+		if upper {
+			return strings.ToUpper(s)
+		}
+		return s
+	}
+	switch {
+	case strings.HasSuffix(lower, "s"), strings.HasSuffix(lower, "x"),
+		strings.HasSuffix(lower, "z"), strings.HasSuffix(lower, "ch"),
+		strings.HasSuffix(lower, "sh"):
+		return noun + suffix("es")
+	case strings.HasSuffix(lower, "y") && len(lower) > 1 && !isVowel(rune(lower[len(lower)-2])):
+		return noun[:len(noun)-1] + suffix("ies")
+	case strings.HasSuffix(lower, "o") && len(lower) > 1 && !isVowel(rune(lower[len(lower)-2])):
+		// hero -> heroes, but photo/piano style exceptions below
+		switch lower {
+		case "photo", "piano", "halo", "solo", "memo", "logo", "demo", "repo", "info", "video", "audio", "studio", "portfolio", "scenario":
+			return noun + suffix("s")
+		}
+		return noun + suffix("es")
+	default:
+		return noun + suffix("s")
+	}
+}
+
+// Singularize is the approximate inverse of Pluralize. It is used when a
+// relation name is plural ("MOVIES") but a sentence needs the singular
+// concept ("movie"). It is intentionally conservative: if no rule applies,
+// the input is returned unchanged.
+func Singularize(noun string) string {
+	if noun == "" {
+		return ""
+	}
+	lower := strings.ToLower(noun)
+	for s, p := range irregularPlurals {
+		if p == lower {
+			return matchCase(noun, s)
+		}
+	}
+	if uncountable[lower] {
+		return noun
+	}
+	switch {
+	case strings.HasSuffix(lower, "ies") && len(lower) > 3:
+		return noun[:len(noun)-3] + matchSuffixCase(noun, "y")
+	case strings.HasSuffix(lower, "sses"), strings.HasSuffix(lower, "xes"),
+		strings.HasSuffix(lower, "zes"), strings.HasSuffix(lower, "ches"),
+		strings.HasSuffix(lower, "shes"), strings.HasSuffix(lower, "oes"):
+		return noun[:len(noun)-2]
+	case strings.HasSuffix(lower, "ss"), strings.HasSuffix(lower, "us"), strings.HasSuffix(lower, "is"):
+		return noun
+	case strings.HasSuffix(lower, "s") && len(lower) > 1:
+		return noun[:len(noun)-1]
+	default:
+		return noun
+	}
+}
+
+// matchCase transfers the capitalization pattern of src onto repl: all-caps
+// stays all-caps, leading-capital stays leading-capital, otherwise lowercase.
+func matchCase(src, repl string) string {
+	switch {
+	case src == strings.ToUpper(src) && strings.ToLower(src) != src:
+		return strings.ToUpper(repl)
+	case len(src) > 0 && unicode.IsUpper(rune(src[0])):
+		return Capitalize(repl)
+	default:
+		return repl
+	}
+}
+
+// matchSuffixCase returns suffix uppercased when src is fully uppercase.
+func matchSuffixCase(src, suffix string) string {
+	if src == strings.ToUpper(src) && strings.ToLower(src) != src {
+		return strings.ToUpper(suffix)
+	}
+	return suffix
+}
+
+func isVowel(r rune) bool {
+	switch unicode.ToLower(r) {
+	case 'a', 'e', 'i', 'o', 'u':
+		return true
+	}
+	return false
+}
+
+// IndefiniteArticle returns "a" or "an" for the given noun phrase, based on
+// the sound of its first word ("an actor", "a movie", "an hour", "a user").
+func IndefiniteArticle(phrase string) string {
+	word := strings.ToLower(firstWord(phrase))
+	if word == "" {
+		return "a"
+	}
+	// Words that start with a vowel letter but a consonant sound.
+	for _, p := range []string{"use", "user", "uni", "eu", "one", "once", "ufo", "url", "uuid"} {
+		if strings.HasPrefix(word, p) {
+			return "a"
+		}
+	}
+	// Words that start with a consonant letter but a vowel sound.
+	for _, p := range []string{"hour", "honest", "honor", "heir", "sql", "xml", "html", "mvp", "fbi", "rdf"} {
+		if word == p || strings.HasPrefix(word, p) {
+			return "an"
+		}
+	}
+	if isVowel(rune(word[0])) {
+		return "an"
+	}
+	return "a"
+}
+
+// WithArticle prefixes phrase with its indefinite article: "an actor".
+func WithArticle(phrase string) string {
+	return IndefiniteArticle(phrase) + " " + phrase
+}
+
+func firstWord(s string) string {
+	s = strings.TrimSpace(s)
+	for i, r := range s {
+		if unicode.IsSpace(r) {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// Capitalize uppercases the first letter of s, leaving the rest unchanged.
+func Capitalize(s string) string {
+	for i, r := range s {
+		return s[:i] + string(unicode.ToUpper(r)) + s[i+len(string(r)):]
+	}
+	return s
+}
+
+// Decapitalize lowercases the first letter of s unless the first word looks
+// like a proper noun or acronym (entirely uppercase beyond the first rune).
+func Decapitalize(s string) string {
+	w := firstWord(s)
+	if len(w) > 1 && strings.ToUpper(w[1:]) == w[1:] && strings.ToLower(w[1:]) != w[1:] {
+		return s // acronym such as SQL
+	}
+	for i, r := range s {
+		return s[:i] + string(unicode.ToLower(r)) + s[i+len(string(r)):]
+	}
+	return s
+}
+
+// JoinList renders items as an English list with an Oxford comma:
+//
+//	[]                  -> ""
+//	[a]                 -> "a"
+//	[a b]               -> "a and b"
+//	[a b c]             -> "a, b, and c"
+//
+// The conjunction is configurable so that disjunctive lists ("a, b, or c")
+// reuse the same code.
+func JoinList(items []string, conjunction string) string {
+	switch len(items) {
+	case 0:
+		return ""
+	case 1:
+		return items[0]
+	case 2:
+		return items[0] + " " + conjunction + " " + items[1]
+	default:
+		return strings.Join(items[:len(items)-1], ", ") + ", " + conjunction + " " + items[len(items)-1]
+	}
+}
+
+// JoinAnd is JoinList with "and".
+func JoinAnd(items []string) string { return JoinList(items, "and") }
+
+// JoinOr is JoinList with "or".
+func JoinOr(items []string) string { return JoinList(items, "or") }
+
+// Possessive returns the English possessive form of a name:
+// "Woody Allen" -> "Woody Allen's", "Actors" -> "Actors'".
+func Possessive(name string) string {
+	if name == "" {
+		return ""
+	}
+	if strings.HasSuffix(name, "s") || strings.HasSuffix(name, "S") {
+		return name + "'"
+	}
+	return name + "'s"
+}
+
+// VerbAgreement inflects a base-form verb for the given subject count:
+// ("play", 1) -> "plays"; ("play", 2) -> "play". Irregulars "be" and "have"
+// are handled explicitly.
+func VerbAgreement(verb string, count int) string {
+	singular := count == 1
+	switch strings.ToLower(verb) {
+	case "be":
+		if singular {
+			return "is"
+		}
+		return "are"
+	case "have":
+		if singular {
+			return "has"
+		}
+		return "have"
+	case "do":
+		if singular {
+			return "does"
+		}
+		return "do"
+	}
+	if !singular {
+		return verb
+	}
+	lower := strings.ToLower(verb)
+	switch {
+	case strings.HasSuffix(lower, "s"), strings.HasSuffix(lower, "x"),
+		strings.HasSuffix(lower, "z"), strings.HasSuffix(lower, "ch"),
+		strings.HasSuffix(lower, "sh"), strings.HasSuffix(lower, "o"):
+		return verb + "es"
+	case strings.HasSuffix(lower, "y") && len(lower) > 1 && !isVowel(rune(lower[len(lower)-2])):
+		return verb[:len(verb)-1] + "ies"
+	default:
+		return verb + "s"
+	}
+}
+
+var smallNumbers = []string{
+	"zero", "one", "two", "three", "four", "five", "six", "seven", "eight",
+	"nine", "ten", "eleven", "twelve", "thirteen", "fourteen", "fifteen",
+	"sixteen", "seventeen", "eighteen", "nineteen",
+}
+
+var tensNumbers = []string{
+	"", "", "twenty", "thirty", "forty", "fifty", "sixty", "seventy",
+	"eighty", "ninety",
+}
+
+// NumberWord spells out small non-negative integers ("three movies"); numbers
+// of 100 or more, and negatives, are rendered as digits, matching common
+// style guidance for running text.
+func NumberWord(n int) string {
+	if n < 0 || n >= 100 {
+		return fmt.Sprintf("%d", n)
+	}
+	if n < 20 {
+		return smallNumbers[n]
+	}
+	t, r := n/10, n%10
+	if r == 0 {
+		return tensNumbers[t]
+	}
+	return tensNumbers[t] + "-" + smallNumbers[r]
+}
+
+// CountNoun renders a counted noun phrase: (0,"movie") -> "no movies",
+// (1,"movie") -> "one movie", (3,"genre") -> "three genres".
+func CountNoun(n int, noun string) string {
+	switch {
+	case n == 0:
+		return "no " + Pluralize(noun)
+	case n == 1:
+		return "one " + noun
+	default:
+		return NumberWord(n) + " " + Pluralize(noun)
+	}
+}
+
+// FormatDate renders a time as it appears in the paper's narratives:
+// "December 1, 1935".
+func FormatDate(t time.Time) string {
+	return fmt.Sprintf("%s %d, %d", t.Month().String(), t.Day(), t.Year())
+}
+
+// ParseDate parses the date formats the movie dataset stores birth dates in:
+// "1935-12-01" (ISO) or "December 1, 1935" (narrative form).
+func ParseDate(s string) (time.Time, error) {
+	for _, layout := range []string{"2006-01-02", "January 2, 2006", "Jan 2, 2006"} {
+		if t, err := time.Parse(layout, s); err == nil {
+			return t, nil
+		}
+	}
+	return time.Time{}, fmt.Errorf("lexicon: unrecognized date %q", s)
+}
+
+// Sentence finalizes a fragment into a sentence: trims whitespace,
+// capitalizes the first letter, collapses internal runs of spaces, and
+// guarantees terminal punctuation.
+func Sentence(fragment string) string {
+	s := CollapseSpaces(strings.TrimSpace(fragment))
+	if s == "" {
+		return ""
+	}
+	s = Capitalize(s)
+	switch s[len(s)-1] {
+	case '.', '!', '?':
+		return s
+	}
+	return s + "."
+}
+
+// CollapseSpaces replaces every run of whitespace with a single space and
+// removes spaces that precede punctuation (", ." -> ",").
+func CollapseSpaces(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	space := false
+	for _, r := range s {
+		if unicode.IsSpace(r) {
+			space = true
+			continue
+		}
+		if space {
+			if b.Len() > 0 && !isClosingPunct(r) {
+				b.WriteByte(' ')
+			}
+			space = false
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+func isClosingPunct(r rune) bool {
+	switch r {
+	case ',', '.', ';', ':', '!', '?', ')':
+		return true
+	}
+	return false
+}
+
+// Humanize converts a schema identifier into words suitable for prose:
+// "BLOCATION" -> "blocation" is wrong, so known database abbreviation
+// prefixes are expanded: "BDATE" -> "birth date", "BLOCATION" ->
+// "birth location", "DNAME" -> "name", "MGR" -> "manager", "SAL" ->
+// "salary". Snake and camel case are split into words and lowercased.
+func Humanize(ident string) string {
+	if ident == "" {
+		return ""
+	}
+	if h, ok := identifierGloss[strings.ToLower(ident)]; ok {
+		return h
+	}
+	words := SplitIdentifier(ident)
+	for i, w := range words {
+		lw := strings.ToLower(w)
+		if g, ok := identifierGloss[lw]; ok {
+			words[i] = g
+		} else {
+			words[i] = lw
+		}
+	}
+	return strings.Join(words, " ")
+}
+
+// identifierGloss expands the abbreviations used by the paper's schemas.
+var identifierGloss = map[string]string{
+	"bdate":     "birth date",
+	"blocation": "birth location",
+	"dname":     "name",
+	"mid":       "movie",
+	"aid":       "actor",
+	"did":       "department",
+	"eid":       "employee",
+	"mgr":       "manager",
+	"sal":       "salary",
+	"emp":       "employee",
+	"dept":      "department",
+	"dpt":       "department",
+	"id":        "identifier",
+	"attr":      "attribute",
+	"rel":       "relation",
+	"num":       "number",
+	"qty":       "quantity",
+	"addr":      "address",
+	"loc":       "location",
+	"desc":      "description",
+	"yr":        "year",
+}
+
+// SplitIdentifier splits a schema identifier into its component words,
+// handling snake_case, kebab-case, camelCase, and ALLCAPS runs:
+// "birthDate" -> [birth Date], "BIRTH_DATE" -> [BIRTH DATE].
+func SplitIdentifier(ident string) []string {
+	var words []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			words = append(words, cur.String())
+			cur.Reset()
+		}
+	}
+	runes := []rune(ident)
+	for i, r := range runes {
+		switch {
+		case r == '_' || r == '-' || r == ' ' || r == '.':
+			flush()
+		case unicode.IsUpper(r) && i > 0 && unicode.IsLower(runes[i-1]):
+			flush()
+			cur.WriteRune(r)
+		case unicode.IsUpper(r) && i > 0 && i+1 < len(runes) && unicode.IsUpper(runes[i-1]) && unicode.IsLower(runes[i+1]):
+			flush()
+			cur.WriteRune(r)
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return words
+}
+
+// TitleWords renders an identifier as a title: "match_point" -> "Match Point".
+func TitleWords(ident string) string {
+	words := SplitIdentifier(ident)
+	for i, w := range words {
+		words[i] = Capitalize(strings.ToLower(w))
+	}
+	return strings.Join(words, " ")
+}
+
+// Ordinal renders 1 -> "first", 2 -> "second", ... falling back to "Nth".
+func Ordinal(n int) string {
+	switch n {
+	case 1:
+		return "first"
+	case 2:
+		return "second"
+	case 3:
+		return "third"
+	case 4:
+		return "fourth"
+	case 5:
+		return "fifth"
+	case 6:
+		return "sixth"
+	case 7:
+		return "seventh"
+	case 8:
+		return "eighth"
+	case 9:
+		return "ninth"
+	case 10:
+		return "tenth"
+	}
+	suffix := "th"
+	switch n % 10 {
+	case 1:
+		if n%100 != 11 {
+			suffix = "st"
+		}
+	case 2:
+		if n%100 != 12 {
+			suffix = "nd"
+		}
+	case 3:
+		if n%100 != 13 {
+			suffix = "rd"
+		}
+	}
+	return fmt.Sprintf("%d%s", n, suffix)
+}

@@ -1,0 +1,418 @@
+package lexicon
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+	"unicode"
+)
+
+func TestPluralize(t *testing.T) {
+	cases := map[string]string{
+		"movie":    "movies",
+		"actor":    "actors",
+		"actress":  "actresses",
+		"genre":    "genres",
+		"director": "directors",
+		"query":    "queries",
+		"box":      "boxes",
+		"church":   "churches",
+		"hero":     "heroes",
+		"photo":    "photos",
+		"person":   "people",
+		"child":    "children",
+		"index":    "indexes",
+		"schema":   "schemas",
+		"life":     "lives",
+		"series":   "series",
+		"day":      "days",
+		"key":      "keys",
+		"MOVIE":    "MOVIES",
+		"Actor":    "Actors",
+		"":         "",
+	}
+	for in, want := range cases {
+		if got := Pluralize(in); got != want {
+			t.Errorf("Pluralize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPluralizeUncountable(t *testing.T) {
+	for _, w := range []string{"information", "metadata", "news"} {
+		if got := Pluralize(w); got != w {
+			t.Errorf("Pluralize(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+func TestSingularize(t *testing.T) {
+	cases := map[string]string{
+		"movies":    "movie",
+		"actors":    "actor",
+		"actresses": "actress",
+		"queries":   "query",
+		"people":    "person",
+		"children":  "child",
+		"MOVIES":    "MOVIE",
+		"heroes":    "hero",
+		"status":    "status",
+		"analysis":  "analysis",
+		"boss":      "boss",
+		"genres":    "genre",
+	}
+	for in, want := range cases {
+		if got := Singularize(in); got != want {
+			t.Errorf("Singularize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestPluralizeSingularizeRoundTrip checks the property that regular nouns
+// survive a pluralize/singularize round trip.
+func TestPluralizeSingularizeRoundTrip(t *testing.T) {
+	for _, w := range []string{"movie", "actor", "director", "genre", "cast",
+		"role", "title", "department", "employee", "manager", "query", "table"} {
+		if got := Singularize(Pluralize(w)); got != w {
+			t.Errorf("round trip %q -> %q -> %q", w, Pluralize(w), got)
+		}
+	}
+}
+
+func TestIndefiniteArticle(t *testing.T) {
+	cases := map[string]string{
+		"actor":       "an",
+		"movie":       "a",
+		"hour":        "an",
+		"user":        "a",
+		"SQL query":   "an",
+		"employee":    "an",
+		"director":    "a",
+		"index":       "an",
+		"one-liner":   "a",
+		"uniform":     "a",
+		"honest user": "an",
+		"":            "a",
+	}
+	for in, want := range cases {
+		if got := IndefiniteArticle(in); got != want {
+			t.Errorf("IndefiniteArticle(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWithArticle(t *testing.T) {
+	if got := WithArticle("actor"); got != "an actor" {
+		t.Errorf("WithArticle = %q", got)
+	}
+}
+
+func TestJoinList(t *testing.T) {
+	cases := []struct {
+		items []string
+		want  string
+	}{
+		{nil, ""},
+		{[]string{"a"}, "a"},
+		{[]string{"a", "b"}, "a and b"},
+		{[]string{"a", "b", "c"}, "a, b, and c"},
+		{[]string{"Match Point (2005)", "Melinda and Melinda (2004)", "Anything Else (2003)"},
+			"Match Point (2005), Melinda and Melinda (2004), and Anything Else (2003)"},
+	}
+	for _, c := range cases {
+		if got := JoinAnd(c.items); got != c.want {
+			t.Errorf("JoinAnd(%v) = %q, want %q", c.items, got, c.want)
+		}
+	}
+	if got := JoinOr([]string{"x", "y"}); got != "x or y" {
+		t.Errorf("JoinOr = %q", got)
+	}
+}
+
+func TestPossessive(t *testing.T) {
+	cases := map[string]string{
+		"Woody Allen": "Woody Allen's",
+		"actors":      "actors'",
+		"Brad Pitt":   "Brad Pitt's",
+		"":            "",
+	}
+	for in, want := range cases {
+		if got := Possessive(in); got != want {
+			t.Errorf("Possessive(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestVerbAgreement(t *testing.T) {
+	cases := []struct {
+		verb  string
+		count int
+		want  string
+	}{
+		{"play", 1, "plays"},
+		{"play", 2, "play"},
+		{"be", 1, "is"},
+		{"be", 3, "are"},
+		{"have", 1, "has"},
+		{"have", 2, "have"},
+		{"do", 1, "does"},
+		{"watch", 1, "watches"},
+		{"fly", 1, "flies"},
+		{"go", 1, "goes"},
+		{"include", 1, "includes"},
+	}
+	for _, c := range cases {
+		if got := VerbAgreement(c.verb, c.count); got != c.want {
+			t.Errorf("VerbAgreement(%q,%d) = %q, want %q", c.verb, c.count, got, c.want)
+		}
+	}
+}
+
+func TestNumberWord(t *testing.T) {
+	cases := map[int]string{
+		0: "zero", 1: "one", 7: "seven", 13: "thirteen", 20: "twenty",
+		21: "twenty-one", 42: "forty-two", 99: "ninety-nine",
+		100: "100", -3: "-3",
+	}
+	for in, want := range cases {
+		if got := NumberWord(in); got != want {
+			t.Errorf("NumberWord(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCountNoun(t *testing.T) {
+	cases := []struct {
+		n    int
+		noun string
+		want string
+	}{
+		{0, "movie", "no movies"},
+		{1, "movie", "one movie"},
+		{3, "genre", "three genres"},
+		{2, "actress", "two actresses"},
+	}
+	for _, c := range cases {
+		if got := CountNoun(c.n, c.noun); got != c.want {
+			t.Errorf("CountNoun(%d,%q) = %q, want %q", c.n, c.noun, got, c.want)
+		}
+	}
+}
+
+func TestFormatDate(t *testing.T) {
+	d := time.Date(1935, time.December, 1, 0, 0, 0, 0, time.UTC)
+	if got := FormatDate(d); got != "December 1, 1935" {
+		t.Errorf("FormatDate = %q", got)
+	}
+}
+
+func TestParseDate(t *testing.T) {
+	for _, in := range []string{"1935-12-01", "December 1, 1935"} {
+		d, err := ParseDate(in)
+		if err != nil {
+			t.Fatalf("ParseDate(%q): %v", in, err)
+		}
+		if FormatDate(d) != "December 1, 1935" {
+			t.Errorf("ParseDate(%q) round-trips to %q", in, FormatDate(d))
+		}
+	}
+	if _, err := ParseDate("not a date"); err == nil {
+		t.Error("ParseDate accepted garbage")
+	}
+}
+
+func TestSentence(t *testing.T) {
+	cases := map[string]string{
+		"hello world":             "Hello world.",
+		"already done.":           "Already done.",
+		"  spaced   out  ":        "Spaced out.",
+		"":                        "",
+		"is it a question?":       "Is it a question?",
+		"find movies , with gap":  "Find movies, with gap.",
+		"woody allen was born in": "Woody allen was born in.",
+	}
+	for in, want := range cases {
+		if got := Sentence(in); got != want {
+			t.Errorf("Sentence(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCollapseSpaces(t *testing.T) {
+	cases := map[string]string{
+		"a  b":      "a b",
+		"a , b":     "a, b",
+		"a\t\nb":    "a b",
+		" leading":  "leading",
+		"trailing ": "trailing",
+		"x ( y )":   "x ( y)",
+	}
+	for in, want := range cases {
+		if got := CollapseSpaces(in); got != want {
+			t.Errorf("CollapseSpaces(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestHumanize(t *testing.T) {
+	cases := map[string]string{
+		"BDATE":     "birth date",
+		"BLOCATION": "birth location",
+		"DNAME":     "name",
+		"title":     "title",
+		"birthDate": "birth date",
+		"movie_id":  "movie identifier",
+		"sal":       "salary",
+		"mgr":       "manager",
+		"":          "",
+	}
+	for in, want := range cases {
+		if got := Humanize(in); got != want {
+			t.Errorf("Humanize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSplitIdentifier(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"birthDate", []string{"birth", "Date"}},
+		{"BIRTH_DATE", []string{"BIRTH", "DATE"}},
+		{"movie-id", []string{"movie", "id"}},
+		{"HTTPServer", []string{"HTTP", "Server"}},
+		{"simple", []string{"simple"}},
+	}
+	for _, c := range cases {
+		got := SplitIdentifier(c.in)
+		if len(got) != len(c.want) {
+			t.Errorf("SplitIdentifier(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("SplitIdentifier(%q) = %v, want %v", c.in, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestTitleWords(t *testing.T) {
+	if got := TitleWords("match_point"); got != "Match Point" {
+		t.Errorf("TitleWords = %q", got)
+	}
+}
+
+func TestOrdinal(t *testing.T) {
+	cases := map[int]string{
+		1: "first", 2: "second", 3: "third", 11: "11th", 21: "21st",
+		22: "22nd", 23: "23rd", 104: "104th", 111: "111th", 112: "112th",
+	}
+	for in, want := range cases {
+		if got := Ordinal(in); got != want {
+			t.Errorf("Ordinal(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCapitalizeDecapitalize(t *testing.T) {
+	if got := Capitalize("movies"); got != "Movies" {
+		t.Errorf("Capitalize = %q", got)
+	}
+	if got := Decapitalize("Find movies"); got != "find movies" {
+		t.Errorf("Decapitalize = %q", got)
+	}
+	if got := Decapitalize("SQL is fine"); got != "SQL is fine" {
+		t.Errorf("Decapitalize acronym = %q", got)
+	}
+	if got := Capitalize(""); got != "" {
+		t.Errorf("Capitalize empty = %q", got)
+	}
+}
+
+// Property: Sentence output always starts with an uppercase letter (when it
+// has a letter at all) and ends with terminal punctuation.
+func TestSentenceProperty(t *testing.T) {
+	f := func(s string) bool {
+		out := Sentence(s)
+		if out == "" {
+			return true
+		}
+		last := out[len(out)-1]
+		if last != '.' && last != '!' && last != '?' {
+			return false
+		}
+		for _, r := range out {
+			if unicode.IsLetter(r) {
+				return unicode.IsUpper(r) || !unicode.IsLower(r)
+			}
+			break
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CollapseSpaces is idempotent and never contains double spaces.
+func TestCollapseSpacesProperty(t *testing.T) {
+	f := func(s string) bool {
+		once := CollapseSpaces(s)
+		return CollapseSpaces(once) == once && !strings.Contains(once, "  ")
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: JoinList of n>=3 items contains every item and exactly one
+// conjunction occurrence at the end.
+func TestJoinListProperty(t *testing.T) {
+	f := func(raw []string) bool {
+		items := make([]string, 0, len(raw))
+		for _, s := range raw {
+			s = strings.ReplaceAll(s, ",", "")
+			s = strings.ReplaceAll(s, " and ", " ")
+			if strings.TrimSpace(s) != "" {
+				items = append(items, s)
+			}
+		}
+		out := JoinAnd(items)
+		for _, it := range items {
+			if !strings.Contains(out, it) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPluralize(b *testing.B) {
+	words := []string{"movie", "actor", "query", "church", "person", "hero"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Pluralize(words[i%len(words)])
+	}
+}
+
+func BenchmarkJoinAnd(b *testing.B) {
+	items := []string{"Match Point (2005)", "Melinda and Melinda (2004)", "Anything Else (2003)"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		JoinAnd(items)
+	}
+}
+
+func BenchmarkSentence(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Sentence("woody allen was born in Brooklyn ,  New York, USA on December 1, 1935")
+	}
+}

@@ -1,0 +1,323 @@
+// Package nlg synthesizes sentences from instantiated template clauses. It
+// implements the three composition mechanisms the paper develops in §2.2:
+//
+//  1. Common-expression factoring: "DNAME was born in BLOCATION" and "DNAME
+//     was born on BDATE" share the prefix "DNAME was born", so the two
+//     clauses fuse into "DNAME was born in BLOCATION on BDATE".
+//
+//  2. Split-pattern merging: the clauses produced for Ri–Rj1 and Ri–Rj2 are
+//     combined into a single sentence whose subordinate clauses attach with
+//     relative pronouns — "The movie M1 involves the director D1 who was
+//     born in Italy and the actor A1 who is Greek."
+//
+//  3. Declarative vs. procedural realization: a compact single-sentence
+//     rendering when clause structure allows it, and a coalescence of
+//     simple sentences otherwise, with pronominalization of repeated
+//     subjects.
+package nlg
+
+import (
+	"strings"
+
+	"repro/internal/lexicon"
+)
+
+// EntityKind selects relative and personal pronouns for a clause subject.
+type EntityKind int
+
+// Entity kinds.
+const (
+	Thing  EntityKind = iota // which / it
+	Person                   // who / they
+)
+
+// Clause is one subject–predicate unit produced by template instantiation.
+type Clause struct {
+	// Subject is the sentence subject, usually a heading-attribute value
+	// ("Woody Allen", "Match Point").
+	Subject string
+	// Predicate is everything after the subject ("was born in Brooklyn").
+	Predicate string
+	// Kind drives pronoun choice when the clause is embedded or repeated.
+	Kind EntityKind
+}
+
+// Text renders the clause as a bare (unterminated) sentence.
+func (c Clause) Text() string {
+	if c.Subject == "" {
+		return c.Predicate
+	}
+	if c.Predicate == "" {
+		return c.Subject
+	}
+	return c.Subject + " " + c.Predicate
+}
+
+// Sentence renders the clause as a capitalized, terminated sentence.
+func (c Clause) Sentence() string { return lexicon.Sentence(c.Text()) }
+
+// RelativePronoun returns the pronoun used to embed the clause.
+func (k EntityKind) RelativePronoun() string {
+	if k == Person {
+		return "who"
+	}
+	return "which"
+}
+
+// SubjectPronoun returns the pronoun used when the subject repeats.
+func (k EntityKind) SubjectPronoun() string {
+	if k == Person {
+		return "they"
+	}
+	return "it"
+}
+
+// prepositions that may begin a factored remainder; remainders that all
+// start with one concatenate directly ("in Brooklyn on December 1"), others
+// need a conjunction.
+var prepositions = map[string]bool{
+	"in": true, "on": true, "at": true, "from": true, "to": true,
+	"with": true, "of": true, "for": true, "by": true, "since": true,
+	"near": true, "during": true, "under": true, "about": true,
+}
+
+// FactorClauses implements the paper's common-expression resolution: clauses
+// with the same subject whose predicates share a common word prefix merge
+// into one clause. Clauses with distinct subjects (or no shareable prefix)
+// pass through unchanged, preserving input order.
+func FactorClauses(clauses []Clause) []Clause {
+	if len(clauses) <= 1 {
+		return clauses
+	}
+	var out []Clause
+	used := make([]bool, len(clauses))
+	for i := 0; i < len(clauses); i++ {
+		if used[i] {
+			continue
+		}
+		group := []int{i}
+		for j := i + 1; j < len(clauses); j++ {
+			if used[j] || clauses[j].Subject != clauses[i].Subject {
+				continue
+			}
+			if len(commonPrefix(clauses[i].Predicate, clauses[j].Predicate)) > 0 {
+				group = append(group, j)
+			}
+		}
+		if len(group) == 1 {
+			out = append(out, clauses[i])
+			continue
+		}
+		// The shared prefix is the common prefix across the whole group.
+		prefix := words(clauses[group[0]].Predicate)
+		for _, j := range group[1:] {
+			prefix = commonPrefixWords(prefix, words(clauses[j].Predicate))
+		}
+		if len(prefix) == 0 {
+			out = append(out, clauses[i])
+			continue
+		}
+		var remainders []string
+		for _, j := range group {
+			used[j] = true
+			rem := strings.Join(words(clauses[j].Predicate)[len(prefix):], " ")
+			if rem != "" {
+				remainders = append(remainders, rem)
+			}
+		}
+		merged := strings.Join(prefix, " ")
+		if len(remainders) > 0 {
+			if allPrepositional(remainders) {
+				merged += " " + strings.Join(remainders, " ")
+			} else {
+				merged += " " + lexicon.JoinAnd(remainders)
+			}
+		}
+		out = append(out, Clause{Subject: clauses[i].Subject, Predicate: merged, Kind: clauses[i].Kind})
+	}
+	return out
+}
+
+func words(s string) []string { return strings.Fields(s) }
+
+func commonPrefix(a, b string) []string {
+	return commonPrefixWords(words(a), words(b))
+}
+
+func commonPrefixWords(a, b []string) []string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return a[:i]
+}
+
+func allPrepositional(rems []string) bool {
+	for _, r := range rems {
+		f := words(r)
+		if len(f) == 0 || !prepositions[strings.ToLower(f[0])] {
+			return false
+		}
+	}
+	return true
+}
+
+// EmbedRelative attaches sub as a relative clause after the first mention of
+// sub.Subject inside head: "... the director D1 and ..." + (D1, "was born in
+// Italy") → "... the director D1, who was born in Italy, and ..." without
+// the commas when the attachment point is clause-final. The paper's example
+// omits commas; we follow it.
+func EmbedRelative(head string, sub Clause) string {
+	idx := indexWord(head, sub.Subject)
+	if idx < 0 {
+		// No mention: fall back to appending a separate sentence later;
+		// signal by returning head unchanged.
+		return head
+	}
+	end := idx + len(sub.Subject)
+	return head[:end] + " " + sub.Kind.RelativePronoun() + " " + sub.Predicate + head[end:]
+}
+
+// indexWord finds needle in hay at a word boundary.
+func indexWord(hay, needle string) int {
+	if needle == "" {
+		return -1
+	}
+	from := 0
+	for {
+		i := strings.Index(hay[from:], needle)
+		if i < 0 {
+			return -1
+		}
+		i += from
+		beforeOK := i == 0 || !isWordByte(hay[i-1])
+		after := i + len(needle)
+		afterOK := after >= len(hay) || !isWordByte(hay[after])
+		if beforeOK && afterOK {
+			return i
+		}
+		from = i + 1
+	}
+}
+
+func isWordByte(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
+}
+
+// MergeSplit composes the split-pattern sentence: head introduces the
+// entities, and each subordinate clause embeds after its subject's mention.
+// Subordinates whose subject is absent from the head become trailing
+// sentences instead. The returned string is a full sentence (or several).
+func MergeSplit(head string, subs []Clause) string {
+	merged := head
+	var trailing []Clause
+	for _, sub := range subs {
+		next := EmbedRelative(merged, sub)
+		if next == merged {
+			trailing = append(trailing, sub)
+			continue
+		}
+		merged = next
+	}
+	out := lexicon.Sentence(merged)
+	for _, c := range trailing {
+		out += " " + c.Sentence()
+	}
+	return out
+}
+
+// Realization selects between the paper's two synthesis styles.
+type Realization int
+
+// Realization styles: Compact fuses clauses into declarative sentences;
+// Procedural emits one simple sentence per clause.
+const (
+	Compact Realization = iota
+	Procedural
+)
+
+// String names the realization.
+func (r Realization) String() string {
+	if r == Procedural {
+		return "procedural"
+	}
+	return "compact"
+}
+
+// ChooseRealization implements the paper's open challenge of "automatically
+// choosing between the two based on the characteristics of the database
+// part concerned" with the heuristic the paper motivates: compact synthesis
+// works while the clause group stays small and single-subject; beyond that
+// the elegant merge "may even be infeasible" and the procedural coalescence
+// takes over.
+func ChooseRealization(clauses []Clause, maxCompactClauses int) Realization {
+	if maxCompactClauses <= 0 {
+		maxCompactClauses = 4
+	}
+	if len(clauses) > maxCompactClauses {
+		return Procedural
+	}
+	subjects := map[string]bool{}
+	for _, c := range clauses {
+		subjects[c.Subject] = true
+	}
+	if len(subjects) > 2 {
+		return Procedural
+	}
+	return Compact
+}
+
+// Realize renders a clause group in the given style. Compact factors common
+// expressions first and joins what remains about the same subject with
+// "and"; Procedural emits each clause as its own sentence, pronominalizing
+// repeated subjects after their first mention.
+func Realize(clauses []Clause, style Realization) string {
+	if len(clauses) == 0 {
+		return ""
+	}
+	if style == Compact {
+		factored := FactorClauses(clauses)
+		// Join same-subject clauses: S p1 and p2.
+		var parts []string
+		i := 0
+		for i < len(factored) {
+			j := i + 1
+			preds := []string{factored[i].Predicate}
+			for j < len(factored) && factored[j].Subject == factored[i].Subject {
+				preds = append(preds, factored[j].Predicate)
+				j++
+			}
+			parts = append(parts, lexicon.Sentence(factored[i].Subject+" "+lexicon.JoinAnd(preds)))
+			i = j
+		}
+		return strings.Join(parts, " ")
+	}
+	var parts []string
+	seen := map[string]int{}
+	for _, c := range clauses {
+		subj := c.Subject
+		if n := seen[c.Subject]; n > 0 && subj != "" {
+			subj = c.Kind.SubjectPronoun()
+		}
+		seen[c.Subject]++
+		parts = append(parts, lexicon.Sentence(subj+" "+c.Predicate))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Paragraph joins pre-rendered sentences with single spaces, normalizing
+// whitespace.
+func Paragraph(sentences ...string) string {
+	var nonEmpty []string
+	for _, s := range sentences {
+		s = strings.TrimSpace(s)
+		if s != "" {
+			nonEmpty = append(nonEmpty, s)
+		}
+	}
+	return strings.Join(nonEmpty, " ")
+}

@@ -1,0 +1,342 @@
+package nlg
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestFactorBornInOn reproduces the paper's §2.2 factoring example exactly.
+func TestFactorBornInOn(t *testing.T) {
+	clauses := []Clause{
+		{Subject: "Woody Allen", Predicate: "was born in Brooklyn, New York, USA", Kind: Person},
+		{Subject: "Woody Allen", Predicate: "was born on December 1, 1935", Kind: Person},
+	}
+	out := FactorClauses(clauses)
+	if len(out) != 1 {
+		t.Fatalf("factored to %d clauses", len(out))
+	}
+	want := "Woody Allen was born in Brooklyn, New York, USA on December 1, 1935"
+	if out[0].Text() != want {
+		t.Errorf("got %q, want %q", out[0].Text(), want)
+	}
+}
+
+func TestFactorKeepsDistinctSubjects(t *testing.T) {
+	clauses := []Clause{
+		{Subject: "A", Predicate: "was born in X"},
+		{Subject: "B", Predicate: "was born in Y"},
+	}
+	out := FactorClauses(clauses)
+	if len(out) != 2 {
+		t.Fatalf("factored across subjects: %v", out)
+	}
+}
+
+func TestFactorNoCommonPrefix(t *testing.T) {
+	clauses := []Clause{
+		{Subject: "A", Predicate: "directed three movies"},
+		{Subject: "A", Predicate: "was born in X"},
+	}
+	out := FactorClauses(clauses)
+	if len(out) != 2 {
+		t.Fatalf("factored without common prefix: %v", out)
+	}
+}
+
+func TestFactorNonPrepositionalUsesAnd(t *testing.T) {
+	clauses := []Clause{
+		{Subject: "A", Predicate: "is tall"},
+		{Subject: "A", Predicate: "is Greek"},
+	}
+	out := FactorClauses(clauses)
+	if len(out) != 1 {
+		t.Fatalf("not factored: %v", out)
+	}
+	if out[0].Text() != "A is tall and Greek" {
+		t.Errorf("got %q", out[0].Text())
+	}
+}
+
+func TestFactorThreeWay(t *testing.T) {
+	clauses := []Clause{
+		{Subject: "A", Predicate: "was born in X"},
+		{Subject: "A", Predicate: "was born on Y"},
+		{Subject: "A", Predicate: "was born at Z"},
+	}
+	out := FactorClauses(clauses)
+	if len(out) != 1 || out[0].Text() != "A was born in X on Y at Z" {
+		t.Errorf("three-way factor = %v", out)
+	}
+}
+
+func TestFactorEmptyAndSingle(t *testing.T) {
+	if out := FactorClauses(nil); len(out) != 0 {
+		t.Error("nil input")
+	}
+	one := []Clause{{Subject: "A", Predicate: "x"}}
+	if out := FactorClauses(one); len(out) != 1 || out[0] != one[0] {
+		t.Error("single clause must pass through")
+	}
+}
+
+// TestMergeSplitPaperExample reproduces the §2.2 split-pattern example: the
+// vapid three-sentence narrative becomes one sentence with relative clauses.
+func TestMergeSplitPaperExample(t *testing.T) {
+	head := "the movie M1 involves the director D1 and the actor A1"
+	subs := []Clause{
+		{Subject: "D1", Predicate: "was born in Italy", Kind: Person},
+		{Subject: "A1", Predicate: "is Greek", Kind: Person},
+	}
+	got := MergeSplit(head, subs)
+	want := "The movie M1 involves the director D1 who was born in Italy and the actor A1 who is Greek."
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestMergeSplitMissingSubjectTrails(t *testing.T) {
+	head := "the movie M1 involves the director D1"
+	subs := []Clause{
+		{Subject: "D1", Predicate: "was born in Italy", Kind: Person},
+		{Subject: "ZZ", Predicate: "is unrelated", Kind: Person},
+	}
+	got := MergeSplit(head, subs)
+	if !strings.Contains(got, "who was born in Italy") {
+		t.Errorf("embed lost: %q", got)
+	}
+	if !strings.HasSuffix(got, "ZZ is unrelated.") {
+		t.Errorf("trailing clause lost: %q", got)
+	}
+}
+
+func TestEmbedRelativeWordBoundary(t *testing.T) {
+	// "D1" must not match inside "D11".
+	head := "the director D11 and the director D1"
+	got := EmbedRelative(head, Clause{Subject: "D1", Predicate: "sings", Kind: Person})
+	want := "the director D11 and the director D1 who sings"
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestEmbedRelativeThingPronoun(t *testing.T) {
+	head := "the actor A1 plays in the movie M1"
+	got := EmbedRelative(head, Clause{Subject: "M1", Predicate: "was released in 1999", Kind: Thing})
+	if !strings.Contains(got, "M1 which was released in 1999") {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestEmbedRelativeNoMention(t *testing.T) {
+	head := "nothing here"
+	if got := EmbedRelative(head, Clause{Subject: "X", Predicate: "p"}); got != head {
+		t.Errorf("changed head without mention: %q", got)
+	}
+	if got := EmbedRelative(head, Clause{Subject: "", Predicate: "p"}); got != head {
+		t.Errorf("empty subject embedded: %q", got)
+	}
+}
+
+func TestChooseRealization(t *testing.T) {
+	small := []Clause{
+		{Subject: "A", Predicate: "x"},
+		{Subject: "A", Predicate: "y"},
+	}
+	if ChooseRealization(small, 4) != Compact {
+		t.Error("small group should be compact")
+	}
+	big := make([]Clause, 6)
+	for i := range big {
+		big[i] = Clause{Subject: "A", Predicate: "x"}
+	}
+	if ChooseRealization(big, 4) != Procedural {
+		t.Error("large group should be procedural")
+	}
+	manySubjects := []Clause{
+		{Subject: "A", Predicate: "x"},
+		{Subject: "B", Predicate: "y"},
+		{Subject: "C", Predicate: "z"},
+	}
+	if ChooseRealization(manySubjects, 4) != Procedural {
+		t.Error("many subjects should be procedural")
+	}
+	if ChooseRealization(small, 0) != Compact {
+		t.Error("default max should apply")
+	}
+}
+
+func TestRealizeCompact(t *testing.T) {
+	clauses := []Clause{
+		{Subject: "Woody Allen", Predicate: "was born in Brooklyn", Kind: Person},
+		{Subject: "Woody Allen", Predicate: "was born on December 1, 1935", Kind: Person},
+	}
+	got := Realize(clauses, Compact)
+	want := "Woody Allen was born in Brooklyn on December 1, 1935."
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestRealizeCompactJoinsWithAnd(t *testing.T) {
+	clauses := []Clause{
+		{Subject: "Match Point", Predicate: "was released in 2005", Kind: Thing},
+		{Subject: "Match Point", Predicate: "belongs to the drama genre", Kind: Thing},
+	}
+	got := Realize(clauses, Compact)
+	want := "Match Point was released in 2005 and belongs to the drama genre."
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestRealizeProceduralPronominalizes(t *testing.T) {
+	clauses := []Clause{
+		{Subject: "Woody Allen", Predicate: "was born in Brooklyn", Kind: Person},
+		{Subject: "Woody Allen", Predicate: "directed three movies", Kind: Person},
+		{Subject: "Match Point", Predicate: "was released in 2005", Kind: Thing},
+		{Subject: "Match Point", Predicate: "is a drama", Kind: Thing},
+	}
+	got := Realize(clauses, Procedural)
+	want := "Woody Allen was born in Brooklyn. They directed three movies. " +
+		"Match Point was released in 2005. It is a drama."
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestRealizeEmpty(t *testing.T) {
+	if Realize(nil, Compact) != "" || Realize(nil, Procedural) != "" {
+		t.Error("empty input should render empty")
+	}
+}
+
+func TestClauseText(t *testing.T) {
+	if (Clause{Subject: "A", Predicate: "b"}).Text() != "A b" {
+		t.Error("Text")
+	}
+	if (Clause{Predicate: "only predicate"}).Text() != "only predicate" {
+		t.Error("no subject")
+	}
+	if (Clause{Subject: "only subject"}).Text() != "only subject" {
+		t.Error("no predicate")
+	}
+	if (Clause{Subject: "a", Predicate: "b"}).Sentence() != "A b." {
+		t.Error("Sentence")
+	}
+}
+
+func TestPronouns(t *testing.T) {
+	if Person.RelativePronoun() != "who" || Thing.RelativePronoun() != "which" {
+		t.Error("relative pronouns")
+	}
+	if Person.SubjectPronoun() != "they" || Thing.SubjectPronoun() != "it" {
+		t.Error("subject pronouns")
+	}
+}
+
+func TestParagraph(t *testing.T) {
+	got := Paragraph("One.", "", "  Two.  ", "Three.")
+	if got != "One. Two. Three." {
+		t.Errorf("Paragraph = %q", got)
+	}
+}
+
+func TestRealizationString(t *testing.T) {
+	if Compact.String() != "compact" || Procedural.String() != "procedural" {
+		t.Error("Realization names")
+	}
+}
+
+// Property: factoring is idempotent.
+func TestFactorIdempotentProperty(t *testing.T) {
+	preds := []string{"was born in X", "was born on Y", "is tall", "directed Z", "was born at W"}
+	f := func(idxs []uint8) bool {
+		var clauses []Clause
+		for i, ix := range idxs {
+			clauses = append(clauses, Clause{
+				Subject:   "S" + string(rune('A'+i%2)),
+				Predicate: preds[int(ix)%len(preds)],
+			})
+		}
+		once := FactorClauses(clauses)
+		twice := FactorClauses(once)
+		if len(once) != len(twice) {
+			return false
+		}
+		for i := range once {
+			if once[i] != twice[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: factoring never loses content words — every word of every input
+// predicate appears in the output.
+func TestFactorPreservesWordsProperty(t *testing.T) {
+	preds := []string{"was born in X", "was born on Y", "was born at Z"}
+	f := func(n uint8) bool {
+		count := int(n%3) + 1
+		var clauses []Clause
+		for i := 0; i < count; i++ {
+			clauses = append(clauses, Clause{Subject: "S", Predicate: preds[i]})
+		}
+		out := FactorClauses(clauses)
+		all := ""
+		for _, c := range out {
+			all += " " + c.Predicate
+		}
+		for _, c := range clauses {
+			for _, w := range strings.Fields(c.Predicate) {
+				if !strings.Contains(all, w) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkFactorClauses(b *testing.B) {
+	clauses := []Clause{
+		{Subject: "Woody Allen", Predicate: "was born in Brooklyn, New York, USA"},
+		{Subject: "Woody Allen", Predicate: "was born on December 1, 1935"},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FactorClauses(clauses)
+	}
+}
+
+// BenchmarkNoFactoring is the ablation baseline: rendering the clauses as
+// separate sentences without the common-expression merge.
+func BenchmarkNoFactoring(b *testing.B) {
+	clauses := []Clause{
+		{Subject: "Woody Allen", Predicate: "was born in Brooklyn, New York, USA"},
+		{Subject: "Woody Allen", Predicate: "was born on December 1, 1935"},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Realize(clauses, Procedural)
+	}
+}
+
+func BenchmarkMergeSplit(b *testing.B) {
+	head := "the movie M1 involves the director D1 and the actor A1"
+	subs := []Clause{
+		{Subject: "D1", Predicate: "was born in Italy", Kind: Person},
+		{Subject: "A1", Predicate: "is Greek", Kind: Person},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MergeSplit(head, subs)
+	}
+}

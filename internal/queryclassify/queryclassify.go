@@ -1,0 +1,213 @@
+// Package queryclassify sorts queries into the paper's §3.3 difficulty
+// categories, which select the translation strategy:
+//
+//	Path       — SPJ, one tuple variable per relation, join graph is a path
+//	             on the schema graph (Q1).
+//	Subgraph   — SPJ, one tuple variable per relation, join graph is a
+//	             connected acyclic subgraph (Q2).
+//	Graph      — SPJ with multiple instances of a relation or cycles /
+//	             non-FK joins (Q3, Q4).
+//	NonGraph   — nested (Q5, Q6) or aggregate (Q7) queries that cannot be
+//	             drawn on the schema graph.
+//	Impossible — semantics not derivable from the query graph; requires
+//	             higher-order idiom recognition (Q8: count(distinct)=1,
+//	             Q9: <= ALL as "earliest").
+package queryclassify
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/querygraph"
+	"repro/internal/sqlparser"
+)
+
+// Category is the top-level difficulty class.
+type Category int
+
+// Categories in increasing order of translation difficulty.
+const (
+	Path Category = iota
+	Subgraph
+	Graph
+	NonGraph
+	Impossible
+)
+
+// String names the category as the paper does.
+func (c Category) String() string {
+	switch c {
+	case Path:
+		return "path"
+	case Subgraph:
+		return "subgraph"
+	case Graph:
+		return "graph"
+	case NonGraph:
+		return "non-graph"
+	case Impossible:
+		return "impossible"
+	default:
+		return fmt.Sprintf("category(%d)", int(c))
+	}
+}
+
+// Subtype refines Graph and NonGraph categories.
+type Subtype int
+
+// Subtypes.
+const (
+	None Subtype = iota
+	MultiInstance
+	Cyclic
+	Nested
+	Aggregate
+	SameValueIdiom // Q8: count(distinct x) = 1
+	ExtremeIdiom   // Q9: <= ALL / >= ALL
+)
+
+// String names the subtype.
+func (s Subtype) String() string {
+	switch s {
+	case MultiInstance:
+		return "multi-instance"
+	case Cyclic:
+		return "cyclic"
+	case Nested:
+		return "nested"
+	case Aggregate:
+		return "aggregate"
+	case SameValueIdiom:
+		return "same-value idiom"
+	case ExtremeIdiom:
+		return "extreme idiom"
+	default:
+		return "none"
+	}
+}
+
+// Result is a classification with its structural evidence.
+type Result struct {
+	Category Category
+	Subtype  Subtype
+	// Evidence lists the structural facts the decision rests on, in
+	// human-readable form (they surface in CLI output and EXPERIMENTS.md).
+	Evidence []string
+}
+
+// Classify categorizes a query from its query graph.
+func Classify(g *querygraph.Graph) Result {
+	var ev []string
+	add := func(format string, args ...any) {
+		ev = append(ev, fmt.Sprintf(format, args...))
+	}
+
+	// Impossible idioms dominate every other signal (§3.3.5): their
+	// surface syntax looks like ordinary aggregates/quantifiers, but the
+	// intended meaning is a higher-order property.
+	if idiom, detail := impossibleIdiom(g.Stmt); idiom != None {
+		add("%s", detail)
+		return Result{Category: Impossible, Subtype: idiom, Evidence: ev}
+	}
+
+	grouping := g.HasGrouping()
+	nested := len(g.Nested) > 0 || anyNestedExpr(g.Stmt)
+
+	if grouping {
+		add("query groups or aggregates")
+		return Result{Category: NonGraph, Subtype: Aggregate, Evidence: ev}
+	}
+	if nested {
+		add("query contains %d nested block(s)", len(g.Nested))
+		return Result{Category: NonGraph, Subtype: Nested, Evidence: ev}
+	}
+
+	multi := g.MultiInstanceRelations()
+	if len(multi) > 0 {
+		add("relations with multiple tuple variables: %s", strings.Join(multi, ", "))
+		return Result{Category: Graph, Subtype: MultiInstance, Evidence: ev}
+	}
+	if g.HasCycle() {
+		add("join graph contains a cycle")
+		return Result{Category: Graph, Subtype: Cyclic, Evidence: ev}
+	}
+	if !g.AllJoinsFK() {
+		add("join graph contains non-foreign-key join predicates")
+		return Result{Category: Graph, Subtype: None, Evidence: ev}
+	}
+	if g.IsPath() {
+		add("join graph is a simple path over %d relation(s)", len(g.Boxes))
+		return Result{Category: Path, Subtype: None, Evidence: ev}
+	}
+	if g.IsConnectedAcyclic() {
+		add("join graph is a connected acyclic subgraph of the schema graph")
+		return Result{Category: Subgraph, Subtype: None, Evidence: ev}
+	}
+	// Disconnected SPJ (cartesian products) still fits the graph category.
+	add("join graph is disconnected (cartesian product present)")
+	return Result{Category: Graph, Subtype: None, Evidence: ev}
+}
+
+// impossibleIdiom detects the paper's §3.3.5 patterns.
+func impossibleIdiom(sel *sqlparser.SelectStmt) (Subtype, string) {
+	// Q8: HAVING count(distinct X) = 1 — "all in the same X".
+	for _, c := range sqlparser.Conjuncts(sel.Having) {
+		b, ok := c.(*sqlparser.BinaryExpr)
+		if !ok || b.Op != sqlparser.OpEq {
+			continue
+		}
+		agg, lit := splitAggLiteral(b)
+		if agg != nil && lit != nil && agg.Func == sqlparser.AggCount && agg.Distinct &&
+			lit.Value.Kind() != 0 && lit.Value.String() == "1" {
+			return SameValueIdiom, fmt.Sprintf(
+				"HAVING COUNT(DISTINCT %s) = 1 asserts all rows share one %s",
+				agg.Arg.SQL(), agg.Arg.SQL())
+		}
+	}
+	// Q9: col <= ALL (...) / >= ALL (...) — earliest / latest.
+	found := Subtype(None)
+	detail := ""
+	scan := func(e sqlparser.Expr) {
+		sqlparser.WalkExpr(e, func(x sqlparser.Expr) bool {
+			if q, ok := x.(*sqlparser.QuantifiedExpr); ok && q.All {
+				switch q.Op {
+				case sqlparser.OpLe, sqlparser.OpLt:
+					found = ExtremeIdiom
+					detail = fmt.Sprintf("%s %s ALL selects the minimum (earliest) %s",
+						q.Subject.SQL(), q.Op, q.Subject.SQL())
+				case sqlparser.OpGe, sqlparser.OpGt:
+					found = ExtremeIdiom
+					detail = fmt.Sprintf("%s %s ALL selects the maximum (latest) %s",
+						q.Subject.SQL(), q.Op, q.Subject.SQL())
+				}
+			}
+			return true
+		})
+	}
+	scan(sel.Where)
+	scan(sel.Having)
+	if found != None {
+		return found, detail
+	}
+	return None, ""
+}
+
+func splitAggLiteral(b *sqlparser.BinaryExpr) (*sqlparser.AggregateExpr, *sqlparser.Literal) {
+	if a, ok := b.Left.(*sqlparser.AggregateExpr); ok {
+		if l, ok := b.Right.(*sqlparser.Literal); ok {
+			return a, l
+		}
+	}
+	if a, ok := b.Right.(*sqlparser.AggregateExpr); ok {
+		if l, ok := b.Left.(*sqlparser.Literal); ok {
+			return a, l
+		}
+	}
+	return nil, nil
+}
+
+// anyNestedExpr reports subqueries anywhere in WHERE/HAVING, as a safety net
+// when the graph's nested blocks are empty (e.g. subquery inside OR).
+func anyNestedExpr(sel *sqlparser.SelectStmt) bool {
+	return len(sqlparser.Subqueries(sel.Where)) > 0 || len(sqlparser.Subqueries(sel.Having)) > 0
+}

@@ -1,0 +1,203 @@
+package queryclassify
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/querygraph"
+	"repro/internal/sqlparser"
+)
+
+func classify(t *testing.T, label string) Result {
+	t.Helper()
+	sel, err := sqlparser.ParseSelect(sqlparser.PaperQueries[label])
+	if err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	schema := dataset.MovieSchema()
+	if label == "Q0" {
+		schema = dataset.EmpDeptSchema()
+	}
+	g, err := querygraph.Build(sel, schema)
+	if err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	return Classify(g)
+}
+
+// TestPaperCategorization reproduces the paper's §3.3 query categorization
+// table — the X1 experiment of EXPERIMENTS.md.
+func TestPaperCategorization(t *testing.T) {
+	want := map[string]struct {
+		cat Category
+		sub Subtype
+	}{
+		"Q0": {Graph, MultiInstance},       // EMP twice, comparative self-join
+		"Q1": {Path, None},                 // §3.3.1
+		"Q2": {Subgraph, None},             // §3.3.2
+		"Q3": {Graph, MultiInstance},       // §3.3.3
+		"Q4": {Graph, Cyclic},              // §3.3.3
+		"Q5": {NonGraph, Nested},           // §3.3.4
+		"Q6": {NonGraph, Nested},           // §3.3.4
+		"Q7": {NonGraph, Aggregate},        // §3.3.4
+		"Q8": {Impossible, SameValueIdiom}, // §3.3.5
+		"Q9": {Impossible, ExtremeIdiom},   // §3.3.5
+	}
+	for label, exp := range want {
+		got := classify(t, label)
+		if got.Category != exp.cat || got.Subtype != exp.sub {
+			t.Errorf("%s: classified %s/%s, want %s/%s (evidence: %v)",
+				label, got.Category, got.Subtype, exp.cat, exp.sub, got.Evidence)
+		}
+		if len(got.Evidence) == 0 {
+			t.Errorf("%s: no evidence", label)
+		}
+	}
+}
+
+func TestSingleRelationIsPath(t *testing.T) {
+	sel, _ := sqlparser.ParseSelect("select m.title from MOVIES m where m.year = 2005")
+	g, err := querygraph.Build(sel, dataset.MovieSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Classify(g)
+	if r.Category != Path {
+		t.Errorf("single relation = %s", r.Category)
+	}
+}
+
+func TestCartesianProductIsGraph(t *testing.T) {
+	sel, _ := sqlparser.ParseSelect("select m.title, d.name from MOVIES m, DIRECTOR d")
+	g, err := querygraph.Build(sel, dataset.MovieSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Classify(g)
+	if r.Category != Graph {
+		t.Errorf("cartesian = %s", r.Category)
+	}
+	if !strings.Contains(strings.Join(r.Evidence, " "), "disconnected") {
+		t.Errorf("evidence = %v", r.Evidence)
+	}
+}
+
+func TestNonFKEquiJoinIsGraph(t *testing.T) {
+	// Joining DIRECTOR.name to ACTOR.name is an equi-join with no FK.
+	sel, _ := sqlparser.ParseSelect("select d.name from DIRECTOR d, ACTOR a where d.name = a.name")
+	g, err := querygraph.Build(sel, dataset.MovieSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Classify(g)
+	if r.Category != Graph {
+		t.Errorf("non-FK equi-join = %s", r.Category)
+	}
+}
+
+func TestGroupByWithoutHavingIsAggregate(t *testing.T) {
+	sel, _ := sqlparser.ParseSelect("select g.genre, count(*) from GENRE g group by g.genre")
+	g, err := querygraph.Build(sel, dataset.MovieSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Classify(g)
+	if r.Category != NonGraph || r.Subtype != Aggregate {
+		t.Errorf("grouped = %s/%s", r.Category, r.Subtype)
+	}
+}
+
+func TestBareAggregateIsAggregate(t *testing.T) {
+	sel, _ := sqlparser.ParseSelect("select count(*) from MOVIES m")
+	g, err := querygraph.Build(sel, dataset.MovieSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := Classify(g); r.Category != NonGraph || r.Subtype != Aggregate {
+		t.Errorf("count(*) = %s/%s", r.Category, r.Subtype)
+	}
+}
+
+func TestGreaterEqualAllIsLatestIdiom(t *testing.T) {
+	sel, _ := sqlparser.ParseSelect(`select m.title from MOVIES m
+		where m.year >= all (select m2.year from MOVIES m2)`)
+	g, err := querygraph.Build(sel, dataset.MovieSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Classify(g)
+	if r.Category != Impossible || r.Subtype != ExtremeIdiom {
+		t.Errorf("latest = %s/%s", r.Category, r.Subtype)
+	}
+	if !strings.Contains(strings.Join(r.Evidence, " "), "latest") {
+		t.Errorf("evidence = %v", r.Evidence)
+	}
+}
+
+func TestCountDistinctOtherLiteralNotIdiom(t *testing.T) {
+	// count(distinct x) = 2 is an ordinary aggregate, not the same-value
+	// idiom.
+	sel, _ := sqlparser.ParseSelect(`select a.id from CAST c, ACTOR a
+		where c.aid = a.id group by a.id having count(distinct c.mid) = 2`)
+	g, err := querygraph.Build(sel, dataset.MovieSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := Classify(g); r.Category != NonGraph || r.Subtype != Aggregate {
+		t.Errorf("count=2 = %s/%s", r.Category, r.Subtype)
+	}
+}
+
+func TestEqAnyIsNotExtremeIdiom(t *testing.T) {
+	sel, _ := sqlparser.ParseSelect(`select m.title from MOVIES m
+		where m.year = any (select m2.year from MOVIES m2)`)
+	g, err := querygraph.Build(sel, dataset.MovieSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := Classify(g); r.Category == Impossible {
+		t.Errorf("= ANY misclassified as impossible")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if Path.String() != "path" || Impossible.String() != "impossible" {
+		t.Error("Category names")
+	}
+	if MultiInstance.String() != "multi-instance" || ExtremeIdiom.String() != "extreme idiom" {
+		t.Error("Subtype names")
+	}
+	if None.String() != "none" {
+		t.Error("None name")
+	}
+	if !strings.Contains(Category(99).String(), "99") {
+		t.Error("unknown category")
+	}
+}
+
+func BenchmarkClassifyCorpus(b *testing.B) {
+	schema := dataset.MovieSchema()
+	emp := dataset.EmpDeptSchema()
+	var graphs []*querygraph.Graph
+	for _, label := range sqlparser.PaperQueryOrder {
+		sel, err := sqlparser.ParseSelect(sqlparser.PaperQueries[label])
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := schema
+		if label == "Q0" {
+			s = emp
+		}
+		g, err := querygraph.Build(sel, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		graphs = append(graphs, g)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Classify(graphs[i%len(graphs)])
+	}
+}

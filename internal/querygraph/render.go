@@ -1,0 +1,148 @@
+package querygraph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ASCII renders the query graph as the paper's Fig. 3–7 boxes: one
+// parameterized class per tuple variable with its compartments, the join
+// edges, and nested blocks indented below their parent.
+func (g *Graph) ASCII() string {
+	var b strings.Builder
+	g.ascii(&b, "")
+	return b.String()
+}
+
+func (g *Graph) ascii(b *strings.Builder, indent string) {
+	for _, box := range g.Boxes {
+		writeBox(b, indent, box)
+	}
+	for _, j := range g.Joins {
+		kind := "non-FK"
+		if j.FK {
+			kind = "FK"
+		}
+		fmt.Fprintf(b, "%s%s --[%s]-- %s   (%s)\n", indent, j.From, j.Cond, j.To, kind)
+	}
+	for _, n := range g.Nested {
+		clause := "WHERE"
+		if n.FromHaving {
+			clause = "HAVING"
+		}
+		fmt.Fprintf(b, "%s%s: attached under %s via %s\n", indent, n.Label, clause, n.Link)
+		for _, c := range n.Correlations {
+			fmt.Fprintf(b, "%s  correlation: %s\n", indent, c)
+		}
+		n.Graph.ascii(b, indent+"    ")
+	}
+}
+
+func writeBox(b *strings.Builder, indent string, box *Box) {
+	lines := []string{
+		fmt.Sprintf("<<alias>> %s", box.Alias),
+		fmt.Sprintf("<<FROM>> %s", box.Relation),
+	}
+	section := func(tag string, items []string) {
+		if len(items) == 0 {
+			return
+		}
+		lines = append(lines, fmt.Sprintf("<<%s>>", tag))
+		for _, it := range items {
+			lines = append(lines, "  "+it)
+		}
+	}
+	section("SELECT", box.Select)
+	section("WHERE", box.Where)
+	section("HAVING", box.Having)
+	section("GROUP BY", box.GroupBy)
+	section("ORDER BY", box.OrderBy)
+
+	width := 0
+	for _, l := range lines {
+		if len(l) > width {
+			width = len(l)
+		}
+	}
+	border := indent + "+" + strings.Repeat("-", width+2) + "+\n"
+	b.WriteString(border)
+	for _, l := range lines {
+		fmt.Fprintf(b, "%s| %-*s |\n", indent, width, l)
+	}
+	b.WriteString(border)
+}
+
+// DOT renders the query graph in Graphviz format with record-shaped nodes
+// per tuple variable and labeled join edges; nested blocks render as
+// clusters.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph query {\n  rankdir=LR;\n  node [shape=record, fontname=\"Helvetica\"];\n")
+	g.dotBody(&b, "", "")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func (g *Graph) dotBody(b *strings.Builder, prefix, indent string) {
+	if indent == "" {
+		indent = "  "
+	}
+	id := func(alias string) string { return dotID(prefix + alias) }
+	for _, box := range g.Boxes {
+		var parts []string
+		parts = append(parts, fmt.Sprintf("\\<\\<FROM\\>\\> %s (%s)", box.Relation, box.Alias))
+		section := func(tag string, items []string) {
+			if len(items) == 0 {
+				return
+			}
+			esc := make([]string, len(items))
+			for i, it := range items {
+				esc[i] = dotEscape(it)
+			}
+			parts = append(parts, fmt.Sprintf("\\<\\<%s\\>\\> %s", tag, strings.Join(esc, "\\l")))
+		}
+		section("SELECT", box.Select)
+		section("WHERE", box.Where)
+		section("HAVING", box.Having)
+		section("GROUP BY", box.GroupBy)
+		section("ORDER BY", box.OrderBy)
+		fmt.Fprintf(b, "%s%s [label=\"{%s}\"];\n", indent, id(box.Alias), strings.Join(parts, "|"))
+	}
+	for _, j := range g.Joins {
+		style := ""
+		if !j.FK {
+			style = ", style=dashed"
+		}
+		fmt.Fprintf(b, "%s%s -> %s [label=\"%s\", dir=none%s];\n",
+			indent, id(j.From), id(j.To), dotEscape(j.Cond), style)
+	}
+	for _, n := range g.Nested {
+		fmt.Fprintf(b, "%ssubgraph cluster_%s {\n%s  label=\"%s: %s\";\n",
+			indent, dotID(prefix+n.Label), indent, n.Label, dotEscape(n.Link))
+		n.Graph.dotBody(b, prefix+n.Label+"_", indent+"  ")
+		fmt.Fprintf(b, "%s}\n", indent)
+		// Attachment edge from the parent's first box to the nested block's
+		// first box, when both exist.
+		if len(g.Boxes) > 0 && len(n.Graph.Boxes) > 0 {
+			fmt.Fprintf(b, "%s%s -> %s [label=\"%s\", style=dotted];\n",
+				indent, id(g.Boxes[0].Alias), dotID(prefix+n.Label+"_"+n.Graph.Boxes[0].Alias), dotEscape(n.Conn.String()))
+		}
+	}
+}
+
+func dotID(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if r == '_' || ('a' <= r && r <= 'z') || ('A' <= r && r <= 'Z') || ('0' <= r && r <= '9') {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return "n_" + b.String()
+}
+
+func dotEscape(s string) string {
+	r := strings.NewReplacer(`"`, `\"`, "<", "\\<", ">", "\\>", "|", "\\|", "{", "\\{", "}", "\\}")
+	return r.Replace(s)
+}

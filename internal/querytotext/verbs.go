@@ -1,0 +1,107 @@
+// Package querytotext translates SQL queries into natural-language
+// narratives (paper §3): path and subgraph queries translate by annotated
+// traversal of the query graph; graph queries (multi-instance, cyclic) use
+// non-local template labels over larger query parts; non-graph queries
+// first try equivalence rewrites (IN-unnesting, division detection) and
+// fall back to a procedural rendering; "impossible" queries translate
+// through higher-order idiom recognition (same-value, extreme).
+package querytotext
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Verb is a non-local template label (§3.3.3: "whole parts of the query
+// graph be translated into individual phrases ... assigning them to larger
+// schema/query parts"): it tells the translator how a relationship between
+// two relations reads in English.
+type Verb struct {
+	// From and To name the related relations (From modifies To).
+	From, To string
+	// Where renders a restrictive clause on To from a named From entity:
+	// "where %s plays" → "movies where Brad Pitt plays".
+	Where string
+	// By renders a passive participle phrase: "directed by %s".
+	By string
+	// Participle is the past participle for pair idioms: "played in".
+	Participle string
+	// Adjective marks relations whose heading value modifies To directly:
+	// GENRE 'action' → "action movies".
+	Adjective bool
+	// CompareMore / CompareLess phrase attribute comparisons for the
+	// comparative idiom keyed by attribute (see ComparativeVerb).
+	CompareMore, CompareLess string
+	// Attr restricts CompareMore/CompareLess to one attribute ("sal").
+	Attr string
+}
+
+// key normalizes a relation pair.
+func verbKey(from, to string) string {
+	return strings.ToUpper(from) + "->" + strings.ToUpper(to)
+}
+
+// VerbSet indexes verbs by relation pair.
+type VerbSet struct {
+	byPair map[string]Verb
+}
+
+// NewVerbSet builds an index over the given verbs.
+func NewVerbSet(verbs ...Verb) *VerbSet {
+	vs := &VerbSet{byPair: make(map[string]Verb, len(verbs))}
+	for _, v := range verbs {
+		vs.byPair[verbKey(v.From, v.To)] = v
+	}
+	return vs
+}
+
+// Lookup returns the verb for a relation pair.
+func (vs *VerbSet) Lookup(from, to string) (Verb, bool) {
+	if vs == nil {
+		return Verb{}, false
+	}
+	v, ok := vs.byPair[verbKey(from, to)]
+	return v, ok
+}
+
+// ComparativeVerb returns the phrase for "X.attr > Y.attr" relations, e.g.
+// EMP.sal → "make more than". Falls back to a generic comparison phrase
+// built from the attribute gloss.
+func (vs *VerbSet) ComparativeVerb(rel, attr, gloss string, greater bool) string {
+	if vs != nil {
+		for _, v := range vs.byPair {
+			if strings.EqualFold(v.From, rel) && strings.EqualFold(v.Attr, attr) {
+				if greater && v.CompareMore != "" {
+					return v.CompareMore
+				}
+				if !greater && v.CompareLess != "" {
+					return v.CompareLess
+				}
+			}
+		}
+	}
+	if greater {
+		return fmt.Sprintf("have a higher %s than", gloss)
+	}
+	return fmt.Sprintf("have a lower %s than", gloss)
+}
+
+// MovieVerbs is the verb annotation set for the Fig. 1 movie schema,
+// reproducing the paper's phrasings.
+func MovieVerbs() *VerbSet {
+	return NewVerbSet(
+		Verb{From: "ACTOR", To: "MOVIES", Where: "where %s plays", Participle: "played in"},
+		Verb{From: "DIRECTOR", To: "MOVIES", By: "directed by %s", Participle: "directed"},
+		Verb{From: "GENRE", To: "MOVIES", Adjective: true},
+		Verb{From: "CAST", To: "MOVIES", Where: "where %s appears", Participle: "appeared in"},
+	)
+}
+
+// EmpVerbs is the verb annotation set for the EMP/DEPT schema.
+func EmpVerbs() *VerbSet {
+	return NewVerbSet(
+		Verb{From: "EMP", To: "EMP", Attr: "sal", CompareMore: "make more than", CompareLess: "make less than"},
+		Verb{From: "EMP", To: "DEPT", Where: "where %s works", Participle: "worked in"},
+		Verb{From: "DEPT", To: "EMP", By: "managed by %s"},
+	)
+}

@@ -1,0 +1,321 @@
+package rewrite
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/querygraph"
+	"repro/internal/sqlparser"
+)
+
+func parse(t *testing.T, src string) *sqlparser.SelectStmt {
+	t.Helper()
+	sel, err := sqlparser.ParseSelect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sel
+}
+
+// TestUnnestQ5ProducesQ1Shape reproduces the paper's claim that Q5 "has a
+// flat equivalent described in query Q1".
+func TestUnnestQ5ProducesQ1Shape(t *testing.T) {
+	sel := parse(t, sqlparser.PaperQueries["Q5"])
+	res := UnnestIn(sel)
+	if res.Unnested != 2 {
+		t.Fatalf("unnested = %d", res.Unnested)
+	}
+	flat := res.Stmt
+	if len(flat.From) != 3 {
+		t.Fatalf("flat FROM = %d: %s", len(flat.From), flat.SQL())
+	}
+	conj := sqlparser.Conjuncts(flat.Where)
+	if len(conj) != 3 {
+		t.Fatalf("flat conjuncts = %d: %s", len(conj), flat.SQL())
+	}
+	// No IN remains.
+	if strings.Contains(flat.SQL(), " IN ") {
+		t.Errorf("IN survives: %s", flat.SQL())
+	}
+	// The flat query must classify as a path on the movie schema.
+	g, err := querygraph.Build(flat, dataset.MovieSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsPath() || !g.AllJoinsFK() {
+		t.Errorf("flat Q5 is not an FK path:\n%s", g.ASCII())
+	}
+}
+
+// TestUnnestPreservesAnswers checks semantic equivalence on the curated
+// database: Q5 flat and nested return identical rows.
+func TestUnnestPreservesAnswers(t *testing.T) {
+	db, err := dataset.CuratedMovieDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := engine.New(db)
+	orig := parse(t, sqlparser.PaperQueries["Q5"])
+	flat := UnnestIn(orig).Stmt
+	r1, err := ex.Select(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ex.Select(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := func(res *engine.Result) []string {
+		out := make([]string, len(res.Rows))
+		for i, r := range res.Rows {
+			out[i] = r[0].String()
+		}
+		sort.Strings(out)
+		return out
+	}
+	k1, k2 := key(r1), key(r2)
+	if len(k1) != len(k2) {
+		t.Fatalf("row counts differ: %v vs %v", k1, k2)
+	}
+	for i := range k1 {
+		if k1[i] != k2[i] {
+			t.Fatalf("answers differ: %v vs %v", k1, k2)
+		}
+	}
+}
+
+func TestUnnestAliasCollision(t *testing.T) {
+	sel := parse(t, `select m.title from MOVIES m
+		where m.id in (select c.mid from CAST c where c.aid in
+			(select c.aid from CAST c where c.role = 'Neo'))`)
+	res := UnnestIn(sel)
+	if res.Unnested != 2 {
+		t.Fatalf("unnested = %d: %s", res.Unnested, res.Stmt.SQL())
+	}
+	// Two CAST instances must have distinct aliases.
+	names := map[string]bool{}
+	for _, f := range res.Stmt.From {
+		if names[strings.ToLower(f.Name())] {
+			t.Fatalf("alias collision in %s", res.Stmt.SQL())
+		}
+		names[strings.ToLower(f.Name())] = true
+	}
+	if len(res.Renamed) == 0 {
+		t.Error("no rename recorded")
+	}
+}
+
+func TestUnnestLeavesNegatedAndAggregated(t *testing.T) {
+	cases := []string{
+		"select m.title from MOVIES m where m.id not in (select g.mid from GENRE g)",
+		"select m.title from MOVIES m where m.year in (select max(m2.year) from MOVIES m2)",
+		"select m.title from MOVIES m where m.id in (select distinct g.mid from GENRE g)",
+		"select m.title from MOVIES m where m.id in (select g.mid from GENRE g group by g.mid)",
+		"select m.title from MOVIES m where m.id in (select g.mid from GENRE g where not exists (select * from CAST c))",
+	}
+	for _, src := range cases {
+		res := UnnestIn(parse(t, src))
+		if res.Unnested != 0 {
+			t.Errorf("unnested blocked case: %s", src)
+		}
+	}
+}
+
+func TestUnnestDoesNotMutateInput(t *testing.T) {
+	sel := parse(t, sqlparser.PaperQueries["Q5"])
+	before := sel.SQL()
+	_ = UnnestIn(sel)
+	if sel.SQL() != before {
+		t.Error("UnnestIn mutated its input")
+	}
+}
+
+// TestDetectDivisionQ6 recognizes the paper's division query.
+func TestDetectDivisionQ6(t *testing.T) {
+	sel := parse(t, sqlparser.PaperQueries["Q6"])
+	d, ok := DetectDivision(sel)
+	if !ok {
+		t.Fatal("Q6 division not detected")
+	}
+	if d.OuterRelation != "MOVIES" || d.DivisorRelation != "GENRE" {
+		t.Errorf("division = %+v", d)
+	}
+	if !strings.EqualFold(d.SharedAttr, "genre") {
+		t.Errorf("shared attr = %q", d.SharedAttr)
+	}
+	if !strings.Contains(d.LinkCond, "m.id") {
+		t.Errorf("link = %q", d.LinkCond)
+	}
+}
+
+func TestDetectDivisionNegatives(t *testing.T) {
+	cases := []string{
+		sqlparser.PaperQueries["Q1"],
+		// Single NOT EXISTS is not division.
+		"select m.title from MOVIES m where not exists (select * from GENRE g where g.mid = m.id)",
+		// Inner EXISTS not negated.
+		`select m.title from MOVIES m where not exists (
+			select * from GENRE g1 where exists (
+				select * from GENRE g2 where g2.mid = m.id and g2.genre = g1.genre))`,
+		// Witness relation differs from divisor.
+		`select m.title from MOVIES m where not exists (
+			select * from GENRE g1 where not exists (
+				select * from CAST c where c.mid = m.id))`,
+	}
+	for _, src := range cases {
+		if _, ok := DetectDivision(parse(t, src)); ok {
+			t.Errorf("false division: %s", src)
+		}
+	}
+}
+
+// TestDetectSameValueQ8 recognizes count(distinct year) = 1.
+func TestDetectSameValueQ8(t *testing.T) {
+	sv, ok := DetectSameValue(parse(t, sqlparser.PaperQueries["Q8"]))
+	if !ok {
+		t.Fatal("Q8 idiom not detected")
+	}
+	if sv.Attr.Column != "year" || sv.Attr.Table != "m" {
+		t.Errorf("attr = %+v", sv.Attr)
+	}
+	if len(sv.GroupBy) != 2 {
+		t.Errorf("group by = %v", sv.GroupBy)
+	}
+	// Reversed literal side.
+	sv2, ok := DetectSameValue(parse(t, `select a.id from CAST c, ACTOR a
+		where c.aid = a.id group by a.id having 1 = count(distinct c.mid)`))
+	if !ok || sv2.Attr.Column != "mid" {
+		t.Errorf("reversed form: %v %v", sv2, ok)
+	}
+	// Negative: = 2, or non-distinct.
+	if _, ok := DetectSameValue(parse(t, `select a.id from CAST c group by a.id having count(distinct c.mid) = 2`)); ok {
+		t.Error("count=2 detected")
+	}
+	if _, ok := DetectSameValue(parse(t, `select a.id from CAST c group by a.id having count(c.mid) = 1`)); ok {
+		t.Error("non-distinct detected")
+	}
+}
+
+// TestDetectExtremeQ9 recognizes <= ALL with the repeated-entity subquery.
+func TestDetectExtremeQ9(t *testing.T) {
+	e, ok := DetectExtreme(parse(t, sqlparser.PaperQueries["Q9"]))
+	if !ok {
+		t.Fatal("Q9 idiom not detected")
+	}
+	if !e.Min || e.Attr.Column != "year" {
+		t.Errorf("extreme = %+v", e)
+	}
+	if !strings.EqualFold(e.RepeatedOn, "title") {
+		t.Errorf("repeatedOn = %q", e.RepeatedOn)
+	}
+}
+
+func TestDetectExtremeLatest(t *testing.T) {
+	e, ok := DetectExtreme(parse(t, `select m.title from MOVIES m
+		where m.year >= all (select m2.year from MOVIES m2)`))
+	if !ok || e.Min {
+		t.Errorf("latest: %+v %v", e, ok)
+	}
+	if e.RepeatedOn != "" {
+		t.Errorf("spurious repeatedOn: %q", e.RepeatedOn)
+	}
+	if _, ok := DetectExtreme(parse(t, `select m.title from MOVIES m
+		where m.year = all (select m2.year from MOVIES m2)`)); ok {
+		t.Error("= ALL detected as extreme")
+	}
+}
+
+// TestDetectPairsQ3 recognizes the pairing idiom.
+func TestDetectPairsQ3(t *testing.T) {
+	sel := parse(t, sqlparser.PaperQueries["Q3"])
+	g, err := querygraph.Build(sel, dataset.MovieSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := DetectPairs(g, dataset.MovieSchema())
+	if !ok {
+		t.Fatal("Q3 pairs not detected")
+	}
+	if p.Relation != "ACTOR" || p.Shared != "MOVIES" {
+		t.Errorf("pairs = %+v", p)
+	}
+}
+
+func TestDetectPairsNegative(t *testing.T) {
+	// Q0 compares a non-key attribute; not the pairs idiom.
+	sel := parse(t, sqlparser.PaperQueries["Q0"])
+	g, err := querygraph.Build(sel, dataset.EmpDeptSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := DetectPairs(g, dataset.EmpDeptSchema()); ok {
+		t.Error("Q0 detected as pairs")
+	}
+}
+
+// TestDetectComparativeQ0 recognizes "employees who make more than their
+// managers".
+func TestDetectComparativeQ0(t *testing.T) {
+	sel := parse(t, sqlparser.PaperQueries["Q0"])
+	g, err := querygraph.Build(sel, dataset.EmpDeptSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := DetectComparative(g, dataset.EmpDeptSchema())
+	if !ok {
+		t.Fatal("Q0 comparative not detected")
+	}
+	if c.Relation != "EMP" || !strings.EqualFold(c.Attr, "sal") || !c.Greater {
+		t.Errorf("comparative = %+v", c)
+	}
+	if c.Aliases[0] != "e1" || c.Aliases[1] != "e2" {
+		t.Errorf("aliases = %v", c.Aliases)
+	}
+	if !strings.EqualFold(c.RoleAttr, "mgr") || c.RoleRelation != "DEPT" {
+		t.Errorf("role = %q.%q", c.RoleRelation, c.RoleAttr)
+	}
+}
+
+func TestDetectComparativeNegative(t *testing.T) {
+	// Q3's inequality is on the primary key; not comparative.
+	sel := parse(t, sqlparser.PaperQueries["Q3"])
+	g, err := querygraph.Build(sel, dataset.MovieSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := DetectComparative(g, dataset.MovieSchema()); ok {
+		t.Error("Q3 detected as comparative")
+	}
+}
+
+func BenchmarkUnnestQ5(b *testing.B) {
+	sel, err := sqlparser.ParseSelect(sqlparser.PaperQueries["Q5"])
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := UnnestIn(sel)
+		if res.Unnested != 2 {
+			b.Fatal("unexpected unnest count")
+		}
+	}
+}
+
+func BenchmarkDetectDivision(b *testing.B) {
+	sel, err := sqlparser.ParseSelect(sqlparser.PaperQueries["Q6"])
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := DetectDivision(sel); !ok {
+			b.Fatal("not detected")
+		}
+	}
+}

@@ -1,0 +1,463 @@
+// Package schemagraph builds the paper's database schema graph (§2.2,
+// Fig. 1): relation and attribute nodes, projection edges (relation →
+// attribute), and join edges (foreign-key relationships between relations).
+// Nodes and edges carry the template labels and weights that drive
+// translation, and the graph renders to DOT and ASCII for the Fig. 1
+// reproduction.
+package schemagraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/templates"
+)
+
+// EdgeKind discriminates the two edge types of the schema graph.
+type EdgeKind int
+
+// Edge kinds: a projection edge runs from a relation to one of its
+// attributes; a join edge runs between two relations along a foreign key.
+const (
+	ProjectionEdge EdgeKind = iota
+	JoinEdge
+)
+
+// String names the kind.
+func (k EdgeKind) String() string {
+	if k == JoinEdge {
+		return "join"
+	}
+	return "projection"
+}
+
+// RelationNode is a relation vertex.
+type RelationNode struct {
+	Rel *catalog.Relation
+	// Template is the label used when the relation's content is rendered as
+	// a standalone clause (subject = heading attribute).
+	Template *templates.Template
+	// Weight biases traversal order and budget cuts; falls back to the
+	// catalog weight when zero.
+	Weight float64
+
+	Projections []*AttributeNode
+	Joins       []*Join
+}
+
+// AttributeNode is an attribute vertex, reached by exactly one projection
+// edge from its container relation.
+type AttributeNode struct {
+	Rel  *catalog.Relation
+	Attr *catalog.Attribute
+	// Template is the projection-edge label, e.g.
+	// "the YEAR of a MOVIE(.TITLE)" instantiated as
+	// TITLE + " was released in " + YEAR.
+	Template *templates.Template
+	Weight   float64
+	// Order records annotation sequence: the designer's label order decides
+	// clause order during synthesis (the paper's "in BLOCATION" label comes
+	// before "on BDATE", so the merged clause reads in ... on ...).
+	// Zero means unannotated.
+	Order int
+}
+
+// Join is a join edge between two relations.
+type Join struct {
+	From *RelationNode
+	To   *RelationNode
+	FK   catalog.ForeignKey
+	// Template is the join-edge label relating the two heading attributes,
+	// e.g. "the GENRE(.GENRE) of a MOVIE(.TITLE)".
+	Template *templates.Template
+	// ListTemplate renders one-to-many traversals as an enumerated list
+	// (the paper's MOVIE_LIST); optional.
+	ListTemplate *templates.ListTemplate
+	Weight       float64
+}
+
+// Graph is the schema graph over one catalog schema.
+type Graph struct {
+	Schema *catalog.Schema
+	nodes  map[string]*RelationNode
+	order  []string // insertion order of relation keys
+	annSeq int      // running annotation counter (see AttributeNode.Order)
+}
+
+// Build constructs the graph: one relation node per relation, one attribute
+// node per attribute, and a join edge per declared foreign key (in both
+// directions, since translation may traverse either way).
+func Build(schema *catalog.Schema) (*Graph, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Graph{Schema: schema, nodes: make(map[string]*RelationNode)}
+	for _, r := range schema.Relations() {
+		n := &RelationNode{Rel: r}
+		for _, a := range r.Attributes {
+			n.Projections = append(n.Projections, &AttributeNode{Rel: r, Attr: a})
+		}
+		g.nodes[strings.ToLower(r.Name)] = n
+		g.order = append(g.order, strings.ToLower(r.Name))
+	}
+	for _, r := range schema.Relations() {
+		from := g.nodes[strings.ToLower(r.Name)]
+		for _, fk := range r.ForeignKey {
+			to := g.nodes[strings.ToLower(fk.RefRelation)]
+			if to == nil {
+				return nil, fmt.Errorf("schemagraph: foreign key of %s references missing relation %s", r.Name, fk.RefRelation)
+			}
+			fwd := &Join{From: from, To: to, FK: fk}
+			rev := &Join{From: to, To: from, FK: fk}
+			from.Joins = append(from.Joins, fwd)
+			to.Joins = append(to.Joins, rev)
+		}
+	}
+	return g, nil
+}
+
+// Node returns the relation node by (case-insensitive) name, or nil.
+func (g *Graph) Node(name string) *RelationNode {
+	return g.nodes[strings.ToLower(name)]
+}
+
+// Nodes returns all relation nodes in schema declaration order.
+func (g *Graph) Nodes() []*RelationNode {
+	out := make([]*RelationNode, len(g.order))
+	for i, k := range g.order {
+		out[i] = g.nodes[k]
+	}
+	return out
+}
+
+// Attribute returns the attribute node rel.attr, or nil.
+func (g *Graph) Attribute(rel, attr string) *AttributeNode {
+	n := g.Node(rel)
+	if n == nil {
+		return nil
+	}
+	for _, p := range n.Projections {
+		if strings.EqualFold(p.Attr.Name, attr) {
+			return p
+		}
+	}
+	return nil
+}
+
+// JoinsBetween returns the join edges from a to b (either FK direction).
+func (g *Graph) JoinsBetween(a, b string) []*Join {
+	n := g.Node(a)
+	if n == nil {
+		return nil
+	}
+	var out []*Join
+	for _, j := range n.Joins {
+		if strings.EqualFold(j.To.Rel.Name, b) {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// AnnotateRelation sets the relation-node template.
+func (g *Graph) AnnotateRelation(rel string, tpl *templates.Template) error {
+	n := g.Node(rel)
+	if n == nil {
+		return fmt.Errorf("schemagraph: unknown relation %q", rel)
+	}
+	n.Template = tpl
+	return nil
+}
+
+// AnnotateProjection sets the projection-edge template of rel.attr and
+// records the annotation sequence number used for clause ordering.
+func (g *Graph) AnnotateProjection(rel, attr string, tpl *templates.Template) error {
+	p := g.Attribute(rel, attr)
+	if p == nil {
+		return fmt.Errorf("schemagraph: unknown attribute %s.%s", rel, attr)
+	}
+	g.annSeq++
+	p.Template = tpl
+	p.Order = g.annSeq
+	return nil
+}
+
+// AnnotateJoin sets the join-edge template between two relations (applied to
+// the edge in the from→to direction).
+func (g *Graph) AnnotateJoin(from, to string, tpl *templates.Template, list *templates.ListTemplate) error {
+	joins := g.JoinsBetween(from, to)
+	if len(joins) == 0 {
+		return fmt.Errorf("schemagraph: no join edge %s → %s", from, to)
+	}
+	for _, j := range joins {
+		j.Template = tpl
+		j.ListTemplate = list
+	}
+	return nil
+}
+
+// PatternKind classifies the structural patterns found during traversal
+// (§2.2): unary Ri–Rj, join Ri1,Ri2 → Rj, split Ri → Rj1,Rj2.
+type PatternKind int
+
+// Structural patterns.
+const (
+	UnaryPattern PatternKind = iota
+	JoinPattern
+	SplitPattern
+)
+
+// String names the pattern.
+func (k PatternKind) String() string {
+	switch k {
+	case UnaryPattern:
+		return "unary"
+	case JoinPattern:
+		return "join"
+	default:
+		return "split"
+	}
+}
+
+// Pattern is one detected structural pattern around Center.
+type Pattern struct {
+	Kind PatternKind
+	// Center is Ri for unary and split, Rj for join.
+	Center *RelationNode
+	// Others are the non-center relations: one for unary, two or more for
+	// join/split.
+	Others []*RelationNode
+}
+
+// DetectPattern classifies the neighborhood of center restricted to the
+// relation set in scope: one neighbor → unary; multiple in-scope relations
+// joining INTO center → join; center fanning OUT to multiple → split.
+// Direction follows foreign keys: an FK from A to B points A → B.
+func (g *Graph) DetectPattern(center *RelationNode, scope map[string]bool) Pattern {
+	var in, out []*RelationNode
+	seen := map[string]bool{}
+	for _, j := range center.Joins {
+		name := strings.ToLower(j.To.Rel.Name)
+		if !scope[name] || seen[name] {
+			continue
+		}
+		seen[name] = true
+		// Determine FK direction: the edge's FK belongs to its declaring
+		// relation; if center declares it, center points out.
+		if fkDeclaredBy(j.FK, center.Rel) {
+			out = append(out, j.To)
+		} else {
+			in = append(in, j.To)
+		}
+	}
+	switch {
+	case len(in)+len(out) <= 1:
+		others := append(in, out...)
+		return Pattern{Kind: UnaryPattern, Center: center, Others: others}
+	case len(in) >= 2 && len(out) == 0:
+		return Pattern{Kind: JoinPattern, Center: center, Others: in}
+	case len(out) >= 2 && len(in) == 0:
+		return Pattern{Kind: SplitPattern, Center: center, Others: out}
+	default:
+		// Mixed fan-in/fan-out: treat as split from the center (the
+		// translator walks outward), listing all neighbors.
+		return Pattern{Kind: SplitPattern, Center: center, Others: append(out, in...)}
+	}
+}
+
+func fkDeclaredBy(fk catalog.ForeignKey, rel *catalog.Relation) bool {
+	for _, a := range fk.Attrs {
+		if rel.AttrIndex(a) < 0 {
+			return false
+		}
+	}
+	// The FK also names a ref relation different from rel.
+	return !strings.EqualFold(fk.RefRelation, rel.Name)
+}
+
+// Traversal is a DFS order over relation nodes starting from a point of
+// interest, honoring weights (heavier neighbors first) — the paper's
+// "simple DFS-like traversal starting from a central point of interest".
+type Traversal struct {
+	Order []*RelationNode
+	// Parent maps each visited relation (lowercase) to the join edge used
+	// to reach it; the start node has no entry.
+	Parent map[string]*Join
+}
+
+// DFS runs the traversal from start. Relations in skip are not entered
+// (weight budgeting), but the start node is always included. Neighbor order
+// is by descending weight, then name, for determinism.
+func (g *Graph) DFS(start string, skip map[string]bool) (*Traversal, error) {
+	s := g.Node(start)
+	if s == nil {
+		return nil, fmt.Errorf("schemagraph: unknown start relation %q", start)
+	}
+	tr := &Traversal{Parent: make(map[string]*Join)}
+	visited := map[string]bool{}
+	var visit func(n *RelationNode)
+	visit = func(n *RelationNode) {
+		key := strings.ToLower(n.Rel.Name)
+		if visited[key] {
+			return
+		}
+		visited[key] = true
+		tr.Order = append(tr.Order, n)
+		joins := append([]*Join{}, n.Joins...)
+		sort.SliceStable(joins, func(a, b int) bool {
+			wa, wb := g.joinWeight(joins[a]), g.joinWeight(joins[b])
+			if wa != wb {
+				return wa > wb
+			}
+			return joins[a].To.Rel.Name < joins[b].To.Rel.Name
+		})
+		for _, j := range joins {
+			tkey := strings.ToLower(j.To.Rel.Name)
+			if visited[tkey] || skip[tkey] {
+				continue
+			}
+			tr.Parent[tkey] = j
+			visit(j.To)
+		}
+	}
+	visit(s)
+	return tr, nil
+}
+
+func (g *Graph) joinWeight(j *Join) float64 {
+	if j.Weight != 0 {
+		return j.Weight
+	}
+	w := j.To.Weight
+	if w == 0 {
+		w = g.Schema.WeightFor(j.To.Rel, nil)
+	}
+	return w
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+// DOT renders the schema graph in Graphviz format, reproducing Fig. 1:
+// relation nodes as boxes with their attributes, join edges between them.
+// Projection edges are drawn when withAttributes is true.
+func (g *Graph) DOT(withAttributes bool) string {
+	var b strings.Builder
+	b.WriteString("digraph schema {\n  rankdir=LR;\n  node [shape=record, fontname=\"Helvetica\"];\n")
+	for _, n := range g.Nodes() {
+		attrs := make([]string, len(n.Rel.Attributes))
+		for i, a := range n.Rel.Attributes {
+			attrs[i] = a.Name
+		}
+		fmt.Fprintf(&b, "  %s [label=\"{%s|%s}\"];\n",
+			dotID(n.Rel.Name), n.Rel.Name, strings.Join(attrs, `\l`)+`\l`)
+		if withAttributes {
+			for _, p := range n.Projections {
+				fmt.Fprintf(&b, "  %s_%s [shape=ellipse, label=\"%s\"];\n",
+					dotID(n.Rel.Name), dotID(p.Attr.Name), p.Attr.Name)
+				fmt.Fprintf(&b, "  %s -> %s_%s [style=dashed, arrowhead=open];\n",
+					dotID(n.Rel.Name), dotID(n.Rel.Name), dotID(p.Attr.Name))
+			}
+		}
+	}
+	// Join edges once per FK (declared direction).
+	for _, n := range g.Nodes() {
+		for _, fk := range n.Rel.ForeignKey {
+			fmt.Fprintf(&b, "  %s -> %s [label=\"%s\"];\n",
+				dotID(n.Rel.Name), dotID(fk.RefRelation),
+				strings.Join(fk.Attrs, ","))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func dotID(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if r == '_' || ('a' <= r && r <= 'z') || ('A' <= r && r <= 'Z') || ('0' <= r && r <= '9') {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// ASCII renders a compact adjacency listing used by the CLI tools:
+//
+//	MOVIES(id, title, year)
+//	  <- CAST(mid)  <- DIRECTED(mid)  <- GENRE(mid)
+func (g *Graph) ASCII() string {
+	var b strings.Builder
+	for _, n := range g.Nodes() {
+		attrs := make([]string, len(n.Rel.Attributes))
+		for i, a := range n.Rel.Attributes {
+			attrs[i] = a.Name
+		}
+		fmt.Fprintf(&b, "%s(%s)\n", n.Rel.Name, strings.Join(attrs, ", "))
+		var lines []string
+		for _, fk := range n.Rel.ForeignKey {
+			lines = append(lines, fmt.Sprintf("  -> %s via (%s)", fk.RefRelation, strings.Join(fk.Attrs, ", ")))
+		}
+		sort.Strings(lines)
+		for _, l := range lines {
+			b.WriteString(l + "\n")
+		}
+	}
+	return b.String()
+}
+
+// DefaultAnnotations derives generic template labels for every relation and
+// projection edge that lacks one — the automated fallback for schemas whose
+// designer has not written labels (DESIGN.md §4). The derived relation
+// template reads "The <concept>'s <heading gloss> is <HEADING>"; projection
+// templates read "<HEADING> has <attr gloss> <ATTR>"; join templates read
+// "<FROM HEADING> is related to <TO HEADING>".
+func (g *Graph) DefaultAnnotations() {
+	for _, n := range g.Nodes() {
+		h := n.Rel.Heading()
+		if h == nil {
+			continue
+		}
+		if n.Template == nil {
+			n.Template = templates.MustParse(fmt.Sprintf(
+				`"The %s's %s is " + %s`, n.Rel.Concept(), h.GlossOrDefault(), strings.ToUpper(h.Name)))
+		}
+		for _, p := range n.Projections {
+			if p.Template != nil || strings.EqualFold(p.Attr.Name, h.Name) {
+				continue
+			}
+			// Key and foreign-key attributes are structural, not narrative:
+			// "Woody Allen has identifier 1" helps nobody.
+			if isStructuralAttr(n.Rel, p.Attr.Name) {
+				continue
+			}
+			g.annSeq++
+			p.Template = templates.MustParse(fmt.Sprintf(
+				`%s + " has %s " + %s`, strings.ToUpper(h.Name), p.Attr.GlossOrDefault(), strings.ToUpper(p.Attr.Name)))
+			p.Order = g.annSeq
+		}
+	}
+}
+
+// isStructuralAttr reports whether attr participates in the relation's
+// primary key or any of its foreign keys.
+func isStructuralAttr(rel *catalog.Relation, attr string) bool {
+	for _, k := range rel.PrimaryKey {
+		if strings.EqualFold(k, attr) {
+			return true
+		}
+	}
+	for _, fk := range rel.ForeignKey {
+		for _, a := range fk.Attrs {
+			if strings.EqualFold(a, attr) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,276 @@
+package schemagraph
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/templates"
+)
+
+func movieGraph(t *testing.T) *Graph {
+	t.Helper()
+	g, err := Build(dataset.MovieSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuildNodesAndEdges(t *testing.T) {
+	g := movieGraph(t)
+	if len(g.Nodes()) != 6 {
+		t.Fatalf("nodes = %d", len(g.Nodes()))
+	}
+	m := g.Node("movies")
+	if m == nil || len(m.Projections) != 3 {
+		t.Fatalf("MOVIES projections = %v", m)
+	}
+	// CAST declares FKs to MOVIES and ACTOR; edges exist both directions.
+	if len(g.JoinsBetween("CAST", "MOVIES")) != 1 {
+		t.Error("CAST->MOVIES join missing")
+	}
+	if len(g.JoinsBetween("MOVIES", "CAST")) != 1 {
+		t.Error("MOVIES->CAST reverse join missing")
+	}
+	if len(g.JoinsBetween("MOVIES", "ACTOR")) != 0 {
+		t.Error("phantom MOVIES->ACTOR join")
+	}
+}
+
+func TestAttributeLookup(t *testing.T) {
+	g := movieGraph(t)
+	if g.Attribute("MOVIES", "TITLE") == nil {
+		t.Error("case-insensitive attribute lookup failed")
+	}
+	if g.Attribute("MOVIES", "nope") != nil {
+		t.Error("phantom attribute")
+	}
+	if g.Attribute("NOPE", "x") != nil {
+		t.Error("phantom relation")
+	}
+}
+
+func TestAnnotations(t *testing.T) {
+	g := movieGraph(t)
+	tpl := templates.MustParse(`TITLE + " (" + YEAR + ")"`)
+	if err := g.AnnotateRelation("MOVIES", tpl); err != nil {
+		t.Fatal(err)
+	}
+	if g.Node("MOVIES").Template != tpl {
+		t.Error("relation template not set")
+	}
+	if err := g.AnnotateProjection("MOVIES", "year", tpl); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AnnotateJoin("DIRECTED", "DIRECTOR", tpl, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AnnotateRelation("NOPE", tpl); err == nil {
+		t.Error("unknown relation accepted")
+	}
+	if err := g.AnnotateProjection("MOVIES", "nope", tpl); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	if err := g.AnnotateJoin("MOVIES", "ACTOR", tpl, nil); err == nil {
+		t.Error("nonexistent join accepted")
+	}
+}
+
+func TestDetectPatternUnary(t *testing.T) {
+	g := movieGraph(t)
+	scope := map[string]bool{"director": true, "directed": true}
+	p := g.DetectPattern(g.Node("DIRECTED"), scope)
+	if p.Kind != UnaryPattern || len(p.Others) != 1 || p.Others[0].Rel.Name != "DIRECTOR" {
+		t.Errorf("pattern = %v %v", p.Kind, p.Others)
+	}
+}
+
+func TestDetectPatternSplit(t *testing.T) {
+	g := movieGraph(t)
+	// CAST points out to MOVIES and ACTOR: a split read from CAST.
+	scope := map[string]bool{"movies": true, "actor": true, "cast": true}
+	p := g.DetectPattern(g.Node("CAST"), scope)
+	if p.Kind != SplitPattern || len(p.Others) != 2 {
+		t.Errorf("pattern = %v, others = %d", p.Kind, len(p.Others))
+	}
+}
+
+func TestDetectPatternJoin(t *testing.T) {
+	g := movieGraph(t)
+	// CAST, DIRECTED, GENRE all point INTO MOVIES: join pattern at MOVIES.
+	scope := map[string]bool{"movies": true, "cast": true, "directed": true, "genre": true}
+	p := g.DetectPattern(g.Node("MOVIES"), scope)
+	if p.Kind != JoinPattern || len(p.Others) != 3 {
+		t.Errorf("pattern = %v, others = %d", p.Kind, len(p.Others))
+	}
+}
+
+func TestDetectPatternScopeRestriction(t *testing.T) {
+	g := movieGraph(t)
+	// With only CAST in scope, MOVIES sees a unary pattern.
+	scope := map[string]bool{"movies": true, "cast": true}
+	p := g.DetectPattern(g.Node("MOVIES"), scope)
+	if p.Kind != UnaryPattern {
+		t.Errorf("pattern = %v", p.Kind)
+	}
+}
+
+func TestDFS(t *testing.T) {
+	g := movieGraph(t)
+	tr, err := g.DFS("DIRECTOR", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Order[0].Rel.Name != "DIRECTOR" {
+		t.Errorf("DFS start = %s", tr.Order[0].Rel.Name)
+	}
+	// All six relations reachable.
+	if len(tr.Order) != 6 {
+		t.Errorf("DFS visited %d relations", len(tr.Order))
+	}
+	// Every non-start node has a parent edge.
+	for _, n := range tr.Order[1:] {
+		if tr.Parent[strings.ToLower(n.Rel.Name)] == nil {
+			t.Errorf("no parent for %s", n.Rel.Name)
+		}
+	}
+	// Determinism.
+	tr2, _ := g.DFS("DIRECTOR", nil)
+	for i := range tr.Order {
+		if tr.Order[i] != tr2.Order[i] {
+			t.Fatal("DFS not deterministic")
+		}
+	}
+}
+
+func TestDFSWeightOrdering(t *testing.T) {
+	g := movieGraph(t)
+	// From MOVIES, the heaviest neighbor relations should come first; boost
+	// GENRE explicitly.
+	g.Node("GENRE").Weight = 10
+	tr, _ := g.DFS("MOVIES", nil)
+	if tr.Order[1].Rel.Name != "GENRE" {
+		t.Errorf("weighted DFS second = %s", tr.Order[1].Rel.Name)
+	}
+}
+
+func TestDFSSkip(t *testing.T) {
+	g := movieGraph(t)
+	tr, err := g.DFS("DIRECTOR", map[string]bool{"cast": true, "genre": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range tr.Order {
+		if n.Rel.Name == "CAST" || n.Rel.Name == "GENRE" {
+			t.Errorf("skipped relation visited: %s", n.Rel.Name)
+		}
+	}
+	if _, err := g.DFS("NOPE", nil); err == nil {
+		t.Error("unknown start accepted")
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g := movieGraph(t)
+	dot := g.DOT(false)
+	for _, want := range []string{
+		"digraph schema", "MOVIES", "DIRECTOR",
+		"CAST -> MOVIES", "CAST -> ACTOR", "DIRECTED -> DIRECTOR", "GENRE -> MOVIES",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+	if strings.Contains(dot, "ellipse") {
+		t.Error("attribute nodes rendered without withAttributes")
+	}
+	dotAttrs := g.DOT(true)
+	if !strings.Contains(dotAttrs, "ellipse") || !strings.Contains(dotAttrs, "MOVIES_title") {
+		t.Error("withAttributes render missing attribute nodes")
+	}
+}
+
+func TestASCII(t *testing.T) {
+	g := movieGraph(t)
+	s := g.ASCII()
+	for _, want := range []string{
+		"MOVIES(id, title, year)",
+		"-> MOVIES via (mid)",
+		"DIRECTOR(id, name, bdate, blocation)",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("ASCII missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestDefaultAnnotations(t *testing.T) {
+	g := movieGraph(t)
+	g.DefaultAnnotations()
+	m := g.Node("MOVIES")
+	if m.Template == nil {
+		t.Fatal("no derived relation template")
+	}
+	out, err := m.Template.Instantiate(templates.MapBinding{"TITLE": "Match Point"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "The movie's title is Match Point" {
+		t.Errorf("derived template = %q", out)
+	}
+	// Projection template for year exists, none for the heading itself.
+	var yearTpl, titleTpl bool
+	for _, p := range m.Projections {
+		switch p.Attr.Name {
+		case "year":
+			yearTpl = p.Template != nil
+		case "title":
+			titleTpl = p.Template != nil
+		}
+	}
+	if !yearTpl || titleTpl {
+		t.Errorf("projection templates: year=%v title=%v", yearTpl, titleTpl)
+	}
+	// Derived templates do not overwrite explicit ones.
+	g2 := movieGraph(t)
+	explicit := templates.MustParse(`"X"`)
+	_ = g2.AnnotateRelation("MOVIES", explicit)
+	g2.DefaultAnnotations()
+	if g2.Node("MOVIES").Template != explicit {
+		t.Error("explicit template overwritten")
+	}
+}
+
+func TestPatternKindString(t *testing.T) {
+	if UnaryPattern.String() != "unary" || JoinPattern.String() != "join" || SplitPattern.String() != "split" {
+		t.Error("PatternKind names")
+	}
+	if ProjectionEdge.String() != "projection" || JoinEdge.String() != "join" {
+		t.Error("EdgeKind names")
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	schema := dataset.MovieSchema()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(schema); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDFS(b *testing.B) {
+	g, err := Build(dataset.MovieSchema())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.DFS("DIRECTOR", nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,315 @@
+// Package speech simulates the spoken interaction loop of §2.1: "Using a
+// speech recognizer to convert a speech signal to a query and a
+// text-to-speech system (TTS) to convert the textual form of the query
+// answer into speech, these people would be given the chance to interact
+// with information systems, orally pose queries, and listen to their
+// answers."
+//
+// The paper cites real ASR/TTS systems [2, 7]; this package substitutes
+// deterministic simulators (see DESIGN.md §4): a grammar-driven recognizer
+// that maps utterance patterns to SQL, and a synthesizer that converts text
+// into timed word/syllable events — the same integration surface an actual
+// ASR/TTS pair would expose, without audio hardware.
+package speech
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Pattern is one recognizer grammar rule: an utterance template with
+// {slot} placeholders and the SQL it produces ({slot} values substitute
+// into the SQL with single quotes escaped).
+type Pattern struct {
+	// Utterance is the template, lowercase, e.g.
+	// "which movies does {actor} play in".
+	Utterance string
+	// SQL is the query template, e.g. "select m.title from ... where
+	// a.name = '{actor}'".
+	SQL string
+}
+
+// Recognizer simulates an ASR front end with a fixed grammar.
+type Recognizer struct {
+	patterns []Pattern
+}
+
+// NewRecognizer compiles the grammar.
+func NewRecognizer(patterns []Pattern) *Recognizer {
+	return &Recognizer{patterns: patterns}
+}
+
+// Recognition is a successful parse.
+type Recognition struct {
+	// SQL is the produced query.
+	SQL string
+	// Pattern is the matched rule's utterance template.
+	Pattern string
+	// Slots holds the extracted placeholder values.
+	Slots map[string]string
+	// Confidence simulates ASR confidence: the fraction of utterance
+	// tokens matched literally (slot tokens count half).
+	Confidence float64
+}
+
+// Recognize matches an utterance against the grammar. Matching is
+// case-insensitive, punctuation-insensitive, and slots capture greedily up
+// to the next literal word.
+func (r *Recognizer) Recognize(utterance string) (*Recognition, error) {
+	words := tokenize(utterance)
+	var best *Recognition
+	for _, p := range r.patterns {
+		slots, literal, ok := match(tokenize(p.Utterance), words)
+		if !ok {
+			continue
+		}
+		sql := p.SQL
+		for k, v := range slots {
+			sql = strings.ReplaceAll(sql, "{"+k+"}", strings.ReplaceAll(v, "'", "''"))
+		}
+		total := len(tokenize(p.Utterance))
+		conf := 1.0
+		if total > 0 {
+			conf = (float64(literal) + 0.5*float64(total-literal)) / float64(total)
+		}
+		cand := &Recognition{SQL: sql, Pattern: p.Utterance, Slots: slots, Confidence: conf}
+		if best == nil || cand.Confidence > best.Confidence {
+			best = cand
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("speech: utterance %q matches no grammar rule", utterance)
+	}
+	return best, nil
+}
+
+func tokenize(s string) []string {
+	var words []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			words = append(words, strings.ToLower(cur.String()))
+			cur.Reset()
+		}
+	}
+	for _, r := range s {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r) || r == '{' || r == '}' || r == '\'' || r == '.' || r == '-':
+			cur.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	return words
+}
+
+// match aligns pattern tokens against utterance tokens; {slot} captures one
+// or more tokens greedily up to the next literal. Returns slot values and
+// the count of literally matched tokens.
+func match(pat, words []string) (map[string]string, int, bool) {
+	slots := map[string]string{}
+	literal := 0
+	wi := 0
+	for pi := 0; pi < len(pat); pi++ {
+		tok := pat[pi]
+		if strings.HasPrefix(tok, "{") && strings.HasSuffix(tok, "}") {
+			name := tok[1 : len(tok)-1]
+			// Find the next literal token, then capture everything before
+			// its first occurrence at or after wi.
+			if pi == len(pat)-1 {
+				if wi >= len(words) {
+					return nil, 0, false
+				}
+				slots[name] = joinTokens(words[wi:])
+				wi = len(words)
+				continue
+			}
+			next := pat[pi+1]
+			end := -1
+			for j := wi + 1; j <= len(words)-1; j++ {
+				if words[j] == next {
+					end = j
+					break
+				}
+			}
+			if end < 0 || end == wi {
+				return nil, 0, false
+			}
+			slots[name] = joinTokens(words[wi:end])
+			wi = end
+			continue
+		}
+		if wi >= len(words) || words[wi] != tok {
+			return nil, 0, false
+		}
+		literal++
+		wi++
+	}
+	if wi != len(words) {
+		return nil, 0, false
+	}
+	return slots, literal, true
+}
+
+// joinTokens reassembles captured tokens with original-ish capitalization:
+// each token is title-cased, since slot values name entities.
+func joinTokens(toks []string) string {
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		if t == "" {
+			continue
+		}
+		out[i] = strings.ToUpper(t[:1]) + t[1:]
+	}
+	return strings.Join(out, " ")
+}
+
+// ---------------------------------------------------------------------------
+// Synthesizer
+// ---------------------------------------------------------------------------
+
+// Event is one timed synthesis unit.
+type Event struct {
+	// Word is the orthographic word.
+	Word string
+	// Syllables estimates the word's syllable count.
+	Syllables int
+	// StartMs / DurationMs time the word on the output stream.
+	StartMs, DurationMs int
+	// Pause marks a clause boundary pause event (Word empty).
+	Pause bool
+}
+
+// Synthesizer simulates a TTS back end: deterministic syllable-timed word
+// events at a configurable speaking rate.
+type Synthesizer struct {
+	// MsPerSyllable is the speaking rate (default 180 ms).
+	MsPerSyllable int
+	// PauseMs is the clause-boundary pause (default 300 ms).
+	PauseMs int
+}
+
+// NewSynthesizer builds a synthesizer with default rates.
+func NewSynthesizer() *Synthesizer {
+	return &Synthesizer{MsPerSyllable: 180, PauseMs: 300}
+}
+
+// Speak converts text into a timed event stream.
+func (s *Synthesizer) Speak(text string) []Event {
+	ms := s.MsPerSyllable
+	if ms <= 0 {
+		ms = 180
+	}
+	pause := s.PauseMs
+	if pause <= 0 {
+		pause = 300
+	}
+	var events []Event
+	t := 0
+	word := strings.Builder{}
+	flush := func() {
+		if word.Len() == 0 {
+			return
+		}
+		w := word.String()
+		word.Reset()
+		syl := countSyllables(w)
+		events = append(events, Event{Word: w, Syllables: syl, StartMs: t, DurationMs: syl * ms})
+		t += syl * ms
+	}
+	for _, r := range text {
+		switch {
+		case unicode.IsSpace(r):
+			flush()
+		case r == '.' || r == ',' || r == ';' || r == ':' || r == '!' || r == '?':
+			flush()
+			events = append(events, Event{Pause: true, StartMs: t, DurationMs: pause})
+			t += pause
+		default:
+			word.WriteRune(r)
+		}
+	}
+	flush()
+	return events
+}
+
+// DurationMs totals the stream length.
+func DurationMs(events []Event) int {
+	total := 0
+	for _, e := range events {
+		total += e.DurationMs
+	}
+	return total
+}
+
+// Transcript reassembles the spoken words (pauses become " / ").
+func Transcript(events []Event) string {
+	var parts []string
+	for _, e := range events {
+		if e.Pause {
+			parts = append(parts, "/")
+			continue
+		}
+		parts = append(parts, e.Word)
+	}
+	return strings.Join(parts, " ")
+}
+
+// countSyllables estimates syllables by vowel-group counting with final-e
+// correction; at least 1 per word.
+func countSyllables(word string) int {
+	lower := strings.ToLower(word)
+	count := 0
+	prevVowel := false
+	for _, r := range lower {
+		v := strings.ContainsRune("aeiouy", r)
+		if v && !prevVowel {
+			count++
+		}
+		prevVowel = v
+	}
+	// Silent final e after a consonant ("made", "Brooklyn-side" words) drops
+	// a syllable; vowel+e endings ("movie") and -le ("table") keep theirs.
+	if len(lower) >= 2 && strings.HasSuffix(lower, "e") && count > 1 {
+		prev := rune(lower[len(lower)-2])
+		if !strings.ContainsRune("aeiouyl", prev) {
+			count--
+		}
+	}
+	if count < 1 {
+		count = 1
+	}
+	return count
+}
+
+// MovieGrammar is the demo grammar over the Fig. 1 schema, pairing spoken
+// questions with the queries the paper discusses.
+func MovieGrammar() []Pattern {
+	return []Pattern{
+		{
+			Utterance: "which movies does {actor} play in",
+			SQL: `select m.title from MOVIES m, CAST c, ACTOR a
+where m.id = c.mid and c.aid = a.id and a.name = '{actor}'`,
+		},
+		{
+			Utterance: "who directed {title}",
+			SQL: `select d.name from DIRECTOR d, DIRECTED r, MOVIES m
+where d.id = r.did and r.mid = m.id and m.title = '{title}'`,
+		},
+		{
+			Utterance: "tell me about {director}",
+			SQL:       `select d.name, d.bdate, d.blocation from DIRECTOR d where d.name = '{director}'`,
+		},
+		{
+			Utterance: "which actors played in {title}",
+			SQL: `select a.name from MOVIES m, CAST c, ACTOR a
+where m.id = c.mid and c.aid = a.id and m.title = '{title}'`,
+		},
+		{
+			Utterance: "how many movies were released in {year}",
+			SQL:       `select count(*) from MOVIES m where m.year = {year}`,
+		},
+	}
+}

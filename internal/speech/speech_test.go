@@ -1,0 +1,221 @@
+package speech
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+)
+
+func TestRecognizeActorQuestion(t *testing.T) {
+	r := NewRecognizer(MovieGrammar())
+	rec, err := r.Recognize("Which movies does Brad Pitt play in?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Slots["actor"] != "Brad Pitt" {
+		t.Errorf("slot = %q", rec.Slots["actor"])
+	}
+	if !strings.Contains(rec.SQL, "a.name = 'Brad Pitt'") {
+		t.Errorf("sql = %s", rec.SQL)
+	}
+	if rec.Confidence <= 0 || rec.Confidence > 1 {
+		t.Errorf("confidence = %v", rec.Confidence)
+	}
+}
+
+func TestRecognizeTrailingSlot(t *testing.T) {
+	r := NewRecognizer(MovieGrammar())
+	rec, err := r.Recognize("who directed Match Point")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Slots["title"] != "Match Point" {
+		t.Errorf("slot = %q", rec.Slots["title"])
+	}
+}
+
+func TestRecognizeEscapesQuotes(t *testing.T) {
+	r := NewRecognizer([]Pattern{{
+		Utterance: "find {name}",
+		SQL:       "select * from T t where t.x = '{name}'",
+	}})
+	rec, err := r.Recognize("find o'brien")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rec.SQL, "O''brien") {
+		t.Errorf("sql = %s", rec.SQL)
+	}
+}
+
+func TestRecognizeNumberSlot(t *testing.T) {
+	r := NewRecognizer(MovieGrammar())
+	rec, err := r.Recognize("how many movies were released in 1999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rec.SQL, "m.year = 1999") {
+		t.Errorf("sql = %s", rec.SQL)
+	}
+}
+
+func TestRecognizeUnknownUtterance(t *testing.T) {
+	r := NewRecognizer(MovieGrammar())
+	if _, err := r.Recognize("sing me a song"); err == nil {
+		t.Error("nonsense accepted")
+	}
+	if _, err := r.Recognize(""); err == nil {
+		t.Error("empty utterance accepted")
+	}
+}
+
+// TestRecognizedSQLRunsOnEngine closes the loop: every grammar rule's SQL
+// parses and executes against the curated database.
+func TestRecognizedSQLRunsOnEngine(t *testing.T) {
+	db, err := dataset.CuratedMovieDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := engine.New(db)
+	r := NewRecognizer(MovieGrammar())
+	utterances := []string{
+		"which movies does Brad Pitt play in",
+		"who directed Match Point",
+		"tell me about Woody Allen",
+		"which actors played in The Matrix",
+		"how many movies were released in 1999",
+	}
+	for _, u := range utterances {
+		rec, err := r.Recognize(u)
+		if err != nil {
+			t.Errorf("%q: %v", u, err)
+			continue
+		}
+		res, err := ex.Query(rec.SQL)
+		if err != nil {
+			t.Errorf("%q: engine: %v", u, err)
+			continue
+		}
+		if len(res.Rows) == 0 {
+			t.Errorf("%q: empty answer", u)
+		}
+	}
+}
+
+func TestSynthesizerTiming(t *testing.T) {
+	s := NewSynthesizer()
+	events := s.Speak("Woody Allen was born in Brooklyn.")
+	if len(events) == 0 {
+		t.Fatal("no events")
+	}
+	// Monotone, contiguous timing.
+	expected := 0
+	for _, e := range events {
+		if e.StartMs != expected {
+			t.Errorf("event %q starts at %d, want %d", e.Word, e.StartMs, expected)
+		}
+		expected += e.DurationMs
+	}
+	if DurationMs(events) != expected {
+		t.Errorf("DurationMs = %d, want %d", DurationMs(events), expected)
+	}
+	// The final period produces a pause event.
+	last := events[len(events)-1]
+	if !last.Pause {
+		t.Errorf("final event = %+v", last)
+	}
+}
+
+func TestSyllableEstimates(t *testing.T) {
+	cases := map[string]int{
+		"a":        1,
+		"movie":    2,
+		"actor":    2,
+		"Brooklyn": 2,
+		"December": 3,
+		"table":    2,
+		"xyz":      1,
+	}
+	for in, want := range cases {
+		if got := countSyllables(in); got != want {
+			t.Errorf("countSyllables(%q) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestTranscript(t *testing.T) {
+	s := NewSynthesizer()
+	events := s.Speak("Hello there, world.")
+	got := Transcript(events)
+	if got != "Hello there / world /" {
+		t.Errorf("Transcript = %q", got)
+	}
+}
+
+func TestSpeakEmptyAndRates(t *testing.T) {
+	s := &Synthesizer{} // zero rates fall back to defaults
+	if events := s.Speak(""); len(events) != 0 {
+		t.Error("empty text spoke")
+	}
+	events := s.Speak("hi")
+	if len(events) != 1 || events[0].DurationMs != 180 {
+		t.Errorf("default rate = %+v", events)
+	}
+	fast := &Synthesizer{MsPerSyllable: 50, PauseMs: 10}
+	fe := fast.Speak("hi.")
+	if fe[0].DurationMs != 50 || fe[1].DurationMs != 10 {
+		t.Errorf("custom rates = %+v", fe)
+	}
+}
+
+// Property: speaking n words yields at least n events and total duration
+// equal to the sum of event durations.
+func TestSpeakProperty(t *testing.T) {
+	s := NewSynthesizer()
+	f := func(raw []byte) bool {
+		// Build a sanitized word list.
+		var words []string
+		for _, b := range raw {
+			w := string(rune('a' + int(b)%26))
+			words = append(words, strings.Repeat(w, int(b)%5+1))
+		}
+		text := strings.Join(words, " ")
+		events := s.Speak(text)
+		if len(events) != len(words) {
+			return len(words) == 0 && len(events) == 0
+		}
+		total := 0
+		for _, e := range events {
+			if e.DurationMs <= 0 {
+				return false
+			}
+			total += e.DurationMs
+		}
+		return total == DurationMs(events)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkRecognize(b *testing.B) {
+	r := NewRecognizer(MovieGrammar())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Recognize("which movies does Brad Pitt play in"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpeak(b *testing.B) {
+	s := NewSynthesizer()
+	text := "Woody Allen was born in Brooklyn, New York, USA on December 1, 1935."
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Speak(text)
+	}
+}

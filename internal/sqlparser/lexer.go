@@ -1,0 +1,281 @@
+// Package sqlparser implements a SQL lexer, abstract syntax tree, recursive
+// descent parser, and pretty-printer for the SQL dialect the paper's queries
+// (Q1–Q9, the EMP/DEPT example, and DML/DDL) are written in: SELECT with
+// arbitrary joins and tuple variables, nested subqueries via IN / EXISTS /
+// ANY / ALL, aggregates with GROUP BY and HAVING (including scalar
+// subqueries in HAVING), ORDER BY, DISTINCT, and INSERT / UPDATE / DELETE /
+// CREATE TABLE / CREATE VIEW.
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind identifies the lexical class of a token.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokOp // operators and punctuation: = < > <= >= != <> + - * / ( ) , . ;
+	TokInvalid
+)
+
+// String names the kind for diagnostics.
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "end of input"
+	case TokIdent:
+		return "identifier"
+	case TokKeyword:
+		return "keyword"
+	case TokNumber:
+		return "number"
+	case TokString:
+		return "string"
+	case TokOp:
+		return "operator"
+	default:
+		return "invalid token"
+	}
+}
+
+// Token is one lexical unit with its source position (1-based line/column).
+type Token struct {
+	Kind TokenKind
+	Text string // keywords are uppercased; identifiers keep original case
+	Line int
+	Col  int
+}
+
+// keywords is the reserved-word list of the dialect. Anything else lexes as
+// an identifier.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"AND": true, "OR": true, "NOT": true, "IN": true, "EXISTS": true,
+	"ALL": true, "ANY": true, "SOME": true, "BETWEEN": true, "LIKE": true,
+	"IS": true, "NULL": true, "DISTINCT": true, "AS": true, "JOIN": true,
+	"INNER": true, "LEFT": true, "RIGHT": true, "OUTER": true, "ON": true,
+	"INSERT": true, "INTO": true, "VALUES": true, "UPDATE": true, "SET": true,
+	"DELETE": true, "CREATE": true, "TABLE": true, "VIEW": true,
+	"PRIMARY": true, "KEY": true, "FOREIGN": true, "REFERENCES": true,
+	"TRUE": true, "FALSE": true, "DATE": true, "UNION": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
+}
+
+// Lexer scans SQL text into tokens.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer creates a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Tokenize scans the whole input, returning tokens without the trailing EOF.
+func Tokenize(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		tok, err := lx.Next()
+		if err != nil {
+			return toks, err
+		}
+		if tok.Kind == TokEOF {
+			return toks, nil
+		}
+		toks = append(toks, tok)
+	}
+}
+
+func (lx *Lexer) peek() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *Lexer) peekAt(off int) byte {
+	if lx.pos+off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+off]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	lx.skipSpaceAndComments()
+	line, col := lx.line, lx.col
+	if lx.pos >= len(lx.src) {
+		return Token{Kind: TokEOF, Line: line, Col: col}, nil
+	}
+	c := lx.peek()
+	switch {
+	case isIdentStart(c):
+		return lx.lexWord(line, col), nil
+	case unicode.IsDigit(rune(c)) || (c == '.' && unicode.IsDigit(rune(lx.peekAt(1)))):
+		return lx.lexNumber(line, col)
+	case c == '\'':
+		return lx.lexString(line, col)
+	case c == '"':
+		return lx.lexQuotedIdent(line, col)
+	default:
+		return lx.lexOp(line, col)
+	}
+}
+
+func (lx *Lexer) skipSpaceAndComments() {
+	for lx.pos < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			lx.advance()
+		case c == '-' && lx.peekAt(1) == '-':
+			for lx.pos < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peekAt(1) == '*':
+			lx.advance()
+			lx.advance()
+			for lx.pos < len(lx.src) && !(lx.peek() == '*' && lx.peekAt(1) == '/') {
+				lx.advance()
+			}
+			if lx.pos < len(lx.src) {
+				lx.advance()
+				lx.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || ('0' <= c && c <= '9')
+}
+
+func (lx *Lexer) lexWord(line, col int) Token {
+	start := lx.pos
+	for lx.pos < len(lx.src) && isIdentPart(lx.peek()) {
+		lx.advance()
+	}
+	word := lx.src[start:lx.pos]
+	upper := strings.ToUpper(word)
+	if keywords[upper] {
+		return Token{Kind: TokKeyword, Text: upper, Line: line, Col: col}
+	}
+	return Token{Kind: TokIdent, Text: word, Line: line, Col: col}
+}
+
+func (lx *Lexer) lexNumber(line, col int) (Token, error) {
+	start := lx.pos
+	seenDot := false
+	for lx.pos < len(lx.src) {
+		c := lx.peek()
+		if unicode.IsDigit(rune(c)) {
+			lx.advance()
+			continue
+		}
+		if c == '.' && !seenDot && unicode.IsDigit(rune(lx.peekAt(1))) {
+			seenDot = true
+			lx.advance()
+			continue
+		}
+		break
+	}
+	text := lx.src[start:lx.pos]
+	if lx.pos < len(lx.src) && isIdentStart(lx.peek()) {
+		return Token{Kind: TokInvalid, Text: text, Line: line, Col: col},
+			fmt.Errorf("sql:%d:%d: malformed number %q", line, col, text+string(lx.peek()))
+	}
+	return Token{Kind: TokNumber, Text: text, Line: line, Col: col}, nil
+}
+
+func (lx *Lexer) lexString(line, col int) (Token, error) {
+	lx.advance() // opening quote
+	var b strings.Builder
+	for {
+		if lx.pos >= len(lx.src) {
+			return Token{Kind: TokInvalid, Line: line, Col: col},
+				fmt.Errorf("sql:%d:%d: unterminated string literal", line, col)
+		}
+		c := lx.advance()
+		if c == '\'' {
+			if lx.peek() == '\'' { // escaped quote
+				lx.advance()
+				b.WriteByte('\'')
+				continue
+			}
+			return Token{Kind: TokString, Text: b.String(), Line: line, Col: col}, nil
+		}
+		b.WriteByte(c)
+	}
+}
+
+func (lx *Lexer) lexQuotedIdent(line, col int) (Token, error) {
+	lx.advance() // opening quote
+	var b strings.Builder
+	for {
+		if lx.pos >= len(lx.src) {
+			return Token{Kind: TokInvalid, Line: line, Col: col},
+				fmt.Errorf("sql:%d:%d: unterminated quoted identifier", line, col)
+		}
+		c := lx.advance()
+		if c == '"' {
+			return Token{Kind: TokIdent, Text: b.String(), Line: line, Col: col}, nil
+		}
+		b.WriteByte(c)
+	}
+}
+
+func (lx *Lexer) lexOp(line, col int) (Token, error) {
+	c := lx.advance()
+	two := ""
+	if lx.pos < len(lx.src) {
+		two = string(c) + string(lx.peek())
+	}
+	switch two {
+	case "<=", ">=", "!=", "<>":
+		lx.advance()
+		if two == "<>" {
+			two = "!="
+		}
+		return Token{Kind: TokOp, Text: two, Line: line, Col: col}, nil
+	}
+	switch c {
+	case '=', '<', '>', '+', '-', '*', '/', '(', ')', ',', '.', ';', '%':
+		return Token{Kind: TokOp, Text: string(c), Line: line, Col: col}, nil
+	default:
+		return Token{Kind: TokInvalid, Text: string(c), Line: line, Col: col},
+			fmt.Errorf("sql:%d:%d: unexpected character %q", line, col, string(c))
+	}
+}

@@ -1,0 +1,1116 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/lexicon"
+	"repro/internal/value"
+)
+
+// Parser is a recursive-descent parser over the token stream.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a single SQL statement (a trailing semicolon is allowed).
+func Parse(src string) (Statement, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(TokOp, ";")
+	if !p.atEOF() {
+		t := p.peek()
+		return nil, fmt.Errorf("sql:%d:%d: unexpected %s %q after statement", t.Line, t.Col, t.Kind, t.Text)
+	}
+	return stmt, nil
+}
+
+// ParseSelect parses src and requires it to be a SELECT statement.
+func ParseSelect(src string) (*SelectStmt, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sql: expected a SELECT statement, got %T", stmt)
+	}
+	return sel, nil
+}
+
+// ParseScript parses a semicolon-separated sequence of statements.
+func ParseScript(src string) ([]Statement, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	var stmts []Statement
+	for !p.atEOF() {
+		stmt, err := p.parseStatement()
+		if err != nil {
+			return stmts, err
+		}
+		stmts = append(stmts, stmt)
+		if !p.accept(TokOp, ";") && !p.atEOF() {
+			t := p.peek()
+			return stmts, fmt.Errorf("sql:%d:%d: expected ';' between statements, got %q", t.Line, t.Col, t.Text)
+		}
+		// Allow trailing semicolons.
+		for p.accept(TokOp, ";") {
+		}
+	}
+	return stmts, nil
+}
+
+func (p *Parser) atEOF() bool { return p.pos >= len(p.toks) }
+
+func (p *Parser) peek() Token {
+	if p.atEOF() {
+		return Token{Kind: TokEOF}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *Parser) peekAt(off int) Token {
+	if p.pos+off >= len(p.toks) {
+		return Token{Kind: TokEOF}
+	}
+	return p.toks[p.pos+off]
+}
+
+func (p *Parser) next() Token {
+	t := p.peek()
+	if !p.atEOF() {
+		p.pos++
+	}
+	return t
+}
+
+// accept consumes the next token if it matches kind and (case-insensitive)
+// text; empty text matches any text of that kind.
+func (p *Parser) accept(kind TokenKind, text string) bool {
+	t := p.peek()
+	if t.Kind != kind {
+		return false
+	}
+	if text != "" && !strings.EqualFold(t.Text, text) {
+		return false
+	}
+	p.pos++
+	return true
+}
+
+func (p *Parser) acceptKeyword(kw string) bool { return p.accept(TokKeyword, kw) }
+
+func (p *Parser) expect(kind TokenKind, text string) (Token, error) {
+	t := p.peek()
+	if t.Kind != kind || (text != "" && !strings.EqualFold(t.Text, text)) {
+		want := text
+		if want == "" {
+			want = kind.String()
+		}
+		return t, fmt.Errorf("sql:%d:%d: expected %s, got %s %q", t.Line, t.Col, want, t.Kind, t.Text)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *Parser) expectKeyword(kw string) error {
+	_, err := p.expect(TokKeyword, kw)
+	return err
+}
+
+// parseIdent accepts an identifier or a non-reserved keyword used as a name
+// (the paper's schema uses CAST and YEAR, which many dialects reserve; we
+// treat every keyword that can syntactically be a name as one).
+func (p *Parser) parseIdent() (string, error) {
+	t := p.peek()
+	if t.Kind == TokIdent {
+		p.pos++
+		return t.Text, nil
+	}
+	// Keywords usable as identifiers in name position.
+	if t.Kind == TokKeyword {
+		switch t.Text {
+		case "COUNT", "SUM", "AVG", "MIN", "MAX", "DATE", "KEY", "VIEW", "ALL", "ANY", "SOME":
+			p.pos++
+			return t.Text, nil
+		}
+	}
+	return "", fmt.Errorf("sql:%d:%d: expected identifier, got %s %q", t.Line, t.Col, t.Kind, t.Text)
+}
+
+func (p *Parser) parseStatement() (Statement, error) {
+	t := p.peek()
+	if t.Kind != TokKeyword {
+		return nil, fmt.Errorf("sql:%d:%d: expected a statement keyword, got %q", t.Line, t.Col, t.Text)
+	}
+	switch t.Text {
+	case "SELECT":
+		return p.parseSelect()
+	case "INSERT":
+		return p.parseInsert()
+	case "UPDATE":
+		return p.parseUpdate()
+	case "DELETE":
+		return p.parseDelete()
+	case "CREATE":
+		return p.parseCreate()
+	default:
+		return nil, fmt.Errorf("sql:%d:%d: unsupported statement %q", t.Line, t.Col, t.Text)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// SELECT
+// ---------------------------------------------------------------------------
+
+func (p *Parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &SelectStmt{Limit: -1}
+	sel.Distinct = p.acceptKeyword("DISTINCT")
+
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if !p.accept(TokOp, ",") {
+			break
+		}
+	}
+
+	if p.acceptKeyword("FROM") {
+		for {
+			tr, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			sel.From = append(sel.From, tr)
+			if !p.accept(TokOp, ",") {
+				break
+			}
+		}
+	}
+
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = w
+	}
+
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			g, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, g)
+			if !p.accept(TokOp, ",") {
+				break
+			}
+		}
+	}
+
+	if p.acceptKeyword("HAVING") {
+		h, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = h
+	}
+
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if !p.accept(TokOp, ",") {
+				break
+			}
+		}
+	}
+
+	if p.acceptKeyword("LIMIT") {
+		t, err := p.expect(TokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(t.Text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("sql:%d:%d: bad LIMIT %q", t.Line, t.Col, t.Text)
+		}
+		sel.Limit = n
+	}
+	return sel, nil
+}
+
+func (p *Parser) parseSelectItem() (SelectItem, error) {
+	// Bare `*`.
+	if p.peek().Kind == TokOp && p.peek().Text == "*" {
+		p.pos++
+		return SelectItem{Expr: &Star{}}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKeyword("AS") {
+		alias, err := p.parseIdent()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = alias
+	} else if p.peek().Kind == TokIdent {
+		// Implicit alias: `m.title title`.
+		item.Alias = p.next().Text
+	}
+	return item, nil
+}
+
+func (p *Parser) parseTableRef() (*TableRef, error) {
+	rel, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	tr := &TableRef{Relation: rel}
+	if p.acceptKeyword("AS") {
+		alias, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		tr.Alias = alias
+	} else if p.peek().Kind == TokIdent {
+		tr.Alias = p.next().Text
+	}
+	// Explicit JOIN chain.
+	cur := tr
+	for {
+		var kind JoinKind
+		switch {
+		case p.acceptKeyword("JOIN"):
+			kind = JoinInner
+		case p.peek().Kind == TokKeyword && p.peek().Text == "INNER" && p.peekAt(1).Text == "JOIN":
+			p.pos += 2
+			kind = JoinInner
+		case p.peek().Kind == TokKeyword && p.peek().Text == "LEFT":
+			p.pos++
+			p.acceptKeyword("OUTER")
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			kind = JoinLeft
+		case p.peek().Kind == TokKeyword && p.peek().Text == "RIGHT":
+			p.pos++
+			p.acceptKeyword("OUTER")
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			kind = JoinRight
+		default:
+			return tr, nil
+		}
+		rightRel, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		right := &TableRef{Relation: rightRel}
+		if p.acceptKeyword("AS") {
+			alias, err := p.parseIdent()
+			if err != nil {
+				return nil, err
+			}
+			right.Alias = alias
+		} else if p.peek().Kind == TokIdent {
+			right.Alias = p.next().Text
+		}
+		var on Expr
+		if p.acceptKeyword("ON") {
+			on, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		cur.Join = &JoinClause{Kind: kind, Right: right, On: on}
+		cur = right
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Expressions (precedence climbing)
+// ---------------------------------------------------------------------------
+
+// parseExpr parses a full boolean expression: OR of ANDs of NOTs of
+// predicates of additive expressions.
+func (p *Parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: OpOr, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		// AND also terminates BETWEEN lo AND hi; parseNot handles BETWEEN
+		// atomically, so any AND here is a conjunction.
+		if !p.acceptKeyword("AND") {
+			return left, nil
+		}
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: OpAnd, Left: left, Right: right}
+	}
+}
+
+func (p *Parser) parseNot() (Expr, error) {
+	if p.peek().Kind == TokKeyword && p.peek().Text == "NOT" {
+		// NOT EXISTS is handled in parsePredicate via the primary; here only
+		// generic NOT <expr>.
+		if p.peekAt(1).Kind == TokKeyword && p.peekAt(1).Text == "EXISTS" {
+			return p.parsePredicate()
+		}
+		p.pos++
+		inner, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{Inner: inner}, nil
+	}
+	return p.parsePredicate()
+}
+
+// parsePredicate parses comparison / IN / BETWEEN / LIKE / IS NULL /
+// quantified predicates over additive expressions.
+func (p *Parser) parsePredicate() (Expr, error) {
+	// EXISTS / NOT EXISTS.
+	if p.peek().Kind == TokKeyword && p.peek().Text == "EXISTS" {
+		p.pos++
+		sub, err := p.parseParenSubquery()
+		if err != nil {
+			return nil, err
+		}
+		return &ExistsExpr{Subquery: sub}, nil
+	}
+	if p.peek().Kind == TokKeyword && p.peek().Text == "NOT" &&
+		p.peekAt(1).Kind == TokKeyword && p.peekAt(1).Text == "EXISTS" {
+		p.pos += 2
+		sub, err := p.parseParenSubquery()
+		if err != nil {
+			return nil, err
+		}
+		return &ExistsExpr{Negate: true, Subquery: sub}, nil
+	}
+
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+
+	// IS [NOT] NULL.
+	if p.acceptKeyword("IS") {
+		neg := p.acceptKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{Inner: left, Negate: neg}, nil
+	}
+
+	// [NOT] IN / [NOT] BETWEEN / [NOT] LIKE.
+	negate := false
+	if p.peek().Kind == TokKeyword && p.peek().Text == "NOT" {
+		switch p.peekAt(1).Text {
+		case "IN", "BETWEEN", "LIKE":
+			p.pos++
+			negate = true
+		}
+	}
+
+	switch {
+	case p.acceptKeyword("IN"):
+		return p.parseInTail(left, negate)
+	case p.acceptKeyword("BETWEEN"):
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenExpr{Subject: left, Lo: lo, Hi: hi, Negate: negate}, nil
+	case p.acceptKeyword("LIKE"):
+		pat, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		like := Expr(&BinaryExpr{Op: OpLike, Left: left, Right: pat})
+		if negate {
+			like = &NotExpr{Inner: like}
+		}
+		return like, nil
+	}
+
+	// Comparison, possibly quantified.
+	var op BinaryOp
+	t := p.peek()
+	if t.Kind == TokOp {
+		switch t.Text {
+		case "=":
+			op = OpEq
+		case "!=":
+			op = OpNe
+		case "<":
+			op = OpLt
+		case "<=":
+			op = OpLe
+		case ">":
+			op = OpGt
+		case ">=":
+			op = OpGe
+		default:
+			return left, nil
+		}
+		p.pos++
+	} else {
+		return left, nil
+	}
+
+	// op ALL|ANY|SOME (subquery)
+	if p.peek().Kind == TokKeyword {
+		switch p.peek().Text {
+		case "ALL":
+			p.pos++
+			sub, err := p.parseParenSubquery()
+			if err != nil {
+				return nil, err
+			}
+			return &QuantifiedExpr{Subject: left, Op: op, All: true, Subquery: sub}, nil
+		case "ANY", "SOME":
+			p.pos++
+			sub, err := p.parseParenSubquery()
+			if err != nil {
+				return nil, err
+			}
+			return &QuantifiedExpr{Subject: left, Op: op, All: false, Subquery: sub}, nil
+		}
+	}
+
+	right, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	return &BinaryExpr{Op: op, Left: left, Right: right}, nil
+}
+
+func (p *Parser) parseInTail(subject Expr, negate bool) (Expr, error) {
+	if _, err := p.expect(TokOp, "("); err != nil {
+		return nil, err
+	}
+	if p.peek().Kind == TokKeyword && p.peek().Text == "SELECT" {
+		sub, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokOp, ")"); err != nil {
+			return nil, err
+		}
+		return &InExpr{Subject: subject, Negate: negate, Subquery: sub}, nil
+	}
+	var list []Expr
+	for {
+		e, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		list = append(list, e)
+		if !p.accept(TokOp, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(TokOp, ")"); err != nil {
+		return nil, err
+	}
+	return &InExpr{Subject: subject, Negate: negate, List: list}, nil
+}
+
+func (p *Parser) parseParenSubquery() (*SelectStmt, error) {
+	if _, err := p.expect(TokOp, "("); err != nil {
+		return nil, err
+	}
+	sub, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokOp, ")"); err != nil {
+		return nil, err
+	}
+	return sub, nil
+}
+
+func (p *Parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind != TokOp || (t.Text != "+" && t.Text != "-") {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		op := OpAdd
+		if t.Text == "-" {
+			op = OpSub
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *Parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind != TokOp || (t.Text != "*" && t.Text != "/" && t.Text != "%") {
+			return left, nil
+		}
+		// A `*` directly before `)` or `,` or FROM is a select-star context,
+		// never multiplication; but parseUnary never leaves us there. Safe.
+		p.pos++
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		var op BinaryOp
+		switch t.Text {
+		case "*":
+			op = OpMul
+		case "/":
+			op = OpDiv
+		default:
+			op = OpMod
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	if p.peek().Kind == TokOp && p.peek().Text == "-" {
+		p.pos++
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if lit, ok := inner.(*Literal); ok && lit.Value.Kind() == value.Int {
+			return &Literal{Value: value.NewInt(-lit.Value.Int())}, nil
+		}
+		if lit, ok := inner.(*Literal); ok && lit.Value.Kind() == value.Float {
+			return &Literal{Value: value.NewFloat(-lit.Value.Float())}, nil
+		}
+		return &BinaryExpr{Op: OpSub, Left: &Literal{Value: value.NewInt(0)}, Right: inner}, nil
+	}
+	if p.peek().Kind == TokOp && p.peek().Text == "+" {
+		p.pos++
+		return p.parseUnary()
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokNumber:
+		p.pos++
+		if strings.Contains(t.Text, ".") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sql:%d:%d: bad number %q", t.Line, t.Col, t.Text)
+			}
+			return &Literal{Value: value.NewFloat(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql:%d:%d: bad number %q", t.Line, t.Col, t.Text)
+		}
+		return &Literal{Value: value.NewInt(n)}, nil
+
+	case TokString:
+		p.pos++
+		return &Literal{Value: value.NewText(t.Text)}, nil
+
+	case TokKeyword:
+		switch t.Text {
+		case "NULL":
+			p.pos++
+			return &Literal{Value: value.NewNull()}, nil
+		case "TRUE":
+			p.pos++
+			return &Literal{Value: value.NewBool(true)}, nil
+		case "FALSE":
+			p.pos++
+			return &Literal{Value: value.NewBool(false)}, nil
+		case "DATE":
+			// DATE 'yyyy-mm-dd'
+			if p.peekAt(1).Kind == TokString {
+				p.pos++
+				st := p.next()
+				d, err := lexicon.ParseDate(st.Text)
+				if err != nil {
+					return nil, fmt.Errorf("sql:%d:%d: bad date literal %q", st.Line, st.Col, st.Text)
+				}
+				return &Literal{Value: value.NewDate(d)}, nil
+			}
+			// Otherwise DATE acts as an identifier (column named date).
+			return p.parseNameExpr()
+		case "COUNT", "SUM", "AVG", "MIN", "MAX":
+			if p.peekAt(1).Kind == TokOp && p.peekAt(1).Text == "(" {
+				return p.parseAggregate()
+			}
+			return p.parseNameExpr()
+		case "CASE":
+			return p.parseCase()
+		case "SELECT":
+			return nil, fmt.Errorf("sql:%d:%d: subquery must be parenthesized", t.Line, t.Col)
+		case "ALL", "ANY", "SOME", "KEY", "VIEW":
+			return p.parseNameExpr()
+		default:
+			return nil, fmt.Errorf("sql:%d:%d: unexpected keyword %q in expression", t.Line, t.Col, t.Text)
+		}
+
+	case TokIdent:
+		return p.parseNameExpr()
+
+	case TokOp:
+		if t.Text == "(" {
+			p.pos++
+			// Parenthesized subquery or expression.
+			if p.peek().Kind == TokKeyword && p.peek().Text == "SELECT" {
+				sub, err := p.parseSelect()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(TokOp, ")"); err != nil {
+					return nil, err
+				}
+				return &SubqueryExpr{Subquery: sub}, nil
+			}
+			inner, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokOp, ")"); err != nil {
+				return nil, err
+			}
+			return inner, nil
+		}
+		if t.Text == "*" {
+			p.pos++
+			return &Star{}, nil
+		}
+	}
+	return nil, fmt.Errorf("sql:%d:%d: unexpected %s %q in expression", t.Line, t.Col, t.Kind, t.Text)
+}
+
+// parseNameExpr parses `name` or `qualifier.name` or `qualifier.*`.
+func (p *Parser) parseNameExpr() (Expr, error) {
+	name, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Kind == TokOp && p.peek().Text == "." {
+		p.pos++
+		if p.peek().Kind == TokOp && p.peek().Text == "*" {
+			p.pos++
+			return &ColumnRef{Table: name, Column: "*"}, nil
+		}
+		col, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &ColumnRef{Table: name, Column: col}, nil
+	}
+	return &ColumnRef{Column: name}, nil
+}
+
+func (p *Parser) parseAggregate() (Expr, error) {
+	t := p.next() // function keyword
+	var fn AggFunc
+	switch t.Text {
+	case "COUNT":
+		fn = AggCount
+	case "SUM":
+		fn = AggSum
+	case "AVG":
+		fn = AggAvg
+	case "MIN":
+		fn = AggMin
+	case "MAX":
+		fn = AggMax
+	}
+	if _, err := p.expect(TokOp, "("); err != nil {
+		return nil, err
+	}
+	agg := &AggregateExpr{Func: fn}
+	if p.peek().Kind == TokOp && p.peek().Text == "*" {
+		p.pos++
+		if fn != AggCount {
+			return nil, fmt.Errorf("sql:%d:%d: %s(*) is not valid", t.Line, t.Col, fn)
+		}
+	} else {
+		agg.Distinct = p.acceptKeyword("DISTINCT")
+		arg, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		agg.Arg = arg
+	}
+	if _, err := p.expect(TokOp, ")"); err != nil {
+		return nil, err
+	}
+	return agg, nil
+}
+
+func (p *Parser) parseCase() (Expr, error) {
+	if err := p.expectKeyword("CASE"); err != nil {
+		return nil, err
+	}
+	out := &CaseExpr{}
+	for p.acceptKeyword("WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		out.Whens = append(out.Whens, CaseWhen{Cond: cond, Then: then})
+	}
+	if len(out.Whens) == 0 {
+		t := p.peek()
+		return nil, fmt.Errorf("sql:%d:%d: CASE requires at least one WHEN", t.Line, t.Col)
+	}
+	if p.acceptKeyword("ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		out.Else = e
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// DML / DDL
+// ---------------------------------------------------------------------------
+
+func (p *Parser) parseInsert() (Statement, error) {
+	if err := p.expectKeyword("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	rel, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &InsertStmt{Relation: rel}
+	if p.peek().Kind == TokOp && p.peek().Text == "(" {
+		p.pos++
+		for {
+			col, err := p.parseIdent()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Columns = append(stmt.Columns, col)
+			if !p.accept(TokOp, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokOp, ")"); err != nil {
+			return nil, err
+		}
+	}
+	if p.peek().Kind == TokKeyword && p.peek().Text == "SELECT" {
+		q, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Query = q
+		return stmt, nil
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := p.expect(TokOp, "("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.accept(TokOp, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokOp, ")"); err != nil {
+			return nil, err
+		}
+		stmt.Rows = append(stmt.Rows, row)
+		if !p.accept(TokOp, ",") {
+			break
+		}
+	}
+	return stmt, nil
+}
+
+func (p *Parser) parseUpdate() (Statement, error) {
+	if err := p.expectKeyword("UPDATE"); err != nil {
+		return nil, err
+	}
+	rel, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &UpdateStmt{Relation: rel}
+	if p.peek().Kind == TokIdent {
+		stmt.Alias = p.next().Text
+	}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokOp, "="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Set = append(stmt.Set, Assignment{Column: col, Value: e})
+		if !p.accept(TokOp, ",") {
+			break
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = w
+	}
+	return stmt, nil
+}
+
+func (p *Parser) parseDelete() (Statement, error) {
+	if err := p.expectKeyword("DELETE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	rel, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &DeleteStmt{Relation: rel}
+	if p.peek().Kind == TokIdent {
+		stmt.Alias = p.next().Text
+	}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = w
+	}
+	return stmt, nil
+}
+
+func (p *Parser) parseCreate() (Statement, error) {
+	if err := p.expectKeyword("CREATE"); err != nil {
+		return nil, err
+	}
+	switch {
+	case p.acceptKeyword("TABLE"):
+		return p.parseCreateTable()
+	case p.acceptKeyword("VIEW"):
+		name, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AS"); err != nil {
+			return nil, err
+		}
+		q, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		return &CreateViewStmt{Name: name, Query: q}, nil
+	default:
+		t := p.peek()
+		return nil, fmt.Errorf("sql:%d:%d: expected TABLE or VIEW after CREATE", t.Line, t.Col)
+	}
+}
+
+func (p *Parser) parseCreateTable() (Statement, error) {
+	name, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &CreateTableStmt{Name: name}
+	if _, err := p.expect(TokOp, "("); err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.peek().Kind == TokKeyword && p.peek().Text == "PRIMARY":
+			p.pos++
+			if err := p.expectKeyword("KEY"); err != nil {
+				return nil, err
+			}
+			cols, err := p.parseParenNameList()
+			if err != nil {
+				return nil, err
+			}
+			stmt.PrimaryKey = cols
+		case p.peek().Kind == TokKeyword && p.peek().Text == "FOREIGN":
+			p.pos++
+			if err := p.expectKeyword("KEY"); err != nil {
+				return nil, err
+			}
+			cols, err := p.parseParenNameList()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("REFERENCES"); err != nil {
+				return nil, err
+			}
+			ref, err := p.parseIdent()
+			if err != nil {
+				return nil, err
+			}
+			refCols, err := p.parseParenNameList()
+			if err != nil {
+				return nil, err
+			}
+			stmt.ForeignKeys = append(stmt.ForeignKeys, ForeignKeyDef{Columns: cols, RefTable: ref, RefColumns: refCols})
+		default:
+			col, err := p.parseIdent()
+			if err != nil {
+				return nil, err
+			}
+			ty, err := p.parseIdent()
+			if err != nil {
+				return nil, err
+			}
+			def := ColumnDef{Name: col, Type: strings.ToUpper(ty)}
+			if p.peek().Kind == TokKeyword && p.peek().Text == "NOT" {
+				p.pos++
+				if err := p.expectKeyword("NULL"); err != nil {
+					return nil, err
+				}
+				def.NotNull = true
+			}
+			stmt.Columns = append(stmt.Columns, def)
+		}
+		if !p.accept(TokOp, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(TokOp, ")"); err != nil {
+		return nil, err
+	}
+	return stmt, nil
+}
+
+func (p *Parser) parseParenNameList() ([]string, error) {
+	if _, err := p.expect(TokOp, "("); err != nil {
+		return nil, err
+	}
+	var names []string
+	for {
+		n, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, n)
+		if !p.accept(TokOp, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(TokOp, ")"); err != nil {
+		return nil, err
+	}
+	return names, nil
+}

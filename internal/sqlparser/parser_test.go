@@ -1,0 +1,630 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/value"
+)
+
+func mustSelect(t *testing.T, src string) *SelectStmt {
+	t.Helper()
+	sel, err := ParseSelect(src)
+	if err != nil {
+		t.Fatalf("ParseSelect(%q): %v", src, err)
+	}
+	return sel
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	sel := mustSelect(t, "select m.title from MOVIES m where m.year = 2005")
+	if len(sel.Items) != 1 {
+		t.Fatalf("items = %d", len(sel.Items))
+	}
+	col, ok := sel.Items[0].Expr.(*ColumnRef)
+	if !ok || col.Table != "m" || col.Column != "title" {
+		t.Errorf("item = %#v", sel.Items[0].Expr)
+	}
+	if len(sel.From) != 1 || sel.From[0].Relation != "MOVIES" || sel.From[0].Alias != "m" {
+		t.Errorf("from = %#v", sel.From[0])
+	}
+	cmp, ok := sel.Where.(*BinaryExpr)
+	if !ok || cmp.Op != OpEq {
+		t.Fatalf("where = %#v", sel.Where)
+	}
+	lit, ok := cmp.Right.(*Literal)
+	if !ok || lit.Value.Int() != 2005 {
+		t.Errorf("rhs = %#v", cmp.Right)
+	}
+}
+
+func TestParseAllPaperQueries(t *testing.T) {
+	for label, src := range PaperQueries {
+		sel, err := ParseSelect(src)
+		if err != nil {
+			t.Errorf("%s: %v", label, err)
+			continue
+		}
+		// Round trip: print and reparse; ASTs must print identically.
+		printed := sel.SQL()
+		again, err := ParseSelect(printed)
+		if err != nil {
+			t.Errorf("%s: reparse of %q: %v", label, printed, err)
+			continue
+		}
+		if again.SQL() != printed {
+			t.Errorf("%s: round trip mismatch:\n  %s\n  %s", label, printed, again.SQL())
+		}
+	}
+}
+
+func TestParseQ1Shape(t *testing.T) {
+	sel := mustSelect(t, PaperQueries["Q1"])
+	if len(sel.From) != 3 {
+		t.Fatalf("Q1 from = %d", len(sel.From))
+	}
+	conj := Conjuncts(sel.Where)
+	if len(conj) != 3 {
+		t.Fatalf("Q1 conjuncts = %d", len(conj))
+	}
+}
+
+func TestParseQ5Nesting(t *testing.T) {
+	sel := mustSelect(t, PaperQueries["Q5"])
+	in1, ok := sel.Where.(*InExpr)
+	if !ok || in1.Subquery == nil {
+		t.Fatalf("Q5 outer where = %#v", sel.Where)
+	}
+	in2, ok := in1.Subquery.Where.(*InExpr)
+	if !ok || in2.Subquery == nil {
+		t.Fatalf("Q5 inner where = %#v", in1.Subquery.Where)
+	}
+	cmp, ok := in2.Subquery.Where.(*BinaryExpr)
+	if !ok || cmp.Op != OpEq {
+		t.Fatalf("Q5 innermost where = %#v", in2.Subquery.Where)
+	}
+}
+
+func TestParseQ6DoubleNotExists(t *testing.T) {
+	sel := mustSelect(t, PaperQueries["Q6"])
+	ex1, ok := sel.Where.(*ExistsExpr)
+	if !ok || !ex1.Negate {
+		t.Fatalf("Q6 outer = %#v", sel.Where)
+	}
+	ex2, ok := ex1.Subquery.Where.(*ExistsExpr)
+	if !ok || !ex2.Negate {
+		t.Fatalf("Q6 inner = %#v", ex1.Subquery.Where)
+	}
+}
+
+func TestParseQ7HavingScalarSubquery(t *testing.T) {
+	sel := mustSelect(t, PaperQueries["Q7"])
+	if len(sel.GroupBy) != 2 {
+		t.Fatalf("Q7 group by = %d", len(sel.GroupBy))
+	}
+	cmp, ok := sel.Having.(*BinaryExpr)
+	if !ok || cmp.Op != OpLt {
+		t.Fatalf("Q7 having = %#v", sel.Having)
+	}
+	if _, ok := cmp.Right.(*SubqueryExpr); !ok {
+		t.Fatalf("Q7 having rhs = %#v", cmp.Right)
+	}
+	// COUNT(*) in select list.
+	agg, ok := sel.Items[2].Expr.(*AggregateExpr)
+	if !ok || agg.Func != AggCount || agg.Arg != nil {
+		t.Fatalf("Q7 count(*) = %#v", sel.Items[2].Expr)
+	}
+}
+
+func TestParseQ8CountDistinct(t *testing.T) {
+	sel := mustSelect(t, PaperQueries["Q8"])
+	cmp := sel.Having.(*BinaryExpr)
+	agg, ok := cmp.Left.(*AggregateExpr)
+	if !ok || !agg.Distinct || agg.Func != AggCount {
+		t.Fatalf("Q8 having lhs = %#v", cmp.Left)
+	}
+	lit, ok := cmp.Right.(*Literal)
+	if !ok || lit.Value.Int() != 1 {
+		t.Fatalf("Q8 having rhs = %#v", cmp.Right)
+	}
+}
+
+func TestParseQ9QuantifiedAll(t *testing.T) {
+	sel := mustSelect(t, PaperQueries["Q9"])
+	conj := Conjuncts(sel.Where)
+	var q *QuantifiedExpr
+	for _, c := range conj {
+		if qq, ok := c.(*QuantifiedExpr); ok {
+			q = qq
+		}
+	}
+	if q == nil || !q.All || q.Op != OpLe {
+		t.Fatalf("Q9 quantifier = %#v", q)
+	}
+	if len(q.Subquery.From) != 2 {
+		t.Errorf("Q9 subquery from = %d", len(q.Subquery.From))
+	}
+}
+
+func TestParseInList(t *testing.T) {
+	sel := mustSelect(t, "select * from GENRE g where g.genre in ('action', 'drama', 'comedy')")
+	in, ok := sel.Where.(*InExpr)
+	if !ok || len(in.List) != 3 || in.Subquery != nil {
+		t.Fatalf("in = %#v", sel.Where)
+	}
+	sel2 := mustSelect(t, "select * from GENRE g where g.genre not in ('action')")
+	in2 := sel2.Where.(*InExpr)
+	if !in2.Negate {
+		t.Error("NOT IN not negated")
+	}
+}
+
+func TestParseBetweenLikeIsNull(t *testing.T) {
+	sel := mustSelect(t, "select * from MOVIES m where m.year between 2000 and 2005 and m.title like 'M%' and m.id is not null")
+	conj := Conjuncts(sel.Where)
+	if len(conj) != 3 {
+		t.Fatalf("conjuncts = %d", len(conj))
+	}
+	if b, ok := conj[0].(*BetweenExpr); !ok || b.Negate {
+		t.Errorf("between = %#v", conj[0])
+	}
+	if l, ok := conj[1].(*BinaryExpr); !ok || l.Op != OpLike {
+		t.Errorf("like = %#v", conj[1])
+	}
+	if n, ok := conj[2].(*IsNullExpr); !ok || !n.Negate {
+		t.Errorf("is not null = %#v", conj[2])
+	}
+	sel2 := mustSelect(t, "select * from MOVIES m where m.year not between 1990 and 1999")
+	if b := sel2.Where.(*BetweenExpr); !b.Negate {
+		t.Error("NOT BETWEEN not negated")
+	}
+	sel3 := mustSelect(t, "select * from MOVIES m where m.title is null")
+	if n := sel3.Where.(*IsNullExpr); n.Negate {
+		t.Error("IS NULL negated")
+	}
+}
+
+func TestParseOrderLimitDistinct(t *testing.T) {
+	sel := mustSelect(t, "select distinct m.title from MOVIES m order by m.year desc, m.title limit 10")
+	if !sel.Distinct {
+		t.Error("distinct lost")
+	}
+	if len(sel.OrderBy) != 2 || !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc {
+		t.Errorf("order by = %#v", sel.OrderBy)
+	}
+	if sel.Limit != 10 {
+		t.Errorf("limit = %d", sel.Limit)
+	}
+}
+
+func TestParseExplicitJoin(t *testing.T) {
+	sel := mustSelect(t, "select m.title from MOVIES m join CAST c on m.id = c.mid left join ACTOR a on c.aid = a.id")
+	tr := sel.From[0]
+	if tr.Join == nil || tr.Join.Kind != JoinInner || tr.Join.Right.Relation != "CAST" {
+		t.Fatalf("join = %#v", tr.Join)
+	}
+	j2 := tr.Join.Right.Join
+	if j2 == nil || j2.Kind != JoinLeft || j2.Right.Relation != "ACTOR" {
+		t.Fatalf("join2 = %#v", j2)
+	}
+	// Render and reparse.
+	printed := sel.SQL()
+	if !strings.Contains(printed, "LEFT JOIN ACTOR a ON") {
+		t.Errorf("printed = %s", printed)
+	}
+	if _, err := ParseSelect(printed); err != nil {
+		t.Errorf("reparse: %v", err)
+	}
+}
+
+func TestParseArithmeticPrecedence(t *testing.T) {
+	sel := mustSelect(t, "select e.sal + 2 * 3 from EMP e")
+	add, ok := sel.Items[0].Expr.(*BinaryExpr)
+	if !ok || add.Op != OpAdd {
+		t.Fatalf("top = %#v", sel.Items[0].Expr)
+	}
+	mul, ok := add.Right.(*BinaryExpr)
+	if !ok || mul.Op != OpMul {
+		t.Fatalf("right = %#v", add.Right)
+	}
+}
+
+func TestParseBooleanPrecedence(t *testing.T) {
+	sel := mustSelect(t, "select * from T t where a = 1 or b = 2 and c = 3")
+	or, ok := sel.Where.(*BinaryExpr)
+	if !ok || or.Op != OpOr {
+		t.Fatalf("top = %#v", sel.Where)
+	}
+	and, ok := or.Right.(*BinaryExpr)
+	if !ok || and.Op != OpAnd {
+		t.Fatalf("right = %#v", or.Right)
+	}
+	// Parenthesized override.
+	sel2 := mustSelect(t, "select * from T t where (a = 1 or b = 2) and c = 3")
+	and2 := sel2.Where.(*BinaryExpr)
+	if and2.Op != OpAnd {
+		t.Fatalf("top2 = %#v", sel2.Where)
+	}
+	if l := and2.Left.(*BinaryExpr); l.Op != OpOr {
+		t.Fatalf("left2 = %#v", and2.Left)
+	}
+}
+
+func TestParseNot(t *testing.T) {
+	sel := mustSelect(t, "select * from T t where not (a = 1 and b = 2)")
+	n, ok := sel.Where.(*NotExpr)
+	if !ok {
+		t.Fatalf("where = %#v", sel.Where)
+	}
+	if inner := n.Inner.(*BinaryExpr); inner.Op != OpAnd {
+		t.Errorf("inner = %#v", n.Inner)
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	sel := mustSelect(t, "select * from T t where name = 'O''Brien'")
+	cmp := sel.Where.(*BinaryExpr)
+	if cmp.Right.(*Literal).Value.Text() != "O'Brien" {
+		t.Errorf("escape = %q", cmp.Right.(*Literal).Value.Text())
+	}
+}
+
+func TestParseDateLiteral(t *testing.T) {
+	sel := mustSelect(t, "select * from DIRECTOR d where d.bdate = DATE '1935-12-01'")
+	cmp := sel.Where.(*BinaryExpr)
+	lit := cmp.Right.(*Literal)
+	if lit.Value.Kind() != value.Date || lit.Value.Date().Year() != 1935 {
+		t.Errorf("date literal = %#v", lit.Value)
+	}
+}
+
+func TestParseNegativeNumbers(t *testing.T) {
+	sel := mustSelect(t, "select -5, -2.5 from T t")
+	if sel.Items[0].Expr.(*Literal).Value.Int() != -5 {
+		t.Error("negative int")
+	}
+	if sel.Items[1].Expr.(*Literal).Value.Float() != -2.5 {
+		t.Error("negative float")
+	}
+}
+
+func TestParseAliases(t *testing.T) {
+	sel := mustSelect(t, "select m.title as t1, m.year y from MOVIES as m")
+	if sel.Items[0].Alias != "t1" || sel.Items[1].Alias != "y" {
+		t.Errorf("aliases = %q, %q", sel.Items[0].Alias, sel.Items[1].Alias)
+	}
+	if sel.From[0].Alias != "m" {
+		t.Errorf("table alias = %q", sel.From[0].Alias)
+	}
+	if sel.From[0].Name() != "m" {
+		t.Errorf("Name() = %q", sel.From[0].Name())
+	}
+	noAlias := mustSelect(t, "select title from MOVIES")
+	if noAlias.From[0].Name() != "MOVIES" {
+		t.Errorf("Name() fallback = %q", noAlias.From[0].Name())
+	}
+}
+
+func TestParseQualifiedStar(t *testing.T) {
+	sel := mustSelect(t, "select m.* from MOVIES m")
+	c, ok := sel.Items[0].Expr.(*ColumnRef)
+	if !ok || c.Column != "*" || c.Table != "m" {
+		t.Errorf("qualified star = %#v", sel.Items[0].Expr)
+	}
+}
+
+func TestParseCase(t *testing.T) {
+	sel := mustSelect(t, "select case when m.year < 2000 then 'old' else 'new' end from MOVIES m")
+	ce, ok := sel.Items[0].Expr.(*CaseExpr)
+	if !ok || len(ce.Whens) != 1 || ce.Else == nil {
+		t.Fatalf("case = %#v", sel.Items[0].Expr)
+	}
+	printed := sel.SQL()
+	if _, err := ParseSelect(printed); err != nil {
+		t.Errorf("case reparse: %v", err)
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	stmt, err := Parse("insert into MOVIES (id, title, year) values (1, 'Match Point', 2005), (2, 'Anything Else', 2003)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := stmt.(*InsertStmt)
+	if ins.Relation != "MOVIES" || len(ins.Columns) != 3 || len(ins.Rows) != 2 {
+		t.Errorf("insert = %#v", ins)
+	}
+	if _, err := Parse(ins.SQL()); err != nil {
+		t.Errorf("insert reparse: %v", err)
+	}
+	// INSERT ... SELECT.
+	stmt2, err := Parse("insert into ARCHIVE select * from MOVIES m where m.year < 1950")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt2.(*InsertStmt).Query == nil {
+		t.Error("insert-select query missing")
+	}
+}
+
+func TestParseUpdate(t *testing.T) {
+	stmt, err := Parse("update EMP e set sal = sal * 2, age = 40 where e.eid = 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := stmt.(*UpdateStmt)
+	if up.Relation != "EMP" || up.Alias != "e" || len(up.Set) != 2 || up.Where == nil {
+		t.Errorf("update = %#v", up)
+	}
+	if _, err := Parse(up.SQL()); err != nil {
+		t.Errorf("update reparse: %v", err)
+	}
+}
+
+func TestParseDelete(t *testing.T) {
+	stmt, err := Parse("delete from MOVIES m where m.year < 1930")
+	if err != nil {
+		t.Fatal(err)
+	}
+	del := stmt.(*DeleteStmt)
+	if del.Relation != "MOVIES" || del.Alias != "m" || del.Where == nil {
+		t.Errorf("delete = %#v", del)
+	}
+	if _, err := Parse(del.SQL()); err != nil {
+		t.Errorf("delete reparse: %v", err)
+	}
+}
+
+func TestParseCreateTable(t *testing.T) {
+	src := `create table MOVIES (
+		id INT NOT NULL,
+		title TEXT,
+		year INT,
+		PRIMARY KEY (id),
+		FOREIGN KEY (did) REFERENCES DIRECTOR (id))`
+	stmt, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := stmt.(*CreateTableStmt)
+	if ct.Name != "MOVIES" || len(ct.Columns) != 3 || !ct.Columns[0].NotNull {
+		t.Errorf("create = %#v", ct)
+	}
+	if len(ct.PrimaryKey) != 1 || len(ct.ForeignKeys) != 1 {
+		t.Errorf("constraints = %#v", ct)
+	}
+	if _, err := Parse(ct.SQL()); err != nil {
+		t.Errorf("create reparse: %v", err)
+	}
+}
+
+func TestParseCreateView(t *testing.T) {
+	stmt, err := Parse("create view RECENT as select m.title from MOVIES m where m.year > 2000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv := stmt.(*CreateViewStmt)
+	if cv.Name != "RECENT" || cv.Query == nil {
+		t.Errorf("view = %#v", cv)
+	}
+	if _, err := Parse(cv.SQL()); err != nil {
+		t.Errorf("view reparse: %v", err)
+	}
+}
+
+func TestParseScript(t *testing.T) {
+	stmts, err := ParseScript("select 1 from T t; delete from T t;; select 2 from T t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Errorf("script stmts = %d", len(stmts))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"select",
+		"select * from",
+		"select * from T t where",
+		"selecz * from T",
+		"select * from T t where a = ",
+		"select * from T t where a in (",
+		"select * from T t limit -1",
+		"select * from T t limit x",
+		"select * from T t where a between 1",
+		"insert into",
+		"update T set",
+		"create banana X",
+		"select * from T t where 'unterminated",
+		"select * from T t where a = 5x",
+		"select * from T t where @",
+		"select * from T t; garbage",
+		"select count(distinct) from T t",
+		"select sum(*) from T t",
+		"select case end from T t",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted", src)
+		}
+	}
+}
+
+func TestKeywordsAsIdentifiers(t *testing.T) {
+	// CAST is a relation name in the paper; COUNT/YEAR-style names must work.
+	sel := mustSelect(t, "select c.role from CAST c where c.mid = 1")
+	if sel.From[0].Relation != "CAST" {
+		t.Errorf("CAST as relation = %q", sel.From[0].Relation)
+	}
+	sel2 := mustSelect(t, "select d.date from DEPT d")
+	if sel2.Items[0].Expr.(*ColumnRef).Column != "DATE" && sel2.Items[0].Expr.(*ColumnRef).Column != "date" {
+		t.Errorf("date column = %#v", sel2.Items[0].Expr)
+	}
+}
+
+func TestComments(t *testing.T) {
+	sel := mustSelect(t, `select m.title -- the title
+from MOVIES m /* block
+comment */ where m.id = 1`)
+	if len(sel.From) != 1 {
+		t.Error("comments break parsing")
+	}
+}
+
+func TestConjunctsAndAll(t *testing.T) {
+	sel := mustSelect(t, "select * from T t where a = 1 and b = 2 and c = 3")
+	conj := Conjuncts(sel.Where)
+	if len(conj) != 3 {
+		t.Fatalf("conjuncts = %d", len(conj))
+	}
+	rebuilt := AndAll(conj)
+	if rebuilt.SQL() != sel.Where.SQL() {
+		t.Errorf("AndAll = %q, want %q", rebuilt.SQL(), sel.Where.SQL())
+	}
+	if AndAll(nil) != nil {
+		t.Error("AndAll(nil) should be nil")
+	}
+	if Conjuncts(nil) != nil {
+		t.Error("Conjuncts(nil) should be nil")
+	}
+}
+
+func TestSubqueries(t *testing.T) {
+	sel := mustSelect(t, PaperQueries["Q5"])
+	subs := Subqueries(sel.Where)
+	if len(subs) != 1 {
+		t.Errorf("direct subqueries = %d", len(subs))
+	}
+	sel7 := mustSelect(t, PaperQueries["Q7"])
+	subs7 := Subqueries(sel7.Having)
+	if len(subs7) != 1 {
+		t.Errorf("Q7 having subqueries = %d", len(subs7))
+	}
+}
+
+func TestHasAggregateAndColumnRefs(t *testing.T) {
+	sel := mustSelect(t, PaperQueries["Q8"])
+	if !HasAggregate(sel.Having) {
+		t.Error("Q8 having has aggregate")
+	}
+	if HasAggregate(sel.Where) {
+		t.Error("Q8 where has no aggregate")
+	}
+	refs := ColumnRefs(sel.Where)
+	if len(refs) != 4 {
+		t.Errorf("Q8 where column refs = %d", len(refs))
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	sel := mustSelect(t, PaperQueries["Q5"])
+	clone := CloneSelect(sel)
+	if clone.SQL() != sel.SQL() {
+		t.Fatal("clone prints differently")
+	}
+	// Mutate the clone; original must not change.
+	clone.Items[0].Alias = "zzz"
+	clone.Where.(*InExpr).Negate = true
+	if sel.Items[0].Alias == "zzz" || sel.Where.(*InExpr).Negate {
+		t.Error("clone shares structure with original")
+	}
+}
+
+func TestOpHelpers(t *testing.T) {
+	if OpLt.Inverse() != OpGt || OpLe.Inverse() != OpGe || OpEq.Inverse() != OpEq {
+		t.Error("Inverse")
+	}
+	if OpLt.Negate() != OpGe || OpEq.Negate() != OpNe {
+		t.Error("Negate")
+	}
+	if !OpEq.IsComparison() || OpAnd.IsComparison() {
+		t.Error("IsComparison")
+	}
+}
+
+func TestTokenizerPositions(t *testing.T) {
+	toks, err := Tokenize("select\n  x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("position = %d:%d", toks[1].Line, toks[1].Col)
+	}
+}
+
+// Property: printing then reparsing a parsed query is a fixpoint (print ∘
+// parse ∘ print = print) across randomized simple queries.
+func TestPrintParseFixpointProperty(t *testing.T) {
+	cols := []string{"a", "b", "c"}
+	ops := []string{"=", "<", ">", "<=", ">=", "!="}
+	f := func(ci, oi uint8, n int16, desc bool) bool {
+		src := "select t." + cols[int(ci)%3] + " from T t where t." +
+			cols[(int(ci)+1)%3] + " " + ops[int(oi)%6] + " " +
+			value.NewInt(int64(n)).String()
+		if desc {
+			src += " order by t.a desc"
+		}
+		sel, err := ParseSelect(src)
+		if err != nil {
+			return false
+		}
+		p1 := sel.SQL()
+		sel2, err := ParseSelect(p1)
+		if err != nil {
+			return false
+		}
+		return sel2.SQL() == p1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CloneSelect output prints identically to its input for the whole
+// paper corpus plus randomized decoration.
+func TestClonePrintsIdenticallyProperty(t *testing.T) {
+	for label, src := range PaperQueries {
+		sel, err := ParseSelect(src)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if CloneSelect(sel).SQL() != sel.SQL() {
+			t.Errorf("%s: clone print mismatch", label)
+		}
+	}
+}
+
+func BenchmarkParseQ1(b *testing.B) {
+	src := PaperQueries["Q1"]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseSelect(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseQ7(b *testing.B) {
+	src := PaperQueries["Q7"]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseSelect(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPrintQ7(b *testing.B) {
+	sel, err := ParseSelect(PaperQueries["Q7"])
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sel.SQL()
+	}
+}

@@ -1,0 +1,507 @@
+// Package storage implements the in-memory relational storage substrate the
+// translation pipeline runs against: typed tuples, tables with primary-key /
+// foreign-key / NOT NULL enforcement, hash indexes, and CSV import/export.
+//
+// The paper assumes a DBMS holds the schema and data whose contents and
+// queries are translated; this package (together with internal/engine) is
+// that DBMS, built from scratch so the whole reproduction is self-contained
+// and deterministic.
+package storage
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/value"
+)
+
+// Tuple is one row: values positionally aligned with the relation's
+// attributes.
+type Tuple []value.Value
+
+// Clone returns an independent copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Key builds a composite map key over the given attribute positions.
+func (t Tuple) Key(positions []int) string {
+	var b strings.Builder
+	for i, p := range positions {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(t[p].Key())
+	}
+	return b.String()
+}
+
+// String renders the tuple for debugging: (1, Match Point, 2005).
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Table stores the tuples of one relation plus its indexes.
+type Table struct {
+	rel    *catalog.Relation
+	tuples []Tuple
+	// pk maps composite primary-key value keys to tuple positions.
+	pk map[string]int
+	// secondary maps index name -> (value key -> tuple positions).
+	secondary map[string]*hashIndex
+	pkPos     []int
+}
+
+type hashIndex struct {
+	positions []int
+	buckets   map[string][]int
+}
+
+// Relation returns the catalog metadata of the table.
+func (t *Table) Relation() *catalog.Relation { return t.rel }
+
+// Len returns the number of tuples.
+func (t *Table) Len() int { return len(t.tuples) }
+
+// Tuple returns the i-th tuple. The tuple is shared; callers must not
+// mutate it.
+func (t *Table) Tuple(i int) Tuple { return t.tuples[i] }
+
+// Tuples returns all tuples in insertion order (shared slice).
+func (t *Table) Tuples() []Tuple { return t.tuples }
+
+// Scan calls fn for each tuple until fn returns false.
+func (t *Table) Scan(fn func(Tuple) bool) {
+	for _, tup := range t.tuples {
+		if !fn(tup) {
+			return
+		}
+	}
+}
+
+// LookupPK returns the tuple with the given primary-key values, if any.
+func (t *Table) LookupPK(key Tuple) (Tuple, bool) {
+	if t.pk == nil {
+		return nil, false
+	}
+	var b strings.Builder
+	for i, v := range key {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(v.Key())
+	}
+	if pos, ok := t.pk[b.String()]; ok {
+		return t.tuples[pos], true
+	}
+	return nil, false
+}
+
+// CreateIndex builds a named hash index over the given attributes.
+func (t *Table) CreateIndex(name string, attrs ...string) error {
+	if _, dup := t.secondary[name]; dup {
+		return fmt.Errorf("storage: duplicate index %q on %s", name, t.rel.Name)
+	}
+	positions := make([]int, len(attrs))
+	for i, a := range attrs {
+		p := t.rel.AttrIndex(a)
+		if p < 0 {
+			return fmt.Errorf("storage: index %q on %s references unknown attribute %q", name, t.rel.Name, a)
+		}
+		positions[i] = p
+	}
+	idx := &hashIndex{positions: positions, buckets: make(map[string][]int)}
+	for pos, tup := range t.tuples {
+		k := tup.Key(positions)
+		idx.buckets[k] = append(idx.buckets[k], pos)
+	}
+	if t.secondary == nil {
+		t.secondary = make(map[string]*hashIndex)
+	}
+	t.secondary[name] = idx
+	return nil
+}
+
+// LookupIndex returns tuples matching the key values on the named index.
+func (t *Table) LookupIndex(name string, key ...value.Value) ([]Tuple, error) {
+	idx, ok := t.secondary[name]
+	if !ok {
+		return nil, fmt.Errorf("storage: unknown index %q on %s", name, t.rel.Name)
+	}
+	if len(key) != len(idx.positions) {
+		return nil, fmt.Errorf("storage: index %q expects %d key values, got %d", name, len(idx.positions), len(key))
+	}
+	var b strings.Builder
+	for i, v := range key {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(v.Key())
+	}
+	positions := idx.buckets[b.String()]
+	out := make([]Tuple, len(positions))
+	for i, p := range positions {
+		out[i] = t.tuples[p]
+	}
+	return out, nil
+}
+
+// Database is a schema plus one table per relation. It is safe for
+// concurrent readers; writers must not run concurrently with anyone else.
+type Database struct {
+	mu     sync.RWMutex
+	schema *catalog.Schema
+	tables map[string]*Table
+}
+
+// NewDatabase creates empty tables for every relation in the schema.
+func NewDatabase(schema *catalog.Schema) (*Database, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	db := &Database{schema: schema, tables: make(map[string]*Table)}
+	for _, r := range schema.Relations() {
+		tbl := &Table{rel: r}
+		if len(r.PrimaryKey) > 0 {
+			tbl.pk = make(map[string]int)
+			tbl.pkPos = make([]int, len(r.PrimaryKey))
+			for i, k := range r.PrimaryKey {
+				tbl.pkPos[i] = r.AttrIndex(k)
+			}
+		}
+		db.tables[strings.ToLower(r.Name)] = tbl
+	}
+	return db, nil
+}
+
+// Schema returns the catalog schema.
+func (db *Database) Schema() *catalog.Schema { return db.schema }
+
+// Table returns the table for the named relation, or nil.
+func (db *Database) Table(name string) *Table {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tables[strings.ToLower(name)]
+}
+
+// TableNames returns the sorted relation names that have tables.
+func (db *Database) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for _, t := range db.tables {
+		names = append(names, t.rel.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Insert validates and appends a tuple to the named relation. Checks, in
+// order: arity, NOT NULL, type conformance, primary-key uniqueness, and
+// foreign-key existence.
+func (db *Database) Insert(relName string, tup Tuple) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.insertLocked(relName, tup)
+}
+
+func (db *Database) insertLocked(relName string, tup Tuple) error {
+	tbl := db.tables[strings.ToLower(relName)]
+	if tbl == nil {
+		return fmt.Errorf("storage: unknown relation %q", relName)
+	}
+	r := tbl.rel
+	if len(tup) != len(r.Attributes) {
+		return fmt.Errorf("storage: %s expects %d values, got %d", r.Name, len(r.Attributes), len(tup))
+	}
+	for i, a := range r.Attributes {
+		v := tup[i]
+		if v.IsNull() {
+			if a.NotNull {
+				return fmt.Errorf("storage: %s.%s is NOT NULL", r.Name, a.Name)
+			}
+			continue
+		}
+		want := value.CatalogKind(a.Type)
+		if v.Kind() != want {
+			coerced, err := value.Coerce(v, want)
+			if err != nil {
+				return fmt.Errorf("storage: %s.%s: %v", r.Name, a.Name, err)
+			}
+			tup[i] = coerced
+		}
+	}
+	var pkKey string
+	if tbl.pk != nil {
+		pkKey = tup.Key(tbl.pkPos)
+		if _, dup := tbl.pk[pkKey]; dup {
+			return fmt.Errorf("storage: duplicate primary key %s in %s", pkKey, r.Name)
+		}
+	}
+	for _, fk := range r.ForeignKey {
+		if err := db.checkForeignKey(r, fk, tup); err != nil {
+			return err
+		}
+	}
+	for _, idx := range tbl.secondary {
+		k := tup.Key(idx.positions)
+		idx.buckets[k] = append(idx.buckets[k], len(tbl.tuples))
+	}
+	tbl.tuples = append(tbl.tuples, tup)
+	if tbl.pk != nil {
+		tbl.pk[pkKey] = len(tbl.tuples) - 1
+	}
+	return nil
+}
+
+func (db *Database) checkForeignKey(r *catalog.Relation, fk catalog.ForeignKey, tup Tuple) error {
+	ref := db.tables[strings.ToLower(fk.RefRelation)]
+	if ref == nil {
+		return fmt.Errorf("storage: foreign key of %s references missing table %q", r.Name, fk.RefRelation)
+	}
+	keyVals := make(Tuple, len(fk.Attrs))
+	for i, a := range fk.Attrs {
+		v := tup[r.AttrIndex(a)]
+		if v.IsNull() {
+			return nil // SQL: NULL FK values are not checked
+		}
+		keyVals[i] = v
+	}
+	// Fast path: FK references the primary key.
+	if ref.rel.IsPrimaryKey(fk.RefAttrs) && ref.pk != nil {
+		ordered := make(Tuple, len(fk.RefAttrs))
+		for i, pos := range ref.pkPos {
+			// pkPos is in PK declaration order; align keyVals to it.
+			for j, ra := range fk.RefAttrs {
+				if ref.rel.AttrIndex(ra) == pos {
+					ordered[i] = keyVals[j]
+				}
+			}
+		}
+		if _, ok := ref.LookupPK(ordered); !ok {
+			return fmt.Errorf("storage: foreign key violation: %s(%s) -> %s(%s) value %s not found",
+				r.Name, strings.Join(fk.Attrs, ","), fk.RefRelation, strings.Join(fk.RefAttrs, ","), keyVals.String())
+		}
+		return nil
+	}
+	// Slow path: scan.
+	refPos := make([]int, len(fk.RefAttrs))
+	for i, a := range fk.RefAttrs {
+		refPos[i] = ref.rel.AttrIndex(a)
+	}
+	found := false
+	ref.Scan(func(rt Tuple) bool {
+		for i, p := range refPos {
+			if !rt[p].Equal(keyVals[i]) {
+				return true
+			}
+		}
+		found = true
+		return false
+	})
+	if !found {
+		return fmt.Errorf("storage: foreign key violation: %s -> %s value %s not found",
+			r.Name, fk.RefRelation, keyVals.String())
+	}
+	return nil
+}
+
+// Delete removes all tuples of relName matching pred and returns the count.
+// Indexes are rebuilt afterwards.
+func (db *Database) Delete(relName string, pred func(Tuple) bool) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	tbl := db.tables[strings.ToLower(relName)]
+	if tbl == nil {
+		return 0, fmt.Errorf("storage: unknown relation %q", relName)
+	}
+	kept := tbl.tuples[:0]
+	removed := 0
+	for _, tup := range tbl.tuples {
+		if pred(tup) {
+			removed++
+		} else {
+			kept = append(kept, tup)
+		}
+	}
+	tbl.tuples = kept
+	tbl.rebuildIndexes()
+	return removed, nil
+}
+
+// Update applies fn to every tuple of relName matching pred; fn must return
+// the replacement tuple. Constraints are re-checked on the replacement.
+func (db *Database) Update(relName string, pred func(Tuple) bool, fn func(Tuple) Tuple) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	tbl := db.tables[strings.ToLower(relName)]
+	if tbl == nil {
+		return 0, fmt.Errorf("storage: unknown relation %q", relName)
+	}
+	r := tbl.rel
+	updated := 0
+	for i, tup := range tbl.tuples {
+		if !pred(tup) {
+			continue
+		}
+		repl := fn(tup.Clone())
+		if len(repl) != len(r.Attributes) {
+			return updated, fmt.Errorf("storage: update of %s produced wrong arity", r.Name)
+		}
+		for j, a := range r.Attributes {
+			if repl[j].IsNull() && a.NotNull {
+				return updated, fmt.Errorf("storage: %s.%s is NOT NULL", r.Name, a.Name)
+			}
+			if !repl[j].IsNull() {
+				want := value.CatalogKind(a.Type)
+				if repl[j].Kind() != want {
+					coerced, err := value.Coerce(repl[j], want)
+					if err != nil {
+						return updated, fmt.Errorf("storage: %s.%s: %v", r.Name, a.Name, err)
+					}
+					repl[j] = coerced
+				}
+			}
+		}
+		tbl.tuples[i] = repl
+		updated++
+	}
+	tbl.rebuildIndexes()
+	return updated, nil
+}
+
+func (t *Table) rebuildIndexes() {
+	if t.pk != nil {
+		t.pk = make(map[string]int, len(t.tuples))
+		for pos, tup := range t.tuples {
+			t.pk[tup.Key(t.pkPos)] = pos
+		}
+	}
+	for _, idx := range t.secondary {
+		idx.buckets = make(map[string][]int, len(t.tuples))
+		for pos, tup := range t.tuples {
+			k := tup.Key(idx.positions)
+			idx.buckets[k] = append(idx.buckets[k], pos)
+		}
+	}
+}
+
+// LoadCSV bulk-loads a relation from CSV with a header row naming the
+// attributes (any order). Empty cells load as NULL.
+func (db *Database) LoadCSV(relName string, r io.Reader) (int, error) {
+	tbl := db.Table(relName)
+	if tbl == nil {
+		return 0, fmt.Errorf("storage: unknown relation %q", relName)
+	}
+	rel := tbl.rel
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return 0, fmt.Errorf("storage: reading CSV header for %s: %v", relName, err)
+	}
+	colPos := make([]int, len(header))
+	for i, h := range header {
+		p := rel.AttrIndex(strings.TrimSpace(h))
+		if p < 0 {
+			return 0, fmt.Errorf("storage: CSV header %q is not an attribute of %s", h, relName)
+		}
+		colPos[i] = p
+	}
+	n := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, fmt.Errorf("storage: reading CSV row for %s: %v", relName, err)
+		}
+		tup := make(Tuple, len(rel.Attributes))
+		for i, cell := range rec {
+			a := rel.Attributes[colPos[i]]
+			v, err := value.Parse(cell, value.CatalogKind(a.Type))
+			if err != nil {
+				return n, fmt.Errorf("storage: %s row %d: %v", relName, n+1, err)
+			}
+			tup[colPos[i]] = v
+		}
+		if err := db.Insert(relName, tup); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// DumpCSV writes the relation as CSV with a header row.
+func (db *Database) DumpCSV(relName string, w io.Writer) error {
+	tbl := db.Table(relName)
+	if tbl == nil {
+		return fmt.Errorf("storage: unknown relation %q", relName)
+	}
+	cw := csv.NewWriter(w)
+	header := make([]string, len(tbl.rel.Attributes))
+	for i, a := range tbl.rel.Attributes {
+		header[i] = a.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, tup := range tbl.tuples {
+		rec := make([]string, len(tup))
+		for i, v := range tup {
+			if v.IsNull() {
+				rec[i] = ""
+			} else {
+				rec[i] = v.String()
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Stats summarizes table cardinalities; the explain subsystem uses it for
+// large-answer feedback.
+func (db *Database) Stats() map[string]int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make(map[string]int, len(db.tables))
+	for _, t := range db.tables {
+		out[t.rel.Name] = len(t.tuples)
+	}
+	return out
+}
+
+// DistinctCount returns the number of distinct non-NULL values in the named
+// attribute, used by cardinality estimation.
+func (db *Database) DistinctCount(relName, attr string) (int, error) {
+	tbl := db.Table(relName)
+	if tbl == nil {
+		return 0, fmt.Errorf("storage: unknown relation %q", relName)
+	}
+	p := tbl.rel.AttrIndex(attr)
+	if p < 0 {
+		return 0, fmt.Errorf("storage: unknown attribute %s.%s", relName, attr)
+	}
+	seen := make(map[string]bool)
+	for _, tup := range tbl.tuples {
+		if !tup[p].IsNull() {
+			seen[tup[p].Key()] = true
+		}
+	}
+	return len(seen), nil
+}

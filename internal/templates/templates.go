@@ -1,0 +1,363 @@
+// Package templates implements the paper's template-label language (§2.2):
+// the phrases attached to schema-graph nodes and edges that are "assigned
+// once, e.g., by the designer, at an initial design phase, and are
+// instantiated at query time".
+//
+// A template is a concatenation ('+' in the paper) of quoted literals and
+// field references:
+//
+//	DNAME + " was born" + " in " + BLOCATION
+//
+// List templates reproduce the paper's MOVIE_LIST construct — a loop bounded
+// by the arity of the bound tuples with a different final clause:
+//
+//	DEFINE MOVIE_LIST AS
+//	  [i < arityOf(TITLE)] { TITLE[i] + " (" + YEAR[i] + "), " }
+//	  [i = arityOf(TITLE)] { "and " + TITLE[i] + " (" + YEAR[i] + ")." }
+//
+// Templates are parsed into small ASTs once and instantiated many times;
+// instantiation walks the segment list with a single strings.Builder.
+package templates
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Binding supplies field values during instantiation. Fields are looked up
+// by the exact name used in the template (conventionally ATTR or REL.ATTR).
+type Binding interface {
+	// Field returns the value of the named field and whether it exists.
+	Field(name string) (string, bool)
+}
+
+// MapBinding is the common Binding: a map from field name to value. Lookup
+// is case-insensitive on a fallback pass so that templates may write DNAME
+// while the catalog stores dname.
+type MapBinding map[string]string
+
+// Field implements Binding.
+func (m MapBinding) Field(name string) (string, bool) {
+	if v, ok := m[name]; ok {
+		return v, true
+	}
+	for k, v := range m {
+		if strings.EqualFold(k, name) {
+			return v, true
+		}
+	}
+	return "", false
+}
+
+// segKind discriminates template segments.
+type segKind int
+
+const (
+	segLiteral segKind = iota
+	segField
+)
+
+type segment struct {
+	kind segKind
+	text string // literal text or field name
+	// index is true when the field carries the loop index suffix "[i]";
+	// such fields resolve per-row inside a ListTemplate.
+	index bool
+}
+
+// Template is a parsed phrase template.
+type Template struct {
+	src      string
+	segments []segment
+}
+
+// Source returns the original template text.
+func (t *Template) Source() string { return t.src }
+
+// Fields returns the distinct field names referenced, in first-use order.
+func (t *Template) Fields() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, s := range t.segments {
+		if s.kind == segField && !seen[s.text] {
+			seen[s.text] = true
+			out = append(out, s.text)
+		}
+	}
+	return out
+}
+
+// MustParse parses a template and panics on error; for package-level
+// annotation tables whose syntax is fixed at compile time.
+func MustParse(src string) *Template {
+	t, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Parse parses the '+'-concatenation template syntax. Literals are
+// double-quoted with \" and \\ escapes; everything else is a field
+// reference, optionally suffixed with "[i]".
+func Parse(src string) (*Template, error) {
+	t := &Template{src: src}
+	rest := strings.TrimSpace(src)
+	if rest == "" {
+		return nil, fmt.Errorf("templates: empty template")
+	}
+	first := true
+	for {
+		if !first {
+			if rest == "" {
+				break
+			}
+			if !strings.HasPrefix(rest, "+") {
+				return nil, fmt.Errorf("templates: expected '+' near %q in %q", rest, src)
+			}
+			rest = strings.TrimSpace(rest[1:])
+			if rest == "" {
+				return nil, fmt.Errorf("templates: dangling '+' in %q", src)
+			}
+		}
+		first = false
+		var seg segment
+		var err error
+		seg, rest, err = parseSegment(rest, src)
+		if err != nil {
+			return nil, err
+		}
+		t.segments = append(t.segments, seg)
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			break
+		}
+	}
+	return t, nil
+}
+
+func parseSegment(rest, src string) (segment, string, error) {
+	if strings.HasPrefix(rest, `"`) {
+		var b strings.Builder
+		i := 1
+		for i < len(rest) {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				b.WriteByte(rest[i+1])
+				i += 2
+				continue
+			}
+			if c == '"' {
+				return segment{kind: segLiteral, text: b.String()}, rest[i+1:], nil
+			}
+			b.WriteByte(c)
+			i++
+		}
+		return segment{}, "", fmt.Errorf("templates: unterminated literal in %q", src)
+	}
+	// Field reference: letters, digits, underscore, dot; optional [i].
+	i := 0
+	for i < len(rest) {
+		c := rest[i]
+		if c == '_' || c == '.' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9') {
+			i++
+			continue
+		}
+		break
+	}
+	if i == 0 {
+		return segment{}, "", fmt.Errorf("templates: unexpected character %q in %q", rest[0], src)
+	}
+	seg := segment{kind: segField, text: rest[:i]}
+	rest = rest[i:]
+	if strings.HasPrefix(rest, "[i]") {
+		seg.index = true
+		rest = rest[3:]
+	}
+	return seg, rest, nil
+}
+
+// Instantiate renders the template against b. A missing field is an error,
+// making annotation typos loud.
+func (t *Template) Instantiate(b Binding) (string, error) {
+	return t.render(b, true)
+}
+
+// InstantiateLenient renders the template, replacing missing fields with the
+// empty string; used for optional attributes (a director without a recorded
+// birth date).
+func (t *Template) InstantiateLenient(b Binding) string {
+	s, _ := t.render(b, false)
+	return s
+}
+
+func (t *Template) render(b Binding, strict bool) (string, error) {
+	var out strings.Builder
+	out.Grow(len(t.src))
+	for _, s := range t.segments {
+		if s.kind == segLiteral {
+			out.WriteString(s.text)
+			continue
+		}
+		v, ok := b.Field(s.text)
+		if !ok {
+			if strict {
+				return "", fmt.Errorf("templates: unbound field %q in %q", s.text, t.src)
+			}
+			continue
+		}
+		out.WriteString(v)
+	}
+	return out.String(), nil
+}
+
+// SplitSubject renders the template as a (subject, predicate) pair when the
+// template begins with a field reference: the first field's value is the
+// subject and the rest of the rendering is the predicate. The data-to-text
+// translator feeds these pairs to the clause factoring machinery. ok is
+// false when the template does not start with a field or a field is
+// unbound.
+func (t *Template) SplitSubject(b Binding) (subject, predicate string, ok bool) {
+	if len(t.segments) == 0 || t.segments[0].kind != segField {
+		return "", "", false
+	}
+	subj, found := b.Field(t.segments[0].text)
+	if !found {
+		return "", "", false
+	}
+	var out strings.Builder
+	for _, s := range t.segments[1:] {
+		if s.kind == segLiteral {
+			out.WriteString(s.text)
+			continue
+		}
+		v, okf := b.Field(s.text)
+		if !okf {
+			return "", "", false
+		}
+		out.WriteString(v)
+	}
+	return subj, strings.TrimSpace(out.String()), true
+}
+
+// HasAllFields reports whether every referenced field is bound; the
+// data-to-text translator uses it to skip templates over NULL attributes.
+func (t *Template) HasAllFields(b Binding) bool {
+	for _, s := range t.segments {
+		if s.kind == segField {
+			if v, ok := b.Field(s.text); !ok || v == "" {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ListTemplate is the paper's arity-bounded loop template: Body renders for
+// every element but the last; Final renders for the last element. The
+// classic instantiation is "A (2005), B (2004), and C (2003).".
+type ListTemplate struct {
+	Body  *Template
+	Final *Template
+}
+
+// ParseList parses the DEFINE ... AS loop syntax:
+//
+//	[i < arityOf(F)] { body } [i = arityOf(F)] { final }
+//
+// The arityOf field name is validated against the body's fields but the
+// bound is implicit (the number of rows passed to Instantiate).
+func ParseList(src string) (*ListTemplate, error) {
+	lower := src
+	b1 := strings.Index(lower, "{")
+	if b1 < 0 {
+		return nil, fmt.Errorf("templates: list template %q has no body", src)
+	}
+	head := strings.TrimSpace(lower[:b1])
+	if !strings.HasPrefix(head, "[") || !strings.Contains(head, "arityOf(") {
+		return nil, fmt.Errorf("templates: list template %q must start with an [i < arityOf(F)] bound", src)
+	}
+	e1 := matchBrace(lower, b1)
+	if e1 < 0 {
+		return nil, fmt.Errorf("templates: unbalanced braces in %q", src)
+	}
+	body, err := Parse(strings.TrimSpace(lower[b1+1 : e1]))
+	if err != nil {
+		return nil, fmt.Errorf("templates: list body: %v", err)
+	}
+	rest := strings.TrimSpace(lower[e1+1:])
+	if rest == "" {
+		return &ListTemplate{Body: body, Final: body}, nil
+	}
+	b2 := strings.Index(rest, "{")
+	if b2 < 0 || !strings.HasPrefix(rest, "[") {
+		return nil, fmt.Errorf("templates: malformed final clause in %q", src)
+	}
+	e2 := matchBrace(rest, b2)
+	if e2 < 0 {
+		return nil, fmt.Errorf("templates: unbalanced braces in final clause of %q", src)
+	}
+	final, err := Parse(strings.TrimSpace(rest[b2+1 : e2]))
+	if err != nil {
+		return nil, fmt.Errorf("templates: list final: %v", err)
+	}
+	if extra := strings.TrimSpace(rest[e2+1:]); extra != "" {
+		return nil, fmt.Errorf("templates: trailing content %q in %q", extra, src)
+	}
+	return &ListTemplate{Body: body, Final: final}, nil
+}
+
+// MustParseList is ParseList panicking on error.
+func MustParseList(src string) *ListTemplate {
+	lt, err := ParseList(src)
+	if err != nil {
+		panic(err)
+	}
+	return lt
+}
+
+func matchBrace(s string, open int) int {
+	depth := 0
+	inStr := false
+	for i := open; i < len(s); i++ {
+		c := s[i]
+		if inStr {
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inStr = false
+			}
+			continue
+		}
+		switch c {
+		case '"':
+			inStr = true
+		case '{':
+			depth++
+		case '}':
+			depth--
+			if depth == 0 {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// Instantiate renders the list over rows. Rows before the last use Body;
+// the last row uses Final. With a single row only Final renders.
+func (lt *ListTemplate) Instantiate(rows []Binding) (string, error) {
+	var out strings.Builder
+	for i, row := range rows {
+		tpl := lt.Body
+		if i == len(rows)-1 {
+			tpl = lt.Final
+		}
+		s, err := tpl.Instantiate(row)
+		if err != nil {
+			return "", fmt.Errorf("templates: list row %d: %v", i, err)
+		}
+		out.WriteString(s)
+	}
+	return out.String(), nil
+}

@@ -1,0 +1,255 @@
+package templates
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAndInstantiate(t *testing.T) {
+	tpl, err := Parse(`DNAME + " was born" + " in " + BLOCATION`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tpl.Instantiate(MapBinding{
+		"DNAME":     "Woody Allen",
+		"BLOCATION": "Brooklyn, New York, USA",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "Woody Allen was born in Brooklyn, New York, USA"
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestBornOnTemplate(t *testing.T) {
+	tpl := MustParse(`DNAME + " was born" + " on " + BDATE`)
+	got, err := tpl.Instantiate(MapBinding{"DNAME": "Woody Allen", "BDATE": "December 1, 1935"})
+	if err != nil || got != "Woody Allen was born on December 1, 1935" {
+		t.Errorf("got %q, %v", got, err)
+	}
+}
+
+func TestCaseInsensitiveBinding(t *testing.T) {
+	tpl := MustParse(`DNAME + "!"`)
+	got, err := tpl.Instantiate(MapBinding{"dname": "x"})
+	if err != nil || got != "x!" {
+		t.Errorf("got %q, %v", got, err)
+	}
+}
+
+func TestQualifiedFieldNames(t *testing.T) {
+	tpl := MustParse(`"the " + MOVIE.YEAR + " of a " + MOVIE.TITLE`)
+	got, err := tpl.Instantiate(MapBinding{"MOVIE.YEAR": "2005", "MOVIE.TITLE": "Match Point"})
+	if err != nil || got != "the 2005 of a Match Point" {
+		t.Errorf("got %q, %v", got, err)
+	}
+}
+
+func TestFields(t *testing.T) {
+	tpl := MustParse(`A + " x " + B + A`)
+	f := tpl.Fields()
+	if len(f) != 2 || f[0] != "A" || f[1] != "B" {
+		t.Errorf("Fields = %v", f)
+	}
+}
+
+func TestStrictMissingField(t *testing.T) {
+	tpl := MustParse(`A + B`)
+	if _, err := tpl.Instantiate(MapBinding{"A": "x"}); err == nil {
+		t.Error("missing field accepted in strict mode")
+	}
+	if got := tpl.InstantiateLenient(MapBinding{"A": "x"}); got != "x" {
+		t.Errorf("lenient = %q", got)
+	}
+}
+
+func TestHasAllFields(t *testing.T) {
+	tpl := MustParse(`A + " " + B`)
+	if !tpl.HasAllFields(MapBinding{"A": "1", "B": "2"}) {
+		t.Error("complete binding rejected")
+	}
+	if tpl.HasAllFields(MapBinding{"A": "1"}) {
+		t.Error("incomplete binding accepted")
+	}
+	if tpl.HasAllFields(MapBinding{"A": "1", "B": ""}) {
+		t.Error("empty value counts as missing")
+	}
+}
+
+func TestEscapes(t *testing.T) {
+	tpl := MustParse(`"say \"hi\" and \\ done"`)
+	got, err := tpl.Instantiate(MapBinding{})
+	if err != nil || got != `say "hi" and \ done` {
+		t.Errorf("got %q, %v", got, err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		`"unterminated`,
+		`A +`,
+		`A B`,
+		`+ A`,
+		`A + !`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted", src)
+		}
+	}
+}
+
+// TestMovieListTemplate reproduces the paper's MOVIE_LIST definition and the
+// exact narrative fragment it generates for Woody Allen's filmography.
+func TestMovieListTemplate(t *testing.T) {
+	lt, err := ParseList(`[i < arityOf(TITLE)] { TITLE[i] + " (" + YEAR[i] + "), " } [i = arityOf(TITLE)] { "and " + TITLE[i] + " (" + YEAR[i] + ")." }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []Binding{
+		MapBinding{"TITLE": "Match Point", "YEAR": "2005"},
+		MapBinding{"TITLE": "Melinda and Melinda", "YEAR": "2004"},
+		MapBinding{"TITLE": "Anything Else", "YEAR": "2003"},
+	}
+	got, err := lt.Instantiate(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "Match Point (2005), Melinda and Melinda (2004), and Anything Else (2003)."
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestListSingleRow(t *testing.T) {
+	lt := MustParseList(`[i < arityOf(T)] { T[i] + ", " } [i = arityOf(T)] { "and " + T[i] }`)
+	got, err := lt.Instantiate([]Binding{MapBinding{"T": "only"}})
+	if err != nil || got != "and only" {
+		t.Errorf("single row = %q, %v", got, err)
+	}
+	got, err = lt.Instantiate(nil)
+	if err != nil || got != "" {
+		t.Errorf("empty rows = %q, %v", got, err)
+	}
+}
+
+func TestListWithoutFinalClause(t *testing.T) {
+	lt, err := ParseList(`[i < arityOf(T)] { T[i] + "; " }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := lt.Instantiate([]Binding{MapBinding{"T": "a"}, MapBinding{"T": "b"}})
+	if got != "a; b; " {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestListParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"no braces here",
+		"[i < arityOf(T)] { unterminated",
+		"{ body without bound }",
+		`[i < arityOf(T)] { T[i] } trailing { x }`,
+		`[i < arityOf(T)] { T[i] } [i = arityOf(T)] { T[i] } extra`,
+		`[i < arityOf(T)] { + bad }`,
+	}
+	for _, src := range bad {
+		if _, err := ParseList(src); err == nil {
+			t.Errorf("ParseList(%q) accepted", src)
+		}
+	}
+}
+
+func TestListRowError(t *testing.T) {
+	lt := MustParseList(`[i < arityOf(T)] { T[i] }`)
+	if _, err := lt.Instantiate([]Binding{MapBinding{"X": "1"}}); err == nil {
+		t.Error("unbound list field accepted")
+	}
+}
+
+func TestSource(t *testing.T) {
+	src := `A + " b"`
+	if MustParse(src).Source() != src {
+		t.Error("Source lost")
+	}
+}
+
+// Property: instantiation is deterministic and literal-only templates
+// reproduce their text for any binding.
+func TestLiteralRoundTripProperty(t *testing.T) {
+	f := func(raw string) bool {
+		lit := strings.ReplaceAll(raw, `\`, ``)
+		lit = strings.ReplaceAll(lit, `"`, ``)
+		tpl, err := Parse(`"` + lit + `"`)
+		if err != nil {
+			return lit == "" // empty literal template is allowed; "" parses
+		}
+		out1, err1 := tpl.Instantiate(MapBinding{})
+		out2, err2 := tpl.Instantiate(MapBinding{"X": "unused"})
+		return err1 == nil && err2 == nil && out1 == lit && out2 == lit
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every bound field value appears verbatim in the output.
+func TestFieldValueAppearsProperty(t *testing.T) {
+	tpl := MustParse(`"<" + F + ">"`)
+	f := func(v string) bool {
+		out, err := tpl.Instantiate(MapBinding{"F": v})
+		return err == nil && out == "<"+v+">"
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkInstantiate(b *testing.B) {
+	tpl := MustParse(`DNAME + " was born in " + BLOCATION + " on " + BDATE`)
+	bind := MapBinding{
+		"DNAME":     "Woody Allen",
+		"BLOCATION": "Brooklyn, New York, USA",
+		"BDATE":     "December 1, 1935",
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := tpl.Instantiate(bind); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNaiveConcat is the ablation baseline for DESIGN.md §5.1: string
+// concatenation without a parsed template.
+func BenchmarkNaiveConcat(b *testing.B) {
+	bind := map[string]string{
+		"DNAME":     "Woody Allen",
+		"BLOCATION": "Brooklyn, New York, USA",
+		"BDATE":     "December 1, 1935",
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = bind["DNAME"] + " was born in " + bind["BLOCATION"] + " on " + bind["BDATE"]
+	}
+}
+
+func BenchmarkListInstantiate(b *testing.B) {
+	lt := MustParseList(`[i < arityOf(TITLE)] { TITLE[i] + " (" + YEAR[i] + "), " } [i = arityOf(TITLE)] { "and " + TITLE[i] + " (" + YEAR[i] + ")." }`)
+	rows := []Binding{
+		MapBinding{"TITLE": "Match Point", "YEAR": "2005"},
+		MapBinding{"TITLE": "Melinda and Melinda", "YEAR": "2004"},
+		MapBinding{"TITLE": "Anything Else", "YEAR": "2003"},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := lt.Instantiate(rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Package talkback is the public API of the reproduction of "DBMSs Should
+// Talk Back Too" (Ioannidis & Simitsis, CIDR 2009): a database system that
+// translates its own contents and the queries posed to it into natural
+// language.
+//
+// The package re-exports the assembled system from internal/core plus the
+// handful of types a caller needs to configure it. A minimal session:
+//
+//	sys, err := talkback.NewMovieSystem()
+//	if err != nil { ... }
+//	resp, err := sys.Ask("select m.title from MOVIES m, CAST c, ACTOR a " +
+//	    "where m.id = c.mid and c.aid = a.id and a.name = 'Brad Pitt'")
+//	fmt.Println(resp.Verification.Text) // "Find movies where Brad Pitt plays."
+//	fmt.Println(resp.Answer)            // narrated answer
+//
+// The main entry points:
+//
+//   - NewMovieSystem / NewEmpSystem build Systems over the paper's two
+//     example schemas with their annotation sets installed.
+//   - New builds a System over any catalog schema + database.
+//   - System.DescribeQuery translates SQL to English without executing it.
+//   - System.Ask runs the full loop: verify, execute, narrate, and attach
+//     empty/large-answer feedback.
+//   - System.DescribeEntity / DescribeDatabase / DescribeSchema narrate
+//     contents (§2 of the paper).
+//   - System.NewVoiceSession wires the simulated spoken loop (§2.1).
+package talkback
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/datatotext"
+	"repro/internal/engine"
+	"repro/internal/querytotext"
+	"repro/internal/speech"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// System is a database that talks back. See internal/core for the full
+// method set: Ask, DescribeQuery, DescribeEntity, DescribeDatabase,
+// DescribeSchema, QueryGraph, NewVoiceSession, Profile.
+type System = core.System
+
+// Config customizes a System built with New.
+type Config = core.Config
+
+// Response is a full talk-back interaction (verification + result +
+// narrated answer + feedback).
+type Response = core.Response
+
+// VoiceSession is a simulated spoken session.
+type VoiceSession = core.VoiceSession
+
+// VoiceTurn is one spoken interaction.
+type VoiceTurn = core.VoiceTurn
+
+// Translation is a natural-language rendering of a statement with its
+// difficulty classification.
+type Translation = querytotext.Translation
+
+// Result is a query answer (columns + rows).
+type Result = engine.Result
+
+// Schema describes relations and their translation annotations.
+type Schema = catalog.Schema
+
+// Relation is one relation's metadata.
+type Relation = catalog.Relation
+
+// Attribute is one attribute's metadata.
+type Attribute = catalog.Attribute
+
+// AttrType is the domain of an attribute.
+type AttrType = catalog.Type
+
+// Attribute type constants.
+const (
+	TypeInt   = catalog.Int
+	TypeFloat = catalog.Float
+	TypeText  = catalog.Text
+	TypeDate  = catalog.Date
+	TypeBool  = catalog.Bool
+)
+
+// Profile is a personalization overlay (per-user heading attributes and
+// weights).
+type Profile = catalog.Profile
+
+// Database is the in-memory store behind a System.
+type Database = storage.Database
+
+// Tuple is one stored row.
+type Tuple = storage.Tuple
+
+// Value is one typed datum.
+type Value = value.Value
+
+// Pattern is one spoken-grammar rule for voice sessions.
+type Pattern = speech.Pattern
+
+// Relationship annotates a content-translation relationship between two
+// relations (possibly through a bridge).
+type Relationship = datatotext.Relationship
+
+// New assembles a System over db. See core.New.
+func New(db *Database, cfg Config) (*System, error) { return core.New(db, cfg) }
+
+// NewMovieSystem builds a System over the paper's curated Fig. 1 movie
+// database with its annotation sets installed.
+func NewMovieSystem() (*System, error) { return core.NewMovieSystem() }
+
+// NewEmpSystem builds a System over the §3.1 EMP/DEPT example database.
+func NewEmpSystem() (*System, error) { return core.NewEmpSystem() }
+
+// MovieConfig is the standard configuration for movie-schema databases.
+func MovieConfig() Config { return core.MovieConfig() }
+
+// MovieGrammar is the demo spoken grammar over the movie schema.
+func MovieGrammar() []Pattern { return speech.MovieGrammar() }
+
+// NewSchema creates an empty schema.
+func NewSchema(name string) *Schema { return catalog.NewSchema(name) }
+
+// NewDatabase creates empty tables for every relation of schema.
+func NewDatabase(schema *Schema) (*Database, error) { return storage.NewDatabase(schema) }
+
+// NewProfile creates an empty personalization profile.
+func NewProfile(name string) *Profile { return catalog.NewProfile(name) }
+
+// Scalar constructors for loading data through the public API.
+var (
+	// Int wraps an integer value.
+	Int = value.NewInt
+	// Float wraps a floating-point value.
+	Float = value.NewFloat
+	// Text wraps a string value.
+	Text = value.NewText
+	// Date wraps a date value.
+	Date = value.NewDate
+	// Bool wraps a boolean value.
+	Bool = value.NewBool
+	// Null is the NULL value constructor.
+	Null = value.NewNull
+)

@@ -1,0 +1,109 @@
+package talkback_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	talkback "repro"
+	"repro/internal/sqlparser"
+)
+
+// TestPublicAPIQuickstart exercises the documented entry path end to end.
+func TestPublicAPIQuickstart(t *testing.T) {
+	sys, err := talkback.NewMovieSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := sys.Ask(sqlparser.PaperQueries["Q1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Verification.Text != "Find movies where Brad Pitt plays." {
+		t.Errorf("verification = %q", resp.Verification.Text)
+	}
+	if len(resp.Result.Rows) != 2 {
+		t.Errorf("rows = %d", len(resp.Result.Rows))
+	}
+}
+
+// TestPublicAPICustomSchema builds a fresh schema/database through the
+// public surface only.
+func TestPublicAPICustomSchema(t *testing.T) {
+	schema := talkback.NewSchema("library")
+	if err := schema.AddRelation(&talkback.Relation{
+		Name: "BOOKS",
+		Attributes: []*talkback.Attribute{
+			{Name: "id", Type: talkback.TypeInt, NotNull: true},
+			{Name: "title", Type: talkback.TypeText},
+			{Name: "published", Type: talkback.TypeDate},
+		},
+		PrimaryKey:     []string{"id"},
+		HeadingAttr:    "title",
+		ConceptualName: "book",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	db, err := talkback.NewDatabase(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("BOOKS", talkback.Tuple{
+		talkback.Int(1), talkback.Text("Effective Go"),
+		talkback.Date(time.Date(2009, 11, 10, 0, 0, 0, 0, time.UTC)),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := talkback.New(db, talkback.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := sys.Ask("select b.title from BOOKS b where b.id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.Answer, "Effective Go") {
+		t.Errorf("answer = %q", resp.Answer)
+	}
+	if !strings.Contains(resp.Verification.Text, "books") {
+		t.Errorf("verification = %q", resp.Verification.Text)
+	}
+	// Derived schema narration works without hand annotations.
+	desc, err := sys.DescribeEntity("BOOKS", "id", talkback.Int(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(desc, "Effective Go") {
+		t.Errorf("entity narrative = %q", desc)
+	}
+}
+
+func TestPublicVoiceSession(t *testing.T) {
+	sys, err := talkback.NewMovieSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := sys.NewVoiceSession(talkback.MovieGrammar())
+	turn, err := v.Ask("who directed Match Point")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(turn.Answer, "Woody Allen") {
+		t.Errorf("answer = %q", turn.Answer)
+	}
+}
+
+func TestPublicProfile(t *testing.T) {
+	sys, err := talkback.NewMovieSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := talkback.NewProfile("minimalist")
+	p.RelationWeight["GENRE"] = 0.1
+	if err := sys.RegisterProfile(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Profile("minimalist"); err != nil {
+		t.Fatal(err)
+	}
+}
