@@ -390,3 +390,82 @@ func BenchmarkX7AskEndToEnd(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkX8AskCached measures the serving-layer cache: repeated Ask of
+// the same query with the parse/graph/translation caches on vs. off. The
+// cached variant must come out ≥2x faster (tracked in BENCH_1.json).
+func BenchmarkX8AskCached(b *testing.B) {
+	build := func(b *testing.B, disable bool) *talkback.System {
+		db, err := dataset.CuratedMovieDB()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := talkback.MovieConfig()
+		cfg.DisableCache = disable
+		sys, err := talkback.New(db, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sys
+	}
+	src := sqlparser.PaperQueries["Q1"]
+	b.Run("uncached", func(b *testing.B) {
+		sys := build(b, true)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.Ask(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		sys := build(b, false)
+		if _, err := sys.Ask(src); err != nil { // warm the caches
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.Ask(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkX9ParallelJoin measures the engine's fan-out on a two-table
+// hash join at 10k and 100k probe rows, serial vs. all cores.
+func BenchmarkX9ParallelJoin(b *testing.B) {
+	src := `select m.title from MOVIES m, CAST c
+where m.id = c.mid and c.role = 'Role 7-19'`
+	sel, err := sqlparser.ParseSelect(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, movies := range []int{10000, 100000} {
+		db, err := dataset.GenerateMovieDB(dataset.GenConfig{
+			Seed: 7, Movies: movies, Actors: movies / 4, Directors: movies/100 + 1,
+			CastPerMovie: 2, GenresPerMovie: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng := engine.New(db)
+		for _, mode := range []struct {
+			name    string
+			workers int
+		}{{"serial", 1}, {"parallel", 0}} {
+			b.Run(fmt.Sprintf("rows=%d/%s", movies, mode.name), func(b *testing.B) {
+				eng.SetParallelism(mode.workers)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := eng.Select(sel); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

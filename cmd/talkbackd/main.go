@@ -1,0 +1,291 @@
+// Command talkbackd serves the talk-back system to many concurrent sessions
+// over HTTP — the multi-user face of the paper's vision that a DBMS should
+// talk back to *every* user, not one REPL at a time.
+//
+// Endpoints (JSON in, JSON out):
+//
+//	POST /ask       {"sql": "..."}
+//	                → full talk-back loop: verification, rows, narrated
+//	                  answer, and empty/large-answer feedback.
+//	POST /describe  {"sql": "..."}
+//	                → translate without executing (query verification).
+//	GET  /schema    → DDL plus the narrated schema description.
+//	GET  /entity?rel=ACTOR&attr=NAME&value=Brad%20Pitt&session=s1
+//	                → entity narrative, personalized by the session profile.
+//	POST /session   {"session": "s1", "profile": "casual"}
+//	                → bind a personalization profile to a session.
+//	GET  /stats     → cache hit/miss counters and table cardinalities.
+//
+// Example session:
+//
+//	talkbackd -addr :8080 &
+//	curl -s localhost:8080/ask -d '{"sql":"select m.title from MOVIES m, CAST c, ACTOR a where m.id = c.mid and c.aid = a.id and a.name = '\''Brad Pitt'\''"}'
+//
+// Flags:
+//
+//	-addr :8080         listen address
+//	-schema movie|emp   schema to serve (default movie)
+//	-scale N            N > 0 serves a generated movie DB with N movies
+//	                    instead of the curated Fig. 1 database
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"sync"
+
+	talkback "repro"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/value"
+)
+
+// server wraps one shared System plus the per-session profile registry.
+type server struct {
+	sys *core.System
+
+	mu       sync.RWMutex
+	sessions map[string]string // session id -> profile name
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	schema := flag.String("schema", "movie", "schema: movie or emp")
+	scale := flag.Int("scale", 0, "serve a generated movie DB with this many movies (0 = curated)")
+	flag.Parse()
+
+	var sys *core.System
+	var err error
+	switch *schema {
+	case "movie":
+		if *scale > 0 {
+			cfg := dataset.DefaultGenConfig()
+			cfg.Movies = *scale
+			cfg.Actors = *scale / 2
+			var db *talkback.Database
+			db, err = dataset.GenerateMovieDB(cfg)
+			if err == nil {
+				sys, err = core.New(db, core.MovieConfig())
+			}
+		} else {
+			sys, err = core.NewMovieSystem()
+		}
+	case "emp":
+		sys, err = core.NewEmpSystem()
+	default:
+		log.Fatalf("unknown schema %q (want movie or emp)", *schema)
+	}
+	if err != nil {
+		log.Fatalf("building system: %v", err)
+	}
+
+	s := &server{sys: sys, sessions: make(map[string]string)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ask", s.handleAsk)
+	mux.HandleFunc("POST /describe", s.handleDescribe)
+	mux.HandleFunc("GET /schema", s.handleSchema)
+	mux.HandleFunc("GET /entity", s.handleEntity)
+	mux.HandleFunc("POST /session", s.handleSession)
+	mux.HandleFunc("GET /stats", s.handleStats)
+
+	log.Printf("talkbackd serving %s schema on %s", *schema, *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+// askRequest is the body of POST /ask and POST /describe. Query responses
+// are not profile-sensitive, so there is no session field here; sessions
+// personalize the narration endpoints (GET /entity).
+type askRequest struct {
+	SQL string `json:"sql"`
+}
+
+// translationJSON flattens a querytotext.Translation.
+type translationJSON struct {
+	Text        string   `json:"text"`
+	Category    string   `json:"category,omitempty"`
+	Subtype     string   `json:"subtype,omitempty"`
+	Declarative bool     `json:"declarative"`
+	Notes       []string `json:"notes,omitempty"`
+}
+
+type askResponse struct {
+	Verification *translationJSON `json:"verification,omitempty"`
+	Columns      []string         `json:"columns,omitempty"`
+	// Rows render SQL NULL as JSON null, distinct from the empty string.
+	Rows     [][]*string `json:"rows,omitempty"`
+	RowCount int         `json:"row_count"`
+	Affected int         `json:"affected,omitempty"`
+	Answer   string      `json:"answer"`
+	Feedback string      `json:"feedback,omitempty"`
+}
+
+func (s *server) handleAsk(w http.ResponseWriter, r *http.Request) {
+	var req askRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	resp, err := s.sys.Ask(req.SQL)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	out := askResponse{
+		Verification: translationOut(resp.Verification),
+		Affected:     resp.Affected,
+		Answer:       resp.Answer,
+		Feedback:     resp.Feedback,
+	}
+	if resp.Result != nil {
+		out.Columns = resp.Result.Columns
+		out.RowCount = len(resp.Result.Rows)
+		out.Rows = make([][]*string, len(resp.Result.Rows))
+		for i, row := range resp.Result.Rows {
+			cells := make([]*string, len(row))
+			for j, v := range row {
+				if !v.IsNull() {
+					s := v.String()
+					cells[j] = &s
+				}
+			}
+			out.Rows[i] = cells
+		}
+	}
+	writeJSON(w, out)
+}
+
+func (s *server) handleDescribe(w http.ResponseWriter, r *http.Request) {
+	var req askRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	tr, err := s.sys.DescribeQuery(req.SQL)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, translationOut(tr))
+}
+
+func (s *server) handleSchema(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]string{
+		"name":      s.sys.Database().Schema().Name,
+		"ddl":       s.sys.Database().Schema().String(),
+		"narrative": s.sys.DescribeSchema(),
+	})
+}
+
+func (s *server) handleEntity(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	rel, attr, raw := q.Get("rel"), q.Get("attr"), q.Get("value")
+	if rel == "" || attr == "" || raw == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("rel, attr, and value are required"))
+		return
+	}
+	relation := s.sys.Database().Schema().Relation(rel)
+	if relation == nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("unknown relation %q", rel))
+		return
+	}
+	a := relation.Attr(attr)
+	if a == nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("unknown attribute %s.%s", rel, attr))
+		return
+	}
+	v, err := value.Parse(raw, value.CatalogKind(a.Type))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	text, err := s.sys.DescribeEntityAs(s.profileOf(q.Get("session")), rel, attr, v)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, map[string]string{"narrative": text})
+}
+
+// sessionRequest is the body of POST /session.
+type sessionRequest struct {
+	Session string `json:"session"`
+	Profile string `json:"profile"`
+}
+
+func (s *server) handleSession(w http.ResponseWriter, r *http.Request) {
+	var req sessionRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if strings.TrimSpace(req.Session) == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("session is required"))
+		return
+	}
+	if req.Profile != "" && s.sys.Database().Schema().Profile(req.Profile) == nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("unknown profile %q", req.Profile))
+		return
+	}
+	s.mu.Lock()
+	if req.Profile == "" {
+		delete(s.sessions, req.Session)
+	} else {
+		s.sessions[req.Session] = req.Profile
+	}
+	s.mu.Unlock()
+	writeJSON(w, map[string]string{"session": req.Session, "profile": req.Profile})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"caches": s.sys.CacheStats(),
+		"tables": s.sys.Database().Stats(),
+	})
+}
+
+func (s *server) profileOf(session string) string {
+	if session == "" {
+		return ""
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sessions[session]
+}
+
+func translationOut(tr *talkback.Translation) *translationJSON {
+	if tr == nil {
+		return nil
+	}
+	return &translationJSON{
+		Text:        tr.Text,
+		Category:    tr.Class.Category.String(),
+		Subtype:     tr.Class.Subtype.String(),
+		Declarative: tr.Declarative,
+		Notes:       tr.Notes,
+	}
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(into); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("encoding response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

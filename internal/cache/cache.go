@@ -1,0 +1,227 @@
+// Package cache provides the sharded LRU caches behind the concurrent
+// serving layer: parsed ASTs, query graphs, and translations are all keyed
+// on normalized SQL so that repeated Ask/DescribeQuery calls skip the parse
+// and translation pipeline entirely.
+//
+// The cache is safe for concurrent use. Keys are hashed onto a fixed set of
+// shards, each with its own mutex and LRU list, so concurrent sessions
+// contend only when they hash to the same shard.
+package cache
+
+import (
+	"container/list"
+	"hash/maphash"
+	"strings"
+	"sync"
+	"unicode"
+)
+
+// shardCount is the number of independent lock domains. Must be a power of
+// two so the hash can be masked instead of divided.
+const shardCount = 16
+
+// Stats reports cumulative cache effectiveness counters.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Entries   int
+}
+
+// Cache is a sharded LRU map from string keys to values of type V.
+type Cache[V any] struct {
+	shards [shardCount]shard[V]
+	seed   maphash.Seed
+	// capPerShard bounds each shard; total capacity is capPerShard*shardCount.
+	capPerShard int
+}
+
+type shard[V any] struct {
+	mu        sync.Mutex
+	entries   map[string]*list.Element
+	lru       *list.List // front = most recently used
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type entry[V any] struct {
+	key string
+	val V
+}
+
+// New creates a cache holding up to capacity entries (rounded up to a
+// multiple of the shard count; capacity <= 0 defaults to 512).
+func New[V any](capacity int) *Cache[V] {
+	if capacity <= 0 {
+		capacity = 512
+	}
+	per := (capacity + shardCount - 1) / shardCount
+	c := &Cache[V]{seed: maphash.MakeSeed(), capPerShard: per}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]*list.Element)
+		c.shards[i].lru = list.New()
+	}
+	return c
+}
+
+func (c *Cache[V]) shardFor(key string) *shard[V] {
+	h := maphash.String(c.seed, key)
+	return &c.shards[h&(shardCount-1)]
+}
+
+// Get returns the cached value for key and marks it recently used.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
+		s.lru.MoveToFront(el)
+		s.hits++
+		return el.Value.(*entry[V]).val, true
+	}
+	s.misses++
+	var zero V
+	return zero, false
+}
+
+// Put inserts or refreshes key, evicting the least recently used entry of
+// the shard when it is full.
+func (c *Cache[V]) Put(key string, val V) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
+		el.Value.(*entry[V]).val = val
+		s.lru.MoveToFront(el)
+		return
+	}
+	if s.lru.Len() >= c.capPerShard {
+		oldest := s.lru.Back()
+		if oldest != nil {
+			s.lru.Remove(oldest)
+			delete(s.entries, oldest.Value.(*entry[V]).key)
+			s.evictions++
+		}
+	}
+	s.entries[key] = s.lru.PushFront(&entry[V]{key: key, val: val})
+}
+
+// Clear discards every entry (hit/miss/eviction counters are kept). Used
+// when the cached values are known to be stale wholesale, e.g. result
+// caches after data changes.
+func (c *Cache[V]) Clear() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.entries = make(map[string]*list.Element)
+		s.lru = list.New()
+		s.mu.Unlock()
+	}
+}
+
+// Len returns the current number of cached entries.
+func (c *Cache[V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats aggregates counters across all shards.
+func (c *Cache[V]) Stats() Stats {
+	var out Stats
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		out.Hits += s.hits
+		out.Misses += s.misses
+		out.Evictions += s.evictions
+		out.Entries += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// NormalizeSQL canonicalizes a SQL string for use as a cache key, mirroring
+// the lexer's token-level insensitivities: "--" line comments and "/* */"
+// block comments are stripped (exactly as sqlparser's skipSpaceAndComments
+// does), whitespace runs collapse to one space, text outside quotes is
+// lowercased, and trailing semicolons/space are trimmed. Two statements
+// that differ only in layout, comments, keyword case, or identifier case
+// therefore share a cache entry; single-quoted literals and double-quoted
+// identifiers keep their exact bytes, so statements differing inside
+// quotes never collide.
+func NormalizeSQL(sql string) string {
+	var b strings.Builder
+	b.Grow(len(sql))
+	const (
+		code = iota
+		inString
+		inIdent
+	)
+	state := code
+	pendingSpace := false
+	runes := []rune(sql)
+	for i := 0; i < len(runes); i++ {
+		r := runes[i]
+		switch state {
+		case inString:
+			b.WriteRune(r)
+			if r == '\'' {
+				state = code
+			}
+			continue
+		case inIdent:
+			b.WriteRune(r)
+			if r == '"' {
+				state = code
+			}
+			continue
+		}
+		// Comments separate tokens just like whitespace.
+		if r == '-' && i+1 < len(runes) && runes[i+1] == '-' {
+			for i < len(runes) && runes[i] != '\n' {
+				i++
+			}
+			pendingSpace = b.Len() > 0
+			continue
+		}
+		if r == '/' && i+1 < len(runes) && runes[i+1] == '*' {
+			i += 2
+			for i+1 < len(runes) && !(runes[i] == '*' && runes[i+1] == '/') {
+				i++
+			}
+			i++ // land on the trailing '/' (or past the end)
+			pendingSpace = b.Len() > 0
+			continue
+		}
+		if unicode.IsSpace(r) {
+			pendingSpace = b.Len() > 0
+			continue
+		}
+		if pendingSpace {
+			b.WriteByte(' ')
+			pendingSpace = false
+		}
+		switch r {
+		case '\'':
+			state = inString
+			b.WriteRune(r)
+		case '"':
+			state = inIdent
+			b.WriteRune(r)
+		default:
+			b.WriteRune(unicode.ToLower(r))
+		}
+	}
+	out := b.String()
+	for strings.HasSuffix(out, ";") {
+		out = strings.TrimRight(strings.TrimSuffix(out, ";"), " ")
+	}
+	return out
+}

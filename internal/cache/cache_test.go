@@ -1,0 +1,128 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPut(t *testing.T) {
+	c := New[int](64)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache returned a hit")
+	}
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v", v, ok)
+	}
+	c.Put("a", 10)
+	if v, _ := c.Get("a"); v != 10 {
+		t.Fatalf("refresh lost: got %d", v)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 2 hits 1 miss", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Capacity 16 over 16 shards = 1 entry per shard: any two keys on the
+	// same shard evict each other, and the most recent survives.
+	c := New[string](shardCount)
+	for i := 0; i < 10*shardCount; i++ {
+		c.Put(fmt.Sprintf("k%d", i), "v")
+	}
+	if c.Len() > shardCount {
+		t.Fatalf("Len() = %d, want <= %d", c.Len(), shardCount)
+	}
+	if st := c.Stats(); st.Evictions == 0 {
+		t.Fatalf("expected evictions, got %+v", st)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New[int](256)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", i%64)
+				c.Put(key, i)
+				if v, ok := c.Get(key); ok && v < 0 {
+					t.Errorf("bad value %d", v)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() == 0 {
+		t.Fatal("cache empty after concurrent writes")
+	}
+}
+
+func TestNormalizeSQL(t *testing.T) {
+	cases := []struct{ a, b string }{
+		{"select * from MOVIES", "SELECT  *\nFROM movies ;"},
+		{"select m.title from MOVIES m where m.year > 2000",
+			"SELECT M.TITLE FROM movies M WHERE m.year > 2000;;"},
+	}
+	for _, tc := range cases {
+		if NormalizeSQL(tc.a) != NormalizeSQL(tc.b) {
+			t.Errorf("Normalize(%q) = %q != Normalize(%q) = %q",
+				tc.a, NormalizeSQL(tc.a), tc.b, NormalizeSQL(tc.b))
+		}
+	}
+	// Quoted literals keep their case; the same query with a different
+	// literal must NOT share a key.
+	a := NormalizeSQL("select * from ACTOR a where a.name = 'Brad Pitt'")
+	b := NormalizeSQL("select * from ACTOR a where a.name = 'brad pitt'")
+	if a == b {
+		t.Fatalf("literals were case-folded: %q", a)
+	}
+	if NormalizeSQL("select 'a  b'") != "select 'a  b'" {
+		t.Fatalf("whitespace inside literal collapsed: %q", NormalizeSQL("select 'a  b'"))
+	}
+	// Comments are token separators, exactly as in the lexer: a commented
+	// statement shares its key with the uncommented form, and an
+	// apostrophe inside a comment must not derail string tracking.
+	if NormalizeSQL("select a -- trailing note\nfrom T") != NormalizeSQL("select a from T") {
+		t.Errorf("line comment changed the key: %q", NormalizeSQL("select a -- trailing note\nfrom T"))
+	}
+	if NormalizeSQL("select a /* block */ from T") != NormalizeSQL("select a from T") {
+		t.Errorf("block comment changed the key: %q", NormalizeSQL("select a /* block */ from T"))
+	}
+	if NormalizeSQL("-- don't trip\nselect 'ABC'") != "select 'ABC'" {
+		t.Errorf("apostrophe in comment corrupted normalization: %q",
+			NormalizeSQL("-- don't trip\nselect 'ABC'"))
+	}
+	if NormalizeSQL("select 1--1") != "select 1" {
+		t.Errorf("1--1 must lex as 1 + comment: %q", NormalizeSQL("select 1--1"))
+	}
+	if NormalizeSQL("select a / b from T") != "select a / b from t" {
+		t.Errorf("division mangled: %q", NormalizeSQL("select a / b from T"))
+	}
+	// Double-quoted identifiers keep exact bytes: different idents must not
+	// collide, and case inside quotes is preserved.
+	if NormalizeSQL(`select "a  b" from T`) == NormalizeSQL(`select "a b" from T`) {
+		t.Fatal("distinct quoted identifiers share a cache key")
+	}
+	if NormalizeSQL(`select "Col" from T`) == NormalizeSQL(`select "col" from T`) {
+		t.Fatal("quoted identifier case was folded")
+	}
+}
+
+func TestClear(t *testing.T) {
+	c := New[int](64)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Clear()
+	if c.Len() != 0 {
+		t.Fatalf("Len() = %d after Clear", c.Len())
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("entry survived Clear")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/lexicon"
 )
@@ -120,14 +121,15 @@ type Relation struct {
 	// (§2.2): none of their attributes contributes to narratives.
 	Bridge bool
 
+	// attrIndex is built lazily exactly once; the sync.Once makes the lazy
+	// build safe when the first Attr/AttrIndex calls race across sessions.
+	attrOnce  sync.Once
 	attrIndex map[string]int
 }
 
 // Attr returns the attribute with the given (case-insensitive) name, or nil.
 func (r *Relation) Attr(name string) *Attribute {
-	if r.attrIndex == nil {
-		r.buildIndex()
-	}
+	r.attrOnce.Do(r.buildIndex)
 	if i, ok := r.attrIndex[strings.ToLower(name)]; ok {
 		return r.Attributes[i]
 	}
@@ -136,9 +138,7 @@ func (r *Relation) Attr(name string) *Attribute {
 
 // AttrIndex returns the position of the named attribute, or -1.
 func (r *Relation) AttrIndex(name string) int {
-	if r.attrIndex == nil {
-		r.buildIndex()
-	}
+	r.attrOnce.Do(r.buildIndex)
 	if i, ok := r.attrIndex[strings.ToLower(name)]; ok {
 		return i
 	}
@@ -146,10 +146,11 @@ func (r *Relation) AttrIndex(name string) int {
 }
 
 func (r *Relation) buildIndex() {
-	r.attrIndex = make(map[string]int, len(r.Attributes))
+	idx := make(map[string]int, len(r.Attributes))
 	for i, a := range r.Attributes {
-		r.attrIndex[strings.ToLower(a.Name)] = i
+		idx[strings.ToLower(a.Name)] = i
 	}
+	r.attrIndex = idx
 }
 
 // Heading returns the heading attribute, falling back to the first non-key
@@ -209,11 +210,21 @@ func (r *Relation) IsPrimaryKey(attrs []string) bool {
 }
 
 // Schema is a set of relations plus schema-level annotations.
+//
+// Concurrency: relations are append-only during setup — AddRelation must not
+// run concurrently with readers, and relation metadata is treated as
+// immutable once a System is built over the schema. Profiles, by contrast,
+// can be registered at any time by live sessions, so the profile map is
+// guarded by its own lock; AddProfile and Profile are safe to call
+// concurrently.
 type Schema struct {
 	Name      string
 	relations []*Relation
 	relIndex  map[string]int
 
+	// pmu guards profiles: sessions register personalization overlays while
+	// other sessions resolve them.
+	pmu sync.RWMutex
 	// profiles holds named personalization overlays (§2.2: "personalized
 	// settings (e.g., different heading attributes for relations or
 	// different weights on nodes and edges)").
@@ -343,11 +354,13 @@ func NewProfile(name string) *Profile {
 }
 
 // AddProfile registers a personalization profile on the schema. Overrides
-// are validated against the schema.
+// are validated against the schema. Safe for concurrent use.
 func (s *Schema) AddProfile(p *Profile) error {
 	if p.Name == "" {
 		return fmt.Errorf("catalog: profile with empty name")
 	}
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
 	if _, dup := s.profiles[strings.ToLower(p.Name)]; dup {
 		return fmt.Errorf("catalog: duplicate profile %q", p.Name)
 	}
@@ -379,8 +392,11 @@ func (s *Schema) AddProfile(p *Profile) error {
 	return nil
 }
 
-// Profile returns the named profile, or nil.
+// Profile returns the named profile, or nil. Safe for concurrent use; the
+// returned Profile is treated as immutable after registration.
 func (s *Schema) Profile(name string) *Profile {
+	s.pmu.RLock()
+	defer s.pmu.RUnlock()
 	return s.profiles[strings.ToLower(name)]
 }
 

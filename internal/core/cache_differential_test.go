@@ -1,0 +1,164 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/sqlparser"
+)
+
+// renderResponse serializes a Response (including every result cell) so two
+// responses can be compared byte-for-byte.
+func renderResponse(t *testing.T, resp *Response) string {
+	t.Helper()
+	type flatRow []string
+	flat := struct {
+		Verification string
+		Notes        []string
+		Columns      []string
+		Rows         []flatRow
+		Affected     int
+		Answer       string
+		Feedback     string
+	}{
+		Verification: resp.Verification.Text,
+		Notes:        resp.Verification.Notes,
+		Affected:     resp.Affected,
+		Answer:       resp.Answer,
+		Feedback:     resp.Feedback,
+	}
+	if resp.Result != nil {
+		flat.Columns = resp.Result.Columns
+		for _, row := range resp.Result.Rows {
+			cells := make(flatRow, len(row))
+			for i, v := range row {
+				cells[i] = v.Key()
+			}
+			flat.Rows = append(flat.Rows, cells)
+		}
+	}
+	b, err := json.Marshal(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestCachedVsUncachedAsk proves the cache subsystem is invisible: for the
+// full movie paper-query corpus, a cache-disabled system, a cold cache, and
+// a warm cache must produce byte-identical responses.
+func TestCachedVsUncachedAsk(t *testing.T) {
+	cached, err := NewMovieSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := dataset.CuratedMovieDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := MovieConfig()
+	cfg.DisableCache = true
+	uncached, err := New(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, label := range movieQueryLabels {
+		q := sqlparser.PaperQueries[label]
+		plain, err := uncached.Ask(q)
+		if err != nil {
+			t.Fatalf("uncached Ask(%s): %v", label, err)
+		}
+		cold, err := cached.Ask(q)
+		if err != nil {
+			t.Fatalf("cold cached Ask(%s): %v", label, err)
+		}
+		warm, err := cached.Ask(q)
+		if err != nil {
+			t.Fatalf("warm cached Ask(%s): %v", label, err)
+		}
+		want := renderResponse(t, plain)
+		if got := renderResponse(t, cold); got != want {
+			t.Errorf("%s: cold cache differs from uncached\n got %s\nwant %s", label, got, want)
+		}
+		if got := renderResponse(t, warm); got != want {
+			t.Errorf("%s: warm cache differs from uncached\n got %s\nwant %s", label, got, want)
+		}
+	}
+
+	st := cached.CacheStats()
+	if st["response"].Hits == 0 {
+		t.Fatal("warm pass never hit the response cache")
+	}
+	if len(uncached.CacheStats()) != 0 {
+		t.Fatal("DisableCache system still reports cache stats")
+	}
+}
+
+// TestResponseCacheInvalidation proves the response cache can never serve
+// stale answers: DML applied through Ask advances the data generation, so
+// the next identical SELECT recomputes against the new data.
+func TestResponseCacheInvalidation(t *testing.T) {
+	sys, err := NewMovieSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const q = `select a.name from ACTOR a where a.name = 'Test Invalidation'`
+	before, err := sys.Ask(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Result == nil || len(before.Result.Rows) != 0 {
+		t.Fatalf("expected empty result before insert, got %+v", before.Result)
+	}
+	// Warm the cache, then mutate through Ask.
+	if _, err := sys.Ask(q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Ask(`insert into ACTOR (id, name) values (9901, 'Test Invalidation')`); err != nil {
+		t.Fatal(err)
+	}
+	after, err := sys.Ask(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Result == nil || len(after.Result.Rows) != 1 {
+		t.Fatalf("cached SELECT served stale data after DML: %+v", after.Result)
+	}
+
+	// Out-of-band writes need the explicit invalidation hook.
+	if _, _, err := sys.Engine().Exec(`delete from ACTOR where id = 9901`); err != nil {
+		t.Fatal(err)
+	}
+	sys.InvalidateResults()
+	final, err := sys.Ask(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(final.Result.Rows) != 0 {
+		t.Fatalf("InvalidateResults did not flush cached responses: %+v", final.Result)
+	}
+}
+
+// TestCachedDescribeQuery pins the same invariant on the verify-only path.
+func TestCachedDescribeQuery(t *testing.T) {
+	sys, err := NewMovieSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, label := range movieQueryLabels {
+		q := sqlparser.PaperQueries[label]
+		first, err := sys.DescribeQuery(q)
+		if err != nil {
+			t.Fatalf("DescribeQuery(%s): %v", label, err)
+		}
+		second, err := sys.DescribeQuery(q)
+		if err != nil {
+			t.Fatalf("cached DescribeQuery(%s): %v", label, err)
+		}
+		if first.Text != second.Text || first.Declarative != second.Declarative {
+			t.Errorf("%s: cached translation differs: %q vs %q", label, first.Text, second.Text)
+		}
+	}
+}

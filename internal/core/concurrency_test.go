@@ -1,0 +1,207 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/sqlparser"
+	"repro/internal/value"
+)
+
+// movieQueryLabels are the paper queries posed against the Fig. 1 movie
+// schema (Q0 targets EMP/DEPT).
+var movieQueryLabels = []string{"Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7", "Q8", "Q9"}
+
+// TestConcurrentSessions hammers one System from many goroutines mixing
+// every read path plus profile registration and swaps. Run under -race it
+// is the serving layer's safety proof; without -race it still checks that
+// concurrent answers match the serial ones.
+func TestConcurrentSessions(t *testing.T) {
+	sys, err := NewMovieSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Serial ground truth for determinism checks.
+	wantAnswer := make(map[string]string)
+	wantVerify := make(map[string]string)
+	for _, label := range movieQueryLabels {
+		q := sqlparser.PaperQueries[label]
+		resp, err := sys.Ask(q)
+		if err != nil {
+			t.Fatalf("serial Ask(%s): %v", label, err)
+		}
+		wantAnswer[label] = resp.Answer
+		wantVerify[label] = resp.Verification.Text
+	}
+
+	const workers = 8
+	const iters = 40
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				label := movieQueryLabels[(w+i)%len(movieQueryLabels)]
+				q := sqlparser.PaperQueries[label]
+				switch i % 5 {
+				case 0:
+					resp, err := sys.Ask(q)
+					if err != nil {
+						t.Errorf("Ask(%s): %v", label, err)
+						return
+					}
+					if resp.Answer != wantAnswer[label] {
+						t.Errorf("Ask(%s) diverged under concurrency:\n got %q\nwant %q",
+							label, resp.Answer, wantAnswer[label])
+						return
+					}
+				case 1:
+					tr, err := sys.DescribeQuery(q)
+					if err != nil {
+						t.Errorf("DescribeQuery(%s): %v", label, err)
+						return
+					}
+					if tr.Text != wantVerify[label] {
+						t.Errorf("DescribeQuery(%s) diverged: got %q want %q", label, tr.Text, wantVerify[label])
+						return
+					}
+				case 2:
+					if _, err := sys.DescribeEntity("DIRECTOR", "name", value.NewText("Woody Allen")); err != nil {
+						t.Errorf("DescribeEntity: %v", err)
+						return
+					}
+				case 3:
+					if _, err := sys.QueryGraph(q); err != nil {
+						t.Errorf("QueryGraph(%s): %v", label, err)
+						return
+					}
+					_ = sys.DescribeSchema()
+				case 4:
+					if _, err := sys.DescribeDatabase("MOVIES"); err != nil {
+						t.Errorf("DescribeDatabase: %v", err)
+						return
+					}
+					_ = sys.DescribeStatistics()
+				}
+			}
+		}(w)
+	}
+
+	// One goroutine churns the personalization machinery concurrently with
+	// the readers: registering fresh profiles, swapping the default, and
+	// narrating through per-session profiles.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			name := fmt.Sprintf("prof-%d", i)
+			p := catalog.NewProfile(name)
+			p.HeadingOverride["MOVIES"] = "year"
+			if err := sys.RegisterProfile(p); err != nil {
+				t.Errorf("RegisterProfile(%s): %v", name, err)
+				return
+			}
+			if err := sys.Profile(name); err != nil {
+				t.Errorf("Profile(%s): %v", name, err)
+				return
+			}
+			if _, err := sys.DescribeEntityAs(name, "DIRECTOR", "name", value.NewText("Woody Allen")); err != nil {
+				t.Errorf("DescribeEntityAs(%s): %v", name, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// TestConcurrentDMLAndSelect interleaves DML and SELECTs through Ask from
+// many goroutines: the System's internal reader/writer lock must keep this
+// race-free, and every SELECT must observe a consistent table (each probe
+// actor id is inserted exactly once, so 0 or 1 rows — never garbage).
+func TestConcurrentDMLAndSelect(t *testing.T) {
+	sys, err := NewMovieSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 3
+	const readers = 5
+	const iters = 20
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				id := 5000 + w*iters + i
+				stmt := fmt.Sprintf("insert into ACTOR (id, name) values (%d, 'Load Actor %d')", id, id)
+				if _, err := sys.Ask(stmt); err != nil {
+					t.Errorf("insert %d: %v", id, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				id := 5000 + (r+i)%(writers*iters)
+				resp, err := sys.Ask(fmt.Sprintf("select a.name from ACTOR a where a.id = %d", id))
+				if err != nil {
+					t.Errorf("select %d: %v", id, err)
+					return
+				}
+				if n := len(resp.Result.Rows); n > 1 {
+					t.Errorf("actor %d appears %d times", id, n)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	final, err := sys.Ask("select count(*) from ACTOR a where a.id >= 5000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := final.Result.Rows[0][0].String(); got != fmt.Sprintf("%d", writers*iters) {
+		t.Fatalf("expected %d inserted actors, got %s", writers*iters, got)
+	}
+}
+
+// TestConcurrentCacheStats checks the cache counters add up after a
+// concurrent burst: every Ask is either a hit or a miss, never lost.
+func TestConcurrentCacheStats(t *testing.T) {
+	sys, err := NewMovieSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 4
+	const iters = 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if _, err := sys.Ask(sqlparser.PaperQueries["Q1"]); err != nil {
+					t.Errorf("Ask: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := sys.CacheStats()["response"]
+	if st.Hits+st.Misses != workers*iters {
+		t.Fatalf("response cache lost lookups: hits %d + misses %d != %d",
+			st.Hits, st.Misses, workers*iters)
+	}
+	if st.Hits == 0 {
+		t.Fatal("repeated identical query never hit the response cache")
+	}
+}

@@ -9,7 +9,10 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
+	"repro/internal/cache"
 	"repro/internal/catalog"
 	"repro/internal/dataset"
 	"repro/internal/datatotext"
@@ -44,17 +47,61 @@ type Config struct {
 	LargeThreshold int
 	// MaxNarratedRows caps answer narration (default 10).
 	MaxNarratedRows int
+	// CacheSize bounds each of the parse/graph/translation caches (entries;
+	// default 512).
+	CacheSize int
+	// DisableCache turns the query caches off entirely — every Ask
+	// re-parses and re-translates. Differential tests use this to prove
+	// cached and uncached responses are identical.
+	DisableCache bool
 }
 
 // System is a database that talks back.
+//
+// Concurrency: a System is safe for concurrent use by many sessions. Reads
+// (Ask with SELECTs, DescribeQuery, DescribeEntity, DescribeDatabase,
+// DescribeSchema, QueryGraph) may run freely in parallel; schema and
+// annotations are immutable after New, the engine's view registry and the
+// schema's profile registry are lock-protected, and Profile swaps in a new
+// content translator under a lock instead of mutating the shared one. DML
+// submitted through Ask is serialized against the System's own readers by
+// an internal reader/writer lock; only writes that bypass the System
+// (direct engine or storage calls) are bound by the storage contract that
+// writers must not run concurrently with readers.
 type System struct {
 	db      *storage.Database
 	eng     *engine.Engine
 	graph   *schemagraph.Graph
-	data    *datatotext.Translator
 	queries *querytotext.Translator
 	explain *explain.Explainer
 	cfg     Config
+
+	// mu guards data: Profile replaces the content translator with a
+	// personalized clone rather than mutating the published one.
+	mu   sync.RWMutex
+	data *datatotext.Translator
+
+	// execMu serializes DML against data readers for every operation that
+	// goes through the System: SELECTs and content narrations take the
+	// read side, DML applied via Ask takes the write side. Writes that
+	// bypass the System (direct engine or storage calls) are outside this
+	// lock and follow the storage layer's writer contract.
+	execMu sync.RWMutex
+
+	// Caches keyed on normalized SQL. Cached values are shared across
+	// sessions and treated as immutable: the engine never mutates an AST,
+	// and callers must not mutate a returned Translation, query graph, or
+	// Response.
+	parseCache *cache.Cache[sqlparser.Statement]
+	graphCache *cache.Cache[*querygraph.Graph]
+	transCache *cache.Cache[*querytotext.Translation]
+
+	// respCache holds full SELECT Responses keyed on (data generation,
+	// normalized SQL); dataGen advances on every DML applied through Ask,
+	// so stale answers can never be served. Writes that bypass Ask (direct
+	// engine or storage calls) must call InvalidateResults.
+	respCache *cache.Cache[*Response]
+	dataGen   atomic.Int64
 }
 
 // New assembles a System over db.
@@ -88,6 +135,12 @@ func New(db *storage.Database, cfg Config) (*System, error) {
 		data: dataTr, queries: queryTr,
 		explain: explain.New(eng, queryTr),
 		cfg:     cfg,
+	}
+	if !cfg.DisableCache {
+		sys.parseCache = cache.New[sqlparser.Statement](cfg.CacheSize)
+		sys.graphCache = cache.New[*querygraph.Graph](cfg.CacheSize)
+		sys.transCache = cache.New[*querytotext.Translation](cfg.CacheSize)
+		sys.respCache = cache.New[*Response](cfg.CacheSize)
 	}
 	return sys, nil
 }
@@ -138,7 +191,11 @@ func (s *System) Engine() *engine.Engine { return s.eng }
 func (s *System) SchemaGraph() *schemagraph.Graph { return s.graph }
 
 // DataTranslator exposes the content translator.
-func (s *System) DataTranslator() *datatotext.Translator { return s.data }
+func (s *System) DataTranslator() *datatotext.Translator {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.data
+}
 
 // QueryTranslator exposes the query translator.
 func (s *System) QueryTranslator() *querytotext.Translator { return s.queries }
@@ -150,21 +207,105 @@ func (s *System) Explainer() *explain.Explainer { return s.explain }
 // Talk-back operations
 // ---------------------------------------------------------------------------
 
-// DescribeQuery translates a SQL statement into natural language without
-// executing it — the paper's verification use case ("it may be nice for the
-// user to see it expressed in the most familiar way ... before the query is
-// sent for execution").
-func (s *System) DescribeQuery(sql string) (*querytotext.Translation, error) {
-	return s.queries.TranslateSQL(sql)
+// parseCached parses sql through the AST cache. The returned statement is
+// shared across sessions and must be treated as read-only.
+func (s *System) parseCached(sql string) (sqlparser.Statement, string, error) {
+	key := cache.NormalizeSQL(sql)
+	stmt, err := s.parseCachedKey(key, sql)
+	return stmt, key, err
 }
 
-// QueryGraph builds the Fig. 2-style query graph of a SELECT.
-func (s *System) QueryGraph(sql string) (*querygraph.Graph, error) {
-	sel, err := sqlparser.ParseSelect(sql)
+// parseCachedKey is parseCached for callers that already normalized sql.
+func (s *System) parseCachedKey(key, sql string) (sqlparser.Statement, error) {
+	if s.parseCache != nil {
+		if stmt, ok := s.parseCache.Get(key); ok {
+			return stmt, nil
+		}
+	}
+	stmt, err := sqlparser.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return querygraph.Build(sel, s.db.Schema())
+	if s.parseCache != nil {
+		s.parseCache.Put(key, stmt)
+	}
+	return stmt, nil
+}
+
+// translateCached translates a parsed statement through the translation
+// cache; key is the normalized SQL from parseCached.
+func (s *System) translateCached(key string, stmt sqlparser.Statement) (*querytotext.Translation, error) {
+	if s.transCache != nil {
+		if tr, ok := s.transCache.Get(key); ok {
+			return tr, nil
+		}
+	}
+	tr, err := s.queries.TranslateStatement(stmt)
+	if err != nil {
+		return nil, err
+	}
+	if s.transCache != nil {
+		s.transCache.Put(key, tr)
+	}
+	return tr, nil
+}
+
+// DescribeQuery translates a SQL statement into natural language without
+// executing it — the paper's verification use case ("it may be nice for the
+// user to see it expressed in the most familiar way ... before the query is
+// sent for execution"). The returned Translation may be served from the
+// cache and shared; callers must not mutate it.
+func (s *System) DescribeQuery(sql string) (*querytotext.Translation, error) {
+	stmt, key, err := s.parseCached(sql)
+	if err != nil {
+		return nil, err
+	}
+	return s.translateCached(key, stmt)
+}
+
+// QueryGraph builds the Fig. 2-style query graph of a SELECT. Graphs are
+// cached per normalized SQL and shared; callers must not mutate them.
+func (s *System) QueryGraph(sql string) (*querygraph.Graph, error) {
+	stmt, key, err := s.parseCached(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sqlparser.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("core: query graphs require a SELECT statement")
+	}
+	if s.graphCache != nil {
+		if g, ok := s.graphCache.Get(key); ok {
+			return g, nil
+		}
+	}
+	g, err := querygraph.Build(sel, s.db.Schema())
+	if err != nil {
+		return nil, err
+	}
+	if s.graphCache != nil {
+		s.graphCache.Put(key, g)
+	}
+	return g, nil
+}
+
+// CacheStats reports hit/miss/eviction counters for the parse, query-graph,
+// translation, and response caches; empty when caching is disabled.
+func (s *System) CacheStats() map[string]cache.Stats {
+	out := make(map[string]cache.Stats, 4)
+	if s.parseCache != nil {
+		out["parse"] = s.parseCache.Stats()
+	}
+	if s.graphCache != nil {
+		out["graph"] = s.graphCache.Stats()
+	}
+	if s.transCache != nil {
+		out["translation"] = s.transCache.Stats()
+	}
+	if s.respCache != nil {
+		out["response"] = s.respCache.Stats()
+	}
+	return out
 }
 
 // Response is a full talk-back interaction.
@@ -185,19 +326,41 @@ type Response struct {
 // Ask runs the complete loop: translate, execute, narrate the answer, and
 // attach feedback for empty or very large answers.
 func (s *System) Ask(sql string) (*Response, error) {
-	stmt, err := sqlparser.Parse(sql)
+	// Full-response fast path: repeated SELECTs over unchanged data are
+	// answered straight from the cache, before even parsing. Only SELECT
+	// responses are ever stored, so a hit cannot replay side effects. The
+	// key carries the data generation, so any DML applied through Ask
+	// makes every older entry unreachable. The returned Response is
+	// shared; callers must not mutate it.
+	key := cache.NormalizeSQL(sql)
+	var respKey string
+	if s.respCache != nil {
+		respKey = fmt.Sprintf("%d|%s", s.dataGen.Load(), key)
+		if cached, ok := s.respCache.Get(respKey); ok {
+			return cached, nil
+		}
+	}
+
+	stmt, err := s.parseCachedKey(key, sql)
 	if err != nil {
 		return nil, err
 	}
-	verification, err := s.queries.TranslateStatement(stmt)
+	sel, isSelect := stmt.(*sqlparser.SelectStmt)
+
+	verification, err := s.translateCached(key, stmt)
 	if err != nil {
 		return nil, err
 	}
 	resp := &Response{Verification: verification}
 
-	sel, isSelect := stmt.(*sqlparser.SelectStmt)
 	if !isSelect {
-		_, n, err := s.eng.Exec(sql)
+		s.execMu.Lock()
+		_, n, err := s.eng.ExecStatement(stmt)
+		s.execMu.Unlock()
+		// Invalidate even on error: DML can partially apply before failing
+		// (e.g. a multi-row insert hitting a duplicate key), and cached
+		// SELECTs must not outlive the rows that did land.
+		s.InvalidateResults()
 		if err != nil {
 			return nil, err
 		}
@@ -206,6 +369,8 @@ func (s *System) Ask(sql string) (*Response, error) {
 		return resp, nil
 	}
 
+	s.execMu.RLock()
+	defer s.execMu.RUnlock()
 	res, err := s.eng.Select(sel)
 	if err != nil {
 		return nil, err
@@ -225,7 +390,24 @@ func (s *System) Ask(sql string) (*Response, error) {
 			resp.Feedback = diag.Text
 		}
 	}
+	if s.respCache != nil {
+		s.respCache.Put(respKey, resp)
+	}
 	return resp, nil
+}
+
+// InvalidateResults discards all cached SELECT responses. Ask does this
+// automatically for DML it executes; callers that mutate data behind the
+// System's back (direct engine Exec, storage Insert/Update/Delete, CSV
+// loads) must call it themselves. The generation bump makes stale entries
+// unreachable immediately — including Puts from SELECTs still in flight,
+// which land under the old generation — and the Clear releases their
+// memory rather than waiting for LRU pressure.
+func (s *System) InvalidateResults() {
+	s.dataGen.Add(1)
+	if s.respCache != nil {
+		s.respCache.Clear()
+	}
 }
 
 // NarrateResult renders a query answer as text (§2.1: "Whatever holds for
@@ -274,12 +456,57 @@ func (s *System) NarrateResult(res *engine.Result) string {
 
 // DescribeEntity narrates one entity (the Woody Allen narrative).
 func (s *System) DescribeEntity(rel, attr string, val value.Value) (string, error) {
-	return s.data.DescribeEntity(rel, attr, val)
+	s.execMu.RLock()
+	defer s.execMu.RUnlock()
+	return s.DataTranslator().DescribeEntity(rel, attr, val)
 }
 
 // DescribeDatabase narrates the database from a starting relation.
 func (s *System) DescribeDatabase(start string) (string, error) {
-	return s.data.DescribeDatabase(start)
+	s.execMu.RLock()
+	defer s.execMu.RUnlock()
+	return s.DataTranslator().DescribeDatabase(start)
+}
+
+// translatorFor resolves a transient translator personalized for the named
+// profile ("" means the system default) without touching shared state.
+func (s *System) translatorFor(profile string) (*datatotext.Translator, error) {
+	tr := s.DataTranslator()
+	if profile == "" {
+		return tr, nil
+	}
+	p := s.db.Schema().Profile(profile)
+	if p == nil {
+		return nil, fmt.Errorf("core: unknown profile %q", profile)
+	}
+	opts := tr.Options()
+	opts.Profile = p
+	return tr.WithOptions(opts), nil
+}
+
+// DescribeEntityAs narrates one entity under the named profile without
+// changing the system-wide default — the per-session personalization path
+// (§2.2). An empty profile name uses the default translator.
+func (s *System) DescribeEntityAs(profile, rel, attr string, val value.Value) (string, error) {
+	tr, err := s.translatorFor(profile)
+	if err != nil {
+		return "", err
+	}
+	s.execMu.RLock()
+	defer s.execMu.RUnlock()
+	return tr.DescribeEntity(rel, attr, val)
+}
+
+// DescribeDatabaseAs narrates the database under the named profile without
+// changing the system-wide default.
+func (s *System) DescribeDatabaseAs(profile, start string) (string, error) {
+	tr, err := s.translatorFor(profile)
+	if err != nil {
+		return "", err
+	}
+	s.execMu.RLock()
+	defer s.execMu.RUnlock()
+	return tr.DescribeDatabase(start)
 }
 
 // DescribeSchema narrates the schema itself (§2.1: "describing the schema
@@ -322,6 +549,8 @@ func (s *System) DescribeSchema() string {
 // approximations are all, in some sense, small databases and can be
 // summarized textually".
 func (s *System) DescribeStatistics() string {
+	s.execMu.RLock()
+	defer s.execMu.RUnlock()
 	stats := s.db.Stats()
 	var sentences []string
 	var parts []string
@@ -426,19 +655,25 @@ func (v *VoiceSession) Ask(utterance string) (*VoiceTurn, error) {
 	}, nil
 }
 
-// Profile applies a personalization profile to content translation (§2.2).
+// Profile applies a personalization profile to content translation (§2.2)
+// as the new system-wide default. It swaps in a personalized clone of the
+// content translator under a lock, so concurrent describes keep using a
+// consistent translator throughout their call. Per-session personalization
+// should use DescribeEntityAs / DescribeDatabaseAs instead.
 func (s *System) Profile(name string) error {
 	p := s.db.Schema().Profile(name)
 	if p == nil {
 		return fmt.Errorf("core: unknown profile %q", name)
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	opts := s.data.Options()
 	opts.Profile = p
-	s.data.SetOptions(opts)
+	s.data = s.data.WithOptions(opts)
 	return nil
 }
 
-// RegisterProfile adds a personalization profile.
+// RegisterProfile adds a personalization profile. Safe for concurrent use.
 func (s *System) RegisterProfile(p *catalog.Profile) error {
 	return s.db.Schema().AddProfile(p)
 }

@@ -95,12 +95,26 @@ func New(db *storage.Database, graph *schemagraph.Graph, opts Options) *Translat
 // Options returns a copy of the translator's options.
 func (t *Translator) Options() Options { return t.opts }
 
-// SetOptions replaces the options.
+// SetOptions replaces the options. It mutates the translator in place and
+// must not race with concurrent describes; concurrent callers should use
+// WithOptions instead.
 func (t *Translator) SetOptions(opts Options) {
 	if opts.MaxTuplesPerRelation == 0 {
 		opts.MaxTuplesPerRelation = 3
 	}
 	t.opts = opts
+}
+
+// WithOptions returns a new translator with the given options that shares
+// the underlying database, schema graph, and relationship annotations. The
+// clone is cheap, and because a published translator is never mutated it is
+// the concurrency-safe way to personalize narration per session (§2.2
+// profiles) without disturbing other sessions.
+func (t *Translator) WithOptions(opts Options) *Translator {
+	if opts.MaxTuplesPerRelation == 0 {
+		opts.MaxTuplesPerRelation = 3
+	}
+	return &Translator{db: t.db, graph: t.graph, rels: t.rels, opts: opts}
 }
 
 // AddRelationship registers a relationship annotation after validating that

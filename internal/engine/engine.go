@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/catalog"
 	"repro/internal/sqlparser"
@@ -12,9 +14,21 @@ import (
 )
 
 // Engine executes SQL statements against a storage.Database.
+//
+// Concurrency: an Engine is safe for concurrent queries (Query/Select/Exec
+// of SELECTs) — the view registry is lock-protected and query evaluation
+// never mutates engine or AST state. DML and CreateView synchronize with the
+// registry but follow the storage layer's contract: writers must not run
+// concurrently with readers of the same tables.
 type Engine struct {
-	db    *storage.Database
+	db *storage.Database
+
+	vmu   sync.RWMutex
 	views map[string]*sqlparser.SelectStmt
+
+	// par caps the worker fan-out of parallel join/scan steps; 0 means
+	// GOMAXPROCS, 1 forces serial execution.
+	par atomic.Int32
 }
 
 // New creates an engine over db.
@@ -96,6 +110,13 @@ func (ex *Engine) Exec(src string) (res *Result, count int, err error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	return ex.ExecStatement(stmt)
+}
+
+// ExecStatement executes an already-parsed statement (see Exec); callers
+// with a cached AST use it to skip re-parsing. The statement is not
+// mutated.
+func (ex *Engine) ExecStatement(stmt sqlparser.Statement) (res *Result, count int, err error) {
 	switch s := stmt.(type) {
 	case *sqlparser.SelectStmt:
 		r, err := ex.execSelect(s, nil)
@@ -118,21 +139,27 @@ func (ex *Engine) Exec(src string) (res *Result, count int, err error) {
 	}
 }
 
-// CreateView registers a named view expanded at reference time.
+// CreateView registers a named view expanded at reference time. Safe for
+// concurrent use.
 func (ex *Engine) CreateView(name string, q *sqlparser.SelectStmt) error {
 	key := strings.ToLower(name)
-	if _, dup := ex.views[key]; dup {
-		return fmt.Errorf("engine: duplicate view %q", name)
-	}
 	if ex.db.Table(name) != nil {
 		return fmt.Errorf("engine: view %q collides with a table", name)
+	}
+	ex.vmu.Lock()
+	defer ex.vmu.Unlock()
+	if _, dup := ex.views[key]; dup {
+		return fmt.Errorf("engine: duplicate view %q", name)
 	}
 	ex.views[key] = q
 	return nil
 }
 
-// View returns the definition of a named view, or nil.
+// View returns the definition of a named view, or nil. Safe for concurrent
+// use; callers treat the returned AST as immutable.
 func (ex *Engine) View(name string) *sqlparser.SelectStmt {
+	ex.vmu.RLock()
+	defer ex.vmu.RUnlock()
 	return ex.views[strings.ToLower(name)]
 }
 
@@ -424,21 +451,22 @@ func (ex *Engine) joinStep(envs []*env, e *fromEntry, stepConj []sqlparser.Expr)
 		}
 	}
 
-	var out []*env
-	appendMatch := func(base *env, tup storage.Tuple, conds []sqlparser.Expr) (bool, error) {
+	// matchTuple extends base with tup and applies conds; nil env means the
+	// candidate failed a condition. It only reads shared state, so the
+	// parallel fan-out below may call it from many goroutines.
+	matchTuple := func(base *env, tup storage.Tuple, conds []sqlparser.Expr) (*env, error) {
 		cand := &env{parent: base.parent}
 		cand.bindings = append(append([]binding{}, base.bindings...), binding{alias: e.alias, rel: e.rel, tuple: tup})
 		for _, c := range conds {
 			v, err := ex.evalExpr(c, cand, nil)
 			if err != nil {
-				return false, err
+				return nil, err
 			}
 			if v.IsNull() || v.Kind() != value.Bool || !v.Bool() {
-				return false, nil
+				return nil, nil
 			}
 		}
-		out = append(out, cand)
-		return true, nil
+		return cand, nil
 	}
 
 	if probeExpr != nil {
@@ -450,35 +478,77 @@ func (ex *Engine) joinStep(envs []*env, e *fromEntry, stepConj []sqlparser.Expr)
 			}
 			ht[v.Key()] = append(ht[v.Key()], tup)
 		}
-		for _, base := range envs {
-			pv, err := ex.evalExpr(probeExpr, base, nil)
-			if err != nil {
-				return nil, err
-			}
-			if pv.IsNull() {
-				continue
-			}
-			for _, tup := range ht[pv.Key()] {
-				if _, err := appendMatch(base, tup, rest); err != nil {
+		// Probe the (read-only) hash table for a chunk of environments.
+		probeRange := func(lo, hi int) ([]*env, error) {
+			var out []*env
+			for _, base := range envs[lo:hi] {
+				pv, err := ex.evalExpr(probeExpr, base, nil)
+				if err != nil {
 					return nil, err
 				}
+				if pv.IsNull() {
+					continue
+				}
+				for _, tup := range ht[pv.Key()] {
+					cand, err := matchTuple(base, tup, rest)
+					if err != nil {
+						return nil, err
+					}
+					if cand != nil {
+						out = append(out, cand)
+					}
+				}
 			}
+			return out, nil
 		}
-		return out, nil
+		if w := ex.workersFor(len(envs)); w > 1 {
+			return gatherParallel(len(envs), w, probeRange)
+		}
+		return probeRange(0, len(envs))
 	}
 
 	// Nested loop, with LEFT/RIGHT outer handling for explicit joins.
 	if e.explicit && (e.joinKind == sqlparser.JoinLeft || e.joinKind == sqlparser.JoinRight) {
 		return ex.outerJoinStep(envs, e, stepConj)
 	}
-	for _, base := range envs {
-		for _, tup := range tuples {
-			if _, err := appendMatch(base, tup, stepConj); err != nil {
-				return nil, err
+	// crossMatch is the one nested-loop body every serial and parallel
+	// variant below shares: bases × tups, in order.
+	crossMatch := func(bases []*env, tups []storage.Tuple) ([]*env, error) {
+		var out []*env
+		for _, base := range bases {
+			for _, tup := range tups {
+				cand, err := matchTuple(base, tup, stepConj)
+				if err != nil {
+					return nil, err
+				}
+				if cand != nil {
+					out = append(out, cand)
+				}
 			}
 		}
+		return out, nil
 	}
-	return out, nil
+	if w := ex.workersFor(len(envs)); w > 1 {
+		return gatherParallel(len(envs), w, func(lo, hi int) ([]*env, error) {
+			return crossMatch(envs[lo:hi], tuples)
+		})
+	}
+	// Few environments over a big table — the base-table scan/filter case —
+	// fans out across tuple chunks instead, per environment in order.
+	if w := ex.workersFor(len(envs) * len(tuples)); w > 1 && len(tuples) >= w {
+		var out []*env
+		for _, base := range envs {
+			part, err := gatherParallel(len(tuples), w, func(lo, hi int) ([]*env, error) {
+				return crossMatch([]*env{base}, tuples[lo:hi])
+			})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, part...)
+		}
+		return out, nil
+	}
+	return crossMatch(envs, tuples)
 }
 
 // outerJoinStep implements LEFT JOIN (preserve existing envs) and RIGHT JOIN

@@ -1,0 +1,154 @@
+package engine
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/sqlparser"
+)
+
+// parallelCorpus are the query shapes the fan-out paths touch: hash-probe
+// joins, base scans with pushed-down filters, multi-join chains, grouping
+// over joined envs, subqueries, and ordering.
+var parallelCorpus = []string{
+	`select m.title from MOVIES m where m.year > 1980`,
+	`select m.title, a.name from MOVIES m, CAST c, ACTOR a
+	 where m.id = c.mid and c.aid = a.id and m.year > 1975`,
+	`select a.name, count(*) from MOVIES m, CAST c, ACTOR a
+	 where m.id = c.mid and c.aid = a.id
+	 group by a.name having count(*) > 2`,
+	`select m.title from MOVIES m, GENRE g
+	 where m.id = g.mid and g.genre = 'drama' order by m.title`,
+	`select distinct d.name from MOVIES m, DIRECTED r, DIRECTOR d
+	 where m.id = r.mid and r.did = d.id and m.year < 2000`,
+	`select m.title from MOVIES m
+	 where m.id in (select c.mid from CAST c where c.aid < 50)`,
+	`select m.title from MOVIES m left join GENRE g on m.id = g.mid
+	 where g.genre is null or g.genre = 'comedy'`,
+}
+
+func cloneResult(r *Result) *Result {
+	out := &Result{Columns: append([]string{}, r.Columns...)}
+	for _, row := range r.Rows {
+		out.Rows = append(out.Rows, row.Clone())
+	}
+	return out
+}
+
+func sameResult(t *testing.T, q string, serial, parallel *Result) {
+	t.Helper()
+	if len(serial.Columns) != len(parallel.Columns) {
+		t.Fatalf("%s: column count differs: %v vs %v", q, serial.Columns, parallel.Columns)
+	}
+	if len(serial.Rows) != len(parallel.Rows) {
+		t.Fatalf("%s: row count differs: %d vs %d", q, len(serial.Rows), len(parallel.Rows))
+	}
+	for i := range serial.Rows {
+		for j := range serial.Rows[i] {
+			a, b := serial.Rows[i][j], parallel.Rows[i][j]
+			if a.Key() != b.Key() {
+				t.Fatalf("%s: row %d col %d differs: %s vs %s (parallel execution must be deterministic)",
+					q, i, j, a.Key(), b.Key())
+			}
+		}
+	}
+}
+
+// TestParallelVsSerialDifferential proves the parallel hot path is
+// observationally identical to serial execution — same rows, same order —
+// on a database big enough to trip the fan-out thresholds.
+func TestParallelVsSerialDifferential(t *testing.T) {
+	cfg := dataset.DefaultGenConfig()
+	cfg.Movies = 600
+	db, err := dataset.GenerateMovieDB(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Force the parallel paths: the generated tables are in the thousands,
+	// so a threshold of 64 guarantees both the env fan-out and the tuple
+	// fan-out run even on the smaller steps.
+	oldThreshold := parallelThreshold
+	parallelThreshold = 64
+	defer func() { parallelThreshold = oldThreshold }()
+
+	eng := New(db)
+	for _, q := range parallelCorpus {
+		sel, err := sqlparser.ParseSelect(q)
+		if err != nil {
+			t.Fatalf("parse %s: %v", q, err)
+		}
+		eng.SetParallelism(1)
+		serial, err := eng.Select(sel)
+		if err != nil {
+			t.Fatalf("serial %s: %v", q, err)
+		}
+		serial = cloneResult(serial)
+		for _, workers := range []int{2, runtime.GOMAXPROCS(0)} {
+			eng.SetParallelism(workers)
+			par, err := eng.Select(sel)
+			if err != nil {
+				t.Fatalf("parallel(%d) %s: %v", workers, q, err)
+			}
+			sameResult(t, q, serial, par)
+		}
+	}
+}
+
+// TestParallelPaperCorpus runs every movie paper query through serial and
+// parallel engines on the curated database with the threshold forced low,
+// so even the paper's own workload exercises the fan-out code.
+func TestParallelPaperCorpus(t *testing.T) {
+	db, err := dataset.CuratedMovieDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldThreshold := parallelThreshold
+	parallelThreshold = 1
+	defer func() { parallelThreshold = oldThreshold }()
+
+	eng := New(db)
+	for label, q := range sqlparser.PaperQueries {
+		if label == "Q0" { // EMP/DEPT schema
+			continue
+		}
+		sel, err := sqlparser.ParseSelect(q)
+		if err != nil {
+			t.Fatalf("parse %s: %v", label, err)
+		}
+		eng.SetParallelism(1)
+		serial, err := eng.Select(sel)
+		if err != nil {
+			t.Fatalf("serial %s: %v", label, err)
+		}
+		serial = cloneResult(serial)
+		eng.SetParallelism(0)
+		par, err := eng.Select(sel)
+		if err != nil {
+			t.Fatalf("parallel %s: %v", label, err)
+		}
+		sameResult(t, label, serial, par)
+	}
+}
+
+// TestParallelErrorPropagation checks a worker error surfaces instead of
+// being swallowed by the fan-out.
+func TestParallelErrorPropagation(t *testing.T) {
+	cfg := dataset.DefaultGenConfig()
+	cfg.Movies = 500
+	db, err := dataset.GenerateMovieDB(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldThreshold := parallelThreshold
+	parallelThreshold = 16
+	defer func() { parallelThreshold = oldThreshold }()
+
+	eng := New(db)
+	// Division by zero only fails at evaluation time, inside workers.
+	_, err = eng.Query(`select m.title from MOVIES m where m.year / (m.year - m.year) > 1`)
+	if err == nil {
+		t.Fatal("expected evaluation error from parallel scan")
+	}
+}

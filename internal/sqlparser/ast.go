@@ -36,9 +36,12 @@ func (*ColumnRef) expr() {}
 // SQL renders the reference.
 func (c *ColumnRef) SQL() string {
 	if c.Table != "" {
-		return c.Table + "." + c.Column
+		if c.Column == "*" {
+			return quoteIdent(c.Table) + ".*"
+		}
+		return quoteIdent(c.Table) + "." + quoteIdent(c.Column)
 	}
-	return c.Column
+	return quoteIdent(c.Column)
 }
 
 // Literal is a constant value.
@@ -405,7 +408,7 @@ type SelectItem struct {
 // SQL renders the select item.
 func (s SelectItem) SQL() string {
 	if s.Alias != "" {
-		return s.Expr.SQL() + " AS " + s.Alias
+		return s.Expr.SQL() + " AS " + quoteIdent(s.Alias)
 	}
 	return s.Expr.SQL()
 }
@@ -452,14 +455,14 @@ func (k JoinKind) String() string {
 
 // SQL renders the table reference including any join chain.
 func (t *TableRef) SQL() string {
-	s := t.Relation
+	s := quoteIdent(t.Relation)
 	if t.Alias != "" {
-		s += " " + t.Alias
+		s += " " + quoteIdent(t.Alias)
 	}
 	for j := t.Join; j != nil; {
-		s += " " + j.Kind.String() + " " + j.Right.Relation
+		s += " " + j.Kind.String() + " " + quoteIdent(j.Right.Relation)
 		if j.Right.Alias != "" {
-			s += " " + j.Right.Alias
+			s += " " + quoteIdent(j.Right.Alias)
 		}
 		if j.On != nil {
 			s += " ON " + j.On.SQL()
@@ -575,9 +578,9 @@ func (*InsertStmt) stmt() {}
 // SQL renders the insert.
 func (s *InsertStmt) SQL() string {
 	var b strings.Builder
-	b.WriteString("INSERT INTO " + s.Relation)
+	b.WriteString("INSERT INTO " + quoteIdent(s.Relation))
 	if len(s.Columns) > 0 {
-		b.WriteString(" (" + strings.Join(s.Columns, ", ") + ")")
+		b.WriteString(" (" + strings.Join(quoteIdents(s.Columns), ", ") + ")")
 	}
 	if s.Query != nil {
 		b.WriteString(" " + s.Query.SQL())
@@ -616,16 +619,16 @@ func (*UpdateStmt) stmt() {}
 // SQL renders the update.
 func (s *UpdateStmt) SQL() string {
 	var b strings.Builder
-	b.WriteString("UPDATE " + s.Relation)
+	b.WriteString("UPDATE " + quoteIdent(s.Relation))
 	if s.Alias != "" {
-		b.WriteString(" " + s.Alias)
+		b.WriteString(" " + quoteIdent(s.Alias))
 	}
 	b.WriteString(" SET ")
 	for i, a := range s.Set {
 		if i > 0 {
 			b.WriteString(", ")
 		}
-		b.WriteString(a.Column + " = " + a.Value.SQL())
+		b.WriteString(quoteIdent(a.Column) + " = " + a.Value.SQL())
 	}
 	if s.Where != nil {
 		b.WriteString(" WHERE " + s.Where.SQL())
@@ -645,9 +648,9 @@ func (*DeleteStmt) stmt() {}
 // SQL renders the delete.
 func (s *DeleteStmt) SQL() string {
 	var b strings.Builder
-	b.WriteString("DELETE FROM " + s.Relation)
+	b.WriteString("DELETE FROM " + quoteIdent(s.Relation))
 	if s.Alias != "" {
-		b.WriteString(" " + s.Alias)
+		b.WriteString(" " + quoteIdent(s.Alias))
 	}
 	if s.Where != nil {
 		b.WriteString(" WHERE " + s.Where.SQL())
@@ -683,20 +686,20 @@ func (*CreateTableStmt) stmt() {}
 func (s *CreateTableStmt) SQL() string {
 	var parts []string
 	for _, c := range s.Columns {
-		p := c.Name + " " + c.Type
+		p := quoteIdent(c.Name) + " " + c.Type
 		if c.NotNull {
 			p += " NOT NULL"
 		}
 		parts = append(parts, p)
 	}
 	if len(s.PrimaryKey) > 0 {
-		parts = append(parts, "PRIMARY KEY ("+strings.Join(s.PrimaryKey, ", ")+")")
+		parts = append(parts, "PRIMARY KEY ("+strings.Join(quoteIdents(s.PrimaryKey), ", ")+")")
 	}
 	for _, fk := range s.ForeignKeys {
-		parts = append(parts, "FOREIGN KEY ("+strings.Join(fk.Columns, ", ")+") REFERENCES "+
-			fk.RefTable+" ("+strings.Join(fk.RefColumns, ", ")+")")
+		parts = append(parts, "FOREIGN KEY ("+strings.Join(quoteIdents(fk.Columns), ", ")+") REFERENCES "+
+			quoteIdent(fk.RefTable)+" ("+strings.Join(quoteIdents(fk.RefColumns), ", ")+")")
 	}
-	return "CREATE TABLE " + s.Name + " (" + strings.Join(parts, ", ") + ")"
+	return "CREATE TABLE " + quoteIdent(s.Name) + " (" + strings.Join(parts, ", ") + ")"
 }
 
 // CreateViewStmt is CREATE VIEW name AS select.
@@ -709,7 +712,7 @@ func (*CreateViewStmt) stmt() {}
 
 // SQL renders the view definition.
 func (s *CreateViewStmt) SQL() string {
-	return "CREATE VIEW " + s.Name + " AS " + s.Query.SQL()
+	return "CREATE VIEW " + quoteIdent(s.Name) + " AS " + s.Query.SQL()
 }
 
 // ---------------------------------------------------------------------------

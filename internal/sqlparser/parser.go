@@ -524,8 +524,11 @@ func (p *Parser) parsePredicate() (Expr, error) {
 		return left, nil
 	}
 
-	// op ALL|ANY|SOME (subquery)
-	if p.peek().Kind == TokKeyword {
+	// op ALL|ANY|SOME (subquery). The quantifier keywords double as
+	// identifiers, so only a following "(" selects the quantified form —
+	// "x < ALL (select ...)" quantifies, "x < ALL" compares against a
+	// column named ALL.
+	if p.peek().Kind == TokKeyword && p.peekAt(1).Kind == TokOp && p.peekAt(1).Text == "(" {
 		switch p.peek().Text {
 		case "ALL":
 			p.pos++
@@ -758,11 +761,11 @@ func (p *Parser) parsePrimary() (Expr, error) {
 			}
 			return inner, nil
 		}
-		if t.Text == "*" {
-			p.pos++
-			return &Star{}, nil
-		}
 	}
+	// Note: a bare "*" is NOT an expression — it is only legal as a whole
+	// select item (parseSelectItem), as alias.* (parseNameExpr), or inside
+	// COUNT(*) (parseAggregate). Accepting it here would let it combine
+	// with operators into ASTs that cannot be printed back to valid SQL.
 	return nil, fmt.Errorf("sql:%d:%d: unexpected %s %q in expression", t.Line, t.Col, t.Kind, t.Text)
 }
 

@@ -1,0 +1,44 @@
+package sqlparser
+
+import "strings"
+
+// quoteIdent renders an identifier so it re-lexes as the same identifier:
+// plain names print bare, while names that collide with reserved words, are
+// empty, or contain characters that would lex differently come back
+// double-quoted. Quoted identifiers cannot contain a double quote (the
+// lexer has no escape), and the parser never produces one.
+func quoteIdent(s string) string {
+	if plainIdent(s) && !keywords[strings.ToUpper(s)] {
+		return s
+	}
+	return `"` + s + `"`
+}
+
+func plainIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r == '_',
+			r >= 'a' && r <= 'z',
+			r >= 'A' && r <= 'Z':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// quoteIdents maps quoteIdent over a list (INSERT column lists, keys).
+func quoteIdents(names []string) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = quoteIdent(n)
+	}
+	return out
+}

@@ -157,6 +157,15 @@ func (v Value) String() string {
 // SQL renders the value as a SQL literal.
 func (v Value) SQL() string {
 	switch v.kind {
+	case Float:
+		// Plain decimal notation only — the SQL lexer has no exponent
+		// syntax — with a forced fraction so the literal re-parses as a
+		// float rather than an integer.
+		s := strconv.FormatFloat(v.f, 'f', -1, 64)
+		if !strings.ContainsAny(s, ".") {
+			s += ".0"
+		}
+		return s
 	case Text:
 		return "'" + strings.ReplaceAll(v.s, "'", "''") + "'"
 	case Date:

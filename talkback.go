@@ -24,6 +24,29 @@
 //   - System.DescribeEntity / DescribeDatabase / DescribeSchema narrate
 //     contents (§2 of the paper).
 //   - System.NewVoiceSession wires the simulated spoken loop (§2.1).
+//
+// # Concurrency guarantees
+//
+// A System is safe for concurrent use by many sessions. All read
+// operations — Ask with SELECT statements, DescribeQuery, QueryGraph,
+// DescribeEntity, DescribeDatabase, DescribeSchema, DescribeStatistics —
+// may run freely in parallel: schema metadata and translators are
+// immutable after construction, the engine's view registry and the
+// profile registry are lock-protected, and System.Profile swaps in a
+// personalized translator clone instead of mutating the shared one (use
+// DescribeEntityAs / DescribeDatabaseAs for per-session personalization).
+// Repeated SELECTs are answered from sharded LRU caches keyed on
+// normalized SQL; cached Translations, query graphs, and Responses are
+// shared across sessions and must be treated as read-only. The response
+// cache is generation-stamped: DML executed through Ask invalidates it
+// automatically, while writes that bypass Ask (direct engine or storage
+// calls) must be followed by System.InvalidateResults. DML submitted
+// through Ask is serialized against the System's own readers by an
+// internal reader/writer lock; writes that bypass the System must not run
+// concurrently with readers of the same tables (the storage contract).
+// Large joins and scans fan out across
+// GOMAXPROCS workers with deterministic output order; Engine.SetParallelism
+// caps or disables the fan-out.
 package talkback
 
 import (
