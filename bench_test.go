@@ -434,6 +434,45 @@ func BenchmarkX8AskCached(b *testing.B) {
 	})
 }
 
+// BenchmarkX10PlannerScan measures the planner's access-path choice on a
+// selective equality predicate over a 100k-row table: the same query as a
+// full scan (no index) and as a secondary-index probe. The indexed variant
+// must beat the scan by ≥ 5x (tracked in BENCH_2.json).
+func BenchmarkX10PlannerScan(b *testing.B) {
+	db, err := dataset.GenerateMovieDB(dataset.GenConfig{
+		Seed: 13, Movies: 100000, Actors: 25000, Directors: 1001,
+		CastPerMovie: 1, GenresPerMovie: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := engine.New(db)
+	title := db.Table("MOVIES").Tuple(54321)[1]
+	src := fmt.Sprintf("select m.year from MOVIES m where m.title = %s", title.SQL())
+	sel, err := sqlparser.ParseSelect(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := eng.Select(sel)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Rows) == 0 {
+				b.Fatal("probe found nothing")
+			}
+		}
+	}
+	// Order matters: the scan variant runs before the index exists.
+	b.Run("full-scan", run)
+	if err := db.Table("MOVIES").CreateIndex("ix_movies_title", "title"); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("indexed", run)
+}
+
 // BenchmarkX9ParallelJoin measures the engine's fan-out on a two-table
 // hash join at 10k and 100k probe rows, serial vs. all cores.
 func BenchmarkX9ParallelJoin(b *testing.B) {

@@ -9,6 +9,10 @@
 //	                  answer, and empty/large-answer feedback.
 //	POST /describe  {"sql": "..."}
 //	                → translate without executing (query verification).
+//	POST /explain   {"sql": "..."}
+//	                → execute and narrate the cost-based query plan: steps,
+//	                  access paths, estimated vs. actual rows, indexes used,
+//	                  and optimization tips, plus an English rendering.
 //	GET  /schema    → DDL plus the narrated schema description.
 //	GET  /entity?rel=ACTOR&attr=NAME&value=Brad%20Pitt&session=s1
 //	                → entity narrative, personalized by the session profile.
@@ -87,6 +91,7 @@ func main() {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /ask", s.handleAsk)
 	mux.HandleFunc("POST /describe", s.handleDescribe)
+	mux.HandleFunc("POST /explain", s.handleExplain)
 	mux.HandleFunc("GET /schema", s.handleSchema)
 	mux.HandleFunc("GET /entity", s.handleEntity)
 	mux.HandleFunc("POST /session", s.handleSession)
@@ -121,6 +126,10 @@ type askResponse struct {
 	Affected int         `json:"affected,omitempty"`
 	Answer   string      `json:"answer"`
 	Feedback string      `json:"feedback,omitempty"`
+	// Plan is the fingerprint of the query plan that produced the answer
+	// (cached responses report the plan that originally produced them);
+	// POST /explain returns the full structured plan.
+	Plan string `json:"plan,omitempty"`
 }
 
 func (s *server) handleAsk(w http.ResponseWriter, r *http.Request) {
@@ -138,6 +147,9 @@ func (s *server) handleAsk(w http.ResponseWriter, r *http.Request) {
 		Affected:     resp.Affected,
 		Answer:       resp.Answer,
 		Feedback:     resp.Feedback,
+	}
+	if resp.Plan != nil {
+		out.Plan = resp.Plan.Fingerprint
 	}
 	if resp.Result != nil {
 		out.Columns = resp.Result.Columns
@@ -168,6 +180,22 @@ func (s *server) handleDescribe(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, translationOut(tr))
+}
+
+func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req askRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	diag, err := s.sys.ExplainPlan(req.SQL)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"plan":    diag.Plan,
+		"english": diag.Text,
+	})
 }
 
 func (s *server) handleSchema(w http.ResponseWriter, r *http.Request) {

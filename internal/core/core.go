@@ -20,6 +20,7 @@ import (
 	"repro/internal/explain"
 	"repro/internal/lexicon"
 	"repro/internal/nlg"
+	"repro/internal/planner"
 	"repro/internal/querygraph"
 	"repro/internal/querytotext"
 	"repro/internal/schemagraph"
@@ -321,17 +322,24 @@ type Response struct {
 	// Feedback carries empty-answer diagnosis or large-answer explanation,
 	// when applicable.
 	Feedback string
+	// Plan records the executed query plan (nil for DML). Cached responses
+	// keep it, so a served answer always says which plan produced it.
+	Plan *planner.Summary
 }
 
 // Ask runs the complete loop: translate, execute, narrate the answer, and
-// attach feedback for empty or very large answers.
+// attach feedback for empty or very large answers. EXPLAIN PLAN statements
+// run the query and narrate the executed plan instead of the rows.
 func (s *System) Ask(sql string) (*Response, error) {
 	// Full-response fast path: repeated SELECTs over unchanged data are
 	// answered straight from the cache, before even parsing. Only SELECT
 	// responses are ever stored, so a hit cannot replay side effects. The
 	// key carries the data generation, so any DML applied through Ask
-	// makes every older entry unreachable. The returned Response is
-	// shared; callers must not mutate it.
+	// makes every older entry unreachable — and since table statistics
+	// (hence plan choice) only change with the data, the generation also
+	// pins the plan: a cached Response can never be served under a
+	// different plan than the one recorded in its Plan field. The returned
+	// Response is shared; callers must not mutate it.
 	key := cache.NormalizeSQL(sql)
 	var respKey string
 	if s.respCache != nil {
@@ -353,6 +361,18 @@ func (s *System) Ask(sql string) (*Response, error) {
 	}
 	resp := &Response{Verification: verification}
 
+	if exp, isExplain := stmt.(*sqlparser.ExplainStmt); isExplain {
+		s.execMu.RLock()
+		diag, err := s.explain.ExplainPlan(exp.Query)
+		s.execMu.RUnlock()
+		if err != nil {
+			return nil, err
+		}
+		resp.Plan = diag.Plan
+		resp.Answer = diag.Text
+		return resp, nil
+	}
+
 	if !isSelect {
 		s.execMu.Lock()
 		_, n, err := s.eng.ExecStatement(stmt)
@@ -371,11 +391,12 @@ func (s *System) Ask(sql string) (*Response, error) {
 
 	s.execMu.RLock()
 	defer s.execMu.RUnlock()
-	res, err := s.eng.Select(sel)
+	res, plan, err := s.eng.SelectExplained(sel)
 	if err != nil {
 		return nil, err
 	}
 	resp.Result = res
+	resp.Plan = plan.Summarize()
 	resp.Answer = s.NarrateResult(res)
 
 	switch {
@@ -396,10 +417,33 @@ func (s *System) Ask(sql string) (*Response, error) {
 	return resp, nil
 }
 
+// ExplainPlan plans and executes sql, returning the executed plan with its
+// English narration and optimization tips — the backbone of the /explain
+// endpoint. sql may be a SELECT or an EXPLAIN [PLAN] SELECT.
+func (s *System) ExplainPlan(sql string) (*explain.PlanDiagnosis, error) {
+	stmt, _, err := s.parseCached(sql)
+	if err != nil {
+		return nil, err
+	}
+	var sel *sqlparser.SelectStmt
+	switch t := stmt.(type) {
+	case *sqlparser.SelectStmt:
+		sel = t
+	case *sqlparser.ExplainStmt:
+		sel = t.Query
+	default:
+		return nil, fmt.Errorf("core: EXPLAIN requires a SELECT statement")
+	}
+	s.execMu.RLock()
+	defer s.execMu.RUnlock()
+	return s.explain.ExplainPlan(sel)
+}
+
 // InvalidateResults discards all cached SELECT responses. Ask does this
 // automatically for DML it executes; callers that mutate data behind the
 // System's back (direct engine Exec, storage Insert/Update/Delete, CSV
-// loads) must call it themselves. The generation bump makes stale entries
+// loads, CreateIndex — which can change plan choice) must call it
+// themselves. The generation bump makes stale entries
 // unreachable immediately — including Puts from SELECTs still in flight,
 // which land under the old generation — and the Clear releases their
 // memory rather than waiting for LRU pressure.

@@ -307,3 +307,91 @@ func TestDescribeStatistics(t *testing.T) {
 		}
 	}
 }
+
+// TestAskRecordsPlan: every SELECT Response carries the plan that produced
+// it, and a cache hit returns the recorded plan rather than re-planning.
+func TestAskRecordsPlan(t *testing.T) {
+	s := movieSystem(t)
+	sql := sqlparser.PaperQueries["Q1"]
+	first, err := s.Ask(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Plan == nil || first.Plan.Fingerprint == "" {
+		t.Fatal("SELECT response has no plan")
+	}
+	if first.Plan.Fallback {
+		t.Fatalf("Q1 should plan, got fallback: %s", first.Plan.Reason)
+	}
+	second, err := s.Ask(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second != first {
+		t.Fatal("expected a cache hit (same Response pointer)")
+	}
+	if second.Plan.Fingerprint != first.Plan.Fingerprint {
+		t.Fatal("cached response lost its plan")
+	}
+
+	// DML bumps the generation: the next Ask re-plans and re-records.
+	if _, err := s.Ask("insert into GENRE (mid, genre) values (100, 'noir')"); err != nil {
+		t.Fatal(err)
+	}
+	third, err := s.Ask(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third == first {
+		t.Fatal("stale cached response served after DML")
+	}
+	if third.Plan == nil {
+		t.Fatal("re-executed response has no plan")
+	}
+}
+
+// TestAskExplainPlan: EXPLAIN PLAN through the full talk-back loop narrates
+// the plan in English instead of the rows.
+func TestAskExplainPlan(t *testing.T) {
+	s := movieSystem(t)
+	resp, err := s.Ask("explain plan " + sqlparser.PaperQueries["Q1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Plan == nil || len(resp.Plan.Steps) == 0 {
+		t.Fatal("EXPLAIN response has no structured plan")
+	}
+	if !strings.Contains(resp.Answer, "Step 1") {
+		t.Errorf("answer = %q, want a step-by-step narration", resp.Answer)
+	}
+	if resp.Verification == nil || !strings.Contains(resp.Verification.Text, "Explain how the system answers") {
+		t.Errorf("verification = %+v", resp.Verification)
+	}
+	if resp.Result != nil {
+		t.Error("EXPLAIN must not return the query's rows")
+	}
+}
+
+// TestExplainPlanEndpointBackbone: System.ExplainPlan accepts bare SELECTs
+// and EXPLAIN statements, and rejects DML.
+func TestExplainPlanEndpointBackbone(t *testing.T) {
+	s := movieSystem(t)
+	for _, sql := range []string{
+		sqlparser.PaperQueries["Q1"],
+		"explain plan " + sqlparser.PaperQueries["Q1"],
+	} {
+		diag, err := s.ExplainPlan(sql)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		if diag.Plan == nil || diag.Text == "" {
+			t.Fatalf("%s: empty diagnosis", sql)
+		}
+		if diag.Plan.ActualRows < 0 {
+			t.Fatalf("%s: plan not executed", sql)
+		}
+	}
+	if _, err := s.ExplainPlan("delete from GENRE"); err == nil {
+		t.Fatal("EXPLAIN of DML accepted")
+	}
+}

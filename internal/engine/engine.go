@@ -2,12 +2,14 @@ package engine
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/catalog"
+	"repro/internal/planner"
 	"repro/internal/sqlparser"
 	"repro/internal/storage"
 	"repro/internal/value"
@@ -29,6 +31,10 @@ type Engine struct {
 	// par caps the worker fan-out of parallel join/scan steps; 0 means
 	// GOMAXPROCS, 1 forces serial execution.
 	par atomic.Int32
+
+	// noPlan disables the cost-based planner (SetPlannerEnabled), forcing
+	// the naive environment pipeline for every SELECT.
+	noPlan atomic.Bool
 }
 
 // New creates an engine over db.
@@ -130,6 +136,12 @@ func (ex *Engine) ExecStatement(stmt sqlparser.Statement) (res *Result, count in
 	case *sqlparser.DeleteStmt:
 		n, err := ex.execDelete(s)
 		return nil, n, err
+	case *sqlparser.ExplainStmt:
+		if _, plan, err := ex.SelectExplained(s.Query); err == nil {
+			return explainResult(plan), 0, nil
+		} else {
+			return nil, 0, err
+		}
 	case *sqlparser.CreateViewStmt:
 		return nil, 0, ex.CreateView(s.Name, s.Query)
 	case *sqlparser.CreateTableStmt:
@@ -199,30 +211,46 @@ func (ex *Engine) execSelect(sel *sqlparser.SelectStmt, outer *env) (*Result, er
 }
 
 func (ex *Engine) execSelectBounded(sel *sqlparser.SelectStmt, outer *env, earlyLimit int) (*Result, error) {
+	res, _, err := ex.execSelectExplained(sel, outer, earlyLimit)
+	return res, err
+}
+
+// execSelectExplained is execSelectBounded plus the plan that produced the
+// result (with actual row counts filled in). Plannable queries run the flat
+// slot-addressed pipeline; everything else falls back to the environment
+// pipeline, reported as a Fallback plan.
+func (ex *Engine) execSelectExplained(sel *sqlparser.SelectStmt, outer *env, earlyLimit int) (*Result, *planner.Plan, error) {
 	entries, err := ex.flattenFrom(sel.From)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	grouped := len(sel.GroupBy) > 0 || sel.Having != nil || selectHasAggregate(sel)
 
-	// Join: build environments row by row, applying every WHERE conjunct as
-	// soon as all of its tuple variables are bound (predicate pushdown).
-	conjuncts := sqlparser.Conjuncts(sel.Where)
-	envs, err := ex.joinFrom(entries, conjuncts, outer)
-	if err != nil {
-		return nil, err
-	}
-
+	plan := ex.planFor(sel, entries, outer != nil)
 	var out *Result
 	var rowEnvs []*env // aligned with out.Rows for ungrouped queries
-	if grouped {
-		out, err = ex.execGrouped(sel, entries, envs)
+	if !plan.Fallback {
+		out, rowEnvs, err = ex.execPlanned(sel, entries, plan, outer, earlyLimit, grouped)
 	} else {
-		out, rowEnvs, err = ex.execUngrouped(sel, entries, envs, earlyLimit)
+		// Naive pipeline: build environments row by row, applying every
+		// WHERE conjunct as soon as all of its tuple variables are bound
+		// (predicate pushdown).
+		conjuncts := sqlparser.Conjuncts(sel.Where)
+		var envs []*env
+		envs, err = ex.joinFrom(entries, conjuncts, outer)
+		if err != nil {
+			return nil, nil, err
+		}
+		plan.ActualRows = len(envs)
+		if grouped {
+			out, err = ex.execGrouped(sel, entries, envs)
+		} else {
+			out, rowEnvs, err = ex.execUngrouped(sel, entries, envs, earlyLimit)
+		}
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	if sel.Distinct {
@@ -231,13 +259,79 @@ func (ex *Engine) execSelectBounded(sel *sqlparser.SelectStmt, outer *env, early
 	}
 	if len(sel.OrderBy) > 0 {
 		if err := ex.orderRows(sel, entries, out, rowEnvs); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	if sel.Limit >= 0 && len(out.Rows) > sel.Limit {
 		out.Rows = out.Rows[:sel.Limit]
 	}
-	return out, nil
+	return out, plan, nil
+}
+
+// explainResult renders an executed plan as a tabular Result — the output
+// of the EXPLAIN PLAN statement.
+func explainResult(plan *planner.Plan) *Result {
+	out := &Result{Columns: []string{"step", "access", "target", "detail", "estimated_rows", "actual_rows", "cost"}}
+	s := plan.Summarize()
+	if s.Fallback {
+		out.Rows = append(out.Rows, storage.Tuple{
+			value.NewInt(1),
+			value.NewText("naive pipeline"),
+			value.NewText(s.Reason),
+			value.NewNull(),
+			value.NewNull(),
+			value.NewInt(int64(plan.ActualRows)),
+			value.NewNull(),
+		})
+		return out
+	}
+	for i, st := range s.Steps {
+		detail := st.JoinKey
+		if st.Index != "" {
+			if detail != "" {
+				detail += " via " + st.Index
+			} else {
+				detail = "via " + st.Index
+			}
+		}
+		if len(st.Filters) > 0 {
+			if detail != "" {
+				detail += "; "
+			}
+			detail += "filter " + strings.Join(st.Filters, " and ")
+		}
+		var detailVal value.Value
+		if detail != "" {
+			detailVal = value.NewText(detail)
+		} else {
+			detailVal = value.NewNull()
+		}
+		out.Rows = append(out.Rows, storage.Tuple{
+			value.NewInt(int64(i + 1)),
+			value.NewText(st.Access),
+			value.NewText(st.Relation + " " + st.Alias),
+			detailVal,
+			value.NewFloat(round2(st.EstRows)),
+			value.NewInt(int64(st.ActualRows)),
+			value.NewFloat(round2(st.EstCost)),
+		})
+	}
+	for _, r := range s.Residual {
+		out.Rows = append(out.Rows, storage.Tuple{
+			value.NewInt(int64(len(out.Rows) + 1)),
+			value.NewText("residual filter"),
+			value.NewText(r),
+			value.NewNull(),
+			value.NewNull(),
+			value.NewInt(int64(plan.ActualRows)),
+			value.NewNull(),
+		})
+	}
+	return out
+}
+
+func round2(f float64) float64 {
+	return math.Round(f*100) / 100
 }
 
 // flattenFrom resolves FROM items (including explicit JOIN chains and view
@@ -446,7 +540,12 @@ func (ex *Engine) joinStep(envs []*env, e *fromEntry, stepConj []sqlparser.Expr)
 			}
 			probeExpr = oRef
 			buildPos = pos
-			rest = append(append([]sqlparser.Expr{}, stepConj[:i]...), stepConj[i+1:]...)
+			// Drop the consumed conjunct with one exact-size allocation
+			// (append(append([]Expr{}, ...)...) copied twice and
+			// over-allocated on every join step).
+			rest = make([]sqlparser.Expr, 0, len(stepConj)-1)
+			rest = append(rest, stepConj[:i]...)
+			rest = append(rest, stepConj[i+1:]...)
 			break
 		}
 	}
@@ -707,19 +806,19 @@ func (ex *Engine) execGrouped(sel *sqlparser.SelectStmt, entries []fromEntry, en
 	}
 	groupsByKey := map[string]*group{}
 	var order []string
+	var keyBuf []byte // reused; value.AppendKey keys cannot collide across adjacent values
 	for _, en := range envs {
-		var key strings.Builder
+		keyBuf = keyBuf[:0]
 		for _, g := range sel.GroupBy {
 			v, err := ex.evalExpr(g, en, nil)
 			if err != nil {
 				return nil, err
 			}
-			key.WriteString(v.Key())
-			key.WriteByte('|')
+			keyBuf = v.AppendKey(keyBuf)
 		}
-		k := key.String()
-		grp, ok := groupsByKey[k]
+		grp, ok := groupsByKey[string(keyBuf)]
 		if !ok {
+			k := string(keyBuf)
 			grp = &group{ctx: &groupCtx{}}
 			groupsByKey[k] = grp
 			order = append(order, k)
@@ -854,15 +953,14 @@ func aliasMatches(it sqlparser.SelectItem, c *sqlparser.ColumnRef) bool {
 func distinctRows(rows []storage.Tuple) []storage.Tuple {
 	seen := make(map[string]bool, len(rows))
 	out := rows[:0]
+	var keyBuf []byte // reused; value.AppendKey keys cannot collide across adjacent values
 	for _, r := range rows {
-		var b strings.Builder
+		keyBuf = keyBuf[:0]
 		for _, v := range r {
-			b.WriteString(v.Key())
-			b.WriteByte('|')
+			keyBuf = v.AppendKey(keyBuf)
 		}
-		k := b.String()
-		if !seen[k] {
-			seen[k] = true
+		if !seen[string(keyBuf)] {
+			seen[string(keyBuf)] = true
 			out = append(out, r)
 		}
 	}

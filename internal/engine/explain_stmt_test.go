@@ -1,0 +1,124 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/sqlparser"
+)
+
+// TestExplainPlanStatement runs EXPLAIN PLAN through Exec and checks the
+// tabular rendering: one row per step, estimated and actual counts filled.
+func TestExplainPlanStatement(t *testing.T) {
+	db, err := dataset.CuratedMovieDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := New(db)
+	res, n, err := ex.Exec("explain plan " + sqlparser.PaperQueries["Q1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("affected = %d", n)
+	}
+	if len(res.Columns) != 7 || res.Columns[0] != "step" {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("Q1 should plan in 3 steps, got %d rows:\n%s", len(res.Rows), res)
+	}
+	// The first step must be the selective ACTOR scan; each row carries an
+	// actual count >= 0.
+	if got := res.Rows[0][2].Text(); !strings.Contains(got, "ACTOR") {
+		t.Errorf("first step target = %q, want the filtered ACTOR scan", got)
+	}
+	for i, row := range res.Rows {
+		if row[5].IsNull() || row[5].Int() < 0 {
+			t.Errorf("row %d has no actual count: %s", i, row)
+		}
+	}
+}
+
+// TestExplainPlanStatementFallback renders fallback plans honestly.
+func TestExplainPlanStatementFallback(t *testing.T) {
+	db, err := dataset.CuratedMovieDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := New(db)
+	res, _, err := ex.Exec("explain plan select m.title from MOVIES m left join CAST c on m.id = c.mid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][1].Text() != "naive pipeline" {
+		t.Fatalf("fallback rendering:\n%s", res)
+	}
+}
+
+// TestPlannedParallelMatchesSerial: the planned pipeline's worker fan-out
+// must be invisible — identical rows in identical order at any parallelism.
+func TestPlannedParallelMatchesSerial(t *testing.T) {
+	old := parallelThreshold
+	parallelThreshold = 8 // force the parallel paths on a small database
+	defer func() { parallelThreshold = old }()
+
+	db, err := dataset.GenerateMovieDB(dataset.GenConfig{
+		Seed: 11, Movies: 300, Actors: 80, Directors: 9, CastPerMovie: 3, GenresPerMovie: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := New(db)
+	for _, sql := range []string{
+		"select m.title, c.role from MOVIES m, CAST c where m.id = c.mid and c.aid < 40",
+		"select m.title, g.genre from MOVIES m, GENRE g where m.id = g.mid and g.genre = 'drama'",
+		"select a.name from ACTOR a, CAST c, MOVIES m where a.id = c.aid and c.mid = m.id and m.year > 1980",
+	} {
+		ex.SetParallelism(1)
+		serial, err := ex.Query(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex.SetParallelism(4)
+		parallel, err := ex.Query(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex.SetParallelism(0)
+		if len(serial.Rows) != len(parallel.Rows) {
+			t.Fatalf("%s: serial %d rows, parallel %d", sql, len(serial.Rows), len(parallel.Rows))
+		}
+		for i := range serial.Rows {
+			for j := range serial.Rows[i] {
+				a, b := serial.Rows[i][j], parallel.Rows[i][j]
+				if a.IsNull() != b.IsNull() || (!a.IsNull() && !a.Equal(b)) {
+					t.Fatalf("%s: row %d differs between serial and parallel", sql, i)
+				}
+			}
+		}
+	}
+}
+
+// TestPlannedRowsAreIndependent: arena-allocated result rows must not alias
+// each other — mutating one (as DML helpers may) cannot corrupt another.
+func TestPlannedRowsAreIndependent(t *testing.T) {
+	db, err := dataset.CuratedMovieDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := New(db)
+	res, err := ex.Query("select m.id, m.title from MOVIES m where m.year > 1900")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 3 {
+		t.Fatal("need a few rows")
+	}
+	before := res.Rows[1][1].Text()
+	res.Rows[0][1] = res.Rows[0][0] // clobber row 0
+	if res.Rows[1][1].Text() != before {
+		t.Fatal("mutating one result row changed another (arena aliasing)")
+	}
+}

@@ -1,0 +1,1099 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/planner"
+	"repro/internal/sqlparser"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// This file executes planner.Plans over flat slot-addressed rows. Each FROM
+// entry owns a contiguous slot range laid out in clause order; a row is one
+// []value.Value of the plan's width, allocated from chunked arenas so the
+// join inner loop performs no per-row allocations, no map lookups, and no
+// string comparisons. Predicates whose column references resolve at plan
+// time compile to closures over slots; anything else (subqueries, outer
+// correlations) evaluates through a reusable environment bridge after all
+// joins.
+
+// ---------------------------------------------------------------------------
+// Hash keys
+// ---------------------------------------------------------------------------
+
+// joinKey is a comparable, allocation-free normalization of a Value for
+// hash-join tables: numerics collapse to one float64 image (1 == 1.0, like
+// value.Key), dates to their unix second, text aliases the original string.
+type joinKey struct {
+	kind byte
+	bits uint64
+	str  string
+}
+
+// joinKeyOf normalizes v; ok is false for NULL, which never joins.
+func joinKeyOf(v value.Value) (joinKey, bool) {
+	switch v.Kind() {
+	case value.Int:
+		return joinKey{kind: 'f', bits: math.Float64bits(float64(v.Int()))}, true
+	case value.Float:
+		f := v.Float()
+		if f == 0 {
+			f = 0 // collapse -0 and +0
+		}
+		return joinKey{kind: 'f', bits: math.Float64bits(f)}, true
+	case value.Text:
+		return joinKey{kind: 't', str: v.Text()}, true
+	case value.Date:
+		return joinKey{kind: 'd', bits: uint64(v.Date().Unix())}, true
+	case value.Bool:
+		if v.Bool() {
+			return joinKey{kind: 'B'}, true
+		}
+		return joinKey{kind: 'b'}, true
+	default:
+		return joinKey{}, false
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Arenas
+// ---------------------------------------------------------------------------
+
+// Arena chunks start small (selective probes often emit a handful of rows)
+// and double up to a cap, amortizing allocation without over-committing.
+const (
+	arenaFirstChunkRows = 8
+	arenaMaxChunkRows   = 1024
+)
+
+// rowArena hands out fixed-width []value.Value rows carved from big chunks.
+// peek returns the next row for speculative filling; commit keeps it. A
+// rejected candidate is simply re-peeked, so filtered-out rows cost nothing.
+type rowArena struct {
+	width     int
+	buf       []value.Value
+	chunkRows int
+}
+
+func (a *rowArena) peek() []value.Value {
+	if len(a.buf) < a.width {
+		if a.chunkRows < arenaMaxChunkRows {
+			if a.chunkRows == 0 {
+				a.chunkRows = arenaFirstChunkRows
+			} else {
+				a.chunkRows *= 2
+			}
+		}
+		n := a.width * a.chunkRows
+		if n == 0 {
+			n = 1
+		}
+		a.buf = make([]value.Value, n)
+	}
+	return a.buf[:a.width:a.width]
+}
+
+func (a *rowArena) commit() { a.buf = a.buf[a.width:] }
+
+// provArena is the same for provenance vectors (per-step source tuple
+// positions), used to restore FROM-major row order after join reordering.
+type provArena struct {
+	width     int
+	buf       []int32
+	chunkRows int
+}
+
+func (a *provArena) peek() []int32 {
+	if len(a.buf) < a.width {
+		if a.chunkRows < arenaMaxChunkRows {
+			if a.chunkRows == 0 {
+				a.chunkRows = arenaFirstChunkRows
+			} else {
+				a.chunkRows *= 2
+			}
+		}
+		n := a.width * a.chunkRows
+		if n == 0 {
+			n = 1
+		}
+		a.buf = make([]int32, n)
+	}
+	return a.buf[:a.width:a.width]
+}
+
+func (a *provArena) commit() { a.buf = a.buf[a.width:] }
+
+// ---------------------------------------------------------------------------
+// Compiled query state
+// ---------------------------------------------------------------------------
+
+// plannedQuery is one plan compiled against the engine: slot-resolved
+// predicate closures per step plus the residual (bridged) predicates.
+type plannedQuery struct {
+	ex    *Engine
+	plan  *planner.Plan
+	outer *env
+	// fromOrder[i] is the step index of FROM entry i.
+	fromOrder []int
+	stepSelf  [][]rowEval // compiled SelfFilters per step
+	stepPost  [][]rowEval // compiled PostJoinFilters per step
+	postEvals []rowEval   // residual predicates after all joins
+	track     bool        // provenance tracking (plan was reordered)
+}
+
+// rowEval evaluates one expression against a flat row.
+type rowEval func(ec *evalCtx, row []value.Value) (value.Value, error)
+
+// evalCtx is per-worker scratch: arenas, a key-encoding buffer, a scratch
+// row for build-side filters, and the reusable environment bridge.
+type evalCtx struct {
+	pq      *plannedQuery
+	rows    rowArena
+	prov    provArena
+	keyBuf  []byte
+	scratch []value.Value
+	bridge  *env
+}
+
+func (pq *plannedQuery) newCtx() *evalCtx {
+	return &evalCtx{
+		pq:   pq,
+		rows: rowArena{width: pq.plan.Width},
+		prov: provArena{width: len(pq.plan.Steps)},
+	}
+}
+
+// scratchRow returns a full-width row for evaluating self-filters against a
+// lone build-side tuple.
+func (ec *evalCtx) scratchRow() []value.Value {
+	if ec.scratch == nil {
+		ec.scratch = make([]value.Value, ec.pq.plan.Width)
+	}
+	return ec.scratch
+}
+
+// envFor exposes the flat row as an environment chain (bindings in FROM
+// order, outer scope as parent) for predicates the compiler bridged. The env
+// and its bindings slice are reused across rows; evaluation never retains
+// them.
+func (ec *evalCtx) envFor(row []value.Value) *env {
+	pq := ec.pq
+	if ec.bridge == nil {
+		b := make([]binding, len(pq.fromOrder))
+		for fi, si := range pq.fromOrder {
+			st := pq.plan.Steps[si]
+			b[fi] = binding{alias: st.Input.Alias, rel: st.Input.Rel}
+		}
+		ec.bridge = &env{parent: pq.outer, bindings: b}
+	}
+	for fi, si := range pq.fromOrder {
+		st := pq.plan.Steps[si]
+		n := len(st.Input.Rel.Attributes)
+		ec.bridge.bindings[fi].tuple = storage.Tuple(row[st.Offset : st.Offset+n])
+	}
+	return ec.bridge
+}
+
+// passes applies SQL WHERE truthiness: NULL and non-boolean reject.
+func passes(v value.Value) bool {
+	return !v.IsNull() && v.Kind() == value.Bool && v.Bool()
+}
+
+// ---------------------------------------------------------------------------
+// Expression compilation
+// ---------------------------------------------------------------------------
+
+// slotOf resolves a column reference to an absolute slot, mirroring
+// env.lookup (first alias-or-relation match in FROM order; unqualified names
+// must be unique). ok=false means the reference needs the bridge.
+func (pq *plannedQuery) slotOf(ref *sqlparser.ColumnRef) (int, bool) {
+	steps := pq.plan.Steps
+	if ref.Table != "" {
+		for _, si := range pq.fromOrder {
+			st := steps[si]
+			if strings.EqualFold(st.Input.Alias, ref.Table) || strings.EqualFold(st.Input.Rel.Name, ref.Table) {
+				pos := st.Input.Rel.AttrIndex(ref.Column)
+				if pos < 0 {
+					return 0, false // surfaces env.lookup's runtime error
+				}
+				return st.Offset + pos, true
+			}
+		}
+		return 0, false // outer correlation (or unknown): bridge
+	}
+	found := -1
+	for _, si := range pq.fromOrder {
+		st := steps[si]
+		if pos := st.Input.Rel.AttrIndex(ref.Column); pos >= 0 {
+			if found >= 0 {
+				return 0, false // ambiguous: bridge reproduces the error
+			}
+			found = st.Offset + pos
+		}
+	}
+	if found < 0 {
+		return 0, false
+	}
+	return found, true
+}
+
+// bridge wraps an expression in an environment-based evaluation.
+func (pq *plannedQuery) bridgeEval(e sqlparser.Expr) rowEval {
+	return func(ec *evalCtx, row []value.Value) (value.Value, error) {
+		return ec.pq.ex.evalExpr(e, ec.envFor(row), nil)
+	}
+}
+
+// compile lowers an expression to a slot-addressed closure. ok=false means
+// some subtree needs environment semantics (subqueries, aggregates,
+// unresolvable references); callers bridge the whole expression then.
+func (pq *plannedQuery) compile(e sqlparser.Expr) (rowEval, bool) {
+	switch x := e.(type) {
+	case *sqlparser.Literal:
+		v := x.Value
+		return func(*evalCtx, []value.Value) (value.Value, error) { return v, nil }, true
+
+	case *sqlparser.ColumnRef:
+		if x.Column == "*" {
+			return nil, false
+		}
+		slot, ok := pq.slotOf(x)
+		if !ok {
+			return nil, false
+		}
+		return func(_ *evalCtx, row []value.Value) (value.Value, error) { return row[slot], nil }, true
+
+	case *sqlparser.BinaryExpr:
+		return pq.compileBinary(x)
+
+	case *sqlparser.NotExpr:
+		inner, ok := pq.compile(x.Inner)
+		if !ok {
+			return nil, false
+		}
+		return func(ec *evalCtx, row []value.Value) (value.Value, error) {
+			v, err := inner(ec, row)
+			if err != nil {
+				return value.Value{}, err
+			}
+			if v.IsNull() {
+				return v, nil
+			}
+			if v.Kind() != value.Bool {
+				return value.Value{}, fmt.Errorf("engine: NOT applied to %s", v.Kind())
+			}
+			return value.NewBool(!v.Bool()), nil
+		}, true
+
+	case *sqlparser.IsNullExpr:
+		inner, ok := pq.compile(x.Inner)
+		if !ok {
+			return nil, false
+		}
+		negate := x.Negate
+		return func(ec *evalCtx, row []value.Value) (value.Value, error) {
+			v, err := inner(ec, row)
+			if err != nil {
+				return value.Value{}, err
+			}
+			return value.NewBool(v.IsNull() != negate), nil
+		}, true
+
+	case *sqlparser.BetweenExpr:
+		subj, ok1 := pq.compile(x.Subject)
+		lo, ok2 := pq.compile(x.Lo)
+		hi, ok3 := pq.compile(x.Hi)
+		if !ok1 || !ok2 || !ok3 {
+			return nil, false
+		}
+		negate := x.Negate
+		return func(ec *evalCtx, row []value.Value) (value.Value, error) {
+			s, err := subj(ec, row)
+			if err != nil {
+				return value.Value{}, err
+			}
+			l, err := lo(ec, row)
+			if err != nil {
+				return value.Value{}, err
+			}
+			h, err := hi(ec, row)
+			if err != nil {
+				return value.Value{}, err
+			}
+			if s.IsNull() || l.IsNull() || h.IsNull() {
+				return value.NewNull(), nil
+			}
+			c1, err := s.Compare(l)
+			if err != nil {
+				return value.Value{}, err
+			}
+			c2, err := s.Compare(h)
+			if err != nil {
+				return value.Value{}, err
+			}
+			in := c1 >= 0 && c2 <= 0
+			return value.NewBool(in != negate), nil
+		}, true
+
+	case *sqlparser.InExpr:
+		if x.Subquery != nil {
+			return nil, false
+		}
+		subj, ok := pq.compile(x.Subject)
+		if !ok {
+			return nil, false
+		}
+		items := make([]rowEval, len(x.List))
+		for i, it := range x.List {
+			ev, ok := pq.compile(it)
+			if !ok {
+				return nil, false
+			}
+			items[i] = ev
+		}
+		negate := x.Negate
+		return func(ec *evalCtx, row []value.Value) (value.Value, error) {
+			s, err := subj(ec, row)
+			if err != nil {
+				return value.Value{}, err
+			}
+			if s.IsNull() {
+				if len(items) == 0 {
+					return value.NewBool(negate), nil
+				}
+				return value.NewNull(), nil
+			}
+			sawNull := false
+			for _, ev := range items {
+				c, err := ev(ec, row)
+				if err != nil {
+					return value.Value{}, err
+				}
+				if c.IsNull() {
+					sawNull = true
+					continue
+				}
+				if s.Equal(c) {
+					return value.NewBool(!negate), nil
+				}
+			}
+			if sawNull {
+				return value.NewNull(), nil
+			}
+			return value.NewBool(negate), nil
+		}, true
+
+	case *sqlparser.CaseExpr:
+		conds := make([]rowEval, len(x.Whens))
+		thens := make([]rowEval, len(x.Whens))
+		for i, w := range x.Whens {
+			c, ok := pq.compile(w.Cond)
+			if !ok {
+				return nil, false
+			}
+			t, ok := pq.compile(w.Then)
+			if !ok {
+				return nil, false
+			}
+			conds[i], thens[i] = c, t
+		}
+		var els rowEval
+		if x.Else != nil {
+			e2, ok := pq.compile(x.Else)
+			if !ok {
+				return nil, false
+			}
+			els = e2
+		}
+		return func(ec *evalCtx, row []value.Value) (value.Value, error) {
+			for i, c := range conds {
+				v, err := c(ec, row)
+				if err != nil {
+					return value.Value{}, err
+				}
+				if passes(v) {
+					return thens[i](ec, row)
+				}
+			}
+			if els != nil {
+				return els(ec, row)
+			}
+			return value.NewNull(), nil
+		}, true
+
+	default:
+		// Subqueries, quantifiers, EXISTS, aggregates, stars: bridge.
+		return nil, false
+	}
+}
+
+func (pq *plannedQuery) compileBinary(x *sqlparser.BinaryExpr) (rowEval, bool) {
+	l, ok := pq.compile(x.Left)
+	if !ok {
+		return nil, false
+	}
+	r, ok := pq.compile(x.Right)
+	if !ok {
+		return nil, false
+	}
+	op := x.Op
+	switch op {
+	case sqlparser.OpAnd, sqlparser.OpOr:
+		return func(ec *evalCtx, row []value.Value) (value.Value, error) {
+			lv, err := l(ec, row)
+			if err != nil {
+				return value.Value{}, err
+			}
+			// Three-valued short circuit, mirroring evalBinary.
+			if !lv.IsNull() && lv.Kind() == value.Bool {
+				if op == sqlparser.OpAnd && !lv.Bool() {
+					return value.NewBool(false), nil
+				}
+				if op == sqlparser.OpOr && lv.Bool() {
+					return value.NewBool(true), nil
+				}
+			}
+			rv, err := r(ec, row)
+			if err != nil {
+				return value.Value{}, err
+			}
+			return threeValued(op, lv, rv)
+		}, true
+	}
+	var pred func(int) bool
+	equality := false
+	switch op {
+	case sqlparser.OpEq:
+		pred, equality = func(c int) bool { return c == 0 }, true
+	case sqlparser.OpNe:
+		pred, equality = func(c int) bool { return c != 0 }, true
+	case sqlparser.OpLt:
+		pred = func(c int) bool { return c < 0 }
+	case sqlparser.OpLe:
+		pred = func(c int) bool { return c <= 0 }
+	case sqlparser.OpGt:
+		pred = func(c int) bool { return c > 0 }
+	case sqlparser.OpGe:
+		pred = func(c int) bool { return c >= 0 }
+	}
+	return func(ec *evalCtx, row []value.Value) (value.Value, error) {
+		lv, err := l(ec, row)
+		if err != nil {
+			return value.Value{}, err
+		}
+		rv, err := r(ec, row)
+		if err != nil {
+			return value.Value{}, err
+		}
+		if lv.IsNull() || rv.IsNull() {
+			return value.NewNull(), nil
+		}
+		switch op {
+		case sqlparser.OpLike:
+			if lv.Kind() != value.Text || rv.Kind() != value.Text {
+				return value.Value{}, fmt.Errorf("engine: LIKE requires text operands")
+			}
+			return value.NewBool(likeMatch(lv.Text(), rv.Text())), nil
+		case sqlparser.OpAdd, sqlparser.OpSub, sqlparser.OpMul, sqlparser.OpDiv, sqlparser.OpMod:
+			return arith(op, lv, rv)
+		default:
+			return compareOp(lv, rv, equality, pred)
+		}
+	}, true
+}
+
+// ---------------------------------------------------------------------------
+// Plan compilation
+// ---------------------------------------------------------------------------
+
+// compilePlan resolves a plan's predicates against the engine. Filters that
+// fail to compile migrate to the residual phase (safe for inner joins — the
+// row set is identical, only evaluated later).
+func (ex *Engine) compilePlan(plan *planner.Plan, outer *env) *plannedQuery {
+	pq := &plannedQuery{
+		ex:        ex,
+		plan:      plan,
+		outer:     outer,
+		fromOrder: make([]int, len(plan.Steps)),
+		stepSelf:  make([][]rowEval, len(plan.Steps)),
+		stepPost:  make([][]rowEval, len(plan.Steps)),
+		track:     plan.Reordered,
+	}
+	for si, st := range plan.Steps {
+		pq.fromOrder[st.FromPos] = si
+	}
+	residual := func(e sqlparser.Expr) {
+		ev, ok := pq.compile(e)
+		if !ok {
+			ev = pq.bridgeEval(e)
+		}
+		pq.postEvals = append(pq.postEvals, ev)
+	}
+	for si, st := range plan.Steps {
+		for _, f := range st.SelfFilters {
+			if ev, ok := pq.compile(f); ok {
+				pq.stepSelf[si] = append(pq.stepSelf[si], ev)
+			} else {
+				residual(f)
+			}
+		}
+		for _, f := range st.PostJoinFilters {
+			if ev, ok := pq.compile(f); ok {
+				pq.stepPost[si] = append(pq.stepPost[si], ev)
+			} else {
+				residual(f)
+			}
+		}
+	}
+	for _, e := range plan.Post {
+		residual(e)
+	}
+	return pq
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline execution
+// ---------------------------------------------------------------------------
+
+// batch is one worker's output: rows plus (optionally) provenance vectors.
+type batch struct {
+	rows [][]value.Value
+	prov [][]int32
+}
+
+// emit speculatively fills a row from base+tuple, applies the step's
+// compiled filters, and keeps it on success.
+func (ec *evalCtx) emit(out *batch, base []value.Value, baseProv []int32, tup storage.Tuple, st *planner.Step, si int, ti int32, evals ...[]rowEval) error {
+	r := ec.rows.peek()
+	if base != nil {
+		copy(r, base)
+	}
+	n := len(st.Input.Rel.Attributes)
+	copy(r[st.Offset:st.Offset+n], tup)
+	for _, group := range evals {
+		for _, ev := range group {
+			v, err := ev(ec, r)
+			if err != nil {
+				return err
+			}
+			if !passes(v) {
+				return nil
+			}
+		}
+	}
+	ec.rows.commit()
+	out.rows = append(out.rows, r)
+	if ec.pq.track {
+		p := ec.prov.peek()
+		if baseProv != nil {
+			copy(p, baseProv)
+		}
+		p[si] = ti
+		ec.prov.commit()
+		out.prov = append(out.prov, p)
+	}
+	return nil
+}
+
+// gatherBatches fans fn out over [0, n) in order-preserving chunks, each
+// worker with its own evalCtx and arenas.
+func (ex *Engine) gatherBatches(pq *plannedQuery, n int, fn func(ec *evalCtx, lo, hi int, out *batch) error) (batch, error) {
+	workers := ex.workersFor(n)
+	if workers <= 1 {
+		var out batch
+		err := fn(pq.newCtx(), 0, n, &out)
+		return out, err
+	}
+	chunk := (n + workers - 1) / workers
+	outs := make([]batch, workers)
+	errs := make([]error, workers)
+	done := make(chan int, workers)
+	launched := 0
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		launched++
+		go func(w, lo, hi int) {
+			errs[w] = fn(pq.newCtx(), lo, hi, &outs[w])
+			done <- w
+		}(w, lo, hi)
+	}
+	for i := 0; i < launched; i++ {
+		<-done
+	}
+	var total int
+	for w := range outs {
+		if errs[w] != nil {
+			return batch{}, errs[w]
+		}
+		total += len(outs[w].rows)
+	}
+	merged := batch{rows: make([][]value.Value, 0, total)}
+	if pq.track {
+		merged.prov = make([][]int32, 0, total)
+	}
+	for w := range outs {
+		merged.rows = append(merged.rows, outs[w].rows...)
+		merged.prov = append(merged.prov, outs[w].prov...)
+	}
+	return merged, nil
+}
+
+// runPlan executes the pipeline and returns the joined, residual-filtered
+// rows in the same order the naive nested-loop pipeline would produce.
+func (ex *Engine) runPlan(pq *plannedQuery) ([][]value.Value, error) {
+	steps := pq.plan.Steps
+	var cur batch
+	for si, st := range steps {
+		var err error
+		if si == 0 {
+			cur, err = ex.runScanStep(pq, st)
+		} else {
+			cur, err = ex.runJoinStep(pq, si, st, cur)
+		}
+		if err != nil {
+			return nil, err
+		}
+		st.ActualRows = len(cur.rows)
+		if len(cur.rows) == 0 {
+			for _, rest := range steps[si+1:] {
+				rest.ActualRows = 0
+			}
+			break
+		}
+	}
+	if len(pq.postEvals) > 0 && len(cur.rows) > 0 {
+		filtered, err := ex.gatherBatches(pq, len(cur.rows), func(ec *evalCtx, lo, hi int, out *batch) error {
+			for i := lo; i < hi; i++ {
+				row := cur.rows[i]
+				keep := true
+				for _, ev := range pq.postEvals {
+					v, err := ev(ec, row)
+					if err != nil {
+						return err
+					}
+					if !passes(v) {
+						keep = false
+						break
+					}
+				}
+				if keep {
+					out.rows = append(out.rows, row)
+					if pq.track {
+						out.prov = append(out.prov, cur.prov[i])
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		cur = filtered
+	}
+	pq.plan.ActualRows = len(cur.rows)
+	if pq.track && len(cur.rows) > 1 {
+		sortByProvenance(pq, &cur)
+	}
+	return cur.rows, nil
+}
+
+// sortByProvenance restores FROM-major lexicographic order — exactly the
+// order the naive nested-loop pipeline emits — after join reordering.
+func sortByProvenance(pq *plannedQuery, cur *batch) {
+	idx := make([]int, len(cur.rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := cur.prov[idx[a]], cur.prov[idx[b]]
+		for _, si := range pq.fromOrder {
+			if pa[si] != pb[si] {
+				return pa[si] < pb[si]
+			}
+		}
+		return false
+	})
+	sorted := make([][]value.Value, len(cur.rows))
+	for i, j := range idx {
+		sorted[i] = cur.rows[j]
+	}
+	cur.rows = sorted
+}
+
+// runScanStep produces the first row set: full scan, primary-key probe, or
+// index probe, with the step's compiled filters applied inline.
+func (ex *Engine) runScanStep(pq *plannedQuery, st *planner.Step) (batch, error) {
+	si := pq.fromOrder[st.FromPos] // == 0
+	tbl := st.Input.Tbl
+	evals := [][]rowEval{pq.stepSelf[si], pq.stepPost[si]}
+
+	switch st.Access {
+	case planner.ScanPK, planner.ScanIndex:
+		ec := pq.newCtx()
+		var out batch
+		ec.keyBuf = ec.keyBuf[:0]
+		for _, v := range st.KeyValues {
+			if v.IsNull() {
+				return out, nil // NULL never matches an equality probe
+			}
+			ec.keyBuf = v.AppendKey(ec.keyBuf)
+		}
+		var positions []int
+		if st.Access == planner.ScanPK {
+			if pos, ok := tbl.LookupPKPos(ec.keyBuf); ok {
+				positions = []int{pos}
+			}
+		} else {
+			ix := tbl.Index(st.IndexName)
+			if ix == nil {
+				return batch{}, fmt.Errorf("engine: plan references missing index %q on %s", st.IndexName, st.Input.Rel.Name)
+			}
+			positions = ix.Probe(ec.keyBuf)
+		}
+		for _, pos := range positions {
+			if err := ec.emit(&out, nil, nil, tbl.Tuple(pos), st, si, int32(pos), evals...); err != nil {
+				return batch{}, err
+			}
+		}
+		return out, nil
+
+	default: // ScanFull
+		tuples := tbl.Tuples()
+		return ex.gatherBatches(pq, len(tuples), func(ec *evalCtx, lo, hi int, out *batch) error {
+			for ti := lo; ti < hi; ti++ {
+				if err := ec.emit(out, nil, nil, tuples[ti], st, si, int32(ti), evals...); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+}
+
+// runJoinStep extends every current row with matches from the step's table.
+func (ex *Engine) runJoinStep(pq *plannedQuery, si int, st *planner.Step, cur batch) (batch, error) {
+	tbl := st.Input.Tbl
+	self, post := pq.stepSelf[si], pq.stepPost[si]
+
+	baseProv := func(i int) []int32 {
+		if pq.track {
+			return cur.prov[i]
+		}
+		return nil
+	}
+
+	switch st.Access {
+	case planner.JoinHash:
+		// Build (serial): hash the new table on the join attribute, applying
+		// its self-filters against a scratch row first.
+		tuples := tbl.Tuples()
+		buildEC := pq.newCtx()
+		ht := make(map[joinKey][]int32, len(tuples))
+		n := len(st.Input.Rel.Attributes)
+		for ti, tup := range tuples {
+			if len(self) > 0 {
+				row := buildEC.scratchRow()
+				copy(row[st.Offset:st.Offset+n], tup)
+				keep := true
+				for _, ev := range self {
+					v, err := ev(buildEC, row)
+					if err != nil {
+						return batch{}, err
+					}
+					if !passes(v) {
+						keep = false
+						break
+					}
+				}
+				if !keep {
+					continue
+				}
+			}
+			k, ok := joinKeyOf(tup[st.BuildPos])
+			if !ok {
+				continue
+			}
+			ht[k] = append(ht[k], int32(ti))
+		}
+		probeSlot := st.ProbeSlot
+		return ex.gatherBatches(pq, len(cur.rows), func(ec *evalCtx, lo, hi int, out *batch) error {
+			for i := lo; i < hi; i++ {
+				base := cur.rows[i]
+				k, ok := joinKeyOf(base[probeSlot])
+				if !ok {
+					continue
+				}
+				for _, ti := range ht[k] {
+					if err := ec.emit(out, base, baseProv(i), tuples[ti], st, si, ti, post); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+
+	case planner.JoinPK:
+		return ex.gatherBatches(pq, len(cur.rows), func(ec *evalCtx, lo, hi int, out *batch) error {
+		next:
+			for i := lo; i < hi; i++ {
+				base := cur.rows[i]
+				ec.keyBuf = ec.keyBuf[:0]
+				for _, slot := range st.ProbeSlots {
+					v := base[slot]
+					if v.IsNull() {
+						continue next
+					}
+					ec.keyBuf = v.AppendKey(ec.keyBuf)
+				}
+				pos, ok := tbl.LookupPKPos(ec.keyBuf)
+				if !ok {
+					continue
+				}
+				if err := ec.emit(out, base, baseProv(i), tbl.Tuple(pos), st, si, int32(pos), self, post); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+
+	case planner.JoinIndex:
+		ix := tbl.Index(st.IndexName)
+		if ix == nil {
+			return batch{}, fmt.Errorf("engine: plan references missing index %q on %s", st.IndexName, st.Input.Rel.Name)
+		}
+		return ex.gatherBatches(pq, len(cur.rows), func(ec *evalCtx, lo, hi int, out *batch) error {
+		next:
+			for i := lo; i < hi; i++ {
+				base := cur.rows[i]
+				ec.keyBuf = ec.keyBuf[:0]
+				for _, slot := range st.ProbeSlots {
+					v := base[slot]
+					if v.IsNull() {
+						continue next
+					}
+					ec.keyBuf = v.AppendKey(ec.keyBuf)
+				}
+				for _, pos := range ix.Probe(ec.keyBuf) {
+					if err := ec.emit(out, base, baseProv(i), tbl.Tuple(pos), st, si, int32(pos), self, post); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+
+	default: // JoinLoop — prefilter the inner side once, then cross.
+		tuples := tbl.Tuples()
+		inner := make([]int32, 0, len(tuples))
+		if len(self) > 0 {
+			ec := pq.newCtx()
+			n := len(st.Input.Rel.Attributes)
+			row := ec.scratchRow()
+			for ti, tup := range tuples {
+				copy(row[st.Offset:st.Offset+n], tup)
+				keep := true
+				for _, ev := range self {
+					v, err := ev(ec, row)
+					if err != nil {
+						return batch{}, err
+					}
+					if !passes(v) {
+						keep = false
+						break
+					}
+				}
+				if keep {
+					inner = append(inner, int32(ti))
+				}
+			}
+		} else {
+			for ti := range tuples {
+				inner = append(inner, int32(ti))
+			}
+		}
+		return ex.gatherBatches(pq, len(cur.rows), func(ec *evalCtx, lo, hi int, out *batch) error {
+			for i := lo; i < hi; i++ {
+				base := cur.rows[i]
+				for _, ti := range inner {
+					if err := ec.emit(out, base, baseProv(i), tuples[ti], st, si, ti, post); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration
+// ---------------------------------------------------------------------------
+
+// planFor builds a plan for the flattened FROM entries; the result has
+// Fallback set when the query is outside the planner's dialect (views,
+// outer joins, forward ON references, or the planner disabled). hasOuter
+// reports an enclosing scope whose bindings may satisfy otherwise
+// unresolvable column references (correlated subqueries).
+func (ex *Engine) planFor(sel *sqlparser.SelectStmt, entries []fromEntry, hasOuter bool) *planner.Plan {
+	if ex.noPlan.Load() {
+		return planner.NewFallback("planner disabled")
+	}
+	inputs := make([]planner.Input, len(entries))
+	var onConjs []sqlparser.Expr
+	for i := range entries {
+		e := &entries[i]
+		if e.view != nil {
+			return planner.NewFallback("view reference")
+		}
+		if e.explicit && e.joinKind != sqlparser.JoinInner {
+			return planner.NewFallback("outer join")
+		}
+		if e.explicit && e.joinOn != nil {
+			for _, c := range sqlparser.Conjuncts(e.joinOn) {
+				if !onPlannable(c, entries, i) {
+					return planner.NewFallback("ON condition outside the planner dialect")
+				}
+				onConjs = append(onConjs, c)
+			}
+		}
+		inputs[i] = planner.Input{Alias: e.alias, Rel: e.rel, Tbl: e.tbl}
+	}
+	return planner.Build(sel, inputs, onConjs, hasOuter)
+}
+
+// onPlannable reports whether an explicit-JOIN ON conjunct can be treated as
+// a WHERE conjunct: no subqueries, and every reference qualified and bound
+// by entry i's prefix (the naive pipeline evaluates ON at its own step, so
+// forward or unqualified references must keep naive semantics).
+func onPlannable(c sqlparser.Expr, entries []fromEntry, i int) bool {
+	if planner.HasSubquery(c) {
+		return false
+	}
+	ok := true
+	sqlparser.WalkExpr(c, func(x sqlparser.Expr) bool {
+		ref, isRef := x.(*sqlparser.ColumnRef)
+		if !isRef {
+			return true
+		}
+		if ref.Table == "" {
+			ok = false
+			return false
+		}
+		for j := 0; j <= i; j++ {
+			if strings.EqualFold(entries[j].alias, ref.Table) || strings.EqualFold(entries[j].rel.Name, ref.Table) {
+				return true
+			}
+		}
+		ok = false
+		return false
+	})
+	return ok
+}
+
+// materializeEnvs exposes flat rows as environment chains (bindings in FROM
+// order) so grouped evaluation and ORDER BY reuse the existing machinery.
+func (pq *plannedQuery) materializeEnvs(rows [][]value.Value) []*env {
+	envs := make([]*env, len(rows))
+	for i, row := range rows {
+		b := make([]binding, len(pq.fromOrder))
+		for fi, si := range pq.fromOrder {
+			st := pq.plan.Steps[si]
+			n := len(st.Input.Rel.Attributes)
+			b[fi] = binding{
+				alias: st.Input.Alias,
+				rel:   st.Input.Rel,
+				tuple: storage.Tuple(row[st.Offset : st.Offset+n]),
+			}
+		}
+		envs[i] = &env{parent: pq.outer, bindings: b}
+	}
+	return envs
+}
+
+// execPlanned runs a non-fallback plan end to end: pipeline, then either the
+// compiled flat projection (ungrouped, no ORDER BY) or the environment path.
+func (ex *Engine) execPlanned(sel *sqlparser.SelectStmt, entries []fromEntry, plan *planner.Plan, outer *env, earlyLimit int, grouped bool) (*Result, []*env, error) {
+	pq := ex.compilePlan(plan, outer)
+	rows, err := ex.runPlan(pq)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	if grouped || len(sel.OrderBy) > 0 {
+		envs := pq.materializeEnvs(rows)
+		if grouped {
+			out, err := ex.execGrouped(sel, entries, envs)
+			return out, nil, err
+		}
+		return ex.execUngrouped(sel, entries, envs, earlyLimit)
+	}
+
+	items, cols, err := expandItems(sel, entries)
+	if err != nil {
+		return nil, nil, err
+	}
+	evals := make([]rowEval, len(items))
+	for i, it := range items {
+		ev, ok := pq.compile(it.Expr)
+		if !ok {
+			ev = pq.bridgeEval(it.Expr)
+		}
+		evals[i] = ev
+	}
+	out := &Result{Columns: cols}
+	ec := pq.newCtx()
+	proj := rowArena{width: len(items)}
+	for _, row := range rows {
+		r := proj.peek()
+		for i, ev := range evals {
+			v, err := ev(ec, row)
+			if err != nil {
+				return nil, nil, err
+			}
+			r[i] = v
+		}
+		proj.commit()
+		out.Rows = append(out.Rows, storage.Tuple(r))
+		if earlyLimit >= 0 && len(out.Rows) >= earlyLimit && !sel.Distinct && sel.Limit < 0 {
+			return out, nil, nil
+		}
+	}
+	return out, nil, nil
+}
+
+// ---------------------------------------------------------------------------
+// Public planner API
+// ---------------------------------------------------------------------------
+
+// SetPlannerEnabled toggles the cost-based planner. Disabled, every SELECT
+// runs the naive environment pipeline — differential tests force this to
+// prove planned and naive execution produce identical rows. Safe for
+// concurrent use.
+func (ex *Engine) SetPlannerEnabled(on bool) { ex.noPlan.Store(!on) }
+
+// Plan builds (without executing) the plan the engine would use for sel.
+// Queries outside the planner's dialect return a plan with Fallback set.
+func (ex *Engine) Plan(sel *sqlparser.SelectStmt) (*planner.Plan, error) {
+	entries, err := ex.flattenFrom(sel.From)
+	if err != nil {
+		return nil, err
+	}
+	return ex.planFor(sel, entries, false), nil
+}
+
+// SelectExplained executes sel and returns both the result and the executed
+// plan with per-step actual row counts — the EXPLAIN PLAN backbone.
+func (ex *Engine) SelectExplained(sel *sqlparser.SelectStmt) (*Result, *planner.Plan, error) {
+	return ex.execSelectExplained(sel, nil, -1)
+}

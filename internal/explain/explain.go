@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/lexicon"
+	"repro/internal/planner"
 	"repro/internal/querygraph"
 	"repro/internal/querytotext"
 	"repro/internal/sqlparser"
@@ -257,6 +258,32 @@ func (e *Explainer) ExplainLarge(sel *sqlparser.SelectStmt, threshold int) (*Lar
 		diag.Text += " Consider adding a more selective condition."
 	}
 	return diag, nil
+}
+
+// PlanDiagnosis is the outcome of ExplainPlan: the executed plan, its
+// English narration, and actionable cost feedback — the §3.1 "why is this
+// query expensive" answer the engine could not give before it had a planner.
+type PlanDiagnosis struct {
+	// Plan is the executed plan with estimated and actual row counts.
+	Plan *planner.Summary
+	// Text narrates the plan in natural language.
+	Text string
+	// Tips repeats the plan's optimization suggestions.
+	Tips []string
+}
+
+// ExplainPlan executes the query and narrates how it ran and what it cost.
+func (e *Explainer) ExplainPlan(sel *sqlparser.SelectStmt) (*PlanDiagnosis, error) {
+	_, plan, err := e.ex.SelectExplained(sel)
+	if err != nil {
+		return nil, err
+	}
+	s := plan.Summarize()
+	return &PlanDiagnosis{
+		Plan: s,
+		Text: querytotext.PlanEnglish(s),
+		Tips: s.Tips,
+	}, nil
 }
 
 // countFiltered counts rows of one box's relation surviving its unary

@@ -205,3 +205,67 @@ func BenchmarkExplainLarge(b *testing.B) {
 		}
 	}
 }
+
+// TestExplainPlan narrates an executed plan: structured steps with actuals
+// filled in, English text, and an index tip for the unindexed selective
+// filter on a larger database.
+func TestExplainPlan(t *testing.T) {
+	db, err := dataset.GenerateMovieDB(dataset.GenConfig{
+		Seed: 3, Movies: 2000, Actors: 500, Directors: 21, CastPerMovie: 2, GenresPerMovie: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := engine.New(db)
+	tr := querytotext.New(db.Schema(), querytotext.MovieVerbs(), querytotext.Options{})
+	e := New(ex, tr)
+
+	diag, err := e.ExplainPlan(parse(t,
+		"select m.title from MOVIES m, CAST c where m.id = c.mid and c.role = 'Role 7-19'"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diag.Plan.Fallback {
+		t.Fatalf("fallback plan: %s", diag.Plan.Reason)
+	}
+	if len(diag.Plan.Steps) != 2 {
+		t.Fatalf("steps = %d", len(diag.Plan.Steps))
+	}
+	if diag.Plan.Steps[0].Relation != "CAST" {
+		t.Errorf("first step = %s, want the filtered CAST scan", diag.Plan.Steps[0].Relation)
+	}
+	for _, st := range diag.Plan.Steps {
+		if st.ActualRows < 0 {
+			t.Errorf("step %s has no actual row count", st.Relation)
+		}
+	}
+	if !strings.Contains(diag.Text, "Step 1") || !strings.Contains(diag.Text, "scans all of CAST") {
+		t.Errorf("narration = %q", diag.Text)
+	}
+	found := false
+	for _, tip := range diag.Tips {
+		if strings.Contains(tip, "index on CAST(role)") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("tips = %v, want an index suggestion", diag.Tips)
+	}
+}
+
+// TestExplainPlanFallback reports, rather than hides, queries the planner
+// cannot handle.
+func TestExplainPlanFallback(t *testing.T) {
+	e := newExplainer(t)
+	diag, err := e.ExplainPlan(parse(t,
+		"select m.title from MOVIES m left join CAST c on m.id = c.mid"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diag.Plan.Fallback {
+		t.Fatal("outer join should fall back")
+	}
+	if !strings.Contains(diag.Text, "naive pipeline") {
+		t.Errorf("narration = %q", diag.Text)
+	}
+}

@@ -1,0 +1,478 @@
+package planner
+
+import (
+	"strings"
+
+	"repro/internal/sqlparser"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Cost model constants, in scanned-tuple units.
+const (
+	costProbe    = 1.5 // one hash probe (pk or index)
+	costHashLoad = 1.0 // insert one build tuple into a hash table
+	costEmit     = 0.1 // materialize one output row
+)
+
+// Build plans a SELECT over the given FROM entries (engine-flattened, inner
+// joins only — the engine falls back before calling for outer joins or
+// views). onConjuncts carries explicit-JOIN ON predicates in clause order;
+// they are planned exactly like WHERE conjuncts, which is equivalent for
+// inner joins. hasOuter reports an enclosing scope (this SELECT is a
+// subquery), which legitimizes otherwise-unresolvable column references as
+// correlations. A non-nil Plan with Fallback set means the query is outside
+// the planner's dialect.
+func Build(sel *sqlparser.SelectStmt, inputs []Input, onConjuncts []sqlparser.Expr, hasOuter bool) *Plan {
+	if len(inputs) == 0 {
+		return fallback("no base tables")
+	}
+
+	res := &resolver{inputs: inputs, offsets: make([]int, len(inputs))}
+	width := 0
+	for i := range inputs {
+		res.offsets[i] = width
+		width += len(inputs[i].Rel.Attributes)
+	}
+
+	// ON conjuncts of explicit inner joins behave exactly like WHERE
+	// conjuncts (the engine verifies they only reference their own or
+	// earlier FROM entries before planning), so the two lists merge.
+	whereConjs := sqlparser.Conjuncts(sel.Where)
+	conjs := make([]*conjunct, 0, len(onConjuncts)+len(whereConjs))
+	for _, list := range [][]sqlparser.Expr{onConjuncts, whereConjs} {
+		for _, e := range list {
+			c, err := analyze(e, res, hasOuter)
+			if err != nil {
+				return fallback(err.Error())
+			}
+			conjs = append(conjs, c)
+		}
+	}
+
+	stats := make([]storage.TableStats, len(inputs))
+	for i := range inputs {
+		stats[i] = inputs[i].Tbl.Stats()
+	}
+
+	// Local filter lists and filtered-cardinality estimates per input.
+	localSel := make([]float64, len(inputs))
+	for i := range localSel {
+		localSel[i] = 1
+	}
+	for _, c := range conjs {
+		if c.post || len(c.inputs) != 1 {
+			continue
+		}
+		for in := range c.inputs {
+			localSel[in] *= selectivity(c.expr, in, res, &stats[in])
+		}
+	}
+	filteredRows := func(i int) float64 {
+		r := float64(stats[i].Rows) * localSel[i]
+		if r < 0.1 {
+			r = 0.1
+		}
+		return r
+	}
+
+	plan := &Plan{Width: width, ActualRows: -1}
+	bound := make([]bool, len(inputs))
+	planPos := make([]int, len(inputs)) // input index -> step index
+
+	// ----- first step: cheapest filtered base table, best access path -----
+	first := 0
+	for i := 1; i < len(inputs); i++ {
+		// Ascending iteration keeps the lowest FROM position on ties.
+		if filteredRows(i) < filteredRows(first) {
+			first = i
+		}
+	}
+	firstStep := &Step{
+		Input: inputs[first], FromPos: first, Offset: res.offsets[first],
+		Access: ScanFull, TableRows: stats[first].Rows, ActualRows: -1,
+	}
+	chooseScanAccess(firstStep, first, conjs, res, &stats[first])
+	firstStep.EstRows = filteredRows(first)
+	switch firstStep.Access {
+	case ScanPK:
+		firstStep.EstCost = costProbe
+		if firstStep.EstRows > 1 {
+			firstStep.EstRows = 1
+		}
+	case ScanIndex:
+		firstStep.EstCost = costProbe + firstStep.EstRows
+	default:
+		firstStep.EstCost = float64(stats[first].Rows)
+	}
+	plan.Steps = append(plan.Steps, firstStep)
+	bound[first] = true
+	planPos[first] = 0
+	cur := firstStep.EstRows
+
+	// ----- remaining steps: greedy by estimated output cardinality -----
+	for len(plan.Steps) < len(inputs) {
+		type choice struct {
+			input int
+			step  *Step
+			out   float64
+		}
+		var best *choice
+		connectedOnly := anyConnected(inputs, bound, conjs)
+		for i := range inputs {
+			if bound[i] {
+				continue
+			}
+			if connectedOnly && !isConnected(i, bound, conjs) {
+				continue
+			}
+			st := planJoinStep(i, cur, bound, conjs, res, inputs, &stats[i], localSel[i])
+			c := &choice{input: i, step: st, out: st.EstRows}
+			if best == nil || c.out < best.out ||
+				(c.out == best.out && st.EstCost < best.step.EstCost) ||
+				(c.out == best.out && st.EstCost == best.step.EstCost && i < best.input) {
+				best = c
+			}
+		}
+		st := best.step
+		planPos[best.input] = len(plan.Steps)
+		plan.Steps = append(plan.Steps, st)
+		bound[best.input] = true
+		markConsumed(st)
+		cur = st.EstRows
+	}
+
+	// ----- assign every remaining conjunct to its binding step -----
+	for _, c := range conjs {
+		if c.consumed {
+			continue
+		}
+		if c.post || len(c.inputs) == 0 {
+			// Input-free conjuncts (constant predicates) run at the first
+			// step, like the naive pushdown; true residuals run after all
+			// joins.
+			if c.post {
+				plan.Post = append(plan.Post, c.expr)
+			} else {
+				plan.Steps[0].PostJoinFilters = append(plan.Steps[0].PostJoinFilters, c.expr)
+			}
+			continue
+		}
+		last := 0
+		for in := range c.inputs {
+			if planPos[in] > last {
+				last = planPos[in]
+			}
+		}
+		// A single-input conjunct binds at that input's own step, so it is a
+		// self-filter (applicable before the join); multi-input conjuncts
+		// need the joined candidate row.
+		st := plan.Steps[last]
+		if len(c.inputs) == 1 {
+			st.SelfFilters = append(st.SelfFilters, c.expr)
+		} else {
+			st.PostJoinFilters = append(st.PostJoinFilters, c.expr)
+		}
+	}
+
+	// ----- totals -----
+	plan.EstRows = cur
+	for range plan.Post {
+		plan.EstRows *= defaultSelectivity
+	}
+	for _, st := range plan.Steps {
+		plan.EstCost += st.EstCost
+	}
+	for i, st := range plan.Steps {
+		if st.FromPos != i {
+			plan.Reordered = true
+			break
+		}
+	}
+	return plan
+}
+
+// anyConnected reports whether any unbound input has a join edge to the
+// bound set — if so, unconnected inputs wait (avoid needless cartesians).
+func anyConnected(inputs []Input, bound []bool, conjs []*conjunct) bool {
+	for i := range inputs {
+		if !bound[i] && isConnected(i, bound, conjs) {
+			return true
+		}
+	}
+	return false
+}
+
+func isConnected(i int, bound []bool, conjs []*conjunct) bool {
+	for _, c := range conjs {
+		if c.eq == nil || c.consumed {
+			continue
+		}
+		if (c.eq.a == i && bound[c.eq.b]) || (c.eq.b == i && bound[c.eq.a]) {
+			return true
+		}
+	}
+	return false
+}
+
+// chooseScanAccess upgrades a first-step full scan to a primary-key or
+// index probe when literal equality filters cover the key. Covered filter
+// conjuncts stay in the filter list — re-checking an equality the probe
+// already enforced is cheap and keeps the execution paths uniform.
+func chooseScanAccess(st *Step, in int, conjs []*conjunct, res *resolver, stats *storage.TableStats) {
+	// Literal equality per attribute position.
+	eqLit := map[int]value.Value{}
+	for _, c := range conjs {
+		if c.post || len(c.inputs) != 1 || !c.inputs[in] {
+			continue
+		}
+		b, ok := c.expr.(*sqlparser.BinaryExpr)
+		if !ok || b.Op != sqlparser.OpEq {
+			continue
+		}
+		attrOf := func(x sqlparser.Expr) (int, bool) {
+			cr, ok := x.(*sqlparser.ColumnRef)
+			if !ok {
+				return 0, false
+			}
+			ri, rp, err := res.resolve(cr)
+			if err != nil || ri != in {
+				return 0, false
+			}
+			return rp, true
+		}
+		if pos, lit, _, ok := splitColLit(b, attrOf); ok {
+			if _, dup := eqLit[pos]; !dup {
+				eqLit[pos] = lit
+			}
+		}
+	}
+	if len(eqLit) == 0 {
+		return
+	}
+	covered := func(positions []int) ([]value.Value, bool) {
+		if len(positions) == 0 {
+			return nil, false
+		}
+		vals := make([]value.Value, len(positions))
+		for i, p := range positions {
+			v, ok := eqLit[p]
+			if !ok || v.IsNull() {
+				return nil, false
+			}
+			vals[i] = v
+		}
+		return vals, true
+	}
+	if vals, ok := covered(st.Input.Tbl.PKPositions()); ok {
+		st.Access = ScanPK
+		st.KeyValues = vals
+		return
+	}
+	for _, info := range st.Input.Tbl.IndexInfos() {
+		if vals, ok := covered(info.Positions); ok {
+			st.Access = ScanIndex
+			st.IndexName = info.Name
+			st.KeyValues = vals
+			return
+		}
+	}
+}
+
+// planJoinStep prices joining input i onto the current rows and picks the
+// cheapest method.
+func planJoinStep(i int, cur float64, bound []bool, conjs []*conjunct, res *resolver, inputs []Input, stats *storage.TableStats, localSel float64) *Step {
+	st := &Step{
+		Input: inputs[i], FromPos: i, Offset: res.offsets[i],
+		TableRows: stats.Rows, ActualRows: -1,
+	}
+	rows := float64(stats.Rows)
+	filtered := rows * localSel
+	if filtered < 0.1 {
+		filtered = 0.1
+	}
+
+	// Join edges from the bound set to i: attribute position -> probe slot.
+	type edgeInfo struct {
+		conj      *conjunct
+		pos       int // attribute position in i
+		probeSlot int // absolute slot on the bound side
+		desc      string
+	}
+	var edges []edgeInfo
+	for _, c := range conjs {
+		if c.eq == nil || c.consumed {
+			continue
+		}
+		e := c.eq
+		switch {
+		case e.a == i && bound[e.b]:
+			edges = append(edges, edgeInfo{conj: c, pos: e.aPos, probeSlot: res.slot(e.b, e.bPos), desc: c.expr.SQL()})
+		case e.b == i && bound[e.a]:
+			edges = append(edges, edgeInfo{conj: c, pos: e.bPos, probeSlot: res.slot(e.a, e.aPos), desc: c.expr.SQL()})
+		}
+	}
+
+	distinctOf := func(pos int) float64 {
+		d := float64(stats.Attrs[pos].Distinct)
+		if d < 1 {
+			d = 1
+		}
+		return d
+	}
+
+	if len(edges) == 0 {
+		// Cartesian (or non-equi) nested loop.
+		st.Access = JoinLoop
+		st.EstRows = cur * filtered
+		st.EstCost = cur*filtered + filtered
+		return st
+	}
+
+	// Matches per probe on one edge: rows / distinct(join attr), scaled by
+	// the local filters.
+	fanout := func(pos int) float64 {
+		f := rows / distinctOf(pos) * localSel
+		if f < 0 {
+			f = 0
+		}
+		return f
+	}
+
+	// Candidate: primary-key join (all pk attrs covered by edges).
+	pkPos := inputs[i].Tbl.PKPositions()
+	edgeByPos := map[int]edgeInfo{}
+	for _, e := range edges {
+		if _, dup := edgeByPos[e.pos]; !dup {
+			edgeByPos[e.pos] = e
+		}
+	}
+	coverKey := func(positions []int) ([]edgeInfo, bool) {
+		if len(positions) == 0 {
+			return nil, false
+		}
+		out := make([]edgeInfo, len(positions))
+		for k, p := range positions {
+			e, ok := edgeByPos[p]
+			if !ok {
+				return nil, false
+			}
+			out[k] = e
+		}
+		return out, true
+	}
+
+	type method struct {
+		access  Access
+		index   string
+		used    []edgeInfo
+		estRows float64
+		cost    float64
+	}
+	var methods []method
+
+	if used, ok := coverKey(pkPos); ok {
+		match := localSel // pk probe yields <= 1 row, times local filters
+		methods = append(methods, method{
+			access: JoinPK, used: used,
+			estRows: cur * match,
+			cost:    cur*costProbe + cur*match*costEmit,
+		})
+	}
+	for _, info := range inputs[i].Tbl.IndexInfos() {
+		if used, ok := coverKey(info.Positions); ok {
+			f := rows * localSel
+			for _, p := range info.Positions {
+				f /= distinctOf(p)
+			}
+			if f < 0.1/rowsOrOne(rows) {
+				f = 0
+			}
+			methods = append(methods, method{
+				access: JoinIndex, index: info.Name, used: used,
+				estRows: cur * f,
+				cost:    cur*costProbe + cur*f*costEmit,
+			})
+		}
+	}
+	// Hash join on the first edge (mirrors the naive engine's choice).
+	he := edges[0]
+	methods = append(methods, method{
+		access: JoinHash, used: []edgeInfo{he},
+		estRows: cur * fanout(he.pos),
+		cost:    rows*costHashLoad + cur*costProbe + cur*fanout(he.pos)*costEmit,
+	})
+
+	best := methods[0]
+	for _, m := range methods[1:] {
+		if m.cost < best.cost {
+			best = m
+		}
+	}
+	st.Access = best.access
+	st.IndexName = best.index
+	st.EstRows = best.estRows
+	st.EstCost = best.cost
+	var descs []string
+	for _, e := range best.used {
+		descs = append(descs, e.desc)
+	}
+	st.JoinDesc = strings.Join(descs, " and ")
+	switch best.access {
+	case JoinHash:
+		st.BuildPos = best.used[0].pos
+		st.ProbeSlot = best.used[0].probeSlot
+	case JoinPK:
+		st.ProbeSlots = make([]int, len(pkPos))
+		for k := range pkPos {
+			st.ProbeSlots[k] = best.used[k].probeSlot
+		}
+	case JoinIndex:
+		st.ProbeSlots = make([]int, len(best.used))
+		for k := range best.used {
+			st.ProbeSlots[k] = best.used[k].probeSlot
+		}
+	}
+	// Remember which conjuncts the access path consumed; markConsumed flags
+	// them once the step is actually chosen (candidate steps that lose the
+	// greedy race must not mark anything).
+	st.consumedConjs = nil
+	for _, e := range best.used {
+		st.consumedConjs = append(st.consumedConjs, e.conj)
+	}
+	// Unconsumed edges still filter this step's output.
+	for _, e := range edges {
+		if !inConjSet(st.consumedConjs, e.conj) {
+			st.EstRows /= distinctOf(e.pos)
+		}
+	}
+	if st.EstRows < 0.05 {
+		st.EstRows = 0.05
+	}
+	return st
+}
+
+func rowsOrOne(r float64) float64 {
+	if r < 1 {
+		return 1
+	}
+	return r
+}
+
+func inConjSet(set []*conjunct, c *conjunct) bool {
+	for _, e := range set {
+		if e == c {
+			return true
+		}
+	}
+	return false
+}
+
+// markConsumed flags the conjuncts folded into the chosen step's access
+// path so they are neither re-applied as filters nor reused as edges.
+func markConsumed(st *Step) {
+	for _, c := range st.consumedConjs {
+		c.consumed = true
+	}
+	st.consumedConjs = nil
+}

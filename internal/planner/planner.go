@@ -1,0 +1,467 @@
+// Package planner chooses how SELECT statements execute: it classifies WHERE
+// conjuncts, estimates selectivities and join cardinalities from the
+// incrementally maintained storage statistics, orders inner joins greedily by
+// estimated output size, and picks an access path per step — full scan,
+// primary-key probe, secondary-index probe, hash join, primary-key join, or
+// index-nested-loop join. The paper's §3.1 motivates feedback about *why* a
+// query is expensive; the Plan produced here is both the engine's execution
+// recipe and the artifact EXPLAIN PLAN narrates back to the user.
+//
+// The planner resolves every column reference to a (step, attribute) slot at
+// plan time: the engine executes plans over flat slot-addressed rows, so the
+// join inner loop does no map or string-key work. Anything outside the
+// planner's dialect — outer joins, view references, ambiguous unqualified
+// columns — yields a Plan with Fallback set, and the engine runs its
+// environment-based pipeline instead.
+package planner
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/sqlparser"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Input is one FROM entry, in clause order, handed over by the engine.
+type Input struct {
+	Alias string
+	Rel   *catalog.Relation
+	Tbl   *storage.Table
+}
+
+// Access enumerates the access paths a step can use.
+type Access int
+
+// Access paths: the Scan* kinds produce the first row set, the Join* kinds
+// extend every current row with matches from a new table.
+const (
+	ScanFull Access = iota
+	ScanPK
+	ScanIndex
+	JoinHash
+	JoinPK
+	JoinIndex
+	JoinLoop
+)
+
+// String names the access path the way explains render it.
+func (a Access) String() string {
+	switch a {
+	case ScanFull:
+		return "full scan"
+	case ScanPK:
+		return "primary-key probe"
+	case ScanIndex:
+		return "index probe"
+	case JoinHash:
+		return "hash join"
+	case JoinPK:
+		return "primary-key join"
+	case JoinIndex:
+		return "index join"
+	case JoinLoop:
+		return "nested loop"
+	default:
+		return fmt.Sprintf("access(%d)", int(a))
+	}
+}
+
+// Step is one stage of the execution pipeline.
+type Step struct {
+	Input Input
+	// FromPos is the entry's position in the original FROM clause; slot
+	// offsets are laid out in FROM order so they do not depend on join order.
+	FromPos int
+	// Offset is the absolute slot of this step's first attribute in the flat
+	// row layout.
+	Offset int
+	Access Access
+	// IndexName names the secondary index (ScanIndex / JoinIndex).
+	IndexName string
+	// KeyValues are the literal probe values for ScanPK / ScanIndex, aligned
+	// with the key positions of the primary key / index.
+	KeyValues []value.Value
+	// BuildPos / ProbeSlot drive JoinHash: build a hash table over this
+	// relation's attribute BuildPos, probe it with the current row's absolute
+	// slot ProbeSlot.
+	BuildPos  int
+	ProbeSlot int
+	// ProbeSlots drive JoinPK / JoinIndex: absolute slots supplying the key
+	// values, aligned with the pk/index key positions.
+	ProbeSlots []int
+	// JoinDesc renders the consumed join equalities ("c.mid = m.id").
+	JoinDesc string
+	// SelfFilters are pushed-down conjuncts touching only this step's
+	// relation; the engine may apply them before the join (hash build /
+	// inner-loop prefilter). PostJoinFilters also reference earlier steps and
+	// run once the joined candidate row exists. Both keep WHERE-clause order.
+	SelfFilters     []sqlparser.Expr
+	PostJoinFilters []sqlparser.Expr
+	// TableRows is the relation's cardinality at plan time.
+	TableRows int
+	// EstRows estimates the cumulative row count after this step; EstCost is
+	// the step's own cost in scanned-tuple units.
+	EstRows float64
+	EstCost float64
+	// ActualRows is filled in by the engine during execution (-1 before).
+	ActualRows int
+
+	// consumedConjs is planning scratch: the conjuncts this step's access
+	// path folded in, flagged by markConsumed once the step wins.
+	consumedConjs []*conjunct
+}
+
+// Plan is the chosen execution strategy for one SELECT.
+type Plan struct {
+	Steps []*Step
+	// Post holds residual conjuncts evaluated after all joins: subquery
+	// predicates, outer-scope correlations, and anything unresolvable at
+	// plan time. They run through the engine's environment bridge.
+	Post []sqlparser.Expr
+	// Width is the total slot count of the flat row layout.
+	Width int
+	// Reordered reports that step order differs from FROM order, in which
+	// case the engine restores FROM-major row order after the pipeline so
+	// planned and naive execution are row-for-row identical.
+	Reordered bool
+	EstRows   float64
+	EstCost   float64
+	// ActualRows is the final row count after Post filters (-1 before
+	// execution).
+	ActualRows int
+	// Fallback marks a query outside the planner's dialect; Reason says why.
+	Fallback bool
+	Reason   string
+}
+
+// Fingerprint is a compact stable description of the plan shape, used by the
+// serving layer to record which plan produced a cached response.
+func (p *Plan) Fingerprint() string {
+	if p.Fallback {
+		return "naive(" + p.Reason + ")"
+	}
+	var b strings.Builder
+	for i, st := range p.Steps {
+		if i > 0 {
+			b.WriteByte('>')
+		}
+		fmt.Fprintf(&b, "%s:%s", st.Input.Alias, st.Access)
+		if st.IndexName != "" {
+			b.WriteByte('[')
+			b.WriteString(st.IndexName)
+			b.WriteByte(']')
+		}
+		if len(st.SelfFilters)+len(st.PostJoinFilters) > 0 {
+			fmt.Fprintf(&b, "{%d}", len(st.SelfFilters)+len(st.PostJoinFilters))
+		}
+	}
+	if len(p.Post) > 0 {
+		fmt.Fprintf(&b, ">post{%d}", len(p.Post))
+	}
+	return b.String()
+}
+
+// NewFallback builds a Fallback plan for a query outside the planner's
+// dialect; the engine uses it to report why it ran the naive pipeline.
+func NewFallback(reason string) *Plan {
+	return &Plan{Fallback: true, Reason: reason, ActualRows: -1}
+}
+
+// fallback is the package-internal alias.
+func fallback(reason string) *Plan { return NewFallback(reason) }
+
+// ---------------------------------------------------------------------------
+// Conjunct analysis
+// ---------------------------------------------------------------------------
+
+// conjunct is one analyzed WHERE/ON conjunct.
+type conjunct struct {
+	expr sqlparser.Expr
+	// inputs is the set of FROM entries referenced (by index).
+	inputs map[int]bool
+	// post marks conjuncts deferred to the residual phase: subqueries and
+	// references the planner cannot resolve locally (outer correlation).
+	post bool
+	// consumed marks join equalities folded into an access path.
+	consumed bool
+	// eq is set for `colref = colref` conjuncts linking two distinct inputs.
+	eq *joinEdge
+}
+
+// joinEdge is an equality between attributes of two FROM entries.
+type joinEdge struct {
+	a, b       int // input indices
+	aPos, bPos int // attribute positions
+	aRef, bRef *sqlparser.ColumnRef
+}
+
+// resolver maps column references to FROM entries, mirroring the engine's
+// environment lookup (alias or relation name, case-insensitive; unqualified
+// names must be unique across the clause).
+type resolver struct {
+	inputs  []Input
+	offsets []int
+}
+
+// errAmbiguous, errUnresolved, and errBadAttr classify resolution failures:
+// ambiguity forces fallback; an unresolved name may be an outer-scope
+// correlation (legal in subqueries); a matched table with a missing
+// attribute is a guaranteed runtime error in the naive pipeline and must
+// keep erroring, so it forces fallback too.
+var (
+	errAmbiguous  = fmt.Errorf("ambiguous column reference")
+	errUnresolved = fmt.Errorf("unresolved column reference")
+	errBadAttr    = fmt.Errorf("unknown attribute on a matched relation")
+)
+
+// resolve returns the (input index, attribute position) of a reference.
+func (r *resolver) resolve(c *sqlparser.ColumnRef) (int, int, error) {
+	if c.Table != "" {
+		match := -1
+		for i := range r.inputs {
+			in := &r.inputs[i]
+			if strings.EqualFold(in.Alias, c.Table) || strings.EqualFold(in.Rel.Name, c.Table) {
+				if match >= 0 {
+					return 0, 0, errAmbiguous
+				}
+				match = i
+			}
+		}
+		if match < 0 {
+			return 0, 0, errUnresolved // possibly an outer-scope correlation
+		}
+		pos := r.inputs[match].Rel.AttrIndex(c.Column)
+		if pos < 0 {
+			return 0, 0, errBadAttr
+		}
+		return match, pos, nil
+	}
+	match, pos := -1, -1
+	for i := range r.inputs {
+		if p := r.inputs[i].Rel.AttrIndex(c.Column); p >= 0 {
+			if match >= 0 {
+				return 0, 0, errAmbiguous
+			}
+			match, pos = i, p
+		}
+	}
+	if match < 0 {
+		return 0, 0, errUnresolved
+	}
+	return match, pos, nil
+}
+
+// slot converts an (input, attribute position) pair to an absolute slot.
+func (r *resolver) slot(input, pos int) int { return r.offsets[input] + pos }
+
+// HasSubquery reports whether the expression contains a nested SELECT (the
+// engine's ON-clause plannability check shares it).
+func HasSubquery(e sqlparser.Expr) bool { return hasSubquery(e) }
+
+// hasSubquery reports whether the expression contains a nested SELECT.
+func hasSubquery(e sqlparser.Expr) bool {
+	found := false
+	sqlparser.WalkExpr(e, func(x sqlparser.Expr) bool {
+		switch s := x.(type) {
+		case *sqlparser.InExpr:
+			if s.Subquery != nil {
+				found = true
+				return false
+			}
+		case *sqlparser.ExistsExpr, *sqlparser.QuantifiedExpr, *sqlparser.SubqueryExpr:
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// analyze classifies one conjunct. A non-nil error forces whole-plan
+// fallback: ambiguous references, attributes missing on a matched relation
+// (a guaranteed naive-pipeline runtime error that deferral could swallow),
+// and names that resolve nowhere when no outer scope exists to supply them.
+func analyze(e sqlparser.Expr, res *resolver, hasOuter bool) (*conjunct, error) {
+	c := &conjunct{expr: e, inputs: map[int]bool{}}
+	if hasSubquery(e) {
+		c.post = true
+		return c, nil
+	}
+	for _, ref := range sqlparser.ColumnRefs(e) {
+		in, _, err := res.resolve(ref)
+		switch err {
+		case nil:
+			c.inputs[in] = true
+		case errUnresolved:
+			if !hasOuter {
+				return nil, errUnresolved
+			}
+			c.post = true // outer correlation: defer to the residual phase
+		default: // errAmbiguous, errBadAttr
+			return nil, err
+		}
+	}
+	if c.post {
+		return c, nil
+	}
+	if b, ok := e.(*sqlparser.BinaryExpr); ok && b.Op == sqlparser.OpEq {
+		l, lok := b.Left.(*sqlparser.ColumnRef)
+		r, rok := b.Right.(*sqlparser.ColumnRef)
+		if lok && rok {
+			li, lp, lerr := res.resolve(l)
+			ri, rp, rerr := res.resolve(r)
+			if lerr == nil && rerr == nil && li != ri {
+				c.eq = &joinEdge{a: li, b: ri, aPos: lp, bPos: rp, aRef: l, bRef: r}
+			}
+		}
+	}
+	return c, nil
+}
+
+// ---------------------------------------------------------------------------
+// Selectivity estimation
+// ---------------------------------------------------------------------------
+
+const (
+	defaultSelectivity = 1.0 / 3
+	rangeSelectivity   = 1.0 / 3
+	likeSelectivity    = 1.0 / 4
+	betweenSelectivity = 1.0 / 4
+)
+
+// literalOf returns the value of a literal expression, or ok=false.
+func literalOf(e sqlparser.Expr) (value.Value, bool) {
+	l, ok := e.(*sqlparser.Literal)
+	if !ok {
+		return value.Value{}, false
+	}
+	return l.Value, true
+}
+
+// selectivity estimates the fraction of input-`in` rows a single-table
+// conjunct keeps, given the table's statistics.
+func selectivity(e sqlparser.Expr, in int, res *resolver, st *storage.TableStats) float64 {
+	rows := float64(st.Rows)
+	if rows == 0 {
+		return 1
+	}
+	attrOf := func(x sqlparser.Expr) (int, bool) {
+		c, ok := x.(*sqlparser.ColumnRef)
+		if !ok {
+			return 0, false
+		}
+		i, p, err := res.resolve(c)
+		if err != nil || i != in {
+			return 0, false
+		}
+		return p, true
+	}
+	distinctOf := func(pos int) float64 {
+		d := float64(st.Attrs[pos].Distinct)
+		if d < 1 {
+			d = 1
+		}
+		return d
+	}
+	switch x := e.(type) {
+	case *sqlparser.BinaryExpr:
+		pos, lit, colLeft, ok := splitColLit(x, attrOf)
+		if !ok {
+			return defaultSelectivity
+		}
+		op := x.Op
+		if !colLeft {
+			op = op.Inverse() // 5 < col  ⇔  col > 5
+		}
+		switch op {
+		case sqlparser.OpEq:
+			return 1 / distinctOf(pos)
+		case sqlparser.OpNe:
+			return 1 - 1/distinctOf(pos)
+		case sqlparser.OpLt, sqlparser.OpLe, sqlparser.OpGt, sqlparser.OpGe:
+			return rangeFraction(op, &st.Attrs[pos], lit)
+		case sqlparser.OpLike:
+			return likeSelectivity
+		}
+		return defaultSelectivity
+	case *sqlparser.BetweenExpr:
+		return betweenSelectivity
+	case *sqlparser.IsNullExpr:
+		pos, ok := attrOf(x.Inner)
+		if !ok {
+			return defaultSelectivity
+		}
+		nullFrac := (rows - float64(st.Attrs[pos].NonNull)) / rows
+		if x.Negate {
+			return 1 - nullFrac
+		}
+		return nullFrac
+	case *sqlparser.InExpr:
+		pos, ok := attrOf(x.Subject)
+		if !ok || len(x.List) == 0 {
+			return defaultSelectivity
+		}
+		s := float64(len(x.List)) / distinctOf(pos)
+		if s > 1 {
+			s = 1
+		}
+		return s
+	}
+	return defaultSelectivity
+}
+
+// splitColLit decomposes `col op literal` / `literal op col` into the column
+// position, the literal, and whether the column sits on the left.
+func splitColLit(x *sqlparser.BinaryExpr, attrOf func(sqlparser.Expr) (int, bool)) (int, value.Value, bool, bool) {
+	if pos, ok := attrOf(x.Left); ok {
+		if lit, ok := literalOf(x.Right); ok {
+			return pos, lit, true, true
+		}
+	}
+	if pos, ok := attrOf(x.Right); ok {
+		if lit, ok := literalOf(x.Left); ok {
+			return pos, lit, false, true
+		}
+	}
+	return 0, value.Value{}, false, false
+}
+
+// rangeFraction interpolates a comparison's selectivity from min/max bounds
+// when the attribute and literal are numeric; otherwise a fixed fraction.
+// The operator is normalized to column-on-the-left orientation.
+func rangeFraction(op sqlparser.BinaryOp, a *storage.AttrStats, lit value.Value) float64 {
+	if a.Min.IsNull() || !a.Min.IsNumeric() || !lit.IsNumeric() {
+		return rangeSelectivity
+	}
+	lo, hi, v := a.Min.Float(), a.Max.Float(), lit.Float()
+	if hi <= lo {
+		return rangeSelectivity
+	}
+	frac := (v - lo) / (hi - lo)
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	switch op {
+	case sqlparser.OpLt, sqlparser.OpLe:
+		return clampSel(frac)
+	case sqlparser.OpGt, sqlparser.OpGe:
+		return clampSel(1 - frac)
+	}
+	return rangeSelectivity
+}
+
+func clampSel(s float64) float64 {
+	if s < 0.001 {
+		return 0.001
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}

@@ -1,0 +1,170 @@
+package planner
+
+import (
+	"fmt"
+
+	"repro/internal/lexicon"
+	"repro/internal/sqlparser"
+)
+
+// StepSummary is the externally consumable description of one plan step.
+type StepSummary struct {
+	Alias    string   `json:"alias"`
+	Relation string   `json:"relation"`
+	Access   string   `json:"access"`
+	Index    string   `json:"index,omitempty"`
+	JoinKey  string   `json:"join_key,omitempty"`
+	Filters  []string `json:"filters,omitempty"`
+	// TableRows is the relation cardinality at plan time; EstRows the
+	// estimated cumulative output after this step; ActualRows the observed
+	// count (-1 when the plan has not executed).
+	TableRows  int     `json:"table_rows"`
+	EstRows    float64 `json:"estimated_rows"`
+	EstCost    float64 `json:"cost"`
+	ActualRows int     `json:"actual_rows"`
+}
+
+// Summary is the structured plan the serving layer exposes: the
+// gh-star-search Plan shape (estimated rows/cost, indexes used,
+// optimization tips) grown onto this engine.
+type Summary struct {
+	Fingerprint string        `json:"fingerprint"`
+	Fallback    bool          `json:"fallback,omitempty"`
+	Reason      string        `json:"reason,omitempty"`
+	EstRows     float64       `json:"estimated_rows"`
+	EstCost     float64       `json:"estimated_cost"`
+	ActualRows  int           `json:"actual_rows"`
+	IndexesUsed []string      `json:"indexes_used,omitempty"`
+	Steps       []StepSummary `json:"steps,omitempty"`
+	// Residual lists predicates evaluated after all joins (subqueries,
+	// outer correlations).
+	Residual []string `json:"residual,omitempty"`
+	// Tips suggests ways to make the query cheaper.
+	Tips []string `json:"optimization_tips,omitempty"`
+}
+
+// Summarize snapshots the plan (including any actual row counts already
+// observed) into an immutable Summary.
+func (p *Plan) Summarize() *Summary {
+	s := &Summary{
+		Fingerprint: p.Fingerprint(),
+		Fallback:    p.Fallback,
+		Reason:      p.Reason,
+		EstRows:     p.EstRows,
+		EstCost:     p.EstCost,
+		ActualRows:  p.ActualRows,
+		Tips:        p.Tips(),
+	}
+	for _, st := range p.Steps {
+		ss := StepSummary{
+			Alias:      st.Input.Alias,
+			Relation:   st.Input.Rel.Name,
+			Access:     st.Access.String(),
+			Index:      st.IndexName,
+			JoinKey:    st.JoinDesc,
+			TableRows:  st.TableRows,
+			EstRows:    st.EstRows,
+			EstCost:    st.EstCost,
+			ActualRows: st.ActualRows,
+		}
+		if st.Access == ScanPK || st.Access == ScanIndex {
+			ss.JoinKey = "" // key probes are literal, not join-driven
+		}
+		for _, f := range st.SelfFilters {
+			ss.Filters = append(ss.Filters, f.SQL())
+		}
+		for _, f := range st.PostJoinFilters {
+			ss.Filters = append(ss.Filters, f.SQL())
+		}
+		if st.IndexName != "" {
+			s.IndexesUsed = append(s.IndexesUsed, st.Input.Rel.Name+"."+st.IndexName)
+		}
+		if st.Access == ScanPK || st.Access == JoinPK {
+			s.IndexesUsed = append(s.IndexesUsed, st.Input.Rel.Name+".<primary key>")
+		}
+		s.Steps = append(s.Steps, ss)
+	}
+	for _, e := range p.Post {
+		s.Residual = append(s.Residual, e.SQL())
+	}
+	return s
+}
+
+// tipScanThreshold is the table size above which an unindexed selective
+// filter earns an index suggestion.
+const tipScanThreshold = 1000
+
+// Tips derives optimization suggestions from the plan: missing indexes on
+// selective scan filters and hash-join keys, cartesian products, and
+// per-row residual subqueries — the §3.1 "why is this query expensive"
+// feedback in actionable form.
+func (p *Plan) Tips() []string {
+	if p.Fallback {
+		return nil
+	}
+	var tips []string
+	for _, st := range p.Steps {
+		switch st.Access {
+		case ScanFull:
+			if st.TableRows < tipScanThreshold {
+				continue
+			}
+			if attr, ok := indexableEqFilter(st); ok {
+				tips = append(tips, fmt.Sprintf(
+					"an index on %s(%s) would turn the full scan of %s rows into a probe",
+					st.Input.Rel.Name, attr, lexicon.NumberWord(st.TableRows)))
+			}
+		case JoinHash:
+			if st.TableRows >= tipScanThreshold {
+				attr := st.Input.Rel.Attributes[st.BuildPos].Name
+				tips = append(tips, fmt.Sprintf(
+					"an index on %s(%s) would let the join probe instead of hashing %s rows",
+					st.Input.Rel.Name, attr, lexicon.NumberWord(st.TableRows)))
+			}
+		case JoinLoop:
+			tips = append(tips, fmt.Sprintf(
+				"%s joins without an equality condition (a cross product); adding one would shrink the intermediate result",
+				st.Input.Alias))
+		}
+	}
+	if len(p.Post) > 0 {
+		tips = append(tips, fmt.Sprintf(
+			"%s evaluated per row after all joins; rewriting subqueries as joins can help",
+			lexicon.CountNoun(len(p.Post), "residual predicate")))
+	}
+	return tips
+}
+
+// indexableEqFilter finds an equality-with-literal filter attribute on a
+// scan step — the classic candidate for a secondary index.
+func indexableEqFilter(st *Step) (string, bool) {
+	for _, group := range [][]sqlparser.Expr{st.SelfFilters, st.PostJoinFilters} {
+		if attr, ok := indexableEqIn(group, st); ok {
+			return attr, ok
+		}
+	}
+	return "", false
+}
+
+func indexableEqIn(filters []sqlparser.Expr, st *Step) (string, bool) {
+	for _, f := range filters {
+		b, ok := f.(*sqlparser.BinaryExpr)
+		if !ok || b.Op != sqlparser.OpEq {
+			continue
+		}
+		var col *sqlparser.ColumnRef
+		if c, ok := b.Left.(*sqlparser.ColumnRef); ok {
+			if _, lit := literalOf(b.Right); lit {
+				col = c
+			}
+		} else if c, ok := b.Right.(*sqlparser.ColumnRef); ok {
+			if _, lit := literalOf(b.Left); lit {
+				col = c
+			}
+		}
+		if col != nil && st.Input.Rel.AttrIndex(col.Column) >= 0 {
+			return st.Input.Rel.Attr(col.Column).Name, true
+		}
+	}
+	return "", false
+}

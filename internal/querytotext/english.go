@@ -201,6 +201,14 @@ func (t *Translator) TranslateStatement(stmt sqlparser.Statement) (*Translation,
 		return inner, nil
 	case *sqlparser.CreateTableStmt:
 		return t.translateCreateTable(s)
+	case *sqlparser.ExplainStmt:
+		inner, err := t.Translate(s.Query)
+		if err != nil {
+			return nil, err
+		}
+		inner.Text = "Explain how the system answers the following question: " + inner.Text
+		inner.Notes = append(inner.Notes, "plan explanation requested")
+		return inner, nil
 	default:
 		return nil, fmt.Errorf("querytotext: unsupported statement %T", stmt)
 	}

@@ -1,0 +1,87 @@
+package querytotext
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/lexicon"
+	"repro/internal/planner"
+)
+
+// PlanEnglish narrates an execution plan — the paper's "talking back" applied
+// to the optimizer itself. It states how each step accesses its relation,
+// what was expected versus observed, where the cost concentrates, and what
+// would make the query cheaper.
+func PlanEnglish(s *planner.Summary) string {
+	if s == nil {
+		return ""
+	}
+	if s.Fallback {
+		text := lexicon.Sentence(fmt.Sprintf(
+			"The query runs on the naive pipeline because the planner cannot handle it (%s)", s.Reason))
+		if s.ActualRows >= 0 {
+			text += " " + lexicon.Sentence(fmt.Sprintf("It produced %s", lexicon.CountNoun(s.ActualRows, "row")))
+		}
+		return text
+	}
+
+	var sentences []string
+	sentences = append(sentences, lexicon.Sentence(fmt.Sprintf(
+		"The plan runs in %s with an estimated cost of %s units",
+		lexicon.CountNoun(len(s.Steps), "step"), formatCount(s.EstCost))))
+
+	for i, st := range s.Steps {
+		var b strings.Builder
+		fmt.Fprintf(&b, "Step %d ", i+1)
+		target := fmt.Sprintf("%s (as %s, %s)", st.Relation, st.Alias, lexicon.CountNoun(st.TableRows, "row"))
+		switch st.Access {
+		case "full scan":
+			b.WriteString("scans all of " + target)
+		case "primary-key probe":
+			b.WriteString("fetches one row of " + target + " by primary key")
+		case "index probe":
+			fmt.Fprintf(&b, "probes the %s index of %s", st.Index, target)
+		case "hash join":
+			fmt.Fprintf(&b, "hashes %s and probes it with %s", target, st.JoinKey)
+		case "primary-key join":
+			fmt.Fprintf(&b, "looks up %s by primary key for each row so far, using %s", target, st.JoinKey)
+		case "index join":
+			fmt.Fprintf(&b, "probes the %s index of %s for each row so far, using %s", st.Index, target, st.JoinKey)
+		default: // nested loop
+			b.WriteString("pairs every row so far with every row of " + target)
+		}
+		if len(st.Filters) > 0 {
+			b.WriteString(", keeping rows where " + strings.Join(st.Filters, " and "))
+		}
+		if st.ActualRows >= 0 {
+			fmt.Fprintf(&b, " — about %s expected, %d seen", formatCount(st.EstRows), st.ActualRows)
+		} else {
+			fmt.Fprintf(&b, " — about %s expected", formatCount(st.EstRows))
+		}
+		sentences = append(sentences, lexicon.Sentence(b.String()))
+	}
+
+	if len(s.Residual) > 0 {
+		sentences = append(sentences, lexicon.Sentence(fmt.Sprintf(
+			"After the joins, %s run per row: %s",
+			lexicon.CountNoun(len(s.Residual), "residual condition"),
+			strings.Join(s.Residual, "; "))))
+	}
+	if s.ActualRows >= 0 {
+		sentences = append(sentences, lexicon.Sentence(fmt.Sprintf(
+			"The query produced %s", lexicon.CountNoun(s.ActualRows, "row"))))
+	}
+	for _, tip := range s.Tips {
+		sentences = append(sentences, lexicon.Sentence("Tip: "+tip))
+	}
+	return strings.Join(sentences, " ")
+}
+
+// formatCount renders an estimate compactly: integers plainly, fractions
+// with two decimals.
+func formatCount(f float64) string {
+	if f == float64(int64(f)) {
+		return fmt.Sprintf("%d", int64(f))
+	}
+	return fmt.Sprintf("%.2f", f)
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/dataset"
+	"repro/internal/planner"
 	"repro/internal/queryclassify"
 	"repro/internal/querygraph"
 	"repro/internal/sqlparser"
@@ -398,5 +399,42 @@ func TestOrderLimitDistinctRiders(t *testing.T) {
 	}
 	if out3.Text != "Find movies, keeping only the first result." {
 		t.Errorf("got %q", out3.Text)
+	}
+}
+
+// TestPlanEnglish narrates a structured plan summary, covering every access
+// path phrasing plus residuals and tips.
+func TestPlanEnglish(t *testing.T) {
+	s := &planner.Summary{
+		Fingerprint: "c:full scan{1}>m:primary-key join",
+		EstRows:     2,
+		EstCost:     2042.5,
+		ActualRows:  3,
+		Steps: []planner.StepSummary{
+			{Alias: "c", Relation: "CAST", Access: "full scan", Filters: []string{"c.role = 'Neo'"},
+				TableRows: 2000, EstRows: 1, EstCost: 2000, ActualRows: 3},
+			{Alias: "m", Relation: "MOVIES", Access: "primary-key join", JoinKey: "m.id = c.mid",
+				TableRows: 1000, EstRows: 1, EstCost: 42.5, ActualRows: 3},
+		},
+		Residual: []string{"m.id IN (SELECT g.mid FROM GENRE g)"},
+		Tips:     []string{"an index on CAST(role) would turn the full scan of two thousand rows into a probe"},
+	}
+	text := PlanEnglish(s)
+	for _, want := range []string{
+		"The plan runs in two steps",
+		"Step 1 scans all of CAST",
+		"keeping rows where c.role = 'Neo'",
+		"Step 2 looks up MOVIES (as m, 1000 rows) by primary key",
+		"residual condition",
+		"The query produced three rows.",
+		"Tip: an index on CAST(role)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("narration missing %q:\n%s", want, text)
+		}
+	}
+	fb := PlanEnglish(&planner.Summary{Fallback: true, Reason: "outer join", ActualRows: 5})
+	if !strings.Contains(fb, "naive pipeline") || !strings.Contains(fb, "outer join") {
+		t.Errorf("fallback narration = %q", fb)
 	}
 }

@@ -702,6 +702,17 @@ func (s *CreateTableStmt) SQL() string {
 	return "CREATE TABLE " + quoteIdent(s.Name) + " (" + strings.Join(parts, ", ") + ")"
 }
 
+// ExplainStmt is EXPLAIN [PLAN] select: execute the query and report the
+// cost-based plan with estimated and actual row counts per step.
+type ExplainStmt struct {
+	Query *SelectStmt
+}
+
+func (*ExplainStmt) stmt() {}
+
+// SQL renders the statement in its canonical EXPLAIN PLAN form.
+func (s *ExplainStmt) SQL() string { return "EXPLAIN PLAN " + s.Query.SQL() }
+
 // CreateViewStmt is CREATE VIEW name AS select.
 type CreateViewStmt struct {
 	Name  string

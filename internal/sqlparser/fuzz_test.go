@@ -22,6 +22,8 @@ var fuzzSeeds = []string{
 	"select * from T where exists (select 1 from U where U.id = T.id)",
 	"select * from T where x <= all (select y from U)",
 	"select -1 + 2 * (3 - 4) / 5 % 6",
+	"explain plan select m.title from MOVIES m where m.id = 1",
+	"explain select a.x from A a join B b on a.id = b.id",
 }
 
 // FuzzParse asserts two properties over arbitrary input: the parser never

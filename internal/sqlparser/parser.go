@@ -152,6 +152,11 @@ func (p *Parser) parseIdent() (string, error) {
 
 func (p *Parser) parseStatement() (Statement, error) {
 	t := p.peek()
+	// EXPLAIN is a contextual keyword: it introduces a statement but stays a
+	// plain identifier everywhere else (a column may be named "explain").
+	if t.Kind == TokIdent && strings.EqualFold(t.Text, "EXPLAIN") {
+		return p.parseExplain()
+	}
 	if t.Kind != TokKeyword {
 		return nil, fmt.Errorf("sql:%d:%d: expected a statement keyword, got %q", t.Line, t.Col, t.Text)
 	}
@@ -174,6 +179,22 @@ func (p *Parser) parseStatement() (Statement, error) {
 // ---------------------------------------------------------------------------
 // SELECT
 // ---------------------------------------------------------------------------
+
+// parseExplain parses EXPLAIN [PLAN] <select>. EXPLAIN and PLAN are
+// contextual — not reserved words — so identifiers named "explain" or
+// "plan" keep working; the PLAN word is optional on input and canonical on
+// output.
+func (p *Parser) parseExplain() (*ExplainStmt, error) {
+	if _, err := p.expect(TokIdent, "EXPLAIN"); err != nil {
+		return nil, err
+	}
+	p.accept(TokIdent, "PLAN")
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	return &ExplainStmt{Query: sel}, nil
+}
 
 func (p *Parser) parseSelect() (*SelectStmt, error) {
 	if err := p.expectKeyword("SELECT"); err != nil {

@@ -17,6 +17,53 @@ func mustSelect(t *testing.T, src string) *SelectStmt {
 	return sel
 }
 
+// TestParseExplain covers EXPLAIN [PLAN] <select>: the PLAN keyword is
+// optional on input, canonical on output, and the round trip is stable.
+func TestParseExplain(t *testing.T) {
+	for _, src := range []string{
+		"explain plan select m.title from MOVIES m where m.id = 1",
+		"explain select m.title from MOVIES m where m.id = 1",
+	} {
+		stmt, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		exp, ok := stmt.(*ExplainStmt)
+		if !ok {
+			t.Fatalf("%s parsed as %T", src, stmt)
+		}
+		if exp.Query == nil || len(exp.Query.From) != 1 {
+			t.Fatalf("%s: bad inner query", src)
+		}
+		printed := exp.SQL()
+		if want := "EXPLAIN PLAN SELECT"; !strings.HasPrefix(printed, want) {
+			t.Fatalf("printed %q, want %q prefix", printed, want)
+		}
+		again, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("round trip: %v", err)
+		}
+		if again.SQL() != printed {
+			t.Fatalf("round trip unstable: %q vs %q", again.SQL(), printed)
+		}
+	}
+	if _, err := Parse("explain insert into T (a) values (1)"); err == nil {
+		t.Fatal("EXPLAIN of DML accepted")
+	}
+	// EXPLAIN and PLAN are contextual, not reserved: they remain valid
+	// identifiers in every other position.
+	for _, src := range []string{
+		"select t.plan from T t",
+		"select t.x as plan from T t",
+		"select t.x from PLAN t",
+		"select t.explain from EXPLAIN t",
+	} {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("%s: %v", src, err)
+		}
+	}
+}
+
 func TestParseSimpleSelect(t *testing.T) {
 	sel := mustSelect(t, "select m.title from MOVIES m where m.year = 2005")
 	if len(sel.Items) != 1 {

@@ -1,0 +1,118 @@
+package storage
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/value"
+)
+
+// AttrStats summarizes one attribute for cardinality estimation.
+type AttrStats struct {
+	// NonNull counts tuples with a non-NULL value.
+	NonNull int
+	// Distinct counts distinct non-NULL values.
+	Distinct int
+	// Min and Max bound the non-NULL values (NULL when the column is empty
+	// or holds incomparable mixed kinds).
+	Min, Max value.Value
+}
+
+// TableStats is a point-in-time statistics snapshot the query planner uses
+// to estimate selectivities and join cardinalities.
+type TableStats struct {
+	// Rows is the table cardinality.
+	Rows int
+	// Attrs holds one entry per attribute, in declaration order.
+	Attrs []AttrStats
+}
+
+// tableStats is the live, incrementally maintained form. Insert updates it
+// in place (the storage contract makes writers exclusive); Delete and Update
+// rebuild it together with the indexes.
+type tableStats struct {
+	attrs []attrStat
+}
+
+type attrStat struct {
+	// counts holds the set of encoded values seen (value.AppendKey), making
+	// distinct counts O(1) to read; Delete/Update rebuild it together with
+	// the indexes.
+	counts   map[string]struct{}
+	nonNull  int
+	min, max value.Value
+	ordered  bool // false once a comparison failed (mixed kinds): min/max unreliable
+}
+
+func (s *tableStats) init(rel *catalog.Relation) {
+	s.attrs = make([]attrStat, len(rel.Attributes))
+	for i := range s.attrs {
+		s.attrs[i].counts = make(map[string]struct{})
+		s.attrs[i].ordered = true
+	}
+}
+
+// add folds one inserted tuple into the statistics. keyBuf is the table's
+// writer-side scratch buffer.
+func (s *tableStats) add(tup Tuple, keyBuf *[]byte) {
+	for i := range s.attrs {
+		a := &s.attrs[i]
+		v := tup[i]
+		if v.IsNull() {
+			continue
+		}
+		a.nonNull++
+		*keyBuf = v.AppendKey((*keyBuf)[:0])
+		if _, ok := a.counts[string(*keyBuf)]; !ok {
+			a.counts[string(*keyBuf)] = struct{}{}
+		}
+		a.observeBounds(v)
+	}
+}
+
+func (a *attrStat) observeBounds(v value.Value) {
+	if !a.ordered {
+		return
+	}
+	if a.min.IsNull() {
+		a.min, a.max = v, v
+		return
+	}
+	if c, err := v.Compare(a.min); err != nil {
+		a.ordered = false
+		a.min, a.max = value.NewNull(), value.NewNull()
+		return
+	} else if c < 0 {
+		a.min = v
+	}
+	if c, err := v.Compare(a.max); err != nil {
+		a.ordered = false
+		a.min, a.max = value.NewNull(), value.NewNull()
+	} else if c > 0 {
+		a.max = v
+	}
+}
+
+// rebuild recomputes the statistics from scratch (Delete/Update path, which
+// already rebuilds every index).
+func (s *tableStats) rebuild(rel *catalog.Relation, tuples []Tuple) {
+	s.init(rel)
+	var buf []byte
+	for _, tup := range tuples {
+		s.add(tup, &buf)
+	}
+}
+
+// Stats returns a snapshot of the table's statistics. Safe for concurrent
+// readers under the storage contract (writers are exclusive).
+func (t *Table) Stats() TableStats {
+	out := TableStats{Rows: len(t.tuples), Attrs: make([]AttrStats, len(t.stats.attrs))}
+	for i := range t.stats.attrs {
+		a := &t.stats.attrs[i]
+		out.Attrs[i] = AttrStats{
+			NonNull:  a.nonNull,
+			Distinct: len(a.counts),
+			Min:      a.min,
+			Max:      a.max,
+		}
+	}
+	return out
+}

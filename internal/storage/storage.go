@@ -31,16 +31,22 @@ func (t Tuple) Clone() Tuple {
 	return out
 }
 
-// Key builds a composite map key over the given attribute positions.
-func (t Tuple) Key(positions []int) string {
-	var b strings.Builder
-	for i, p := range positions {
-		if i > 0 {
-			b.WriteByte('|')
-		}
-		b.WriteString(t[p].Key())
+// AppendKey appends the collision-free composite key of the given attribute
+// positions to buf (see value.AppendKey). Callers that probe hash maps reuse
+// one buffer and look up with m[string(buf)], which Go compiles without an
+// allocation.
+func (t Tuple) AppendKey(buf []byte, positions []int) []byte {
+	for _, p := range positions {
+		buf = t[p].AppendKey(buf)
 	}
-	return b.String()
+	return buf
+}
+
+// Key builds a composite map key over the given attribute positions. Every
+// value is length-prefixed or fixed-width, so adjacent values cannot collide
+// the way separator-joined string keys can ("a|b","c" vs "a","b|c").
+func (t Tuple) Key(positions []int) string {
+	return string(t.AppendKey(nil, positions))
 }
 
 // String renders the tuple for debugging: (1, Match Point, 2005).
@@ -52,7 +58,7 @@ func (t Tuple) String() string {
 	return "(" + strings.Join(parts, ", ") + ")"
 }
 
-// Table stores the tuples of one relation plus its indexes.
+// Table stores the tuples of one relation plus its indexes and statistics.
 type Table struct {
 	rel    *catalog.Relation
 	tuples []Tuple
@@ -61,11 +67,29 @@ type Table struct {
 	// secondary maps index name -> (value key -> tuple positions).
 	secondary map[string]*hashIndex
 	pkPos     []int
+	// stats carries per-attribute statistics, maintained incrementally on
+	// Insert and rebuilt on Delete/Update alongside the indexes.
+	stats tableStats
+	// keyBuf is writer-side scratch for key encoding; writers are exclusive
+	// per the storage contract, readers never touch it.
+	keyBuf []byte
 }
 
 type hashIndex struct {
 	positions []int
 	buckets   map[string][]int
+}
+
+// nullKey reports whether the tuple is NULL in any of the given positions —
+// such tuples are invisible to index equality probes (SQL: NULL = x is
+// unknown), so they are never entered into hash-index buckets.
+func nullKey(tup Tuple, positions []int) bool {
+	for _, p := range positions {
+		if tup[p].IsNull() {
+			return true
+		}
+	}
+	return false
 }
 
 // Relation returns the catalog metadata of the table.
@@ -90,25 +114,62 @@ func (t *Table) Scan(fn func(Tuple) bool) {
 	}
 }
 
-// LookupPK returns the tuple with the given primary-key values, if any.
+// LookupPK returns the tuple with the given primary-key values, if any. A
+// NULL key value never matches (an index equality probe follows SQL
+// comparison semantics, where NULL = x is unknown).
 func (t *Table) LookupPK(key Tuple) (Tuple, bool) {
 	if t.pk == nil {
 		return nil, false
 	}
-	var b strings.Builder
-	for i, v := range key {
-		if i > 0 {
-			b.WriteByte('|')
+	for _, v := range key {
+		if v.IsNull() {
+			return nil, false
 		}
-		b.WriteString(v.Key())
 	}
-	if pos, ok := t.pk[b.String()]; ok {
+	var kb [64]byte
+	buf := key.AppendKey(kb[:0], identityPositions(len(key)))
+	if pos, ok := t.pk[string(buf)]; ok {
 		return t.tuples[pos], true
 	}
 	return nil, false
 }
 
-// CreateIndex builds a named hash index over the given attributes.
+// identityPositions returns [0, 1, ..., n-1] without allocating for small n.
+func identityPositions(n int) []int {
+	if n <= len(identityPos) {
+		return identityPos[:n]
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+var identityPos = []int{0, 1, 2, 3, 4, 5, 6, 7}
+
+// PKPositions returns the attribute positions of the primary key in
+// declaration order, or nil when the relation has none. The slice is shared;
+// callers must not mutate it.
+func (t *Table) PKPositions() []int {
+	if t.pk == nil {
+		return nil
+	}
+	return t.pkPos
+}
+
+// LookupPKPos returns the tuple position for an encoded primary-key probe
+// (built with Tuple.AppendKey / value.AppendKey over PKPositions). The caller
+// must not encode NULL key values — a NULL probe never matches.
+func (t *Table) LookupPKPos(key []byte) (int, bool) {
+	pos, ok := t.pk[string(key)]
+	return pos, ok
+}
+
+// CreateIndex builds a named hash index over the given attributes. Tuples
+// with a NULL value in any indexed attribute are not entered: an index
+// equality probe can never match NULL, mirroring WHERE-clause comparison
+// semantics.
 func (t *Table) CreateIndex(name string, attrs ...string) error {
 	if _, dup := t.secondary[name]; dup {
 		return fmt.Errorf("storage: duplicate index %q on %s", name, t.rel.Name)
@@ -123,6 +184,9 @@ func (t *Table) CreateIndex(name string, attrs ...string) error {
 	}
 	idx := &hashIndex{positions: positions, buckets: make(map[string][]int)}
 	for pos, tup := range t.tuples {
+		if nullKey(tup, positions) {
+			continue
+		}
 		k := tup.Key(positions)
 		idx.buckets[k] = append(idx.buckets[k], pos)
 	}
@@ -133,7 +197,10 @@ func (t *Table) CreateIndex(name string, attrs ...string) error {
 	return nil
 }
 
-// LookupIndex returns tuples matching the key values on the named index.
+// LookupIndex returns tuples matching the key values on the named index. A
+// NULL key value never matches any tuple, and tuples that are NULL in an
+// indexed attribute are never returned — identical to what a scan evaluating
+// `attr = key` would keep.
 func (t *Table) LookupIndex(name string, key ...value.Value) ([]Tuple, error) {
 	idx, ok := t.secondary[name]
 	if !ok {
@@ -142,19 +209,72 @@ func (t *Table) LookupIndex(name string, key ...value.Value) ([]Tuple, error) {
 	if len(key) != len(idx.positions) {
 		return nil, fmt.Errorf("storage: index %q expects %d key values, got %d", name, len(idx.positions), len(key))
 	}
-	var b strings.Builder
-	for i, v := range key {
-		if i > 0 {
-			b.WriteByte('|')
+	for _, v := range key {
+		if v.IsNull() {
+			return nil, nil
 		}
-		b.WriteString(v.Key())
 	}
-	positions := idx.buckets[b.String()]
+	var kb [64]byte
+	buf := Tuple(key).AppendKey(kb[:0], identityPositions(len(key)))
+	positions := idx.buckets[string(buf)]
 	out := make([]Tuple, len(positions))
 	for i, p := range positions {
 		out[i] = t.tuples[p]
 	}
 	return out, nil
+}
+
+// Index is a read-only handle on a secondary hash index, used by the query
+// planner's index-nested-loop joins to probe without per-call name lookups.
+type Index struct {
+	t   *Table
+	idx *hashIndex
+}
+
+// Index returns a handle on the named secondary index, or nil.
+func (t *Table) Index(name string) *Index {
+	idx, ok := t.secondary[name]
+	if !ok {
+		return nil
+	}
+	return &Index{t: t, idx: idx}
+}
+
+// KeyPositions returns the indexed attribute positions in key order. The
+// slice is shared; callers must not mutate it.
+func (ix *Index) KeyPositions() []int { return ix.idx.positions }
+
+// Probe returns the positions of tuples matching an encoded key (built with
+// value.AppendKey over the key values in KeyPositions order), in insertion
+// order. The slice is shared; callers must not mutate it. Callers must not
+// encode NULL key values — a NULL probe never matches.
+func (ix *Index) Probe(key []byte) []int { return ix.idx.buckets[string(key)] }
+
+// IndexInfo describes one secondary index for planning.
+type IndexInfo struct {
+	Name string
+	// Attrs are the indexed attribute names in key order.
+	Attrs []string
+	// Positions are the corresponding attribute positions.
+	Positions []int
+}
+
+// IndexInfos lists the table's secondary indexes sorted by name (so plans
+// are deterministic).
+func (t *Table) IndexInfos() []IndexInfo {
+	if len(t.secondary) == 0 {
+		return nil
+	}
+	out := make([]IndexInfo, 0, len(t.secondary))
+	for name, idx := range t.secondary {
+		info := IndexInfo{Name: name, Positions: idx.positions}
+		for _, p := range idx.positions {
+			info.Attrs = append(info.Attrs, t.rel.Attributes[p].Name)
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	return out
 }
 
 // Database is a schema plus one table per relation. It is safe for
@@ -173,6 +293,7 @@ func NewDatabase(schema *catalog.Schema) (*Database, error) {
 	db := &Database{schema: schema, tables: make(map[string]*Table)}
 	for _, r := range schema.Relations() {
 		tbl := &Table{rel: r}
+		tbl.stats.init(r)
 		if len(r.PrimaryKey) > 0 {
 			tbl.pk = make(map[string]int)
 			tbl.pkPos = make([]int, len(r.PrimaryKey))
@@ -244,10 +365,11 @@ func (db *Database) insertLocked(relName string, tup Tuple) error {
 	}
 	var pkKey string
 	if tbl.pk != nil {
-		pkKey = tup.Key(tbl.pkPos)
-		if _, dup := tbl.pk[pkKey]; dup {
-			return fmt.Errorf("storage: duplicate primary key %s in %s", pkKey, r.Name)
+		tbl.keyBuf = tup.AppendKey(tbl.keyBuf[:0], tbl.pkPos)
+		if _, dup := tbl.pk[string(tbl.keyBuf)]; dup {
+			return fmt.Errorf("storage: duplicate primary key %s in %s", tup.pkString(tbl.pkPos), r.Name)
 		}
+		pkKey = string(tbl.keyBuf)
 	}
 	for _, fk := range r.ForeignKey {
 		if err := db.checkForeignKey(r, fk, tup); err != nil {
@@ -255,6 +377,9 @@ func (db *Database) insertLocked(relName string, tup Tuple) error {
 		}
 	}
 	for _, idx := range tbl.secondary {
+		if nullKey(tup, idx.positions) {
+			continue
+		}
 		k := tup.Key(idx.positions)
 		idx.buckets[k] = append(idx.buckets[k], len(tbl.tuples))
 	}
@@ -262,7 +387,17 @@ func (db *Database) insertLocked(relName string, tup Tuple) error {
 	if tbl.pk != nil {
 		tbl.pk[pkKey] = len(tbl.tuples) - 1
 	}
+	tbl.stats.add(tup, &tbl.keyBuf)
 	return nil
+}
+
+// pkString renders primary-key values for error messages.
+func (t Tuple) pkString(positions []int) string {
+	parts := make([]string, len(positions))
+	for i, p := range positions {
+		parts[i] = t[p].String()
+	}
+	return strings.Join(parts, "|")
 }
 
 func (db *Database) checkForeignKey(r *catalog.Relation, fk catalog.ForeignKey, tup Tuple) error {
@@ -391,10 +526,14 @@ func (t *Table) rebuildIndexes() {
 	for _, idx := range t.secondary {
 		idx.buckets = make(map[string][]int, len(t.tuples))
 		for pos, tup := range t.tuples {
+			if nullKey(tup, idx.positions) {
+				continue
+			}
 			k := tup.Key(idx.positions)
 			idx.buckets[k] = append(idx.buckets[k], pos)
 		}
 	}
+	t.stats.rebuild(t.rel, t.tuples)
 }
 
 // LoadCSV bulk-loads a relation from CSV with a header row naming the
@@ -487,7 +626,8 @@ func (db *Database) Stats() map[string]int {
 }
 
 // DistinctCount returns the number of distinct non-NULL values in the named
-// attribute, used by cardinality estimation.
+// attribute, used by cardinality estimation. It is O(1): the count is read
+// from the incrementally maintained table statistics.
 func (db *Database) DistinctCount(relName, attr string) (int, error) {
 	tbl := db.Table(relName)
 	if tbl == nil {
@@ -497,11 +637,5 @@ func (db *Database) DistinctCount(relName, attr string) (int, error) {
 	if p < 0 {
 		return 0, fmt.Errorf("storage: unknown attribute %s.%s", relName, attr)
 	}
-	seen := make(map[string]bool)
-	for _, tup := range tbl.tuples {
-		if !tup[p].IsNull() {
-			seen[tup[p].Key()] = true
-		}
-	}
-	return len(seen), nil
+	return len(tbl.stats.attrs[p].counts), nil
 }

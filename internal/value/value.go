@@ -5,7 +5,9 @@
 package value
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 	"time"
@@ -285,6 +287,46 @@ func (v Value) Key() string {
 	default:
 		return "?"
 	}
+}
+
+// AppendKey appends a binary encoding of v to buf and returns the extended
+// buffer. The encoding distinguishes values exactly the way Equal does
+// (1 and 1.0 share an encoding, "1" does not) and — unlike Key — is safe to
+// concatenate: every variant is either fixed-width or length-prefixed, so
+// adjacent values can never collide ("a|b","c" vs "a","b|c"). Storage hash
+// keys (primary keys, indexes, statistics) and the engine's grouping and
+// deduplication keys are all built with it, typically into a reusable buffer.
+func (v Value) AppendKey(buf []byte) []byte {
+	switch v.kind {
+	case Null:
+		return append(buf, 'n')
+	case Int:
+		return appendFloatKey(buf, float64(v.i))
+	case Float:
+		return appendFloatKey(buf, v.f)
+	case Text:
+		buf = append(buf, 't')
+		buf = binary.AppendUvarint(buf, uint64(len(v.s)))
+		return append(buf, v.s...)
+	case Date:
+		buf = append(buf, 'd')
+		return binary.BigEndian.AppendUint64(buf, uint64(v.t.Unix()))
+	case Bool:
+		if v.b {
+			return append(buf, 'B')
+		}
+		return append(buf, 'b')
+	default:
+		return append(buf, '?')
+	}
+}
+
+func appendFloatKey(buf []byte, f float64) []byte {
+	if f == 0 {
+		f = 0 // collapse -0 and +0, which Equal treats as the same value
+	}
+	buf = append(buf, 'f')
+	return binary.BigEndian.AppendUint64(buf, math.Float64bits(f))
 }
 
 // CatalogKind maps a catalog attribute type to the value kind it stores.
