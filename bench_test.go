@@ -473,6 +473,90 @@ func BenchmarkX10PlannerScan(b *testing.B) {
 	b.Run("indexed", run)
 }
 
+// BenchmarkX11GroupedAggregate measures streaming hash aggregation over the
+// 100k corpus: the planned pipeline (group keys and accumulators compiled to
+// slot readers over arena rows) against the forced-naive env+map path. The
+// planned variant must allocate ≥ 10x less per op (tracked in BENCH_3.json).
+func BenchmarkX11GroupedAggregate(b *testing.B) {
+	db, err := dataset.GenerateMovieDB(dataset.GenConfig{
+		Seed: 17, Movies: 100000, Actors: 25000, Directors: 1001,
+		CastPerMovie: 1, GenresPerMovie: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := engine.New(db)
+	sel, err := sqlparser.ParseSelect(`select g.genre, count(*), avg(m.year), max(m.year)
+from MOVIES m, GENRE g where m.id = g.mid group by g.genre having count(*) > 10`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name    string
+		planned bool
+	}{{"planned", true}, {"naive", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			eng.SetPlannerEnabled(mode.planned)
+			defer eng.SetPlannerEnabled(true)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := eng.Select(sel)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Rows) == 0 {
+					b.Fatal("no groups")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkX12TopKSort measures ORDER BY + LIMIT on the planned pipeline:
+// the bounded top-K heap (LIMIT present) against the stable full sort of the
+// same rows (LIMIT absent, truncated by the caller). The heap must win
+// (tracked in BENCH_3.json).
+func BenchmarkX12TopKSort(b *testing.B) {
+	db, err := dataset.GenerateMovieDB(dataset.GenConfig{
+		Seed: 19, Movies: 100000, Actors: 25000, Directors: 1001,
+		CastPerMovie: 1, GenresPerMovie: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := engine.New(db)
+	topK, err := sqlparser.ParseSelect("select m.title, m.year from MOVIES m order by m.year desc, m.title limit 10")
+	if err != nil {
+		b.Fatal(err)
+	}
+	fullSort, err := sqlparser.ParseSelect("select m.title, m.year from MOVIES m order by m.year desc, m.title")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name string
+		sel  *sqlparser.SelectStmt
+		want int
+	}{{"top-k", topK, 10}, {"full-sort", fullSort, 100000}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := eng.Select(mode.sel)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Rows) != mode.want {
+					b.Fatalf("got %d rows", len(res.Rows))
+				}
+				if len(res.Rows[0]) > 0 {
+					_ = res.Rows[0][0]
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkX9ParallelJoin measures the engine's fan-out on a two-table
 // hash join at 10k and 100k probe rows, serial vs. all cores.
 func BenchmarkX9ParallelJoin(b *testing.B) {

@@ -225,29 +225,35 @@ func (ex *Engine) execSelectExplained(sel *sqlparser.SelectStmt, outer *env, ear
 		return nil, nil, err
 	}
 
-	grouped := len(sel.GroupBy) > 0 || sel.Having != nil || selectHasAggregate(sel)
+	grouped := sel.Grouped()
 
 	plan := ex.planFor(sel, entries, outer != nil)
-	var out *Result
-	var rowEnvs []*env // aligned with out.Rows for ungrouped queries
 	if !plan.Fallback {
-		out, rowEnvs, err = ex.execPlanned(sel, entries, plan, outer, earlyLimit, grouped)
-	} else {
-		// Naive pipeline: build environments row by row, applying every
-		// WHERE conjunct as soon as all of its tuple variables are bound
-		// (predicate pushdown).
-		conjuncts := sqlparser.Conjuncts(sel.Where)
-		var envs []*env
-		envs, err = ex.joinFrom(entries, conjuncts, outer)
+		// Planned execution shapes the result (grouping, DISTINCT, ORDER BY,
+		// LIMIT) inside the slot-addressed pipeline.
+		out, err := ex.execPlanned(sel, entries, plan, outer, earlyLimit, grouped)
 		if err != nil {
 			return nil, nil, err
 		}
-		plan.ActualRows = len(envs)
-		if grouped {
-			out, err = ex.execGrouped(sel, entries, envs)
-		} else {
-			out, rowEnvs, err = ex.execUngrouped(sel, entries, envs, earlyLimit)
-		}
+		return out, plan, nil
+	}
+
+	// Naive pipeline: build environments row by row, applying every
+	// WHERE conjunct as soon as all of its tuple variables are bound
+	// (predicate pushdown).
+	conjuncts := sqlparser.Conjuncts(sel.Where)
+	envs, err := ex.joinFrom(entries, conjuncts, outer)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan.ActualRows = len(envs)
+	var out *Result
+	var rowEnvs []*env    // aligned with out.Rows for ungrouped queries
+	var groups []groupRef // aligned with out.Rows for grouped queries
+	if grouped {
+		out, groups, err = ex.execGrouped(sel, entries, envs)
+	} else {
+		out, rowEnvs, err = ex.execUngrouped(sel, entries, envs, earlyLimit)
 	}
 	if err != nil {
 		return nil, nil, err
@@ -255,10 +261,10 @@ func (ex *Engine) execSelectExplained(sel *sqlparser.SelectStmt, outer *env, ear
 
 	if sel.Distinct {
 		out.Rows = distinctRows(out.Rows)
-		rowEnvs = nil // row/env alignment is lost after dedup
+		rowEnvs, groups = nil, nil // row alignment is lost after dedup
 	}
 	if len(sel.OrderBy) > 0 {
-		if err := ex.orderRows(sel, entries, out, rowEnvs); err != nil {
+		if err := ex.orderRows(sel, entries, out, rowEnvs, groups); err != nil {
 			return nil, nil, err
 		}
 	}
@@ -324,6 +330,21 @@ func explainResult(plan *planner.Plan) *Result {
 			value.NewNull(),
 			value.NewNull(),
 			value.NewInt(int64(plan.ActualRows)),
+			value.NewNull(),
+		})
+	}
+	for _, sh := range s.Shape {
+		actual := value.NewNull()
+		if sh.ActualRows >= 0 {
+			actual = value.NewInt(int64(sh.ActualRows))
+		}
+		out.Rows = append(out.Rows, storage.Tuple{
+			value.NewInt(int64(len(out.Rows) + 1)),
+			value.NewText(sh.Kind),
+			value.NewText("(result shaping)"),
+			value.NewText(sh.Detail),
+			value.NewFloat(round2(sh.EstRows)),
+			actual,
 			value.NewNull(),
 		})
 	}
@@ -794,10 +815,127 @@ func (ex *Engine) execUngrouped(sel *sqlparser.SelectStmt, entries []fromEntry, 
 	return out, rowEnvs, nil
 }
 
-func (ex *Engine) execGrouped(sel *sqlparser.SelectStmt, entries []fromEntry, envs []*env) (*Result, error) {
+// groupRef ties one grouped output row back to its group so ORDER BY can
+// evaluate aggregate expressions (and grouping keys outside the select list)
+// against the group context.
+type groupRef struct {
+	env *env
+	gc  *groupCtx
+}
+
+// resolveEntryColumn resolves a column reference against the FROM entries,
+// mirroring env.lookup's top scope: qualified names take the first
+// alias-or-relation match, unqualified names must be unique.
+func resolveEntryColumn(entries []fromEntry, ref *sqlparser.ColumnRef) (int, int, bool) {
+	if ref.Table != "" {
+		for i := range entries {
+			e := &entries[i]
+			if strings.EqualFold(e.alias, ref.Table) || strings.EqualFold(e.rel.Name, ref.Table) {
+				pos := e.rel.AttrIndex(ref.Column)
+				if pos < 0 {
+					return 0, 0, false
+				}
+				return i, pos, true
+			}
+		}
+		return 0, 0, false
+	}
+	found, fpos := -1, -1
+	for i := range entries {
+		if pos := entries[i].rel.AttrIndex(ref.Column); pos >= 0 {
+			if found >= 0 {
+				return 0, 0, false // ambiguous
+			}
+			found, fpos = i, pos
+		}
+	}
+	if found < 0 {
+		return 0, 0, false
+	}
+	return found, fpos, true
+}
+
+// groupByIndex matches e against the GROUP BY expressions: textually
+// identical, or a column reference resolving to the same attribute (so
+// `year` matches `group by m.year`).
+func groupByIndex(e sqlparser.Expr, groupBy []sqlparser.Expr, entries []fromEntry) (int, bool) {
+	eSQL := e.SQL()
+	eRef, eIsRef := e.(*sqlparser.ColumnRef)
+	for j, g := range groupBy {
+		if g.SQL() == eSQL {
+			return j, true
+		}
+		if !eIsRef {
+			continue
+		}
+		gRef, ok := g.(*sqlparser.ColumnRef)
+		if !ok {
+			continue
+		}
+		ei, ep, eok := resolveEntryColumn(entries, eRef)
+		gi, gp, gok := resolveEntryColumn(entries, gRef)
+		if eok && gok && ei == gi && ep == gp {
+			return j, true
+		}
+	}
+	return 0, false
+}
+
+// matchesGroupBy reports whether e is one of the GROUP BY expressions.
+func matchesGroupBy(e sqlparser.Expr, groupBy []sqlparser.Expr, entries []fromEntry) bool {
+	_, ok := groupByIndex(e, groupBy, entries)
+	return ok
+}
+
+// checkGroupedExpr enforces the standard-SQL grouping rule: in a grouped
+// query, a column reference is legal only inside an aggregate or when the
+// enclosing expression appears in GROUP BY. Subquery subtrees are exempt —
+// they evaluate against the group's representative environment, which is how
+// correlated HAVING subqueries reference grouping columns.
+func checkGroupedExpr(e sqlparser.Expr, sel *sqlparser.SelectStmt, entries []fromEntry) error {
+	var bad *sqlparser.ColumnRef
+	sqlparser.WalkExpr(e, func(x sqlparser.Expr) bool {
+		if bad != nil {
+			return false
+		}
+		if matchesGroupBy(x, sel.GroupBy, entries) {
+			return false
+		}
+		switch n := x.(type) {
+		case *sqlparser.AggregateExpr:
+			return false // aggregate arguments range over the group's rows
+		case *sqlparser.ColumnRef:
+			if n.Column == "*" {
+				return false
+			}
+			bad = n
+			return false
+		}
+		return true
+	})
+	if bad != nil {
+		return fmt.Errorf("engine: column %s must appear in GROUP BY or an aggregate", bad.SQL())
+	}
+	return nil
+}
+
+func (ex *Engine) execGrouped(sel *sqlparser.SelectStmt, entries []fromEntry, envs []*env) (*Result, []groupRef, error) {
 	items, cols, err := expandItems(sel, entries)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	// Standard-SQL grouping rule: a select item or HAVING term must be a
+	// grouping expression or an aggregate — the group's first row is not a
+	// stand-in for ungrouped columns.
+	for _, it := range items {
+		if err := checkGroupedExpr(it.Expr, sel, entries); err != nil {
+			return nil, nil, err
+		}
+	}
+	if sel.Having != nil {
+		if err := checkGroupedExpr(sel.Having, sel, entries); err != nil {
+			return nil, nil, err
+		}
 	}
 	// Partition envs into groups keyed by the GROUP BY expressions; with no
 	// GROUP BY the whole input is one group.
@@ -812,7 +950,7 @@ func (ex *Engine) execGrouped(sel *sqlparser.SelectStmt, entries []fromEntry, en
 		for _, g := range sel.GroupBy {
 			v, err := ex.evalExpr(g, en, nil)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			keyBuf = v.AppendKey(keyBuf)
 		}
@@ -834,6 +972,7 @@ func (ex *Engine) execGrouped(sel *sqlparser.SelectStmt, entries []fromEntry, en
 	}
 
 	out := &Result{Columns: cols}
+	var refs []groupRef
 	for _, k := range order {
 		grp := groupsByKey[k]
 		// Evaluate HAVING with an env seeded from the group's first row so
@@ -845,7 +984,7 @@ func (ex *Engine) execGrouped(sel *sqlparser.SelectStmt, entries []fromEntry, en
 		if sel.Having != nil {
 			v, err := ex.evalExpr(sel.Having, he, grp.ctx)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			if v.IsNull() || v.Kind() != value.Bool || !v.Bool() {
 				continue
@@ -855,44 +994,108 @@ func (ex *Engine) execGrouped(sel *sqlparser.SelectStmt, entries []fromEntry, en
 		for i, it := range items {
 			v, err := ex.evalExpr(it.Expr, he, grp.ctx)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			row[i] = v
 		}
 		out.Rows = append(out.Rows, row)
+		refs = append(refs, groupRef{env: he, gc: grp.ctx})
 	}
-	return out, nil
+	return out, refs, nil
 }
 
-func (ex *Engine) orderRows(sel *sqlparser.SelectStmt, entries []fromEntry, out *Result, rowEnvs []*env) error {
-	// Build sort keys: each ORDER BY expression is either a select-list
-	// alias/position or an expression over output columns; for ungrouped
-	// queries we also allow arbitrary expressions via the stashed envs.
+// orderOrdinal resolves the SQL ordinal form `ORDER BY <n>`: a bare integer
+// literal names the n-th select-list column (1-based). Other literals stay
+// constant sort keys; out-of-range ordinals are an error.
+func orderOrdinal(o sqlparser.OrderItem, n int) (int, bool, error) {
+	lit, ok := o.Expr.(*sqlparser.Literal)
+	if !ok || lit.Value.Kind() != value.Int {
+		return 0, false, nil
+	}
+	p := lit.Value.Int()
+	if p < 1 || p > int64(n) {
+		return 0, false, fmt.Errorf("engine: ORDER BY position %d is not in the select list", p)
+	}
+	return int(p) - 1, true, nil
+}
+
+// orderTarget resolves an ORDER BY item to a select-list column: the SQL
+// ordinal form first, then alias/name/expression matching. A non-nil error
+// is an out-of-range ordinal; ok=false with a nil error means the item is
+// an expression each pipeline evaluates its own way.
+func orderTarget(o sqlparser.OrderItem, items []sqlparser.SelectItem) (int, bool, error) {
+	if col, ok, err := orderOrdinal(o, len(items)); err != nil {
+		return 0, false, err
+	} else if ok {
+		return col, true, nil
+	}
+	if col, ok := orderColumnTarget(o, items); ok {
+		return col, true, nil
+	}
+	return 0, false, nil
+}
+
+// orderColumnTarget matches an ORDER BY expression to a select-list column:
+// by alias or column name, then by identical expression text.
+func orderColumnTarget(o sqlparser.OrderItem, items []sqlparser.SelectItem) (int, bool) {
+	if c, ok := o.Expr.(*sqlparser.ColumnRef); ok {
+		for i, it := range items {
+			if strings.EqualFold(itemName(it), c.Column) && (c.Table == "" || aliasMatches(it, c)) {
+				return i, true
+			}
+		}
+	}
+	oSQL := o.Expr.SQL()
+	for i, it := range items {
+		if it.Expr.SQL() == oSQL {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+func (ex *Engine) orderRows(sel *sqlparser.SelectStmt, entries []fromEntry, out *Result, rowEnvs []*env, groups []groupRef) error {
+	// Build sort keys: each ORDER BY expression is an ordinal, a select-list
+	// alias/position, or an expression over output columns; beyond those,
+	// grouped queries evaluate expressions (aggregates, grouping keys) in
+	// the row's group context and ungrouped queries against the stashed envs.
 	items, _, err := expandItems(sel, entries)
 	if err != nil {
 		return err
 	}
-	keyFor := func(rowIdx int, o sqlparser.OrderItem) (value.Value, error) {
-		// Alias or column-name match against the select list.
-		if c, ok := o.Expr.(*sqlparser.ColumnRef); ok {
-			for i, it := range items {
-				if strings.EqualFold(itemName(it), c.Column) && (c.Table == "" || aliasMatches(it, c)) {
-					return out.Rows[rowIdx][i], nil
-				}
-			}
+	// Resolve each order item once; errors stay deferred until a row needs
+	// the key, matching the per-row resolution they replace.
+	specs := make([]struct {
+		col int
+		err error
+	}, len(sel.OrderBy))
+	for j, o := range sel.OrderBy {
+		specs[j].col = -1
+		if col, ok, err := orderTarget(o, items); err != nil {
+			specs[j].err = err
+		} else if ok {
+			specs[j].col = col
+		} else if groups != nil {
+			// Grouped: the expression evaluates in the group context (ORDER
+			// BY <aggregate>, grouping keys outside the select list) and
+			// must obey the grouping rule.
+			specs[j].err = checkGroupedExpr(o.Expr, sel, entries)
+		} else if rowEnvs == nil {
+			specs[j].err = fmt.Errorf("engine: ORDER BY expression %s is not in the select list", o.Expr.SQL())
 		}
-		// Expression identical to a select item.
-		oSQL := o.Expr.SQL()
-		for i, it := range items {
-			if it.Expr.SQL() == oSQL {
-				return out.Rows[rowIdx][i], nil
-			}
+	}
+	keyFor := func(rowIdx, j int) (value.Value, error) {
+		o := sel.OrderBy[j]
+		if specs[j].err != nil {
+			return value.Value{}, specs[j].err
 		}
-		// Fall back to evaluating against the row's environment (ungrouped).
-		if rowEnvs != nil && rowIdx < len(rowEnvs) {
-			return ex.evalExpr(o.Expr, rowEnvs[rowIdx], nil)
+		if specs[j].col >= 0 {
+			return out.Rows[rowIdx][specs[j].col], nil
 		}
-		return value.Value{}, fmt.Errorf("engine: ORDER BY expression %s is not in the select list", oSQL)
+		if groups != nil && rowIdx < len(groups) {
+			return ex.evalExpr(o.Expr, groups[rowIdx].env, groups[rowIdx].gc)
+		}
+		return ex.evalExpr(o.Expr, rowEnvs[rowIdx], nil)
 	}
 	type keyedRow struct {
 		row  storage.Tuple
@@ -901,8 +1104,8 @@ func (ex *Engine) orderRows(sel *sqlparser.SelectStmt, entries []fromEntry, out 
 	rows := make([]keyedRow, len(out.Rows))
 	for i := range out.Rows {
 		keys := make([]value.Value, len(sel.OrderBy))
-		for j, o := range sel.OrderBy {
-			v, err := keyFor(i, o)
+		for j := range sel.OrderBy {
+			v, err := keyFor(i, j)
 			if err != nil {
 				return err
 			}
@@ -965,13 +1168,4 @@ func distinctRows(rows []storage.Tuple) []storage.Tuple {
 		}
 	}
 	return out
-}
-
-func selectHasAggregate(sel *sqlparser.SelectStmt) bool {
-	for _, it := range sel.Items {
-		if sqlparser.HasAggregate(it.Expr) {
-			return true
-		}
-	}
-	return false
 }

@@ -122,3 +122,34 @@ func TestPlannedRowsAreIndependent(t *testing.T) {
 		t.Fatal("mutating one result row changed another (arena aliasing)")
 	}
 }
+
+// TestExplainPlanShapeRows: grouped/ordered queries render their shaping
+// stages as extra EXPLAIN PLAN rows with actual counts filled in.
+func TestExplainPlanShapeRows(t *testing.T) {
+	db, err := dataset.CuratedMovieDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := New(db)
+	res, _, err := ex.Exec("explain plan select g.genre, count(*) from GENRE g group by g.genre having count(*) > 1 order by count(*) desc limit 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	for _, row := range res.Rows {
+		kinds = append(kinds, row[1].Text())
+	}
+	joined := strings.Join(kinds, ",")
+	if !strings.Contains(joined, "aggregate") || !strings.Contains(joined, "top-k") {
+		t.Fatalf("EXPLAIN PLAN missing shaping rows, got kinds %v:\n%s", kinds, res)
+	}
+	last := res.Rows[len(res.Rows)-1]
+	if last[1].Text() != "top-k" || last[5].Int() != 2 {
+		t.Errorf("top-k row should report 2 actual rows: %s", last)
+	}
+	for _, row := range res.Rows {
+		if row[1].Text() == "aggregate" && row[5].Int() != 5 {
+			t.Errorf("aggregate row actual = %s, want the 5 groups surviving HAVING", row[5])
+		}
+	}
+}

@@ -1,0 +1,292 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/sqlparser"
+)
+
+// bothPipelines runs fn once with the planner on and once forced naive.
+func bothPipelines(t *testing.T, ex *Engine, fn func(t *testing.T)) {
+	t.Helper()
+	ex.SetPlannerEnabled(true)
+	t.Run("planned", fn)
+	ex.SetPlannerEnabled(false)
+	t.Run("naive", fn)
+	ex.SetPlannerEnabled(true)
+}
+
+// TestOrderByOrdinal pins the ordinal ORDER BY bugfix: `ORDER BY 2 DESC`
+// must sort by the second select-list column. Before the fix the integer
+// literal evaluated to a constant key and the stable sort silently left the
+// rows in FROM order.
+func TestOrderByOrdinal(t *testing.T) {
+	db, err := dataset.CuratedMovieDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := New(db)
+	bothPipelines(t, ex, func(t *testing.T) {
+		res, err := ex.Query("select m.title, m.year from MOVIES m order by 2 desc, 1 asc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) < 3 {
+			t.Fatalf("want the full table, got %d rows", len(res.Rows))
+		}
+		for i := 1; i < len(res.Rows); i++ {
+			prev, cur := res.Rows[i-1], res.Rows[i]
+			if prev[1].Int() < cur[1].Int() {
+				t.Fatalf("row %d: year %d before %d — ordinal ORDER BY 2 DESC did not sort", i, prev[1].Int(), cur[1].Int())
+			}
+			if prev[1].Int() == cur[1].Int() && prev[0].Text() > cur[0].Text() {
+				t.Fatalf("row %d: title tiebreak not ascending", i)
+			}
+		}
+		// The sort must actually have moved something: the max year leads.
+		first := res.Rows[0][1].Int()
+		for _, r := range res.Rows {
+			if r[1].Int() > first {
+				t.Fatalf("first row year %d is not the maximum %d", first, r[1].Int())
+			}
+		}
+	})
+}
+
+// TestOrderByOrdinalOutOfRange: out-of-range and non-positive ordinals are
+// errors, identically on both pipelines.
+func TestOrderByOrdinalOutOfRange(t *testing.T) {
+	db, err := dataset.CuratedMovieDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := New(db)
+	for _, sql := range []string{
+		"select m.title, m.year from MOVIES m order by 3",
+		"select m.title from MOVIES m order by 0",
+		"select m.title from MOVIES m order by -1 desc",
+	} {
+		comparePlannedNaive(t, ex, sql)
+		if _, err := ex.Query(sql); err == nil || !strings.Contains(err.Error(), "not in the select list") {
+			t.Errorf("%s: want out-of-range ordinal error, got %v", sql, err)
+		}
+	}
+	// A non-integer literal stays a constant key: no error, original order.
+	comparePlannedNaive(t, ex, "select m.title from MOVIES m order by 'a' desc")
+}
+
+// TestOrderByAggregateGrouped pins the second bugfix: ORDER BY over an
+// aggregate that is not in the select list is standard SQL and must order
+// the groups, on both pipelines.
+func TestOrderByAggregateGrouped(t *testing.T) {
+	db, err := dataset.CuratedMovieDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := New(db)
+	for _, sql := range []string{
+		"select g.genre from GENRE g group by g.genre order by count(*) desc, g.genre",
+		"select g.genre, count(*) from GENRE g group by g.genre order by count(*) desc",
+		"select g.genre from GENRE g group by g.genre order by sum(g.mid) desc limit 3",
+		"select m.year from MOVIES m group by m.year order by count(*) desc, min(m.title)",
+	} {
+		comparePlannedNaive(t, ex, sql)
+	}
+	bothPipelines(t, ex, func(t *testing.T) {
+		res, err := ex.Query("select g.genre from GENRE g group by g.genre order by count(*) desc, g.genre")
+		if err != nil {
+			t.Fatalf("ORDER BY <aggregate> rejected: %v", err)
+		}
+		if len(res.Rows) == 0 || res.Rows[0][0].Text() != "drama" {
+			t.Fatalf("drama (5 movies) should sort first, got %v", res.Rows)
+		}
+	})
+}
+
+// TestGroupedColumnRule pins the third bugfix: a select item or HAVING term
+// referencing a column that is neither grouped nor aggregated is an error,
+// not a silent first-row lookup.
+func TestGroupedColumnRule(t *testing.T) {
+	db, err := dataset.CuratedMovieDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := New(db)
+	bad := []string{
+		"select m.title, count(*) from MOVIES m group by m.year",
+		"select m.year, count(*) from MOVIES m group by m.year having m.title = 'x'",
+		"select m.title from MOVIES m group by m.year order by m.title",
+		"select m.title, count(*) from MOVIES m",
+	}
+	for _, sql := range bad {
+		comparePlannedNaive(t, ex, sql)
+		if _, err := ex.Query(sql); err == nil || !strings.Contains(err.Error(), "must appear in GROUP BY or an aggregate") {
+			t.Errorf("%s: want grouping-rule error, got %v", sql, err)
+		}
+	}
+	good := []string{
+		// Unqualified select item matching a qualified GROUP BY column.
+		"select year, count(*) from MOVIES m group by m.year",
+		// Grouping expression reused verbatim.
+		"select m.year + 1, count(*) from MOVIES m group by m.year + 1",
+		// Correlated subquery in HAVING referencing a grouped column (Q7).
+		sqlparser.PaperQueries["Q7"],
+		// Grouping key only in HAVING and ORDER BY.
+		"select count(*) from MOVIES m group by m.year having m.year > 1990 order by m.year",
+	}
+	for _, sql := range good {
+		comparePlannedNaive(t, ex, sql)
+		if _, err := ex.Query(sql); err != nil {
+			t.Errorf("%s: legal grouped query rejected: %v", sql, err)
+		}
+	}
+}
+
+// TestGroupedStreamingCompiles is a white-box check that the common grouped
+// shapes take the streaming compiled path, and subquery-bearing ones fall
+// back to the environment evaluator (both correct, only speed differs).
+func TestGroupedStreamingCompiles(t *testing.T) {
+	db, err := dataset.CuratedMovieDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := New(db)
+	compiles := func(sql string) bool {
+		t.Helper()
+		sel, err := sqlparser.ParseSelect(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries, err := ex.flattenFrom(sel.From)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan := ex.planFor(sel, entries, false)
+		if plan.Fallback {
+			t.Fatalf("%s: unexpected planner fallback: %s", sql, plan.Reason)
+		}
+		pq := ex.compilePlan(plan, nil)
+		items, _, err := expandItems(sel, entries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, ok := newGroupedExec(sel, entries, pq, items)
+		return ok
+	}
+	for _, sql := range []string{
+		"select g.genre, count(*) from GENRE g group by g.genre",
+		"select g.genre, count(distinct g.mid), sum(g.mid), avg(g.mid), min(g.mid), max(g.mid) from GENRE g group by g.genre having count(*) > 1 order by count(*) desc",
+		"select m.year, count(*) from MOVIES m, GENRE g where m.id = g.mid group by m.year order by 2 desc",
+	} {
+		if !compiles(sql) {
+			t.Errorf("%s: expected the streaming grouped path", sql)
+		}
+	}
+	for _, sql := range []string{
+		sqlparser.PaperQueries["Q7"], // scalar subquery in HAVING
+		"select count(*) from MOVIES m group by m.year having exists (select * from GENRE g where g.mid = m.id)",
+	} {
+		if compiles(sql) {
+			t.Errorf("%s: subquery HAVING should take the environment path", sql)
+		}
+	}
+}
+
+// TestDistinctOrderLimitDifferential covers DISTINCT interacting with ORDER
+// BY and LIMIT: row/env (and group) alignment is dropped after dedup, so
+// expression order keys must work through the select list or fail
+// identically on both pipelines.
+func TestDistinctOrderLimitDifferential(t *testing.T) {
+	db, err := dataset.CuratedMovieDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := New(db)
+	for _, sql := range []string{
+		"select distinct m.year from MOVIES m order by m.year desc",
+		"select distinct m.year from MOVIES m order by 1 desc limit 4",
+		"select distinct m.year from MOVIES m order by m.year desc limit 0",
+		"select distinct c.role from CAST c order by c.role limit 5",
+		// Expression key resolvable through the select list.
+		"select distinct m.year + 1 from MOVIES m order by m.year + 1 limit 3",
+		// Expression key NOT in the select list: must error identically.
+		"select distinct m.title from MOVIES m order by m.year desc limit 5",
+		// Grouped + DISTINCT + aggregate key not in the select list: ditto.
+		"select distinct g.genre from GENRE g group by g.genre order by count(*)",
+		// Grouped + DISTINCT with a select-list aggregate key.
+		"select distinct count(*) from GENRE g group by g.genre order by count(*) desc limit 2",
+		"select distinct a.name from CAST c, ACTOR a where c.aid = a.id order by a.name limit 7",
+	} {
+		comparePlannedNaive(t, ex, sql)
+	}
+}
+
+// TestTopKMatchesFullSort pins heap/stable-sort equivalence on tie-heavy
+// data: top-K with LIMIT must return exactly the stable-sorted prefix.
+func TestTopKMatchesFullSort(t *testing.T) {
+	db, err := dataset.GenerateMovieDB(dataset.GenConfig{
+		Seed: 33, Movies: 400, Actors: 60, Directors: 7, CastPerMovie: 2, GenresPerMovie: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := New(db)
+	for _, q := range []struct{ sql, unlimited string }{
+		// genre has massive ties; nothing else breaks them — stability decides.
+		{"select g.genre, m.title from MOVIES m, GENRE g where m.id = g.mid order by g.genre limit 25",
+			"select g.genre, m.title from MOVIES m, GENRE g where m.id = g.mid order by g.genre"},
+		{"select m.year, m.title from MOVIES m order by m.year desc limit 10",
+			"select m.year, m.title from MOVIES m order by m.year desc"},
+		{"select m.year from MOVIES m order by m.year limit 1",
+			"select m.year from MOVIES m order by m.year"},
+		{"select m.year, count(*) from MOVIES m group by m.year order by count(*) desc, m.year limit 5",
+			"select m.year, count(*) from MOVIES m group by m.year order by count(*) desc, m.year"},
+	} {
+		comparePlannedNaive(t, ex, q.sql)
+		limited, err := ex.Query(q.sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := ex.Query(q.unlimited)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(limited.Rows) > len(full.Rows) {
+			t.Fatalf("%s: more rows than the unlimited sort", q.sql)
+		}
+		for i := range limited.Rows {
+			for j := range limited.Rows[i] {
+				a, b := limited.Rows[i][j], full.Rows[i][j]
+				if a.IsNull() != b.IsNull() || (!a.IsNull() && !a.Equal(b)) {
+					t.Fatalf("%s: top-K row %d differs from the stable-sorted prefix", q.sql, i)
+				}
+			}
+		}
+	}
+}
+
+// TestLimitPushdownErrorParity pins a review finding: LIMIT pushdown must
+// not swallow a projection error the naive pipeline raises on a row past
+// the bound — pushdown is legal only when no projection expression can
+// error.
+func TestLimitPushdownErrorParity(t *testing.T) {
+	db, err := dataset.CuratedMovieDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := New(db)
+	for _, sql := range []string{
+		// The scalar subquery is multi-row for later movies only.
+		"select (select g.genre from GENRE g where g.mid = m.id) from MOVIES m limit 1",
+		// Unknown column must error even under LIMIT 0.
+		"select t.missing from MOVIES t limit 0",
+		// Erroring arithmetic past the bound.
+		"select m.year / (m.id - 100) from MOVIES m limit 1",
+		// Pure projections still push the limit down and agree.
+		"select m.title, m.year from MOVIES m limit 2",
+	} {
+		comparePlannedNaive(t, ex, sql)
+	}
+}

@@ -143,6 +143,12 @@ type plannedQuery struct {
 	stepPost  [][]rowEval // compiled PostJoinFilters per step
 	postEvals []rowEval   // residual predicates after all joins
 	track     bool        // provenance tracking (plan was reordered)
+	// leaf, when set, intercepts compilation of every subexpression before
+	// the standard lowering. The grouped pipeline uses a copy of the query
+	// with leaf set to map aggregates and GROUP BY matches onto synthetic
+	// slots appended after the joined row (see plan_shape.go). handled=false
+	// falls through to normal compilation; ok=false fails the compile.
+	leaf func(e sqlparser.Expr) (ev rowEval, handled, ok bool)
 }
 
 // rowEval evaluates one expression against a flat row.
@@ -252,6 +258,11 @@ func (pq *plannedQuery) bridgeEval(e sqlparser.Expr) rowEval {
 // some subtree needs environment semantics (subqueries, aggregates,
 // unresolvable references); callers bridge the whole expression then.
 func (pq *plannedQuery) compile(e sqlparser.Expr) (rowEval, bool) {
+	if pq.leaf != nil {
+		if ev, handled, ok := pq.leaf(e); handled {
+			return ev, ok
+		}
+	}
 	switch x := e.(type) {
 	case *sqlparser.Literal:
 		v := x.Value
@@ -1021,55 +1032,126 @@ func (pq *plannedQuery) materializeEnvs(rows [][]value.Value) []*env {
 	return envs
 }
 
-// execPlanned runs a non-fallback plan end to end: pipeline, then either the
-// compiled flat projection (ungrouped, no ORDER BY) or the environment path.
-func (ex *Engine) execPlanned(sel *sqlparser.SelectStmt, entries []fromEntry, plan *planner.Plan, outer *env, earlyLimit int, grouped bool) (*Result, []*env, error) {
+// execPlanned runs a non-fallback plan end to end: the join pipeline, then
+// aggregation or projection, DISTINCT, ORDER BY (full sort or a bounded
+// top-K heap), and LIMIT — all over flat slot-addressed rows. Grouped
+// queries whose expressions need environment semantics (subqueries) take
+// the materialized-environment path inside execPlannedGrouped.
+func (ex *Engine) execPlanned(sel *sqlparser.SelectStmt, entries []fromEntry, plan *planner.Plan, outer *env, earlyLimit int, grouped bool) (*Result, error) {
 	pq := ex.compilePlan(plan, outer)
 	rows, err := ex.runPlan(pq)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-
-	if grouped || len(sel.OrderBy) > 0 {
-		envs := pq.materializeEnvs(rows)
-		if grouped {
-			out, err := ex.execGrouped(sel, entries, envs)
-			return out, nil, err
-		}
-		return ex.execUngrouped(sel, entries, envs, earlyLimit)
-	}
-
 	items, cols, err := expandItems(sel, entries)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
+	if grouped {
+		return ex.execPlannedGrouped(sel, entries, pq, rows, items, cols)
+	}
+	return ex.execPlannedFlat(sel, pq, rows, items, cols, earlyLimit)
+}
+
+// execPlannedFlat projects joined rows through compiled item evaluators and
+// shapes the result. Without ORDER BY or DISTINCT the LIMIT (and any caller
+// bound) pushes down into the projection loop, stopping it early.
+func (ex *Engine) execPlannedFlat(sel *sqlparser.SelectStmt, pq *plannedQuery, rows [][]value.Value, items []sqlparser.SelectItem, cols []string, earlyLimit int) (*Result, error) {
 	evals := make([]rowEval, len(items))
+	pure := true // no projection expression can error
 	for i, it := range items {
 		ev, ok := pq.compile(it.Expr)
 		if !ok {
 			ev = pq.bridgeEval(it.Expr)
+			pure = false // bridged lookups can fail (unknown columns, subqueries)
+		} else {
+			switch it.Expr.(type) {
+			case *sqlparser.ColumnRef, *sqlparser.Literal:
+				// compiled slot reads and constants cannot fail
+			default:
+				pure = false
+			}
 		}
 		evals[i] = ev
+	}
+	// LIMIT pushdown: without ORDER BY or DISTINCT the first rows are the
+	// answer. The naive pipeline projects every joined row before
+	// truncating, so the LIMIT may stop the loop only when no projection
+	// expression can error past the bound — otherwise a planned run would
+	// swallow an error the naive run raises. The caller's bound (subquery
+	// probes) mirrors the naive early exit exactly, including its
+	// sel.Limit < 0 guard.
+	bound := -1
+	if len(sel.OrderBy) == 0 && !sel.Distinct {
+		if sel.Limit >= 0 && pure {
+			bound = sel.Limit
+		}
+		if earlyLimit >= 0 && sel.Limit < 0 {
+			bound = earlyLimit
+		}
 	}
 	out := &Result{Columns: cols}
 	ec := pq.newCtx()
 	proj := rowArena{width: len(items)}
 	for _, row := range rows {
+		if bound >= 0 && len(out.Rows) >= bound {
+			break
+		}
 		r := proj.peek()
 		for i, ev := range evals {
 			v, err := ev(ec, row)
 			if err != nil {
-				return nil, nil, err
+				return nil, err
 			}
 			r[i] = v
 		}
 		proj.commit()
 		out.Rows = append(out.Rows, storage.Tuple(r))
-		if earlyLimit >= 0 && len(out.Rows) >= earlyLimit && !sel.Distinct && sel.Limit < 0 {
-			return out, nil, nil
-		}
 	}
-	return out, nil, nil
+	// rows stays aligned with out.Rows (no early exit is possible when an
+	// ORDER BY is present), so expression sort keys evaluate over the joined
+	// row backing each output row.
+	keyOf := func(i int, k *plannedSortKey) (value.Value, error) {
+		if k.col >= 0 {
+			return out.Rows[i][k.col], nil
+		}
+		return k.eval(ec, rows[i])
+	}
+	keys, err := pq.flatOrderKeys(sel, items)
+	if err != nil {
+		return nil, err
+	}
+	return ex.shapeResult(sel, pq, out, keys, keyOf)
+}
+
+// flatOrderKeys resolves ORDER BY items for the ungrouped planned path:
+// ordinals and select-list matches read output columns; other expressions
+// compile (or bridge) over the joined row. Resolution errors are deferred —
+// they surface only when there are rows to sort, matching the naive path.
+func (pq *plannedQuery) flatOrderKeys(sel *sqlparser.SelectStmt, items []sqlparser.SelectItem) ([]plannedSortKey, error) {
+	keys := make([]plannedSortKey, len(sel.OrderBy))
+	for j, o := range sel.OrderBy {
+		keys[j] = plannedSortKey{col: -1, desc: o.Desc}
+		if col, ok, err := orderTarget(o, items); err != nil {
+			keys[j].err = err
+			continue
+		} else if ok {
+			keys[j].col = col
+			continue
+		}
+		if sel.Distinct {
+			// Row/env alignment is lost after dedup in the naive path, and
+			// the planned path mirrors its error.
+			keys[j].err = fmt.Errorf("engine: ORDER BY expression %s is not in the select list", o.Expr.SQL())
+			continue
+		}
+		ev, ok := pq.compile(o.Expr)
+		if !ok {
+			ev = pq.bridgeEval(o.Expr)
+		}
+		keys[j].eval = ev
+	}
+	return keys, nil
 }
 
 // ---------------------------------------------------------------------------

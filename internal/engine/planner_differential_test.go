@@ -155,8 +155,33 @@ func TestPlannerDifferentialRandomized(t *testing.T) {
 			return fmt.Sprintf("select d.name from DIRECTOR d, DIRECTED r where d.id = r.did and d.id != %d limit 7",
 				1+rng.Intn(8))
 		},
+		func() string {
+			// Grouped aggregate sweep with HAVING, aggregate ORDER BY, LIMIT.
+			return fmt.Sprintf("select g.genre, count(*), sum(m.year), avg(m.year), min(m.title), max(m.year) from MOVIES m, GENRE g where m.id = g.mid group by g.genre having count(*) %s %d order by count(*) desc, g.genre limit %d",
+				ops[rng.Intn(len(ops))], 1+rng.Intn(5), 1+rng.Intn(6))
+		},
+		func() string {
+			// Ordinal ORDER BY over a join.
+			return fmt.Sprintf("select m.title, m.year from MOVIES m, CAST c where m.id = c.mid and c.aid %s %d order by 2 desc, 1 limit %d",
+				ops[rng.Intn(len(ops))], 1+rng.Intn(45), 1+rng.Intn(20))
+		},
+		func() string {
+			// DISTINCT + expression key through the select list + top-K.
+			return fmt.Sprintf("select distinct m.year + %d from MOVIES m order by m.year + %[1]d desc limit %d",
+				rng.Intn(3), 1+rng.Intn(10))
+		},
+		func() string {
+			// Aggregate ORDER BY key outside the select list.
+			return fmt.Sprintf("select m.year from MOVIES m where m.year %s %d group by m.year order by count(*) desc, m.year limit %d",
+				ops[rng.Intn(len(ops))], 1950+rng.Intn(60), 1+rng.Intn(8))
+		},
+		func() string {
+			// Grouped with count(distinct) and a grouping key in HAVING.
+			return fmt.Sprintf("select c.aid, count(distinct c.role) from CAST c group by c.aid having c.aid %s %d order by 1",
+				ops[rng.Intn(len(ops))], 1+rng.Intn(45))
+		},
 	}
-	for trial := 0; trial < 60; trial++ {
+	for trial := 0; trial < 120; trial++ {
 		sql := templates[trial%len(templates)]()
 		comparePlannedNaive(t, ex, sql)
 	}
@@ -226,6 +251,19 @@ func TestPlannerDifferentialNulls(t *testing.T) {
 		"select l.id from L l where l.k is null",
 		"select l.id, r.id from L l, R r where l.k = r.k and l.tag is not null",
 		"select count(*) from L l, R r where l.k = r.k",
+		// Grouping on a NULL-riddled key: NULLs form one group; aggregates
+		// skip NULL inputs; ORDER BY places NULL keys per direction.
+		"select l.k, count(*), count(l.tag), sum(l.id), avg(l.k), min(l.tag), max(l.id) from L l group by l.k order by l.k",
+		"select l.k, count(*) from L l group by l.k order by l.k desc",
+		"select l.k, count(distinct r.val) from L l, R r where l.id = r.id group by l.k order by count(distinct r.val) desc, l.k limit 3",
+		"select r.k, sum(l.k) from L l, R r where l.id = r.id group by r.k having sum(l.k) > 2 order by 2 desc",
+		"select distinct l.k from L l order by l.k limit 4",
+		"select l.tag, avg(l.id) from L l group by l.tag order by avg(l.id) desc limit 2",
+		// Sorting on a NULL-bearing expression key outside the select list.
+		"select l.id from L l order by l.k desc, l.id limit 6",
+		"select l.id from L l order by l.k, l.id",
+		// Aggregates over an empty group set.
+		"select count(l.k), sum(l.k), min(l.k), max(l.k), avg(l.k) from L l where l.id < 0",
 	} {
 		comparePlannedNaive(t, ex, sql)
 	}
@@ -255,6 +293,14 @@ func TestPlannerDifferentialFuzzSeeds(t *testing.T) {
 		"select m.* from MOVIES m order by 'a' desc",
 		"select t.missing from MOVIES t",
 		"select m.title from NOPE m",
+		"select m.title, m.year from MOVIES m order by 2 desc, 1 limit 5",
+		"select m.title from MOVIES m order by 7",
+		"select g.genre from GENRE g group by g.genre order by count(*) desc",
+		"select m.title, count(*) from MOVIES m group by m.year",
+		"select distinct m.title from MOVIES m order by m.year desc limit 5",
+		"select count(*) from MOVIES m where m.year > 3000",
+		"select m.year, count(*) from MOVIES m group by m.year having count(*) >= 2 order by count(*) desc, m.year limit 3",
+		"select case when m.year > 2000 then 'new' else 'old' end, count(*) from MOVIES m group by case when m.year > 2000 then 'new' else 'old' end order by 2 desc",
 	}
 	for _, label := range sqlparser.PaperQueryOrder {
 		if label != "Q0" {

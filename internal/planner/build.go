@@ -189,7 +189,122 @@ func Build(sel *sqlparser.SelectStmt, inputs []Input, onConjuncts []sqlparser.Ex
 			break
 		}
 	}
+	buildShape(plan, sel, res, stats)
 	return plan
+}
+
+// buildShape appends the post-join shaping stages — aggregate, sort or
+// top-k, limit — the engine will run after the join pipeline, with group
+// counts estimated from per-attribute distinct statistics.
+func buildShape(plan *Plan, sel *sqlparser.SelectStmt, res *resolver, stats []storage.TableStats) {
+	cur := plan.EstRows
+	if sel.Grouped() {
+		st := &ShapeStep{Kind: ShapeAggregate, ActualRows: -1}
+		for _, g := range sel.GroupBy {
+			st.GroupBy = append(st.GroupBy, g.SQL())
+		}
+		st.Aggregates = aggregateSQLs(sel)
+		st.EstRows = estimateGroups(sel.GroupBy, res, stats, cur)
+		if sel.Having != nil {
+			st.Having = sel.Having.SQL()
+			st.EstRows *= defaultSelectivity
+		}
+		if st.EstRows < 1 {
+			st.EstRows = 1
+		}
+		plan.Shape = append(plan.Shape, st)
+		cur = st.EstRows
+	}
+	if len(sel.OrderBy) > 0 {
+		st := &ShapeStep{Kind: ShapeSort, EstRows: cur, ActualRows: -1}
+		for _, o := range sel.OrderBy {
+			st.Keys = append(st.Keys, o.SQL())
+		}
+		// A positive LIMIT turns the sort into a bounded top-K heap; LIMIT 0
+		// still sorts fully (for error parity) and truncates afterwards, so
+		// it stays a sort followed by a limit step.
+		if sel.Limit > 0 {
+			st.Kind = ShapeTopK
+			st.K = sel.Limit
+			if cur > float64(sel.Limit) {
+				st.EstRows = float64(sel.Limit)
+			}
+		}
+		plan.Shape = append(plan.Shape, st)
+		cur = st.EstRows
+	}
+	if sel.Limit >= 0 && (len(sel.OrderBy) == 0 || sel.Limit == 0) {
+		st := &ShapeStep{Kind: ShapeLimit, K: sel.Limit, EstRows: cur, ActualRows: -1}
+		if cur > float64(sel.Limit) {
+			st.EstRows = float64(sel.Limit)
+		}
+		plan.Shape = append(plan.Shape, st)
+		cur = st.EstRows
+	}
+	if len(plan.Shape) > 0 {
+		plan.EstRows = cur
+	}
+}
+
+// aggregateSQLs collects the distinct aggregate expressions of the select
+// list, HAVING, and ORDER BY, in first-appearance order.
+func aggregateSQLs(sel *sqlparser.SelectStmt) []string {
+	var out []string
+	seen := map[string]bool{}
+	collect := func(e sqlparser.Expr) {
+		if e == nil {
+			return
+		}
+		sqlparser.WalkExpr(e, func(x sqlparser.Expr) bool {
+			if a, ok := x.(*sqlparser.AggregateExpr); ok {
+				s := a.SQL()
+				if !seen[s] {
+					seen[s] = true
+					out = append(out, s)
+				}
+				return false
+			}
+			return true
+		})
+	}
+	for _, it := range sel.Items {
+		collect(it.Expr)
+	}
+	collect(sel.Having)
+	for _, o := range sel.OrderBy {
+		collect(o.Expr)
+	}
+	return out
+}
+
+// estimateGroups estimates the number of GROUP BY groups as the product of
+// the grouping attributes' distinct counts, capped by the joined cardinality.
+// Non-column grouping expressions contribute a fixed fan-out guess.
+func estimateGroups(groupBy []sqlparser.Expr, res *resolver, stats []storage.TableStats, cur float64) float64 {
+	if len(groupBy) == 0 {
+		return 1
+	}
+	groups := 1.0
+	for _, g := range groupBy {
+		factor := 1 / defaultSelectivity // non-column expression: fixed guess
+		if ref, ok := g.(*sqlparser.ColumnRef); ok {
+			if in, pos, err := res.resolve(ref); err == nil {
+				d := float64(stats[in].Attrs[pos].Distinct)
+				if d < 1 {
+					d = 1
+				}
+				factor = d
+			}
+		}
+		groups *= factor
+	}
+	if groups > cur && cur >= 1 {
+		groups = cur
+	}
+	if groups < 1 {
+		groups = 1
+	}
+	return groups
 }
 
 // anyConnected reports whether any unbound input has a join edge to the

@@ -114,6 +114,55 @@ type Step struct {
 	consumedConjs []*conjunct
 }
 
+// ShapeKind enumerates the result-shaping steps that run after the join
+// pipeline: grouping with aggregation, sorting, bounded top-K selection, and
+// plain limiting.
+type ShapeKind int
+
+// Shaping step kinds, in the order they can appear in a plan.
+const (
+	ShapeAggregate ShapeKind = iota
+	ShapeSort
+	ShapeTopK
+	ShapeLimit
+)
+
+// String names the shape kind the way explains render it.
+func (k ShapeKind) String() string {
+	switch k {
+	case ShapeAggregate:
+		return "aggregate"
+	case ShapeSort:
+		return "sort"
+	case ShapeTopK:
+		return "top-k"
+	case ShapeLimit:
+		return "limit"
+	default:
+		return fmt.Sprintf("shape(%d)", int(k))
+	}
+}
+
+// ShapeStep is one post-join shaping stage. The engine compiles group keys,
+// aggregate accumulators, and sort keys to slot readers over the flat rows;
+// the planner records what the stage does and how many rows it should emit.
+type ShapeStep struct {
+	Kind ShapeKind
+	// GroupBy / Aggregates / Having describe an aggregate step.
+	GroupBy    []string
+	Aggregates []string
+	Having     string
+	// Keys are the ORDER BY expressions (with direction) of a sort/top-k step.
+	Keys []string
+	// K is the row bound of a top-k or limit step.
+	K int
+	// EstRows estimates the step's output cardinality (group counts come from
+	// per-attribute distinct statistics).
+	EstRows float64
+	// ActualRows is filled in by the engine during execution (-1 before).
+	ActualRows int
+}
+
 // Plan is the chosen execution strategy for one SELECT.
 type Plan struct {
 	Steps []*Step
@@ -121,6 +170,9 @@ type Plan struct {
 	// predicates, outer-scope correlations, and anything unresolvable at
 	// plan time. They run through the engine's environment bridge.
 	Post []sqlparser.Expr
+	// Shape lists the post-join shaping stages (aggregate, sort, top-k,
+	// limit) in execution order; empty for plain select-project-join.
+	Shape []*ShapeStep
 	// Width is the total slot count of the flat row layout.
 	Width int
 	// Reordered reports that step order differs from FROM order, in which
@@ -160,6 +212,21 @@ func (p *Plan) Fingerprint() string {
 	}
 	if len(p.Post) > 0 {
 		fmt.Fprintf(&b, ">post{%d}", len(p.Post))
+	}
+	for _, sh := range p.Shape {
+		switch sh.Kind {
+		case ShapeAggregate:
+			fmt.Fprintf(&b, ">agg{%d,%d}", len(sh.GroupBy), len(sh.Aggregates))
+			if sh.Having != "" {
+				b.WriteString("+having")
+			}
+		case ShapeSort:
+			fmt.Fprintf(&b, ">sort{%d}", len(sh.Keys))
+		case ShapeTopK:
+			fmt.Fprintf(&b, ">topk{%d,%d}", len(sh.Keys), sh.K)
+		case ShapeLimit:
+			fmt.Fprintf(&b, ">limit{%d}", sh.K)
+		}
 	}
 	return b.String()
 }

@@ -206,3 +206,56 @@ func TestPlanEstimatesRangeFilter(t *testing.T) {
 		t.Fatalf("range estimate %f of %f rows; want roughly 10%%", est, rows)
 	}
 }
+
+// TestPlanShapeSteps: grouped/ordered queries carry shape steps with
+// distinct-statistics group estimates, and the fingerprint reflects them.
+func TestPlanShapeSteps(t *testing.T) {
+	db := genDB(t)
+	p := buildPlan(t, db,
+		`select g.genre, count(*) from MOVIES m, GENRE g
+		 where m.id = g.mid group by g.genre having count(*) > 1
+		 order by count(*) desc limit 5`)
+	if len(p.Shape) != 2 {
+		t.Fatalf("shape steps = %d, want aggregate + top-k", len(p.Shape))
+	}
+	agg, topk := p.Shape[0], p.Shape[1]
+	if agg.Kind != planner.ShapeAggregate {
+		t.Fatalf("first shape step = %s", agg.Kind)
+	}
+	genres := float64(db.Table("GENRE").Stats().Attrs[1].Distinct)
+	// With HAVING the estimate is the distinct-count product scaled by the
+	// default selectivity.
+	if agg.EstRows <= 0 || agg.EstRows > genres {
+		t.Errorf("aggregate estimate %.2f not in (0, %v] derived from DistinctCount", agg.EstRows, genres)
+	}
+	if agg.Having == "" || len(agg.GroupBy) != 1 || len(agg.Aggregates) != 1 {
+		t.Errorf("aggregate step detail incomplete: %+v", agg)
+	}
+	if topk.Kind != planner.ShapeTopK || topk.K != 5 || topk.EstRows > 5 {
+		t.Errorf("top-k step = %+v", topk)
+	}
+	fp := p.Fingerprint()
+	for _, want := range []string{">agg{1,1}+having", ">topk{1,5}"} {
+		if !strings.Contains(fp, want) {
+			t.Errorf("fingerprint %q missing %q", fp, want)
+		}
+	}
+	s := p.Summarize()
+	if len(s.Shape) != 2 || s.Shape[0].Kind != "aggregate" || s.Shape[1].Kind != "top-k" {
+		t.Errorf("summary shape = %+v", s.Shape)
+	}
+
+	// Plain sort and bare limit produce their own kinds.
+	p2 := buildPlan(t, db, "select m.title from MOVIES m order by m.title")
+	if len(p2.Shape) != 1 || p2.Shape[0].Kind != planner.ShapeSort {
+		t.Errorf("sort-only shape = %+v", p2.Shape)
+	}
+	p3 := buildPlan(t, db, "select m.title from MOVIES m limit 3")
+	if len(p3.Shape) != 1 || p3.Shape[0].Kind != planner.ShapeLimit || p3.Shape[0].K != 3 {
+		t.Errorf("limit-only shape = %+v", p3.Shape)
+	}
+	p4 := buildPlan(t, db, "select m.title from MOVIES m")
+	if len(p4.Shape) != 0 {
+		t.Errorf("unshaped query grew shape steps: %+v", p4.Shape)
+	}
+}

@@ -2,6 +2,7 @@ package planner
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/lexicon"
 	"repro/internal/sqlparser"
@@ -24,6 +25,18 @@ type StepSummary struct {
 	ActualRows int     `json:"actual_rows"`
 }
 
+// ShapeSummary is the externally consumable description of one post-join
+// shaping stage (aggregate, sort, top-k, limit).
+type ShapeSummary struct {
+	Kind string `json:"kind"`
+	// Detail renders the stage's keys: group-by columns and aggregates, sort
+	// keys, or the row bound.
+	Detail     string  `json:"detail,omitempty"`
+	K          int     `json:"k,omitempty"`
+	EstRows    float64 `json:"estimated_rows"`
+	ActualRows int     `json:"actual_rows"`
+}
+
 // Summary is the structured plan the serving layer exposes: the
 // gh-star-search Plan shape (estimated rows/cost, indexes used,
 // optimization tips) grown onto this engine.
@@ -36,6 +49,8 @@ type Summary struct {
 	ActualRows  int           `json:"actual_rows"`
 	IndexesUsed []string      `json:"indexes_used,omitempty"`
 	Steps       []StepSummary `json:"steps,omitempty"`
+	// Shape lists the post-join shaping stages in execution order.
+	Shape []ShapeSummary `json:"shape,omitempty"`
 	// Residual lists predicates evaluated after all joins (subqueries,
 	// outer correlations).
 	Residual []string `json:"residual,omitempty"`
@@ -87,7 +102,42 @@ func (p *Plan) Summarize() *Summary {
 	for _, e := range p.Post {
 		s.Residual = append(s.Residual, e.SQL())
 	}
+	for _, sh := range p.Shape {
+		s.Shape = append(s.Shape, ShapeSummary{
+			Kind:       sh.Kind.String(),
+			Detail:     sh.Detail(),
+			K:          sh.K,
+			EstRows:    sh.EstRows,
+			ActualRows: sh.ActualRows,
+		})
+	}
 	return s
+}
+
+// Detail renders the stage's keys the way explains print them.
+func (sh *ShapeStep) Detail() string {
+	switch sh.Kind {
+	case ShapeAggregate:
+		var parts []string
+		if len(sh.GroupBy) > 0 {
+			parts = append(parts, "group by "+strings.Join(sh.GroupBy, ", "))
+		}
+		if len(sh.Aggregates) > 0 {
+			parts = append(parts, strings.Join(sh.Aggregates, ", "))
+		}
+		if sh.Having != "" {
+			parts = append(parts, "having "+sh.Having)
+		}
+		return strings.Join(parts, "; ")
+	case ShapeSort:
+		return "by " + strings.Join(sh.Keys, ", ")
+	case ShapeTopK:
+		return fmt.Sprintf("by %s, keeping %d", strings.Join(sh.Keys, ", "), sh.K)
+	case ShapeLimit:
+		return fmt.Sprintf("first %d", sh.K)
+	default:
+		return ""
+	}
 }
 
 // tipScanThreshold is the table size above which an unindexed selective

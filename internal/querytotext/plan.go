@@ -67,9 +67,32 @@ func PlanEnglish(s *planner.Summary) string {
 			lexicon.CountNoun(len(s.Residual), "residual condition"),
 			strings.Join(s.Residual, "; "))))
 	}
-	if s.ActualRows >= 0 {
+	for _, sh := range s.Shape {
+		var b strings.Builder
+		switch sh.Kind {
+		case "aggregate":
+			fmt.Fprintf(&b, "The rows are then aggregated (%s) into about %s groups", sh.Detail, formatCount(sh.EstRows))
+		case "sort":
+			fmt.Fprintf(&b, "The result is sorted %s", sh.Detail)
+		case "top-k":
+			fmt.Fprintf(&b, "A bounded heap keeps only the top %d rows (%s) instead of sorting everything", sh.K, sh.Detail)
+		case "limit":
+			fmt.Fprintf(&b, "Output stops after the first %s", lexicon.CountNoun(sh.K, "row"))
+		default:
+			continue
+		}
+		if sh.ActualRows >= 0 {
+			fmt.Fprintf(&b, " — %d seen", sh.ActualRows)
+		}
+		sentences = append(sentences, lexicon.Sentence(b.String()))
+	}
+	produced := s.ActualRows
+	if n := len(s.Shape); n > 0 && s.Shape[n-1].ActualRows >= 0 {
+		produced = s.Shape[n-1].ActualRows // shaping decides the final count
+	}
+	if produced >= 0 {
 		sentences = append(sentences, lexicon.Sentence(fmt.Sprintf(
-			"The query produced %s", lexicon.CountNoun(s.ActualRows, "row"))))
+			"The query produced %s", lexicon.CountNoun(produced, "row"))))
 	}
 	for _, tip := range s.Tips {
 		sentences = append(sentences, lexicon.Sentence("Tip: "+tip))

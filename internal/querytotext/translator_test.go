@@ -438,3 +438,48 @@ func TestPlanEnglish(t *testing.T) {
 		t.Errorf("fallback narration = %q", fb)
 	}
 }
+
+// TestPlanEnglishShape narrates the post-join shaping stages: aggregation,
+// top-K, sort, and limit get their own sentences, and the produced-rows
+// sentence reflects the final shaped count.
+func TestPlanEnglishShape(t *testing.T) {
+	s := &planner.Summary{
+		Fingerprint: "g:full scan>agg{1,1}+having>topk{1,5}",
+		EstRows:     5,
+		EstCost:     100,
+		ActualRows:  340,
+		Steps: []planner.StepSummary{
+			{Alias: "g", Relation: "GENRE", Access: "full scan", TableRows: 340, EstRows: 340, EstCost: 340, ActualRows: 340},
+		},
+		Shape: []planner.ShapeSummary{
+			{Kind: "aggregate", Detail: "group by g.genre; COUNT(*); having COUNT(*) > 1", EstRows: 6.5, ActualRows: 17},
+			{Kind: "top-k", Detail: "by COUNT(*) DESC, keeping 5", K: 5, EstRows: 5, ActualRows: 5},
+		},
+	}
+	text := PlanEnglish(s)
+	for _, want := range []string{
+		"aggregated (group by g.genre; COUNT(*); having COUNT(*) > 1) into about 6.50 groups — 17 seen",
+		"A bounded heap keeps only the top 5 rows",
+		"The query produced five rows.",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("narration missing %q:\n%s", want, text)
+		}
+	}
+	s2 := &planner.Summary{
+		Shape: []planner.ShapeSummary{
+			{Kind: "sort", Detail: "by m.title", EstRows: 9, ActualRows: -1},
+			{Kind: "limit", Detail: "first 3", K: 3, EstRows: 3, ActualRows: -1},
+		},
+		ActualRows: -1,
+	}
+	text2 := PlanEnglish(s2)
+	for _, want := range []string{
+		"The result is sorted by m.title.",
+		"Output stops after the first three rows.",
+	} {
+		if !strings.Contains(text2, want) {
+			t.Errorf("narration missing %q:\n%s", want, text2)
+		}
+	}
+}

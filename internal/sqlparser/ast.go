@@ -819,6 +819,22 @@ func Subqueries(e Expr) []*SelectStmt {
 	return subs
 }
 
+// Grouped reports whether the SELECT evaluates through grouping: an explicit
+// GROUP BY, a HAVING clause, or an aggregate in the select list. The engine
+// (pipeline choice) and the planner (aggregate shape step) share this
+// definition so plans always describe what actually executes.
+func (s *SelectStmt) Grouped() bool {
+	if len(s.GroupBy) > 0 || s.Having != nil {
+		return true
+	}
+	for _, it := range s.Items {
+		if HasAggregate(it.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
 // HasAggregate reports whether the expression contains an aggregate call
 // outside any subquery.
 func HasAggregate(e Expr) bool {

@@ -39,21 +39,30 @@
 // slot-addressed rows: every column reference resolves to a slot at plan
 // time, so the join inner loop does no map lookups, string comparisons, or
 // per-row environment copies (a ~28,000x allocation reduction on the 100k-row
-// join benchmark; see BENCH_2.json). The planned pipeline emits rows in
-// exactly the order the naive nested-loop pipeline would, so plans are
-// observable only through speed — a property the differential test suite
-// pins. Queries outside the planner's dialect (outer joins, views,
-// ambiguous unqualified columns) fall back to the environment-based
-// pipeline, and the plan says so.
+// join benchmark; see BENCH_2.json). The pipeline extends past the join:
+// grouped queries aggregate in one streaming pass with group keys and
+// COUNT/SUM/AVG/MIN/MAX accumulators compiled to slot readers (HAVING is a
+// compiled post-filter), ORDER BY sort keys compile the same way, a bounded
+// top-K heap stands in for the full sort when ORDER BY and LIMIT are both
+// present, and a bare LIMIT stops the projection loop early. The planned
+// pipeline emits rows in exactly the order the naive nested-loop pipeline
+// would, so plans are observable only through speed — a property the
+// differential test suite pins. Queries outside the planner's dialect
+// (outer joins, views, ambiguous unqualified columns) fall back to the
+// environment-based pipeline, and the plan says so; grouped expressions
+// needing subquery evaluation take the environment path just for the
+// grouping stage.
 //
 // The paper's §3.1 asks the DBMS to explain *why* a query is expensive;
 // `EXPLAIN PLAN`, System.ExplainPlan, and the talkbackd /explain endpoint
 // answer with the plan's steps, estimated versus actual row counts, the
 // indexes used, and optimization tips ("an index on CAST(role) would turn
 // the full scan of two hundred thousand rows into a probe"), all rendered
-// in English by the query translator. Every Ask response also records the
-// fingerprint of the plan that produced it — including responses served
-// from the cache.
+// in English by the query translator. Post-join shaping — aggregation
+// (with group counts estimated from distinct statistics), sorting, top-K,
+// limiting — shows up as its own `EXPLAIN PLAN` rows and narration
+// sentences. Every Ask response also records the fingerprint of the plan
+// that produced it — including responses served from the cache.
 //
 // # Concurrency guarantees
 //
