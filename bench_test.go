@@ -557,6 +557,77 @@ func BenchmarkX12TopKSort(b *testing.B) {
 	}
 }
 
+// BenchmarkX13ScanFilter measures full-scan filter throughput over the 100k
+// corpus: a selective year-range predicate over MOVIES projecting the title,
+// planned (columnar vector filter + direct column projection) against the
+// forced-naive env-per-row pipeline. The planned variant's time and bytes/op
+// against the PR-3 row layout are tracked in BENCH_4.json (floors: 3x time,
+// 5x bytes/op).
+func BenchmarkX13ScanFilter(b *testing.B) {
+	db, err := dataset.GenerateMovieDB(dataset.GenConfig{
+		Seed: 23, Movies: 100000, Actors: 25000, Directors: 1001,
+		CastPerMovie: 1, GenresPerMovie: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := engine.New(db)
+	sel, err := sqlparser.ParseSelect("select m.title from MOVIES m where m.year >= 1955 and m.year <= 1956")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name    string
+		planned bool
+	}{{"planned", true}, {"naive", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			eng.SetPlannerEnabled(mode.planned)
+			defer eng.SetPlannerEnabled(true)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := eng.Select(sel)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Rows) == 0 {
+					b.Fatal("filter matched nothing")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkX14JoinBuild measures hash-join build-side allocations on the
+// planned pipeline: a 100k x 100k equi-join whose build side has ~100k
+// distinct keys. The build structure must allocate O(distinct keys) at most —
+// not one slice per key (tracked in BENCH_4.json).
+func BenchmarkX14JoinBuild(b *testing.B) {
+	db, err := dataset.GenerateMovieDB(dataset.GenConfig{
+		Seed: 17, Movies: 100000, Actors: 25000, Directors: 1001,
+		CastPerMovie: 1, GenresPerMovie: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := engine.New(db)
+	sel, err := sqlparser.ParseSelect("select m.id from MOVIES m, GENRE g where m.id = g.mid")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eng.Select(sel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatal("join produced nothing")
+		}
+	}
+}
+
 // BenchmarkX9ParallelJoin measures the engine's fan-out on a two-table
 // hash join at 10k and 100k probe rows, serial vs. all cores.
 func BenchmarkX9ParallelJoin(b *testing.B) {

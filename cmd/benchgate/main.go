@@ -1,0 +1,133 @@
+// Command benchgate turns the CI bench smoke into an allocation-regression
+// gate: it parses `go test -bench -benchmem` output and fails when any gated
+// benchmark's allocs/op exceeds its recorded ceiling. Ceilings live in a
+// JSON file checked into the repository (cmd/benchgate/ceilings.json) with
+// generous headroom over the measured numbers — the gate exists to catch
+// order-of-magnitude regressions (a hash build going back to one allocation
+// per row), not run-to-run noise. A gated benchmark missing from the input
+// is an error too, so a rename cannot silently disable its gate.
+//
+// Usage:
+//
+//	go test -run xxx -bench . -benchtime=1x -benchmem ./... | tee bench.out
+//	go run ./cmd/benchgate -input bench.out -ceilings cmd/benchgate/ceilings.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ceiling bounds one benchmark's allocations.
+type ceiling struct {
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+func main() {
+	input := flag.String("input", "", "bench output file (default stdin)")
+	ceilingsPath := flag.String("ceilings", "cmd/benchgate/ceilings.json", "ceilings JSON file")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*ceilingsPath)
+	if err != nil {
+		fatal("reading ceilings: %v", err)
+	}
+	var ceilings map[string]ceiling
+	if err := json.Unmarshal(raw, &ceilings); err != nil {
+		fatal("parsing ceilings: %v", err)
+	}
+
+	in := os.Stdin
+	if *input != "" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fatal("opening input: %v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	seen := map[string]int64{}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		name, allocs, ok := parseBenchLine(sc.Text())
+		if !ok {
+			continue
+		}
+		if _, gated := ceilings[name]; gated {
+			// Sub-benchmarks can appear once per package run; keep the worst.
+			if prev, dup := seen[name]; !dup || allocs > prev {
+				seen[name] = allocs
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal("reading input: %v", err)
+	}
+
+	names := make([]string, 0, len(ceilings))
+	for name := range ceilings {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failed := false
+	for _, name := range names {
+		allocs, ok := seen[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL %s: not found in bench output (renamed or skipped?)\n", name)
+			failed = true
+			continue
+		}
+		limit := ceilings[name].AllocsPerOp
+		if allocs > limit {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL %s: %d allocs/op exceeds ceiling %d\n", name, allocs, limit)
+			failed = true
+		} else {
+			fmt.Printf("benchgate: ok   %s: %d allocs/op (ceiling %d)\n", name, allocs, limit)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine extracts the benchmark name (GOMAXPROCS suffix stripped)
+// and its allocs/op from one `go test -bench -benchmem` output line.
+func parseBenchLine(line string) (name string, allocs int64, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", 0, false
+	}
+	for i := 1; i < len(fields)-1; i++ {
+		if fields[i+1] == "allocs/op" {
+			n, err := strconv.ParseInt(fields[i], 10, 64)
+			if err != nil {
+				return "", 0, false
+			}
+			allocs = n
+			ok = true
+		}
+	}
+	if !ok {
+		return "", 0, false
+	}
+	name = fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i] // strip the -GOMAXPROCS suffix
+		}
+	}
+	return name, allocs, true
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+	os.Exit(1)
+}

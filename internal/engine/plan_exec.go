@@ -34,6 +34,16 @@ type joinKey struct {
 	str  string
 }
 
+// joinChain is a hash table over build-side row positions with one int32
+// head per key and a shared next vector — no per-key slice, so building it
+// costs O(1) allocations regardless of the number of distinct keys. Chains
+// are threaded in ascending row order (the build iterates in reverse), so
+// probes emit matches in insertion order, exactly like the naive pipeline.
+type joinChain struct {
+	head map[joinKey]int32 // key -> first matching row position + 1
+	next []int32           // next[i] -> following row position + 1, 0 ends
+}
+
 // joinKeyOf normalizes v; ok is false for NULL, which never joins.
 func joinKeyOf(v value.Value) (joinKey, bool) {
 	switch v.Kind() {
@@ -48,7 +58,7 @@ func joinKeyOf(v value.Value) (joinKey, bool) {
 	case value.Text:
 		return joinKey{kind: 't', str: v.Text()}, true
 	case value.Date:
-		return joinKey{kind: 'd', bits: uint64(v.Date().Unix())}, true
+		return joinKey{kind: 'd', bits: uint64(v.DateDays() * 86400)}, true
 	case value.Bool:
 		if v.Bool() {
 			return joinKey{kind: 'B'}, true
@@ -139,7 +149,8 @@ type plannedQuery struct {
 	outer *env
 	// fromOrder[i] is the step index of FROM entry i.
 	fromOrder []int
-	stepSelf  [][]rowEval // compiled SelfFilters per step
+	stepVec   [][]vecPred // vectorized SelfFilter prefix per step (column tests)
+	stepSelf  [][]rowEval // compiled remaining SelfFilters per step
 	stepPost  [][]rowEval // compiled PostJoinFilters per step
 	postEvals []rowEval   // residual predicates after all joins
 	track     bool        // provenance tracking (plan was reordered)
@@ -530,6 +541,7 @@ func (ex *Engine) compilePlan(plan *planner.Plan, outer *env) *plannedQuery {
 		plan:      plan,
 		outer:     outer,
 		fromOrder: make([]int, len(plan.Steps)),
+		stepVec:   make([][]vecPred, len(plan.Steps)),
 		stepSelf:  make([][]rowEval, len(plan.Steps)),
 		stepPost:  make([][]rowEval, len(plan.Steps)),
 		track:     plan.Reordered,
@@ -545,7 +557,21 @@ func (ex *Engine) compilePlan(plan *planner.Plan, outer *env) *plannedQuery {
 		pq.postEvals = append(pq.postEvals, ev)
 	}
 	for si, st := range plan.Steps {
-		for _, f := range st.SelfFilters {
+		// Vectorize the longest specializable prefix of the self-filters.
+		// Only a prefix is safe: vectorized predicates never error, so
+		// hoisting one past a generic filter that can error would change
+		// which rows (if any) reach that filter — the prefix keeps the
+		// original evaluation order intact.
+		filters := st.SelfFilters
+		for len(filters) > 0 {
+			vp, ok := pq.compileVecFilter(st, filters[0])
+			if !ok {
+				break
+			}
+			pq.stepVec[si] = append(pq.stepVec[si], vp)
+			filters = filters[1:]
+		}
+		for _, f := range filters {
 			if ev, ok := pq.compile(f); ok {
 				pq.stepSelf[si] = append(pq.stepSelf[si], ev)
 			} else {
@@ -576,15 +602,16 @@ type batch struct {
 	prov [][]int32
 }
 
-// emit speculatively fills a row from base+tuple, applies the step's
-// compiled filters, and keeps it on success.
-func (ec *evalCtx) emit(out *batch, base []value.Value, baseProv []int32, tup storage.Tuple, st *planner.Step, si int, ti int32, evals ...[]rowEval) error {
+// emit speculatively fills a row from base plus the step table's row ti
+// (read straight off the column vectors), applies the step's compiled
+// filters, and keeps it on success.
+func (ec *evalCtx) emit(out *batch, base []value.Value, baseProv []int32, st *planner.Step, si int, ti int32, evals ...[]rowEval) error {
 	r := ec.rows.peek()
 	if base != nil {
 		copy(r, base)
 	}
 	n := len(st.Input.Rel.Attributes)
-	copy(r[st.Offset:st.Offset+n], tup)
+	st.Input.Tbl.CopyRow(r[st.Offset:st.Offset+n], int(ti))
 	for _, group := range evals {
 		for _, ev := range group {
 			v, err := ev(ec, r)
@@ -773,17 +800,22 @@ func (ex *Engine) runScanStep(pq *plannedQuery, st *planner.Step) (batch, error)
 			positions = ix.Probe(ec.keyBuf)
 		}
 		for _, pos := range positions {
-			if err := ec.emit(&out, nil, nil, tbl.Tuple(pos), st, si, int32(pos), evals...); err != nil {
+			if !pq.vecPass(si, pos) {
+				continue
+			}
+			if err := ec.emit(&out, nil, nil, st, si, int32(pos), evals...); err != nil {
 				return batch{}, err
 			}
 		}
 		return out, nil
 
 	default: // ScanFull
-		tuples := tbl.Tuples()
-		return ex.gatherBatches(pq, len(tuples), func(ec *evalCtx, lo, hi int, out *batch) error {
+		return ex.gatherBatches(pq, tbl.Len(), func(ec *evalCtx, lo, hi int, out *batch) error {
 			for ti := lo; ti < hi; ti++ {
-				if err := ec.emit(out, nil, nil, tuples[ti], st, si, int32(ti), evals...); err != nil {
+				if !pq.vecPass(si, ti) {
+					continue
+				}
+				if err := ec.emit(out, nil, nil, st, si, int32(ti), evals...); err != nil {
 					return err
 				}
 			}
@@ -806,36 +838,57 @@ func (ex *Engine) runJoinStep(pq *plannedQuery, si int, st *planner.Step, cur ba
 
 	switch st.Access {
 	case planner.JoinHash:
-		// Build (serial): hash the new table on the join attribute, applying
-		// its self-filters against a scratch row first.
-		tuples := tbl.Tuples()
-		buildEC := pq.newCtx()
-		ht := make(map[joinKey][]int32, len(tuples))
-		n := len(st.Input.Rel.Attributes)
-		for ti, tup := range tuples {
-			if len(self) > 0 {
+		// Build (serial): hash the new table on the join attribute. The
+		// vectorized filter prefix tests column vectors directly; remaining
+		// self-filters evaluate against a scratch row filled per candidate.
+		// A filter mask is computed forward (so filter errors surface in row
+		// order), then the chain is threaded in reverse so probes walk
+		// matches in ascending row order.
+		n := tbl.Len()
+		var keep []bool
+		if len(self) > 0 {
+			keep = make([]bool, n)
+			buildEC := pq.newCtx()
+			width := len(st.Input.Rel.Attributes)
+			for ti := 0; ti < n; ti++ {
+				if !pq.vecPass(si, ti) {
+					continue
+				}
 				row := buildEC.scratchRow()
-				copy(row[st.Offset:st.Offset+n], tup)
-				keep := true
+				tbl.CopyRow(row[st.Offset:st.Offset+width], ti)
+				ok := true
 				for _, ev := range self {
 					v, err := ev(buildEC, row)
 					if err != nil {
 						return batch{}, err
 					}
 					if !passes(v) {
-						keep = false
+						ok = false
 						break
 					}
 				}
-				if !keep {
+				keep[ti] = ok
+			}
+		}
+		buildCol := tbl.Col(st.BuildPos)
+		chain := joinChain{head: make(map[joinKey]int32, n), next: make([]int32, n)}
+		for ti := n - 1; ti >= 0; ti-- {
+			if keep != nil {
+				if !keep[ti] {
 					continue
 				}
+			} else if !pq.vecPass(si, ti) {
+				continue
 			}
-			k, ok := joinKeyOf(tup[st.BuildPos])
+			// Col.Value materializes without allocating (text shares the
+			// dictionary string), so this shares joinKeyOf's normalization
+			// instead of duplicating it per column kind.
+			k, ok := joinKeyOf(buildCol.Value(ti))
 			if !ok {
 				continue
 			}
-			ht[k] = append(ht[k], int32(ti))
+			chain.next[ti] = chain.head[k]
+			chain.head[k] = int32(ti) + 1
 		}
 		probeSlot := st.ProbeSlot
 		return ex.gatherBatches(pq, len(cur.rows), func(ec *evalCtx, lo, hi int, out *batch) error {
@@ -845,8 +898,8 @@ func (ex *Engine) runJoinStep(pq *plannedQuery, si int, st *planner.Step, cur ba
 				if !ok {
 					continue
 				}
-				for _, ti := range ht[k] {
-					if err := ec.emit(out, base, baseProv(i), tuples[ti], st, si, ti, post); err != nil {
+				for p := chain.head[k]; p != 0; p = chain.next[p-1] {
+					if err := ec.emit(out, base, baseProv(i), st, si, p-1, post); err != nil {
 						return err
 					}
 				}
@@ -868,10 +921,10 @@ func (ex *Engine) runJoinStep(pq *plannedQuery, si int, st *planner.Step, cur ba
 					ec.keyBuf = v.AppendKey(ec.keyBuf)
 				}
 				pos, ok := tbl.LookupPKPos(ec.keyBuf)
-				if !ok {
+				if !ok || !pq.vecPass(si, pos) {
 					continue
 				}
-				if err := ec.emit(out, base, baseProv(i), tbl.Tuple(pos), st, si, int32(pos), self, post); err != nil {
+				if err := ec.emit(out, base, baseProv(i), st, si, int32(pos), self, post); err != nil {
 					return err
 				}
 			}
@@ -896,7 +949,10 @@ func (ex *Engine) runJoinStep(pq *plannedQuery, si int, st *planner.Step, cur ba
 					ec.keyBuf = v.AppendKey(ec.keyBuf)
 				}
 				for _, pos := range ix.Probe(ec.keyBuf) {
-					if err := ec.emit(out, base, baseProv(i), tbl.Tuple(pos), st, si, int32(pos), self, post); err != nil {
+					if !pq.vecPass(si, pos) {
+						continue
+					}
+					if err := ec.emit(out, base, baseProv(i), st, si, int32(pos), self, post); err != nil {
 						return err
 					}
 				}
@@ -905,14 +961,17 @@ func (ex *Engine) runJoinStep(pq *plannedQuery, si int, st *planner.Step, cur ba
 		})
 
 	default: // JoinLoop — prefilter the inner side once, then cross.
-		tuples := tbl.Tuples()
-		inner := make([]int32, 0, len(tuples))
+		n := tbl.Len()
+		inner := make([]int32, 0, n)
 		if len(self) > 0 {
 			ec := pq.newCtx()
-			n := len(st.Input.Rel.Attributes)
+			width := len(st.Input.Rel.Attributes)
 			row := ec.scratchRow()
-			for ti, tup := range tuples {
-				copy(row[st.Offset:st.Offset+n], tup)
+			for ti := 0; ti < n; ti++ {
+				if !pq.vecPass(si, ti) {
+					continue
+				}
+				tbl.CopyRow(row[st.Offset:st.Offset+width], ti)
 				keep := true
 				for _, ev := range self {
 					v, err := ev(ec, row)
@@ -929,15 +988,17 @@ func (ex *Engine) runJoinStep(pq *plannedQuery, si int, st *planner.Step, cur ba
 				}
 			}
 		} else {
-			for ti := range tuples {
-				inner = append(inner, int32(ti))
+			for ti := 0; ti < n; ti++ {
+				if pq.vecPass(si, ti) {
+					inner = append(inner, int32(ti))
+				}
 			}
 		}
 		return ex.gatherBatches(pq, len(cur.rows), func(ec *evalCtx, lo, hi int, out *batch) error {
 			for i := lo; i < hi; i++ {
 				base := cur.rows[i]
 				for _, ti := range inner {
-					if err := ec.emit(out, base, baseProv(i), tuples[ti], st, si, ti, post); err != nil {
+					if err := ec.emit(out, base, baseProv(i), st, si, ti, post); err != nil {
 						return err
 					}
 				}
@@ -1039,6 +1100,13 @@ func (pq *plannedQuery) materializeEnvs(rows [][]value.Value) []*env {
 // the materialized-environment path inside execPlannedGrouped.
 func (ex *Engine) execPlanned(sel *sqlparser.SelectStmt, entries []fromEntry, plan *planner.Plan, outer *env, earlyLimit int, grouped bool) (*Result, error) {
 	pq := ex.compilePlan(plan, outer)
+	if !grouped {
+		// Fully vectorized single-table scans project straight from the
+		// column vectors, skipping row materialization entirely.
+		if res, ok, err := ex.tryVecScan(sel, entries, pq, earlyLimit); ok {
+			return res, err
+		}
+	}
 	rows, err := ex.runPlan(pq)
 	if err != nil {
 		return nil, err

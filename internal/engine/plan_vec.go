@@ -1,0 +1,566 @@
+package engine
+
+import (
+	"repro/internal/planner"
+	"repro/internal/sqlparser"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// This file lowers plan predicates onto the columnar store: a self-filter
+// conjunct of the shape <column> <op> <literal> (plus IS NULL, BETWEEN, IN,
+// and LIKE) compiles to a vecPred that tests a row position against the
+// column vector directly — integer and date comparisons run on []int64,
+// float on []float64, and text equality compares dictionary codes without
+// touching a single string (ordering and LIKE precompute one verdict per
+// dictionary entry). Vectorized predicates never error and never materialize
+// a row, so rejected rows cost a few loads. Only the longest specializable
+// prefix of a step's self-filters vectorizes: the remaining filters keep
+// their original evaluation order, preserving error parity with the naive
+// pipeline's short-circuit conjunct order.
+//
+// On top of the predicates sits a whole-query fast path: a single-table full
+// scan whose filters are all vectorized and whose select list reads columns
+// directly skips the arena pipeline entirely — one counting pass over the
+// vectors, then an exactly-sized projection straight from the columns.
+
+// vecPred reports whether table row ti passes one vectorized predicate.
+type vecPred func(ti int) bool
+
+// vecPass applies step si's vectorized filter prefix to row ti.
+func (pq *plannedQuery) vecPass(si int, ti int) bool {
+	for _, p := range pq.stepVec[si] {
+		if !p(ti) {
+			return false
+		}
+	}
+	return true
+}
+
+// stepCol resolves an expression to a column of st's own table; ok is false
+// for anything but a plain, unambiguous reference into this step.
+func (pq *plannedQuery) stepCol(st *planner.Step, e sqlparser.Expr) (storage.Col, bool) {
+	ref, ok := e.(*sqlparser.ColumnRef)
+	if !ok || ref.Column == "*" {
+		return storage.Col{}, false
+	}
+	slot, ok := pq.slotOf(ref)
+	if !ok {
+		return storage.Col{}, false
+	}
+	pos := slot - st.Offset
+	if pos < 0 || pos >= len(st.Input.Rel.Attributes) {
+		return storage.Col{}, false
+	}
+	return st.Input.Tbl.Col(pos), true
+}
+
+func litOf(e sqlparser.Expr) (value.Value, bool) {
+	l, ok := e.(*sqlparser.Literal)
+	if !ok {
+		return value.Value{}, false
+	}
+	return l.Value, true
+}
+
+// cmpTest maps a comparison operator onto a test over the three-way compare
+// result; ok is false for non-comparison operators.
+func cmpTest(op sqlparser.BinaryOp) (test func(int) bool, equality, ok bool) {
+	switch op {
+	case sqlparser.OpEq:
+		return func(c int) bool { return c == 0 }, true, true
+	case sqlparser.OpNe:
+		return func(c int) bool { return c != 0 }, true, true
+	case sqlparser.OpLt:
+		return func(c int) bool { return c < 0 }, false, true
+	case sqlparser.OpLe:
+		return func(c int) bool { return c <= 0 }, false, true
+	case sqlparser.OpGt:
+		return func(c int) bool { return c > 0 }, false, true
+	case sqlparser.OpGe:
+		return func(c int) bool { return c >= 0 }, false, true
+	default:
+		return nil, false, false
+	}
+}
+
+func vecFalse(int) bool { return false }
+
+// notNull wraps a payload test with the column's null check (NULL compares
+// as unknown, so it always rejects). Columns with no NULLs skip the check.
+func notNull(col storage.Col, inner vecPred) vecPred {
+	if !col.HasNulls() {
+		return inner
+	}
+	return func(ti int) bool { return !col.Null(ti) && inner(ti) }
+}
+
+// compileVecFilter lowers one self-filter conjunct of step st to a vecPred.
+// ok=false means the conjunct is outside the vectorizable dialect (or could
+// raise an error the generic path must surface) and compiles normally.
+func (pq *plannedQuery) compileVecFilter(st *planner.Step, e sqlparser.Expr) (vecPred, bool) {
+	switch x := e.(type) {
+	case *sqlparser.BinaryExpr:
+		col, lit, op, ok := pq.splitVecCompare(st, x)
+		if !ok {
+			return nil, false
+		}
+		if op == sqlparser.OpLike {
+			return vecLike(col, lit)
+		}
+		return vecCompare(col, op, lit)
+
+	case *sqlparser.IsNullExpr:
+		col, ok := pq.stepCol(st, x.Inner)
+		if !ok {
+			return nil, false
+		}
+		want := !x.Negate
+		return func(ti int) bool { return col.Null(ti) == want }, true
+
+	case *sqlparser.BetweenExpr:
+		return pq.vecBetween(st, x)
+
+	case *sqlparser.InExpr:
+		return pq.vecIn(st, x)
+
+	default:
+		return nil, false
+	}
+}
+
+// splitVecCompare matches col-op-lit (either orientation, flipping the
+// operator for lit-op-col) for comparison and LIKE operators.
+func (pq *plannedQuery) splitVecCompare(st *planner.Step, x *sqlparser.BinaryExpr) (storage.Col, value.Value, sqlparser.BinaryOp, bool) {
+	op := x.Op
+	if _, _, ok := cmpTest(op); !ok && op != sqlparser.OpLike {
+		return storage.Col{}, value.Value{}, 0, false
+	}
+	if col, ok := pq.stepCol(st, x.Left); ok {
+		if lit, ok := litOf(x.Right); ok {
+			return col, lit, op, true
+		}
+		return storage.Col{}, value.Value{}, 0, false
+	}
+	if op == sqlparser.OpLike {
+		return storage.Col{}, value.Value{}, 0, false // pattern LIKE col: keep generic
+	}
+	if lit, ok := litOf(x.Left); ok {
+		if col, ok := pq.stepCol(st, x.Right); ok {
+			switch op { // flip to col-op-lit orientation
+			case sqlparser.OpLt:
+				op = sqlparser.OpGt
+			case sqlparser.OpLe:
+				op = sqlparser.OpGe
+			case sqlparser.OpGt:
+				op = sqlparser.OpLt
+			case sqlparser.OpGe:
+				op = sqlparser.OpLe
+			}
+			return col, lit, op, true
+		}
+	}
+	return storage.Col{}, value.Value{}, 0, false
+}
+
+// comparableKinds reports whether a column of kind ck orders against a
+// literal of kind lk without error (mirrors value.Compare).
+func comparableKinds(ck, lk value.Kind) bool {
+	if (ck == value.Int || ck == value.Float) && (lk == value.Int || lk == value.Float) {
+		return true
+	}
+	return ck == lk && ck != value.Null
+}
+
+// vecCompare builds the column-vs-literal comparison predicate. Semantics
+// mirror compareOp exactly: NULL rejects, mismatched non-numeric kinds are
+// false (not an error) for = and <>, and an ordering across them stays on
+// the generic path so its error surfaces.
+func vecCompare(col storage.Col, op sqlparser.BinaryOp, lit value.Value) (vecPred, bool) {
+	test, equality, _ := cmpTest(op)
+	if lit.IsNull() {
+		return vecFalse, true // comparison with NULL is never true
+	}
+	if !comparableKinds(col.Kind(), lit.Kind()) {
+		if !equality {
+			return nil, false // ordering across kinds errors; keep generic
+		}
+		// = is false and <> is true across mismatched non-numeric kinds.
+		if op == sqlparser.OpEq {
+			return vecFalse, true
+		}
+		return notNull(col, func(int) bool { return true }), true
+	}
+	switch col.Kind() {
+	case value.Int:
+		xs := col.Ints()
+		lf := lit.Float()
+		return notNull(col, func(ti int) bool { return test(cmpFloat(float64(xs[ti]), lf)) }), true
+	case value.Float:
+		xs := col.Floats()
+		lf := lit.Float()
+		return notNull(col, func(ti int) bool { return test(cmpFloat(xs[ti], lf)) }), true
+	case value.Date:
+		xs := col.Ints()
+		ld := lit.DateDays()
+		return notNull(col, func(ti int) bool { return test(cmpInt(xs[ti], ld)) }), true
+	case value.Bool:
+		xs := col.Bools()
+		lb := lit.Bool()
+		return notNull(col, func(ti int) bool { return test(cmpBool(xs[ti], lb)) }), true
+	case value.Text:
+		codes := col.Codes()
+		switch op {
+		case sqlparser.OpEq:
+			code, present := col.DictCode(lit.Text())
+			if !present {
+				return vecFalse, true // the string never occurs in the column
+			}
+			return notNull(col, func(ti int) bool { return codes[ti] == code }), true
+		case sqlparser.OpNe:
+			code, present := col.DictCode(lit.Text())
+			if !present {
+				return notNull(col, func(int) bool { return true }), true
+			}
+			return notNull(col, func(ti int) bool { return codes[ti] != code }), true
+		default:
+			// Ordering: one verdict per dictionary entry, then a code lookup
+			// per row.
+			ls := lit.Text()
+			verdict := make([]bool, col.DictLen())
+			for c := range verdict {
+				s := col.DictString(uint32(c))
+				verdict[c] = test(cmpString(s, ls))
+			}
+			return notNull(col, func(ti int) bool { return verdict[codes[ti]] }), true
+		}
+	default:
+		return nil, false
+	}
+}
+
+// vecLike precomputes the LIKE verdict per dictionary entry. Non-text
+// operands error in the generic path, so they stay there.
+func vecLike(col storage.Col, lit value.Value) (vecPred, bool) {
+	if col.Kind() != value.Text || lit.Kind() != value.Text {
+		return nil, false // NULL patterns and non-text operands stay generic
+	}
+	pat := lit.Text()
+	verdict := make([]bool, col.DictLen())
+	for c := range verdict {
+		verdict[c] = likeMatch(col.DictString(uint32(c)), pat)
+	}
+	codes := col.Codes()
+	return notNull(col, func(ti int) bool { return verdict[codes[ti]] }), true
+}
+
+// vecBetween lowers subject BETWEEN lo AND hi with literal bounds.
+func (pq *plannedQuery) vecBetween(st *planner.Step, x *sqlparser.BetweenExpr) (vecPred, bool) {
+	col, ok := pq.stepCol(st, x.Subject)
+	if !ok {
+		return nil, false
+	}
+	lo, ok := litOf(x.Lo)
+	if !ok {
+		return nil, false
+	}
+	hi, ok := litOf(x.Hi)
+	if !ok {
+		return nil, false
+	}
+	if lo.IsNull() || hi.IsNull() {
+		return vecFalse, true // NULL bound: the test is unknown for every row
+	}
+	// Both bound comparisons must be error-free for every non-NULL subject.
+	if !comparableKinds(col.Kind(), lo.Kind()) || !comparableKinds(col.Kind(), hi.Kind()) {
+		return nil, false
+	}
+	ge, ok := vecCompare(col, sqlparser.OpGe, lo)
+	if !ok {
+		return nil, false
+	}
+	le, ok := vecCompare(col, sqlparser.OpLe, hi)
+	if !ok {
+		return nil, false
+	}
+	if x.Negate {
+		return notNull(col, func(ti int) bool { return !(ge(ti) && le(ti)) }), true
+	}
+	return func(ti int) bool { return ge(ti) && le(ti) }, true
+}
+
+// vecIn lowers subject IN (literal, ...) via Equal semantics: membership by
+// payload, NULL list entries make non-matches unknown (rejected).
+func (pq *plannedQuery) vecIn(st *planner.Step, x *sqlparser.InExpr) (vecPred, bool) {
+	if x.Subquery != nil {
+		return nil, false
+	}
+	col, ok := pq.stepCol(st, x.Subject)
+	if !ok {
+		return nil, false
+	}
+	lits := make([]value.Value, 0, len(x.List))
+	sawNull := false
+	for _, it := range x.List {
+		lit, ok := litOf(it)
+		if !ok {
+			return nil, false
+		}
+		if lit.IsNull() {
+			sawNull = true
+			continue
+		}
+		lits = append(lits, lit)
+	}
+	if len(x.List) == 0 {
+		// IN () is false, NOT IN () is true — even for NULL subjects,
+		// matching the compiled InExpr's empty-list special case.
+		if x.Negate {
+			return func(int) bool { return true }, true
+		}
+		return vecFalse, true
+	}
+	member, ok := vecMembership(col, lits)
+	if !ok {
+		return nil, false
+	}
+	negate := x.Negate
+	return notNull(col, func(ti int) bool {
+		if member(ti) {
+			return !negate
+		}
+		if sawNull {
+			return false // unknown either way
+		}
+		return negate
+	}), true
+}
+
+// vecMembership builds a payload-set membership test for the column kind.
+// List entries of foreign kinds can never match (value.Equal semantics) and
+// are simply ignored.
+func vecMembership(col storage.Col, lits []value.Value) (vecPred, bool) {
+	switch col.Kind() {
+	case value.Int, value.Float:
+		set := make(map[float64]bool, len(lits))
+		for _, l := range lits {
+			if l.IsNumeric() {
+				set[l.Float()] = true
+			}
+		}
+		if col.Kind() == value.Int {
+			xs := col.Ints()
+			return func(ti int) bool { return set[float64(xs[ti])] }, true
+		}
+		xs := col.Floats()
+		return func(ti int) bool { return set[xs[ti]] }, true
+	case value.Text:
+		set := make(map[uint32]bool, len(lits))
+		for _, l := range lits {
+			if l.Kind() == value.Text {
+				if code, present := col.DictCode(l.Text()); present {
+					set[code] = true
+				}
+			}
+		}
+		codes := col.Codes()
+		return func(ti int) bool { return set[codes[ti]] }, true
+	case value.Date:
+		set := make(map[int64]bool, len(lits))
+		for _, l := range lits {
+			if l.Kind() == value.Date {
+				set[l.DateDays()] = true
+			}
+		}
+		xs := col.Ints()
+		return func(ti int) bool { return set[xs[ti]] }, true
+	case value.Bool:
+		var hasT, hasF bool
+		for _, l := range lits {
+			if l.Kind() == value.Bool {
+				if l.Bool() {
+					hasT = true
+				} else {
+					hasF = true
+				}
+			}
+		}
+		xs := col.Bools()
+		return func(ti int) bool {
+			if xs[ti] {
+				return hasT
+			}
+			return hasF
+		}, true
+	default:
+		return nil, false
+	}
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpBool(a, b bool) int {
+	switch {
+	case a == b:
+		return 0
+	case !a:
+		return -1
+	default:
+		return 1
+	}
+}
+
+func cmpString(a, b string) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Single-table scan→project fast path
+// ---------------------------------------------------------------------------
+
+// colReader projects one select item straight from the table: a column
+// position (lit unset) or a constant literal (pos < 0).
+type colReader struct {
+	pos int
+	lit value.Value
+}
+
+// tryVecScan executes a fully vectorized single-table scan without the arena
+// pipeline: every filter ran as a vecPred, every select item is a direct
+// column read or constant, and every ORDER BY key resolves to an output
+// column. Pass one counts matches over the vectors alone; pass two fills an
+// exactly-sized projection straight from the columns. ok=false falls back to
+// the general pipeline. Select items expand only after the structural checks
+// pass: with every filter vectorized the pipeline cannot error, so resolving
+// the select list first cannot mask a join-phase error the naive pipeline
+// would have raised.
+func (ex *Engine) tryVecScan(sel *sqlparser.SelectStmt, entries []fromEntry, pq *plannedQuery, earlyLimit int) (*Result, bool, error) {
+	if len(pq.plan.Steps) != 1 {
+		return nil, false, nil
+	}
+	st := pq.plan.Steps[0]
+	if st.Access != planner.ScanFull || len(pq.postEvals) > 0 ||
+		len(pq.stepSelf[0]) > 0 || len(pq.stepPost[0]) > 0 {
+		return nil, false, nil
+	}
+	items, cols, err := expandItems(sel, entries)
+	if err != nil {
+		return nil, true, err
+	}
+	tbl := st.Input.Tbl
+	width := len(st.Input.Rel.Attributes)
+	readers := make([]colReader, len(items))
+	for i, it := range items {
+		switch x := it.Expr.(type) {
+		case *sqlparser.ColumnRef:
+			slot, ok := pq.slotOf(x)
+			if !ok || slot < 0 || slot >= width {
+				return nil, false, nil
+			}
+			readers[i] = colReader{pos: slot}
+		case *sqlparser.Literal:
+			readers[i] = colReader{pos: -1, lit: x.Value}
+		default:
+			return nil, false, nil
+		}
+	}
+	// ORDER BY keys resolve through the same flatOrderKeys logic as the
+	// general pipeline (one copy of the ordinal/select-list semantics);
+	// a key that compiled to an expression needs the source row, which
+	// the fast path never materializes — fall back.
+	keys, err := pq.flatOrderKeys(sel, items)
+	if err != nil {
+		return nil, false, nil
+	}
+	for j := range keys {
+		if keys[j].eval != nil {
+			return nil, false, nil
+		}
+	}
+
+	preds := pq.stepVec[0]
+	n := tbl.Len()
+	matched := 0
+scan:
+	for ti := 0; ti < n; ti++ {
+		for _, p := range preds {
+			if !p(ti) {
+				continue scan
+			}
+		}
+		matched++
+	}
+	st.ActualRows = matched
+	pq.plan.ActualRows = matched
+
+	// LIMIT pushdown mirrors execPlannedFlat: column reads and constants
+	// cannot error, so the projection may stop at the bound.
+	bound := -1
+	if len(sel.OrderBy) == 0 && !sel.Distinct {
+		if sel.Limit >= 0 {
+			bound = sel.Limit
+		}
+		if earlyLimit >= 0 && sel.Limit < 0 {
+			bound = earlyLimit
+		}
+	}
+	emitN := matched
+	if bound >= 0 && bound < emitN {
+		emitN = bound
+	}
+
+	out := &Result{Columns: cols, Rows: make([]storage.Tuple, 0, emitN)}
+	w := len(items)
+	flat := make([]value.Value, emitN*w)
+fill:
+	for ti := 0; ti < n && len(out.Rows) < emitN; ti++ {
+		for _, p := range preds {
+			if !p(ti) {
+				continue fill
+			}
+		}
+		row := flat[:w:w]
+		flat = flat[w:]
+		for i, r := range readers {
+			if r.pos < 0 {
+				row[i] = r.lit
+			} else {
+				row[i] = tbl.Col(r.pos).Value(ti)
+			}
+		}
+		out.Rows = append(out.Rows, storage.Tuple(row))
+	}
+
+	keyOf := func(i int, k *plannedSortKey) (value.Value, error) {
+		return out.Rows[i][k.col], nil
+	}
+	res, err := ex.shapeResult(sel, pq, out, keys, keyOf)
+	return res, true, err
+}

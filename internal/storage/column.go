@@ -1,0 +1,375 @@
+package storage
+
+import (
+	"fmt"
+
+	"repro/internal/value"
+)
+
+// This file holds the columnar backbone of a Table: one typed vector per
+// attribute plus a null bitmap. Integers live in []int64, floats in
+// []float64, text as []uint32 codes into a per-column string dictionary,
+// dates as epoch-day []int64, and booleans as []bool. Tuples exist only at
+// the API boundary — they are materialized on demand from the vectors.
+
+// bitmap is a packed bit set marking NULL positions of one column.
+type bitmap struct {
+	words []uint64
+}
+
+func (b *bitmap) get(i int) bool {
+	w := i >> 6
+	if w >= len(b.words) {
+		return false
+	}
+	return b.words[w]&(1<<(uint(i)&63)) != 0
+}
+
+func (b *bitmap) set(i int, v bool) {
+	w := i >> 6
+	if w >= len(b.words) {
+		if !v {
+			return // storing false beyond the words is a no-op; null-free
+			// columns keep an empty bitmap
+		}
+		for w >= len(b.words) {
+			b.words = append(b.words, 0)
+		}
+	}
+	mask := uint64(1) << (uint(i) & 63)
+	if v {
+		b.words[w] |= mask
+	} else {
+		b.words[w] &^= mask
+	}
+}
+
+// truncate clears every bit at position n or beyond.
+func (b *bitmap) truncate(n int) {
+	full := (n + 63) >> 6
+	if full < len(b.words) {
+		b.words = b.words[:full]
+	}
+	if n&63 != 0 && len(b.words) == full && full > 0 {
+		b.words[full-1] &= (1 << (uint(n) & 63)) - 1
+	}
+}
+
+// dict is a per-column string dictionary: codes are assigned in first-seen
+// order and never reused, so codes held by live rows stay valid across
+// deletes (the dictionary only grows).
+type dict struct {
+	strs []string
+	code map[string]uint32
+}
+
+func newDict() *dict {
+	return &dict{code: make(map[string]uint32)}
+}
+
+// intern returns the code for s, assigning the next one on first sight.
+func (d *dict) intern(s string) uint32 {
+	if c, ok := d.code[s]; ok {
+		return c
+	}
+	c := uint32(len(d.strs))
+	d.strs = append(d.strs, s)
+	d.code[s] = c
+	return c
+}
+
+// column is one attribute's storage: a typed vector (selected by kind) and
+// the null bitmap. NULL positions carry a zero placeholder in the vector.
+type column struct {
+	kind  value.Kind
+	nulls bitmap
+	ints  []int64 // Int payloads, or Date epoch days
+	flts  []float64
+	bls   []bool
+	codes []uint32 // Text dictionary codes
+	dict  *dict
+}
+
+func newColumn(kind value.Kind) column {
+	c := column{kind: kind}
+	if kind == value.Text {
+		c.dict = newDict()
+	}
+	return c
+}
+
+// appendVal appends v at position row (== the current column length). The
+// caller has already coerced v to the column kind or NULL; anything else is
+// a storage-invariant violation.
+func (c *column) appendVal(v value.Value, row int) {
+	null := v.IsNull()
+	if null {
+		c.nulls.set(row, true)
+	} else if v.Kind() != c.kind {
+		panic(fmt.Sprintf("storage: %s value appended to %s column", v.Kind(), c.kind))
+	}
+	switch c.kind {
+	case value.Int:
+		var x int64
+		if !null {
+			x = v.Int()
+		}
+		c.ints = append(c.ints, x)
+	case value.Float:
+		var x float64
+		if !null {
+			x = v.Float()
+		}
+		c.flts = append(c.flts, x)
+	case value.Text:
+		var x uint32
+		if !null {
+			x = c.dict.intern(v.Text())
+		}
+		c.codes = append(c.codes, x)
+	case value.Date:
+		var x int64
+		if !null {
+			x = v.DateDays()
+		}
+		c.ints = append(c.ints, x)
+	case value.Bool:
+		c.bls = append(c.bls, !null && v.Bool())
+	default:
+		panic(fmt.Sprintf("storage: column of kind %s", c.kind))
+	}
+}
+
+// value materializes position i. Text shares the dictionary string; no
+// allocation happens for any kind.
+func (c *column) value(i int) value.Value {
+	if c.nulls.get(i) {
+		return value.NewNull()
+	}
+	switch c.kind {
+	case value.Int:
+		return value.NewInt(c.ints[i])
+	case value.Float:
+		return value.NewFloat(c.flts[i])
+	case value.Text:
+		return value.NewText(c.dict.strs[c.codes[i]])
+	case value.Date:
+		return value.NewDateDays(c.ints[i])
+	case value.Bool:
+		return value.NewBool(c.bls[i])
+	default:
+		return value.NewNull()
+	}
+}
+
+// setVal overwrites position i (Update path; v is coerced or NULL).
+func (c *column) setVal(i int, v value.Value) {
+	null := v.IsNull()
+	c.nulls.set(i, null)
+	if !null && v.Kind() != c.kind {
+		panic(fmt.Sprintf("storage: %s value stored into %s column", v.Kind(), c.kind))
+	}
+	switch c.kind {
+	case value.Int:
+		if null {
+			c.ints[i] = 0
+		} else {
+			c.ints[i] = v.Int()
+		}
+	case value.Float:
+		if null {
+			c.flts[i] = 0
+		} else {
+			c.flts[i] = v.Float()
+		}
+	case value.Text:
+		if null {
+			c.codes[i] = 0
+		} else {
+			c.codes[i] = c.dict.intern(v.Text())
+		}
+	case value.Date:
+		if null {
+			c.ints[i] = 0
+		} else {
+			c.ints[i] = v.DateDays()
+		}
+	case value.Bool:
+		c.bls[i] = !null && v.Bool()
+	}
+}
+
+// moveRow copies position src onto dst (Delete compaction; dst <= src).
+func (c *column) moveRow(dst, src int) {
+	c.nulls.set(dst, c.nulls.get(src))
+	switch c.kind {
+	case value.Int, value.Date:
+		c.ints[dst] = c.ints[src]
+	case value.Float:
+		c.flts[dst] = c.flts[src]
+	case value.Text:
+		c.codes[dst] = c.codes[src]
+	case value.Bool:
+		c.bls[dst] = c.bls[src]
+	}
+}
+
+// truncate drops every position at n or beyond.
+func (c *column) truncate(n int) {
+	c.nulls.truncate(n)
+	switch c.kind {
+	case value.Int, value.Date:
+		c.ints = c.ints[:n]
+	case value.Float:
+		c.flts = c.flts[:n]
+	case value.Text:
+		c.codes = c.codes[:n]
+	case value.Bool:
+		c.bls = c.bls[:n]
+	}
+}
+
+// minMax recomputes the column's bounds over rows [0, n) after a delete or
+// update invalidated them. The column kind is uniform, so the scan is a
+// typed loop with no comparison errors.
+func (c *column) minMax(n int) (min, max value.Value) {
+	min, max = value.NewNull(), value.NewNull()
+	switch c.kind {
+	case value.Int, value.Date:
+		first := true
+		var lo, hi int64
+		for i := 0; i < n; i++ {
+			if c.nulls.get(i) {
+				continue
+			}
+			x := c.ints[i]
+			if first {
+				lo, hi, first = x, x, false
+			} else if x < lo {
+				lo = x
+			} else if x > hi {
+				hi = x
+			}
+		}
+		if !first {
+			if c.kind == value.Int {
+				return value.NewInt(lo), value.NewInt(hi)
+			}
+			return value.NewDateDays(lo), value.NewDateDays(hi)
+		}
+	case value.Float:
+		first := true
+		var lo, hi float64
+		for i := 0; i < n; i++ {
+			if c.nulls.get(i) {
+				continue
+			}
+			x := c.flts[i]
+			if first {
+				lo, hi, first = x, x, false
+			} else if x < lo {
+				lo = x
+			} else if x > hi {
+				hi = x
+			}
+		}
+		if !first {
+			return value.NewFloat(lo), value.NewFloat(hi)
+		}
+	case value.Text:
+		first := true
+		var lo, hi string
+		for i := 0; i < n; i++ {
+			if c.nulls.get(i) {
+				continue
+			}
+			s := c.dict.strs[c.codes[i]]
+			if first {
+				lo, hi, first = s, s, false
+			} else if s < lo {
+				lo = s
+			} else if s > hi {
+				hi = s
+			}
+		}
+		if !first {
+			return value.NewText(lo), value.NewText(hi)
+		}
+	case value.Bool:
+		sawF, sawT := false, false
+		for i := 0; i < n; i++ {
+			if c.nulls.get(i) {
+				continue
+			}
+			if c.bls[i] {
+				sawT = true
+			} else {
+				sawF = true
+			}
+		}
+		switch {
+		case sawF && sawT:
+			return value.NewBool(false), value.NewBool(true)
+		case sawF:
+			return value.NewBool(false), value.NewBool(false)
+		case sawT:
+			return value.NewBool(true), value.NewBool(true)
+		}
+	}
+	return min, max
+}
+
+// Col is a read-only handle on one column vector, the engine's zero-copy
+// window into the table. The slices it exposes are the live storage — safe
+// for concurrent readers under the storage contract (writers are exclusive),
+// and never to be mutated.
+type Col struct {
+	c *column
+}
+
+// Kind returns the column's value kind (Date columns report value.Date but
+// expose epoch days through Ints).
+func (c Col) Kind() value.Kind { return c.c.kind }
+
+// Null reports whether position i is NULL.
+func (c Col) Null(i int) bool { return c.c.nulls.get(i) }
+
+// HasNulls reports whether any position is NULL (cheap word scan), letting
+// vectorized filters skip the per-row null check entirely.
+func (c Col) HasNulls() bool {
+	for _, w := range c.c.nulls.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Ints exposes the Int payloads — or, for Date columns, the epoch days.
+func (c Col) Ints() []int64 { return c.c.ints }
+
+// Floats exposes the Float payloads.
+func (c Col) Floats() []float64 { return c.c.flts }
+
+// Bools exposes the Bool payloads.
+func (c Col) Bools() []bool { return c.c.bls }
+
+// Codes exposes the Text dictionary codes.
+func (c Col) Codes() []uint32 { return c.c.codes }
+
+// DictLen returns the dictionary size (distinct strings ever stored).
+func (c Col) DictLen() int { return len(c.c.dict.strs) }
+
+// DictString resolves a dictionary code to its string (shared, not copied).
+func (c Col) DictString(code uint32) string { return c.c.dict.strs[code] }
+
+// DictCode looks up the code for s; ok is false when s never occurred in the
+// column — which proves no row equals s without touching a single string.
+func (c Col) DictCode(s string) (uint32, bool) {
+	code, ok := c.c.dict.code[s]
+	return code, ok
+}
+
+// Value materializes position i (allocation-free; Text shares the
+// dictionary string).
+func (c Col) Value(i int) value.Value { return c.c.value(i) }

@@ -7,12 +7,11 @@ import (
 
 // AttrStats summarizes one attribute for cardinality estimation.
 type AttrStats struct {
-	// NonNull counts tuples with a non-NULL value.
+	// NonNull counts rows with a non-NULL value.
 	NonNull int
 	// Distinct counts distinct non-NULL values.
 	Distinct int
-	// Min and Max bound the non-NULL values (NULL when the column is empty
-	// or holds incomparable mixed kinds).
+	// Min and Max bound the non-NULL values (NULL when the column is empty).
 	Min, Max value.Value
 }
 
@@ -25,28 +24,31 @@ type TableStats struct {
 	Attrs []AttrStats
 }
 
-// tableStats is the live, incrementally maintained form. Insert updates it
-// in place (the storage contract makes writers exclusive); Delete and Update
-// rebuild it together with the indexes.
+// tableStats is the live, incrementally maintained form. Insert adds, Delete
+// removes, Update does both (the storage contract makes writers exclusive).
+// Distinct counts are exact: each attribute keeps a count-map from encoded
+// value to multiplicity, so removals can retire a value when its count hits
+// zero. Bounds are O(1) to extend on insert; a removal that touches the
+// current min/max just marks the attribute dirty, and Table.fixStatBounds
+// rescans only those columns after the write completes.
 type tableStats struct {
 	attrs []attrStat
 }
 
 type attrStat struct {
-	// counts holds the set of encoded values seen (value.AppendKey), making
-	// distinct counts O(1) to read; Delete/Update rebuild it together with
-	// the indexes.
-	counts   map[string]struct{}
+	// counts maps encoded values (value.AppendKey) to their multiplicity;
+	// its size is the distinct count, read O(1).
+	counts   map[string]int
 	nonNull  int
 	min, max value.Value
-	ordered  bool // false once a comparison failed (mixed kinds): min/max unreliable
+	// boundsDirty marks min/max as unreliable after a removal hit them.
+	boundsDirty bool
 }
 
 func (s *tableStats) init(rel *catalog.Relation) {
 	s.attrs = make([]attrStat, len(rel.Attributes))
 	for i := range s.attrs {
-		s.attrs[i].counts = make(map[string]struct{})
-		s.attrs[i].ordered = true
+		s.attrs[i].counts = make(map[string]int)
 	}
 }
 
@@ -61,50 +63,76 @@ func (s *tableStats) add(tup Tuple, keyBuf *[]byte) {
 		}
 		a.nonNull++
 		*keyBuf = v.AppendKey((*keyBuf)[:0])
-		if _, ok := a.counts[string(*keyBuf)]; !ok {
-			a.counts[string(*keyBuf)] = struct{}{}
-		}
+		a.counts[string(*keyBuf)]++
 		a.observeBounds(v)
 	}
 }
 
+// remove subtracts one deleted (or pre-update) tuple from the statistics.
+// Deleting a value equal to the current min or max invalidates that bound;
+// the owning Table rescans dirty columns once the write finishes.
+func (s *tableStats) remove(tup Tuple, keyBuf *[]byte) {
+	for i := range s.attrs {
+		a := &s.attrs[i]
+		v := tup[i]
+		if v.IsNull() {
+			continue
+		}
+		a.nonNull--
+		*keyBuf = v.AppendKey((*keyBuf)[:0])
+		if n, ok := a.counts[string(*keyBuf)]; ok {
+			if n <= 1 {
+				delete(a.counts, string(*keyBuf))
+			} else {
+				a.counts[string(*keyBuf)] = n - 1
+			}
+		}
+		if !a.boundsDirty && (v.Equal(a.min) || v.Equal(a.max)) {
+			a.boundsDirty = true
+		}
+	}
+}
+
 func (a *attrStat) observeBounds(v value.Value) {
-	if !a.ordered {
-		return
+	if a.boundsDirty {
+		return // a pending rescan will see this value too
 	}
 	if a.min.IsNull() {
 		a.min, a.max = v, v
 		return
 	}
+	// Columns are typed, so comparisons against same-kind bounds cannot
+	// fail; a failure would mean corrupted bounds — rescan to recover.
 	if c, err := v.Compare(a.min); err != nil {
-		a.ordered = false
-		a.min, a.max = value.NewNull(), value.NewNull()
+		a.boundsDirty = true
 		return
 	} else if c < 0 {
 		a.min = v
 	}
 	if c, err := v.Compare(a.max); err != nil {
-		a.ordered = false
-		a.min, a.max = value.NewNull(), value.NewNull()
+		a.boundsDirty = true
 	} else if c > 0 {
 		a.max = v
 	}
 }
 
-// rebuild recomputes the statistics from scratch (Delete/Update path, which
-// already rebuilds every index).
-func (s *tableStats) rebuild(rel *catalog.Relation, tuples []Tuple) {
-	s.init(rel)
-	var buf []byte
-	for _, tup := range tuples {
-		s.add(tup, &buf)
+// fixStatBounds rescans the column vector of every attribute whose bounds a
+// removal invalidated. Called once per Delete/Update, after the rows moved.
+func (t *Table) fixStatBounds() {
+	for i := range t.stats.attrs {
+		a := &t.stats.attrs[i]
+		if !a.boundsDirty {
+			continue
+		}
+		a.min, a.max = t.cols[i].minMax(t.rows)
+		a.boundsDirty = false
 	}
 }
 
 // Stats returns a snapshot of the table's statistics. Safe for concurrent
 // readers under the storage contract (writers are exclusive).
 func (t *Table) Stats() TableStats {
-	out := TableStats{Rows: len(t.tuples), Attrs: make([]AttrStats, len(t.stats.attrs))}
+	out := TableStats{Rows: t.rows, Attrs: make([]AttrStats, len(t.stats.attrs))}
 	for i := range t.stats.attrs {
 		a := &t.stats.attrs[i]
 		out.Attrs[i] = AttrStats{

@@ -1,11 +1,21 @@
 // Package storage implements the in-memory relational storage substrate the
-// translation pipeline runs against: typed tuples, tables with primary-key /
+// translation pipeline runs against: columnar tables (one typed vector per
+// attribute, dictionary-encoded text, null bitmaps) with primary-key /
 // foreign-key / NOT NULL enforcement, hash indexes, and CSV import/export.
 //
 // The paper assumes a DBMS holds the schema and data whose contents and
 // queries are translated; this package (together with internal/engine) is
 // that DBMS, built from scratch so the whole reproduction is self-contained
 // and deterministic.
+//
+// Storage layout: a Table holds one column per attribute — []int64 for INT,
+// []float64 for FLOAT, []uint32 dictionary codes plus a per-column string
+// dictionary for TEXT, epoch-day []int64 for DATE, []bool for BOOL — each
+// with a packed null bitmap. The Tuple-based API (Tuple, Tuples, Scan,
+// LookupPK, LookupIndex) is a compatibility surface that materializes rows
+// on demand; Tuples() caches the materialization until the next write. The
+// query engine's hot paths bypass tuples entirely through Col handles and
+// CopyRow.
 package storage
 
 import (
@@ -15,6 +25,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/catalog"
 	"repro/internal/value"
@@ -58,21 +69,28 @@ func (t Tuple) String() string {
 	return "(" + strings.Join(parts, ", ") + ")"
 }
 
-// Table stores the tuples of one relation plus its indexes and statistics.
+// Table stores one relation as column vectors plus its indexes and
+// statistics.
 type Table struct {
-	rel    *catalog.Relation
-	tuples []Tuple
-	// pk maps composite primary-key value keys to tuple positions.
+	rel  *catalog.Relation
+	cols []column
+	rows int
+	// pk maps composite primary-key value keys to row positions.
 	pk map[string]int
-	// secondary maps index name -> (value key -> tuple positions).
+	// secondary maps index name -> (value key -> row positions).
 	secondary map[string]*hashIndex
 	pkPos     []int
 	// stats carries per-attribute statistics, maintained incrementally on
-	// Insert and rebuilt on Delete/Update alongside the indexes.
+	// Insert, Delete, and Update (bounds are rescanned only when a removed
+	// value touched them).
 	stats tableStats
 	// keyBuf is writer-side scratch for key encoding; writers are exclusive
 	// per the storage contract, readers never touch it.
 	keyBuf []byte
+	// mat caches the materialized []Tuple view handed out by Tuples() and
+	// Scan; any write clears it. Concurrent readers may race to fill it —
+	// materialization is deterministic, so last-store-wins is harmless.
+	mat atomic.Pointer[[]Tuple]
 }
 
 type hashIndex struct {
@@ -92,23 +110,95 @@ func nullKey(tup Tuple, positions []int) bool {
 	return false
 }
 
+// nullKeyAt is nullKey over stored columns.
+func (t *Table) nullKeyAt(row int, positions []int) bool {
+	for _, p := range positions {
+		if t.cols[p].nulls.get(row) {
+			return true
+		}
+	}
+	return false
+}
+
+// appendKeyAt appends the composite key of the given attribute positions of
+// row i, reading the column vectors directly.
+func (t *Table) appendKeyAt(buf []byte, row int, positions []int) []byte {
+	for _, p := range positions {
+		buf = t.cols[p].value(row).AppendKey(buf)
+	}
+	return buf
+}
+
 // Relation returns the catalog metadata of the table.
 func (t *Table) Relation() *catalog.Relation { return t.rel }
 
-// Len returns the number of tuples.
-func (t *Table) Len() int { return len(t.tuples) }
+// Len returns the number of rows.
+func (t *Table) Len() int { return t.rows }
 
-// Tuple returns the i-th tuple. The tuple is shared; callers must not
-// mutate it.
-func (t *Table) Tuple(i int) Tuple { return t.tuples[i] }
+// Col returns a read-only handle on the pos-th column vector.
+func (t *Table) Col(pos int) Col { return Col{c: &t.cols[pos]} }
 
-// Tuples returns all tuples in insertion order (shared slice).
-func (t *Table) Tuples() []Tuple { return t.tuples }
+// CopyRow materializes row i into dst, which must have one slot per
+// attribute. It performs no allocation (text shares dictionary strings) —
+// the engine's arena pipeline fills row slots with it directly.
+func (t *Table) CopyRow(dst []value.Value, i int) {
+	for j := range t.cols {
+		dst[j] = t.cols[j].value(i)
+	}
+}
 
-// Scan calls fn for each tuple until fn returns false.
+// materializeRow builds a fresh Tuple for row i.
+func (t *Table) materializeRow(i int) Tuple {
+	tup := make(Tuple, len(t.cols))
+	t.CopyRow(tup, i)
+	return tup
+}
+
+// invalidate drops the cached materialized view (every write path calls it).
+func (t *Table) invalidate() { t.mat.Store(nil) }
+
+// Tuple returns the i-th row, materialized. The tuple is shared when the
+// table-wide materialization cache is warm; callers must not mutate it.
+func (t *Table) Tuple(i int) Tuple {
+	if m := t.mat.Load(); m != nil {
+		return (*m)[i]
+	}
+	return t.materializeRow(i)
+}
+
+// Tuples returns all rows in insertion order, materialized from the column
+// vectors and cached until the next write (shared slice; do not mutate).
+func (t *Table) Tuples() []Tuple {
+	if m := t.mat.Load(); m != nil {
+		return *m
+	}
+	out := make([]Tuple, t.rows)
+	flat := make([]value.Value, t.rows*len(t.cols))
+	w := len(t.cols)
+	for i := 0; i < t.rows; i++ {
+		row := flat[i*w : (i+1)*w : (i+1)*w]
+		t.CopyRow(row, i)
+		out[i] = row
+	}
+	t.mat.Store(&out)
+	return out
+}
+
+// Scan calls fn for each row until fn returns false. A warm materialization
+// cache is iterated directly; otherwise rows materialize one at a time, so
+// an early-stopping scan (entity point lookups) never pays for the whole
+// table. Either way each handed-out tuple is safe to retain.
 func (t *Table) Scan(fn func(Tuple) bool) {
-	for _, tup := range t.tuples {
-		if !fn(tup) {
+	if m := t.mat.Load(); m != nil {
+		for _, tup := range *m {
+			if !fn(tup) {
+				return
+			}
+		}
+		return
+	}
+	for i := 0; i < t.rows; i++ {
+		if !fn(t.materializeRow(i)) {
 			return
 		}
 	}
@@ -129,7 +219,7 @@ func (t *Table) LookupPK(key Tuple) (Tuple, bool) {
 	var kb [64]byte
 	buf := key.AppendKey(kb[:0], identityPositions(len(key)))
 	if pos, ok := t.pk[string(buf)]; ok {
-		return t.tuples[pos], true
+		return t.Tuple(pos), true
 	}
 	return nil, false
 }
@@ -158,7 +248,7 @@ func (t *Table) PKPositions() []int {
 	return t.pkPos
 }
 
-// LookupPKPos returns the tuple position for an encoded primary-key probe
+// LookupPKPos returns the row position for an encoded primary-key probe
 // (built with Tuple.AppendKey / value.AppendKey over PKPositions). The caller
 // must not encode NULL key values — a NULL probe never matches.
 func (t *Table) LookupPKPos(key []byte) (int, bool) {
@@ -166,7 +256,7 @@ func (t *Table) LookupPKPos(key []byte) (int, bool) {
 	return pos, ok
 }
 
-// CreateIndex builds a named hash index over the given attributes. Tuples
+// CreateIndex builds a named hash index over the given attributes. Rows
 // with a NULL value in any indexed attribute are not entered: an index
 // equality probe can never match NULL, mirroring WHERE-clause comparison
 // semantics.
@@ -183,12 +273,12 @@ func (t *Table) CreateIndex(name string, attrs ...string) error {
 		positions[i] = p
 	}
 	idx := &hashIndex{positions: positions, buckets: make(map[string][]int)}
-	for pos, tup := range t.tuples {
-		if nullKey(tup, positions) {
+	for pos := 0; pos < t.rows; pos++ {
+		if t.nullKeyAt(pos, positions) {
 			continue
 		}
-		k := tup.Key(positions)
-		idx.buckets[k] = append(idx.buckets[k], pos)
+		t.keyBuf = t.appendKeyAt(t.keyBuf[:0], pos, positions)
+		idx.buckets[string(t.keyBuf)] = append(idx.buckets[string(t.keyBuf)], pos)
 	}
 	if t.secondary == nil {
 		t.secondary = make(map[string]*hashIndex)
@@ -219,7 +309,7 @@ func (t *Table) LookupIndex(name string, key ...value.Value) ([]Tuple, error) {
 	positions := idx.buckets[string(buf)]
 	out := make([]Tuple, len(positions))
 	for i, p := range positions {
-		out[i] = t.tuples[p]
+		out[i] = t.Tuple(p)
 	}
 	return out, nil
 }
@@ -244,7 +334,7 @@ func (t *Table) Index(name string) *Index {
 // slice is shared; callers must not mutate it.
 func (ix *Index) KeyPositions() []int { return ix.idx.positions }
 
-// Probe returns the positions of tuples matching an encoded key (built with
+// Probe returns the positions of rows matching an encoded key (built with
 // value.AppendKey over the key values in KeyPositions order), in insertion
 // order. The slice is shared; callers must not mutate it. Callers must not
 // encode NULL key values — a NULL probe never matches.
@@ -292,7 +382,10 @@ func NewDatabase(schema *catalog.Schema) (*Database, error) {
 	}
 	db := &Database{schema: schema, tables: make(map[string]*Table)}
 	for _, r := range schema.Relations() {
-		tbl := &Table{rel: r}
+		tbl := &Table{rel: r, cols: make([]column, len(r.Attributes))}
+		for i, a := range r.Attributes {
+			tbl.cols[i] = newColumn(value.CatalogKind(a.Type))
+		}
 		tbl.stats.init(r)
 		if len(r.PrimaryKey) > 0 {
 			tbl.pk = make(map[string]int)
@@ -381,13 +474,17 @@ func (db *Database) insertLocked(relName string, tup Tuple) error {
 			continue
 		}
 		k := tup.Key(idx.positions)
-		idx.buckets[k] = append(idx.buckets[k], len(tbl.tuples))
+		idx.buckets[k] = append(idx.buckets[k], tbl.rows)
 	}
-	tbl.tuples = append(tbl.tuples, tup)
+	for i := range tbl.cols {
+		tbl.cols[i].appendVal(tup[i], tbl.rows)
+	}
+	tbl.rows++
 	if tbl.pk != nil {
-		tbl.pk[pkKey] = len(tbl.tuples) - 1
+		tbl.pk[pkKey] = tbl.rows - 1
 	}
 	tbl.stats.add(tup, &tbl.keyBuf)
+	tbl.invalidate()
 	return nil
 }
 
@@ -430,30 +527,30 @@ func (db *Database) checkForeignKey(r *catalog.Relation, fk catalog.ForeignKey, 
 		}
 		return nil
 	}
-	// Slow path: scan.
+	// Slow path: scan the referenced columns.
 	refPos := make([]int, len(fk.RefAttrs))
 	for i, a := range fk.RefAttrs {
 		refPos[i] = ref.rel.AttrIndex(a)
 	}
-	found := false
-	ref.Scan(func(rt Tuple) bool {
+	for row := 0; row < ref.rows; row++ {
+		match := true
 		for i, p := range refPos {
-			if !rt[p].Equal(keyVals[i]) {
-				return true
+			if ref.cols[p].nulls.get(row) || !ref.cols[p].value(row).Equal(keyVals[i]) {
+				match = false
+				break
 			}
 		}
-		found = true
-		return false
-	})
-	if !found {
-		return fmt.Errorf("storage: foreign key violation: %s -> %s value %s not found",
-			r.Name, fk.RefRelation, keyVals.String())
+		if match {
+			return nil
+		}
 	}
-	return nil
+	return fmt.Errorf("storage: foreign key violation: %s -> %s value %s not found",
+		r.Name, fk.RefRelation, keyVals.String())
 }
 
-// Delete removes all tuples of relName matching pred and returns the count.
-// Indexes are rebuilt afterwards.
+// Delete removes all rows of relName matching pred and returns the count.
+// Statistics are decremented incrementally (bounds rescanned only when a
+// removed value touched the current min/max); indexes are rebuilt.
 func (db *Database) Delete(relName string, pred func(Tuple) bool) (int, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -461,22 +558,40 @@ func (db *Database) Delete(relName string, pred func(Tuple) bool) (int, error) {
 	if tbl == nil {
 		return 0, fmt.Errorf("storage: unknown relation %q", relName)
 	}
-	kept := tbl.tuples[:0]
+	w := 0
 	removed := 0
-	for _, tup := range tbl.tuples {
-		if pred(tup) {
+	// One scratch tuple serves every pred call, keeping the scan
+	// allocation-free. This narrows the contract: pred must not retain its
+	// argument across calls (clone it to keep it). The engine's DML
+	// predicates evaluate synchronously and never retain.
+	scratch := make(Tuple, len(tbl.cols))
+	for i := 0; i < tbl.rows; i++ {
+		tbl.CopyRow(scratch, i)
+		if pred(scratch) {
 			removed++
-		} else {
-			kept = append(kept, tup)
+			tbl.stats.remove(scratch, &tbl.keyBuf)
+			continue
 		}
+		if w != i {
+			for j := range tbl.cols {
+				tbl.cols[j].moveRow(w, i)
+			}
+		}
+		w++
 	}
-	tbl.tuples = kept
+	for j := range tbl.cols {
+		tbl.cols[j].truncate(w)
+	}
+	tbl.rows = w
 	tbl.rebuildIndexes()
+	tbl.fixStatBounds()
+	tbl.invalidate()
 	return removed, nil
 }
 
-// Update applies fn to every tuple of relName matching pred; fn must return
-// the replacement tuple. Constraints are re-checked on the replacement.
+// Update applies fn to every row of relName matching pred; fn must return
+// the replacement tuple. Constraints are re-checked on the replacement, and
+// statistics are adjusted incrementally (old values out, new values in).
 func (db *Database) Update(relName string, pred func(Tuple) bool, fn func(Tuple) Tuple) (int, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -486,11 +601,20 @@ func (db *Database) Update(relName string, pred func(Tuple) bool, fn func(Tuple)
 	}
 	r := tbl.rel
 	updated := 0
-	for i, tup := range tbl.tuples {
-		if !pred(tup) {
+	// Indexes, bounds, and the materialized view are refreshed even when a
+	// constraint aborts the loop midway: earlier rows were already updated.
+	defer func() {
+		tbl.rebuildIndexes()
+		tbl.fixStatBounds()
+		tbl.invalidate()
+	}()
+	old := make(Tuple, len(tbl.cols)) // reused pred scratch; see Delete
+	for i := 0; i < tbl.rows; i++ {
+		tbl.CopyRow(old, i)
+		if !pred(old) {
 			continue
 		}
-		repl := fn(tup.Clone())
+		repl := fn(old.Clone())
 		if len(repl) != len(r.Attributes) {
 			return updated, fmt.Errorf("storage: update of %s produced wrong arity", r.Name)
 		}
@@ -509,31 +633,34 @@ func (db *Database) Update(relName string, pred func(Tuple) bool, fn func(Tuple)
 				}
 			}
 		}
-		tbl.tuples[i] = repl
+		for j := range tbl.cols {
+			tbl.cols[j].setVal(i, repl[j])
+		}
+		tbl.stats.remove(old, &tbl.keyBuf)
+		tbl.stats.add(repl, &tbl.keyBuf)
 		updated++
 	}
-	tbl.rebuildIndexes()
 	return updated, nil
 }
 
 func (t *Table) rebuildIndexes() {
 	if t.pk != nil {
-		t.pk = make(map[string]int, len(t.tuples))
-		for pos, tup := range t.tuples {
-			t.pk[tup.Key(t.pkPos)] = pos
+		t.pk = make(map[string]int, t.rows)
+		for pos := 0; pos < t.rows; pos++ {
+			t.keyBuf = t.appendKeyAt(t.keyBuf[:0], pos, t.pkPos)
+			t.pk[string(t.keyBuf)] = pos
 		}
 	}
 	for _, idx := range t.secondary {
-		idx.buckets = make(map[string][]int, len(t.tuples))
-		for pos, tup := range t.tuples {
-			if nullKey(tup, idx.positions) {
+		idx.buckets = make(map[string][]int, t.rows)
+		for pos := 0; pos < t.rows; pos++ {
+			if t.nullKeyAt(pos, idx.positions) {
 				continue
 			}
-			k := tup.Key(idx.positions)
-			idx.buckets[k] = append(idx.buckets[k], pos)
+			t.keyBuf = t.appendKeyAt(t.keyBuf[:0], pos, idx.positions)
+			idx.buckets[string(t.keyBuf)] = append(idx.buckets[string(t.keyBuf)], pos)
 		}
 	}
-	t.stats.rebuild(t.rel, t.tuples)
 }
 
 // LoadCSV bulk-loads a relation from CSV with a header row naming the
@@ -596,13 +723,13 @@ func (db *Database) DumpCSV(relName string, w io.Writer) error {
 	if err := cw.Write(header); err != nil {
 		return err
 	}
-	for _, tup := range tbl.tuples {
-		rec := make([]string, len(tup))
-		for i, v := range tup {
-			if v.IsNull() {
+	rec := make([]string, len(tbl.cols))
+	for row := 0; row < tbl.rows; row++ {
+		for i := range tbl.cols {
+			if tbl.cols[i].nulls.get(row) {
 				rec[i] = ""
 			} else {
-				rec[i] = v.String()
+				rec[i] = tbl.cols[i].value(row).String()
 			}
 		}
 		if err := cw.Write(rec); err != nil {
@@ -620,7 +747,7 @@ func (db *Database) Stats() map[string]int {
 	defer db.mu.RUnlock()
 	out := make(map[string]int, len(db.tables))
 	for _, t := range db.tables {
-		out[t.rel.Name] = len(t.tuples)
+		out[t.rel.Name] = t.rows
 	}
 	return out
 }

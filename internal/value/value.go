@@ -50,14 +50,24 @@ func (k Kind) String() string {
 }
 
 // Value is one typed datum. The zero Value is NULL.
+//
+// The struct is deliberately small (40 bytes): the i field carries the Int
+// payload, Date values as days since the Unix epoch, and Bool as 0/1, so no
+// time.Time or bool field widens every value flowing through the engine's
+// row arenas and the columnar store's materialization path.
 type Value struct {
 	kind Kind
-	i    int64
-	f    float64
-	s    string
-	t    time.Time
-	b    bool
+	// i holds the Int payload; for Date, days since the Unix epoch; for
+	// Bool, 0 or 1.
+	i int64
+	f float64
+	s string
 }
+
+// secondsPerDay converts between the epoch-day payload and the Unix-second
+// timeline all date encodings are defined on (dates are midnight UTC, so the
+// conversion is exact in both directions).
+const secondsPerDay = 86400
 
 // NewNull returns the NULL value.
 func NewNull() Value { return Value{} }
@@ -73,11 +83,21 @@ func NewText(s string) Value { return Value{kind: Text, s: s} }
 
 // NewDate wraps a date (time components are truncated).
 func NewDate(t time.Time) Value {
-	return Value{kind: Date, t: time.Date(t.Year(), t.Month(), t.Day(), 0, 0, 0, 0, time.UTC)}
+	u := time.Date(t.Year(), t.Month(), t.Day(), 0, 0, 0, 0, time.UTC).Unix()
+	return Value{kind: Date, i: u / secondsPerDay} // midnight UTC: exact division
 }
 
+// NewDateDays wraps a date given as days since the Unix epoch — the columnar
+// store's native date representation, avoiding any time.Time round trip.
+func NewDateDays(days int64) Value { return Value{kind: Date, i: days} }
+
 // NewBool wraps a boolean.
-func NewBool(b bool) Value { return Value{kind: Bool, b: b} }
+func NewBool(b bool) Value {
+	if b {
+		return Value{kind: Bool, i: 1}
+	}
+	return Value{kind: Bool}
+}
 
 // Kind returns the variant tag.
 func (v Value) Kind() Kind { return v.kind }
@@ -118,7 +138,16 @@ func (v Value) Date() time.Time {
 	if v.kind != Date {
 		panic(fmt.Sprintf("value: Date() on %s", v.kind))
 	}
-	return v.t
+	return time.Unix(v.i*secondsPerDay, 0).UTC()
+}
+
+// DateDays returns the date payload as days since the Unix epoch; it panics
+// unless Kind is Date.
+func (v Value) DateDays() int64 {
+	if v.kind != Date {
+		panic(fmt.Sprintf("value: DateDays() on %s", v.kind))
+	}
+	return v.i
 }
 
 // Bool returns the boolean payload; it panics unless Kind is Bool.
@@ -126,7 +155,7 @@ func (v Value) Bool() bool {
 	if v.kind != Bool {
 		panic(fmt.Sprintf("value: Bool() on %s", v.kind))
 	}
-	return v.b
+	return v.i != 0
 }
 
 // IsNumeric reports whether the value is Int or Float.
@@ -145,9 +174,9 @@ func (v Value) String() string {
 	case Text:
 		return v.s
 	case Date:
-		return v.t.Format("2006-01-02")
+		return v.Date().Format("2006-01-02")
 	case Bool:
-		if v.b {
+		if v.i != 0 {
 			return "true"
 		}
 		return "false"
@@ -171,9 +200,9 @@ func (v Value) SQL() string {
 	case Text:
 		return "'" + strings.ReplaceAll(v.s, "'", "''") + "'"
 	case Date:
-		return "DATE '" + v.t.Format("2006-01-02") + "'"
+		return "DATE '" + v.Date().Format("2006-01-02") + "'"
 	case Bool:
-		if v.b {
+		if v.i != 0 {
 			return "TRUE"
 		}
 		return "FALSE"
@@ -186,7 +215,7 @@ func (v Value) SQL() string {
 // 1935" form, everything else as String().
 func (v Value) Prose() string {
 	if v.kind == Date {
-		return lexicon.FormatDate(v.t)
+		return lexicon.FormatDate(v.Date())
 	}
 	return v.String()
 }
@@ -211,9 +240,9 @@ func (v Value) Equal(o Value) bool {
 	case Text:
 		return v.s == o.s
 	case Date:
-		return v.t.Equal(o.t)
+		return v.i == o.i
 	case Bool:
-		return v.b == o.b
+		return v.i == o.i
 	}
 	return false
 }
@@ -242,23 +271,14 @@ func (v Value) Compare(o Value) (int, error) {
 	switch v.kind {
 	case Text:
 		return strings.Compare(v.s, o.s), nil
-	case Date:
+	case Date, Bool:
 		switch {
-		case v.t.Before(o.t):
+		case v.i < o.i:
 			return -1, nil
-		case v.t.After(o.t):
+		case v.i > o.i:
 			return 1, nil
 		default:
 			return 0, nil
-		}
-	case Bool:
-		switch {
-		case v.b == o.b:
-			return 0, nil
-		case !v.b:
-			return -1, nil
-		default:
-			return 1, nil
 		}
 	default:
 		return 0, fmt.Errorf("value: cannot compare %s values", v.kind)
@@ -278,9 +298,9 @@ func (v Value) Key() string {
 	case Text:
 		return "t:" + v.s
 	case Date:
-		return "d:" + v.t.Format("2006-01-02")
+		return "d:" + v.Date().Format("2006-01-02")
 	case Bool:
-		if v.b {
+		if v.i != 0 {
 			return "b1"
 		}
 		return "b0"
@@ -310,9 +330,9 @@ func (v Value) AppendKey(buf []byte) []byte {
 		return append(buf, v.s...)
 	case Date:
 		buf = append(buf, 'd')
-		return binary.BigEndian.AppendUint64(buf, uint64(v.t.Unix()))
+		return binary.BigEndian.AppendUint64(buf, uint64(v.i*secondsPerDay))
 	case Bool:
-		if v.b {
+		if v.i != 0 {
 			return append(buf, 'B')
 		}
 		return append(buf, 'b')
@@ -369,7 +389,7 @@ func Coerce(v Value, k Kind) (Value, error) {
 		}
 		return NewDate(t), nil
 	case v.kind == Date && k == Text:
-		return NewText(v.t.Format("2006-01-02")), nil
+		return NewText(v.Date().Format("2006-01-02")), nil
 	case v.kind == Text && k == Int:
 		i, err := strconv.ParseInt(strings.TrimSpace(v.s), 10, 64)
 		if err != nil {

@@ -27,12 +27,33 @@
 //   - System.ExplainPlan (and the `EXPLAIN PLAN <select>` statement through
 //     Ask) executes a query and narrates its cost-based plan in English.
 //
+// # Storage layout
+//
+// internal/storage is columnar: a table holds one typed vector per
+// attribute — []int64 for INT, []float64 for FLOAT, dictionary-encoded TEXT
+// as []uint32 codes into a per-column string dictionary, DATE as epoch-day
+// []int64, []bool for BOOL — each with a packed null bitmap. The row-shaped
+// API (Tuple, Tuples, Scan, LookupPK, LookupIndex, CSV import/export) is a
+// compatibility surface that materializes tuples on demand and caches the
+// materialized view until the next write, so row-oriented consumers (the
+// naive pipeline, the data-to-text translators) are unaffected. The planned
+// pipeline reads the vectors directly: arena rows fill via CopyRow, simple
+// filters vectorize into typed comparisons on the column payloads (text
+// equality compares dictionary codes; LIKE and text ordering precompute one
+// verdict per dictionary entry), and a fully vectorized single-table scan
+// projects its result straight from the columns without materializing any
+// intermediate row. Values themselves are small — value.Value is 40 bytes,
+// storing dates as epoch days and booleans in the integer payload — and the
+// composite-key encoding every hash structure is built on is byte-for-byte
+// stable across the layout change.
+//
 // # The query planner
 //
 // Every SELECT is planned before execution (internal/planner): per-table
-// statistics — row counts, per-attribute distinct counts, min/max,
-// maintained incrementally by the storage layer on every insert and rebuilt
-// on delete/update — drive selectivity estimates, greedy join reordering by
+// statistics — row counts, per-attribute distinct counts, min/max, kept on
+// the column vectors and maintained incrementally by the storage layer on
+// every insert, delete, and update — drive selectivity estimates, greedy
+// join reordering by
 // estimated output cardinality, and per-step access-path choice between a
 // full scan, a primary-key probe, a secondary-index probe, a hash join, a
 // primary-key join, and an index-nested-loop join. Plans execute over flat
