@@ -8,6 +8,7 @@ package talkback_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	talkback "repro"
@@ -473,10 +474,14 @@ func BenchmarkX10PlannerScan(b *testing.B) {
 	b.Run("indexed", run)
 }
 
-// BenchmarkX11GroupedAggregate measures streaming hash aggregation over the
-// 100k corpus: the planned pipeline (group keys and accumulators compiled to
-// slot readers over arena rows) against the forced-naive env+map path. The
-// planned variant must allocate ≥ 10x less per op (tracked in BENCH_3.json).
+// BenchmarkX11GroupedAggregate measures grouped aggregation over the 100k
+// corpus three ways: the planned pipeline (which now takes the fused
+// vectorized-aggregation path: typed accumulators straight off the column
+// vectors, no joined-row materialization), the streaming grouped pipeline
+// (vec disabled: slot readers over arena rows), and the forced-naive env+map
+// path. The planned variant's allocs and bytes are gated in benchgate
+// (tracked in BENCH_5.json; the acceptance floor is ≥ 4x fewer bytes/op than
+// the BENCH_4.json streaming recording).
 func BenchmarkX11GroupedAggregate(b *testing.B) {
 	db, err := dataset.GenerateMovieDB(dataset.GenConfig{
 		Seed: 17, Movies: 100000, Actors: 25000, Directors: 1001,
@@ -494,10 +499,15 @@ from MOVIES m, GENRE g where m.id = g.mid group by g.genre having count(*) > 10`
 	for _, mode := range []struct {
 		name    string
 		planned bool
-	}{{"planned", true}, {"naive", false}} {
+		vec     bool
+	}{{"planned", true, true}, {"streaming", true, false}, {"naive", false, true}} {
 		b.Run(mode.name, func(b *testing.B) {
 			eng.SetPlannerEnabled(mode.planned)
-			defer eng.SetPlannerEnabled(true)
+			eng.SetVecAggEnabled(mode.vec)
+			defer func() {
+				eng.SetPlannerEnabled(true)
+				eng.SetVecAggEnabled(true)
+			}()
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -629,7 +639,10 @@ func BenchmarkX14JoinBuild(b *testing.B) {
 }
 
 // BenchmarkX9ParallelJoin measures the engine's fan-out on a two-table
-// hash join at 10k and 100k probe rows, serial vs. all cores.
+// hash join at 10k and 100k probe rows, serial vs. all cores. On a
+// single-core host the parallel subbenches skip with an explanation instead
+// of recording a meaningless 0% speedup: workersFor caps at GOMAXPROCS, so
+// serial and parallel are the same execution by construction.
 func BenchmarkX9ParallelJoin(b *testing.B) {
 	src := `select m.title from MOVIES m, CAST c
 where m.id = c.mid and c.role = 'Role 7-19'`
@@ -651,6 +664,9 @@ where m.id = c.mid and c.role = 'Role 7-19'`
 			workers int
 		}{{"serial", 1}, {"parallel", 0}} {
 			b.Run(fmt.Sprintf("rows=%d/%s", movies, mode.name), func(b *testing.B) {
+				if mode.workers == 0 && runtime.GOMAXPROCS(0) == 1 {
+					b.Skip("GOMAXPROCS=1: the fan-out caps at one worker, so this measurement would equal the serial subbench; run on a multi-core host to record parallel speedup")
+				}
 				eng.SetParallelism(mode.workers)
 				b.ReportAllocs()
 				b.ResetTimer()
@@ -661,5 +677,50 @@ where m.id = c.mid and c.role = 'Role 7-19'`
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkX15MorselAggregate measures the fused vectorized aggregation over
+// a single-table 100k scan: group keys and accumulators read the column
+// vectors directly (flat array tier over the year domain), with the morsel
+// scheduler either pinned to one worker or free to fan out. Host ns/op
+// varies run to run by ~35%, so the gate (benchgate, BENCH_5.json) is on
+// allocs — which also prove the morsel machinery allocates per worker, not
+// per row. The parallel subbench runs even on a single core (one worker
+// claims every morsel); the differential suite separately proves any worker
+// count is byte-identical.
+func BenchmarkX15MorselAggregate(b *testing.B) {
+	db, err := dataset.GenerateMovieDB(dataset.GenConfig{
+		Seed: 29, Movies: 100000, Actors: 25000, Directors: 1001,
+		CastPerMovie: 1, GenresPerMovie: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := engine.New(db)
+	sel, err := sqlparser.ParseSelect(`select m.year, count(*), min(m.title), avg(m.year)
+from MOVIES m where m.year >= 1955 group by m.year`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			eng.SetParallelism(mode.workers)
+			defer eng.SetParallelism(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := eng.Select(sel)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Rows) == 0 {
+					b.Fatal("no groups")
+				}
+			}
+		})
 	}
 }

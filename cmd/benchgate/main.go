@@ -1,11 +1,15 @@
 // Command benchgate turns the CI bench smoke into an allocation-regression
 // gate: it parses `go test -bench -benchmem` output and fails when any gated
-// benchmark's allocs/op exceeds its recorded ceiling. Ceilings live in a
-// JSON file checked into the repository (cmd/benchgate/ceilings.json) with
-// generous headroom over the measured numbers — the gate exists to catch
-// order-of-magnitude regressions (a hash build going back to one allocation
-// per row), not run-to-run noise. A gated benchmark missing from the input
-// is an error too, so a rename cannot silently disable its gate.
+// benchmark's allocs/op — or, when a ceiling sets bytes_per_op, its B/op —
+// exceeds its recorded ceiling. Ceilings live in a JSON file checked into
+// the repository (cmd/benchgate/ceilings.json) with generous headroom over
+// the measured numbers — the gate exists to catch order-of-magnitude
+// regressions (a hash build going back to one allocation per row, grouped
+// aggregation re-materializing every joined row), not run-to-run noise.
+// Time is deliberately not gated: the bench hosts' ns/op varies ±35% run to
+// run, while allocation counts and bytes are deterministic. A gated
+// benchmark missing from the input is an error too, so a rename cannot
+// silently disable its gate.
 //
 // Usage:
 //
@@ -24,9 +28,11 @@ import (
 	"strings"
 )
 
-// ceiling bounds one benchmark's allocations.
+// ceiling bounds one benchmark's allocations and (optionally) bytes.
 type ceiling struct {
 	AllocsPerOp int64 `json:"allocs_per_op"`
+	// BytesPerOp gates B/op when positive; zero leaves bytes ungated.
+	BytesPerOp int64 `json:"bytes_per_op,omitempty"`
 }
 
 func main() {
@@ -53,19 +59,27 @@ func main() {
 		in = f
 	}
 
-	seen := map[string]int64{}
+	type measured struct {
+		allocs, bytes int64
+	}
+	seen := map[string]measured{}
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
-		name, allocs, ok := parseBenchLine(sc.Text())
+		name, allocs, bytes, ok := parseBenchLine(sc.Text())
 		if !ok {
 			continue
 		}
 		if _, gated := ceilings[name]; gated {
 			// Sub-benchmarks can appear once per package run; keep the worst.
-			if prev, dup := seen[name]; !dup || allocs > prev {
-				seen[name] = allocs
+			prev, dup := seen[name]
+			if !dup || allocs > prev.allocs {
+				prev.allocs = allocs
 			}
+			if !dup || bytes > prev.bytes {
+				prev.bytes = bytes
+			}
+			seen[name] = prev
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -79,18 +93,26 @@ func main() {
 	sort.Strings(names)
 	failed := false
 	for _, name := range names {
-		allocs, ok := seen[name]
+		got, ok := seen[name]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "benchgate: FAIL %s: not found in bench output (renamed or skipped?)\n", name)
 			failed = true
 			continue
 		}
-		limit := ceilings[name].AllocsPerOp
-		if allocs > limit {
-			fmt.Fprintf(os.Stderr, "benchgate: FAIL %s: %d allocs/op exceeds ceiling %d\n", name, allocs, limit)
+		c := ceilings[name]
+		if got.allocs > c.AllocsPerOp {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL %s: %d allocs/op exceeds ceiling %d\n", name, got.allocs, c.AllocsPerOp)
 			failed = true
 		} else {
-			fmt.Printf("benchgate: ok   %s: %d allocs/op (ceiling %d)\n", name, allocs, limit)
+			fmt.Printf("benchgate: ok   %s: %d allocs/op (ceiling %d)\n", name, got.allocs, c.AllocsPerOp)
+		}
+		if c.BytesPerOp > 0 {
+			if got.bytes > c.BytesPerOp {
+				fmt.Fprintf(os.Stderr, "benchgate: FAIL %s: %d bytes/op exceeds ceiling %d\n", name, got.bytes, c.BytesPerOp)
+				failed = true
+			} else {
+				fmt.Printf("benchgate: ok   %s: %d bytes/op (ceiling %d)\n", name, got.bytes, c.BytesPerOp)
+			}
 		}
 	}
 	if failed {
@@ -99,24 +121,27 @@ func main() {
 }
 
 // parseBenchLine extracts the benchmark name (GOMAXPROCS suffix stripped)
-// and its allocs/op from one `go test -bench -benchmem` output line.
-func parseBenchLine(line string) (name string, allocs int64, ok bool) {
+// and its allocs/op and B/op from one `go test -bench -benchmem` output line.
+func parseBenchLine(line string) (name string, allocs, bytes int64, ok bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
-		return "", 0, false
+		return "", 0, 0, false
 	}
 	for i := 1; i < len(fields)-1; i++ {
-		if fields[i+1] == "allocs/op" {
-			n, err := strconv.ParseInt(fields[i], 10, 64)
-			if err != nil {
-				return "", 0, false
-			}
+		n, err := strconv.ParseInt(fields[i], 10, 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "allocs/op":
 			allocs = n
 			ok = true
+		case "B/op":
+			bytes = n
 		}
 	}
 	if !ok {
-		return "", 0, false
+		return "", 0, 0, false
 	}
 	name = fields[0]
 	if i := strings.LastIndex(name, "-"); i > 0 {
@@ -124,7 +149,7 @@ func parseBenchLine(line string) (name string, allocs int64, ok bool) {
 			name = name[:i] // strip the -GOMAXPROCS suffix
 		}
 	}
-	return name, allocs, true
+	return name, allocs, bytes, true
 }
 
 func fatal(format string, args ...any) {

@@ -1,0 +1,326 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/planner"
+	"repro/internal/sqlparser"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// This file proves the fused vectorized-aggregation pipeline is
+// observationally identical to both the streaming grouped pipeline and the
+// naive environment pipeline — same rows, same order, same errors — across
+// randomized GROUP BY templates with NULL group keys, DISTINCT aggregates,
+// HAVING, ORDER BY, and LIMIT; and that morsel-parallel execution is
+// byte-identical to serial at any worker count.
+
+// aggDiffDB builds a movie database with deliberate NULL pockets: ~1/6 of
+// movie years, ~1/4 of cast roles, and ~1/3 of director birth dates are
+// NULL, so group keys and aggregate arguments both exercise the NULL paths.
+func aggDiffDB(t testing.TB, movies int, seed int64) *storage.Database {
+	t.Helper()
+	db, err := storage.NewDatabase(dataset.MovieSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	iv := func(n int64) value.Value { return value.NewInt(n) }
+	sv := func(s string) value.Value { return value.NewText(s) }
+	nullable := func(v value.Value, oneIn int) value.Value {
+		if rng.Intn(oneIn) == 0 {
+			return value.NewNull()
+		}
+		return v
+	}
+	actors := movies / 3
+	if actors < 8 {
+		actors = 8
+	}
+	for a := 1; a <= actors; a++ {
+		if err := db.Insert("ACTOR", storage.Tuple{iv(int64(a)), sv(fmt.Sprintf("Actor %d", a%37))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	directors := movies / 10
+	if directors < 4 {
+		directors = 4
+	}
+	for d := 1; d <= directors; d++ {
+		bdate := nullable(value.NewDateDays(int64(rng.Intn(20000))), 3)
+		loc := nullable(sv(fmt.Sprintf("City %d", rng.Intn(7))), 5)
+		if err := db.Insert("DIRECTOR", storage.Tuple{
+			iv(int64(d)), sv(fmt.Sprintf("Director %d", d%23)), bdate, loc,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	genres := []string{"action", "drama", "comedy", "noir", "sci-fi"}
+	for m := 1; m <= movies; m++ {
+		mid := int64(m)
+		year := nullable(iv(int64(1950+rng.Intn(50))), 6)
+		title := sv(fmt.Sprintf("Movie %d", rng.Intn(movies)))
+		if err := db.Insert("MOVIES", storage.Tuple{iv(mid), title, year}); err != nil {
+			t.Fatal(err)
+		}
+		for c := 0; c < 1+rng.Intn(3); c++ {
+			aid := int64(1 + rng.Intn(actors))
+			role := nullable(sv(fmt.Sprintf("Role %d", rng.Intn(13))), 4)
+			if err := db.Insert("CAST", storage.Tuple{iv(mid), iv(aid), role}); err != nil {
+				// Duplicate (mid, aid) primary keys are fine to skip.
+				break
+			}
+		}
+		if rng.Intn(8) != 0 { // some movies have no genre rows at all
+			if err := db.Insert("GENRE", storage.Tuple{iv(mid), sv(genres[rng.Intn(len(genres))])}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return db
+}
+
+// aggTemplates generates randomized grouped queries: single-table and
+// post-join, array-tier (small int/text domains) and hash-tier (wide int
+// composites) group keys, NULL-able keys and arguments, DISTINCT aggregates,
+// HAVING, ORDER BY (column, aggregate, ordinal), and LIMIT.
+func aggTemplates(rng *rand.Rand, n int) []string {
+	keySets := [][2]string{
+		{"m.year", "MOVIES m, CAST c where m.id = c.mid"},
+		{"c.role", "MOVIES m, CAST c where m.id = c.mid"},
+		{"m.year, c.role", "MOVIES m, CAST c where m.id = c.mid"},
+		{"g.genre", "MOVIES m, GENRE g where m.id = g.mid"},
+		{"m.year", "MOVIES m"},
+		// Wide composite of two primary-key columns: the composed domain
+		// overflows the array tier, forcing packed-key hashing.
+		{"m.id, c.mid", "MOVIES m, CAST c where m.id = c.mid"},
+	}
+	aggs := []string{
+		"count(*)", "count(c.role)", "count(distinct c.role)",
+		"sum(m.year)", "avg(m.year)", "min(m.year)", "max(m.year)",
+		"min(m.title)", "max(m.title)", "count(distinct m.year)",
+	}
+	singleAggs := []string{
+		"count(*)", "sum(m.year)", "avg(m.year)", "min(m.title)",
+		"max(m.year)", "count(distinct m.year)", "count(m.year)",
+	}
+	havings := []string{
+		"", "having count(*) > 2", "having count(*) > 1000000",
+		"having avg(m.year) > 1970", "having min(m.year) is not null",
+	}
+	wheres := []string{
+		"", "and m.year >= 1960", "and m.year between 1955 and 1995",
+		"and m.title like 'Movie 1%'",
+	}
+	var out []string
+	for i := 0; i < n; i++ {
+		ks := keySets[rng.Intn(len(keySets))]
+		pool := aggs
+		if ks[1] == "MOVIES m" {
+			pool = singleAggs
+		}
+		nAggs := 1 + rng.Intn(3)
+		sel := ks[0]
+		chosen := make([]string, 0, nAggs)
+		for j := 0; j < nAggs; j++ {
+			a := pool[rng.Intn(len(pool))]
+			sel += ", " + a
+			chosen = append(chosen, a)
+		}
+		from := ks[1]
+		if w := wheres[rng.Intn(len(wheres))]; w != "" {
+			if ks[1] == "MOVIES m" {
+				from += " where " + w[len("and "):]
+			} else {
+				from += " " + w
+			}
+		}
+		q := fmt.Sprintf("select %s from %s group by %s", sel, from, ks[0])
+		if h := havings[rng.Intn(len(havings))]; h != "" {
+			q += " " + h
+		}
+		switch rng.Intn(4) {
+		case 1:
+			q += " order by " + chosen[0] + " desc, 1"
+		case 2:
+			q += " order by 1"
+		case 3:
+			q += fmt.Sprintf(" order by %s limit %d", ks[0], 1+rng.Intn(5))
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+func mustSame(t *testing.T, q, labelA, labelB string, a, b *Result, errA, errB error) {
+	t.Helper()
+	if (errA == nil) != (errB == nil) {
+		t.Fatalf("%s: %s err=%v, %s err=%v", q, labelA, errA, labelB, errB)
+	}
+	if errA != nil {
+		if errA.Error() != errB.Error() {
+			t.Fatalf("%s: error text differs: %q vs %q", q, errA, errB)
+		}
+		return
+	}
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatalf("%s: %s %d rows, %s %d rows", q, labelA, len(a.Rows), labelB, len(b.Rows))
+	}
+	for i := range a.Rows {
+		if len(a.Rows[i]) != len(b.Rows[i]) {
+			t.Fatalf("%s: row %d width differs", q, i)
+		}
+		for j := range a.Rows[i] {
+			if a.Rows[i][j].Key() != b.Rows[i][j].Key() {
+				t.Fatalf("%s: row %d col %d: %s=%s %s=%s",
+					q, i, j, labelA, a.Rows[i][j].Key(), labelB, b.Rows[i][j].Key())
+			}
+		}
+	}
+}
+
+// TestVecAggDifferential: randomized grouped templates run three ways — the
+// fused vectorized pipeline, the streaming grouped pipeline (vec disabled),
+// and the naive environment pipeline (planner disabled) — and must agree
+// byte for byte. The vec path must actually execute for a healthy share of
+// templates, or the comparison is vacuous.
+func TestVecAggDifferential(t *testing.T) {
+	db := aggDiffDB(t, 900, 101)
+	ex := New(db)
+	rng := rand.New(rand.NewSource(202))
+	vecRan := 0
+	queries := aggTemplates(rng, 60)
+	// Fixed date-typed coverage: date group keys, date DISTINCT bitsets,
+	// and date MIN/MAX (a planner gate that read date bounds through
+	// Value.Float used to panic on exactly this shape).
+	queries = append(queries,
+		`select d.blocation, count(distinct d.bdate), min(d.bdate), max(d.bdate)
+		 from DIRECTOR d group by d.blocation order by 1`,
+		`select d.bdate, count(*) from DIRECTOR d group by d.bdate order by 1`,
+		`select count(distinct d.bdate) from DIRECTOR d`,
+	)
+	for _, q := range queries {
+		sel, err := sqlparser.ParseSelect(q)
+		if err != nil {
+			t.Fatalf("template %q does not parse: %v", q, err)
+		}
+		vecRes, plan, vecErr := ex.SelectExplained(sel)
+		if vecErr == nil && vecAggStep(plan) != nil {
+			vecRan++
+		}
+		ex.SetVecAggEnabled(false)
+		streamRes, streamErr := ex.Select(sel)
+		ex.SetVecAggEnabled(true)
+		mustSame(t, q, "vec", "streaming", vecRes, streamRes, vecErr, streamErr)
+
+		ex.SetPlannerEnabled(false)
+		naiveRes, naiveErr := ex.Select(sel)
+		ex.SetPlannerEnabled(true)
+		mustSame(t, q, "vec", "naive", vecRes, naiveRes, vecErr, naiveErr)
+	}
+	if vecRan < len(queries)/3 {
+		t.Fatalf("vec-aggregate ran for only %d/%d templates — the differential is vacuous", vecRan, len(queries))
+	}
+}
+
+// TestVecAggParallelDifferential: morsel-driven parallel aggregation must be
+// byte-identical to serial execution at any worker count. Thresholds and the
+// morsel size shrink so a small database schedules many morsels across many
+// workers.
+func TestVecAggParallelDifferential(t *testing.T) {
+	oldThreshold, oldMorsel := parallelThreshold, morselRows
+	parallelThreshold, morselRows = 8, 128
+	defer func() { parallelThreshold, morselRows = oldThreshold, oldMorsel }()
+
+	db := aggDiffDB(t, 2500, 303) // ≥ ParallelScanMinRows movies, so pscan schedules
+	ex := New(db)
+	rng := rand.New(rand.NewSource(404))
+	parallelRan := 0
+	queries := aggTemplates(rng, 40)
+	for _, q := range queries {
+		sel, err := sqlparser.ParseSelect(q)
+		if err != nil {
+			t.Fatalf("template %q does not parse: %v", q, err)
+		}
+		ex.SetParallelism(1)
+		serialRes, serialErr := ex.Select(sel)
+		ex.SetParallelism(7) // deliberately not a divisor of the morsel count
+		parRes, plan, parErr := ex.SelectExplained(sel)
+		ex.SetParallelism(0)
+		if parErr == nil && hasParallelScan(plan) {
+			parallelRan++
+		}
+		mustSame(t, q, "serial", "parallel", serialRes, parRes, serialErr, parErr)
+	}
+	if parallelRan < len(queries)/4 {
+		t.Fatalf("parallel-scan ran for only %d/%d templates — the differential is vacuous", parallelRan, len(queries))
+	}
+}
+
+// TestVecAggDistinctSelect: grouped queries under SELECT DISTINCT and the
+// empty-input single-group rule shape identically across pipelines.
+func TestVecAggDistinctSelect(t *testing.T) {
+	db := aggDiffDB(t, 400, 505)
+	ex := New(db)
+	for _, q := range []string{
+		`select distinct m.year, count(*) from MOVIES m group by m.year order by 1 limit 7`,
+		`select count(*), sum(m.year), min(m.title) from MOVIES m where m.year > 3000`,
+		`select count(distinct m.year) from MOVIES m`,
+	} {
+		sel, err := sqlparser.ParseSelect(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vecRes, vecErr := ex.Select(sel)
+		ex.SetPlannerEnabled(false)
+		naiveRes, naiveErr := ex.Select(sel)
+		ex.SetPlannerEnabled(true)
+		mustSame(t, q, "vec", "naive", vecRes, naiveRes, vecErr, naiveErr)
+	}
+}
+
+// TestVecAggShapeDowngrade: with the vec pipeline disabled, the executed
+// plan's shape narrates the generic aggregate — never a path that did not
+// run.
+func TestVecAggShapeDowngrade(t *testing.T) {
+	db := aggDiffDB(t, 2500, 606)
+	ex := New(db)
+	sel, err := sqlparser.ParseSelect(`select m.year, count(*) from MOVIES m group by m.year`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, plan, err := ex.SelectExplained(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vecAggStep(plan) == nil || !hasParallelScan(plan) {
+		t.Fatalf("enabled run should report vec-aggregate + parallel-scan, got %v", shapeKinds(plan))
+	}
+	ex.SetVecAggEnabled(false)
+	defer ex.SetVecAggEnabled(true)
+	_, plan, err = ex.SelectExplained(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vecAggStep(plan) != nil || hasParallelScan(plan) {
+		t.Fatalf("disabled run must downgrade the shape, got %v", shapeKinds(plan))
+	}
+	if len(plan.Shape) != 1 || plan.Shape[0].Kind != planner.ShapeAggregate {
+		t.Fatalf("downgraded shape = %v", shapeKinds(plan))
+	}
+	if plan.Shape[0].ActualRows < 0 {
+		t.Fatal("downgraded aggregate step did not record its actual row count")
+	}
+}
+
+func shapeKinds(plan *planner.Plan) []planner.ShapeKind {
+	var out []planner.ShapeKind
+	for _, sh := range plan.Shape {
+		out = append(out, sh.Kind)
+	}
+	return out
+}

@@ -35,6 +35,11 @@ type Engine struct {
 	// noPlan disables the cost-based planner (SetPlannerEnabled), forcing
 	// the naive environment pipeline for every SELECT.
 	noPlan atomic.Bool
+
+	// noVecAgg disables the fused vectorized-aggregation pipeline
+	// (SetVecAggEnabled), forcing grouped queries onto the streaming
+	// row-at-a-time aggregation — differential tests compare the two.
+	noVecAgg atomic.Bool
 }
 
 // New creates an engine over db.

@@ -153,3 +153,72 @@ func TestExplainPlanShapeRows(t *testing.T) {
 		}
 	}
 }
+
+// TestExplainPlanVecAggregate pins the EXPLAIN PLAN rendering of the fused
+// vectorized-aggregation shape: a parallel-scan shape row (with the morsel
+// size and the scanned-row count) followed by a vec-aggregate row, both
+// stable across runs because the planner's gate is driven by statistics, not
+// runtime worker counts.
+func TestExplainPlanVecAggregate(t *testing.T) {
+	db, err := dataset.GenerateMovieDB(dataset.GenConfig{
+		Seed: 31, Movies: 4000, Actors: 800, Directors: 41, CastPerMovie: 1, GenresPerMovie: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := New(db)
+	res, _, err := ex.Exec(`explain plan select g.genre, count(*), avg(m.year)
+		from MOVIES m, GENRE g where m.id = g.mid group by g.genre having count(*) > 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pscan, vagg []string
+	for _, row := range res.Rows {
+		switch row[1].Text() {
+		case "parallel-scan":
+			pscan = []string{row[3].Text(), row[5].String()}
+		case "vec-aggregate":
+			vagg = []string{row[3].Text(), row[5].String()}
+		case "aggregate":
+			t.Fatalf("generic aggregate rendered for a vec-aggregate query:\n%s", res)
+		}
+	}
+	if pscan == nil {
+		t.Fatalf("no parallel-scan shape row:\n%s", res)
+	}
+	if pscan[0] != "morsels of 4096 rows" {
+		t.Errorf("parallel-scan detail = %q", pscan[0])
+	}
+	if pscan[1] != "4000" {
+		t.Errorf("parallel-scan actual rows = %s, want the full scan count", pscan[1])
+	}
+	if vagg == nil {
+		t.Fatalf("no vec-aggregate shape row:\n%s", res)
+	}
+	if !strings.Contains(vagg[0], "group by g.genre") || !strings.Contains(vagg[0], "having COUNT(*) > 10") {
+		t.Errorf("vec-aggregate detail = %q", vagg[0])
+	}
+
+	// Fingerprint stability: the same query plans to the same fingerprint,
+	// including the new shape markers.
+	sel, err := sqlparser.ParseSelect(`select g.genre, count(*), avg(m.year)
+		from MOVIES m, GENRE g where m.id = g.mid group by g.genre having count(*) > 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, p1, err := ex.SelectExplained(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, p2, err := ex.SelectExplained(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := p1.Fingerprint()
+	if fp != p2.Fingerprint() {
+		t.Fatalf("fingerprint unstable: %q vs %q", fp, p2.Fingerprint())
+	}
+	if !strings.Contains(fp, ">pscan>vagg{1,2}+having") {
+		t.Errorf("fingerprint %q missing the vec shape markers", fp)
+	}
+}

@@ -1,0 +1,1424 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/planner"
+	"repro/internal/sqlparser"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// This file is the fused vectorized-aggregation pipeline: grouped queries the
+// planner marked vec-aggregate run scan → joins → grouping as one push-based
+// loop over table positions, never materializing a joined row. Group keys and
+// aggregate arguments read typed column vectors directly; accumulators are
+// unboxed typed arrays indexed by a dense group number. Two tiers map a row
+// to its group: when every key is dictionary- or range-codeable with a small
+// combined domain, a flat array indexed by the composed code; otherwise a
+// hash table over fixed-width packed key bytes. DISTINCT aggregates track
+// per-group bitsets over the argument's code domain.
+//
+// Parallelism is morsel-driven: workers claim fixed-size ranges of base-table
+// positions from an atomic cursor, aggregate into private states, and the
+// merge orders groups by their first-seen (morsel, sequence) stamp — so
+// parallel output is byte-identical to serial execution. The planner only
+// schedules a parallel scan when every aggregate's partial states merge
+// exactly (integer sums are associative; float sums qualify only when
+// provably free of rounding), and the fused pipeline as a whole runs only
+// when no predicate can raise an error, so the worker count can never change
+// results or error behavior.
+//
+// Naive-pipeline parity details: integer group keys and MIN/MAX comparisons
+// go through float64 images, because that is how the generic pipeline's
+// encoded keys and value.Compare behave; MIN/MAX ties keep the first-seen
+// payload (tracked by stamp in parallel mode); AVG divides the same float
+// sum the naive accumulator builds, row by row in serial mode and merged
+// only when merging is exact.
+
+// morselRows is the number of base-table positions one morsel covers. A
+// variable so tests can shrink it to force multi-morsel scheduling on small
+// tables; production keeps the planner's constant.
+var morselRows = planner.MorselRows
+
+const (
+	// maxArrayDomain bounds the composed group-code domain of the flat
+	// array tier (the per-state lookup array is this long at worst).
+	maxArrayDomain = uint64(1) << 16
+	// maxBitsetDomain bounds DISTINCT bitset width, mirroring the planner.
+	maxBitsetDomain = int64(planner.MaxBitsetDomain)
+	// exactInt bounds the float64-exact integer range: distinct int64
+	// payloads beyond it can share one float image.
+	exactInt = int64(1) << 53
+)
+
+// ---------------------------------------------------------------------------
+// Compiled form
+// ---------------------------------------------------------------------------
+
+// vecKey is one GROUP BY column: its owning step and attribute position,
+// cached typed vectors, and the array-tier coding parameters (code 0 is
+// reserved for NULL).
+type vecKey struct {
+	si   int
+	pos  int
+	col  storage.Col
+	kind value.Kind
+	ints []int64
+	flts []float64
+	cds  []uint32
+	bls  []bool
+	// array tier: code = payload - base + 1, stride its positional weight.
+	base   int64
+	stride uint64
+}
+
+// arrayCode maps the key's value at position ti onto its dense code.
+func (k *vecKey) arrayCode(ti int) uint64 {
+	if k.col.Null(ti) {
+		return 0
+	}
+	switch k.kind {
+	case value.Int, value.Date:
+		return uint64(k.ints[ti]-k.base) + 1
+	case value.Text:
+		return uint64(k.cds[ti]) + 1
+	default: // Bool (Float never reaches the array tier)
+		if k.bls[ti] {
+			return 2
+		}
+		return 1
+	}
+}
+
+// pack appends the key's fixed-width (tag + 8 payload bytes) encoding at
+// position ti. Integers pack their float64 image — the same identity the
+// naive pipeline's encoded group keys use — and -0.0 collapses onto +0.0.
+func (k *vecKey) pack(buf []byte, ti int) []byte {
+	var tag byte
+	var b uint64
+	if !k.col.Null(ti) {
+		tag = 1
+		switch k.kind {
+		case value.Int:
+			b = math.Float64bits(float64(k.ints[ti]))
+		case value.Date:
+			b = uint64(k.ints[ti])
+		case value.Float:
+			f := k.flts[ti]
+			if f == 0 {
+				f = 0 // collapse -0 and +0, like value.AppendKey
+			}
+			b = math.Float64bits(f)
+		case value.Text:
+			b = uint64(k.cds[ti])
+		case value.Bool:
+			if k.bls[ti] {
+				b = 1
+			}
+		}
+	}
+	return append(buf, tag,
+		byte(b>>56), byte(b>>48), byte(b>>40), byte(b>>32),
+		byte(b>>24), byte(b>>16), byte(b>>8), byte(b))
+}
+
+// vecAgg is one distinct aggregate expression compiled onto a column.
+type vecAgg struct {
+	fn       sqlparser.AggFunc
+	star     bool // no argument: the group row count
+	distinct bool // tracked through a per-group bitset
+	si       int
+	col      storage.Col
+	kind     value.Kind
+	ints     []int64
+	flts     []float64
+	cds      []uint32
+	bls      []bool
+	// exact reports the accumulator merges across partial states without
+	// rounding — the per-aggregate condition for morsel parallelism.
+	exact bool
+	// DISTINCT bitset geometry: one bit per code, code = payload - setBase
+	// (dictionary code for text, 0/1 for bool).
+	setWords int
+	setBase  int64
+}
+
+// distinctCode maps the argument value at ti onto its bitset position.
+func (a *vecAgg) distinctCode(ti int) uint64 {
+	switch a.kind {
+	case value.Text:
+		return uint64(a.cds[ti])
+	case value.Bool:
+		if a.bls[ti] {
+			return 1
+		}
+		return 0
+	default: // Int, Date
+		return uint64(a.ints[ti] - a.setBase)
+	}
+}
+
+// vecAggExec is a grouped query compiled for the fused pipeline.
+type vecAggExec struct {
+	pq     *plannedQuery
+	keys   []vecKey
+	aggs   []*vecAgg
+	aggIdx map[string]int
+	stats  []*storage.TableStats // lazy per-step snapshots
+	// arrayTier selects the flat composed-code lookup; domain is its size.
+	arrayTier bool
+	domain    uint64
+	keyW      int // hash tier: packed bytes per key vector
+	parallel  bool
+	// Post-aggregation program over the synthetic group row
+	// [key values..., aggregate results...].
+	having   rowEval
+	items    []rowEval
+	sortKeys []plannedSortKey
+}
+
+func (va *vecAggExec) statsOf(si int) *storage.TableStats {
+	if va.stats[si] == nil {
+		s := va.pq.plan.Steps[si].Input.Tbl.Stats()
+		va.stats[si] = &s
+	}
+	return va.stats[si]
+}
+
+func (va *vecAggExec) allExact() bool {
+	for _, a := range va.aggs {
+		if !a.exact {
+			return false
+		}
+	}
+	return true
+}
+
+// slotOwner maps an absolute slot to its owning step and attribute position.
+func (pq *plannedQuery) slotOwner(slot int) (int, int) {
+	for si, st := range pq.plan.Steps {
+		n := len(st.Input.Rel.Attributes)
+		if slot >= st.Offset && slot < st.Offset+n {
+			return si, slot - st.Offset
+		}
+	}
+	return -1, -1
+}
+
+// cacheVectors fills the typed slice cache for a column of the given kind.
+func cacheVectors(col storage.Col, kind value.Kind) (ints []int64, flts []float64, cds []uint32, bls []bool, ok bool) {
+	switch kind {
+	case value.Int, value.Date:
+		return col.Ints(), nil, nil, nil, true
+	case value.Float:
+		return nil, col.Floats(), nil, nil, true
+	case value.Text:
+		return nil, nil, col.Codes(), nil, true
+	case value.Bool:
+		return nil, nil, nil, col.Bools(), true
+	default:
+		return nil, nil, nil, nil, false
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Plan-shape bookkeeping
+// ---------------------------------------------------------------------------
+
+// vecAggStep finds the vec-aggregate shape step, if the planner scheduled one.
+func vecAggStep(plan *planner.Plan) *planner.ShapeStep {
+	for _, sh := range plan.Shape {
+		if sh.Kind == planner.ShapeVecAggregate {
+			return sh
+		}
+	}
+	return nil
+}
+
+func hasParallelScan(plan *planner.Plan) bool {
+	for _, sh := range plan.Shape {
+		if sh.Kind == planner.ShapeParallelScan {
+			return true
+		}
+	}
+	return false
+}
+
+// downgradeVecAgg rewrites the plan's shape back to the generic aggregate —
+// called when the engine cannot (or is told not to) run the fused pipeline,
+// so EXPLAIN always narrates the execution that actually happened.
+func downgradeVecAgg(plan *planner.Plan) {
+	shape := plan.Shape[:0]
+	for _, sh := range plan.Shape {
+		if sh.Kind == planner.ShapeParallelScan {
+			continue
+		}
+		if sh.Kind == planner.ShapeVecAggregate {
+			sh.Kind = planner.ShapeAggregate
+		}
+		shape = append(shape, sh)
+	}
+	plan.Shape = shape
+}
+
+// removeParallelScan drops the parallel-scan step (the engine found a
+// non-mergeable aggregate the planner's statistics missed).
+func removeParallelScan(plan *planner.Plan) {
+	shape := plan.Shape[:0]
+	for _, sh := range plan.Shape {
+		if sh.Kind != planner.ShapeParallelScan {
+			shape = append(shape, sh)
+		}
+	}
+	plan.Shape = shape
+}
+
+// setParallelScanActual records the scanned-row count on the parallel-scan
+// shape step.
+func setParallelScanActual(plan *planner.Plan, n int) {
+	for _, sh := range plan.Shape {
+		if sh.Kind == planner.ShapeParallelScan {
+			sh.ActualRows = n
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Compilation
+// ---------------------------------------------------------------------------
+
+// tryVecAgg runs the fused vectorized aggregation when the plan carries a
+// vec-aggregate shape step and the query compiles onto it. ok=false falls
+// back to the streaming grouped pipeline (after downgrading the shape so the
+// narrated plan stays truthful).
+func (ex *Engine) tryVecAgg(sel *sqlparser.SelectStmt, entries []fromEntry, pq *plannedQuery) (*Result, bool, error) {
+	plan := pq.plan
+	if vecAggStep(plan) == nil {
+		return nil, false, nil
+	}
+	if ex.noVecAgg.Load() {
+		downgradeVecAgg(plan)
+		return nil, false, nil
+	}
+	va, ok := pq.compileVecAgg(sel)
+	if !ok {
+		downgradeVecAgg(plan)
+		return nil, false, nil
+	}
+	items, cols, err := expandItems(sel, entries)
+	if err != nil {
+		// The streaming path raises the identical error (its join phase
+		// cannot fail under the vec gate), so just decline.
+		return nil, false, nil
+	}
+	if !va.compilePost(sel, entries, items) {
+		downgradeVecAgg(plan)
+		return nil, false, nil
+	}
+	va.parallel = hasParallelScan(plan) && va.allExact() &&
+		plan.Steps[0].Access == planner.ScanFull
+	if hasParallelScan(plan) && !va.parallel {
+		removeParallelScan(plan)
+	}
+	res, err := ex.runVecAgg(sel, pq, va, cols)
+	return res, true, err
+}
+
+// compileVecAgg builds the structural half: pipeline invariants and the
+// group-key columns with their tier parameters. ok=false means the planner's
+// gate and the engine's compiler disagree — fall back.
+func (pq *plannedQuery) compileVecAgg(sel *sqlparser.SelectStmt) (*vecAggExec, bool) {
+	plan := pq.plan
+	if plan.Reordered || len(pq.postEvals) > 0 {
+		return nil, false
+	}
+	for si := range plan.Steps {
+		if len(pq.stepSelf[si]) > 0 || len(pq.stepPost[si]) > 0 {
+			return nil, false
+		}
+	}
+	va := &vecAggExec{
+		pq:     pq,
+		aggIdx: map[string]int{},
+		stats:  make([]*storage.TableStats, len(plan.Steps)),
+	}
+	for _, g := range sel.GroupBy {
+		ref, ok := g.(*sqlparser.ColumnRef)
+		if !ok || ref.Column == "*" {
+			return nil, false
+		}
+		slot, ok := pq.slotOf(ref)
+		if !ok {
+			return nil, false
+		}
+		si, pos := pq.slotOwner(slot)
+		if si < 0 {
+			return nil, false
+		}
+		col := plan.Steps[si].Input.Tbl.Col(pos)
+		k := vecKey{si: si, pos: pos, col: col, kind: col.Kind()}
+		k.ints, k.flts, k.cds, k.bls, ok = cacheVectors(col, k.kind)
+		if !ok {
+			return nil, false
+		}
+		va.keys = append(va.keys, k)
+	}
+
+	// Tier decision: composed-code array when every key codes into a small
+	// dense domain, packed-key hash otherwise.
+	va.arrayTier = true
+	va.domain = 1
+	for i := range va.keys {
+		k := &va.keys[i]
+		card := va.keyCard(k)
+		if card == 0 || va.domain > maxArrayDomain/card {
+			va.arrayTier = false
+			va.domain = 0
+			break
+		}
+		k.stride = va.domain
+		va.domain *= card
+	}
+	va.keyW = 9 * len(va.keys)
+	return va, true
+}
+
+// keyCard computes the array-tier cardinality (values + the NULL slot) of
+// one key and stores its code base. Zero means the key is outside the array
+// dialect: floats, an unbounded integer span, or integer bounds past the
+// float64-exact range (beyond it distinct int64 payloads can share one float
+// image — one group under the naive pipeline's encoded keys, which dense
+// integer codes would wrongly split).
+func (va *vecAggExec) keyCard(k *vecKey) uint64 {
+	switch k.kind {
+	case value.Text:
+		return uint64(k.col.DictLen()) + 1
+	case value.Bool:
+		return 3
+	case value.Int, value.Date:
+		at := &va.statsOf(k.si).Attrs[k.pos]
+		if at.Min.IsNull() {
+			return 1 // empty column: only the NULL code can occur
+		}
+		var lo, hi int64
+		if k.kind == value.Int {
+			lo, hi = at.Min.Int(), at.Max.Int()
+			if lo <= -exactInt || hi >= exactInt {
+				return 0
+			}
+		} else {
+			lo, hi = at.Min.DateDays(), at.Max.DateDays()
+		}
+		span := uint64(hi - lo)
+		if span >= maxArrayDomain {
+			return 0
+		}
+		k.base = lo
+		return span + 2
+	default:
+		return 0
+	}
+}
+
+// addAgg registers (or reuses) the typed accumulator for one aggregate
+// expression, applying the engine-authoritative gates the planner mirrored.
+func (va *vecAggExec) addAgg(a *sqlparser.AggregateExpr) (int, bool) {
+	key := a.SQL()
+	if idx, ok := va.aggIdx[key]; ok {
+		return idx, true
+	}
+	spec := &vecAgg{fn: a.Func, distinct: a.Distinct}
+	if a.Arg == nil {
+		spec.star, spec.exact, spec.distinct = true, true, false
+	} else {
+		ref, ok := a.Arg.(*sqlparser.ColumnRef)
+		if !ok || ref.Column == "*" {
+			return 0, false
+		}
+		slot, ok := va.pq.slotOf(ref)
+		if !ok {
+			return 0, false
+		}
+		si, pos := va.pq.slotOwner(slot)
+		if si < 0 {
+			return 0, false
+		}
+		col := va.pq.plan.Steps[si].Input.Tbl.Col(pos)
+		spec.si, spec.col, spec.kind = si, col, col.Kind()
+		spec.ints, spec.flts, spec.cds, spec.bls, ok = cacheVectors(col, spec.kind)
+		if !ok {
+			return 0, false
+		}
+		switch a.Func {
+		case sqlparser.AggCount:
+			spec.exact = true
+			if spec.distinct && !va.distinctSetup(spec, pos) {
+				return 0, false
+			}
+		case sqlparser.AggMin, sqlparser.AggMax:
+			// MIN/MAX over distinct values is MIN/MAX: drop the bitset.
+			spec.distinct = false
+			spec.exact = true
+		case sqlparser.AggSum, sqlparser.AggAvg:
+			switch spec.kind {
+			case value.Int:
+				if spec.distinct {
+					if !va.distinctSetup(spec, pos) {
+						return 0, false
+					}
+					// The distinct sum is recomputed from the value set in
+					// code order; integer sums are order-free, float (AVG)
+					// sums must be provably exact to match the naive
+					// first-seen accumulation.
+					if a.Func == sqlparser.AggAvg && !va.avgExact(spec, pos, true) {
+						return 0, false
+					}
+					spec.exact = true
+				} else {
+					spec.exact = a.Func == sqlparser.AggSum || va.avgExact(spec, pos, false)
+				}
+			case value.Float:
+				if spec.distinct {
+					return 0, false
+				}
+				spec.exact = false // float sums replicate naive row order: serial only
+			default:
+				return 0, false // non-numeric SUM/AVG errors; keep the generic path
+			}
+		default:
+			return 0, false
+		}
+	}
+	idx := len(va.aggs)
+	va.aggIdx[key] = idx
+	va.aggs = append(va.aggs, spec)
+	return idx, true
+}
+
+// distinctSetup sizes the DISTINCT bitset from the argument's value domain:
+// dictionary size for text, min..max span for integers and dates.
+func (va *vecAggExec) distinctSetup(spec *vecAgg, pos int) bool {
+	switch spec.kind {
+	case value.Text:
+		n := int64(spec.col.DictLen())
+		if n > maxBitsetDomain {
+			return false
+		}
+		spec.setWords = int(n+63) / 64
+	case value.Bool:
+		spec.setWords = 1
+	case value.Int, value.Date:
+		at := &va.statsOf(spec.si).Attrs[pos]
+		if at.Min.IsNull() {
+			spec.setWords = 1
+			return true
+		}
+		var lo, hi int64
+		if spec.kind == value.Int {
+			lo, hi = at.Min.Int(), at.Max.Int()
+			if lo <= -exactInt || hi >= exactInt {
+				return false
+			}
+		} else {
+			lo, hi = at.Min.DateDays(), at.Max.DateDays()
+		}
+		if hi-lo >= maxBitsetDomain {
+			return false
+		}
+		spec.setBase = lo
+		spec.setWords = int(hi-lo+64) / 64
+	default:
+		return false
+	}
+	if spec.setWords == 0 {
+		spec.setWords = 1
+	}
+	return true
+}
+
+// avgExact reports whether every float64 sum AVG can build over this
+// argument is exactly representable — the worst case being the joined row
+// count (or the distinct-domain width) times the largest absolute value.
+func (va *vecAggExec) avgExact(spec *vecAgg, pos int, distinct bool) bool {
+	at := &va.statsOf(spec.si).Attrs[pos]
+	if at.Min.IsNull() {
+		return true
+	}
+	maxAbs := math.Max(math.Abs(at.Min.Float()), math.Abs(at.Max.Float()))
+	n := 1.0
+	if distinct {
+		n = float64(spec.setWords * 64)
+	} else {
+		for _, st := range va.pq.plan.Steps {
+			n *= math.Max(float64(st.TableRows), 1)
+		}
+	}
+	return n*maxAbs < float64(exactInt)
+}
+
+// compilePost lowers HAVING, the select items, and the ORDER BY keys onto
+// the synthetic group row [key values..., aggregate results...]. Every
+// column reference must match a GROUP BY key; aggregates land in their
+// result slots. ok=false means some expression is outside the dialect (a
+// stray column, a subquery, an ungated aggregate) — fall back.
+func (va *vecAggExec) compilePost(sel *sqlparser.SelectStmt, entries []fromEntry, items []sqlparser.SelectItem) bool {
+	pq := va.pq
+	nK := len(va.keys)
+	gpq := *pq
+	gpq.leaf = func(e sqlparser.Expr) (rowEval, bool, bool) {
+		if j, ok := groupByIndex(e, sel.GroupBy, entries); ok {
+			slot := j
+			return func(_ *evalCtx, row []value.Value) (value.Value, error) { return row[slot], nil }, true, true
+		}
+		if a, ok := e.(*sqlparser.AggregateExpr); ok {
+			idx, ok := va.addAgg(a)
+			if !ok {
+				return nil, true, false
+			}
+			slot := nK + idx
+			return func(_ *evalCtx, row []value.Value) (value.Value, error) { return row[slot], nil }, true, true
+		}
+		if _, ok := e.(*sqlparser.ColumnRef); ok {
+			// Neither grouped nor aggregated: the environment path raises
+			// the grouping-rule error.
+			return nil, true, false
+		}
+		return nil, false, false
+	}
+	if sel.Having != nil {
+		ev, ok := gpq.compile(sel.Having)
+		if !ok {
+			return false
+		}
+		va.having = ev
+	}
+	for _, it := range items {
+		ev, ok := gpq.compile(it.Expr)
+		if !ok {
+			return false
+		}
+		va.items = append(va.items, ev)
+	}
+	for _, o := range sel.OrderBy {
+		k := plannedSortKey{col: -1, desc: o.Desc}
+		if col, ok, err := orderTarget(o, items); err != nil {
+			k.err = err
+		} else if ok {
+			k.col = col
+		} else if sel.Distinct {
+			// Group alignment is lost after dedup; mirror the naive error.
+			k.err = fmt.Errorf("engine: ORDER BY expression %s is not in the select list", o.Expr.SQL())
+		} else if err := checkGroupedExpr(o.Expr, sel, entries); err != nil {
+			k.err = err
+		} else {
+			ev, ok := gpq.compile(o.Expr)
+			if !ok {
+				return false
+			}
+			k.eval = ev
+		}
+		va.sortKeys = append(va.sortKeys, k)
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation state
+// ---------------------------------------------------------------------------
+
+// vecAccs holds one aggregate's per-group accumulator columns; only the
+// slices the function and argument kind need are grown. bestM/bestSeq stamp
+// when the current MIN/MAX payload was first seen, so parallel merges keep
+// the first-seen payload among compare-equal candidates (float images can
+// tie across distinct payloads: huge ints, -0.0 vs +0.0).
+type vecAccs struct {
+	count   []int64
+	sumI    []int64
+	sumF    []float64
+	has     []bool
+	bestI   []int64
+	bestF   []float64
+	bestS   []string
+	bestB   []bool
+	bestM   []int32
+	bestSeq []int64
+	sets    [][]uint64
+}
+
+func (a *vecAccs) grow(spec *vecAgg) {
+	if spec.star {
+		return
+	}
+	if spec.distinct {
+		a.sets = append(a.sets, nil)
+		return
+	}
+	switch spec.fn {
+	case sqlparser.AggCount:
+		a.count = append(a.count, 0)
+	case sqlparser.AggSum, sqlparser.AggAvg:
+		a.count = append(a.count, 0)
+		a.sumF = append(a.sumF, 0)
+		if spec.kind == value.Int {
+			a.sumI = append(a.sumI, 0)
+		}
+	case sqlparser.AggMin, sqlparser.AggMax:
+		a.has = append(a.has, false)
+		switch spec.kind {
+		case value.Int, value.Date:
+			a.bestI = append(a.bestI, 0)
+		case value.Float:
+			a.bestF = append(a.bestF, 0)
+		case value.Text:
+			a.bestS = append(a.bestS, "")
+		case value.Bool:
+			a.bestB = append(a.bestB, false)
+		}
+		if spec.kind == value.Int || spec.kind == value.Float {
+			a.bestM = append(a.bestM, 0)
+			a.bestSeq = append(a.bestSeq, 0)
+		}
+	}
+}
+
+// vecAggState is one worker's aggregation state: the group lookup (array or
+// hash tier), dense per-group key values, row counts, first-seen stamps, and
+// one accumulator column set per aggregate.
+type vecAggState struct {
+	n        int
+	arrIdx   []int32          // array tier: composed code -> group+1 (0 empty)
+	codes    []uint64         // array tier: composed code per group (merge re-lookup)
+	hashIdx  map[string]int32 // hash tier: packed key -> group+1
+	keySlab  []byte           // hash tier: packed keys, keyW bytes per group
+	keyVals  []value.Value    // nKeys values per group, first-seen row
+	rows     []int64
+	firstM   []int32
+	firstSeq []int64
+	accs     []vecAccs
+}
+
+func newVecAggState(va *vecAggExec) *vecAggState {
+	s := &vecAggState{accs: make([]vecAccs, len(va.aggs))}
+	if va.arrayTier {
+		s.arrIdx = make([]int32, va.domain)
+	} else {
+		s.hashIdx = make(map[string]int32)
+	}
+	return s
+}
+
+// addGroup appends one zeroed group and returns its dense index. The caller
+// fills keyVals and stamps.
+func (s *vecAggState) addGroup(va *vecAggExec) int32 {
+	gi := int32(s.n)
+	s.n++
+	s.rows = append(s.rows, 0)
+	s.firstM = append(s.firstM, 0)
+	s.firstSeq = append(s.firstSeq, 0)
+	for j := range s.accs {
+		s.accs[j].grow(va.aggs[j])
+	}
+	return gi
+}
+
+// upsert maps the current row (positions in fc.pos) to its dense group,
+// creating it on first sight with the row's key values and stamp.
+func (s *vecAggState) upsert(va *vecAggExec, fc *fusedCtx) int32 {
+	if va.arrayTier {
+		var code uint64
+		for i := range va.keys {
+			k := &va.keys[i]
+			code += k.arrayCode(int(fc.pos[k.si])) * k.stride
+		}
+		if g := s.arrIdx[code]; g != 0 {
+			return g - 1
+		}
+		gi := s.addGroup(va)
+		s.arrIdx[code] = gi + 1
+		s.codes = append(s.codes, code)
+		s.fillGroup(va, fc, gi)
+		return gi
+	}
+	fc.keyBuf = fc.keyBuf[:0]
+	for i := range va.keys {
+		k := &va.keys[i]
+		fc.keyBuf = k.pack(fc.keyBuf, int(fc.pos[k.si]))
+	}
+	if g, ok := s.hashIdx[string(fc.keyBuf)]; ok {
+		return g - 1
+	}
+	gi := s.addGroup(va)
+	s.keySlab = append(s.keySlab, fc.keyBuf...)
+	s.hashIdx[string(fc.keyBuf)] = gi + 1
+	s.fillGroup(va, fc, gi)
+	return gi
+}
+
+// fillGroup materializes the group's key values from the creating row and
+// records its first-seen stamp.
+func (s *vecAggState) fillGroup(va *vecAggExec, fc *fusedCtx, gi int32) {
+	for i := range va.keys {
+		k := &va.keys[i]
+		s.keyVals = append(s.keyVals, k.col.Value(int(fc.pos[k.si])))
+	}
+	s.firstM[gi] = fc.m
+	s.firstSeq[gi] = fc.seq
+}
+
+// update consumes one joined row (by positions) into the state.
+func (s *vecAggState) update(va *vecAggExec, fc *fusedCtx) {
+	fc.seq++
+	gi := s.upsert(va, fc)
+	s.rows[gi]++
+	for j, spec := range va.aggs {
+		if spec.star {
+			continue
+		}
+		ti := int(fc.pos[spec.si])
+		if spec.col.Null(ti) {
+			continue
+		}
+		a := &s.accs[j]
+		if spec.distinct {
+			code := spec.distinctCode(ti)
+			set := a.sets[gi]
+			if set == nil {
+				set = make([]uint64, spec.setWords)
+				a.sets[gi] = set
+			}
+			set[code>>6] |= 1 << (code & 63)
+			continue
+		}
+		switch spec.fn {
+		case sqlparser.AggCount:
+			a.count[gi]++
+		case sqlparser.AggSum, sqlparser.AggAvg:
+			a.count[gi]++
+			if spec.kind == value.Int {
+				x := spec.ints[ti]
+				a.sumI[gi] += x
+				a.sumF[gi] += float64(x)
+			} else {
+				a.sumF[gi] += spec.flts[ti]
+			}
+		case sqlparser.AggMin, sqlparser.AggMax:
+			s.updateBest(spec, a, gi, ti, fc)
+		}
+	}
+}
+
+// updateBest applies one MIN/MAX candidate, mirroring value.Compare: numeric
+// kinds compare as float64 images, and only strict improvements replace the
+// held payload (so ties keep the first-seen value).
+func (s *vecAggState) updateBest(spec *vecAgg, a *vecAccs, gi int32, ti int, fc *fusedCtx) {
+	min := spec.fn == sqlparser.AggMin
+	switch spec.kind {
+	case value.Int, value.Date:
+		x := spec.ints[ti]
+		if !a.has[gi] {
+			a.has[gi], a.bestI[gi] = true, x
+		} else {
+			var c int
+			if spec.kind == value.Int {
+				c = cmpFloat(float64(x), float64(a.bestI[gi]))
+			} else {
+				c = cmpInt(x, a.bestI[gi])
+			}
+			if (min && c < 0) || (!min && c > 0) {
+				a.bestI[gi] = x
+			} else {
+				return
+			}
+		}
+	case value.Float:
+		x := spec.flts[ti]
+		if !a.has[gi] {
+			a.has[gi], a.bestF[gi] = true, x
+		} else if c := cmpFloat(x, a.bestF[gi]); (min && c < 0) || (!min && c > 0) {
+			a.bestF[gi] = x
+		} else {
+			return
+		}
+	case value.Text:
+		x := spec.col.DictString(spec.cds[ti])
+		if !a.has[gi] {
+			a.has[gi], a.bestS[gi] = true, x
+		} else if c := strings.Compare(x, a.bestS[gi]); (min && c < 0) || (!min && c > 0) {
+			a.bestS[gi] = x
+		} else {
+			return
+		}
+	case value.Bool:
+		x := spec.bls[ti]
+		if !a.has[gi] {
+			a.has[gi], a.bestB[gi] = true, x
+		} else if c := cmpBool(x, a.bestB[gi]); (min && c < 0) || (!min && c > 0) {
+			a.bestB[gi] = x
+		} else {
+			return
+		}
+	}
+	if a.bestM != nil {
+		a.bestM[gi], a.bestSeq[gi] = fc.m, fc.seq
+	}
+}
+
+// finalize materializes one aggregate's result for group gi, mirroring the
+// naive accumulator's semantics (NULL on empty input for SUM/AVG/MIN/MAX,
+// integer SUM over integer input, float AVG).
+func (s *vecAggState) finalize(va *vecAggExec, j int, gi int32) value.Value {
+	spec := va.aggs[j]
+	if spec.star {
+		return value.NewInt(s.rows[gi])
+	}
+	a := &s.accs[j]
+	if spec.distinct {
+		set := a.sets[gi]
+		n, sumI, sumF := setFold(spec, set)
+		switch spec.fn {
+		case sqlparser.AggCount:
+			return value.NewInt(n)
+		case sqlparser.AggSum:
+			if n == 0 {
+				return value.NewNull()
+			}
+			return value.NewInt(sumI)
+		default: // AggAvg
+			if n == 0 {
+				return value.NewNull()
+			}
+			return value.NewFloat(sumF / float64(n))
+		}
+	}
+	switch spec.fn {
+	case sqlparser.AggCount:
+		return value.NewInt(a.count[gi])
+	case sqlparser.AggSum:
+		if a.count[gi] == 0 {
+			return value.NewNull()
+		}
+		if spec.kind == value.Int {
+			return value.NewInt(a.sumI[gi])
+		}
+		return value.NewFloat(a.sumF[gi])
+	case sqlparser.AggAvg:
+		if a.count[gi] == 0 {
+			return value.NewNull()
+		}
+		return value.NewFloat(a.sumF[gi] / float64(a.count[gi]))
+	default: // AggMin, AggMax
+		if !a.has[gi] {
+			return value.NewNull()
+		}
+		switch spec.kind {
+		case value.Int:
+			return value.NewInt(a.bestI[gi])
+		case value.Date:
+			return value.NewDateDays(a.bestI[gi])
+		case value.Float:
+			return value.NewFloat(a.bestF[gi])
+		case value.Text:
+			return value.NewText(a.bestS[gi])
+		default:
+			return value.NewBool(a.bestB[gi])
+		}
+	}
+}
+
+// setFold counts a DISTINCT bitset and, for integer arguments, folds the
+// decoded values into integer and float sums (code order; integer addition
+// is order-free and the float sum is pre-gated exact).
+func setFold(spec *vecAgg, set []uint64) (n, sumI int64, sumF float64) {
+	for w, word := range set {
+		n += int64(bits.OnesCount64(word))
+		if spec.fn == sqlparser.AggCount {
+			continue
+		}
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << b
+			v := spec.setBase + int64(w*64+b)
+			sumI += v
+			sumF += float64(v)
+		}
+	}
+	return n, sumI, sumF
+}
+
+// ---------------------------------------------------------------------------
+// Fused pipeline
+// ---------------------------------------------------------------------------
+
+// fusedProbe reads a probe value from an earlier step's current position.
+type fusedProbe struct {
+	si  int
+	col storage.Col
+}
+
+// fusedStep is one join stage of the fused pipeline.
+type fusedStep struct {
+	access planner.Access
+	tbl    *storage.Table
+	chain  joinChain    // JoinHash
+	probe  fusedProbe   // JoinHash
+	probes []fusedProbe // JoinPK / JoinIndex
+	ix     *storage.Index
+	inner  []int32 // JoinLoop: prefiltered inner positions
+}
+
+// fusedCtx is one worker's pipeline scratch: per-step positions, the key
+// pack buffer, per-step row counters, the private aggregation state, and the
+// current (morsel, sequence) stamp.
+type fusedCtx struct {
+	pos      []int32
+	keyBuf   []byte
+	stepRows []int64
+	state    *vecAggState
+	m        int32
+	seq      int64
+}
+
+// fusedRun executes one compiled query: shared immutable step structures
+// plus the plan for bookkeeping.
+type fusedRun struct {
+	pq    *plannedQuery
+	va    *vecAggExec
+	steps []fusedStep
+}
+
+func (fx *fusedRun) newCtx(va *vecAggExec) *fusedCtx {
+	return &fusedCtx{
+		pos:      make([]int32, len(fx.steps)),
+		stepRows: make([]int64, len(fx.steps)),
+		state:    newVecAggState(va),
+	}
+}
+
+// feed pushes the current position vector through join step si and beyond,
+// updating the aggregation state at the end of the pipeline. No predicate on
+// this path can error (the vec gate guarantees it).
+func (fx *fusedRun) feed(fc *fusedCtx, si int) {
+	if si == len(fx.steps) {
+		fc.state.update(fx.va, fc)
+		return
+	}
+	fs := &fx.steps[si]
+	switch fs.access {
+	case planner.JoinHash:
+		k, ok := joinKeyOf(fs.probe.col.Value(int(fc.pos[fs.probe.si])))
+		if !ok {
+			return
+		}
+		for p := fs.chain.head[k]; p != 0; p = fs.chain.next[p-1] {
+			fc.pos[si] = p - 1
+			fc.stepRows[si]++
+			fx.feed(fc, si+1)
+		}
+	case planner.JoinPK:
+		fc.keyBuf = fc.keyBuf[:0]
+		for _, pr := range fs.probes {
+			v := pr.col.Value(int(fc.pos[pr.si]))
+			if v.IsNull() {
+				return
+			}
+			fc.keyBuf = v.AppendKey(fc.keyBuf)
+		}
+		pos, ok := fs.tbl.LookupPKPos(fc.keyBuf)
+		if !ok || !fx.pq.vecPass(si, pos) {
+			return
+		}
+		fc.pos[si] = int32(pos)
+		fc.stepRows[si]++
+		fx.feed(fc, si+1)
+	case planner.JoinIndex:
+		fc.keyBuf = fc.keyBuf[:0]
+		for _, pr := range fs.probes {
+			v := pr.col.Value(int(fc.pos[pr.si]))
+			if v.IsNull() {
+				return
+			}
+			fc.keyBuf = v.AppendKey(fc.keyBuf)
+		}
+		for _, pos := range fs.ix.Probe(fc.keyBuf) {
+			if !fx.pq.vecPass(si, pos) {
+				continue
+			}
+			fc.pos[si] = int32(pos)
+			fc.stepRows[si]++
+			fx.feed(fc, si+1)
+		}
+	default: // JoinLoop
+		for _, ti := range fs.inner {
+			fc.pos[si] = ti
+			fc.stepRows[si]++
+			fx.feed(fc, si+1)
+		}
+	}
+}
+
+// runVecAgg drives the fused pipeline: build the join structures, scan the
+// base table (morsel-parallel when scheduled), merge partial states, and
+// shape the grouped output.
+func (ex *Engine) runVecAgg(sel *sqlparser.SelectStmt, pq *plannedQuery, va *vecAggExec, cols []string) (*Result, error) {
+	steps := pq.plan.Steps
+	fx := &fusedRun{pq: pq, va: va, steps: make([]fusedStep, len(steps))}
+	for si := 1; si < len(steps); si++ {
+		st := steps[si]
+		fs := &fx.steps[si]
+		fs.access, fs.tbl = st.Access, st.Input.Tbl
+		switch st.Access {
+		case planner.JoinHash:
+			psi, ppos := pq.slotOwner(st.ProbeSlot)
+			fs.probe = fusedProbe{si: psi, col: steps[psi].Input.Tbl.Col(ppos)}
+			fs.chain = pq.buildChain(si, st.Input.Tbl, st.BuildPos, nil)
+		case planner.JoinPK, planner.JoinIndex:
+			for _, slot := range st.ProbeSlots {
+				psi, ppos := pq.slotOwner(slot)
+				fs.probes = append(fs.probes, fusedProbe{si: psi, col: steps[psi].Input.Tbl.Col(ppos)})
+			}
+			if st.Access == planner.JoinIndex {
+				fs.ix = st.Input.Tbl.Index(st.IndexName)
+				if fs.ix == nil {
+					return nil, fmt.Errorf("engine: plan references missing index %q on %s", st.IndexName, st.Input.Rel.Name)
+				}
+			}
+		default: // JoinLoop
+			fs.inner = pq.loopInner(si, st.Input.Tbl)
+		}
+	}
+
+	st0 := steps[0]
+	var ctxs []*fusedCtx
+	var ordered []int32
+	var final *vecAggState
+	if st0.Access == planner.ScanPK || st0.Access == planner.ScanIndex {
+		fc := fx.newCtx(va)
+		ctxs = []*fusedCtx{fc}
+		positions, err := scanProbePositions(pq, st0)
+		if err != nil {
+			return nil, err
+		}
+		for _, pos := range positions {
+			if !pq.vecPass(0, pos) {
+				continue
+			}
+			fc.pos[0] = int32(pos)
+			fc.stepRows[0]++
+			fx.feed(fc, 1)
+		}
+		final = fc.state
+	} else {
+		n := st0.Input.Tbl.Len()
+		workers := 1
+		if va.parallel {
+			workers = ex.workersFor(n)
+			if nm := (n + morselRows - 1) / morselRows; workers > nm {
+				workers = nm
+			}
+		}
+		if workers <= 1 {
+			fc := fx.newCtx(va)
+			ctxs = []*fusedCtx{fc}
+			for ti := 0; ti < n; ti++ {
+				if !pq.vecPass(0, ti) {
+					continue
+				}
+				fc.pos[0] = int32(ti)
+				fc.stepRows[0]++
+				fx.feed(fc, 1)
+			}
+			final = fc.state
+		} else {
+			nMorsels := (n + morselRows - 1) / morselRows
+			ctxs = make([]*fusedCtx, workers)
+			var cursor atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				fc := fx.newCtx(va)
+				ctxs[w] = fc
+				wg.Add(1)
+				go func(fc *fusedCtx) {
+					defer wg.Done()
+					for {
+						m := int(cursor.Add(1)) - 1
+						if m >= nMorsels {
+							return
+						}
+						lo := m * morselRows
+						hi := lo + morselRows
+						if hi > n {
+							hi = n
+						}
+						fc.m, fc.seq = int32(m), 0
+						for ti := lo; ti < hi; ti++ {
+							if !fx.pq.vecPass(0, ti) {
+								continue
+							}
+							fc.pos[0] = int32(ti)
+							fc.stepRows[0]++
+							fx.feed(fc, 1)
+						}
+					}
+				}(fc)
+			}
+			wg.Wait()
+			states := make([]*vecAggState, len(ctxs))
+			for i, fc := range ctxs {
+				states[i] = fc.state
+			}
+			final = mergeVecAggStates(va, states)
+			ordered = stampOrder(final)
+		}
+	}
+	if ordered == nil {
+		ordered = make([]int32, final.n)
+		for i := range ordered {
+			ordered[i] = int32(i)
+		}
+	}
+
+	// Bookkeeping: per-step and total actual row counts, summed over workers.
+	for si := range steps {
+		var total int64
+		for _, fc := range ctxs {
+			total += fc.stepRows[si]
+		}
+		steps[si].ActualRows = int(total)
+	}
+	pq.plan.ActualRows = steps[len(steps)-1].ActualRows
+	setParallelScanActual(pq.plan, steps[0].ActualRows)
+
+	return ex.finishVecAgg(sel, pq, va, final, ordered, cols)
+}
+
+// scanProbePositions resolves a first-step primary-key or index probe to row
+// positions, mirroring runScanStep (a NULL key value matches nothing).
+func scanProbePositions(pq *plannedQuery, st *planner.Step) ([]int, error) {
+	var kb []byte
+	for _, v := range st.KeyValues {
+		if v.IsNull() {
+			return nil, nil
+		}
+		kb = v.AppendKey(kb)
+	}
+	if st.Access == planner.ScanPK {
+		if pos, ok := st.Input.Tbl.LookupPKPos(kb); ok {
+			return []int{pos}, nil
+		}
+		return nil, nil
+	}
+	ix := st.Input.Tbl.Index(st.IndexName)
+	if ix == nil {
+		return nil, fmt.Errorf("engine: plan references missing index %q on %s", st.IndexName, st.Input.Rel.Name)
+	}
+	return ix.Probe(kb), nil
+}
+
+// stampOrder sorts the merged groups by first-seen stamp — the order a
+// serial scan would have created them in.
+func stampOrder(s *vecAggState) []int32 {
+	order := make([]int32, s.n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ga, gb := order[a], order[b]
+		if s.firstM[ga] != s.firstM[gb] {
+			return s.firstM[ga] < s.firstM[gb]
+		}
+		return s.firstSeq[ga] < s.firstSeq[gb]
+	})
+	return order
+}
+
+// mergeVecAggStates folds per-worker partial states into one, in any order:
+// every accumulator the parallel gate admits merges exactly, and group order
+// is reconstructed afterwards from the first-seen stamps.
+func mergeVecAggStates(va *vecAggExec, parts []*vecAggState) *vecAggState {
+	g := newVecAggState(va)
+	nK := len(va.keys)
+	for _, p := range parts {
+		for gi := int32(0); gi < int32(p.n); gi++ {
+			mgi, created := g.adopt(va, p, gi)
+			if created || p.firstM[gi] < g.firstM[mgi] ||
+				(p.firstM[gi] == g.firstM[mgi] && p.firstSeq[gi] < g.firstSeq[mgi]) {
+				g.firstM[mgi], g.firstSeq[mgi] = p.firstM[gi], p.firstSeq[gi]
+				// The earliest-seen row also defines the group's key values
+				// (identical payloads except for float -0/+0 and huge-int
+				// aliases, where the naive pipeline keeps the first).
+				copy(g.keyVals[int(mgi)*nK:(int(mgi)+1)*nK], p.keyVals[int(gi)*nK:(int(gi)+1)*nK])
+			}
+			g.rows[mgi] += p.rows[gi]
+			for j, spec := range va.aggs {
+				mergeAcc(spec, &g.accs[j], mgi, &p.accs[j], gi)
+			}
+		}
+	}
+	return g
+}
+
+// adopt finds (or creates) the merged group matching part group gi.
+func (g *vecAggState) adopt(va *vecAggExec, p *vecAggState, gi int32) (int32, bool) {
+	nK := len(va.keys)
+	if va.arrayTier {
+		code := p.codes[gi]
+		if m := g.arrIdx[code]; m != 0 {
+			return m - 1, false
+		}
+		mgi := g.addGroup(va)
+		g.arrIdx[code] = mgi + 1
+		g.codes = append(g.codes, code)
+		g.keyVals = append(g.keyVals, p.keyVals[int(gi)*nK:(int(gi)+1)*nK]...)
+		g.firstM[mgi], g.firstSeq[mgi] = p.firstM[gi], p.firstSeq[gi]
+		return mgi, true
+	}
+	key := p.keySlab[int(gi)*va.keyW : (int(gi)+1)*va.keyW]
+	if m, ok := g.hashIdx[string(key)]; ok {
+		return m - 1, false
+	}
+	mgi := g.addGroup(va)
+	g.keySlab = append(g.keySlab, key...)
+	g.hashIdx[string(key)] = mgi + 1
+	g.keyVals = append(g.keyVals, p.keyVals[int(gi)*nK:(int(gi)+1)*nK]...)
+	g.firstM[mgi], g.firstSeq[mgi] = p.firstM[gi], p.firstSeq[gi]
+	return mgi, true
+}
+
+// mergeAcc folds part accumulator pgi into merged accumulator mgi.
+func mergeAcc(spec *vecAgg, m *vecAccs, mgi int32, p *vecAccs, pgi int32) {
+	if spec.star {
+		return
+	}
+	if spec.distinct {
+		ps := p.sets[pgi]
+		if ps == nil {
+			return
+		}
+		if m.sets[mgi] == nil {
+			m.sets[mgi] = ps // parts are discarded after the merge
+			return
+		}
+		ms := m.sets[mgi]
+		for w := range ps {
+			ms[w] |= ps[w]
+		}
+		return
+	}
+	switch spec.fn {
+	case sqlparser.AggCount:
+		m.count[mgi] += p.count[pgi]
+	case sqlparser.AggSum, sqlparser.AggAvg:
+		m.count[mgi] += p.count[pgi]
+		m.sumF[mgi] += p.sumF[pgi]
+		if spec.kind == value.Int {
+			m.sumI[mgi] += p.sumI[pgi]
+		}
+	case sqlparser.AggMin, sqlparser.AggMax:
+		if !p.has[pgi] {
+			return
+		}
+		if !m.has[mgi] {
+			copyBest(spec, m, mgi, p, pgi)
+			return
+		}
+		min := spec.fn == sqlparser.AggMin
+		var c int
+		switch spec.kind {
+		case value.Int:
+			c = cmpFloat(float64(p.bestI[pgi]), float64(m.bestI[mgi]))
+		case value.Date:
+			c = cmpInt(p.bestI[pgi], m.bestI[mgi])
+		case value.Float:
+			c = cmpFloat(p.bestF[pgi], m.bestF[mgi])
+		case value.Text:
+			c = strings.Compare(p.bestS[pgi], m.bestS[mgi])
+		default:
+			c = cmpBool(p.bestB[pgi], m.bestB[mgi])
+		}
+		if (min && c < 0) || (!min && c > 0) {
+			copyBest(spec, m, mgi, p, pgi)
+		} else if c == 0 && m.bestM != nil &&
+			(p.bestM[pgi] < m.bestM[mgi] ||
+				(p.bestM[pgi] == m.bestM[mgi] && p.bestSeq[pgi] < m.bestSeq[mgi])) {
+			// Compare-equal but distinct payloads (float-image ties): keep
+			// the first-seen one, like the serial accumulator.
+			copyBest(spec, m, mgi, p, pgi)
+		}
+	}
+}
+
+func copyBest(spec *vecAgg, m *vecAccs, mgi int32, p *vecAccs, pgi int32) {
+	m.has[mgi] = true
+	switch spec.kind {
+	case value.Int, value.Date:
+		m.bestI[mgi] = p.bestI[pgi]
+	case value.Float:
+		m.bestF[mgi] = p.bestF[pgi]
+	case value.Text:
+		m.bestS[mgi] = p.bestS[pgi]
+	default:
+		m.bestB[mgi] = p.bestB[pgi]
+	}
+	if m.bestM != nil {
+		m.bestM[mgi], m.bestSeq[mgi] = p.bestM[pgi], p.bestSeq[pgi]
+	}
+}
+
+// finishVecAgg finalizes the groups in first-seen order: HAVING, projection,
+// and shared shaping (DISTINCT, ORDER BY, LIMIT) over synthetic group rows.
+func (ex *Engine) finishVecAgg(sel *sqlparser.SelectStmt, pq *plannedQuery, va *vecAggExec, g *vecAggState, ordered []int32, cols []string) (*Result, error) {
+	// A grouped query with no GROUP BY and no input rows still yields one
+	// group (COUNT(*) = 0).
+	if len(sel.GroupBy) == 0 && g.n == 0 {
+		ordered = append(ordered, g.addGroup(va))
+	}
+	nK, nA := len(va.keys), len(va.aggs)
+	extW := nK + nA
+	flat := make([]value.Value, len(ordered)*extW)
+	ec := pq.newCtx()
+	out := &Result{Columns: cols}
+	var exts [][]value.Value
+	for _, gi := range ordered {
+		ext := flat[:extW:extW]
+		flat = flat[extW:]
+		copy(ext[:nK], g.keyVals[int(gi)*nK:(int(gi)+1)*nK])
+		for j := 0; j < nA; j++ {
+			ext[nK+j] = g.finalize(va, j, gi)
+		}
+		if va.having != nil {
+			v, err := va.having(ec, ext)
+			if err != nil {
+				return nil, err
+			}
+			if !passes(v) {
+				continue
+			}
+		}
+		row := make(storage.Tuple, len(va.items))
+		for i, ev := range va.items {
+			v, err := ev(ec, ext)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		out.Rows = append(out.Rows, row)
+		exts = append(exts, ext)
+	}
+	setShapeActual(pq.plan, planner.ShapeVecAggregate, len(out.Rows))
+
+	keyOf := func(i int, k *plannedSortKey) (value.Value, error) {
+		if k.col >= 0 {
+			return out.Rows[i][k.col], nil
+		}
+		return k.eval(ec, exts[i])
+	}
+	return ex.shapeResult(sel, pq, out, va.sortKeys, keyOf)
+}

@@ -824,6 +824,51 @@ func (ex *Engine) runScanStep(pq *plannedQuery, st *planner.Step) (batch, error)
 	}
 }
 
+// buildChain hashes the filtered rows of step si's table on attribute
+// buildPos into a chained join table. keep, when non-nil, is a precomputed
+// filter mask (generic self-filters); otherwise the step's vectorized prefix
+// decides. The chain is threaded in reverse so probes walk matches in
+// ascending row order. Shared by the batch join pipeline and the fused
+// aggregation pipeline.
+func (pq *plannedQuery) buildChain(si int, tbl *storage.Table, buildPos int, keep []bool) joinChain {
+	n := tbl.Len()
+	buildCol := tbl.Col(buildPos)
+	chain := joinChain{head: make(map[joinKey]int32, n), next: make([]int32, n)}
+	for ti := n - 1; ti >= 0; ti-- {
+		if keep != nil {
+			if !keep[ti] {
+				continue
+			}
+		} else if !pq.vecPass(si, ti) {
+			continue
+		}
+		// Col.Value materializes without allocating (text shares the
+		// dictionary string), so this shares joinKeyOf's normalization
+		// instead of duplicating it per column kind.
+		k, ok := joinKeyOf(buildCol.Value(ti))
+		if !ok {
+			continue
+		}
+		chain.next[ti] = chain.head[k]
+		chain.head[k] = int32(ti) + 1
+	}
+	return chain
+}
+
+// loopInner lists the positions of step si's table that pass its vectorized
+// filter prefix — the prefiltered inner side of a nested-loop join. Shared by
+// the batch join pipeline and the fused aggregation pipeline.
+func (pq *plannedQuery) loopInner(si int, tbl *storage.Table) []int32 {
+	n := tbl.Len()
+	inner := make([]int32, 0, n)
+	for ti := 0; ti < n; ti++ {
+		if pq.vecPass(si, ti) {
+			inner = append(inner, int32(ti))
+		}
+	}
+	return inner
+}
+
 // runJoinStep extends every current row with matches from the step's table.
 func (ex *Engine) runJoinStep(pq *plannedQuery, si int, st *planner.Step, cur batch) (batch, error) {
 	tbl := st.Input.Tbl
@@ -870,26 +915,7 @@ func (ex *Engine) runJoinStep(pq *plannedQuery, si int, st *planner.Step, cur ba
 				keep[ti] = ok
 			}
 		}
-		buildCol := tbl.Col(st.BuildPos)
-		chain := joinChain{head: make(map[joinKey]int32, n), next: make([]int32, n)}
-		for ti := n - 1; ti >= 0; ti-- {
-			if keep != nil {
-				if !keep[ti] {
-					continue
-				}
-			} else if !pq.vecPass(si, ti) {
-				continue
-			}
-			// Col.Value materializes without allocating (text shares the
-			// dictionary string), so this shares joinKeyOf's normalization
-			// instead of duplicating it per column kind.
-			k, ok := joinKeyOf(buildCol.Value(ti))
-			if !ok {
-				continue
-			}
-			chain.next[ti] = chain.head[k]
-			chain.head[k] = int32(ti) + 1
-		}
+		chain := pq.buildChain(si, tbl, st.BuildPos, keep)
 		probeSlot := st.ProbeSlot
 		return ex.gatherBatches(pq, len(cur.rows), func(ec *evalCtx, lo, hi int, out *batch) error {
 			for i := lo; i < hi; i++ {
@@ -962,8 +988,9 @@ func (ex *Engine) runJoinStep(pq *plannedQuery, si int, st *planner.Step, cur ba
 
 	default: // JoinLoop — prefilter the inner side once, then cross.
 		n := tbl.Len()
-		inner := make([]int32, 0, n)
+		var inner []int32
 		if len(self) > 0 {
+			inner = make([]int32, 0, n)
 			ec := pq.newCtx()
 			width := len(st.Input.Rel.Attributes)
 			row := ec.scratchRow()
@@ -988,11 +1015,7 @@ func (ex *Engine) runJoinStep(pq *plannedQuery, si int, st *planner.Step, cur ba
 				}
 			}
 		} else {
-			for ti := 0; ti < n; ti++ {
-				if pq.vecPass(si, ti) {
-					inner = append(inner, int32(ti))
-				}
-			}
+			inner = pq.loopInner(si, tbl)
 		}
 		return ex.gatherBatches(pq, len(cur.rows), func(ec *evalCtx, lo, hi int, out *batch) error {
 			for i := lo; i < hi; i++ {
@@ -1104,6 +1127,13 @@ func (ex *Engine) execPlanned(sel *sqlparser.SelectStmt, entries []fromEntry, pl
 		// Fully vectorized single-table scans project straight from the
 		// column vectors, skipping row materialization entirely.
 		if res, ok, err := ex.tryVecScan(sel, entries, pq, earlyLimit); ok {
+			return res, err
+		}
+	} else {
+		// Grouped queries the planner marked vec-aggregate run the fused
+		// scan→join→aggregate pipeline over typed accumulators, never
+		// materializing a joined row.
+		if res, ok, err := ex.tryVecAgg(sel, entries, pq); ok {
 			return res, err
 		}
 	}
@@ -1231,6 +1261,12 @@ func (pq *plannedQuery) flatOrderKeys(sel *sqlparser.SelectStmt, items []sqlpars
 // prove planned and naive execution produce identical rows. Safe for
 // concurrent use.
 func (ex *Engine) SetPlannerEnabled(on bool) { ex.noPlan.Store(!on) }
+
+// SetVecAggEnabled toggles the fused vectorized-aggregation pipeline.
+// Disabled, grouped queries that would take it run the streaming
+// row-at-a-time aggregation instead — differential tests force this to prove
+// the two produce identical rows. Safe for concurrent use.
+func (ex *Engine) SetVecAggEnabled(on bool) { ex.noVecAgg.Store(!on) }
 
 // Plan builds (without executing) the plan the engine would use for sel.
 // Queries outside the planner's dialect return a plan with Fallback set.

@@ -152,10 +152,15 @@ func (ex *Engine) shapeResult(sel *sqlparser.SelectStmt, pq *plannedQuery, out *
 // when 0 < LIMIT < rows, a stable full sort otherwise (LIMIT 0 still sorts,
 // so comparison errors match the naive pipeline).
 func (ex *Engine) sortPlanned(sel *sqlparser.SelectStmt, out *Result, keys []plannedSortKey, keyOf func(i int, k *plannedSortKey) (value.Value, error)) error {
+	// One flat backing array serves every row's key vector, so sorting n
+	// rows costs two allocations — not one per row (X12 regression: top-K
+	// used to allocate a key slice per input row).
 	n := len(out.Rows)
 	kv := make([][]value.Value, n)
+	flat := make([]value.Value, n*len(keys))
 	for i := 0; i < n; i++ {
-		ks := make([]value.Value, len(keys))
+		ks := flat[:len(keys):len(keys)]
+		flat = flat[len(keys):]
 		for j := range keys {
 			k := &keys[j]
 			if k.err != nil {
@@ -206,10 +211,14 @@ func setShapeActual(plan *planner.Plan, kind planner.ShapeKind, n int) {
 }
 
 // setShapeFinal records the final shaped row count on every non-aggregate
-// shaping step (sort / top-k / limit all emit the final result).
+// shaping step (sort / top-k / limit all emit the final result). Aggregate
+// steps (generic or vectorized) and the parallel-scan marker keep their own
+// counts.
 func setShapeFinal(plan *planner.Plan, n int) {
 	for _, sh := range plan.Shape {
-		if sh.Kind != planner.ShapeAggregate {
+		switch sh.Kind {
+		case planner.ShapeAggregate, planner.ShapeVecAggregate, planner.ShapeParallelScan:
+		default:
 			sh.ActualRows = n
 		}
 	}

@@ -214,6 +214,9 @@ func buildShape(plan *Plan, sel *sqlparser.SelectStmt, res *resolver, stats []st
 		}
 		plan.Shape = append(plan.Shape, st)
 		cur = st.EstRows
+		// Upgrade to the vectorized-aggregation shape (and a morsel-parallel
+		// base scan) when the query fits the fused typed-accumulator dialect.
+		vecAggShape(plan, sel, res, stats, st)
 	}
 	if len(sel.OrderBy) > 0 {
 		st := &ShapeStep{Kind: ShapeSort, EstRows: cur, ActualRows: -1}

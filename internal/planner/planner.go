@@ -120,11 +120,19 @@ type Step struct {
 type ShapeKind int
 
 // Shaping step kinds, in the order they can appear in a plan.
+// ShapeParallelScan and ShapeVecAggregate are the vectorized-aggregation
+// pair: a parallel-scan step marks the base scan as morsel-driven (fixed-size
+// position ranges claimed by workers from a shared cursor), and a
+// vec-aggregate step replaces the generic aggregate when every group key and
+// aggregate argument reads a typed column vector directly, so the engine
+// accumulates into unboxed typed arrays instead of hashing boxed rows.
 const (
 	ShapeAggregate ShapeKind = iota
 	ShapeSort
 	ShapeTopK
 	ShapeLimit
+	ShapeVecAggregate
+	ShapeParallelScan
 )
 
 // String names the shape kind the way explains render it.
@@ -138,6 +146,10 @@ func (k ShapeKind) String() string {
 		return "top-k"
 	case ShapeLimit:
 		return "limit"
+	case ShapeVecAggregate:
+		return "vec-aggregate"
+	case ShapeParallelScan:
+		return "parallel-scan"
 	default:
 		return fmt.Sprintf("shape(%d)", int(k))
 	}
@@ -220,6 +232,13 @@ func (p *Plan) Fingerprint() string {
 			if sh.Having != "" {
 				b.WriteString("+having")
 			}
+		case ShapeVecAggregate:
+			fmt.Fprintf(&b, ">vagg{%d,%d}", len(sh.GroupBy), len(sh.Aggregates))
+			if sh.Having != "" {
+				b.WriteString("+having")
+			}
+		case ShapeParallelScan:
+			b.WriteString(">pscan")
 		case ShapeSort:
 			fmt.Fprintf(&b, ">sort{%d}", len(sh.Keys))
 		case ShapeTopK:

@@ -219,7 +219,9 @@ func TestPlanShapeSteps(t *testing.T) {
 		t.Fatalf("shape steps = %d, want aggregate + top-k", len(p.Shape))
 	}
 	agg, topk := p.Shape[0], p.Shape[1]
-	if agg.Kind != planner.ShapeAggregate {
+	// The grouped query fits the vectorized-aggregation dialect (column
+	// group key, COUNT(*), compiled HAVING), so the aggregate step upgrades.
+	if agg.Kind != planner.ShapeVecAggregate {
 		t.Fatalf("first shape step = %s", agg.Kind)
 	}
 	genres := float64(db.Table("GENRE").Stats().Attrs[1].Distinct)
@@ -235,13 +237,13 @@ func TestPlanShapeSteps(t *testing.T) {
 		t.Errorf("top-k step = %+v", topk)
 	}
 	fp := p.Fingerprint()
-	for _, want := range []string{">agg{1,1}+having", ">topk{1,5}"} {
+	for _, want := range []string{">vagg{1,1}+having", ">topk{1,5}"} {
 		if !strings.Contains(fp, want) {
 			t.Errorf("fingerprint %q missing %q", fp, want)
 		}
 	}
 	s := p.Summarize()
-	if len(s.Shape) != 2 || s.Shape[0].Kind != "aggregate" || s.Shape[1].Kind != "top-k" {
+	if len(s.Shape) != 2 || s.Shape[0].Kind != "vec-aggregate" || s.Shape[1].Kind != "top-k" {
 		t.Errorf("summary shape = %+v", s.Shape)
 	}
 
@@ -257,5 +259,87 @@ func TestPlanShapeSteps(t *testing.T) {
 	p4 := buildPlan(t, db, "select m.title from MOVIES m")
 	if len(p4.Shape) != 0 {
 		t.Errorf("unshaped query grew shape steps: %+v", p4.Shape)
+	}
+}
+
+// TestVecAggGate pins the vectorized-aggregation gate: which grouped queries
+// earn the vec-aggregate shape, when a morsel-parallel scan is scheduled, and
+// which shapes stay on the generic aggregate.
+func TestVecAggGate(t *testing.T) {
+	db, err := dataset.GenerateMovieDB(dataset.GenConfig{
+		Seed: 7, Movies: 4000, Actors: 500, Directors: 21, CastPerMovie: 2, GenresPerMovie: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := func(p *planner.Plan) []planner.ShapeKind {
+		var out []planner.ShapeKind
+		for _, sh := range p.Shape {
+			out = append(out, sh.Kind)
+		}
+		return out
+	}
+
+	// Single-table grouped scan over a vectorizable filter: vec-aggregate
+	// with a morsel-parallel scan (COUNT/MIN merge exactly; the table is
+	// large enough to fan out).
+	p := buildPlan(t, db, `select m.year, count(*), min(m.title) from MOVIES m
+		where m.year >= 1960 group by m.year`)
+	got := kinds(p)
+	if len(got) != 2 || got[0] != planner.ShapeParallelScan || got[1] != planner.ShapeVecAggregate {
+		t.Fatalf("shape kinds = %v, want [parallel-scan vec-aggregate]", got)
+	}
+	if !strings.Contains(p.Fingerprint(), ">pscan>vagg{1,2}") {
+		t.Errorf("fingerprint = %q", p.Fingerprint())
+	}
+	if p.Shape[0].K != planner.MorselRows {
+		t.Errorf("parallel-scan K = %d, want the morsel size", p.Shape[0].K)
+	}
+
+	// Post-join grouping with AVG over a bounded int column still merges
+	// exactly: parallel-scan stays.
+	p = buildPlan(t, db, `select g.genre, count(*), avg(m.year) from MOVIES m, GENRE g
+		where m.id = g.mid group by g.genre`)
+	got = kinds(p)
+	if len(got) != 2 || got[0] != planner.ShapeParallelScan || got[1] != planner.ShapeVecAggregate {
+		t.Fatalf("join shape kinds = %v, want [parallel-scan vec-aggregate]", got)
+	}
+
+	// Float sums replicate naive row-order accumulation: vec-aggregate
+	// without a parallel scan. (MOVIES has no float column; a non-column
+	// aggregate argument must instead fall back entirely.)
+	p = buildPlan(t, db, `select m.year, sum(m.id + 1) from MOVIES m group by m.year`)
+	got = kinds(p)
+	if len(got) != 1 || got[0] != planner.ShapeAggregate {
+		t.Fatalf("expression-argument shape kinds = %v, want [aggregate]", got)
+	}
+
+	// A subquery in HAVING is outside the dialect.
+	p = buildPlan(t, db, `select m.year, count(*) from MOVIES m group by m.year
+		having count(*) > (select min(g.mid) from GENRE g)`)
+	got = kinds(p)
+	if len(got) != 1 || got[0] != planner.ShapeAggregate {
+		t.Fatalf("subquery-HAVING shape kinds = %v, want [aggregate]", got)
+	}
+
+	// A stray (ungrouped, unaggregated) column is a grouping-rule error the
+	// environment path raises: generic aggregate.
+	p = buildPlan(t, db, `select m.title, count(*) from MOVIES m group by m.year`)
+	got = kinds(p)
+	if len(got) != 1 || got[0] != planner.ShapeAggregate {
+		t.Fatalf("stray-column shape kinds = %v, want [aggregate]", got)
+	}
+
+	// A small base table aggregates vectorized but scans serially.
+	small, err := dataset.GenerateMovieDB(dataset.GenConfig{
+		Seed: 9, Movies: 100, Actors: 30, Directors: 3, CastPerMovie: 2, GenresPerMovie: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p = buildPlan(t, small, `select m.year, count(*) from MOVIES m group by m.year`)
+	got = kinds(p)
+	if len(got) != 1 || got[0] != planner.ShapeVecAggregate {
+		t.Fatalf("small-table shape kinds = %v, want [vec-aggregate]", got)
 	}
 }

@@ -117,7 +117,9 @@ func (p *Plan) Summarize() *Summary {
 // Detail renders the stage's keys the way explains print them.
 func (sh *ShapeStep) Detail() string {
 	switch sh.Kind {
-	case ShapeAggregate:
+	case ShapeParallelScan:
+		return fmt.Sprintf("morsels of %d rows", sh.K)
+	case ShapeAggregate, ShapeVecAggregate:
 		var parts []string
 		if len(sh.GroupBy) > 0 {
 			parts = append(parts, "group by "+strings.Join(sh.GroupBy, ", "))

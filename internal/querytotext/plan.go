@@ -72,6 +72,10 @@ func PlanEnglish(s *planner.Summary) string {
 		switch sh.Kind {
 		case "aggregate":
 			fmt.Fprintf(&b, "The rows are then aggregated (%s) into about %s groups", sh.Detail, formatCount(sh.EstRows))
+		case "vec-aggregate":
+			fmt.Fprintf(&b, "The rows are aggregated straight off the column vectors into typed per-group accumulators (%s), about %s groups, without materializing a joined row", sh.Detail, formatCount(sh.EstRows))
+		case "parallel-scan":
+			fmt.Fprintf(&b, "The base scan is split into %s that parallel workers claim from a shared cursor, each aggregating privately; the partial results merge in a fixed order, so the answer is identical at any worker count", sh.Detail)
 		case "sort":
 			fmt.Fprintf(&b, "The result is sorted %s", sh.Detail)
 		case "top-k":

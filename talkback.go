@@ -61,18 +61,36 @@
 // time, so the join inner loop does no map lookups, string comparisons, or
 // per-row environment copies (a ~28,000x allocation reduction on the 100k-row
 // join benchmark; see BENCH_2.json). The pipeline extends past the join:
-// grouped queries aggregate in one streaming pass with group keys and
-// COUNT/SUM/AVG/MIN/MAX accumulators compiled to slot readers (HAVING is a
-// compiled post-filter), ORDER BY sort keys compile the same way, a bounded
-// top-K heap stands in for the full sort when ORDER BY and LIMIT are both
-// present, and a bare LIMIT stops the projection loop early. The planned
-// pipeline emits rows in exactly the order the naive nested-loop pipeline
-// would, so plans are observable only through speed — a property the
-// differential test suite pins. Queries outside the planner's dialect
-// (outer joins, views, ambiguous unqualified columns) fall back to the
-// environment-based pipeline, and the plan says so; grouped expressions
-// needing subquery evaluation take the environment path just for the
-// grouping stage.
+// ORDER BY sort keys compile to slot readers, a bounded top-K heap stands in
+// for the full sort when ORDER BY and LIMIT are both present, and a bare
+// LIMIT stops the projection loop early. The planned pipeline emits rows in
+// exactly the order the naive nested-loop pipeline would, so plans are
+// observable only through speed — a property the differential test suite
+// pins. Queries outside the planner's dialect (outer joins, views, ambiguous
+// unqualified columns) fall back to the environment-based pipeline, and the
+// plan says so.
+//
+// Grouped queries aggregate in one of three tiers. The fastest is the fused
+// vectorized pipeline (the planner's vec-aggregate shape step): when every
+// group key and aggregate argument is a plain column and every filter
+// vectorizes, scan, joins, and accumulation run as a single push-based loop
+// over table positions — group keys and COUNT/SUM/AVG/MIN/MAX (+ DISTINCT
+// via per-group bitsets over the argument's code domain) read the column
+// vectors directly into unboxed typed accumulator arrays, and no joined row
+// is ever materialized. Rows map to groups through a flat array indexed by
+// the composed key code when statistics bound the combined key domain
+// (dictionary sizes × min-max spans), and through a hash table over packed
+// fixed-width key bytes otherwise. The base scan is morsel-driven when every
+// accumulator provably merges without rounding (integer sums are
+// associative; AVG qualifies when statistics bound every intermediate float
+// sum under 2^53): workers claim fixed-size position ranges from an atomic
+// cursor and the merge restores first-seen group order by (morsel, sequence)
+// stamps, so any worker count is byte-identical to serial execution — the
+// planner's parallel-scan shape step records the choice. Grouped queries
+// outside that dialect use the streaming aggregation pass (group keys and
+// accumulators compiled to slot readers over arena rows; HAVING is a
+// compiled post-filter), and grouped expressions needing subquery evaluation
+// take the environment path just for the grouping stage.
 //
 // The paper's §3.1 asks the DBMS to explain *why* a query is expensive;
 // `EXPLAIN PLAN`, System.ExplainPlan, and the talkbackd /explain endpoint
