@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	talkback "repro"
+	"repro/internal/catalog"
 	"repro/internal/dataset"
 	"repro/internal/datatotext"
 	"repro/internal/engine"
@@ -23,6 +24,8 @@ import (
 	"repro/internal/schemagraph"
 	"repro/internal/speech"
 	"repro/internal/sqlparser"
+	"repro/internal/storage"
+	"repro/internal/value"
 )
 
 // ---------------------------------------------------------------------------
@@ -723,4 +726,129 @@ from MOVIES m where m.year >= 1955 group by m.year`)
 			}
 		})
 	}
+}
+
+// BenchmarkX16ZoneSkipScan measures zone-map morsel pruning on selective
+// scans over a 256k-row table whose columns are sorted (id, frame-of-
+// reference encoded) or clustered (grp; s under a sorted dictionary). Every
+// workload runs with the zone-map layer on and off; the zones=on subbenches
+// assert the skipped-morsel counter actually engaged (the smoke runs at
+// -benchtime=1x, so a silently rotten skip path fails CI) and report the
+// fraction of morsels skipped as skipratio. Time collapses with pruning but
+// is too noisy to gate; the benchgate ceilings (BENCH_6.json) gate allocs
+// everywhere and bytes on the text-range workload, where the sorted
+// dictionary's rank compares replace the O(dictionary) verdict array — the
+// zones=off run allocates ~66x more bytes per op.
+func BenchmarkX16ZoneSkipScan(b *testing.B) {
+	db := zoneScanDB(b, 1<<18)
+	eng := engine.New(db)
+	workloads := []struct{ name, sql string }{
+		// Sorted column: FOR-encoded id, tight per-zone bounds.
+		{"sorted", `select t.grp, count(*), sum(t.n) from T t
+where t.id between 100000 and 103071 group by t.grp`},
+		// Clustered column: grp is constant within a zone.
+		{"clustered", `select t.grp, count(*), sum(t.n) from T t
+where t.grp = 17 group by t.grp`},
+		// Sorted dictionary: rank-range compare vs per-entry verdicts.
+		{"text-range", `select count(*) from T t
+where t.s >= 'u00100000' and t.s < 'u00103072'`},
+	}
+	for _, w := range workloads {
+		sel, err := sqlparser.ParseSelect(w.sql)
+		if err != nil {
+			b.Fatal(err)
+		}
+		modes := []struct {
+			name    string
+			workers int
+		}{{"serial", 1}}
+		if w.name != "text-range" {
+			modes = append(modes, struct {
+				name    string
+				workers int
+			}{"parallel", 0})
+		}
+		for _, mode := range modes {
+			for _, zones := range []bool{true, false} {
+				label := fmt.Sprintf("%s/%s/zones=off", w.name, mode.name)
+				if zones {
+					label = fmt.Sprintf("%s/%s/zones=on", w.name, mode.name)
+				}
+				b.Run(label, func(b *testing.B) {
+					eng.SetParallelism(mode.workers)
+					defer eng.SetParallelism(0)
+					eng.SetZoneMapsEnabled(zones)
+					defer eng.SetZoneMapsEnabled(true)
+					// Warm up once: the first ranked read after the load pays the
+					// lazy sorted-dict rank rebuild, which would otherwise land
+					// entirely in a -benchtime=1x smoke measurement.
+					if _, err := eng.Select(sel); err != nil {
+						b.Fatal(err)
+					}
+					engine.ResetZoneSkipStats()
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						res, err := eng.Select(sel)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if len(res.Rows) == 0 {
+							b.Fatal("selective scan matched nothing")
+						}
+					}
+					b.StopTimer()
+					probed, skipped := engine.ZoneSkipStats()
+					if zones {
+						if skipped == 0 {
+							b.Fatal("zone maps enabled but no morsel was skipped — the pruning path has rotted")
+						}
+						b.ReportMetric(float64(skipped)/float64(probed), "skipratio")
+					} else if probed != 0 {
+						b.Fatalf("zone maps disabled but %d morsels were probed", probed)
+					}
+				})
+			}
+		}
+	}
+}
+
+// zoneScanDB builds the X16 table: n rows with a sorted primary key (id, so
+// frame-of-reference encoding holds), a zone-clustered group (grp), a small
+// payload (n) and a sorted-dictionary text column with one distinct string
+// per row — the worst case for verdict-array predicates and the best for
+// rank compares.
+func zoneScanDB(b *testing.B, n int) *storage.Database {
+	b.Helper()
+	schema := catalog.NewSchema("zonescan")
+	if err := schema.AddRelation(&catalog.Relation{
+		Name: "T",
+		Attributes: []*catalog.Attribute{
+			{Name: "id", Type: catalog.Int, NotNull: true},
+			{Name: "grp", Type: catalog.Int, NotNull: true},
+			{Name: "n", Type: catalog.Int, NotNull: true},
+			{Name: "s", Type: catalog.Text, NotNull: true},
+		},
+		PrimaryKey: []string{"id"},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	db, err := storage.NewDatabase(schema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := db.EnableSortedDict("T", "s"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := db.Insert("T", storage.Tuple{
+			value.NewInt(int64(i)),
+			value.NewInt(int64(i / 4096)),
+			value.NewInt(int64(i % 97)),
+			value.NewText(fmt.Sprintf("u%08d", i)),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db
 }

@@ -40,6 +40,11 @@ type Engine struct {
 	// (SetVecAggEnabled), forcing grouped queries onto the streaming
 	// row-at-a-time aggregation — differential tests compare the two.
 	noVecAgg atomic.Bool
+
+	// noZoneMaps disables zone-map scan pruning (SetZoneMapsEnabled), forcing
+	// scans to test every row instead of skipping morsels whose min/max
+	// bounds disprove the filters.
+	noZoneMaps atomic.Bool
 }
 
 // New creates an engine over db.

@@ -1126,14 +1126,7 @@ func (ex *Engine) runVecAgg(sel *sqlparser.SelectStmt, pq *plannedQuery, va *vec
 		if workers <= 1 {
 			fc := fx.newCtx(va)
 			ctxs = []*fusedCtx{fc}
-			for ti := 0; ti < n; ti++ {
-				if !pq.vecPass(0, ti) {
-					continue
-				}
-				fc.pos[0] = int32(ti)
-				fc.stepRows[0]++
-				fx.feed(fc, 1)
-			}
+			fx.feedRange(fc, 0, n)
 			final = fc.state
 		} else {
 			nMorsels := (n + morselRows - 1) / morselRows
@@ -1157,14 +1150,7 @@ func (ex *Engine) runVecAgg(sel *sqlparser.SelectStmt, pq *plannedQuery, va *vec
 							hi = n
 						}
 						fc.m, fc.seq = int32(m), 0
-						for ti := lo; ti < hi; ti++ {
-							if !fx.pq.vecPass(0, ti) {
-								continue
-							}
-							fc.pos[0] = int32(ti)
-							fc.stepRows[0]++
-							fx.feed(fc, 1)
-						}
+						fx.feedRange(fc, lo, hi)
 					}
 				}(fc)
 			}
@@ -1194,8 +1180,48 @@ func (ex *Engine) runVecAgg(sel *sqlparser.SelectStmt, pq *plannedQuery, va *vec
 	}
 	pq.plan.ActualRows = steps[len(steps)-1].ActualRows
 	setParallelScanActual(pq.plan, steps[0].ActualRows)
+	pq.finishZoneSkip()
 
 	return ex.finishVecAgg(sel, pq, va, final, ordered, cols)
+}
+
+// feedRange feeds the base rows [lo, hi) that pass step 0's vectorized
+// filters into the fused pipeline, consulting the zone probes (when compiled)
+// to skip storage morsels whose bounds disprove the filters. A morsel the
+// probes prove all-true feeds every row without testing one.
+func (fx *fusedRun) feedRange(fc *fusedCtx, lo, hi int) {
+	pq := fx.pq
+	zp := pq.zp
+	if zp == nil {
+		for ti := lo; ti < hi; ti++ {
+			if !pq.vecPass(0, ti) {
+				continue
+			}
+			fc.pos[0] = int32(ti)
+			fc.stepRows[0]++
+			fx.feed(fc, 1)
+		}
+		return
+	}
+	zoneWalk(lo, hi, func(z, segLo, segHi int, owned bool) bool {
+		v := zp.verdict(z)
+		if owned {
+			zp.note(v)
+		}
+		if v == zoneAllFalse {
+			return true
+		}
+		skipVec := v == zoneAllTrue
+		for ti := segLo; ti < segHi; ti++ {
+			if !skipVec && !pq.vecPass(0, ti) {
+				continue
+			}
+			fc.pos[0] = int32(ti)
+			fc.stepRows[0]++
+			fx.feed(fc, 1)
+		}
+		return true
+	})
 }
 
 // scanProbePositions resolves a first-step primary-key or index probe to row

@@ -153,7 +153,11 @@ type plannedQuery struct {
 	stepSelf  [][]rowEval // compiled remaining SelfFilters per step
 	stepPost  [][]rowEval // compiled PostJoinFilters per step
 	postEvals []rowEval   // residual predicates after all joins
-	track     bool        // provenance tracking (plan was reordered)
+	// zp, when set, holds the zone-map probes of the base scan's vectorized
+	// filters (the plan carries a zone-skip shape step). Scans consult it per
+	// storage zone and skip morsels whose bounds disprove the filters.
+	zp    *zoneProbeSet
+	track bool // provenance tracking (plan was reordered)
 	// leaf, when set, intercepts compilation of every subexpression before
 	// the standard lowering. The grouped pipeline uses a copy of the query
 	// with leaf set to map aggregates and GROUP BY matches onto synthetic
@@ -589,6 +593,9 @@ func (ex *Engine) compilePlan(plan *planner.Plan, outer *env) *plannedQuery {
 	for _, e := range plan.Post {
 		residual(e)
 	}
+	if hasZoneSkip(plan) {
+		pq.compileZoneSkip()
+	}
 	return pq
 }
 
@@ -810,17 +817,45 @@ func (ex *Engine) runScanStep(pq *plannedQuery, st *planner.Step) (batch, error)
 		return out, nil
 
 	default: // ScanFull
-		return ex.gatherBatches(pq, tbl.Len(), func(ec *evalCtx, lo, hi int, out *batch) error {
-			for ti := lo; ti < hi; ti++ {
-				if !pq.vecPass(si, ti) {
-					continue
+		zp := pq.zp
+		out, err := ex.gatherBatches(pq, tbl.Len(), func(ec *evalCtx, lo, hi int, out *batch) error {
+			if zp == nil {
+				for ti := lo; ti < hi; ti++ {
+					if !pq.vecPass(si, ti) {
+						continue
+					}
+					if err := ec.emit(out, nil, nil, st, si, int32(ti), evals...); err != nil {
+						return err
+					}
 				}
-				if err := ec.emit(out, nil, nil, st, si, int32(ti), evals...); err != nil {
-					return err
-				}
+				return nil
 			}
-			return nil
+			var err error
+			zoneWalk(lo, hi, func(z, segLo, segHi int, owned bool) bool {
+				v := zp.verdict(z)
+				if owned {
+					zp.note(v)
+				}
+				if v == zoneAllFalse {
+					return true // bounds disproved the filters for the whole zone
+				}
+				skipVec := v == zoneAllTrue // probes proved the vectorized prefix
+				for ti := segLo; ti < segHi; ti++ {
+					if !skipVec && !pq.vecPass(si, ti) {
+						continue
+					}
+					if err = ec.emit(out, nil, nil, st, si, int32(ti), evals...); err != nil {
+						return false
+					}
+				}
+				return true
+			})
+			return err
 		})
+		if err == nil {
+			pq.finishZoneSkip()
+		}
+		return out, err
 	}
 }
 
@@ -1267,6 +1302,13 @@ func (ex *Engine) SetPlannerEnabled(on bool) { ex.noPlan.Store(!on) }
 // row-at-a-time aggregation instead — differential tests force this to prove
 // the two produce identical rows. Safe for concurrent use.
 func (ex *Engine) SetVecAggEnabled(on bool) { ex.noVecAgg.Store(!on) }
+
+// SetZoneMapsEnabled toggles the zone-map layer as a whole (default on):
+// morsel pruning plus the encoded scan fast paths that ride on the same
+// metadata (frame-of-reference delta reads, sorted-dictionary rank compares).
+// Off reverts every scan to testing each row against plain payloads —
+// differential tests and benchmarks compare the two executions.
+func (ex *Engine) SetZoneMapsEnabled(on bool) { ex.noZoneMaps.Store(!on) }
 
 // Plan builds (without executing) the plan the engine would use for sel.
 // Queries outside the planner's dialect return a plan with Fallback set.

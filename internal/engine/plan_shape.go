@@ -212,12 +212,12 @@ func setShapeActual(plan *planner.Plan, kind planner.ShapeKind, n int) {
 
 // setShapeFinal records the final shaped row count on every non-aggregate
 // shaping step (sort / top-k / limit all emit the final result). Aggregate
-// steps (generic or vectorized) and the parallel-scan marker keep their own
-// counts.
+// steps (generic or vectorized) and the parallel-scan and zone-skip markers
+// keep their own counts.
 func setShapeFinal(plan *planner.Plan, n int) {
 	for _, sh := range plan.Shape {
 		switch sh.Kind {
-		case planner.ShapeAggregate, planner.ShapeVecAggregate, planner.ShapeParallelScan:
+		case planner.ShapeAggregate, planner.ShapeVecAggregate, planner.ShapeParallelScan, planner.ShapeZoneSkip:
 		default:
 			sh.ActualRows = n
 		}

@@ -105,10 +105,11 @@ func (pq *plannedQuery) compileVecFilter(st *planner.Step, e sqlparser.Expr) (ve
 		if !ok {
 			return nil, false
 		}
+		fast := !pq.ex.noZoneMaps.Load()
 		if op == sqlparser.OpLike {
-			return vecLike(col, lit)
+			return vecLike(col, lit, fast)
 		}
-		return vecCompare(col, op, lit)
+		return vecCompare(col, op, lit, fast)
 
 	case *sqlparser.IsNullExpr:
 		col, ok := pq.stepCol(st, x.Inner)
@@ -175,8 +176,11 @@ func comparableKinds(ck, lk value.Kind) bool {
 // vecCompare builds the column-vs-literal comparison predicate. Semantics
 // mirror compareOp exactly: NULL rejects, mismatched non-numeric kinds are
 // false (not an error) for = and <>, and an ordering across them stays on
-// the generic path so its error surfaces.
-func vecCompare(col storage.Col, op sqlparser.BinaryOp, lit value.Value) (vecPred, bool) {
+// the generic path so its error surfaces. fast gates the encoded fast paths
+// (frame-of-reference deltas, sorted-dictionary rank compares) together with
+// the rest of the zone-map layer, so disabling zone maps reverts the scan to
+// plain payload reads.
+func vecCompare(col storage.Col, op sqlparser.BinaryOp, lit value.Value, fast bool) (vecPred, bool) {
 	test, equality, _ := cmpTest(op)
 	if lit.IsNull() {
 		return vecFalse, true // comparison with NULL is never true
@@ -193,16 +197,30 @@ func vecCompare(col storage.Col, op sqlparser.BinaryOp, lit value.Value) (vecPre
 	}
 	switch col.Kind() {
 	case value.Int:
-		xs := col.Ints()
 		lf := lit.Float()
+		if fb, d8, ok := col.FORInts(); ok && fast {
+			// Frame-of-reference path: stream one delta byte per row instead
+			// of eight payload bytes (value = zone base + delta).
+			return notNull(col, func(ti int) bool {
+				x := fb[ti>>storage.ZoneShift] + int64(d8[ti])
+				return test(cmpFloat(float64(x), lf))
+			}), true
+		}
+		xs := col.Ints()
 		return notNull(col, func(ti int) bool { return test(cmpFloat(float64(xs[ti]), lf)) }), true
 	case value.Float:
 		xs := col.Floats()
 		lf := lit.Float()
 		return notNull(col, func(ti int) bool { return test(cmpFloat(xs[ti], lf)) }), true
 	case value.Date:
-		xs := col.Ints()
 		ld := lit.DateDays()
+		if fb, d8, ok := col.FORInts(); ok && fast {
+			return notNull(col, func(ti int) bool {
+				x := fb[ti>>storage.ZoneShift] + int64(d8[ti])
+				return test(cmpInt(x, ld))
+			}), true
+		}
+		xs := col.Ints()
 		return notNull(col, func(ti int) bool { return test(cmpInt(xs[ti], ld)) }), true
 	case value.Bool:
 		xs := col.Bools()
@@ -224,9 +242,31 @@ func vecCompare(col storage.Col, op sqlparser.BinaryOp, lit value.Value) (vecPre
 			}
 			return notNull(col, func(ti int) bool { return codes[ti] != code }), true
 		default:
+			ls := lit.Text()
+			if fast && col.SortedDict() {
+				// Sorted dictionary: the predicate is a rank-range compare —
+				// no per-entry verdict array, no string touched per row.
+				ranks := col.Ranks()
+				lb := uint32(col.LowerBoundRank(ls))
+				ub := lb
+				if _, present := col.DictCode(ls); present {
+					ub++
+				}
+				var rtest func(uint32) bool
+				switch op {
+				case sqlparser.OpLt:
+					rtest = func(r uint32) bool { return r < lb }
+				case sqlparser.OpLe:
+					rtest = func(r uint32) bool { return r < ub }
+				case sqlparser.OpGt:
+					rtest = func(r uint32) bool { return r >= ub }
+				default: // OpGe
+					rtest = func(r uint32) bool { return r >= lb }
+				}
+				return notNull(col, func(ti int) bool { return rtest(ranks[codes[ti]]) }), true
+			}
 			// Ordering: one verdict per dictionary entry, then a code lookup
 			// per row.
-			ls := lit.Text()
 			verdict := make([]bool, col.DictLen())
 			for c := range verdict {
 				s := col.DictString(uint32(c))
@@ -240,12 +280,29 @@ func vecCompare(col storage.Col, op sqlparser.BinaryOp, lit value.Value) (vecPre
 }
 
 // vecLike precomputes the LIKE verdict per dictionary entry. Non-text
-// operands error in the generic path, so they stay there.
-func vecLike(col storage.Col, lit value.Value) (vecPred, bool) {
+// operands error in the generic path, so they stay there. With a sorted
+// dictionary, a pure prefix pattern ('abc%') becomes a rank-range compare:
+// matches are exactly the strings in [prefix, successor).
+func vecLike(col storage.Col, lit value.Value, fast bool) (vecPred, bool) {
 	if col.Kind() != value.Text || lit.Kind() != value.Text {
 		return nil, false // NULL patterns and non-text operands stay generic
 	}
 	pat := lit.Text()
+	if fast && col.SortedDict() {
+		if prefix, prefixOnly := planner.LikePrefix(pat); prefixOnly && (prefix == "" || likePrefixSafe(prefix)) {
+			lb := uint32(col.LowerBoundRank(prefix))
+			ub := uint32(col.DictLen())
+			if succ, ok := planner.PrefixSuccessor(prefix); ok {
+				ub = uint32(col.LowerBoundRank(succ))
+			}
+			ranks := col.Ranks()
+			codes := col.Codes()
+			return notNull(col, func(ti int) bool {
+				r := ranks[codes[ti]]
+				return r >= lb && r < ub
+			}), true
+		}
+	}
 	verdict := make([]bool, col.DictLen())
 	for c := range verdict {
 		verdict[c] = likeMatch(col.DictString(uint32(c)), pat)
@@ -275,11 +332,12 @@ func (pq *plannedQuery) vecBetween(st *planner.Step, x *sqlparser.BetweenExpr) (
 	if !comparableKinds(col.Kind(), lo.Kind()) || !comparableKinds(col.Kind(), hi.Kind()) {
 		return nil, false
 	}
-	ge, ok := vecCompare(col, sqlparser.OpGe, lo)
+	fast := !pq.ex.noZoneMaps.Load()
+	ge, ok := vecCompare(col, sqlparser.OpGe, lo, fast)
 	if !ok {
 		return nil, false
 	}
-	le, ok := vecCompare(col, sqlparser.OpLe, hi)
+	le, ok := vecCompare(col, sqlparser.OpLe, hi, fast)
 	if !ok {
 		return nil, false
 	}
@@ -508,14 +566,39 @@ func (ex *Engine) tryVecScan(sel *sqlparser.SelectStmt, entries []fromEntry, pq 
 	preds := pq.stepVec[0]
 	n := tbl.Len()
 	matched := 0
-scan:
-	for ti := 0; ti < n; ti++ {
-		for _, p := range preds {
-			if !p(ti) {
-				continue scan
+	if zp := pq.zp; zp != nil {
+		// Zone-pruned counting: a morsel whose bounds disprove the filters
+		// contributes nothing without touching a payload, and one the probes
+		// prove all-true contributes its full length without testing a row.
+		zoneWalk(0, n, func(z, segLo, segHi int, owned bool) bool {
+			v := zp.verdict(z)
+			if owned {
+				zp.note(v)
 			}
+			switch v {
+			case zoneAllFalse:
+			case zoneAllTrue:
+				matched += segHi - segLo
+			default:
+				for ti := segLo; ti < segHi; ti++ {
+					if pq.vecPass(0, ti) {
+						matched++
+					}
+				}
+			}
+			return true
+		})
+		pq.finishZoneSkip()
+	} else {
+	scan:
+		for ti := 0; ti < n; ti++ {
+			for _, p := range preds {
+				if !p(ti) {
+					continue scan
+				}
+			}
+			matched++
 		}
-		matched++
 	}
 	st.ActualRows = matched
 	pq.plan.ActualRows = matched
@@ -539,13 +622,7 @@ scan:
 	out := &Result{Columns: cols, Rows: make([]storage.Tuple, 0, emitN)}
 	w := len(items)
 	flat := make([]value.Value, emitN*w)
-fill:
-	for ti := 0; ti < n && len(out.Rows) < emitN; ti++ {
-		for _, p := range preds {
-			if !p(ti) {
-				continue fill
-			}
-		}
+	project := func(ti int) {
 		row := flat[:w:w]
 		flat = flat[w:]
 		for i, r := range readers {
@@ -556,6 +633,33 @@ fill:
 			}
 		}
 		out.Rows = append(out.Rows, storage.Tuple(row))
+	}
+	if zp := pq.zp; zp != nil {
+		// Same pruning as the counting pass (verdicts were already accounted
+		// there); all-true morsels project without re-testing the filters.
+		zoneWalk(0, n, func(z, segLo, segHi int, _ bool) bool {
+			v := zp.verdict(z)
+			if v == zoneAllFalse {
+				return len(out.Rows) < emitN
+			}
+			skipVec := v == zoneAllTrue
+			for ti := segLo; ti < segHi && len(out.Rows) < emitN; ti++ {
+				if skipVec || pq.vecPass(0, ti) {
+					project(ti)
+				}
+			}
+			return len(out.Rows) < emitN
+		})
+	} else {
+	fill:
+		for ti := 0; ti < n && len(out.Rows) < emitN; ti++ {
+			for _, p := range preds {
+				if !p(ti) {
+					continue fill
+				}
+			}
+			project(ti)
+		}
 	}
 
 	keyOf := func(i int, k *plannedSortKey) (value.Value, error) {

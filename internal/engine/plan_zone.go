@@ -1,0 +1,646 @@
+package engine
+
+import (
+	"math"
+	"strings"
+	"sync/atomic"
+	"unicode/utf8"
+
+	"repro/internal/planner"
+	"repro/internal/sqlparser"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// This file consumes the storage layer's zone maps: per-morsel min/max/null
+// summaries (storage.ZoneRows positions each) that the scan probes before
+// touching column payloads. A probe compiles one vectorized filter conjunct to
+// a per-zone verdict — all-false lets the scan skip the morsel outright,
+// all-true lets counting passes take whole morsels without testing a row. The
+// verdicts must describe the predicate's result over EVERY row of the zone,
+// NULLs included (NULL rejects a comparison, satisfies IS NULL), and they are
+// deliberately conservative: anything the bounds cannot decide is "mixed" and
+// the rows are tested one by one, so zone-pruned execution is byte-identical
+// to the plain scan. Mirroring the vec-aggregate discipline, the engine
+// removes the planner's zone-skip shape step in place whenever it cannot
+// build a probe, so EXPLAIN always narrates what actually ran.
+
+// zoneVerdict is a probe's answer for one zone.
+type zoneVerdict int8
+
+const (
+	zoneMixed    zoneVerdict = iota // bounds cannot decide; test each row
+	zoneAllFalse                    // no row of the zone passes the predicate
+	zoneAllTrue                     // every row of the zone passes
+)
+
+// rangeVerdict is predicate truth over a zone's non-NULL values only; the
+// NULL rows are folded in afterwards by wrapZoneProbe.
+type rangeVerdict int8
+
+const (
+	rMixed rangeVerdict = iota
+	rNone               // no bounded value satisfies
+	rAll                // every bounded value satisfies
+)
+
+// zoneProbe answers one filter conjunct for zone z.
+type zoneProbe func(z int) zoneVerdict
+
+// zoneCounter tallies probed and skipped zones for one query. It sits behind
+// a pointer on plannedQuery because the grouped pipeline copies the struct.
+type zoneCounter struct {
+	probed  atomic.Int64
+	skipped atomic.Int64
+}
+
+// zoneProbeSet is the compiled zone side of a scan: one probe per vectorized
+// filter conjunct that lowered to a bounds test.
+type zoneProbeSet struct {
+	probes []zoneProbe
+	// full reports that every vectorized predicate has a probe, so an
+	// all-true combined verdict proves the whole vectorized prefix passes.
+	full bool
+	zc   *zoneCounter
+}
+
+// Cumulative process-wide counters, exposed for benchmarks to assert that
+// zone skipping actually engaged.
+var zoneStatProbed, zoneStatSkipped atomic.Int64
+
+// ZoneSkipStats returns the cumulative number of zones probed and skipped by
+// zone-pruned scans since the last reset.
+func ZoneSkipStats() (probed, skipped int64) {
+	return zoneStatProbed.Load(), zoneStatSkipped.Load()
+}
+
+// ResetZoneSkipStats zeroes the cumulative zone-skip counters.
+func ResetZoneSkipStats() {
+	zoneStatProbed.Store(0)
+	zoneStatSkipped.Store(0)
+}
+
+// verdict combines the probes for zone z: any all-false skips the zone;
+// all-true requires every probe to agree and the set to cover every
+// vectorized predicate.
+func (zp *zoneProbeSet) verdict(z int) zoneVerdict {
+	v := zoneMixed
+	if zp.full {
+		v = zoneAllTrue
+	}
+	for _, p := range zp.probes {
+		switch p(z) {
+		case zoneAllFalse:
+			return zoneAllFalse
+		case zoneMixed:
+			v = zoneMixed
+		}
+	}
+	return v
+}
+
+// note records one probed zone's outcome. Callers invoke it only for zones
+// whose first row falls inside their range, so parallel workers never
+// double-count a zone split across chunk boundaries.
+func (zp *zoneProbeSet) note(v zoneVerdict) {
+	zp.zc.probed.Add(1)
+	zoneStatProbed.Add(1)
+	if v == zoneAllFalse {
+		zp.zc.skipped.Add(1)
+		zoneStatSkipped.Add(1)
+	}
+}
+
+// zoneWalk invokes fn once per storage-zone-aligned segment covering [lo, hi):
+// fn(z, segLo, segHi, owned), where owned reports that segLo is zone z's first
+// row (the caller owns that zone's accounting). fn returns false to stop.
+func zoneWalk(lo, hi int, fn func(z, segLo, segHi int, owned bool) bool) {
+	for s := lo; s < hi; {
+		z := s >> storage.ZoneShift
+		e := (z + 1) << storage.ZoneShift
+		if e > hi {
+			e = hi
+		}
+		if !fn(z, s, e, s == z<<storage.ZoneShift) {
+			return
+		}
+		s = e
+	}
+}
+
+// zoneLenAt returns the number of rows zone z covers in a table of n rows.
+func zoneLenAt(z, n int) int {
+	lo := z << storage.ZoneShift
+	hi := lo + storage.ZoneRows
+	if hi > n {
+		hi = n
+	}
+	return hi - lo
+}
+
+// ---------------------------------------------------------------------------
+// Shape bookkeeping (mirrors the parallel-scan helpers)
+// ---------------------------------------------------------------------------
+
+func hasZoneSkip(plan *planner.Plan) bool {
+	for _, sh := range plan.Shape {
+		if sh.Kind == planner.ShapeZoneSkip {
+			return true
+		}
+	}
+	return false
+}
+
+// removeZoneSkip drops the zone-skip step — the engine could not build (or
+// was told not to use) the probes, and the narrated plan must say so.
+func removeZoneSkip(plan *planner.Plan) {
+	shape := plan.Shape[:0]
+	for _, sh := range plan.Shape {
+		if sh.Kind != planner.ShapeZoneSkip {
+			shape = append(shape, sh)
+		}
+	}
+	plan.Shape = shape
+}
+
+// setZoneSkipActual records how many morsels the scan skipped.
+func setZoneSkipActual(plan *planner.Plan, skipped int) {
+	for _, sh := range plan.Shape {
+		if sh.Kind == planner.ShapeZoneSkip {
+			sh.ActualRows = skipped
+		}
+	}
+}
+
+// finishZoneSkip copies the skip counter onto the shape step after a scan.
+func (pq *plannedQuery) finishZoneSkip() {
+	if pq.zp != nil {
+		setZoneSkipActual(pq.plan, int(pq.zp.zc.skipped.Load()))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Probe compilation
+// ---------------------------------------------------------------------------
+
+// compileZoneSkip builds the probe set for the plan's zone-skip shape step.
+// Probes compile per conjunct of the base step's vectorized filter prefix —
+// only predicates the scan actually applies may justify skipping rows. When
+// no conjunct lowers to a probe (or zone maps are disabled, or the zones are
+// out of sync with the table), the shape step is removed in place.
+func (pq *plannedQuery) compileZoneSkip() {
+	plan := pq.plan
+	if pq.ex.noZoneMaps.Load() {
+		removeZoneSkip(plan)
+		return
+	}
+	st := plan.Steps[0]
+	n := st.Input.Tbl.Len()
+	if st.Access != planner.ScanFull || n == 0 {
+		removeZoneSkip(plan)
+		return
+	}
+	for pos := range st.Input.Rel.Attributes {
+		if !st.Input.Tbl.Col(pos).ZonesSynced(n) {
+			removeZoneSkip(plan)
+			return
+		}
+	}
+	zp := &zoneProbeSet{zc: &zoneCounter{}}
+	nvec := len(pq.stepVec[0])
+	for i := 0; i < nvec; i++ {
+		if p, ok := pq.compileZoneProbe(st, st.SelfFilters[i], n); ok {
+			zp.probes = append(zp.probes, p)
+		}
+	}
+	if len(zp.probes) == 0 {
+		removeZoneSkip(plan)
+		return
+	}
+	zp.full = len(zp.probes) == nvec
+	pq.zp = zp
+}
+
+// compileZoneProbe lowers one vectorized filter conjunct to a zone probe.
+// The cases mirror compileVecFilter exactly — a probe's verdict must agree
+// with the vecPred it summarizes on every row.
+func (pq *plannedQuery) compileZoneProbe(st *planner.Step, e sqlparser.Expr, n int) (zoneProbe, bool) {
+	switch x := e.(type) {
+	case *sqlparser.BinaryExpr:
+		col, lit, op, ok := pq.splitVecCompare(st, x)
+		if !ok {
+			return nil, false
+		}
+		if op == sqlparser.OpLike {
+			return zoneLikeProbe(col, lit, n)
+		}
+		return zoneCompareProbe(col, op, lit, n)
+
+	case *sqlparser.IsNullExpr:
+		col, ok := pq.stepCol(st, x.Inner)
+		if !ok {
+			return nil, false
+		}
+		return zoneNullProbe(col, !x.Negate, n), true
+
+	case *sqlparser.BetweenExpr:
+		return pq.zoneBetweenProbe(st, x, n)
+
+	case *sqlparser.InExpr:
+		return pq.zoneInProbe(st, x, n)
+
+	default:
+		return nil, false
+	}
+}
+
+func zoneConst(v zoneVerdict) zoneProbe { return func(int) zoneVerdict { return v } }
+
+// wrapZoneProbe folds NULL rows into a value-level verdict: an all-NULL zone
+// rejects any value predicate wholesale, and all-true additionally requires
+// the zone to be NULL-free (NULL rows evaluate false).
+func wrapZoneProbe(col storage.Col, n int, rv func(z int) rangeVerdict) zoneProbe {
+	return func(z int) zoneVerdict {
+		nulls := col.ZoneNulls(z)
+		if nulls == zoneLenAt(z, n) {
+			return zoneAllFalse
+		}
+		switch rv(z) {
+		case rNone:
+			return zoneAllFalse
+		case rAll:
+			if nulls == 0 {
+				return zoneAllTrue
+			}
+		}
+		return zoneMixed
+	}
+}
+
+func rangeAll(int) rangeVerdict { return rAll }
+
+// rangeNot flips a value-level verdict (NOT BETWEEN, NOT IN).
+func rangeNot(rv func(z int) rangeVerdict) func(z int) rangeVerdict {
+	return func(z int) rangeVerdict {
+		switch rv(z) {
+		case rAll:
+			return rNone
+		case rNone:
+			return rAll
+		}
+		return rMixed
+	}
+}
+
+// cmpRangeVerdict decides a comparison against a literal from the three-way
+// compares of the zone's min and max against it. Ordering predicates select a
+// half-line, so both endpoints inside means the whole range is, and both
+// outside means none of it is; equality selects a point.
+func cmpRangeVerdict(op sqlparser.BinaryOp, cmpLo, cmpHi int) rangeVerdict {
+	switch op {
+	case sqlparser.OpEq:
+		if cmpLo > 0 || cmpHi < 0 {
+			return rNone
+		}
+		if cmpLo == 0 && cmpHi == 0 {
+			return rAll
+		}
+	case sqlparser.OpNe:
+		if cmpLo > 0 || cmpHi < 0 {
+			return rAll
+		}
+		if cmpLo == 0 && cmpHi == 0 {
+			return rNone
+		}
+	default:
+		test, _, _ := cmpTest(op)
+		tLo, tHi := test(cmpLo), test(cmpHi)
+		switch {
+		case tLo && tHi:
+			return rAll
+		case !tLo && !tHi:
+			return rNone
+		}
+	}
+	return rMixed
+}
+
+// zoneCmpRange builds the value-level verdict of col-op-lit over zone bounds.
+// Kinds must already be comparable (caller mirrors vecCompare's checks).
+func zoneCmpRange(col storage.Col, op sqlparser.BinaryOp, lit value.Value) (func(z int) rangeVerdict, bool) {
+	test, _, _ := cmpTest(op)
+	switch col.Kind() {
+	case value.Int:
+		lf := lit.Float()
+		if math.IsNaN(lf) {
+			// cmpFloat(x, NaN) is 0 for every x: the predicate is constant.
+			return constRange(test(0)), true
+		}
+		return func(z int) rangeVerdict {
+			lo, hi, ok := col.ZoneIntBounds(z)
+			if !ok {
+				return rMixed
+			}
+			return cmpRangeVerdict(op, cmpFloat(float64(lo), lf), cmpFloat(float64(hi), lf))
+		}, true
+	case value.Float:
+		lf := lit.Float()
+		if math.IsNaN(lf) {
+			return constRange(test(0)), true
+		}
+		return func(z int) rangeVerdict {
+			if col.ZoneHasNaN(z) {
+				// NaN compares as equal under cmpFloat and sits outside the
+				// bounds; the zone can never be decided wholesale.
+				return rMixed
+			}
+			lo, hi, ok := col.ZoneFloatBounds(z)
+			if !ok {
+				return rMixed
+			}
+			return cmpRangeVerdict(op, cmpFloat(lo, lf), cmpFloat(hi, lf))
+		}, true
+	case value.Date:
+		ld := lit.DateDays()
+		return func(z int) rangeVerdict {
+			lo, hi, ok := col.ZoneIntBounds(z)
+			if !ok {
+				return rMixed
+			}
+			return cmpRangeVerdict(op, cmpInt(lo, ld), cmpInt(hi, ld))
+		}, true
+	case value.Bool:
+		var lb int64
+		if lit.Bool() {
+			lb = 1
+		}
+		return func(z int) rangeVerdict {
+			lo, hi, ok := col.ZoneIntBounds(z)
+			if !ok {
+				return rMixed
+			}
+			return cmpRangeVerdict(op, cmpInt(lo, lb), cmpInt(hi, lb))
+		}, true
+	case value.Text:
+		ls := lit.Text()
+		return func(z int) rangeVerdict {
+			lo, hi, ok := col.ZoneTextBounds(z)
+			if !ok {
+				return rMixed
+			}
+			return cmpRangeVerdict(op, cmpString(lo, ls), cmpString(hi, ls))
+		}, true
+	default:
+		return nil, false
+	}
+}
+
+func constRange(pass bool) func(int) rangeVerdict {
+	if pass {
+		return rangeAll
+	}
+	return func(int) rangeVerdict { return rNone }
+}
+
+// zoneCompareProbe mirrors vecCompare: NULL literals and mismatched-kind
+// equalities are constant verdicts, everything else decides from bounds.
+func zoneCompareProbe(col storage.Col, op sqlparser.BinaryOp, lit value.Value, n int) (zoneProbe, bool) {
+	_, equality, _ := cmpTest(op)
+	if lit.IsNull() {
+		return zoneConst(zoneAllFalse), true
+	}
+	if !comparableKinds(col.Kind(), lit.Kind()) {
+		if !equality {
+			return nil, false // vecCompare declined too; keep mirroring it
+		}
+		if op == sqlparser.OpEq {
+			return zoneConst(zoneAllFalse), true
+		}
+		return wrapZoneProbe(col, n, rangeAll), true // <> across kinds: true when non-NULL
+	}
+	if col.Kind() == value.Text {
+		// Mirror vecCompare's dictionary shortcut: a string absent from the
+		// dictionary occurs in no row.
+		if _, present := col.DictCode(lit.Text()); !present {
+			switch op {
+			case sqlparser.OpEq:
+				return zoneConst(zoneAllFalse), true
+			case sqlparser.OpNe:
+				return wrapZoneProbe(col, n, rangeAll), true
+			}
+		}
+	}
+	rv, ok := zoneCmpRange(col, op, lit)
+	if !ok {
+		return nil, false
+	}
+	return wrapZoneProbe(col, n, rv), true
+}
+
+// zoneNullProbe answers IS [NOT] NULL straight from the zone's NULL count.
+func zoneNullProbe(col storage.Col, want bool, n int) zoneProbe {
+	return func(z int) zoneVerdict {
+		nulls := col.ZoneNulls(z)
+		allNull := nulls == zoneLenAt(z, n)
+		if want {
+			if allNull {
+				return zoneAllTrue
+			}
+			if nulls == 0 {
+				return zoneAllFalse
+			}
+		} else {
+			if nulls == 0 {
+				return zoneAllTrue
+			}
+			if allNull {
+				return zoneAllFalse
+			}
+		}
+		return zoneMixed
+	}
+}
+
+// zoneBetweenProbe composes the two bound comparisons, flipping the verdict
+// for NOT BETWEEN (NULL subjects reject either way, matching vecBetween).
+func (pq *plannedQuery) zoneBetweenProbe(st *planner.Step, x *sqlparser.BetweenExpr, n int) (zoneProbe, bool) {
+	col, ok := pq.stepCol(st, x.Subject)
+	if !ok {
+		return nil, false
+	}
+	lo, ok := litOf(x.Lo)
+	if !ok {
+		return nil, false
+	}
+	hi, ok := litOf(x.Hi)
+	if !ok {
+		return nil, false
+	}
+	if lo.IsNull() || hi.IsNull() {
+		return zoneConst(zoneAllFalse), true
+	}
+	if !comparableKinds(col.Kind(), lo.Kind()) || !comparableKinds(col.Kind(), hi.Kind()) {
+		return nil, false
+	}
+	ge, ok := zoneCmpRange(col, sqlparser.OpGe, lo)
+	if !ok {
+		return nil, false
+	}
+	le, ok := zoneCmpRange(col, sqlparser.OpLe, hi)
+	if !ok {
+		return nil, false
+	}
+	rv := func(z int) rangeVerdict {
+		a, b := ge(z), le(z)
+		switch {
+		case a == rNone || b == rNone:
+			return rNone
+		case a == rAll && b == rAll:
+			return rAll
+		}
+		return rMixed
+	}
+	if x.Negate {
+		rv = rangeNot(rv)
+	}
+	return wrapZoneProbe(col, n, rv), true
+}
+
+// zoneInProbe mirrors vecIn: membership over the zone range is the union of
+// per-literal equality verdicts; a NULL in a NOT IN list makes the predicate
+// constant false.
+func (pq *plannedQuery) zoneInProbe(st *planner.Step, x *sqlparser.InExpr, n int) (zoneProbe, bool) {
+	if x.Subquery != nil {
+		return nil, false
+	}
+	col, ok := pq.stepCol(st, x.Subject)
+	if !ok {
+		return nil, false
+	}
+	sawNull := false
+	lits := make([]value.Value, 0, len(x.List))
+	for _, it := range x.List {
+		lit, ok := litOf(it)
+		if !ok {
+			return nil, false
+		}
+		if lit.IsNull() {
+			sawNull = true
+			continue
+		}
+		lits = append(lits, lit)
+	}
+	if len(x.List) == 0 {
+		// IN () is false and NOT IN () true for every row, NULL included.
+		if x.Negate {
+			return zoneConst(zoneAllTrue), true
+		}
+		return zoneConst(zoneAllFalse), true
+	}
+	if x.Negate && sawNull {
+		// x NOT IN (..., NULL, ...): members are false, non-members unknown.
+		return zoneConst(zoneAllFalse), true
+	}
+	member, ok := zoneMembershipRange(col, lits)
+	if !ok {
+		return nil, false
+	}
+	rv := member
+	if x.Negate {
+		rv = rangeNot(member)
+	}
+	return wrapZoneProbe(col, n, rv), true
+}
+
+// zoneMembershipRange folds per-literal equality verdicts: one literal
+// covering the whole range makes every value a member; all literals missing
+// the range make none of them members. Literals of foreign kinds (and float
+// NaN, which never matches a hash probe) contribute nothing, mirroring
+// vecMembership.
+func zoneMembershipRange(col storage.Col, lits []value.Value) (func(z int) rangeVerdict, bool) {
+	var eqs []func(z int) rangeVerdict
+	match := func(l value.Value) bool {
+		switch col.Kind() {
+		case value.Int, value.Float:
+			return l.IsNumeric() && !math.IsNaN(l.Float())
+		default:
+			return l.Kind() == col.Kind()
+		}
+	}
+	for _, l := range lits {
+		if !match(l) {
+			continue
+		}
+		if col.Kind() == value.Text {
+			if _, present := col.DictCode(l.Text()); !present {
+				continue // never occurs in the column
+			}
+		}
+		eq, ok := zoneCmpRange(col, sqlparser.OpEq, l)
+		if !ok {
+			return nil, false
+		}
+		eqs = append(eqs, eq)
+	}
+	hasNaN := func(z int) bool { return col.Kind() == value.Float && col.ZoneHasNaN(z) }
+	return func(z int) rangeVerdict {
+		v := rNone
+		for _, eq := range eqs {
+			switch eq(z) {
+			case rAll:
+				// Every bounded value equals this literal; NaN values (outside
+				// the bounds) never match a membership set, so they demote the
+				// verdict.
+				if hasNaN(z) {
+					return rMixed
+				}
+				return rAll
+			case rMixed:
+				v = rMixed
+			}
+		}
+		return v // rNone holds even with NaN present: NaN is never a member
+	}, true
+}
+
+// zoneLikeProbe prunes LIKE through the pattern's literal prefix: any match
+// sorts inside [prefix, successor), so zone string bounds outside that range
+// are all-false; a pure prefix pattern inside it (NULL-free) is all-true.
+func zoneLikeProbe(col storage.Col, lit value.Value, n int) (zoneProbe, bool) {
+	if col.Kind() != value.Text || lit.Kind() != value.Text {
+		return nil, false
+	}
+	prefix, prefixOnly := planner.LikePrefix(lit.Text())
+	if prefix == "" {
+		if prefixOnly {
+			// The pattern is nothing but '%': every non-NULL string matches.
+			return wrapZoneProbe(col, n, rangeAll), true
+		}
+		return nil, false
+	}
+	if !likePrefixSafe(prefix) {
+		return nil, false
+	}
+	succ, succOK := planner.PrefixSuccessor(prefix)
+	return wrapZoneProbe(col, n, func(z int) rangeVerdict {
+		lo, hi, ok := col.ZoneTextBounds(z)
+		if !ok {
+			return rMixed
+		}
+		if hi < prefix || (succOK && lo >= succ) {
+			return rNone
+		}
+		if prefixOnly && lo >= prefix && (!succOK || hi < succ) {
+			return rAll
+		}
+		return rMixed
+	}), true
+}
+
+// likePrefixSafe reports whether byte-wise prefix pruning agrees with
+// likeMatch's rune-wise comparison. Invalid UTF-8 and U+FFFD both decode to
+// the replacement rune, so distinct byte sequences could compare equal
+// rune-by-rune; such prefixes stay on the per-row path.
+func likePrefixSafe(prefix string) bool {
+	return utf8.ValidString(prefix) && !strings.ContainsRune(prefix, utf8.RuneError)
+}

@@ -247,6 +247,9 @@ func buildShape(plan *Plan, sel *sqlparser.SelectStmt, res *resolver, stats []st
 	if len(plan.Shape) > 0 {
 		plan.EstRows = cur
 	}
+	// Last, decide whether the base scan should consult zone maps; the step
+	// is prepended so explains narrate the skip before the shaping stages.
+	zoneSkipShape(plan, res, stats)
 }
 
 // aggregateSQLs collects the distinct aggregate expressions of the select

@@ -133,6 +133,12 @@ const (
 	ShapeLimit
 	ShapeVecAggregate
 	ShapeParallelScan
+	// ShapeZoneSkip marks the base scan as zone-map pruned: before touching a
+	// morsel's column payloads, the engine probes the per-morsel min/max/null
+	// summaries against the scan's filters and skips morsels the bounds prove
+	// all-false. K is the morsel count; ActualRows records how many were
+	// skipped.
+	ShapeZoneSkip
 )
 
 // String names the shape kind the way explains render it.
@@ -150,6 +156,8 @@ func (k ShapeKind) String() string {
 		return "vec-aggregate"
 	case ShapeParallelScan:
 		return "parallel-scan"
+	case ShapeZoneSkip:
+		return "zone-skip"
 	default:
 		return fmt.Sprintf("shape(%d)", int(k))
 	}
@@ -239,6 +247,8 @@ func (p *Plan) Fingerprint() string {
 			}
 		case ShapeParallelScan:
 			b.WriteString(">pscan")
+		case ShapeZoneSkip:
+			b.WriteString(">zskip")
 		case ShapeSort:
 			fmt.Fprintf(&b, ">sort{%d}", len(sh.Keys))
 		case ShapeTopK:

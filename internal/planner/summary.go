@@ -119,6 +119,8 @@ func (sh *ShapeStep) Detail() string {
 	switch sh.Kind {
 	case ShapeParallelScan:
 		return fmt.Sprintf("morsels of %d rows", sh.K)
+	case ShapeZoneSkip:
+		return fmt.Sprintf("zone maps over %d morsels of %d rows", sh.K, MorselRows)
 	case ShapeAggregate, ShapeVecAggregate:
 		var parts []string
 		if len(sh.GroupBy) > 0 {

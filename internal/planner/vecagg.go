@@ -24,8 +24,10 @@ const (
 	// MorselRows is the number of base-table positions one morsel covers in a
 	// parallel scan. Workers claim morsels from a shared atomic cursor and
 	// merge their partial aggregation states in morsel order, which keeps
-	// parallel output byte-identical to serial execution.
-	MorselRows = 4096
+	// parallel output byte-identical to serial execution. It equals the
+	// storage layer's zone-map granularity so a zone summary decides a whole
+	// morsel at once.
+	MorselRows = storage.ZoneRows
 
 	// ParallelScanMinRows is the base-table size below which a morsel-driven
 	// scan is not worth scheduling (mirrors the engine's fan-out threshold).

@@ -1,0 +1,114 @@
+package planner
+
+import (
+	"strings"
+
+	"repro/internal/sqlparser"
+	"repro/internal/storage"
+)
+
+// This file gates the zone-skip shape: whether the base scan of a plan should
+// probe the storage layer's per-morsel zone maps (min/max/null summaries kept
+// per MorselRows-sized range) before touching column payloads, skipping
+// morsels whose bounds prove every filter row false. Like the vec-aggregate
+// gate, the decision is a planner-side mirror of what the engine's compiler
+// accepts; the engine re-verifies and downgrades the shape in place when the
+// probes cannot be built, so the narrated plan always tells the truth.
+
+// zoneSkipMaxSelectivity is the estimated fraction of base rows surviving the
+// scan's own filters above which zone probing is not worth the bookkeeping:
+// an unselective scan touches nearly every morsel anyway.
+const zoneSkipMaxSelectivity = 0.5
+
+// zoneSkipShape prepends a zone-skip shape step when the plan's first step is
+// a full scan over a table large enough to have multiple zones, at least one
+// of its self-filters lowers to a zone probe, and the filters are estimated
+// selective enough that whole morsels plausibly fall out.
+func zoneSkipShape(plan *Plan, res *resolver, stats []storage.TableStats) {
+	if len(plan.Steps) == 0 {
+		return
+	}
+	first := plan.Steps[0]
+	if first.Access != ScanFull || first.TableRows < MorselRows {
+		return
+	}
+	probeable := false
+	for _, f := range first.SelfFilters {
+		if zoneFilterEligible(f, first.FromPos, res, stats) {
+			probeable = true
+			break
+		}
+	}
+	if !probeable {
+		return
+	}
+	sel := 1.0
+	if first.TableRows > 0 {
+		sel = first.EstRows / float64(first.TableRows)
+	}
+	if sel > zoneSkipMaxSelectivity {
+		return
+	}
+	morsels := (first.TableRows + MorselRows - 1) / MorselRows
+	st := &ShapeStep{
+		Kind:       ShapeZoneSkip,
+		K:          morsels,
+		EstRows:    (1 - sel) * float64(morsels),
+		ActualRows: -1,
+	}
+	plan.Shape = append([]*ShapeStep{st}, plan.Shape...)
+}
+
+// zoneFilterEligible reports whether a self-filter conjunct can be answered
+// (at least partially) from zone bounds. It is the vectorizable dialect
+// narrowed by one case: a LIKE pattern prunes zones only through its literal
+// prefix, so a pattern that starts with a wildcard gives the probe nothing to
+// compare against the zone's string bounds.
+func zoneFilterEligible(e sqlparser.Expr, in int, res *resolver, stats []storage.TableStats) bool {
+	if !vecFilterEligible(e, in, res, stats) {
+		return false
+	}
+	if b, ok := e.(*sqlparser.BinaryExpr); ok && b.Op == sqlparser.OpLike {
+		lit, ok := litValue(b.Right)
+		if !ok || lit.IsNull() {
+			return false
+		}
+		prefix, _ := LikePrefix(lit.Text())
+		return prefix != ""
+	}
+	return true
+}
+
+// LikePrefix splits a LIKE pattern into the literal prefix before its first
+// wildcard and reports whether the remainder is nothing but '%' wildcards.
+// Any matching string must start with the prefix (so zone string bounds can
+// prove a morsel all-false); when prefixOnly is true the pattern matches
+// exactly the strings with that prefix, so bounds can also prove all-true and
+// a sorted dictionary can answer the predicate as a code-range compare.
+func LikePrefix(pattern string) (prefix string, prefixOnly bool) {
+	i := strings.IndexAny(pattern, "%_")
+	if i < 0 {
+		return pattern, false // no wildcard: exact-equality pattern
+	}
+	for _, r := range pattern[i:] {
+		if r != '%' {
+			return pattern[:i], false
+		}
+	}
+	return pattern[:i], true
+}
+
+// PrefixSuccessor returns the smallest string greater than every string with
+// the given prefix, and ok=false when no such string exists (the prefix is
+// empty or all 0xFF bytes). [prefix, successor) is the string range a
+// prefix predicate selects.
+func PrefixSuccessor(prefix string) (string, bool) {
+	b := []byte(prefix)
+	for i := len(b) - 1; i >= 0; i-- {
+		if b[i] != 0xFF {
+			b[i]++
+			return string(b[:i+1]), true
+		}
+	}
+	return "", false
+}

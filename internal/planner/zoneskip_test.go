@@ -1,0 +1,172 @@
+package planner_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/planner"
+	"repro/internal/storage"
+)
+
+func TestLikePrefix(t *testing.T) {
+	cases := []struct {
+		pattern, prefix string
+		prefixOnly      bool
+	}{
+		{"", "", false}, // no wildcard: exact match of the empty string
+		{"%", "", true},
+		{"%%", "", true},
+		{"abc", "abc", false}, // no wildcard: exact match, not a prefix scan
+		{"abc%", "abc", true},
+		{"abc%%", "abc", true},
+		{"abc%d", "abc", false},
+		{"abc_", "abc", false},
+		{"a%b", "a", false},
+		{"_bc", "", false},
+		{"中文%", "中文", true},
+		{`ab\%`, `ab\`, true}, // the dialect has no escapes: backslash is literal
+	}
+	for _, c := range cases {
+		prefix, prefixOnly := planner.LikePrefix(c.pattern)
+		if prefix != c.prefix || prefixOnly != c.prefixOnly {
+			t.Errorf("LikePrefix(%q) = (%q, %v), want (%q, %v)",
+				c.pattern, prefix, prefixOnly, c.prefix, c.prefixOnly)
+		}
+	}
+}
+
+func TestPrefixSuccessor(t *testing.T) {
+	cases := []struct {
+		prefix, succ string
+		ok           bool
+	}{
+		{"abc", "abd", true},
+		{"ab\xff", "ac", true},
+		{"\xff\xff", "", false}, // no finite upper bound
+		{"", "", false},
+		{"a\xff\xff", "b", true},
+		{"中", "\xe4\xb8\xae", true}, // byte-level increment, not rune-level
+	}
+	for _, c := range cases {
+		succ, ok := planner.PrefixSuccessor(c.prefix)
+		if succ != c.succ || ok != c.ok {
+			t.Errorf("PrefixSuccessor(%q) = (%q, %v), want (%q, %v)", c.prefix, succ, ok, c.succ, c.ok)
+		}
+	}
+	// The successor must be a strict upper bound for the prefix range.
+	for _, p := range []string{"a", "movie", "zz\xfe", "a\xff"} {
+		succ, ok := planner.PrefixSuccessor(p)
+		if !ok {
+			t.Fatalf("PrefixSuccessor(%q) not ok", p)
+		}
+		if !(p < succ) {
+			t.Errorf("successor %q not greater than %q", succ, p)
+		}
+		if sample := p + "\xff\xff\xff"; !(sample < succ) {
+			t.Errorf("%q (extends %q) not below successor %q", sample, p, succ)
+		}
+	}
+}
+
+// bigDB builds a movie database whose MOVIES table spans multiple morsels,
+// clearing the zone-skip row-count gate.
+func bigDB(t *testing.T) *storage.Database {
+	t.Helper()
+	db, err := dataset.GenerateMovieDB(dataset.GenConfig{
+		Seed: 7, Movies: 3 * planner.MorselRows, Actors: 500, Directors: 21,
+		CastPerMovie: 1, GenresPerMovie: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func zoneStep(p *planner.Plan) *planner.ShapeStep {
+	for _, sh := range p.Shape {
+		if sh.Kind == planner.ShapeZoneSkip {
+			return sh
+		}
+	}
+	return nil
+}
+
+// TestZoneSkipShapeGating pins when the planner plants a zone-skip step: a
+// selective vectorizable filter over a multi-morsel full scan qualifies;
+// small tables, unselective filters, probes, and prefix-free LIKEs do not.
+func TestZoneSkipShapeGating(t *testing.T) {
+	big := bigDB(t)
+	rows := big.Table("MOVIES").Len()
+	morsels := (rows + planner.MorselRows - 1) / planner.MorselRows
+
+	p := buildPlan(t, big, `select m.title from MOVIES m where m.year = 1975`)
+	st := zoneStep(p)
+	if st == nil {
+		t.Fatalf("selective scan lacks zone-skip step: %s", p.Fingerprint())
+	}
+	if p.Shape[0] != st {
+		t.Fatalf("zone-skip step not first in shape: %s", p.Fingerprint())
+	}
+	if st.K != morsels {
+		t.Fatalf("zone-skip K = %d, want %d", st.K, morsels)
+	}
+	if st.ActualRows != -1 {
+		t.Fatalf("unexecuted plan reports ActualRows %d", st.ActualRows)
+	}
+	if !strings.Contains(p.Fingerprint(), ">zskip") {
+		t.Fatalf("fingerprint %q lacks >zskip", p.Fingerprint())
+	}
+	if !strings.Contains(p.Summarize().Shape[0].Detail, "morsels") {
+		t.Fatalf("summary detail %q", p.Summarize().Shape[0].Detail)
+	}
+
+	// LIKE with a prefix qualifies; a prefix-free LIKE leaves nothing to probe.
+	if p := buildPlan(t, big, `select m.title from MOVIES m where m.title like 'Movie 42%'`); zoneStep(p) == nil {
+		t.Fatalf("prefix LIKE lacks zone-skip: %s", p.Fingerprint())
+	}
+	if p := buildPlan(t, big, `select m.title from MOVIES m where m.title like '%42'`); zoneStep(p) != nil {
+		t.Fatalf("suffix LIKE planted zone-skip: %s", p.Fingerprint())
+	}
+
+	// Unselective: the estimate exceeds the gate, pruning would be wasted work.
+	if p := buildPlan(t, big, `select m.title from MOVIES m where m.year != 1975`); zoneStep(p) != nil {
+		t.Fatalf("unselective filter planted zone-skip: %s", p.Fingerprint())
+	}
+	// No filter at all.
+	if p := buildPlan(t, big, `select m.title from MOVIES m`); zoneStep(p) != nil {
+		t.Fatalf("filterless scan planted zone-skip: %s", p.Fingerprint())
+	}
+	// Point probe: not a full scan.
+	if p := buildPlan(t, big, `select m.title from MOVIES m where m.id = 7`); zoneStep(p) != nil {
+		t.Fatalf("pk probe planted zone-skip: %s", p.Fingerprint())
+	}
+
+	// Small table: under one morsel there is nothing to skip.
+	small, err := dataset.GenerateMovieDB(dataset.GenConfig{
+		Seed: 7, Movies: 200, Actors: 50, Directors: 7, CastPerMovie: 1, GenresPerMovie: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := buildPlan(t, small, `select m.title from MOVIES m where m.year = 1975`); zoneStep(p) != nil {
+		t.Fatalf("small table planted zone-skip: %s", p.Fingerprint())
+	}
+}
+
+// TestZoneSkipShapeComposes: the step rides in front of vec-aggregate and
+// parallel-scan shaping without disturbing them.
+func TestZoneSkipShapeComposes(t *testing.T) {
+	p := buildPlan(t, bigDB(t),
+		`select m.year, count(*) from MOVIES m where m.year < 1940 group by m.year`)
+	if p.Fallback {
+		t.Fatalf("fallback: %s", p.Reason)
+	}
+	fp := p.Fingerprint()
+	if !strings.Contains(fp, ">zskip") || !strings.Contains(fp, ">pscan") || !strings.Contains(fp, ">vagg") {
+		t.Fatalf("fingerprint %q should compose zskip, pscan and vagg", fp)
+	}
+	if p.Shape[0].Kind != planner.ShapeZoneSkip {
+		t.Fatalf("zone-skip not first: %s", fp)
+	}
+}

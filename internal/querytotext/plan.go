@@ -76,6 +76,14 @@ func PlanEnglish(s *planner.Summary) string {
 			fmt.Fprintf(&b, "The rows are aggregated straight off the column vectors into typed per-group accumulators (%s), about %s groups, without materializing a joined row", sh.Detail, formatCount(sh.EstRows))
 		case "parallel-scan":
 			fmt.Fprintf(&b, "The base scan is split into %s that parallel workers claim from a shared cursor, each aggregating privately; the partial results merge in a fixed order, so the answer is identical at any worker count", sh.Detail)
+		case "zone-skip":
+			if sh.ActualRows >= 0 {
+				fmt.Fprintf(&b, "The scan consulted %s and skipped %d of %d morsels whose min/max bounds disproved the filters without touching their payloads", sh.Detail, sh.ActualRows, sh.K)
+			} else {
+				fmt.Fprintf(&b, "The scan consults %s, skipping any of its %d morsels whose min/max bounds disprove the filters", sh.Detail, sh.K)
+			}
+			sentences = append(sentences, lexicon.Sentence(b.String()))
+			continue
 		case "sort":
 			fmt.Fprintf(&b, "The result is sorted %s", sh.Detail)
 		case "top-k":
@@ -91,8 +99,15 @@ func PlanEnglish(s *planner.Summary) string {
 		sentences = append(sentences, lexicon.Sentence(b.String()))
 	}
 	produced := s.ActualRows
-	if n := len(s.Shape); n > 0 && s.Shape[n-1].ActualRows >= 0 {
-		produced = s.Shape[n-1].ActualRows // shaping decides the final count
+	for i := len(s.Shape) - 1; i >= 0; i-- {
+		sh := s.Shape[i]
+		if sh.Kind == "zone-skip" || sh.Kind == "parallel-scan" {
+			continue // scan bookkeeping, not an output stage
+		}
+		if sh.ActualRows >= 0 {
+			produced = sh.ActualRows // shaping decides the final count
+		}
+		break
 	}
 	if produced >= 0 {
 		sentences = append(sentences, lexicon.Sentence(fmt.Sprintf(

@@ -2,6 +2,9 @@ package storage
 
 import (
 	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/value"
 )
@@ -56,11 +59,28 @@ func (b *bitmap) truncate(n int) {
 }
 
 // dict is a per-column string dictionary: codes are assigned in first-seen
-// order and never reused, so codes held by live rows stay valid across
-// deletes (the dictionary only grows).
+// order. Per-code reference counts track which entries live rows still hold,
+// and maybeCompactDict (zonemap.go) reclaims the codes once dead entries
+// dominate — so per-entry verdict loops never pay for churned-away strings
+// forever. An opt-in sorted variant (EnableSortedDict) additionally keeps
+// code<->rank tables in string sort order.
 type dict struct {
 	strs []string
 	code map[string]uint32
+	// refs[c] counts live rows holding code c; live counts codes with
+	// refs > 0. Maintained by the writer paths (appendVal/setVal/releaseRow).
+	refs []int32
+	live int
+	// ranked turns on the sorted dictionary: rank maps code -> sort rank,
+	// order maps rank -> code. Writers flag rankStale when the vocabulary
+	// changes; the tables rebuild lazily on the next ranked read (guarded by
+	// rankMu so concurrent readers rebuild once), which keeps bulk loads
+	// linear instead of re-sorting the dictionary after every statement.
+	ranked    bool
+	rankStale atomic.Bool
+	rankMu    sync.Mutex
+	rank      []uint32
+	order     []uint32
 }
 
 func newDict() *dict {
@@ -75,11 +95,18 @@ func (d *dict) intern(s string) uint32 {
 	c := uint32(len(d.strs))
 	d.strs = append(d.strs, s)
 	d.code[s] = c
+	d.refs = append(d.refs, 0)
+	if d.ranked {
+		d.rankStale.Store(true)
+	}
 	return c
 }
 
 // column is one attribute's storage: a typed vector (selected by kind) and
 // the null bitmap. NULL positions carry a zero placeholder in the vector.
+// Zone maps (zonemap.go) summarize each ZoneRows-sized range; Int/Date
+// columns additionally keep a frame-of-reference encoding (per-zone base +
+// byte deltas) while every zone's span fits in a byte.
 type column struct {
 	kind  value.Kind
 	nulls bitmap
@@ -88,12 +115,24 @@ type column struct {
 	bls   []bool
 	codes []uint32 // Text dictionary codes
 	dict  *dict
+	// zones summarize ZoneRows-sized ranges; zrows is the number of rows they
+	// cover (== the table's row count whenever no write is in flight).
+	zones []zone
+	zrows int
+	// Frame-of-reference encoding: fb holds one base per zone, d8 one byte
+	// delta per row. forOff sticks once any zone's span overflows a byte.
+	fb     []int64
+	d8     []uint8
+	forOff bool
 }
 
 func newColumn(kind value.Kind) column {
 	c := column{kind: kind}
 	if kind == value.Text {
 		c.dict = newDict()
+	}
+	if kind != value.Int && kind != value.Date {
+		c.forOff = true // frame-of-reference applies to Int/Date only
 	}
 	return c
 }
@@ -125,6 +164,7 @@ func (c *column) appendVal(v value.Value, row int) {
 		var x uint32
 		if !null {
 			x = c.dict.intern(v.Text())
+			c.dict.retain(x)
 		}
 		c.codes = append(c.codes, x)
 	case value.Date:
@@ -138,6 +178,7 @@ func (c *column) appendVal(v value.Value, row int) {
 	default:
 		panic(fmt.Sprintf("storage: column of kind %s", c.kind))
 	}
+	c.zoneExtend(row)
 }
 
 // value materializes position i. Text shares the dictionary string; no
@@ -162,9 +203,14 @@ func (c *column) value(i int) value.Value {
 	}
 }
 
-// setVal overwrites position i (Update path; v is coerced or NULL).
+// setVal overwrites position i (Update path; v is coerced or NULL). Zone
+// maps are NOT maintained here — the Update path rebuilds them from the first
+// updated row once the write completes.
 func (c *column) setVal(i int, v value.Value) {
 	null := v.IsNull()
+	if c.kind == value.Text && !c.nulls.get(i) {
+		c.dict.release(c.codes[i]) // the old string loses this row
+	}
 	c.nulls.set(i, null)
 	if !null && v.Kind() != c.kind {
 		panic(fmt.Sprintf("storage: %s value stored into %s column", v.Kind(), c.kind))
@@ -186,7 +232,9 @@ func (c *column) setVal(i int, v value.Value) {
 		if null {
 			c.codes[i] = 0
 		} else {
-			c.codes[i] = c.dict.intern(v.Text())
+			x := c.dict.intern(v.Text())
+			c.dict.retain(x)
+			c.codes[i] = x
 		}
 	case value.Date:
 		if null {
@@ -197,6 +245,15 @@ func (c *column) setVal(i int, v value.Value) {
 	case value.Bool:
 		c.bls[i] = !null && v.Bool()
 	}
+}
+
+// releaseRow drops row i's dictionary reference ahead of its removal
+// (Delete path; no-op for non-text columns and NULL positions).
+func (c *column) releaseRow(i int) {
+	if c.kind != value.Text || c.nulls.get(i) {
+		return
+	}
+	c.dict.release(c.codes[i])
 }
 
 // moveRow copies position src onto dst (Delete compaction; dst <= src).
@@ -230,9 +287,19 @@ func (c *column) truncate(n int) {
 }
 
 // minMax recomputes the column's bounds over rows [0, n) after a delete or
-// update invalidated them. The column kind is uniform, so the scan is a
-// typed loop with no comparison errors.
+// update invalidated them. When the zone maps cover exactly those rows the
+// bounds fold from ZoneRows-sized summaries instead of rescanning payloads;
+// otherwise a typed scan runs. Bounds cover the comparable values: NaN is
+// skipped (it compares as neither smaller nor larger), matching the
+// incremental statistics in stats.go.
 func (c *column) minMax(n int) (min, max value.Value) {
+	if n > 0 && c.zrows == n {
+		return c.minMaxZones()
+	}
+	return c.minMaxScan(n)
+}
+
+func (c *column) minMaxScan(n int) (min, max value.Value) {
 	min, max = value.NewNull(), value.NewNull()
 	switch c.kind {
 	case value.Int, value.Date:
@@ -265,6 +332,9 @@ func (c *column) minMax(n int) (min, max value.Value) {
 				continue
 			}
 			x := c.flts[i]
+			if math.IsNaN(x) {
+				continue // incomparable; bounds describe the ordered values
+			}
 			if first {
 				lo, hi, first = x, x, false
 			} else if x < lo {

@@ -1,6 +1,8 @@
 package storage
 
 import (
+	"math"
+
 	"repro/internal/catalog"
 	"repro/internal/value"
 )
@@ -20,6 +22,9 @@ type AttrStats struct {
 type TableStats struct {
 	// Rows is the table cardinality.
 	Rows int
+	// Zones is the number of ZoneRows-sized zone-map ranges summarizing the
+	// table — the morsel count a zone-skipping scan decides over.
+	Zones int
 	// Attrs holds one entry per attribute, in declaration order.
 	Attrs []AttrStats
 }
@@ -87,15 +92,32 @@ func (s *tableStats) remove(tup Tuple, keyBuf *[]byte) {
 				a.counts[string(*keyBuf)] = n - 1
 			}
 		}
+		if isNaN(v) {
+			// NaN never enters the bounds (observeBounds skips it), so
+			// removing one cannot invalidate them. value.Equal would also
+			// miss it — NaN != NaN — which used to leave stale NaN bounds
+			// behind when a NaN arrived first.
+			continue
+		}
 		if !a.boundsDirty && (v.Equal(a.min) || v.Equal(a.max)) {
 			a.boundsDirty = true
 		}
 	}
 }
 
+// isNaN reports whether v is a float NaN — incomparable, so it is excluded
+// from min/max bounds everywhere (incremental add/remove, minMax rescans, and
+// zone maps all agree on this).
+func isNaN(v value.Value) bool {
+	return v.Kind() == value.Float && math.IsNaN(v.Float())
+}
+
 func (a *attrStat) observeBounds(v value.Value) {
 	if a.boundsDirty {
 		return // a pending rescan will see this value too
+	}
+	if isNaN(v) {
+		return // incomparable; bounds describe the ordered values
 	}
 	if a.min.IsNull() {
 		a.min, a.max = v, v
@@ -132,7 +154,11 @@ func (t *Table) fixStatBounds() {
 // Stats returns a snapshot of the table's statistics. Safe for concurrent
 // readers under the storage contract (writers are exclusive).
 func (t *Table) Stats() TableStats {
-	out := TableStats{Rows: t.rows, Attrs: make([]AttrStats, len(t.stats.attrs))}
+	out := TableStats{
+		Rows:  t.rows,
+		Zones: (t.rows + ZoneRows - 1) / ZoneRows,
+		Attrs: make([]AttrStats, len(t.stats.attrs)),
+	}
 	for i := range t.stats.attrs {
 		a := &t.stats.attrs[i]
 		out.Attrs[i] = AttrStats{

@@ -484,6 +484,8 @@ func (db *Database) insertLocked(relName string, tup Tuple) error {
 		tbl.pk[pkKey] = tbl.rows - 1
 	}
 	tbl.stats.add(tup, &tbl.keyBuf)
+	// Zone maps were extended incrementally by appendVal; sorted-dict ranks
+	// rebuild lazily on the next ranked read, so bulk loads stay linear.
 	tbl.invalidate()
 	return nil
 }
@@ -560,6 +562,7 @@ func (db *Database) Delete(relName string, pred func(Tuple) bool) (int, error) {
 	}
 	w := 0
 	removed := 0
+	dirtyFrom := -1 // first removed row: zones from its morsel onward rebuild
 	// One scratch tuple serves every pred call, keeping the scan
 	// allocation-free. This narrows the contract: pred must not retain its
 	// argument across calls (clone it to keep it). The engine's DML
@@ -568,8 +571,14 @@ func (db *Database) Delete(relName string, pred func(Tuple) bool) (int, error) {
 	for i := 0; i < tbl.rows; i++ {
 		tbl.CopyRow(scratch, i)
 		if pred(scratch) {
+			if dirtyFrom < 0 {
+				dirtyFrom = i
+			}
 			removed++
 			tbl.stats.remove(scratch, &tbl.keyBuf)
+			for j := range tbl.cols {
+				tbl.cols[j].releaseRow(i)
+			}
 			continue
 		}
 		if w != i {
@@ -584,7 +593,8 @@ func (db *Database) Delete(relName string, pred func(Tuple) bool) (int, error) {
 	}
 	tbl.rows = w
 	tbl.rebuildIndexes()
-	tbl.fixStatBounds()
+	tbl.finishWrite(dirtyFrom)
+	tbl.fixStatBounds() // after finishWrite: minMax folds the fresh zones
 	tbl.invalidate()
 	return removed, nil
 }
@@ -601,11 +611,13 @@ func (db *Database) Update(relName string, pred func(Tuple) bool, fn func(Tuple)
 	}
 	r := tbl.rel
 	updated := 0
+	dirtyFrom := -1 // first updated row: zones from its morsel onward rebuild
 	// Indexes, bounds, and the materialized view are refreshed even when a
 	// constraint aborts the loop midway: earlier rows were already updated.
 	defer func() {
 		tbl.rebuildIndexes()
-		tbl.fixStatBounds()
+		tbl.finishWrite(dirtyFrom)
+		tbl.fixStatBounds() // after finishWrite: minMax folds the fresh zones
 		tbl.invalidate()
 	}()
 	old := make(Tuple, len(tbl.cols)) // reused pred scratch; see Delete
@@ -632,6 +644,9 @@ func (db *Database) Update(relName string, pred func(Tuple) bool, fn func(Tuple)
 					repl[j] = coerced
 				}
 			}
+		}
+		if dirtyFrom < 0 {
+			dirtyFrom = i
 		}
 		for j := range tbl.cols {
 			tbl.cols[j].setVal(i, repl[j])

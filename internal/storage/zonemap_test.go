@@ -1,0 +1,655 @@
+package storage
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/value"
+)
+
+// zoneSchema is one relation with one attribute per kind and no constraints,
+// so random insert/delete/update sequences can run unrestricted.
+func zoneSchema(t *testing.T) *catalog.Schema {
+	t.Helper()
+	s := catalog.NewSchema("zones")
+	if err := s.AddRelation(&catalog.Relation{
+		Name: "Z",
+		Attributes: []*catalog.Attribute{
+			{Name: "i", Type: catalog.Int},
+			{Name: "f", Type: catalog.Float},
+			{Name: "s", Type: catalog.Text},
+			{Name: "d", Type: catalog.Date},
+			{Name: "b", Type: catalog.Bool},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func newZoneDB(t *testing.T) (*Database, *Table) {
+	t.Helper()
+	db, err := NewDatabase(zoneSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, db.Table("Z")
+}
+
+func randZTuple(rng *rand.Rand) Tuple {
+	tup := make(Tuple, 5)
+	if rng.Intn(8) == 0 {
+		tup[0] = value.NewNull()
+	} else {
+		tup[0] = value.NewInt(int64(rng.Intn(2000) - 1000))
+	}
+	switch rng.Intn(12) {
+	case 0:
+		tup[1] = value.NewNull()
+	case 1:
+		tup[1] = value.NewFloat(math.NaN())
+	case 2:
+		tup[1] = value.NewFloat(math.Copysign(0, -1))
+	case 3:
+		tup[1] = value.NewFloat(0)
+	default:
+		tup[1] = value.NewFloat(float64(rng.Intn(400)-200) / 4)
+	}
+	if rng.Intn(8) == 0 {
+		tup[2] = value.NewNull()
+	} else {
+		tup[2] = value.NewText(fmt.Sprintf("w%03d", rng.Intn(300)))
+	}
+	if rng.Intn(8) == 0 {
+		tup[3] = value.NewNull()
+	} else {
+		tup[3] = value.NewDateDays(int64(rng.Intn(5000) + 10000))
+	}
+	if rng.Intn(8) == 0 {
+		tup[4] = value.NewNull()
+	} else {
+		tup[4] = value.NewBool(rng.Intn(2) == 0)
+	}
+	return tup
+}
+
+// checkZones verifies every column's zone maps against a brute-force rescan:
+// per-zone null counts, typed bounds, NaN flags, the null-count-vs-bitmap
+// consistency, and frame-of-reference decode parity.
+func checkZones(t *testing.T, tbl *Table) {
+	t.Helper()
+	n := tbl.Len()
+	for p := range tbl.cols {
+		col := tbl.Col(p)
+		if !col.ZonesSynced(n) {
+			t.Fatalf("col %d: zones cover %d rows, table has %d", p, tbl.cols[p].zrows, n)
+		}
+		wantZones := (n + ZoneRows - 1) / ZoneRows
+		if col.ZoneCount() != wantZones {
+			t.Fatalf("col %d: %d zones, want %d", p, col.ZoneCount(), wantZones)
+		}
+		totalNulls := 0
+		for z := 0; z < col.ZoneCount(); z++ {
+			lo, hi := z*ZoneRows, (z+1)*ZoneRows
+			if hi > n {
+				hi = n
+			}
+			nulls := 0
+			first := true
+			var loI, hiI int64
+			var loF, hiF float64
+			var loS, hiS string
+			hasNaN := false
+			for i := lo; i < hi; i++ {
+				if col.Null(i) {
+					nulls++
+					continue
+				}
+				switch col.Kind() {
+				case value.Int, value.Date:
+					x := col.Ints()[i]
+					if first {
+						loI, hiI, first = x, x, false
+					} else if x < loI {
+						loI = x
+					} else if x > hiI {
+						hiI = x
+					}
+				case value.Float:
+					x := col.Floats()[i]
+					if math.IsNaN(x) {
+						hasNaN = true
+						continue
+					}
+					if first {
+						loF, hiF, first = x, x, false
+					} else if x < loF {
+						loF = x
+					} else if x > hiF {
+						hiF = x
+					}
+				case value.Text:
+					s := col.DictString(col.Codes()[i])
+					if first {
+						loS, hiS, first = s, s, false
+					} else if s < loS {
+						loS = s
+					} else if s > hiS {
+						hiS = s
+					}
+				case value.Bool:
+					var x int64
+					if col.Bools()[i] {
+						x = 1
+					}
+					if first {
+						loI, hiI, first = x, x, false
+					} else if x < loI {
+						loI = x
+					} else if x > hiI {
+						hiI = x
+					}
+				}
+			}
+			if got := col.ZoneNulls(z); got != nulls {
+				t.Fatalf("col %d zone %d: %d nulls, want %d", p, z, got, nulls)
+			}
+			totalNulls += nulls
+			switch col.Kind() {
+			case value.Int, value.Date, value.Bool:
+				gl, gh, ok := col.ZoneIntBounds(z)
+				if ok == first {
+					t.Fatalf("col %d zone %d: bounds ok=%v, want %v", p, z, ok, !first)
+				}
+				if ok && (gl != loI || gh != hiI) {
+					t.Fatalf("col %d zone %d: bounds [%d,%d], want [%d,%d]", p, z, gl, gh, loI, hiI)
+				}
+			case value.Float:
+				gl, gh, ok := col.ZoneFloatBounds(z)
+				if ok == first {
+					t.Fatalf("col %d zone %d: bounds ok=%v, want %v", p, z, ok, !first)
+				}
+				if col.ZoneHasNaN(z) != hasNaN {
+					t.Fatalf("col %d zone %d: hasNaN=%v, want %v", p, z, col.ZoneHasNaN(z), hasNaN)
+				}
+				if ok && (gl != loF || gh != hiF) {
+					t.Fatalf("col %d zone %d: bounds [%v,%v], want [%v,%v]", p, z, gl, gh, loF, hiF)
+				}
+			case value.Text:
+				gl, gh, ok := col.ZoneTextBounds(z)
+				if ok == first {
+					t.Fatalf("col %d zone %d: bounds ok=%v, want %v", p, z, ok, !first)
+				}
+				if ok && (gl != loS || gh != hiS) {
+					t.Fatalf("col %d zone %d: bounds [%q,%q], want [%q,%q]", p, z, gl, gh, loS, hiS)
+				}
+			}
+		}
+		if got := tbl.cols[p].nulls.count(n); got != totalNulls {
+			t.Fatalf("col %d: bitmap counts %d nulls, zones say %d", p, got, totalNulls)
+		}
+		if base, d8, ok := col.FORInts(); ok {
+			for i := 0; i < n; i++ {
+				if col.Null(i) {
+					continue
+				}
+				if got := base[i>>ZoneShift] + int64(d8[i]); got != col.Ints()[i] {
+					t.Fatalf("col %d row %d: FOR decodes %d, payload %d", p, i, got, col.Ints()[i])
+				}
+			}
+		}
+	}
+}
+
+// checkStats verifies the incrementally maintained statistics against a
+// from-scratch rebuild over the live rows: exact non-null and distinct
+// counts, and min/max bounds over the comparable values (NaN excluded, -0.0
+// equal to +0.0).
+func checkStats(t *testing.T, tbl *Table) {
+	t.Helper()
+	got := tbl.Stats()
+	if got.Rows != tbl.Len() {
+		t.Fatalf("stats rows %d, want %d", got.Rows, tbl.Len())
+	}
+	if want := (tbl.Len() + ZoneRows - 1) / ZoneRows; got.Zones != want {
+		t.Fatalf("stats zones %d, want %d", got.Zones, want)
+	}
+	var buf []byte
+	for p := range tbl.cols {
+		col := tbl.Col(p)
+		nonNull := 0
+		distinct := map[string]bool{}
+		min, max := value.NewNull(), value.NewNull()
+		for i := 0; i < tbl.Len(); i++ {
+			if col.Null(i) {
+				continue
+			}
+			v := col.Value(i)
+			nonNull++
+			buf = v.AppendKey(buf[:0])
+			distinct[string(buf)] = true
+			if isNaN(v) {
+				continue
+			}
+			if min.IsNull() {
+				min, max = v, v
+				continue
+			}
+			if c, err := v.Compare(min); err != nil {
+				t.Fatal(err)
+			} else if c < 0 {
+				min = v
+			}
+			if c, err := v.Compare(max); err != nil {
+				t.Fatal(err)
+			} else if c > 0 {
+				max = v
+			}
+		}
+		a := got.Attrs[p]
+		if a.NonNull != nonNull {
+			t.Fatalf("attr %d: NonNull %d, want %d", p, a.NonNull, nonNull)
+		}
+		if a.Distinct != len(distinct) {
+			t.Fatalf("attr %d: Distinct %d, want %d", p, a.Distinct, len(distinct))
+		}
+		if a.Min.IsNull() != min.IsNull() || (!min.IsNull() && !a.Min.Equal(min)) {
+			t.Fatalf("attr %d: Min %v, want %v", p, a.Min, min)
+		}
+		if a.Max.IsNull() != max.IsNull() || (!max.IsNull() && !a.Max.Equal(max)) {
+			t.Fatalf("attr %d: Max %v, want %v", p, a.Max, max)
+		}
+	}
+}
+
+// TestZoneMapsRandomOps drives random insert/delete/update sequences across
+// every column kind (with NULLs, NaN, and -0.0 in the mix) and checks zone
+// maps, frame-of-reference parity, and statistics against brute force after
+// every write batch.
+func TestZoneMapsRandomOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	db, tbl := newZoneDB(t)
+	insertN := func(n int) {
+		t.Helper()
+		for k := 0; k < n; k++ {
+			if err := db.Insert("Z", randZTuple(rng)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	insertN(2*ZoneRows + 500)
+	checkZones(t, tbl)
+	checkStats(t, tbl)
+	for round := 0; round < 4; round++ {
+		m := int64(rng.Intn(5) + 3)
+		r := rng.Int63n(m)
+		if _, err := db.Delete("Z", func(tup Tuple) bool {
+			return !tup[0].IsNull() && ((tup[0].Int()%m)+m)%m == r
+		}); err != nil {
+			t.Fatal(err)
+		}
+		checkZones(t, tbl)
+		checkStats(t, tbl)
+		if _, err := db.Update("Z", func(tup Tuple) bool {
+			return !tup[4].IsNull() && tup[4].Bool()
+		}, func(tup Tuple) Tuple {
+			repl := tup.Clone()
+			repl[1] = randZTuple(rng)[1]
+			repl[2] = randZTuple(rng)[2]
+			return repl
+		}); err != nil {
+			t.Fatal(err)
+		}
+		checkZones(t, tbl)
+		checkStats(t, tbl)
+		insertN(700)
+		checkZones(t, tbl)
+		checkStats(t, tbl)
+	}
+}
+
+// TestStatsNaNBounds pins the stats fix: NaN is excluded from min/max (it is
+// incomparable), so a NaN arriving first no longer poisons the bounds, and
+// removing it leaves them intact.
+func TestStatsNaNBounds(t *testing.T) {
+	db, tbl := newZoneDB(t)
+	nan := Tuple{value.NewNull(), value.NewFloat(math.NaN()), value.NewNull(), value.NewNull(), value.NewNull()}
+	five := Tuple{value.NewInt(1), value.NewFloat(5), value.NewNull(), value.NewNull(), value.NewNull()}
+	for _, tup := range []Tuple{nan.Clone(), five.Clone()} {
+		if err := db.Insert("Z", tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a := tbl.Stats().Attrs[1]; !a.Min.Equal(value.NewFloat(5)) || !a.Max.Equal(value.NewFloat(5)) {
+		t.Fatalf("bounds with NaN present: [%v,%v], want [5,5]", a.Min, a.Max)
+	}
+	if _, err := db.Delete("Z", func(tup Tuple) bool { return tup[0].IsNull() }); err != nil {
+		t.Fatal(err)
+	}
+	if a := tbl.Stats().Attrs[1]; !a.Min.Equal(value.NewFloat(5)) || !a.Max.Equal(value.NewFloat(5)) {
+		t.Fatalf("bounds after NaN removal: [%v,%v], want [5,5]", a.Min, a.Max)
+	}
+	// An all-NaN column has no comparable values: NULL bounds.
+	if _, err := db.Delete("Z", func(Tuple) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("Z", nan.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	if a := tbl.Stats().Attrs[1]; !a.Min.IsNull() || !a.Max.IsNull() {
+		t.Fatalf("all-NaN bounds: [%v,%v], want NULLs", a.Min, a.Max)
+	}
+}
+
+// TestStatsRemoveRescanTriggers pins exactly which removals mark bounds
+// dirty: NULL values and NaN never do (no rescan), a value equal to a bound
+// does — including a -0.0 removal against a +0.0 bound.
+func TestStatsRemoveRescanTriggers(t *testing.T) {
+	rel := zoneSchema(t).Relations()[0]
+	mk := func(f value.Value) Tuple {
+		return Tuple{value.NewNull(), f, value.NewNull(), value.NewNull(), value.NewNull()}
+	}
+	var st tableStats
+	st.init(rel)
+	var buf []byte
+	st.add(mk(value.NewFloat(1)), &buf)
+	st.add(mk(value.NewFloat(9)), &buf)
+	st.add(mk(value.NewFloat(math.NaN())), &buf)
+	st.add(mk(value.NewNull()), &buf)
+
+	st.remove(mk(value.NewNull()), &buf)
+	if st.attrs[1].boundsDirty {
+		t.Fatal("NULL-only removal marked bounds dirty")
+	}
+	st.remove(mk(value.NewFloat(math.NaN())), &buf)
+	if st.attrs[1].boundsDirty {
+		t.Fatal("NaN removal marked bounds dirty")
+	}
+	st.remove(mk(value.NewFloat(5)), &buf)
+	if st.attrs[1].boundsDirty {
+		t.Fatal("interior removal marked bounds dirty")
+	}
+	// -0.0 equals +0.0 under value.Equal, so removing it against a +0.0
+	// bound must trigger the rescan.
+	var st2 tableStats
+	st2.init(rel)
+	st2.add(mk(value.NewFloat(0)), &buf)
+	st2.add(mk(value.NewFloat(9)), &buf)
+	st2.remove(mk(value.NewFloat(math.Copysign(0, -1))), &buf)
+	if !st2.attrs[1].boundsDirty {
+		t.Fatal("-0.0 removal against +0.0 minimum did not mark bounds dirty")
+	}
+	st2.attrs[1].boundsDirty = false
+	st2.remove(mk(value.NewFloat(9)), &buf)
+	if !st2.attrs[1].boundsDirty {
+		t.Fatal("max removal did not mark bounds dirty")
+	}
+}
+
+// TestBitmapBoundaries exhaustively exercises set/truncate/get around word
+// boundaries (63/64/65 and every other count up to two words plus change): a
+// stale bit after truncate would corrupt null counts and zone maps.
+func TestBitmapBoundaries(t *testing.T) {
+	for n := 0; n <= 130; n++ {
+		for trunc := 0; trunc <= n; trunc++ {
+			var b bitmap
+			for i := 0; i < n; i++ {
+				b.set(i, true)
+			}
+			b.truncate(trunc)
+			for i := 0; i < trunc; i++ {
+				if !b.get(i) {
+					t.Fatalf("n=%d trunc=%d: bit %d lost", n, trunc, i)
+				}
+			}
+			for i := trunc; i <= n+64; i++ {
+				if b.get(i) {
+					t.Fatalf("n=%d trunc=%d: stale bit %d", n, trunc, i)
+				}
+			}
+			if got := b.count(n + 64); got != trunc {
+				t.Fatalf("n=%d trunc=%d: count %d, want %d", n, trunc, got, trunc)
+			}
+			// Re-grow over the truncated tail: false stores must not
+			// resurrect stale words, true stores must land exactly.
+			b.set(trunc+2, true)
+			for i := trunc; i <= trunc+3; i++ {
+				if b.get(i) != (i == trunc+2) {
+					t.Fatalf("n=%d trunc=%d: regrow bit %d = %v", n, trunc, i, b.get(i))
+				}
+			}
+		}
+	}
+	// Alternating patterns across truncate, checked against a model.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		var b bitmap
+		model := make([]bool, 140)
+		for i := range model {
+			model[i] = rng.Intn(2) == 0
+			b.set(i, model[i])
+		}
+		cut := rng.Intn(len(model) + 1)
+		b.truncate(cut)
+		want := 0
+		for i := 0; i < len(model)+64; i++ {
+			exp := i < cut && model[i]
+			if b.get(i) != exp {
+				t.Fatalf("trial %d cut %d: bit %d = %v, want %v", trial, cut, i, b.get(i), exp)
+			}
+			if exp {
+				want++
+			}
+		}
+		if got := b.count(len(model) + 64); got != want {
+			t.Fatalf("trial %d cut %d: count %d, want %d", trial, cut, got, want)
+		}
+	}
+}
+
+// TestDictCompactionOnChurn pins the dictionary-churn fix: after updates
+// retire most of the vocabulary, the dictionary compacts down to the live
+// strings, so DictLen — the bound on every per-entry verdict loop in the
+// vectorized engine — shrinks back instead of growing forever.
+func TestDictCompactionOnChurn(t *testing.T) {
+	db, tbl := newZoneDB(t)
+	for i := 0; i < 1000; i++ {
+		tup := Tuple{value.NewInt(int64(i)), value.NewNull(), value.NewText(fmt.Sprintf("unique-%04d", i)), value.NewNull(), value.NewNull()}
+		if err := db.Insert("Z", tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	col := tbl.Col(2)
+	if col.DictLen() != 1000 {
+		t.Fatalf("pre-churn DictLen %d, want 1000", col.DictLen())
+	}
+	if _, err := db.Update("Z", func(Tuple) bool { return true }, func(tup Tuple) Tuple {
+		repl := tup.Clone()
+		repl[2] = value.NewText(fmt.Sprintf("w%d", tup[0].Int()%8))
+		return repl
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if col.DictLen() != 8 {
+		t.Fatalf("post-churn DictLen %d, want 8 (dict not compacted)", col.DictLen())
+	}
+	if col.DictLive() != 8 {
+		t.Fatalf("post-churn DictLive %d, want 8", col.DictLive())
+	}
+	// Codes were remapped: every row still reads back its string.
+	for i := 0; i < tbl.Len(); i++ {
+		want := fmt.Sprintf("w%d", tbl.Col(0).Ints()[i]%8)
+		if got := col.Value(i).Text(); got != want {
+			t.Fatalf("row %d reads %q after compaction, want %q", i, got, want)
+		}
+	}
+	checkZones(t, tbl)
+	checkStats(t, tbl)
+
+	// Delete-driven churn compacts too.
+	db2, tbl2 := newZoneDB(t)
+	for i := 0; i < 2000; i++ {
+		tup := Tuple{value.NewInt(int64(i)), value.NewNull(), value.NewText(fmt.Sprintf("only-%04d", i)), value.NewNull(), value.NewNull()}
+		if err := db2.Insert("Z", tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db2.Delete("Z", func(tup Tuple) bool { return tup[0].Int() >= 100 }); err != nil {
+		t.Fatal(err)
+	}
+	if col2 := tbl2.Col(2); col2.DictLen() != 100 {
+		t.Fatalf("post-delete DictLen %d, want 100", col2.DictLen())
+	}
+	checkZones(t, tbl2)
+	checkStats(t, tbl2)
+}
+
+// TestSortedDictRanks checks the opt-in sorted dictionary: ranks order codes
+// exactly like their strings, LowerBoundRank matches a naive count, and both
+// survive vocabulary growth and compaction.
+func TestSortedDictRanks(t *testing.T) {
+	db, tbl := newZoneDB(t)
+	if err := db.EnableSortedDict("Z", "s"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.EnableSortedDict("Z", "i"); err == nil {
+		t.Fatal("sorted dict on an INT attribute should fail")
+	}
+	rng := rand.New(rand.NewSource(11))
+	words := []string{"delta", "alpha", "echo", "bravo", "charlie", "Æon", "zulu", "año", "apple"}
+	for i := 0; i < 500; i++ {
+		tup := Tuple{value.NewInt(int64(i)), value.NewNull(), value.NewText(words[rng.Intn(len(words))]), value.NewNull(), value.NewNull()}
+		if err := db.Insert("Z", tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	col := tbl.Col(2)
+	verify := func() {
+		t.Helper()
+		if !col.SortedDict() {
+			t.Fatal("SortedDict() false after enable")
+		}
+		ranks := col.Ranks()
+		for a := 0; a < col.DictLen(); a++ {
+			for b := 0; b < col.DictLen(); b++ {
+				sa, sb := col.DictString(uint32(a)), col.DictString(uint32(b))
+				if (ranks[a] < ranks[b]) != (sa < sb) {
+					t.Fatalf("ranks disagree with strings: %q->%d vs %q->%d", sa, ranks[a], sb, ranks[b])
+				}
+			}
+		}
+		for _, probe := range append(append([]string{}, words...), "", "aaaa", "zzzz", "éclair") {
+			want := 0
+			for c := 0; c < col.DictLen(); c++ {
+				if col.DictString(uint32(c)) < probe {
+					want++
+				}
+			}
+			if got := col.LowerBoundRank(probe); got != want {
+				t.Fatalf("LowerBoundRank(%q) = %d, want %d", probe, got, want)
+			}
+		}
+	}
+	verify()
+	// Grow the vocabulary: ranks refresh at write completion.
+	for i := 0; i < 100; i++ {
+		tup := Tuple{value.NewInt(int64(1000 + i)), value.NewNull(), value.NewText(fmt.Sprintf("grow-%03d", 99-i)), value.NewNull(), value.NewNull()}
+		if err := db.Insert("Z", tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	verify()
+	// Churn away the grown vocabulary: compaction rebuilds ranks over the
+	// survivors.
+	if _, err := db.Update("Z", func(tup Tuple) bool { return tup[0].Int() >= 1000 }, func(tup Tuple) Tuple {
+		repl := tup.Clone()
+		repl[2] = value.NewText(words[0])
+		return repl
+	}); err != nil {
+		t.Fatal(err)
+	}
+	verify()
+	checkZones(t, tbl)
+}
+
+// TestFrameOfReference checks the Int/Date byte-delta encoding directly:
+// decode parity for clustered data (including the rebase path for descending
+// values), survival across delete-rebuilds, and the permanent drop once a
+// zone's span overflows a byte.
+func TestFrameOfReference(t *testing.T) {
+	db, tbl := newZoneDB(t)
+	null := value.NewNull()
+	insInt := func(x int64) {
+		t.Helper()
+		if err := db.Insert("Z", Tuple{value.NewInt(x), null, null, null, null}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Clustered: each value repeats 32x, so per-zone span = ZoneRows/32 = 128.
+	n := 2*ZoneRows + 300
+	for i := 0; i < n; i++ {
+		insInt(int64(i >> 5))
+	}
+	col := tbl.Col(0)
+	if _, _, ok := col.FORInts(); !ok {
+		t.Fatal("clustered column should keep frame-of-reference encoding")
+	}
+	checkZones(t, tbl)
+	// Descending values exercise the rebase path inside one zone.
+	db2, tbl2 := newZoneDB(t)
+	for i := 0; i < 200; i++ {
+		if err := db2.Insert("Z", Tuple{value.NewInt(int64(200 - i)), null, null, null, null}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, ok := tbl2.Col(0).FORInts(); !ok {
+		t.Fatal("descending-in-byte-span column should keep the encoding")
+	}
+	checkZones(t, tbl2)
+	// Delete a middle chunk: the suffix rebuild keeps decode parity.
+	if _, err := db.Delete("Z", func(tup Tuple) bool {
+		x := tup[0].Int()
+		return x >= 40 && x < 80
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := col.FORInts(); !ok {
+		t.Fatal("encoding lost across delete-rebuild")
+	}
+	checkZones(t, tbl)
+	// A wide value overflows the zone span: the encoding drops for good.
+	insInt(1 << 40)
+	if _, _, ok := col.FORInts(); ok {
+		t.Fatal("encoding should drop after a byte-span overflow")
+	}
+	checkZones(t, tbl)
+}
+
+// TestMinMaxZoneFold checks that the zone-folding minMax agrees with the
+// typed scan on every kind, including NaN-bearing floats.
+func TestMinMaxZoneFold(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	db, tbl := newZoneDB(t)
+	for i := 0; i < ZoneRows+700; i++ {
+		if err := db.Insert("Z", randZTuple(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for p := range tbl.cols {
+		c := &tbl.cols[p]
+		zlo, zhi := c.minMaxZones()
+		slo, shi := c.minMaxScan(tbl.Len())
+		eq := func(a, b value.Value) bool {
+			if a.IsNull() != b.IsNull() {
+				return false
+			}
+			return a.IsNull() || a.Equal(b)
+		}
+		if !eq(zlo, slo) || !eq(zhi, shi) {
+			t.Fatalf("col %d: zone fold [%v,%v] vs scan [%v,%v]", p, zlo, zhi, slo, shi)
+		}
+	}
+}

@@ -47,6 +47,20 @@
 // composite-key encoding every hash structure is built on is byte-for-byte
 // stable across the layout change.
 //
+// Every column additionally keeps a zone map: per 4096-row range (the same
+// morsel unit the parallel scan claims), the null count, typed min/max
+// bounds, a sortedness flag, and NaN presence for floats — extended
+// incrementally on insert, rebuilt from the first disturbed row on delete
+// and update. Two lightweight encodings ride on the same maintenance pass:
+// Int/Date columns whose per-zone spans fit a byte carry frame-of-reference
+// deltas (a per-zone base plus one uint8 per row, so range predicates stream
+// an eighth of the bytes), and a text column opted in via EnableSortedDict
+// keeps its dictionary's code<->rank tables in string sort order, turning
+// text ordering and LIKE-prefix predicates into integer rank-range compares
+// instead of per-dictionary-entry verdict loops. Ranks rebuild lazily on the
+// first ranked read after the vocabulary changes, never per statement, so
+// bulk loads stay linear.
+//
 // # The query planner
 //
 // Every SELECT is planned before execution (internal/planner): per-table
@@ -91,6 +105,24 @@
 // accumulators compiled to slot readers over arena rows; HAVING is a
 // compiled post-filter), and grouped expressions needing subquery evaluation
 // take the environment path just for the grouping stage.
+//
+// Selective scans prune whole morsels before touching payloads: when a
+// multi-morsel full scan carries selective vectorizable filters, the planner
+// plants a zone-skip shape step and the engine compiles each filter to a
+// probe over the column zone maps. Every scan site — the vectorized
+// single-table scan, the general gather loop, and the fused aggregation's
+// serial and parallel morsel loops — skips a 4096-row morsel whose min/max
+// bounds disprove the filters, and count-style passes short-circuit morsels
+// the bounds prove entirely matching. Probes stay conservative around the
+// dialect's edges (NULL-laden zones never claim all-true, NaN-bearing float
+// zones refuse range verdicts because NaN = x is true here, LIKE prefixes
+// prune only when byte order and rune matching provably agree), so zones on
+// versus off is byte-identical — a differential suite pins it. EXPLAIN PLAN
+// narrates the outcome: "the scan consulted zone maps over 64 morsels of
+// 4096 rows and skipped 62 of 64 morsels whose min/max bounds disproved the
+// filters without touching their payloads." Engine.SetZoneMapsEnabled(false)
+// reverts the whole layer — pruning, frame-of-reference reads, rank
+// compares — for A/B comparison.
 //
 // The paper's §3.1 asks the DBMS to explain *why* a query is expensive;
 // `EXPLAIN PLAN`, System.ExplainPlan, and the talkbackd /explain endpoint
