@@ -26,6 +26,7 @@ import (
 	"repro/internal/sqlparser"
 	"repro/internal/storage"
 	"repro/internal/value"
+	"repro/internal/wal"
 )
 
 // ---------------------------------------------------------------------------
@@ -849,6 +850,111 @@ func zoneScanDB(b *testing.B, n int) *storage.Database {
 		}); err != nil {
 			b.Fatal(err)
 		}
+	}
+	return db
+}
+
+// ---------------------------------------------------------------------------
+// X17: crash recovery
+// ---------------------------------------------------------------------------
+
+// BenchmarkX17Recovery measures the two halves of boot-after-crash: replaying
+// a WAL of committed statement batches into an empty database, and loading a
+// checkpointed columnar segment (the post-graceful-shutdown path). The disk
+// image is built once per shape and cloned per iteration, so each op is one
+// full recovery of the same bytes.
+func BenchmarkX17Recovery(b *testing.B) {
+	const rows = 50_000
+	const perBatch = 100
+
+	build := func(b *testing.B, checkpoint bool) *wal.MemFS {
+		b.Helper()
+		fs := wal.NewMemFS()
+		db := recoveryBenchDB(b)
+		if _, err := db.EnableDurability(fs, storage.DurableOptions{CheckpointBytes: -1}); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < rows; i += perBatch {
+			db.BeginBatch()
+			for j := i; j < i+perBatch; j++ {
+				if err := db.Insert("T", storage.Tuple{
+					value.NewInt(int64(j)),
+					value.NewInt(int64(j / 4096)),
+					value.NewInt(int64(j % 97)),
+					value.NewText(fmt.Sprintf("u%08d", j%512)),
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := db.CommitBatch(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if checkpoint {
+			if err := db.Checkpoint(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := db.CloseDurability(); err != nil {
+			b.Fatal(err)
+		}
+		return fs
+	}
+
+	for _, shape := range []struct {
+		name       string
+		checkpoint bool
+	}{
+		{"wal-replay", false},
+		{"checkpoint-load", true},
+	} {
+		b.Run(shape.name, func(b *testing.B) {
+			disk := build(b, shape.checkpoint)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				db := recoveryBenchDB(b)
+				report, err := db.EnableDurability(disk.Clone(), storage.DurableOptions{CheckpointBytes: -1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if report.Rows != rows || !report.Clean() {
+					b.Fatalf("recovery: rows=%d clean=%v", report.Rows, report.Clean())
+				}
+				if shape.checkpoint && report.ReplayedBatches != 0 {
+					b.Fatalf("checkpoint shape replayed %d batches", report.ReplayedBatches)
+				}
+				if !shape.checkpoint && report.ReplayedBatches != rows/perBatch {
+					b.Fatalf("wal shape replayed %d batches", report.ReplayedBatches)
+				}
+			}
+			b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+}
+
+// recoveryBenchDB builds the empty X17 schema: the X16 shape (sorted Int PK
+// so frame-of-reference encoding holds, a clustered group, a small payload,
+// a 512-entry text dictionary) so the checkpoint exercises every column
+// encoder the segment writer has.
+func recoveryBenchDB(b *testing.B) *storage.Database {
+	b.Helper()
+	schema := catalog.NewSchema("recovery")
+	if err := schema.AddRelation(&catalog.Relation{
+		Name: "T",
+		Attributes: []*catalog.Attribute{
+			{Name: "id", Type: catalog.Int, NotNull: true},
+			{Name: "grp", Type: catalog.Int, NotNull: true},
+			{Name: "n", Type: catalog.Int, NotNull: true},
+			{Name: "s", Type: catalog.Text, NotNull: true},
+		},
+		PrimaryKey: []string{"id"},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	db, err := storage.NewDatabase(schema)
+	if err != nil {
+		b.Fatal(err)
 	}
 	return db
 }

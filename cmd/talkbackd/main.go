@@ -18,11 +18,13 @@
 //	                → entity narrative, personalized by the session profile.
 //	POST /session   {"session": "s1", "profile": "casual"}
 //	                → bind a personalization profile to a session.
-//	GET  /stats     → cache hit/miss counters and table cardinalities.
+//	GET  /stats     → cache hit/miss counters, table cardinalities, and —
+//	                  for durable databases — WAL counters plus the last
+//	                  recovery narrated in English.
 //
 // Example session:
 //
-//	talkbackd -addr :8080 &
+//	talkbackd -addr :8080 -data ./talkback-data &
 //	curl -s localhost:8080/ask -d '{"sql":"select m.title from MOVIES m, CAST c, ACTOR a where m.id = c.mid and c.aid = a.id and a.name = '\''Brad Pitt'\''"}'
 //
 // Flags:
@@ -31,21 +33,39 @@
 //	-schema movie|emp   schema to serve (default movie)
 //	-scale N            N > 0 serves a generated movie DB with N movies
 //	                    instead of the curated Fig. 1 database
+//	-data DIR           durable mode: write-ahead log + checkpoints in DIR.
+//	                    An empty DIR is seeded (curated or -scale generated)
+//	                    and adopted; a DIR with existing state is recovered
+//	                    (checkpoint + WAL replay) and -scale is ignored.
+//
+// Durability: with -data, every DML statement is fsynced to the write-ahead
+// log before /ask acknowledges it. The server shuts down gracefully on
+// SIGINT/SIGTERM — in-flight requests drain, then a final checkpoint folds
+// the log into the columnar segment so the next boot replays nothing.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os/signal"
+	"runtime/debug"
 	"strings"
 	"sync"
+	"syscall"
+	"time"
 
 	talkback "repro"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/querytotext"
+	"repro/internal/storage"
 	"repro/internal/value"
+	"repro/internal/wal"
 )
 
 // server wraps one shared System plus the per-session profile registry.
@@ -60,29 +80,10 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	schema := flag.String("schema", "movie", "schema: movie or emp")
 	scale := flag.Int("scale", 0, "serve a generated movie DB with this many movies (0 = curated)")
+	dataDir := flag.String("data", "", "durable data directory (empty = in-memory only)")
 	flag.Parse()
 
-	var sys *core.System
-	var err error
-	switch *schema {
-	case "movie":
-		if *scale > 0 {
-			cfg := dataset.DefaultGenConfig()
-			cfg.Movies = *scale
-			cfg.Actors = *scale / 2
-			var db *talkback.Database
-			db, err = dataset.GenerateMovieDB(cfg)
-			if err == nil {
-				sys, err = core.New(db, core.MovieConfig())
-			}
-		} else {
-			sys, err = core.NewMovieSystem()
-		}
-	case "emp":
-		sys, err = core.NewEmpSystem()
-	default:
-		log.Fatalf("unknown schema %q (want movie or emp)", *schema)
-	}
+	sys, err := buildSystem(*schema, *scale, *dataDir)
 	if err != nil {
 		log.Fatalf("building system: %v", err)
 	}
@@ -97,8 +98,129 @@ func main() {
 	mux.HandleFunc("POST /session", s.handleSession)
 	mux.HandleFunc("GET /stats", s.handleStats)
 
-	log.Printf("talkbackd serving %s schema on %s", *schema, *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: recoverJSON(mux),
+		// Slow or stalled clients must not pin connections forever.
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("talkbackd serving %s schema on %s", *schema, *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("serving: %v", err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately instead of waiting for drain
+
+	log.Printf("shutting down: draining requests")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+	}
+	if sys.Database().Durable() {
+		if err := sys.Checkpoint(); err != nil {
+			log.Printf("final checkpoint: %v", err)
+		} else {
+			log.Printf("final checkpoint written; the log is empty")
+		}
+		if err := sys.Database().CloseDurability(); err != nil {
+			log.Printf("closing log: %v", err)
+		}
+	}
+	log.Printf("talkbackd stopped")
+}
+
+// buildSystem assembles the System: in-memory (seeded) without dataDir;
+// durable with it — recovering existing state, or seeding then adopting an
+// empty directory.
+func buildSystem(schema string, scale int, dataDir string) (*core.System, error) {
+	var cfg core.Config
+	switch schema {
+	case "movie":
+		cfg = core.MovieConfig()
+	case "emp":
+		cfg = core.EmpConfig()
+	default:
+		return nil, fmt.Errorf("unknown schema %q (want movie or emp)", schema)
+	}
+
+	seed := func() (*talkback.Database, error) {
+		switch {
+		case schema == "emp":
+			return dataset.CuratedEmpDept()
+		case scale > 0:
+			gen := dataset.DefaultGenConfig()
+			gen.Movies = scale
+			gen.Actors = scale / 2
+			return dataset.GenerateMovieDB(gen)
+		default:
+			return dataset.CuratedMovieDB()
+		}
+	}
+
+	if dataDir == "" {
+		db, err := seed()
+		if err != nil {
+			return nil, err
+		}
+		return core.New(db, cfg)
+	}
+
+	fs, err := wal.NewDirFS(dataDir)
+	if err != nil {
+		return nil, err
+	}
+	var db *talkback.Database
+	if storage.HasDurableState(fs) {
+		// Recover: the checkpoint and log are the contents; start from the
+		// bare schema and let recovery fill it.
+		sch := dataset.MovieSchema()
+		if schema == "emp" {
+			sch = dataset.EmpDeptSchema()
+		}
+		db, err = storage.NewDatabase(sch)
+	} else {
+		db, err = seed()
+	}
+	if err != nil {
+		return nil, err
+	}
+	sys, report, err := core.NewDurable(db, fs, storage.DurableOptions{}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("durable in %s: %s", dataDir, querytotext.RecoveryEnglish(report))
+	return sys, nil
+}
+
+// recoverJSON is the panic-recovery middleware: a handler panic becomes a
+// JSON 500 instead of a closed connection, and the server keeps serving.
+func recoverJSON(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				if err, ok := v.(error); ok && errors.Is(err, http.ErrAbortHandler) {
+					panic(v)
+				}
+				log.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+				httpError(w, http.StatusInternalServerError,
+					fmt.Errorf("internal error answering this request; the server is still up"))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // askRequest is the body of POST /ask and POST /describe. Query responses
@@ -266,10 +388,35 @@ func (s *server) handleSession(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, map[string]any{
+	out := map[string]any{
 		"caches": s.sys.CacheStats(),
 		"tables": s.sys.Database().Stats(),
-	})
+	}
+	if ds, ok := s.sys.DurabilityStats(); ok {
+		durable := map[string]any{
+			"batches":     ds.Batches,
+			"ops":         ds.Ops,
+			"syncs":       ds.Syncs,
+			"checkpoints": ds.Checkpoints,
+			"wal_bytes":   ds.WALBytes,
+			"last_seq":    ds.LastSeq,
+		}
+		if ds.Recovery != nil {
+			durable["recovery"] = map[string]any{
+				"narrative":         querytotext.RecoveryEnglish(ds.Recovery),
+				"clean":             ds.Recovery.Clean(),
+				"checkpoint_rows":   ds.Recovery.CheckpointRows,
+				"replayed_batches":  ds.Recovery.ReplayedBatches,
+				"replayed_ops":      ds.Recovery.ReplayedOps,
+				"lost_batches":      ds.Recovery.LostBatches,
+				"quarantined_bytes": ds.Recovery.QuarantinedBytes,
+				"tail_reason":       ds.Recovery.TailReason,
+				"corrupt_file":      ds.Recovery.CorruptFile,
+			}
+		}
+		out["durability"] = durable
+	}
+	writeJSON(w, out)
 }
 
 func (s *server) profileOf(session string) string {

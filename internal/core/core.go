@@ -175,11 +175,17 @@ func NewEmpSystem() (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return New(db, Config{
+	return New(db, EmpConfig())
+}
+
+// EmpConfig returns the standard configuration for EMP/DEPT-schema
+// databases.
+func EmpConfig() Config {
+	return Config{
 		Verbs:        querytotext.EmpVerbs(),
 		QueryOptions: querytotext.Options{},
 		DataOptions:  datatotext.Options{Style: nlg.Compact},
-	})
+	}
 }
 
 // Database exposes the storage layer.

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// NewDurable assembles a System over a durable database: durability is
+// attached to db first (recovering any existing checkpoint + WAL state in
+// fs, or adopting db's contents with an initial checkpoint), then the System
+// is built over the recovered contents. The returned RecoveryReport says
+// what recovery found; render it with querytotext.RecoveryEnglish.
+//
+// After this returns, every DML statement applied through Ask is appended to
+// the write-ahead log and fsynced before Ask acknowledges it — a crash can
+// lose at most statements whose Ask call never returned.
+func NewDurable(db *storage.Database, fs wal.FS, opts storage.DurableOptions, cfg Config) (*System, *storage.RecoveryReport, error) {
+	report, err := db.EnableDurability(fs, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	sys, err := New(db, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sys, report, nil
+}
+
+// Checkpoint serializes every table to the checkpoint segment and truncates
+// the WAL, under the exclusive writer lock (no statement can be mid-flight).
+// The server calls it on graceful shutdown so restarts replay an empty log.
+func (s *System) Checkpoint() error {
+	s.execMu.Lock()
+	defer s.execMu.Unlock()
+	return s.db.Checkpoint()
+}
+
+// DurabilityStats snapshots the WAL counters; ok is false when the System's
+// database is purely in-memory.
+func (s *System) DurabilityStats() (storage.DurabilityStats, bool) {
+	return s.db.DurabilityStats()
+}

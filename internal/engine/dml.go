@@ -8,8 +8,18 @@ import (
 	"repro/internal/value"
 )
 
-// execInsert runs INSERT ... VALUES or INSERT ... SELECT.
-func (ex *Engine) execInsert(stmt *sqlparser.InsertStmt) (int, error) {
+// execInsert runs INSERT ... VALUES or INSERT ... SELECT. The whole
+// statement is one WAL batch: rows applied before a mid-statement failure
+// remain in the table (matching the storage layer's partial-apply
+// semantics), and they flush to the log even on the error path — the commit
+// error, if any, outranks none but never masks the statement's own.
+func (ex *Engine) execInsert(stmt *sqlparser.InsertStmt) (n int, err error) {
+	ex.db.BeginBatch()
+	defer func() {
+		if cerr := ex.db.CommitBatch(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	tbl := ex.db.Table(stmt.Relation)
 	if tbl == nil {
 		return 0, fmt.Errorf("engine: unknown relation %q", stmt.Relation)
@@ -49,7 +59,6 @@ func (ex *Engine) execInsert(stmt *sqlparser.InsertStmt) (int, error) {
 		return ex.db.Insert(rel.Name, tup)
 	}
 
-	n := 0
 	if stmt.Query != nil {
 		res, err := ex.execSelect(stmt.Query, nil)
 		if err != nil {
@@ -81,8 +90,14 @@ func (ex *Engine) execInsert(stmt *sqlparser.InsertStmt) (int, error) {
 }
 
 // execUpdate runs UPDATE ... SET ... WHERE; SET expressions may reference
-// the current tuple.
-func (ex *Engine) execUpdate(stmt *sqlparser.UpdateStmt) (int, error) {
+// the current tuple. The statement runs as one WAL batch (see execInsert).
+func (ex *Engine) execUpdate(stmt *sqlparser.UpdateStmt) (n int, err error) {
+	ex.db.BeginBatch()
+	defer func() {
+		if cerr := ex.db.CommitBatch(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	tbl := ex.db.Table(stmt.Relation)
 	if tbl == nil {
 		return 0, fmt.Errorf("engine: unknown relation %q", stmt.Relation)
@@ -129,15 +144,22 @@ func (ex *Engine) execUpdate(stmt *sqlparser.UpdateStmt) (int, error) {
 		}
 		return tup
 	}
-	n, err := ex.db.Update(rel.Name, pred, apply)
+	n, err = ex.db.Update(rel.Name, pred, apply)
 	if evalErr != nil {
 		return n, evalErr
 	}
 	return n, err
 }
 
-// execDelete runs DELETE FROM ... WHERE.
-func (ex *Engine) execDelete(stmt *sqlparser.DeleteStmt) (int, error) {
+// execDelete runs DELETE FROM ... WHERE. The statement runs as one WAL
+// batch (see execInsert).
+func (ex *Engine) execDelete(stmt *sqlparser.DeleteStmt) (n int, err error) {
+	ex.db.BeginBatch()
+	defer func() {
+		if cerr := ex.db.CommitBatch(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	tbl := ex.db.Table(stmt.Relation)
 	if tbl == nil {
 		return 0, fmt.Errorf("engine: unknown relation %q", stmt.Relation)
@@ -160,7 +182,7 @@ func (ex *Engine) execDelete(stmt *sqlparser.DeleteStmt) (int, error) {
 		}
 		return !v.IsNull() && v.Kind() == value.Bool && v.Bool()
 	}
-	n, err := ex.db.Delete(rel.Name, pred)
+	n, err = ex.db.Delete(rel.Name, pred)
 	if evalErr != nil {
 		return n, evalErr
 	}

@@ -1,0 +1,65 @@
+// Recovery narration: the durability layer's RecoveryReport rendered as the
+// same first-person English the system uses everywhere else ("DBMSs should
+// talk back" applies to crashes too — a recovered server explains what it
+// salvaged and what the crash took, instead of logging hex offsets).
+package querytotext
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/lexicon"
+	"repro/internal/storage"
+)
+
+// RecoveryEnglish renders a durability recovery report as spoken English.
+func RecoveryEnglish(r *storage.RecoveryReport) string {
+	if r == nil {
+		return ""
+	}
+	if r.Fresh {
+		s := "I started a fresh durability log"
+		if r.Rows > 0 {
+			s += fmt.Sprintf(" and checkpointed the %s already loaded", lexicon.CountNoun(r.Rows, "row"))
+		}
+		return lexicon.Sentence(s)
+	}
+
+	var parts []string
+	if r.CheckpointRows > 0 {
+		parts = append(parts, fmt.Sprintf("restored %s from the last checkpoint", lexicon.CountNoun(r.CheckpointRows, "row")))
+	}
+	recovered := r.ReplayedBatches + r.SkippedBatches
+	if recovered > 0 || r.LostBatches > 0 {
+		total := recovered + r.LostBatches
+		if r.LostBatches > 0 {
+			parts = append(parts, fmt.Sprintf("replayed %d of the %s in the log",
+				recovered, lexicon.CountNoun(total, "statement")))
+		} else if r.ReplayedBatches > 0 {
+			parts = append(parts, fmt.Sprintf("replayed %s from the log",
+				lexicon.CountNoun(r.ReplayedBatches, "statement")))
+		}
+	}
+	if len(parts) == 0 {
+		parts = append(parts, "found an empty log and nothing to replay")
+	}
+	s := "I " + lexicon.JoinAnd(parts)
+
+	if r.Clean() {
+		return lexicon.Sentence(s) + " " + lexicon.Sentence("nothing was lost")
+	}
+	loss := fmt.Sprintf("the last %s torn by the crash (%s)",
+		pluralVerb(r.LostBatches, lexicon.NumberWord(r.LostBatches), "was", "were"), r.TailReason)
+	s = lexicon.Sentence(s+"; "+loss) + " " +
+		lexicon.Sentence(fmt.Sprintf("I set the %s of damaged log aside in %s for inspection",
+			lexicon.CountNoun(r.QuarantinedBytes, "byte"), r.CorruptFile))
+	return s
+}
+
+// pluralVerb renders "count was/were": "one was", "five were".
+func pluralVerb(n int, count, singular, plural string) string {
+	if n == 1 {
+		return strings.TrimSpace(count + " " + singular)
+	}
+	return strings.TrimSpace(count + " " + plural)
+}

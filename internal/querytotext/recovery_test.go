@@ -1,0 +1,71 @@
+package querytotext
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func TestRecoveryEnglish(t *testing.T) {
+	cases := []struct {
+		name   string
+		report *storage.RecoveryReport
+		want   string
+	}{
+		{"nil", nil, ""},
+		{
+			"fresh empty",
+			&storage.RecoveryReport{Fresh: true},
+			"I started a fresh durability log.",
+		},
+		{
+			"fresh adopting rows",
+			&storage.RecoveryReport{Fresh: true, Rows: 57},
+			"I started a fresh durability log and checkpointed the fifty-seven rows already loaded.",
+		},
+		{
+			"clean checkpoint plus replay",
+			&storage.RecoveryReport{CheckpointRows: 120, ReplayedBatches: 4},
+			"I restored 120 rows from the last checkpoint and replayed four statements from the log. Nothing was lost.",
+		},
+		{
+			"clean empty log",
+			&storage.RecoveryReport{},
+			"I found an empty log and nothing to replay. Nothing was lost.",
+		},
+		{
+			"torn tail",
+			&storage.RecoveryReport{
+				ReplayedBatches:  14202,
+				LostBatches:      5,
+				TailReason:       "truncated record",
+				QuarantinedBytes: 37,
+				CorruptFile:      "wal.corrupt",
+			},
+			"I replayed 14202 of the 14207 statements in the log; the last five were torn by the crash (truncated record). " +
+				"I set the thirty-seven bytes of damaged log aside in wal.corrupt for inspection.",
+		},
+		{
+			"single lost statement",
+			&storage.RecoveryReport{
+				CheckpointRows:   10,
+				ReplayedBatches:  2,
+				SkippedBatches:   1,
+				LostBatches:      1,
+				TailReason:       "checksum mismatch",
+				QuarantinedBytes: 1,
+				CorruptFile:      "wal.corrupt",
+			},
+			"I restored ten rows from the last checkpoint and replayed 3 of the four statements in the log; " +
+				"the last one was torn by the crash (checksum mismatch). " +
+				"I set the one byte of damaged log aside in wal.corrupt for inspection.",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := RecoveryEnglish(tc.report); got != tc.want {
+				t.Errorf("got:  %q\nwant: %q", got, tc.want)
+			}
+		})
+	}
+}

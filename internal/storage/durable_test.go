@@ -1,0 +1,607 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/value"
+	"repro/internal/wal"
+)
+
+// durSchema extends the shared test schema with a relation covering Float
+// and Bool columns, so checkpoints serialize every value kind.
+func durSchema(t *testing.T) *catalog.Schema {
+	t.Helper()
+	s := testSchema(t)
+	if err := s.AddRelation(&catalog.Relation{
+		Name: "RATINGS",
+		Attributes: []*catalog.Attribute{
+			{Name: "id", Type: catalog.Int, NotNull: true},
+			{Name: "score", Type: catalog.Float},
+			{Name: "fresh", Type: catalog.Bool},
+			{Name: "note", Type: catalog.Text},
+		},
+		PrimaryKey: []string{"id"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func newDurDB(t *testing.T) *Database {
+	t.Helper()
+	db, err := NewDatabase(durSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// dumpAll renders every table as CSV — the observable-contents fingerprint
+// the recovery tests compare.
+func dumpAll(t *testing.T, db *Database) string {
+	t.Helper()
+	var sb strings.Builder
+	for _, name := range db.TableNames() {
+		sb.WriteString("== " + name + "\n")
+		if err := db.DumpCSV(name, &sb); err != nil {
+			t.Fatalf("dump %s: %v", name, err)
+		}
+	}
+	return sb.String()
+}
+
+// statsAll fingerprints the planner-visible statistics.
+func statsAll(t *testing.T, db *Database) string {
+	t.Helper()
+	var sb strings.Builder
+	for _, name := range db.TableNames() {
+		st := db.Table(name).Stats()
+		fmt.Fprintf(&sb, "%s rows=%d zones=%d\n", name, st.Rows, st.Zones)
+		for i, a := range st.Attrs {
+			fmt.Fprintf(&sb, "  %d nonNull=%d distinct=%d min=%s max=%s\n",
+				i, a.NonNull, a.Distinct, a.Min.String(), a.Max.String())
+		}
+	}
+	return sb.String()
+}
+
+// zonesAll fingerprints the zone maps (bounds, null counts, sortedness).
+func zonesAll(t *testing.T, db *Database) string {
+	t.Helper()
+	var sb strings.Builder
+	for _, name := range db.TableNames() {
+		tbl := db.Table(name)
+		for i := 0; i < len(tbl.rel.Attributes); i++ {
+			col := tbl.Col(i)
+			fmt.Fprintf(&sb, "%s.%d zones=%d synced=%v", name, i, col.ZoneCount(), col.ZonesSynced(tbl.Len()))
+			for z := 0; z < col.ZoneCount(); z++ {
+				fmt.Fprintf(&sb, " [n=%d s=%v", col.ZoneNulls(z), col.ZoneSorted(z))
+				if lo, hi, ok := col.ZoneIntBounds(z); ok {
+					fmt.Fprintf(&sb, " i%d:%d", lo, hi)
+				}
+				if lo, hi, ok := col.ZoneFloatBounds(z); ok {
+					fmt.Fprintf(&sb, " f%g:%g nan=%v", lo, hi, col.ZoneHasNaN(z))
+				}
+				if lo, hi, ok := col.ZoneTextBounds(z); ok {
+					fmt.Fprintf(&sb, " t%q:%q", lo, hi)
+				}
+				sb.WriteString("]")
+			}
+			if base, delta, ok := col.FORInts(); ok {
+				fmt.Fprintf(&sb, " for=%d/%d", len(base), len(delta))
+			}
+			sb.WriteString("\n")
+		}
+	}
+	return sb.String()
+}
+
+func fingerprint(t *testing.T, db *Database) string {
+	t.Helper()
+	return dumpAll(t, db) + statsAll(t, db) + zonesAll(t, db)
+}
+
+// seedVariety fills the database with every serialization edge the segment
+// format has to carry: NULLs everywhere, NaN and infinities, negative dates,
+// dictionary churn (dead entries), bools, and enough int rows in a narrow
+// range to keep the frame-of-reference encoding active.
+func seedVariety(t *testing.T, db *Database) {
+	t.Helper()
+	for i := 0; i < 6; i++ {
+		var bdate value.Value = value.NewNull()
+		if i%2 == 0 {
+			bdate = value.NewDateDays(int64(-4000 + i*1000))
+		}
+		ins(t, db, "DIRECTOR", value.NewInt(int64(i)), value.NewText(fmt.Sprintf("director-%d", i%3)), bdate)
+	}
+	// FOR stays on: values climb by 1 every 16 rows, so every zone spans
+	// well under a byte's worth of delta.
+	for i := 0; i < 5000; i++ {
+		var title value.Value = value.NewNull()
+		if i%7 != 0 {
+			title = value.NewText(fmt.Sprintf("title-%d", i%11))
+		}
+		ins(t, db, "MOVIES", value.NewInt(int64(i)), title, value.NewInt(int64(1900+(i>>4))), value.NewInt(int64(i%6)))
+	}
+	scores := []value.Value{
+		value.NewFloat(math.NaN()), value.NewFloat(math.Inf(1)), value.NewFloat(math.Inf(-1)),
+		value.NewFloat(-0.0), value.NewFloat(3.25), value.NewNull(),
+	}
+	for i, s := range scores {
+		ins(t, db, "RATINGS", value.NewInt(int64(i)), s, value.NewBool(i%2 == 0), value.NewText(fmt.Sprintf("note-%d", i)))
+	}
+	// Dictionary churn: retire every title-3 so the vocabulary holds dead
+	// entries when the checkpoint writes.
+	if _, err := db.Delete("MOVIES", func(tup Tuple) bool {
+		return !tup[1].IsNull() && tup[1].Text() == "title-3"
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Table("MOVIES").CreateIndex("movies_did", "did"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	fs := wal.NewMemFS()
+	db := newDurDB(t)
+	seedVariety(t, db)
+	if _, err := db.EnableDurability(fs, DurableOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprint(t, db)
+
+	db2 := newDurDB(t)
+	report, err := db2.EnableDurability(fs, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Clean() {
+		t.Fatalf("recovery not clean: %+v", report)
+	}
+	if got := fingerprint(t, db2); got != want {
+		t.Errorf("reopened database diverges:\n--- want\n%s\n--- got\n%s", want, got)
+	}
+	// The secondary index came back and probes correctly.
+	rows, err := db2.Table("MOVIES").LookupIndex("movies_did", value.NewInt(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Error("recovered index returned nothing")
+	}
+	for _, r := range rows {
+		if r[3].Int() != 2 {
+			t.Errorf("index row has did=%s", r[3])
+		}
+	}
+}
+
+func TestReopenAfterDML(t *testing.T) {
+	fs := wal.NewMemFS()
+	db := newDurDB(t)
+	if _, err := db.EnableDurability(fs, DurableOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// A mixed workload through the public API, all after the initial
+	// (empty) checkpoint — everything must come back from the WAL alone.
+	for i := 0; i < 50; i++ {
+		ins(t, db, "DIRECTOR", value.NewInt(int64(i)), value.NewText(fmt.Sprintf("d%d", i)), value.NewNull())
+	}
+	if _, err := db.Delete("DIRECTOR", func(tup Tuple) bool { return tup[0].Int()%5 == 0 }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Update("DIRECTOR",
+		func(tup Tuple) bool { return tup[0].Int()%3 == 0 },
+		func(tup Tuple) Tuple { tup[1] = value.NewText("updated-" + tup[1].Text()); return tup }); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Table("DIRECTOR").CreateIndex("dir_name", "name"); err != nil {
+		t.Fatal(err)
+	}
+	csv := "id,title,year,did\n100,CSV Movie,1999,3\n101,Another,2001,6\n"
+	if n, err := db.LoadCSV("MOVIES", strings.NewReader(csv)); err != nil || n != 2 {
+		t.Fatalf("LoadCSV: n=%d err=%v", n, err)
+	}
+	want := fingerprint(t, db)
+
+	db2 := newDurDB(t)
+	report, err := db2.EnableDurability(fs, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Clean() || report.ReplayedBatches == 0 {
+		t.Fatalf("report: %+v", report)
+	}
+	if got := fingerprint(t, db2); got != want {
+		t.Errorf("replayed database diverges:\n--- want\n%s\n--- got\n%s", want, got)
+	}
+	if _, err := db2.Table("DIRECTOR").LookupIndex("dir_name", value.NewText("updated-d3")); err != nil {
+		t.Errorf("replayed index: %v", err)
+	}
+}
+
+func TestPartialBatchPersists(t *testing.T) {
+	fs := wal.NewMemFS()
+	db := newDurDB(t)
+	if _, err := db.EnableDurability(fs, DurableOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// Statement batch where the 4th row hits a duplicate key: the three
+	// applied rows stay in the table (storage semantics) and must therefore
+	// be in the log too.
+	db.BeginBatch()
+	var insErr error
+	for _, id := range []int64{1, 2, 3, 2} {
+		if insErr = db.Insert("DIRECTOR", Tuple{value.NewInt(id), value.NewText("x"), value.NewNull()}); insErr != nil {
+			break
+		}
+	}
+	if insErr == nil {
+		t.Fatal("duplicate key accepted")
+	}
+	if err := db.CommitBatch(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Table("DIRECTOR").Len(); got != 3 {
+		t.Fatalf("in-memory rows = %d", got)
+	}
+
+	db2 := newDurDB(t)
+	if _, err := db2.EnableDurability(fs, DurableOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := db2.Table("DIRECTOR").Len(); got != 3 {
+		t.Errorf("recovered rows = %d, want the 3 applied before the failure", got)
+	}
+}
+
+func TestFsyncFailureSurfaces(t *testing.T) {
+	ffs := wal.NewFaultFS(wal.NewMemFS())
+	db := newDurDB(t)
+	if _, err := db.EnableDurability(ffs, DurableOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	ins(t, db, "DIRECTOR", value.NewInt(1), value.NewText("ok"), value.NewNull())
+	ffs.FailSyncsAfter(0)
+	err := db.Insert("DIRECTOR", Tuple{value.NewInt(2), value.NewText("lost"), value.NewNull()})
+	if !errors.Is(err, wal.ErrInjectedSync) {
+		t.Fatalf("insert during fsync failure returned %v", err)
+	}
+	ffs.ClearFaults()
+}
+
+func TestAutoCheckpoint(t *testing.T) {
+	fs := wal.NewMemFS()
+	db := newDurDB(t)
+	if _, err := db.EnableDurability(fs, DurableOptions{CheckpointBytes: 512}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		ins(t, db, "DIRECTOR", value.NewInt(int64(i)), value.NewText(fmt.Sprintf("name-%d", i)), value.NewNull())
+	}
+	st, ok := db.DurabilityStats()
+	if !ok {
+		t.Fatal("not durable")
+	}
+	// The adoption checkpoint plus at least one triggered by log growth.
+	if st.Checkpoints < 2 {
+		t.Fatalf("checkpoints = %d, auto-checkpoint never fired", st.Checkpoints)
+	}
+	if st.WALBytes >= 10*512 {
+		t.Fatalf("wal grew to %d bytes despite the 512-byte ceiling", st.WALBytes)
+	}
+	db2 := newDurDB(t)
+	if _, err := db2.EnableDurability(fs, DurableOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := db2.Table("DIRECTOR").Len(); got != 200 {
+		t.Errorf("recovered rows = %d", got)
+	}
+}
+
+func TestQuarantineTornTail(t *testing.T) {
+	fs := wal.NewMemFS()
+	db := newDurDB(t)
+	if _, err := db.EnableDurability(fs, DurableOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		ins(t, db, "DIRECTOR", value.NewInt(int64(i)), value.NewText(fmt.Sprintf("d%d", i)), value.NewNull())
+	}
+	logBytes := fs.Bytes(WALFileName)
+	records, tail := wal.Scan(logBytes)
+	if tail != nil || len(records) != 10 {
+		t.Fatalf("log: %d records, tail %v", len(records), tail)
+	}
+	// Crash: the last record's bytes half-reached the disk.
+	crashed := fs.Clone()
+	crashed.Truncate(WALFileName, records[9].Off+3)
+
+	db2 := newDurDB(t)
+	report, err := db2.EnableDurability(crashed, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Clean() {
+		t.Fatal("torn log reported clean")
+	}
+	if report.ReplayedBatches != 9 || report.LostBatches != 1 {
+		t.Errorf("replayed=%d lost=%d", report.ReplayedBatches, report.LostBatches)
+	}
+	if got := db2.Table("DIRECTOR").Len(); got != 9 {
+		t.Errorf("rows = %d, want the 9 committed", got)
+	}
+	if report.CorruptFile != CorruptFileName || report.QuarantinedBytes != 3 {
+		t.Errorf("quarantine: %+v", report)
+	}
+	sidecar := crashed.Bytes(CorruptFileName)
+	if len(sidecar) != 3 {
+		t.Errorf("sidecar holds %d bytes", len(sidecar))
+	}
+	// The rewritten log is clean and ends exactly at the valid prefix.
+	rewritten := crashed.Bytes(WALFileName)
+	if recs, tl := wal.Scan(rewritten); tl != nil || len(recs) != 0 {
+		// The reopen checkpointed-on-boot only when no checkpoint existed;
+		// here one did, so the log still holds the 9 records.
+		if tl != nil || len(recs) != 9 {
+			t.Errorf("rewritten log: %d records, tail %v", len(recs), tl)
+		}
+	}
+	// A third boot replays the rewritten log without complaint.
+	db3 := newDurDB(t)
+	report3, err := db3.EnableDurability(crashed, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report3.Clean() {
+		t.Errorf("second recovery not clean: %+v", report3)
+	}
+	if fingerprint(t, db3) != fingerprint(t, db2) {
+		t.Error("second recovery diverges from first")
+	}
+}
+
+func TestBitFlipQuarantine(t *testing.T) {
+	fs := wal.NewMemFS()
+	db := newDurDB(t)
+	if _, err := db.EnableDurability(fs, DurableOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		ins(t, db, "DIRECTOR", value.NewInt(int64(i)), value.NewText("n"), value.NewNull())
+	}
+	records, _ := wal.Scan(fs.Bytes(WALFileName))
+	// Flip a payload bit of the middle record: records 2..4 become the tail.
+	crashed := fs.Clone()
+	crashed.FlipBit(WALFileName, records[2].Off+9, 0x10)
+	db2 := newDurDB(t)
+	report, err := db2.EnableDurability(crashed, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ReplayedBatches != 2 || report.LostBatches != 3 {
+		t.Errorf("replayed=%d lost=%d (want 2/3)", report.ReplayedBatches, report.LostBatches)
+	}
+	if report.TailReason != "checksum mismatch" {
+		t.Errorf("reason %q", report.TailReason)
+	}
+	if got := db2.Table("DIRECTOR").Len(); got != 2 {
+		t.Errorf("rows = %d", got)
+	}
+}
+
+func TestShortReadSalvagesPrefix(t *testing.T) {
+	mem := wal.NewMemFS()
+	db := newDurDB(t)
+	if _, err := db.EnableDurability(mem, DurableOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		ins(t, db, "DIRECTOR", value.NewInt(int64(i)), value.NewText("s"), value.NewNull())
+	}
+	records, _ := wal.Scan(mem.Bytes(WALFileName))
+	ffs := wal.NewFaultFS(mem.Clone())
+	// Readers of the log see only the first five records and then an I/O
+	// error — recovery must treat it like a torn log, not fail.
+	ffs.ShortRead(WALFileName, records[5].Off)
+	db2 := newDurDB(t)
+	report, err := db2.EnableDurability(ffs, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ReplayedBatches != 5 {
+		t.Errorf("replayed %d, want 5", report.ReplayedBatches)
+	}
+	if report.Clean() {
+		t.Error("short read reported clean")
+	}
+	if got := db2.Table("DIRECTOR").Len(); got != 5 {
+		t.Errorf("rows = %d", got)
+	}
+}
+
+// TestCheckpointWALOverlap simulates the crash window between the checkpoint
+// rename and the log truncation: the checkpoint already covers every record
+// still sitting in the log, and replay must skip them all.
+func TestCheckpointWALOverlap(t *testing.T) {
+	fs := wal.NewMemFS()
+	db := newDurDB(t)
+	if _, err := db.EnableDurability(fs, DurableOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		ins(t, db, "DIRECTOR", value.NewInt(int64(i)), value.NewText(fmt.Sprintf("d%d", i)), value.NewNull())
+	}
+	oldLog := fs.Bytes(WALFileName)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprint(t, db)
+	// Un-truncate the log: the disk now looks as if the crash hit right
+	// after the rename.
+	f, err := fs.Create(WALFileName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(oldLog); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	db2 := newDurDB(t)
+	report, err := db2.EnableDurability(fs, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.SkippedBatches != 7 || report.ReplayedBatches != 0 {
+		t.Errorf("skipped=%d replayed=%d", report.SkippedBatches, report.ReplayedBatches)
+	}
+	if got := fingerprint(t, db2); got != want {
+		t.Errorf("overlap recovery diverges:\n--- want\n%s\n--- got\n%s", want, got)
+	}
+	// New writes after recovery continue the sequence without clashing.
+	ins(t, db2, "DIRECTOR", value.NewInt(100), value.NewText("after"), value.NewNull())
+	db3 := newDurDB(t)
+	if _, err := db3.EnableDurability(fs, DurableOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := db3.Table("DIRECTOR").Len(); got != 8 {
+		t.Errorf("rows = %d", got)
+	}
+}
+
+func TestCorruptCheckpointRefuses(t *testing.T) {
+	fs := wal.NewMemFS()
+	db := newDurDB(t)
+	seedVariety(t, db)
+	if _, err := db.EnableDurability(fs, DurableOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < len(fs.Bytes(CheckpointFileName)); off += 97 {
+		crashed := fs.Clone()
+		crashed.FlipBit(CheckpointFileName, off, 0x04)
+		db2 := newDurDB(t)
+		if _, err := db2.EnableDurability(crashed, DurableOptions{}); err == nil {
+			t.Fatalf("flip at %d: corrupt checkpoint accepted", off)
+		}
+	}
+	// Truncated checkpoints refuse too (never panic).
+	for _, cut := range []int{0, 1, 7, 100} {
+		crashed := fs.Clone()
+		crashed.Truncate(CheckpointFileName, cut)
+		db2 := newDurDB(t)
+		if _, err := db2.EnableDurability(crashed, DurableOptions{}); err == nil {
+			t.Fatalf("cut at %d: truncated checkpoint accepted", cut)
+		}
+	}
+}
+
+func TestEnableDurabilityRejectsNonEmptyWithState(t *testing.T) {
+	fs := wal.NewMemFS()
+	db := newDurDB(t)
+	if _, err := db.EnableDurability(fs, DurableOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	ins(t, db, "DIRECTOR", value.NewInt(1), value.NewText("a"), value.NewNull())
+
+	seeded := newDurDB(t)
+	ins(t, seeded, "DIRECTOR", value.NewInt(2), value.NewText("b"), value.NewNull())
+	if _, err := seeded.EnableDurability(fs, DurableOptions{}); err == nil {
+		t.Fatal("seeded database adopted a directory with existing state")
+	}
+	if _, err := db.EnableDurability(fs, DurableOptions{}); err == nil {
+		t.Fatal("double enable accepted")
+	}
+}
+
+func TestLoadCSVRollback(t *testing.T) {
+	fs := wal.NewMemFS()
+	db := newDurDB(t)
+	if _, err := db.EnableDurability(fs, DurableOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	ins(t, db, "DIRECTOR", value.NewInt(1), value.NewText("keep"), value.NewNull())
+	before := fingerprint(t, db)
+
+	// Row 3 duplicates row 1's primary key: the whole load must roll back.
+	bad := "id,name,bdate\n10,a,\n11,b,\n10,c,\n"
+	n, err := db.LoadCSV("DIRECTOR", strings.NewReader(bad))
+	if err == nil {
+		t.Fatal("duplicate-key CSV loaded")
+	}
+	if n != 0 {
+		t.Errorf("failed load reported %d rows", n)
+	}
+	if got := fingerprint(t, db); got != before {
+		t.Errorf("failed load left residue:\n--- before\n%s\n--- after\n%s", before, got)
+	}
+	// A value that does not parse rejects before any mutation.
+	if _, err := db.LoadCSV("DIRECTOR", strings.NewReader("id,name,bdate\nnot-an-int,a,\n")); err == nil {
+		t.Fatal("unparseable CSV loaded")
+	}
+	if got := fingerprint(t, db); got != before {
+		t.Error("parse-failure load left residue")
+	}
+	// The log agrees: a reopen sees only the surviving row.
+	db2 := newDurDB(t)
+	if _, err := db2.EnableDurability(fs, DurableOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := db2.Table("DIRECTOR").Len(); got != 1 {
+		t.Errorf("recovered rows = %d, want 1", got)
+	}
+	// And a good load after the failures both applies and persists.
+	if n, err := db.LoadCSV("DIRECTOR", strings.NewReader("id,name,bdate\n20,x,\n21,y,1950-01-01\n")); err != nil || n != 2 {
+		t.Fatalf("good load: n=%d err=%v", n, err)
+	}
+	db3 := newDurDB(t)
+	if _, err := db3.EnableDurability(fs, DurableOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := db3.Table("DIRECTOR").Len(); got != 3 {
+		t.Errorf("recovered rows = %d, want 3", got)
+	}
+}
+
+func TestDurabilityStatsCounters(t *testing.T) {
+	fs := wal.NewMemFS()
+	db := newDurDB(t)
+	if _, ok := db.DurabilityStats(); ok {
+		t.Fatal("in-memory database reported durability stats")
+	}
+	report, err := db.EnableDurability(fs, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Fresh {
+		t.Errorf("fresh directory not reported fresh: %+v", report)
+	}
+	for i := 0; i < 4; i++ {
+		ins(t, db, "DIRECTOR", value.NewInt(int64(i)), value.NewText("c"), value.NewNull())
+	}
+	st, ok := db.DurabilityStats()
+	if !ok {
+		t.Fatal("not durable")
+	}
+	if st.Batches != 4 || st.Ops != 4 || st.Syncs != 4 || st.LastSeq != 4 {
+		t.Errorf("counters: %+v", st)
+	}
+	if st.Checkpoints != 1 || st.WALBytes == 0 {
+		t.Errorf("checkpoints=%d walBytes=%d", st.Checkpoints, st.WALBytes)
+	}
+	if st.Recovery != report {
+		t.Error("stats lost the recovery report")
+	}
+	if err := db.CloseDurability(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := db.DurabilityStats(); ok {
+		t.Error("stats survive close")
+	}
+}

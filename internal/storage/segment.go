@@ -1,0 +1,405 @@
+package storage
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/value"
+	"repro/internal/wal"
+)
+
+// This file serializes tables as checkpoint segments. A checkpoint file is a
+// sequence of CRC-framed records (the same framing as the WAL): a header
+// record carrying the schema fingerprint and the WAL sequence floor, then one
+// record per table. Column payloads reuse the in-memory encodings: Int/Date
+// columns with a live frame-of-reference encoding spill exactly that (one
+// varint base per zone plus one byte delta per row), text columns spill their
+// dictionary pages (strings once, then per-row codes), floats spill raw bits,
+// and bools bit-pack. On load, zone maps, frame-of-reference deltas, indexes,
+// and statistics are rebuilt from the vectors — derived state is never
+// trusted from disk.
+
+// segmentMagic versions the checkpoint format.
+const segmentMagic = "TBSEG1"
+
+// SchemaFingerprint hashes the schema's DDL rendering; a checkpoint written
+// under a different schema refuses to load instead of misinterpreting
+// vectors.
+func SchemaFingerprint(db *Database) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(db.schema.String()))
+	return h.Sum64()
+}
+
+// writeCheckpoint serializes every table into w: header record first, then
+// one record per table in sorted name order. lastSeq is the WAL sequence
+// floor — recovery skips WAL records at or below it, which makes the
+// checkpoint-then-truncate sequence crash-safe at every intermediate point.
+func (db *Database) writeCheckpoint(w *wal.Writer, lastSeq uint64) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for name := range db.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var buf []byte
+	buf = append(buf, segmentMagic...)
+	buf = appendUvarint(buf, SchemaFingerprint(db))
+	buf = appendUvarint(buf, lastSeq)
+	buf = appendUvarint(buf, uint64(len(names)))
+	if err := w.Append(buf); err != nil {
+		return err
+	}
+	for _, name := range names {
+		tbl := db.tables[name]
+		buf = tbl.appendSegment(buf[:0])
+		if err := w.Append(buf); err != nil {
+			return fmt.Errorf("storage: checkpointing %s: %w", tbl.rel.Name, err)
+		}
+	}
+	return nil
+}
+
+// appendSegment serializes one table into buf.
+func (t *Table) appendSegment(buf []byte) []byte {
+	buf = appendString(buf, t.rel.Name)
+	buf = appendUvarint(buf, uint64(t.rows))
+	buf = appendUvarint(buf, uint64(len(t.cols)))
+	for i := range t.cols {
+		buf = t.cols[i].appendSegment(buf, t.rows)
+	}
+	infos := t.IndexInfos()
+	buf = appendUvarint(buf, uint64(len(infos)))
+	for _, info := range infos {
+		buf = appendString(buf, info.Name)
+		buf = appendUvarint(buf, uint64(len(info.Attrs)))
+		for _, a := range info.Attrs {
+			buf = appendString(buf, a)
+		}
+	}
+	return buf
+}
+
+// Column payload encodings within a segment.
+const (
+	colEncRaw = 0 // typed values, varint/raw
+	colEncFOR = 1 // Int/Date frame-of-reference: zone bases + byte deltas
+)
+
+func (c *column) appendSegment(buf []byte, rows int) []byte {
+	buf = append(buf, byte(c.kind))
+	ranked := byte(0)
+	if c.kind == value.Text && c.dict.ranked {
+		ranked = 1
+	}
+	buf = append(buf, ranked)
+	// Null bitmap: word count, then raw words.
+	buf = appendUvarint(buf, uint64(len(c.nulls.words)))
+	for _, w := range c.nulls.words {
+		buf = appendUvarint(buf, w)
+	}
+	switch c.kind {
+	case value.Int, value.Date:
+		if !c.forOff && len(c.d8) == rows && c.zrows == rows && rows > 0 {
+			// Frame-of-reference page: the PR-6 in-memory encoding is the
+			// on-disk format — one base per zone, one byte per row.
+			buf = append(buf, colEncFOR)
+			buf = appendUvarint(buf, uint64(len(c.fb)))
+			for _, b := range c.fb {
+				buf = appendVarint(buf, b)
+			}
+			buf = append(buf, c.d8...)
+		} else {
+			buf = append(buf, colEncRaw)
+			for _, x := range c.ints[:rows] {
+				buf = appendVarint(buf, x)
+			}
+		}
+	case value.Float:
+		buf = append(buf, colEncRaw)
+		for _, f := range c.flts[:rows] {
+			var b [8]byte
+			byteOrderPutFloat(b[:], f)
+			buf = append(buf, b[:]...)
+		}
+	case value.Text:
+		buf = append(buf, colEncRaw)
+		// Dictionary pages: the full vocabulary (codes index it, so dead
+		// entries ride along until the next compaction), then per-row codes.
+		buf = appendUvarint(buf, uint64(len(c.dict.strs)))
+		for _, s := range c.dict.strs {
+			buf = appendString(buf, s)
+		}
+		for _, code := range c.codes[:rows] {
+			buf = appendUvarint(buf, uint64(code))
+		}
+	case value.Bool:
+		buf = append(buf, colEncRaw)
+		packed := make([]byte, (rows+7)/8)
+		for i, b := range c.bls[:rows] {
+			if b {
+				packed[i>>3] |= 1 << (uint(i) & 7)
+			}
+		}
+		buf = append(buf, packed...)
+	}
+	return buf
+}
+
+func byteOrderPutFloat(b []byte, f float64) {
+	bits := math.Float64bits(f)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(bits >> (8 * i))
+	}
+}
+
+// loadCheckpoint deserializes a checkpoint into db, whose tables must be
+// empty. It returns the WAL sequence floor recorded at checkpoint time.
+// Every structural mismatch is an error, never a panic — corrupt checkpoints
+// degrade into a clean refusal.
+func (db *Database) loadCheckpoint(data []byte) (lastSeq uint64, err error) {
+	records, tail := wal.Scan(data)
+	if tail != nil {
+		return 0, fmt.Errorf("storage: corrupt checkpoint: %s at byte %d", tail.Reason, tail.Off)
+	}
+	if len(records) == 0 {
+		return 0, fmt.Errorf("storage: empty checkpoint")
+	}
+	hd := &walDecoder{buf: records[0].Payload}
+	magic := make([]byte, len(segmentMagic))
+	for i := range magic {
+		magic[i] = hd.byte()
+	}
+	if hd.err != nil || string(magic) != segmentMagic {
+		return 0, fmt.Errorf("storage: checkpoint header is not %q", segmentMagic)
+	}
+	fingerprint := hd.uvarint()
+	lastSeq = hd.uvarint()
+	tableCount := hd.uvarint()
+	if hd.err != nil {
+		return 0, hd.err
+	}
+	if fingerprint != SchemaFingerprint(db) {
+		return 0, fmt.Errorf("storage: checkpoint was written under a different schema (fingerprint %x, want %x)", fingerprint, SchemaFingerprint(db))
+	}
+	if tableCount != uint64(len(records)-1) {
+		return 0, fmt.Errorf("storage: checkpoint header promises %d tables, file holds %d", tableCount, len(records)-1)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, rec := range records[1:] {
+		if err := db.loadSegment(rec.Payload); err != nil {
+			return 0, err
+		}
+	}
+	return lastSeq, nil
+}
+
+func (db *Database) loadSegment(payload []byte) error {
+	d := &walDecoder{buf: payload}
+	name := d.string()
+	rows := d.uvarint()
+	colCount := d.uvarint()
+	if d.err != nil {
+		return d.err
+	}
+	tbl := db.tables[strings.ToLower(name)]
+	if tbl == nil {
+		return fmt.Errorf("storage: checkpoint holds unknown relation %q", name)
+	}
+	if tbl.rows != 0 {
+		return fmt.Errorf("storage: loading checkpoint into non-empty table %s", name)
+	}
+	if colCount != uint64(len(tbl.cols)) {
+		return fmt.Errorf("storage: checkpoint %s has %d columns, schema wants %d", name, colCount, len(tbl.cols))
+	}
+	if rows > uint64(len(payload)) {
+		return fmt.Errorf("storage: checkpoint %s row count %d exceeds segment", name, rows)
+	}
+	n := int(rows)
+	for i := range tbl.cols {
+		if err := tbl.cols[i].loadSegment(d, n); err != nil {
+			return fmt.Errorf("storage: checkpoint %s.%s: %w", name, tbl.rel.Attributes[i].Name, err)
+		}
+	}
+	tbl.rows = n
+
+	// Secondary index definitions; the structures rebuild below.
+	idxCount := d.uvarint()
+	if d.err != nil {
+		return d.err
+	}
+	if idxCount > uint64(len(payload)) {
+		return fmt.Errorf("storage: checkpoint %s index count %d exceeds segment", name, idxCount)
+	}
+	type idxDef struct {
+		name  string
+		attrs []string
+	}
+	defs := make([]idxDef, idxCount)
+	for i := range defs {
+		defs[i].name = d.string()
+		nAttrs := d.uvarint()
+		if d.err != nil {
+			return d.err
+		}
+		if nAttrs > uint64(len(payload)) {
+			return fmt.Errorf("storage: checkpoint %s index attr count exceeds segment", name)
+		}
+		defs[i].attrs = make([]string, nAttrs)
+		for j := range defs[i].attrs {
+			defs[i].attrs[j] = d.string()
+		}
+	}
+	if d.err != nil {
+		return d.err
+	}
+
+	// Rebuild every piece of derived state from the loaded vectors: zones
+	// (and frame-of-reference deltas), primary key, secondary indexes, and
+	// statistics.
+	for i := range tbl.cols {
+		tbl.cols[i].rebuildZonesFrom(0, n)
+	}
+	tbl.rebuildIndexes()
+	for _, def := range defs {
+		if err := tbl.CreateIndex(def.name, def.attrs...); err != nil {
+			return fmt.Errorf("storage: checkpoint %s: %w", name, err)
+		}
+	}
+	scratch := make(Tuple, len(tbl.cols))
+	for i := 0; i < n; i++ {
+		tbl.CopyRow(scratch, i)
+		tbl.stats.add(scratch, &tbl.keyBuf)
+	}
+	tbl.invalidate()
+	return nil
+}
+
+func (c *column) loadSegment(d *walDecoder, rows int) error {
+	kind := value.Kind(d.byte())
+	ranked := d.byte()
+	if d.err != nil {
+		return d.err
+	}
+	if kind != c.kind {
+		return fmt.Errorf("segment kind %s, column is %s", kind, c.kind)
+	}
+	words := d.uvarint()
+	if d.err != nil {
+		return d.err
+	}
+	if words > uint64(rows/64+1) {
+		return fmt.Errorf("null bitmap of %d words for %d rows", words, rows)
+	}
+	c.nulls.words = make([]uint64, words)
+	for i := range c.nulls.words {
+		c.nulls.words[i] = d.uvarint()
+	}
+	enc := d.byte()
+	if d.err != nil {
+		return d.err
+	}
+	switch c.kind {
+	case value.Int, value.Date:
+		c.ints = make([]int64, rows)
+		switch enc {
+		case colEncFOR:
+			zones := d.uvarint()
+			if d.err != nil {
+				return d.err
+			}
+			if zones != uint64((rows+ZoneRows-1)/ZoneRows) {
+				return fmt.Errorf("frame-of-reference page has %d zones for %d rows", zones, rows)
+			}
+			bases := make([]int64, zones)
+			for i := range bases {
+				bases[i] = d.varint()
+			}
+			for i := 0; i < rows; i++ {
+				delta := d.byte()
+				c.ints[i] = bases[i>>ZoneShift] + int64(delta)
+			}
+		case colEncRaw:
+			for i := range c.ints {
+				c.ints[i] = d.varint()
+			}
+		default:
+			return fmt.Errorf("unknown int encoding 0x%02x", enc)
+		}
+		// NULL positions carry a zero placeholder in memory; normalize the
+		// reconstructed vector so a recovered database is bit-identical to
+		// one that never crashed.
+		for i := 0; i < rows; i++ {
+			if c.nulls.get(i) {
+				c.ints[i] = 0
+			}
+		}
+	case value.Float:
+		if enc != colEncRaw {
+			return fmt.Errorf("unknown float encoding 0x%02x", enc)
+		}
+		c.flts = make([]float64, rows)
+		for i := range c.flts {
+			c.flts[i] = math.Float64frombits(d.uint64le())
+		}
+	case value.Text:
+		if enc != colEncRaw {
+			return fmt.Errorf("unknown text encoding 0x%02x", enc)
+		}
+		dictLen := d.uvarint()
+		if d.err != nil {
+			return d.err
+		}
+		if dictLen > uint64(len(d.buf)) {
+			return fmt.Errorf("dictionary of %d entries exceeds segment", dictLen)
+		}
+		c.dict = newDict()
+		c.dict.strs = make([]string, dictLen)
+		c.dict.refs = make([]int32, dictLen)
+		for i := range c.dict.strs {
+			s := d.string()
+			c.dict.strs[i] = s
+			c.dict.code[s] = uint32(i)
+		}
+		c.codes = make([]uint32, rows)
+		for i := range c.codes {
+			code := d.uvarint()
+			if code >= dictLen && d.err == nil {
+				return fmt.Errorf("code %d outside dictionary of %d", code, dictLen)
+			}
+			c.codes[i] = uint32(code)
+		}
+		for i := 0; i < rows; i++ {
+			if c.nulls.get(i) {
+				c.codes[i] = 0 // placeholder parity with the live write path
+			} else {
+				c.dict.retain(c.codes[i])
+			}
+		}
+		if ranked == 1 {
+			c.dict.ranked = true
+			c.dict.rankStale.Store(true)
+		}
+	case value.Bool:
+		if enc != colEncRaw {
+			return fmt.Errorf("unknown bool encoding 0x%02x", enc)
+		}
+		packedLen := (rows + 7) / 8
+		if d.off+packedLen > len(d.buf) {
+			return fmt.Errorf("truncated bool page")
+		}
+		packed := d.buf[d.off : d.off+packedLen]
+		d.off += packedLen
+		c.bls = make([]bool, rows)
+		for i := range c.bls {
+			c.bls[i] = packed[i>>3]&(1<<(uint(i)&7)) != 0
+		}
+	}
+	return d.err
+}

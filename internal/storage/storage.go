@@ -75,6 +75,9 @@ type Table struct {
 	rel  *catalog.Relation
 	cols []column
 	rows int
+	// owner points back to the containing database so table-level DDL
+	// (CreateIndex) can reach the durability layer.
+	owner *Database
 	// pk maps composite primary-key value keys to row positions.
 	pk map[string]int
 	// secondary maps index name -> (value key -> row positions).
@@ -284,6 +287,10 @@ func (t *Table) CreateIndex(name string, attrs ...string) error {
 		t.secondary = make(map[string]*hashIndex)
 	}
 	t.secondary[name] = idx
+	if t.owner != nil && t.owner.dur != nil {
+		t.owner.dur.logCreateIndex(t.rel.Name, name, attrs)
+		return t.owner.autoCommit()
+	}
 	return nil
 }
 
@@ -373,6 +380,10 @@ type Database struct {
 	mu     sync.RWMutex
 	schema *catalog.Schema
 	tables map[string]*Table
+	// dur is the attached durability layer (durable.go), nil for a purely
+	// in-memory database. It is set once by EnableDurability before any
+	// concurrent use and consulted by the DML paths to log applied ops.
+	dur *durability
 }
 
 // NewDatabase creates empty tables for every relation in the schema.
@@ -382,7 +393,7 @@ func NewDatabase(schema *catalog.Schema) (*Database, error) {
 	}
 	db := &Database{schema: schema, tables: make(map[string]*Table)}
 	for _, r := range schema.Relations() {
-		tbl := &Table{rel: r, cols: make([]column, len(r.Attributes))}
+		tbl := &Table{rel: r, cols: make([]column, len(r.Attributes)), owner: db}
 		for i, a := range r.Attributes {
 			tbl.cols[i] = newColumn(value.CatalogKind(a.Type))
 		}
@@ -426,8 +437,15 @@ func (db *Database) TableNames() []string {
 // foreign-key existence.
 func (db *Database) Insert(relName string, tup Tuple) error {
 	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.insertLocked(relName, tup)
+	err := db.insertLocked(relName, tup)
+	db.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	// Outside an explicit statement batch the insert commits (fsyncs) on its
+	// own; the flush runs after mu is released because a triggered
+	// checkpoint re-acquires it for reading.
+	return db.autoCommit()
 }
 
 func (db *Database) insertLocked(relName string, tup Tuple) error {
@@ -487,6 +505,9 @@ func (db *Database) insertLocked(relName string, tup Tuple) error {
 	// Zone maps were extended incrementally by appendVal; sorted-dict ranks
 	// rebuild lazily on the next ranked read, so bulk loads stay linear.
 	tbl.invalidate()
+	if db.dur != nil {
+		db.dur.logInsert(r.Name, tup)
+	}
 	return nil
 }
 
@@ -555,13 +576,28 @@ func (db *Database) checkForeignKey(r *catalog.Relation, fk catalog.ForeignKey, 
 // removed value touched the current min/max); indexes are rebuilt.
 func (db *Database) Delete(relName string, pred func(Tuple) bool) (int, error) {
 	db.mu.Lock()
-	defer db.mu.Unlock()
+	removed, _, err := db.deleteLocked(relName, func(_ int, tup Tuple) bool { return pred(tup) })
+	db.mu.Unlock()
+	// Flush even on error: a failed scan may still have removed rows before
+	// the failure, and those are applied state that must reach the log now —
+	// not ride along inside the next statement's record.
+	if ferr := db.autoCommit(); err == nil {
+		err = ferr
+	}
+	return removed, err
+}
+
+// deleteLocked is the shared delete scan: pred sees the pre-compaction row
+// position plus the materialized tuple, and the matched positions come back
+// in ascending order (they are what the WAL records — recovery replays a
+// DELETE by position, not by re-evaluating the predicate).
+func (db *Database) deleteLocked(relName string, pred func(int, Tuple) bool) (int, []int, error) {
 	tbl := db.tables[strings.ToLower(relName)]
 	if tbl == nil {
-		return 0, fmt.Errorf("storage: unknown relation %q", relName)
+		return 0, nil, fmt.Errorf("storage: unknown relation %q", relName)
 	}
 	w := 0
-	removed := 0
+	var positions []int
 	dirtyFrom := -1 // first removed row: zones from its morsel onward rebuild
 	// One scratch tuple serves every pred call, keeping the scan
 	// allocation-free. This narrows the contract: pred must not retain its
@@ -570,11 +606,11 @@ func (db *Database) Delete(relName string, pred func(Tuple) bool) (int, error) {
 	scratch := make(Tuple, len(tbl.cols))
 	for i := 0; i < tbl.rows; i++ {
 		tbl.CopyRow(scratch, i)
-		if pred(scratch) {
+		if pred(i, scratch) {
 			if dirtyFrom < 0 {
 				dirtyFrom = i
 			}
-			removed++
+			positions = append(positions, i)
 			tbl.stats.remove(scratch, &tbl.keyBuf)
 			for j := range tbl.cols {
 				tbl.cols[j].releaseRow(i)
@@ -596,7 +632,10 @@ func (db *Database) Delete(relName string, pred func(Tuple) bool) (int, error) {
 	tbl.finishWrite(dirtyFrom)
 	tbl.fixStatBounds() // after finishWrite: minMax folds the fresh zones
 	tbl.invalidate()
-	return removed, nil
+	if db.dur != nil && len(positions) > 0 {
+		db.dur.logDelete(tbl.rel.Name, positions)
+	}
+	return len(positions), positions, nil
 }
 
 // Update applies fn to every row of relName matching pred; fn must return
@@ -604,13 +643,28 @@ func (db *Database) Delete(relName string, pred func(Tuple) bool) (int, error) {
 // statistics are adjusted incrementally (old values out, new values in).
 func (db *Database) Update(relName string, pred func(Tuple) bool, fn func(Tuple) Tuple) (int, error) {
 	db.mu.Lock()
-	defer db.mu.Unlock()
+	updated, err := db.updateLocked(relName, func(_ int, tup Tuple) bool { return pred(tup) }, fn)
+	db.mu.Unlock()
+	// Flush even on error: rows updated before a mid-scan constraint failure
+	// are applied state and must reach the log at this statement boundary.
+	if ferr := db.autoCommit(); err == nil {
+		err = ferr
+	}
+	return updated, err
+}
+
+// updateLocked is the shared update scan: pred sees the row position plus
+// the materialized tuple. Applied (position, replacement) pairs are logged —
+// even when a constraint aborts the loop midway, because the earlier rows
+// really were updated and recovery must reproduce them.
+func (db *Database) updateLocked(relName string, pred func(int, Tuple) bool, fn func(Tuple) Tuple) (int, error) {
 	tbl := db.tables[strings.ToLower(relName)]
 	if tbl == nil {
 		return 0, fmt.Errorf("storage: unknown relation %q", relName)
 	}
 	r := tbl.rel
 	updated := 0
+	var changed []updatedRow
 	dirtyFrom := -1 // first updated row: zones from its morsel onward rebuild
 	// Indexes, bounds, and the materialized view are refreshed even when a
 	// constraint aborts the loop midway: earlier rows were already updated.
@@ -619,11 +673,14 @@ func (db *Database) Update(relName string, pred func(Tuple) bool, fn func(Tuple)
 		tbl.finishWrite(dirtyFrom)
 		tbl.fixStatBounds() // after finishWrite: minMax folds the fresh zones
 		tbl.invalidate()
+		if db.dur != nil && len(changed) > 0 {
+			db.dur.logUpdate(tbl.rel.Name, changed)
+		}
 	}()
 	old := make(Tuple, len(tbl.cols)) // reused pred scratch; see Delete
 	for i := 0; i < tbl.rows; i++ {
 		tbl.CopyRow(old, i)
-		if !pred(old) {
+		if !pred(i, old) {
 			continue
 		}
 		repl := fn(old.Clone())
@@ -653,6 +710,7 @@ func (db *Database) Update(relName string, pred func(Tuple) bool, fn func(Tuple)
 		}
 		tbl.stats.remove(old, &tbl.keyBuf)
 		tbl.stats.add(repl, &tbl.keyBuf)
+		changed = append(changed, updatedRow{pos: i, repl: repl})
 		updated++
 	}
 	return updated, nil
@@ -679,7 +737,10 @@ func (t *Table) rebuildIndexes() {
 }
 
 // LoadCSV bulk-loads a relation from CSV with a header row naming the
-// attributes (any order). Empty cells load as NULL.
+// attributes (any order). Empty cells load as NULL. The load is atomic: on
+// any error — malformed CSV, a value that does not parse, a constraint
+// violation — the table is restored to its pre-load state and the count is
+// zero. Nothing half-loaded survives, in memory or in the log.
 func (db *Database) LoadCSV(relName string, r io.Reader) (int, error) {
 	tbl := db.Table(relName)
 	if tbl == nil {
@@ -699,29 +760,71 @@ func (db *Database) LoadCSV(relName string, r io.Reader) (int, error) {
 		}
 		colPos[i] = p
 	}
-	n := 0
+	// Parse every record before touching the table: syntax and value errors
+	// reject the whole file without a single mutation to undo.
+	var tuples []Tuple
 	for {
 		rec, err := cr.Read()
 		if err == io.EOF {
-			return n, nil
+			break
 		}
 		if err != nil {
-			return n, fmt.Errorf("storage: reading CSV row for %s: %v", relName, err)
+			return 0, fmt.Errorf("storage: reading CSV row for %s: %v", relName, err)
 		}
 		tup := make(Tuple, len(rel.Attributes))
 		for i, cell := range rec {
 			a := rel.Attributes[colPos[i]]
 			v, err := value.Parse(cell, value.CatalogKind(a.Type))
 			if err != nil {
-				return n, fmt.Errorf("storage: %s row %d: %v", relName, n+1, err)
+				return 0, fmt.Errorf("storage: %s row %d: %v", relName, len(tuples)+1, err)
 			}
 			tup[colPos[i]] = v
 		}
-		if err := db.Insert(relName, tup); err != nil {
-			return n, err
-		}
-		n++
+		tuples = append(tuples, tup)
 	}
+	// Insert under one statement batch: the whole load is one WAL record.
+	// A constraint failure mid-way rolls the already-inserted suffix back
+	// out of the table and discards the batch's ops from the log.
+	db.BeginBatch()
+	db.mu.Lock()
+	start := tbl.rows
+	for n, tup := range tuples {
+		if err := db.insertLocked(relName, tup); err != nil {
+			db.rollbackSuffixLocked(tbl, start)
+			db.mu.Unlock()
+			db.DiscardBatch()
+			return 0, fmt.Errorf("storage: %s row %d: %v", relName, n+1, err)
+		}
+	}
+	db.mu.Unlock()
+	if err := db.CommitBatch(); err != nil {
+		return 0, err
+	}
+	return len(tuples), nil
+}
+
+// rollbackSuffixLocked removes rows [start, tbl.rows) — the suffix a failed
+// bulk load appended — restoring statistics, indexes, and zone maps.
+func (db *Database) rollbackSuffixLocked(tbl *Table, start int) {
+	if tbl.rows <= start {
+		return
+	}
+	scratch := make(Tuple, len(tbl.cols))
+	for i := start; i < tbl.rows; i++ {
+		tbl.CopyRow(scratch, i)
+		tbl.stats.remove(scratch, &tbl.keyBuf)
+		for j := range tbl.cols {
+			tbl.cols[j].releaseRow(i)
+		}
+	}
+	for j := range tbl.cols {
+		tbl.cols[j].truncate(start)
+	}
+	tbl.rows = start
+	tbl.rebuildIndexes()
+	tbl.finishWrite(start)
+	tbl.fixStatBounds()
+	tbl.invalidate()
 }
 
 // DumpCSV writes the relation as CSV with a header row.

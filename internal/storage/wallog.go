@@ -1,0 +1,343 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/value"
+)
+
+// This file is the logical-op codec of the write-ahead log. Every applied
+// mutation encodes as one op; one WAL record carries one committed batch
+// (all the ops of one statement, with a monotonic sequence number), so
+// recovery's unit of atomicity is exactly the unit Ask acknowledges.
+//
+// Op layout (all integers varint unless noted):
+//
+//	insert      0x01 | rel | arity | value*
+//	delete      0x02 | rel | count | position-delta*        (ascending rows)
+//	update      0x03 | rel | count | (position, arity, value*)*
+//	createindex 0x04 | rel | name | attrCount | attr*
+//
+// Values encode as a kind byte plus a typed payload: 'n' NULL, 'i' zigzag
+// int, 'f' 8-byte float bits, 't' length-prefixed text, 'd' zigzag epoch
+// days, 'B'/'b' bool. Strings are length-prefixed so frames cannot alias.
+
+const (
+	opInsert      = 0x01
+	opDelete      = 0x02
+	opUpdate      = 0x03
+	opCreateIndex = 0x04
+)
+
+func appendUvarint(buf []byte, x uint64) []byte { return binary.AppendUvarint(buf, x) }
+
+func appendVarint(buf []byte, x int64) []byte { return binary.AppendVarint(buf, x) }
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func appendWalValue(buf []byte, v value.Value) []byte {
+	switch v.Kind() {
+	case value.Null:
+		return append(buf, 'n')
+	case value.Int:
+		buf = append(buf, 'i')
+		return appendVarint(buf, v.Int())
+	case value.Float:
+		buf = append(buf, 'f')
+		return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.Float()))
+	case value.Text:
+		buf = append(buf, 't')
+		return appendString(buf, v.Text())
+	case value.Date:
+		buf = append(buf, 'd')
+		return appendVarint(buf, v.DateDays())
+	case value.Bool:
+		if v.Bool() {
+			return append(buf, 'B')
+		}
+		return append(buf, 'b')
+	default:
+		return append(buf, '?')
+	}
+}
+
+// walDecoder consumes the typed fields of an op payload. Every read checks
+// bounds: a decoder over corrupt bytes returns errors, never panics.
+type walDecoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *walDecoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("storage: wal decode: "+format, args...)
+	}
+}
+
+func (d *walDecoder) done() bool { return d.off >= len(d.buf) || d.err != nil }
+
+func (d *walDecoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.buf) {
+		d.fail("unexpected end of record")
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+func (d *walDecoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	x, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("bad uvarint")
+		return 0
+	}
+	d.off += n
+	return x
+}
+
+func (d *walDecoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	x, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("bad varint")
+		return 0
+	}
+	d.off += n
+	return x
+}
+
+func (d *walDecoder) uint64le() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.buf) {
+		d.fail("truncated 8-byte field")
+		return 0
+	}
+	x := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return x
+}
+
+func (d *walDecoder) string() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.buf)-d.off) {
+		d.fail("string length %d exceeds record", n)
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+func (d *walDecoder) value() value.Value {
+	switch k := d.byte(); k {
+	case 'n':
+		return value.NewNull()
+	case 'i':
+		return value.NewInt(d.varint())
+	case 'f':
+		return value.NewFloat(math.Float64frombits(d.uint64le()))
+	case 't':
+		return value.NewText(d.string())
+	case 'd':
+		return value.NewDateDays(d.varint())
+	case 'B':
+		return value.NewBool(true)
+	case 'b':
+		return value.NewBool(false)
+	default:
+		d.fail("unknown value kind 0x%02x", k)
+		return value.NewNull()
+	}
+}
+
+func (d *walDecoder) tuple() Tuple {
+	arity := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if arity > uint64(len(d.buf)-d.off)+1 {
+		d.fail("arity %d exceeds record", arity)
+		return nil
+	}
+	tup := make(Tuple, arity)
+	for i := range tup {
+		tup[i] = d.value()
+	}
+	return tup
+}
+
+// ---------------------------------------------------------------------------
+// Op encoding (writer side)
+// ---------------------------------------------------------------------------
+
+func (d *durability) logInsert(rel string, tup Tuple) {
+	d.pending = append(d.pending, opInsert)
+	d.pending = appendString(d.pending, rel)
+	d.pending = appendUvarint(d.pending, uint64(len(tup)))
+	for _, v := range tup {
+		d.pending = appendWalValue(d.pending, v)
+	}
+	d.pendingOps++
+}
+
+func (d *durability) logDelete(rel string, positions []int) {
+	d.pending = append(d.pending, opDelete)
+	d.pending = appendString(d.pending, rel)
+	d.pending = appendUvarint(d.pending, uint64(len(positions)))
+	prev := 0
+	for _, p := range positions {
+		d.pending = appendUvarint(d.pending, uint64(p-prev))
+		prev = p
+	}
+	d.pendingOps++
+}
+
+func (d *durability) logUpdate(rel string, rows []updatedRow) {
+	d.pending = append(d.pending, opUpdate)
+	d.pending = appendString(d.pending, rel)
+	d.pending = appendUvarint(d.pending, uint64(len(rows)))
+	for _, u := range rows {
+		d.pending = appendUvarint(d.pending, uint64(u.pos))
+		d.pending = appendUvarint(d.pending, uint64(len(u.repl)))
+		for _, v := range u.repl {
+			d.pending = appendWalValue(d.pending, v)
+		}
+	}
+	d.pendingOps++
+}
+
+func (d *durability) logCreateIndex(rel, name string, attrs []string) {
+	d.pending = append(d.pending, opCreateIndex)
+	d.pending = appendString(d.pending, rel)
+	d.pending = appendString(d.pending, name)
+	d.pending = appendUvarint(d.pending, uint64(len(attrs)))
+	for _, a := range attrs {
+		d.pending = appendString(d.pending, a)
+	}
+	d.pendingOps++
+}
+
+// updatedRow is one applied UPDATE: the row position and its replacement.
+type updatedRow struct {
+	pos  int
+	repl Tuple
+}
+
+// ---------------------------------------------------------------------------
+// Op replay (recovery side)
+// ---------------------------------------------------------------------------
+
+// replayBatch decodes and applies one committed WAL record body (after its
+// sequence number). Any decode or apply error aborts the batch — the caller
+// quarantines the log from this record onward.
+func (db *Database) replayBatch(d *walDecoder) (ops int, err error) {
+	opCount := d.uvarint()
+	for i := uint64(0); i < opCount; i++ {
+		if d.err != nil {
+			return ops, d.err
+		}
+		switch op := d.byte(); op {
+		case opInsert:
+			rel := d.string()
+			tup := d.tuple()
+			if d.err != nil {
+				return ops, d.err
+			}
+			if err := db.Insert(rel, tup); err != nil {
+				return ops, err
+			}
+		case opDelete:
+			rel := d.string()
+			n := d.uvarint()
+			if d.err != nil {
+				return ops, d.err
+			}
+			if n > uint64(len(d.buf)) {
+				return ops, fmt.Errorf("storage: wal decode: delete count %d exceeds record", n)
+			}
+			positions := make([]int, n)
+			pos := 0
+			for j := range positions {
+				pos += int(d.uvarint())
+				positions[j] = pos
+			}
+			if d.err != nil {
+				return ops, d.err
+			}
+			if err := db.applyDeletePositions(rel, positions); err != nil {
+				return ops, err
+			}
+		case opUpdate:
+			rel := d.string()
+			n := d.uvarint()
+			if d.err != nil {
+				return ops, d.err
+			}
+			if n > uint64(len(d.buf)) {
+				return ops, fmt.Errorf("storage: wal decode: update count %d exceeds record", n)
+			}
+			rows := make([]updatedRow, n)
+			for j := range rows {
+				rows[j].pos = int(d.uvarint())
+				rows[j].repl = d.tuple()
+			}
+			if d.err != nil {
+				return ops, d.err
+			}
+			if err := db.applyUpdateRows(rel, rows); err != nil {
+				return ops, err
+			}
+		case opCreateIndex:
+			rel := d.string()
+			name := d.string()
+			nAttrs := d.uvarint()
+			if d.err != nil {
+				return ops, d.err
+			}
+			if nAttrs > uint64(len(d.buf)) {
+				return ops, fmt.Errorf("storage: wal decode: attr count %d exceeds record", nAttrs)
+			}
+			attrs := make([]string, nAttrs)
+			for j := range attrs {
+				attrs[j] = d.string()
+			}
+			if d.err != nil {
+				return ops, d.err
+			}
+			tbl := db.Table(rel)
+			if tbl == nil {
+				return ops, fmt.Errorf("storage: wal replay: unknown relation %q", rel)
+			}
+			if err := tbl.CreateIndex(name, attrs...); err != nil {
+				return ops, err
+			}
+		default:
+			return ops, fmt.Errorf("storage: wal decode: unknown op 0x%02x", op)
+		}
+		ops++
+	}
+	if d.err != nil {
+		return ops, d.err
+	}
+	return ops, nil
+}

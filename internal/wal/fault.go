@@ -1,0 +1,149 @@
+package wal
+
+import (
+	"errors"
+	"io"
+	"sync"
+)
+
+// This file is the deterministic fault harness. FaultFS wraps any FS and
+// injects failures at exactly the points the caller scripts: fsync errors
+// after the nth sync, and short reads that cut a named file off after a byte
+// budget. Torn writes and bit flips are injected through MemFS.Truncate and
+// MemFS.FlipBit instead — they model damage that happens to bytes at rest,
+// not errors the writing process observes.
+
+// ErrInjectedSync is the error injected syncs fail with.
+var ErrInjectedSync = errors.New("wal: injected fsync failure")
+
+// ErrInjectedRead is the error injected short reads fail with.
+var ErrInjectedRead = errors.New("wal: injected short read")
+
+// FaultFS wraps an FS with scripted failures. The zero knobs inject nothing.
+type FaultFS struct {
+	inner FS
+
+	mu sync.Mutex
+	// syncsLeft counts successful Syncs remaining before every subsequent
+	// Sync fails; -1 disables the fault.
+	syncsLeft int
+	// shortReads maps file name -> byte budget for Open readers.
+	shortReads map[string]int
+}
+
+// NewFaultFS wraps inner with no faults armed.
+func NewFaultFS(inner FS) *FaultFS {
+	return &FaultFS{inner: inner, syncsLeft: -1, shortReads: make(map[string]int)}
+}
+
+// FailSyncsAfter arms the fsync fault: the next n Syncs (across all files)
+// succeed, every one after that returns ErrInjectedSync. n < 0 disarms.
+func (f *FaultFS) FailSyncsAfter(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncsLeft = n
+}
+
+// ShortRead arms the short-read fault: readers of name return at most limit
+// bytes and then fail with ErrInjectedRead instead of io.EOF.
+func (f *FaultFS) ShortRead(name string, limit int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.shortReads[name] = limit
+}
+
+// ClearFaults disarms every scripted fault.
+func (f *FaultFS) ClearFaults() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncsLeft = -1
+	f.shortReads = make(map[string]int)
+}
+
+func (f *FaultFS) syncErr() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.syncsLeft < 0 {
+		return nil
+	}
+	if f.syncsLeft == 0 {
+		return ErrInjectedSync
+	}
+	f.syncsLeft--
+	return nil
+}
+
+func (f *FaultFS) Create(name string) (File, error) {
+	file, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+func (f *FaultFS) OpenAppend(name string) (File, error) {
+	file, err := f.inner.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+func (f *FaultFS) Open(name string) (io.ReadCloser, error) {
+	r, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	limit, ok := f.shortReads[name]
+	f.mu.Unlock()
+	if !ok {
+		return r, nil
+	}
+	return &shortReader{r: r, left: limit}, nil
+}
+
+func (f *FaultFS) Rename(oldname, newname string) error { return f.inner.Rename(oldname, newname) }
+func (f *FaultFS) Remove(name string) error             { return f.inner.Remove(name) }
+func (f *FaultFS) Exists(name string) (bool, error)     { return f.inner.Exists(name) }
+func (f *FaultFS) Size(name string) (int64, error)      { return f.inner.Size(name) }
+
+// faultFile defers writes to the wrapped file but routes Sync through the
+// harness's script.
+type faultFile struct {
+	File
+	fs *FaultFS
+}
+
+func (f *faultFile) Sync() error {
+	if err := f.fs.syncErr(); err != nil {
+		return err
+	}
+	return f.File.Sync()
+}
+
+// shortReader serves at most left bytes, then errors — never a clean EOF.
+type shortReader struct {
+	r    io.ReadCloser
+	left int
+}
+
+func (s *shortReader) Read(p []byte) (int, error) {
+	if s.left <= 0 {
+		return 0, ErrInjectedRead
+	}
+	if len(p) > s.left {
+		p = p[:s.left]
+	}
+	n, err := s.r.Read(p)
+	s.left -= n
+	if err == io.EOF {
+		return n, io.EOF
+	}
+	if s.left <= 0 && err == nil {
+		err = ErrInjectedRead
+	}
+	return n, err
+}
+
+func (s *shortReader) Close() error { return s.r.Close() }

@@ -1,0 +1,349 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+)
+
+func buildLog(t *testing.T, payloads ...[]byte) []byte {
+	t.Helper()
+	var buf []byte
+	for _, p := range payloads {
+		buf = AppendRecord(buf, p)
+	}
+	return buf
+}
+
+func TestScanRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		[]byte("first"),
+		{},
+		[]byte("third record with more bytes"),
+		bytes.Repeat([]byte{0xAB}, 5000),
+	}
+	data := buildLog(t, payloads...)
+	records, tail := Scan(data)
+	if tail != nil {
+		t.Fatalf("clean log reported tail: %+v", tail)
+	}
+	if len(records) != len(payloads) {
+		t.Fatalf("got %d records, want %d", len(records), len(payloads))
+	}
+	for i, rec := range records {
+		if !bytes.Equal(rec.Payload, payloads[i]) {
+			t.Errorf("record %d payload mismatch", i)
+		}
+	}
+	if records[0].Off != 0 || records[len(records)-1].End != len(data) {
+		t.Errorf("record offsets do not tile the log")
+	}
+}
+
+func TestScanEmpty(t *testing.T) {
+	records, tail := Scan(nil)
+	if len(records) != 0 || tail != nil {
+		t.Fatalf("empty log: records=%d tail=%+v", len(records), tail)
+	}
+}
+
+// TestScanTornAtEveryOffset cuts a multi-record log at every possible byte
+// length and checks the salvage invariant: Scan returns exactly the records
+// wholly contained in the prefix, never fails, and the tail offset equals
+// the end of the last whole record.
+func TestScanTornAtEveryOffset(t *testing.T) {
+	payloads := [][]byte{
+		[]byte("alpha"), []byte("beta-beta"), []byte("g"), []byte("delta payload"),
+	}
+	data := buildLog(t, payloads...)
+	ends := []int{}
+	off := 0
+	for _, p := range payloads {
+		off += frameHeader + len(p)
+		ends = append(ends, off)
+	}
+	for cut := 0; cut <= len(data); cut++ {
+		records, tail := Scan(data[:cut])
+		wantRecords := 0
+		for _, e := range ends {
+			if e <= cut {
+				wantRecords++
+			}
+		}
+		if len(records) != wantRecords {
+			t.Fatalf("cut %d: got %d records, want %d", cut, len(records), wantRecords)
+		}
+		wantTailOff := 0
+		if wantRecords > 0 {
+			wantTailOff = ends[wantRecords-1]
+		}
+		if cut == wantTailOff {
+			if tail != nil {
+				t.Fatalf("cut %d at record boundary: unexpected tail %+v", cut, tail)
+			}
+			continue
+		}
+		if tail == nil {
+			t.Fatalf("cut %d: expected torn tail", cut)
+		}
+		if tail.Off != wantTailOff {
+			t.Fatalf("cut %d: tail off %d, want %d", cut, tail.Off, wantTailOff)
+		}
+		if tail.Lost != 1 {
+			t.Fatalf("cut %d: torn write should lose one record, reported %d", cut, tail.Lost)
+		}
+	}
+}
+
+// TestScanBitFlips flips every bit of a log one at a time: Scan must never
+// panic, and a flip in any record's frame or payload must not corrupt the
+// records before it.
+func TestScanBitFlips(t *testing.T) {
+	payloads := [][]byte{[]byte("one"), []byte("two two"), []byte("three three three")}
+	data := buildLog(t, payloads...)
+	for off := 0; off < len(data); off++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), data...)
+			mut[off] ^= 1 << bit
+			records, tail := Scan(mut)
+			if tail == nil {
+				// A flip that still scans clean can only have produced the
+				// same record set (CRC32C collisions are not constructible
+				// with one bit flip over these lengths).
+				t.Fatalf("flip at %d/%d scanned clean", off, bit)
+			}
+			for i, rec := range records {
+				if !bytes.Equal(rec.Payload, payloads[i]) {
+					t.Fatalf("flip at %d/%d corrupted preceding record %d", off, bit, i)
+				}
+			}
+		}
+	}
+}
+
+func TestLostEstimateCountsWholeFrames(t *testing.T) {
+	payloads := [][]byte{[]byte("aaaa"), []byte("bbbb"), []byte("cccc"), []byte("dddd")}
+	data := buildLog(t, payloads...)
+	// Flip a payload bit in record 1: records 1..3 are structurally intact
+	// but record 1 fails its checksum — three whole frames lost.
+	mut := append([]byte(nil), data...)
+	mut[frameHeader+len(payloads[0])+frameHeader] ^= 0x01
+	records, tail := Scan(mut)
+	if len(records) != 1 || tail == nil {
+		t.Fatalf("records=%d tail=%v", len(records), tail)
+	}
+	if tail.Reason != "checksum mismatch" {
+		t.Errorf("reason %q", tail.Reason)
+	}
+	if tail.Lost != 3 {
+		t.Errorf("lost %d, want 3", tail.Lost)
+	}
+	// Additionally tear the last record: still 3 (two whole + one partial).
+	records, tail = Scan(mut[:len(mut)-2])
+	if len(records) != 1 || tail == nil || tail.Lost != 3 {
+		t.Errorf("torn variant: records=%d tail=%+v", len(records), tail)
+	}
+}
+
+func TestScanImplausibleLength(t *testing.T) {
+	data := buildLog(t, []byte("ok"))
+	// A frame header whose length field decodes beyond MaxRecord.
+	data = append(data, 0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0)
+	records, tail := Scan(data)
+	if len(records) != 1 || tail == nil {
+		t.Fatalf("records=%d tail=%v", len(records), tail)
+	}
+	if tail.Reason != "implausible record length" {
+		t.Errorf("reason %q", tail.Reason)
+	}
+}
+
+func TestWriterAppendsFrames(t *testing.T) {
+	fs := NewMemFS()
+	f, err := fs.Create("wal.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(f, 0)
+	for i := 0; i < 10; i++ {
+		if err := w.Append([]byte(fmt.Sprintf("record-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	data := fs.Bytes("wal.log")
+	if int64(len(data)) != w.Offset() {
+		t.Fatalf("offset %d, file %d", w.Offset(), len(data))
+	}
+	records, tail := Scan(data)
+	if tail != nil || len(records) != 10 {
+		t.Fatalf("records=%d tail=%v", len(records), tail)
+	}
+	if got := string(records[7].Payload); got != "record-7" {
+		t.Errorf("payload %q", got)
+	}
+}
+
+func TestWriterRejectsOversizedRecord(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("wal.log")
+	w := NewWriter(f, 0)
+	if err := w.Append(make([]byte, MaxRecord+1)); err == nil {
+		t.Fatal("oversized record accepted")
+	}
+}
+
+func TestMemFSCloneIsolation(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("a")
+	f.Write([]byte("hello"))
+	snap := fs.Clone()
+	f.Write([]byte(" world"))
+	if got := string(snap.Bytes("a")); got != "hello" {
+		t.Errorf("snapshot mutated: %q", got)
+	}
+	if got := string(fs.Bytes("a")); got != "hello world" {
+		t.Errorf("original: %q", got)
+	}
+}
+
+func TestMemFSPrimitives(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("x")
+	f.Write([]byte{0x00, 0x01, 0x02, 0x03})
+	fs.Truncate("x", 2)
+	if got := fs.Bytes("x"); len(got) != 2 {
+		t.Fatalf("truncate: %v", got)
+	}
+	fs.FlipBit("x", 1, 0x80)
+	if got := fs.Bytes("x"); got[1] != 0x81 {
+		t.Fatalf("flip: %v", got)
+	}
+	if err := fs.Rename("x", "y"); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := fs.Exists("x"); ok {
+		t.Error("x survived rename")
+	}
+	if n, err := fs.Size("y"); err != nil || n != 2 {
+		t.Errorf("size: %d %v", n, err)
+	}
+	if err := fs.Remove("y"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadAll(fs, "y"); err == nil {
+		t.Error("read of removed file succeeded")
+	}
+}
+
+func TestDirFSRoundTrip(t *testing.T) {
+	fs, err := NewDirFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create("wal.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(f, 0)
+	if err := w.Append([]byte("persisted")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen for append, add a second record.
+	size, err := fs.Size("wal.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := fs.OpenAppend("wal.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := NewWriter(f2, size)
+	if err := w2.Append([]byte("appended")); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	data, err := ReadAll(fs, "wal.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, tail := Scan(data)
+	if tail != nil || len(records) != 2 {
+		t.Fatalf("records=%d tail=%v", len(records), tail)
+	}
+	if string(records[1].Payload) != "appended" {
+		t.Errorf("payload %q", records[1].Payload)
+	}
+	if ok, _ := fs.Exists("nope"); ok {
+		t.Error("phantom file")
+	}
+	if err := fs.Remove("nope"); err != nil {
+		t.Errorf("removing absent file: %v", err)
+	}
+}
+
+func TestFaultFSSyncScript(t *testing.T) {
+	ffs := NewFaultFS(NewMemFS())
+	f, _ := ffs.Create("wal.log")
+	ffs.FailSyncsAfter(2)
+	for i := 0; i < 2; i++ {
+		if err := f.Sync(); err != nil {
+			t.Fatalf("sync %d: %v", i, err)
+		}
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjectedSync) {
+		t.Fatalf("third sync: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjectedSync) {
+		t.Fatalf("fault must persist: %v", err)
+	}
+	ffs.ClearFaults()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("after clear: %v", err)
+	}
+}
+
+func TestFaultFSShortRead(t *testing.T) {
+	mem := NewMemFS()
+	f, _ := mem.Create("wal.log")
+	f.Write(bytes.Repeat([]byte{0x5A}, 100))
+	ffs := NewFaultFS(mem)
+	ffs.ShortRead("wal.log", 40)
+	data, err := ReadAll(ffs, "wal.log")
+	if !errors.Is(err, ErrInjectedRead) {
+		t.Fatalf("err=%v", err)
+	}
+	if len(data) != 40 {
+		t.Fatalf("got %d bytes, want the 40-byte readable prefix", len(data))
+	}
+	// Other files are unaffected.
+	f2, _ := mem.Create("other")
+	f2.Write([]byte("ok"))
+	if out, err := ReadAll(ffs, "other"); err != nil || string(out) != "ok" {
+		t.Fatalf("unfaulted file: %q %v", out, err)
+	}
+}
+
+func TestReadAllPartialOnError(t *testing.T) {
+	// io.ReadAll folds a mid-stream error into (partial bytes, err); the
+	// recovery path depends on receiving that prefix.
+	r := io.MultiReader(bytes.NewReader([]byte("prefix")), &failingReader{})
+	data, err := io.ReadAll(r)
+	if err == nil || string(data) != "prefix" {
+		t.Fatalf("data=%q err=%v", data, err)
+	}
+}
+
+type failingReader struct{}
+
+func (*failingReader) Read([]byte) (int, error) { return 0, errors.New("boom") }

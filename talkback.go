@@ -157,6 +157,26 @@
 // Large joins and scans fan out across
 // GOMAXPROCS workers with deterministic output order; Engine.SetParallelism
 // caps or disables the fan-out.
+//
+// # Durability
+//
+// A System is in-memory by default. core.NewDurable (or
+// storage.Database.EnableDurability) attaches a write-ahead log: every
+// DML statement batch is CRC32C-framed, appended to wal.log, and fsynced
+// before Ask acknowledges it, so a crash loses at most statements whose
+// Ask call never returned. Checkpoints serialize every table's typed
+// column vectors to checkpoint.seg (tmp+rename, then the log truncates);
+// they run automatically past a log-size threshold, on talkbackd's
+// graceful shutdown, and on demand via System.Checkpoint. Recovery loads
+// the checkpoint and replays the WAL tail through the same code paths as
+// live execution — zone maps, statistics, dictionaries, and indexes are
+// rebuilt, and recovered state is bit-identical to never-crashed state. A
+// damaged log never fails recovery: the longest valid committed prefix is
+// salvaged, the damaged suffix is set aside in wal.corrupt, and the
+// outcome is narrated in English ("I replayed 14202 of the 14207
+// statements in the log; the last five were torn by the crash"). Render
+// the report with querytotext.RecoveryEnglish; inspect the counters with
+// System.DurabilityStats.
 package talkback
 
 import (
