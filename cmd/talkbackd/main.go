@@ -401,6 +401,11 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"wal_bytes":   ds.WALBytes,
 			"last_seq":    ds.LastSeq,
 		}
+		if ds.WriteError != "" {
+			// The WAL has latched failed; every write is being rejected.
+			// Operators watching /stats see it without grepping logs.
+			durable["write_error"] = ds.WriteError
+		}
 		if ds.Recovery != nil {
 			durable["recovery"] = map[string]any{
 				"narrative":         querytotext.RecoveryEnglish(ds.Recovery),

@@ -50,9 +50,15 @@ func RecoveryEnglish(r *storage.RecoveryReport) string {
 	}
 	loss := fmt.Sprintf("the last %s torn by the crash (%s)",
 		pluralVerb(r.LostBatches, lexicon.NumberWord(r.LostBatches), "was", "were"), r.TailReason)
-	s = lexicon.Sentence(s+"; "+loss) + " " +
-		lexicon.Sentence(fmt.Sprintf("I set the %s of damaged log aside in %s for inspection",
+	s = lexicon.Sentence(s + "; " + loss)
+	if r.CorruptFile != "" {
+		s += " " + lexicon.Sentence(fmt.Sprintf("I set the %s of damaged log aside in %s for inspection",
 			lexicon.CountNoun(r.QuarantinedBytes, "byte"), r.CorruptFile))
+	} else {
+		// An unreadable tail (I/O error mid-read) has no recoverable bytes to
+		// quarantine — do not name a sidecar that was never written.
+		s += " " + lexicon.Sentence("the damaged tail could not be read back, so there was nothing to set aside")
+	}
 	return s
 }
 

@@ -46,6 +46,17 @@ func TestRecoveryEnglish(t *testing.T) {
 				"I set the thirty-seven bytes of damaged log aside in wal.corrupt for inspection.",
 		},
 		{
+			"unreadable tail with nothing to quarantine",
+			&storage.RecoveryReport{
+				ReplayedBatches: 5,
+				LostBatches:     1,
+				TailReason:      "unreadable log tail: injected short read",
+			},
+			"I replayed 5 of the six statements in the log; the last one was torn by the crash " +
+				"(unreadable log tail: injected short read). " +
+				"The damaged tail could not be read back, so there was nothing to set aside.",
+		},
+		{
 			"single lost statement",
 			&storage.RecoveryReport{
 				CheckpointRows:   10,

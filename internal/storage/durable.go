@@ -3,6 +3,7 @@ package storage
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/wal"
@@ -22,6 +23,17 @@ import (
 // the checkpoint, replays the WAL's longest valid committed prefix through
 // the ordinary DML paths, and quarantines whatever tail a crash or bit rot
 // left behind — it never fails on a corrupt log, and it never trusts one.
+//
+// A WAL append or fsync that fails latches the layer into a permanent
+// failed state: every later write is rejected with ErrWALFailed. Appending
+// past a torn frame would produce records recovery must quarantine —
+// acknowledged statements silently lost — so the only safe answers are
+// stop or restart (a restart re-runs recovery, which salvages the log).
+//
+// Locking: the pending buffer, batch depth, and rollback marks are guarded
+// by db.mu (the op encoders run inside the DML paths, which hold it);
+// the log writer and its rotation are guarded by durability.mu. Lock order
+// is durability.mu before db.mu, never the reverse.
 
 // Durable file names inside the database directory.
 const (
@@ -84,8 +96,21 @@ type DurabilityStats struct {
 	Checkpoints uint64 // checkpoints written (including the adopting one)
 	WALBytes    int64  // current log size
 	LastSeq     uint64 // last committed sequence number
+	WriteError  string // latched WAL failure; empty while the log is healthy
 	Recovery    *RecoveryReport
 }
+
+// ErrWALFailed reports that an earlier WAL append or fsync failed. The
+// durability layer latches into this state — further writes are rejected so
+// no statement can be acknowledged without reaching the log — and only a
+// process restart (which re-runs recovery over the salvageable log) clears
+// it.
+var ErrWALFailed = errors.New("storage: write-ahead log failed; writes are rejected until restart")
+
+// errCheckpointBusy reports a checkpoint attempted while a statement batch
+// is open or ops are waiting to flush. Auto-checkpoints skip it and retry at
+// the next commit; explicit callers see it as an error.
+var errCheckpointBusy = errors.New("storage: checkpoint inside an open statement batch")
 
 // walMark is a nesting level's rollback point into the pending buffer.
 type walMark struct {
@@ -93,19 +118,29 @@ type walMark struct {
 	ops int
 }
 
-// durability is the per-database WAL state. DML runs writer-exclusive (the
-// storage contract), so pending/depth/marks need no locking; the counters are
+// walFailure wraps the first WAL write error for the latch.
+type walFailure struct{ err error }
+
+// durability is the per-database WAL state. The pending buffer, depth, and
+// marks are guarded by db.mu (the op encoders run inside DML paths holding
+// it); mu serializes log flushes and writer rotation; the counters are
 // atomic because /stats reads them concurrently with writers.
 type durability struct {
 	fs   wal.FS
-	w    *wal.Writer
 	opts DurableOptions
 
-	pending    []byte // encoded ops of the open batch
+	mu sync.Mutex  // guards w and the flush/rotate protocol
+	w  *wal.Writer // log writer; rotated by Checkpoint
+
+	pending    []byte // encoded ops of the open batch (guarded by db.mu)
 	pendingOps int
 	depth      int
 	marks      []walMark
-	rec        []byte // record scratch: seq + opCount + pending
+	rec        []byte // record scratch: seq + opCount + pending (guarded by mu)
+
+	// failed latches the first WAL append/fsync error; once set, every
+	// commit and checkpoint is rejected with ErrWALFailed.
+	failed atomic.Pointer[walFailure]
 
 	seq         atomic.Uint64
 	batches     atomic.Uint64
@@ -115,6 +150,19 @@ type durability struct {
 	walBytes    atomic.Int64
 
 	report *RecoveryReport
+}
+
+// latch records the first WAL write failure; later calls keep the original.
+func (d *durability) latch(err error) {
+	d.failed.CompareAndSwap(nil, &walFailure{err: err})
+}
+
+// failedErr returns the latched failure as an ErrWALFailed, or nil.
+func (d *durability) failedErr() error {
+	if f := d.failed.Load(); f != nil {
+		return fmt.Errorf("%w (first failure: %v)", ErrWALFailed, f.err)
+	}
+	return nil
 }
 
 // HasDurableState reports whether fs already holds a durable database.
@@ -150,11 +198,13 @@ func (db *Database) EnableDurability(fs wal.FS, opts DurableOptions) (*RecoveryR
 	}
 
 	var lastSeq uint64
+	var ckData []byte
 	if ok, _ := fs.Exists(CheckpointFileName); ok {
 		data, err := wal.ReadAll(fs, CheckpointFileName)
 		if err != nil {
 			return nil, fmt.Errorf("storage: reading checkpoint: %w", err)
 		}
+		ckData = data
 		lastSeq, err = db.loadCheckpoint(data)
 		if err != nil {
 			return nil, err
@@ -164,9 +214,10 @@ func (db *Database) EnableDurability(fs wal.FS, opts DurableOptions) (*RecoveryR
 
 	appliedSeq := lastSeq
 	validEnd := 0
-	if ok, _ := fs.Exists(WALFileName); ok {
+	walExisted, _ := fs.Exists(WALFileName)
+	if walExisted {
 		var err error
-		validEnd, err = db.replayWAL(fs, lastSeq, &appliedSeq, report)
+		validEnd, err = db.replayWAL(fs, ckData, lastSeq, &appliedSeq, report)
 		if err != nil {
 			return nil, err
 		}
@@ -177,6 +228,13 @@ func (db *Database) EnableDurability(fs wal.FS, opts DurableOptions) (*RecoveryR
 	f, err := fs.OpenAppend(WALFileName)
 	if err != nil {
 		return nil, fmt.Errorf("storage: opening log: %w", err)
+	}
+	if !walExisted {
+		// OpenAppend just created the log; make its directory entry durable
+		// before any record is acknowledged into it.
+		if err := fs.SyncDir(); err != nil {
+			return nil, fmt.Errorf("storage: syncing directory: %w", err)
+		}
 	}
 	dur := &durability{fs: fs, w: wal.NewWriter(f, int64(validEnd)), opts: opts, report: report}
 	dur.seq.Store(appliedSeq)
@@ -197,8 +255,10 @@ func (db *Database) EnableDurability(fs wal.FS, opts DurableOptions) (*RecoveryR
 
 // replayWAL scans and replays the log, quarantines any unusable tail, and
 // rewrites the log file down to its valid prefix. It returns the byte length
-// of that prefix.
-func (db *Database) replayWAL(fs wal.FS, lastSeq uint64, appliedSeq *uint64, report *RecoveryReport) (int, error) {
+// of that prefix. ckData is the raw checkpoint segment (nil when none
+// existed): if a record fails partway through application, the database is
+// rebuilt from it so no half-applied statement batch survives recovery.
+func (db *Database) replayWAL(fs wal.FS, ckData []byte, lastSeq uint64, appliedSeq *uint64, report *RecoveryReport) (int, error) {
 	data, rerr := wal.ReadAll(fs, WALFileName)
 	records, tail := wal.Scan(data)
 	validEnd := len(data)
@@ -213,6 +273,7 @@ func (db *Database) replayWAL(fs wal.FS, lastSeq uint64, appliedSeq *uint64, rep
 		d := &walDecoder{buf: rec.Payload}
 		seq := d.uvarint()
 		var err error
+		applied := false
 		switch {
 		case d.err != nil:
 			err = d.err
@@ -222,6 +283,7 @@ func (db *Database) replayWAL(fs wal.FS, lastSeq uint64, appliedSeq *uint64, rep
 		case seq != *appliedSeq+1:
 			err = fmt.Errorf("sequence %d follows %d", seq, *appliedSeq)
 		default:
+			applied = true
 			var ops int
 			ops, err = db.replayBatch(d)
 			if err == nil {
@@ -231,6 +293,15 @@ func (db *Database) replayWAL(fs wal.FS, lastSeq uint64, appliedSeq *uint64, rep
 			}
 		}
 		if err != nil {
+			if applied {
+				// replayBatch failed partway: some of the record's ops are
+				// applied. A statement batch is the unit of recovery
+				// atomicity, so rebuild from the checkpoint and the known-good
+				// record prefix — none of the broken record survives.
+				if rbErr := db.rebuildPrefix(ckData, records[:idx], lastSeq); rbErr != nil {
+					return 0, fmt.Errorf("storage: rolling back partial batch: %w", rbErr)
+				}
+			}
 			// The record framed and checksummed but does not decode or
 			// apply — treat it and everything after as the corrupt tail.
 			validEnd = rec.Off
@@ -245,16 +316,19 @@ func (db *Database) replayWAL(fs wal.FS, lastSeq uint64, appliedSeq *uint64, rep
 	}
 	if rerr != nil && report.TailReason == "" {
 		// The file has bytes we could not read (the short-read fault). The
-		// readable prefix replayed; what follows is unknown and dropped.
+		// readable prefix replayed; what follows is unknown and cannot be
+		// quarantined — there is nothing readable to set aside.
 		report.TailReason = "unreadable log tail: " + rerr.Error()
 		report.LostBatches++
 	}
+	dirty := false
 	if len(quarantine) > 0 {
 		if err := writeFile(fs, CorruptFileName, quarantine); err != nil {
 			return 0, fmt.Errorf("storage: quarantining log tail: %w", err)
 		}
 		report.CorruptFile = CorruptFileName
 		report.QuarantinedBytes = len(quarantine)
+		dirty = true
 	}
 	if size, err := fs.Size(WALFileName); err == nil && size != int64(validEnd) {
 		if err := writeFile(fs, walTmpName, data[:validEnd]); err != nil {
@@ -263,8 +337,57 @@ func (db *Database) replayWAL(fs wal.FS, lastSeq uint64, appliedSeq *uint64, rep
 		if err := fs.Rename(walTmpName, WALFileName); err != nil {
 			return 0, fmt.Errorf("storage: rewriting log: %w", err)
 		}
+		dirty = true
+	}
+	if dirty {
+		// The sidecar create and the log rewrite's rename are directory
+		// mutations; make them power-loss durable before recovery reports.
+		if err := fs.SyncDir(); err != nil {
+			return 0, fmt.Errorf("storage: syncing directory: %w", err)
+		}
 	}
 	return validEnd, nil
+}
+
+// rebuildPrefix restores db to the state reached by the checkpoint plus the
+// given known-good WAL records. It is the rollback path for a record that
+// fails partway through replayBatch — rebuilding from scratch is O(log) but
+// only runs once, on the rare corrupt-record recovery.
+func (db *Database) rebuildPrefix(ckData []byte, records []wal.Record, lastSeq uint64) error {
+	fresh, err := NewDatabase(db.schema)
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	db.tables = fresh.tables
+	for _, t := range db.tables {
+		t.owner = db
+	}
+	db.mu.Unlock()
+	if ckData != nil {
+		if _, err := db.loadCheckpoint(ckData); err != nil {
+			return err
+		}
+	}
+	applied := lastSeq
+	for _, rec := range records {
+		d := &walDecoder{buf: rec.Payload}
+		seq := d.uvarint()
+		if d.err != nil {
+			return d.err
+		}
+		if seq <= lastSeq {
+			continue
+		}
+		if seq != applied+1 {
+			return fmt.Errorf("sequence %d follows %d", seq, applied)
+		}
+		if _, err := db.replayBatch(d); err != nil {
+			return err
+		}
+		applied = seq
+	}
+	return nil
 }
 
 func writeFile(fs wal.FS, name string, data []byte) error {
@@ -284,23 +407,42 @@ func writeFile(fs wal.FS, name string, data []byte) error {
 }
 
 // Checkpoint serializes every table to the checkpoint segment (temporary
-// file + atomic rename) and truncates the WAL. The caller must be the
-// exclusive writer, with no statement batch open.
+// file + atomic rename) and truncates the WAL. It fails with an error when a
+// statement batch is open or ops are waiting to flush; the automatic
+// checkpoint path simply retries at a later commit.
 func (db *Database) Checkpoint() error {
 	d := db.dur
 	if d == nil {
 		return errors.New("storage: database is not durable")
 	}
-	if d.depth > 0 || d.pendingOps > 0 {
-		return errors.New("storage: checkpoint inside an open statement batch")
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.failedErr(); err != nil {
+		return err
 	}
 	f, err := d.fs.Create(checkpointTmpName)
 	if err != nil {
 		return fmt.Errorf("storage: checkpoint: %w", err)
 	}
 	w := wal.NewWriter(f, 0)
-	if err := db.writeCheckpoint(w, d.seq.Load()); err != nil {
+	// One db.mu acquisition must span the busy check and the serialization:
+	// with separate acquisitions a concurrent writer could apply and log an op
+	// in between, and its record — flushed to the rotated log with a sequence
+	// above the floor — would replay on top of a checkpoint that already
+	// contains the mutation.
+	db.mu.RLock()
+	if d.depth > 0 || d.pendingOps > 0 {
+		db.mu.RUnlock()
 		w.Close()
+		_ = d.fs.Remove(checkpointTmpName)
+		return errCheckpointBusy
+	}
+	floor := d.seq.Load()
+	err = db.writeCheckpoint(w, floor)
+	db.mu.RUnlock()
+	if err != nil {
+		w.Close()
+		_ = d.fs.Remove(checkpointTmpName)
 		return err
 	}
 	if err := w.Sync(); err != nil {
@@ -312,6 +454,12 @@ func (db *Database) Checkpoint() error {
 	}
 	if err := d.fs.Rename(checkpointTmpName, CheckpointFileName); err != nil {
 		return fmt.Errorf("storage: checkpoint rename: %w", err)
+	}
+	// Make the rename power-loss durable before truncating the log it
+	// covers — otherwise a power cut could keep the truncation but lose the
+	// rename, leaving the old checkpoint with an empty log.
+	if err := d.fs.SyncDir(); err != nil {
+		return fmt.Errorf("storage: checkpoint dir sync: %w", err)
 	}
 	// The checkpoint covers every committed record; truncate the log. A
 	// crash before the truncate is benign — recovery skips records at or
@@ -337,6 +485,8 @@ func (db *Database) CloseDurability() error {
 		return nil
 	}
 	db.dur = nil
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	return d.w.Close()
 }
 
@@ -350,6 +500,10 @@ func (db *Database) DurabilityStats() (stats DurabilityStats, ok bool) {
 	if d == nil {
 		return DurabilityStats{}, false
 	}
+	var werr string
+	if f := d.failed.Load(); f != nil {
+		werr = f.err.Error()
+	}
 	return DurabilityStats{
 		Batches:     d.batches.Load(),
 		Ops:         d.ops.Load(),
@@ -357,6 +511,7 @@ func (db *Database) DurabilityStats() (stats DurabilityStats, ok bool) {
 		Checkpoints: d.checkpoints.Load(),
 		WALBytes:    d.walBytes.Load(),
 		LastSeq:     d.seq.Load(),
+		WriteError:  werr,
 		Recovery:    d.report,
 	}, true
 }
@@ -373,8 +528,10 @@ func (db *Database) BeginBatch() {
 	if d == nil {
 		return
 	}
+	db.mu.Lock()
 	d.depth++
 	d.marks = append(d.marks, walMark{off: len(d.pending), ops: d.pendingOps})
+	db.mu.Unlock()
 }
 
 // CommitBatch closes the innermost batch. At depth zero the accumulated ops
@@ -382,12 +539,19 @@ func (db *Database) BeginBatch() {
 // before the statement is acknowledged.
 func (db *Database) CommitBatch() error {
 	d := db.dur
-	if d == nil || d.depth == 0 {
+	if d == nil {
+		return nil
+	}
+	db.mu.Lock()
+	if d.depth == 0 {
+		db.mu.Unlock()
 		return nil
 	}
 	d.depth--
 	d.marks = d.marks[:len(d.marks)-1]
-	if d.depth > 0 {
+	still := d.depth > 0
+	db.mu.Unlock()
+	if still {
 		return nil
 	}
 	return d.commit(db)
@@ -398,7 +562,12 @@ func (db *Database) CommitBatch() error {
 // responsible for undoing the in-memory mutations).
 func (db *Database) DiscardBatch() {
 	d := db.dur
-	if d == nil || d.depth == 0 {
+	if d == nil {
+		return
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if d.depth == 0 {
 		return
 	}
 	m := d.marks[len(d.marks)-1]
@@ -412,16 +581,40 @@ func (db *Database) DiscardBatch() {
 // storage-call path (engine statements run inside explicit batches).
 func (db *Database) autoCommit() error {
 	d := db.dur
-	if d == nil || d.depth > 0 {
+	if d == nil {
 		return nil
 	}
 	return d.commit(db)
 }
 
-// commit writes the pending ops as one framed, fsynced WAL record.
+// commit writes the pending ops as one framed, fsynced WAL record. It takes
+// durability.mu (serializing flushes and rotation) and then db.mu just long
+// enough to snapshot and clear the pending buffer — concurrent raw-API
+// writers contend here instead of corrupting the buffer. An Append or Sync
+// error latches the layer failed: the record may sit torn at the log's end,
+// and appending past it would doom every later acknowledged statement to
+// quarantine at recovery.
 func (d *durability) commit(db *Database) error {
+	d.mu.Lock()
+	db.mu.Lock()
+	if d.depth > 0 {
+		db.mu.Unlock()
+		d.mu.Unlock()
+		return nil
+	}
+	if err := d.failedErr(); err != nil {
+		// The applied-but-unflushed ops can never reach the log; drop them so
+		// the buffer does not grow without bound while failing.
+		d.pending = d.pending[:0]
+		d.pendingOps = 0
+		db.mu.Unlock()
+		d.mu.Unlock()
+		return err
+	}
 	if d.pendingOps == 0 {
 		d.pending = d.pending[:0]
+		db.mu.Unlock()
+		d.mu.Unlock()
 		return nil
 	}
 	seq := d.seq.Add(1)
@@ -431,18 +624,29 @@ func (d *durability) commit(db *Database) error {
 	ops := d.pendingOps
 	d.pending = d.pending[:0]
 	d.pendingOps = 0
+	db.mu.Unlock()
 	if err := d.w.Append(d.rec); err != nil {
-		return err
+		d.latch(err)
+		d.mu.Unlock()
+		return fmt.Errorf("storage: wal append: %w; writes are rejected until restart", err)
 	}
 	if err := d.w.Sync(); err != nil {
-		return fmt.Errorf("storage: wal fsync: %w", err)
+		d.latch(err)
+		d.mu.Unlock()
+		return fmt.Errorf("storage: wal fsync: %w; writes are rejected until restart", err)
 	}
 	d.batches.Add(1)
 	d.ops.Add(uint64(ops))
 	d.syncs.Add(1)
 	d.walBytes.Store(d.w.Offset())
-	if d.opts.CheckpointBytes > 0 && d.w.Offset() >= d.opts.CheckpointBytes {
-		return db.Checkpoint()
+	needCk := d.opts.CheckpointBytes > 0 && d.w.Offset() >= d.opts.CheckpointBytes
+	d.mu.Unlock()
+	if needCk {
+		// Auto-checkpoint: racing writers may have opened a batch or queued
+		// ops since the flush; skip and retry at a later commit.
+		if err := db.Checkpoint(); err != nil && !errors.Is(err, errCheckpointBusy) {
+			return err
+		}
 	}
 	return nil
 }

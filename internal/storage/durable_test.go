@@ -262,7 +262,8 @@ func TestPartialBatchPersists(t *testing.T) {
 }
 
 func TestFsyncFailureSurfaces(t *testing.T) {
-	ffs := wal.NewFaultFS(wal.NewMemFS())
+	mem := wal.NewMemFS()
+	ffs := wal.NewFaultFS(mem)
 	db := newDurDB(t)
 	if _, err := db.EnableDurability(ffs, DurableOptions{}); err != nil {
 		t.Fatal(err)
@@ -273,7 +274,93 @@ func TestFsyncFailureSurfaces(t *testing.T) {
 	if !errors.Is(err, wal.ErrInjectedSync) {
 		t.Fatalf("insert during fsync failure returned %v", err)
 	}
+	// The failure latches: clearing the fault does not resurrect the writer,
+	// because the unsynced record's durability is unknown.
 	ffs.ClearFaults()
+	if err := db.Insert("DIRECTOR", Tuple{value.NewInt(3), value.NewText("rejected"), value.NewNull()}); !errors.Is(err, ErrWALFailed) {
+		t.Fatalf("insert after fsync failure returned %v, want ErrWALFailed", err)
+	}
+	if err := db.Checkpoint(); !errors.Is(err, ErrWALFailed) {
+		t.Fatalf("checkpoint after fsync failure returned %v, want ErrWALFailed", err)
+	}
+	st, ok := db.DurabilityStats()
+	if !ok || st.WriteError == "" {
+		t.Fatalf("stats do not surface the latched failure: %+v", st)
+	}
+	// Restart recovers: the in-memory disk kept both records (only the sync
+	// failed), which is fine — statement 2 was never acknowledged, and an
+	// unacknowledged statement may go either way.
+	db2 := newDurDB(t)
+	if _, err := db2.EnableDurability(mem, DurableOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := db2.Table("DIRECTOR").Len(); got != 2 {
+		t.Errorf("recovered rows = %d", got)
+	}
+}
+
+// TestAppendFailureLatches is the review's core scenario: an append that
+// tears mid-frame (ENOSPC, I/O error) must latch the layer failed. If writes
+// kept appending past the torn frame, they would be acknowledged as durable
+// and then quarantined wholesale at recovery — silent loss of acked
+// statements.
+func TestAppendFailureLatches(t *testing.T) {
+	mem := wal.NewMemFS()
+	ffs := wal.NewFaultFS(mem)
+	db := newDurDB(t)
+	if _, err := db.EnableDurability(ffs, DurableOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 3; i++ {
+		ins(t, db, "DIRECTOR", value.NewInt(i), value.NewText("acked"), value.NewNull())
+	}
+	ffs.FailWritesAfter(0)
+	err := db.Insert("DIRECTOR", Tuple{value.NewInt(4), value.NewText("torn"), value.NewNull()})
+	if !errors.Is(err, wal.ErrInjectedWrite) {
+		t.Fatalf("insert during append failure returned %v", err)
+	}
+	ffs.ClearFaults()
+
+	// Every further write is rejected — even though the disk works again.
+	if err := db.Insert("DIRECTOR", Tuple{value.NewInt(5), value.NewText("after"), value.NewNull()}); !errors.Is(err, ErrWALFailed) {
+		t.Fatalf("insert after append failure returned %v, want ErrWALFailed", err)
+	}
+	if _, err := db.Delete("DIRECTOR", func(Tuple) bool { return true }); !errors.Is(err, ErrWALFailed) {
+		t.Fatalf("delete after append failure returned %v, want ErrWALFailed", err)
+	}
+	if _, err := db.Update("DIRECTOR", func(Tuple) bool { return true }, func(tup Tuple) Tuple { return tup }); !errors.Is(err, ErrWALFailed) {
+		t.Fatalf("update after append failure returned %v, want ErrWALFailed", err)
+	}
+	if _, err := db.LoadCSV("DIRECTOR", strings.NewReader("id,name,bdate\n9,x,\n")); !errors.Is(err, ErrWALFailed) {
+		t.Fatalf("load after append failure returned %v, want ErrWALFailed", err)
+	}
+	if err := db.Checkpoint(); !errors.Is(err, ErrWALFailed) {
+		t.Fatalf("checkpoint after append failure returned %v, want ErrWALFailed", err)
+	}
+	// Row 4 applied in memory before the flush failed; rows 5+ were rejected
+	// before touching the table.
+	if got := db.Table("DIRECTOR").Len(); got != 4 {
+		t.Errorf("in-memory rows = %d", got)
+	}
+
+	// Restart: the three acknowledged statements recover, the torn frame
+	// quarantines, and nothing after it was ever appended.
+	db2 := newDurDB(t)
+	report, err := db2.EnableDurability(mem, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Clean() {
+		t.Error("torn append recovered clean")
+	}
+	if report.ReplayedBatches != 3 || report.LostBatches != 1 {
+		t.Errorf("replayed=%d lost=%d", report.ReplayedBatches, report.LostBatches)
+	}
+	if got := db2.Table("DIRECTOR").Len(); got != 3 {
+		t.Errorf("recovered rows = %d, want the 3 acknowledged", got)
+	}
+	// The recovered database accepts writes again.
+	ins(t, db2, "DIRECTOR", value.NewInt(10), value.NewText("healthy"), value.NewNull())
 }
 
 func TestAutoCheckpoint(t *testing.T) {
@@ -603,5 +690,149 @@ func TestDurabilityStatsCounters(t *testing.T) {
 	}
 	if _, ok := db.DurabilityStats(); ok {
 		t.Error("stats survive close")
+	}
+}
+
+// craftRecord frames seq + opCount + ops as one WAL record and appends it to
+// the log, bypassing the durability layer — the forgery the atomicity tests
+// replay.
+func craftRecord(t *testing.T, fs wal.FS, seq uint64, opCount int, ops []byte) {
+	t.Helper()
+	payload := appendUvarint(nil, seq)
+	payload = appendUvarint(payload, uint64(opCount))
+	payload = append(payload, ops...)
+	f, err := fs.OpenAppend(WALFileName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(wal.AppendRecord(nil, payload)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPartialBatchReplayAtomicity plants a record that checksums but fails
+// mid-batch — first on decode, then on apply. The record is one statement
+// batch, the unit of recovery atomicity: none of its ops may survive, even
+// the ones that applied before the failure.
+func TestPartialBatchReplayAtomicity(t *testing.T) {
+	setup := func(t *testing.T) *wal.MemFS {
+		fs := wal.NewMemFS()
+		db := newDurDB(t)
+		if _, err := db.EnableDurability(fs, DurableOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		ins(t, db, "DIRECTOR", value.NewInt(1), value.NewText("a"), value.NewNull())
+		ins(t, db, "DIRECTOR", value.NewInt(2), value.NewText("b"), value.NewNull())
+		if err := db.CloseDurability(); err != nil {
+			t.Fatal(err)
+		}
+		return fs
+	}
+	goodInsert := func(id int64) []byte {
+		var sd durability
+		sd.logInsert("DIRECTOR", Tuple{value.NewInt(id), value.NewText("phantom"), value.NewNull()})
+		return sd.pending
+	}
+	check := func(t *testing.T, fs *wal.MemFS, want string) {
+		db2 := newDurDB(t)
+		report, err := db2.EnableDurability(fs, DurableOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if report.Clean() || report.LostBatches != 1 {
+			t.Errorf("report: %+v", report)
+		}
+		if report.ReplayedBatches != 2 {
+			t.Errorf("replayed = %d, want the 2 good records", report.ReplayedBatches)
+		}
+		if got := db2.Table("DIRECTOR").Len(); got != 2 {
+			t.Errorf("rows = %d: a partially applied batch survived recovery", got)
+		}
+		if rows, _ := db2.Table("DIRECTOR").LookupPK(Tuple{value.NewInt(50)}); rows != nil {
+			t.Error("the broken record's first op survived recovery")
+		}
+		if got := fingerprint(t, db2); got != want {
+			t.Errorf("rolled-back state diverges from the good prefix:\n--- want\n%s\n--- got\n%s", want, got)
+		}
+	}
+	// The expected post-recovery state: exactly the two committed inserts.
+	wantOf := func(t *testing.T, fs *wal.MemFS) string {
+		db := newDurDB(t)
+		if _, err := db.EnableDurability(fs, DurableOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		return fingerprint(t, db)
+	}
+
+	t.Run("decode failure mid-batch", func(t *testing.T) {
+		fs := setup(t)
+		want := wantOf(t, fs.Clone())
+		// Two ops promised: a valid insert, then an unknown op byte.
+		craftRecord(t, fs, 3, 2, append(goodInsert(50), 0xEE))
+		check(t, fs, want)
+	})
+	t.Run("apply failure mid-batch", func(t *testing.T) {
+		fs := setup(t)
+		want := wantOf(t, fs.Clone())
+		// A valid insert, then an insert that collides with committed row 1.
+		craftRecord(t, fs, 3, 2, append(goodInsert(50), goodInsert(1)...))
+		check(t, fs, want)
+	})
+}
+
+// TestConcurrentRawWriters hammers the raw Insert API from several
+// goroutines on a durable database with a tiny checkpoint threshold, so
+// commits, buffer snapshots, and log rotations interleave. Run under -race
+// in CI, it enforces what used to be only a comment: the pending buffer and
+// the writer survive concurrent raw-API use.
+func TestConcurrentRawWriters(t *testing.T) {
+	fs := wal.NewMemFS()
+	db := newDurDB(t)
+	if _, err := db.EnableDurability(fs, DurableOptions{CheckpointBytes: 2048}); err != nil {
+		t.Fatal(err)
+	}
+	const writers, each = 4, 25
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			for i := 0; i < each; i++ {
+				id := int64(w*each + i)
+				if err := db.Insert("DIRECTOR", Tuple{value.NewInt(id), value.NewText("c"), value.NewNull()}); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	for w := 0; w < writers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := db.Table("DIRECTOR").Len(); got != writers*each {
+		t.Fatalf("rows = %d, want %d", got, writers*each)
+	}
+	st, ok := db.DurabilityStats()
+	if !ok || st.Ops != writers*each {
+		t.Fatalf("stats: ok=%v ops=%d", ok, st.Ops)
+	}
+	if err := db.CloseDurability(); err != nil {
+		t.Fatal(err)
+	}
+	// Every acknowledged insert is recoverable.
+	db2 := newDurDB(t)
+	report, err := db2.EnableDurability(fs, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Clean() {
+		t.Fatalf("recovery not clean: %+v", report)
+	}
+	if got := db2.Table("DIRECTOR").Len(); got != writers*each {
+		t.Errorf("recovered rows = %d, want %d", got, writers*each)
 	}
 }

@@ -38,9 +38,10 @@ func SchemaFingerprint(db *Database) uint64 {
 // one record per table in sorted name order. lastSeq is the WAL sequence
 // floor — recovery skips WAL records at or below it, which makes the
 // checkpoint-then-truncate sequence crash-safe at every intermediate point.
+// The caller must hold db.mu (read or write): one lock acquisition has to
+// span the no-pending-ops check and the serialization, or a concurrent
+// writer could slip an applied-but-unflushed mutation in between.
 func (db *Database) writeCheckpoint(w *wal.Writer, lastSeq uint64) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	names := make([]string, 0, len(db.tables))
 	for name := range db.tables {
 		names = append(names, name)

@@ -288,7 +288,12 @@ func (t *Table) CreateIndex(name string, attrs ...string) error {
 	}
 	t.secondary[name] = idx
 	if t.owner != nil && t.owner.dur != nil {
+		// The pending buffer is guarded by db.mu. During recovery dur is nil
+		// (this branch is never taken under loadCheckpoint's lock), so taking
+		// the lock here cannot deadlock.
+		t.owner.mu.Lock()
 		t.owner.dur.logCreateIndex(t.rel.Name, name, attrs)
+		t.owner.mu.Unlock()
 		return t.owner.autoCommit()
 	}
 	return nil
@@ -432,10 +437,23 @@ func (db *Database) TableNames() []string {
 	return names
 }
 
+// writeOK rejects a mutation up front when the WAL has latched failed: the
+// op could never be flushed, so refusing before applying keeps the in-memory
+// state aligned with what the log can acknowledge.
+func (db *Database) writeOK() error {
+	if d := db.dur; d != nil {
+		return d.failedErr()
+	}
+	return nil
+}
+
 // Insert validates and appends a tuple to the named relation. Checks, in
 // order: arity, NOT NULL, type conformance, primary-key uniqueness, and
 // foreign-key existence.
 func (db *Database) Insert(relName string, tup Tuple) error {
+	if err := db.writeOK(); err != nil {
+		return err
+	}
 	db.mu.Lock()
 	err := db.insertLocked(relName, tup)
 	db.mu.Unlock()
@@ -575,6 +593,9 @@ func (db *Database) checkForeignKey(r *catalog.Relation, fk catalog.ForeignKey, 
 // Statistics are decremented incrementally (bounds rescanned only when a
 // removed value touched the current min/max); indexes are rebuilt.
 func (db *Database) Delete(relName string, pred func(Tuple) bool) (int, error) {
+	if err := db.writeOK(); err != nil {
+		return 0, err
+	}
 	db.mu.Lock()
 	removed, _, err := db.deleteLocked(relName, func(_ int, tup Tuple) bool { return pred(tup) })
 	db.mu.Unlock()
@@ -642,6 +663,9 @@ func (db *Database) deleteLocked(relName string, pred func(int, Tuple) bool) (in
 // the replacement tuple. Constraints are re-checked on the replacement, and
 // statistics are adjusted incrementally (old values out, new values in).
 func (db *Database) Update(relName string, pred func(Tuple) bool, fn func(Tuple) Tuple) (int, error) {
+	if err := db.writeOK(); err != nil {
+		return 0, err
+	}
 	db.mu.Lock()
 	updated, err := db.updateLocked(relName, func(_ int, tup Tuple) bool { return pred(tup) }, fn)
 	db.mu.Unlock()
@@ -742,6 +766,9 @@ func (t *Table) rebuildIndexes() {
 // violation — the table is restored to its pre-load state and the count is
 // zero. Nothing half-loaded survives, in memory or in the log.
 func (db *Database) LoadCSV(relName string, r io.Reader) (int, error) {
+	if err := db.writeOK(); err != nil {
+		return 0, err
+	}
 	tbl := db.Table(relName)
 	if tbl == nil {
 		return 0, fmt.Errorf("storage: unknown relation %q", relName)

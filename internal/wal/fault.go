@@ -19,6 +19,9 @@ var ErrInjectedSync = errors.New("wal: injected fsync failure")
 // ErrInjectedRead is the error injected short reads fail with.
 var ErrInjectedRead = errors.New("wal: injected short read")
 
+// ErrInjectedWrite is the error injected torn appends fail with.
+var ErrInjectedWrite = errors.New("wal: injected write failure")
+
 // FaultFS wraps an FS with scripted failures. The zero knobs inject nothing.
 type FaultFS struct {
 	inner FS
@@ -27,13 +30,16 @@ type FaultFS struct {
 	// syncsLeft counts successful Syncs remaining before every subsequent
 	// Sync fails; -1 disables the fault.
 	syncsLeft int
+	// writesLeft counts successful Writes remaining before every subsequent
+	// Write tears (half the bytes land, then an error); -1 disables.
+	writesLeft int
 	// shortReads maps file name -> byte budget for Open readers.
 	shortReads map[string]int
 }
 
 // NewFaultFS wraps inner with no faults armed.
 func NewFaultFS(inner FS) *FaultFS {
-	return &FaultFS{inner: inner, syncsLeft: -1, shortReads: make(map[string]int)}
+	return &FaultFS{inner: inner, syncsLeft: -1, writesLeft: -1, shortReads: make(map[string]int)}
 }
 
 // FailSyncsAfter arms the fsync fault: the next n Syncs (across all files)
@@ -42,6 +48,16 @@ func (f *FaultFS) FailSyncsAfter(n int) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.syncsLeft = n
+}
+
+// FailWritesAfter arms the torn-append fault: the next n Writes (across all
+// files) succeed, every one after that lands only half its bytes and returns
+// ErrInjectedWrite — an ENOSPC/I/O error leaving a partial frame on disk.
+// n < 0 disarms.
+func (f *FaultFS) FailWritesAfter(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writesLeft = n
 }
 
 // ShortRead arms the short-read fault: readers of name return at most limit
@@ -57,6 +73,7 @@ func (f *FaultFS) ClearFaults() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.syncsLeft = -1
+	f.writesLeft = -1
 	f.shortReads = make(map[string]int)
 }
 
@@ -71,6 +88,19 @@ func (f *FaultFS) syncErr() error {
 	}
 	f.syncsLeft--
 	return nil
+}
+
+func (f *FaultFS) writeTears() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.writesLeft < 0 {
+		return false
+	}
+	if f.writesLeft == 0 {
+		return true
+	}
+	f.writesLeft--
+	return false
 }
 
 func (f *FaultFS) Create(name string) (File, error) {
@@ -108,11 +138,28 @@ func (f *FaultFS) Remove(name string) error             { return f.inner.Remove(
 func (f *FaultFS) Exists(name string) (bool, error)     { return f.inner.Exists(name) }
 func (f *FaultFS) Size(name string) (int64, error)      { return f.inner.Size(name) }
 
-// faultFile defers writes to the wrapped file but routes Sync through the
-// harness's script.
+// SyncDir routes through the same sync script as file Syncs: a scripted
+// fsync fault also breaks directory syncs, as a failing disk would.
+func (f *FaultFS) SyncDir() error {
+	if err := f.syncErr(); err != nil {
+		return err
+	}
+	return f.inner.SyncDir()
+}
+
+// faultFile defers writes to the wrapped file but routes Write and Sync
+// through the harness's script.
 type faultFile struct {
 	File
 	fs *FaultFS
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if f.fs.writeTears() {
+		n, _ := f.File.Write(p[:len(p)/2])
+		return n, ErrInjectedWrite
+	}
+	return f.File.Write(p)
 }
 
 func (f *faultFile) Sync() error {

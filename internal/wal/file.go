@@ -37,6 +37,11 @@ type FS interface {
 	Exists(name string) (bool, error)
 	// Size returns the byte size of name.
 	Size(name string) (int64, error)
+	// SyncDir forces directory metadata (renames, newly created entries) to
+	// stable storage. Per-file Sync makes record bytes durable; SyncDir makes
+	// the files themselves durable — without it a power loss can undo a
+	// checkpoint rename while keeping the log truncation that followed it.
+	SyncDir() error
 }
 
 // ReadAll reads the full content of name. When the underlying reader errors
@@ -113,6 +118,19 @@ func (d *DirFS) Size(name string) (int64, error) {
 		return 0, err
 	}
 	return st.Size(), nil
+}
+
+func (d *DirFS) SyncDir() error {
+	f, err := os.Open(d.root)
+	if err != nil {
+		return fmt.Errorf("wal: opening %s for fsync: %w", d.root, err)
+	}
+	err = f.Sync()
+	cerr := f.Close()
+	if err != nil {
+		return fmt.Errorf("wal: fsync %s: %w", d.root, err)
+	}
+	return cerr
 }
 
 // ---------------------------------------------------------------------------
@@ -240,6 +258,9 @@ func (m *MemFS) Size(name string) (int64, error) {
 	}
 	return int64(len(data)), nil
 }
+
+// SyncDir is a no-op: the in-memory store has no directory metadata to lose.
+func (m *MemFS) SyncDir() error { return nil }
 
 // memFile appends to its MemFS entry. Writes always land in full — torn
 // writes are simulated after the fact by truncating the store, which models a

@@ -164,8 +164,12 @@
 // storage.Database.EnableDurability) attaches a write-ahead log: every
 // DML statement batch is CRC32C-framed, appended to wal.log, and fsynced
 // before Ask acknowledges it, so a crash loses at most statements whose
-// Ask call never returned. Checkpoints serialize every table's typed
-// column vectors to checkpoint.seg (tmp+rename, then the log truncates);
+// Ask call never returned. A failed append or fsync latches the layer:
+// every later write is rejected with storage.ErrWALFailed until a restart
+// re-runs recovery, so no statement is ever acknowledged past a torn
+// frame. Checkpoints serialize every table's typed
+// column vectors to checkpoint.seg (tmp+rename with a directory fsync
+// before the log truncates, so the swap survives power loss);
 // they run automatically past a log-size threshold, on talkbackd's
 // graceful shutdown, and on demand via System.Checkpoint. Recovery loads
 // the checkpoint and replays the WAL tail through the same code paths as
