@@ -9,10 +9,12 @@ package talkback_test
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"testing"
 
 	talkback "repro"
 	"repro/internal/catalog"
+	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/datatotext"
 	"repro/internal/engine"
@@ -931,6 +933,105 @@ func BenchmarkX17Recovery(b *testing.B) {
 			b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
 		})
 	}
+}
+
+// BenchmarkX18SnapshotReadDuringWrite measures the reader side of MVCC
+// snapshot reads. Each op is one full Ask (parse, translate, plan, execute,
+// narrate) over a generated movie database through a durable System with the
+// response cache disabled, so allocs/op is the whole read pipeline and stays
+// deterministic.
+//
+//   - solo: the reader alone — the pure reader allocation baseline.
+//   - vs-writer: every read races one durable INSERT commit (WAL append +
+//     fsync) kicked off just before it and joined just after, so reader and
+//     writer are concurrently runnable for the whole op. Readers pin a
+//     snapshot and never take the writer's locks; the reads-during-commit
+//     metric counts ops that completed while at least one version install
+//     landed — wall-clock overlap the old reader/writer lock made impossible.
+//
+// Allocation gating: both shapes are gated in cmd/benchgate/ceilings.json
+// (vs-writer includes the one paced insert commit per op, which is itself
+// deterministic). Time is not gated, per the bench-host discipline.
+func BenchmarkX18SnapshotReadDuringWrite(b *testing.B) {
+	build := func(b *testing.B) *core.System {
+		b.Helper()
+		gen := dataset.DefaultGenConfig()
+		gen.Movies = 2000
+		gen.Actors = 1000
+		db, err := dataset.GenerateMovieDB(gen)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := core.MovieConfig()
+		cfg.DisableCache = true
+		sys, _, err := core.NewDurable(db, wal.NewMemFS(), storage.DurableOptions{CheckpointBytes: -1}, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sys
+	}
+	const readQ = `select count(*) from MOVIES m where m.year >= 1980`
+
+	b.Run("solo", func(b *testing.B) {
+		sys := build(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := sys.Ask(readQ)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.Result == nil || len(resp.Result.Rows) != 1 {
+				b.Fatal("bad read result")
+			}
+		}
+	})
+
+	b.Run("vs-writer", func(b *testing.B) {
+		sys := build(b)
+		db := sys.Database()
+		reqs := make(chan int)
+		acks := make(chan error)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range reqs {
+				_, err := sys.Ask(fmt.Sprintf(
+					"insert into ACTOR (id, name) values (%d, 'x18 writer %d')", 1_000_000+i, i%13))
+				acks <- err
+			}
+		}()
+		b.ReportAllocs()
+		b.ResetTimer()
+		during := 0
+		for i := 0; i < b.N; i++ {
+			p0 := db.Published()
+			reqs <- i // the commit is now in flight
+			resp, err := sys.Ask(readQ)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.Result == nil || len(resp.Result.Rows) != 1 {
+				b.Fatal("bad read result")
+			}
+			overlapped := db.Published() != p0
+			if err := <-acks; err != nil {
+				b.Fatal(err)
+			}
+			if overlapped {
+				during++
+			}
+		}
+		b.StopTimer()
+		close(reqs)
+		wg.Wait()
+		_, completed := sys.ReaderStats()
+		if completed < uint64(b.N) {
+			b.Fatalf("reader counter undercounts: %d < %d", completed, b.N)
+		}
+		b.ReportMetric(float64(during)/float64(b.N)*100, "%reads-during-commit")
+	})
 }
 
 // recoveryBenchDB builds the empty X17 schema: the X16 shape (sorted Int PK

@@ -18,9 +18,11 @@
 //	                → entity narrative, personalized by the session profile.
 //	POST /session   {"session": "s1", "profile": "casual"}
 //	                → bind a personalization profile to a session.
-//	GET  /stats     → cache hit/miss counters, table cardinalities, and —
-//	                  for durable databases — WAL counters plus the last
-//	                  recovery narrated in English.
+//	GET  /stats     → cache hit/miss counters, table cardinalities, MVCC
+//	                  snapshot shape (sealed zones vs. mutable tail rows,
+//	                  published versions, reader traffic), and — for durable
+//	                  databases — WAL counters plus the last recovery
+//	                  narrated in English.
 //
 // Example session:
 //
@@ -40,8 +42,10 @@
 //
 // Durability: with -data, every DML statement is fsynced to the write-ahead
 // log before /ask acknowledges it. The server shuts down gracefully on
-// SIGINT/SIGTERM — in-flight requests drain, then a final checkpoint folds
-// the log into the columnar segment so the next boot replays nothing.
+// SIGINT/SIGTERM — in-flight requests drain, then the in-flight snapshot
+// readers (queries never block on writers; they each pin an MVCC version),
+// then a final checkpoint folds the log into the columnar segment so the
+// next boot replays nothing.
 package main
 
 import (
@@ -128,6 +132,14 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("drain incomplete: %v", err)
+	}
+	// HTTP drain covers connections; this covers the snapshot readers inside
+	// them. Only after every in-flight read has finished does the final
+	// checkpoint run, so no query is abandoned mid-pipeline even if its
+	// connection was already hijacked or timed out.
+	sys.DrainReaders()
+	if inFlight, completed := sys.ReaderStats(); inFlight == 0 {
+		log.Printf("snapshot readers drained (%d reads served this run)", completed)
 	}
 	if sys.Database().Durable() {
 		if err := sys.Checkpoint(); err != nil {
@@ -388,9 +400,24 @@ func (s *server) handleSession(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	ss := s.sys.Database().SnapshotStats()
+	inFlight, completed := s.sys.ReaderStats()
 	out := map[string]any{
 		"caches": s.sys.CacheStats(),
 		"tables": s.sys.Database().Stats(),
+		// The MVCC shape: how much data sits in immutable sealed zones vs.
+		// mutable tails, which version readers are pinning, and how many
+		// versions writers have published since boot.
+		"snapshots": map[string]any{
+			"seq":                ss.Seq,
+			"published_versions": ss.Published,
+			"tables":             ss.Tables,
+			"sealed_zones":       ss.SealedZones,
+			"tail_rows":          ss.TailRows,
+			"rows":               ss.Rows,
+			"readers_in_flight":  inFlight,
+			"reads_completed":    completed,
+		},
 	}
 	if ds, ok := s.sys.DurabilityStats(); ok {
 		durable := map[string]any{

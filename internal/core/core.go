@@ -11,6 +11,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/catalog"
@@ -64,11 +65,14 @@ type Config struct {
 // DescribeSchema, QueryGraph) may run freely in parallel; schema and
 // annotations are immutable after New, the engine's view registry and the
 // schema's profile registry are lock-protected, and Profile swaps in a new
-// content translator under a lock instead of mutating the shared one. DML
-// submitted through Ask is serialized against the System's own readers by
-// an internal reader/writer lock; only writes that bypass the System
-// (direct engine or storage calls) are bound by the storage contract that
-// writers must not run concurrently with readers.
+// content translator under a lock instead of mutating the shared one.
+//
+// Reads never wait on writers. Every read pins the storage layer's current
+// MVCC snapshot on entry and runs the whole pipeline — planning, execution,
+// narration, feedback — against that immutable version, so a long DML batch
+// or checkpoint in another session cannot block it and can never change what
+// it sees mid-query. DML submitted through Ask is serialized against other
+// System DML by an internal writer lock; it no longer excludes readers.
 type System struct {
 	db      *storage.Database
 	eng     *engine.Engine
@@ -82,12 +86,19 @@ type System struct {
 	mu   sync.RWMutex
 	data *datatotext.Translator
 
-	// execMu serializes DML against data readers for every operation that
-	// goes through the System: SELECTs and content narrations take the
-	// read side, DML applied via Ask takes the write side. Writes that
-	// bypass the System (direct engine or storage calls) are outside this
-	// lock and follow the storage layer's writer contract.
-	execMu sync.RWMutex
+	// execMu serializes DML applied via Ask against other System DML.
+	// Readers do NOT take this lock: they pin an MVCC snapshot instead
+	// (storage.Database.Snapshot) and execute against frozen tables, so a
+	// long-running write never blocks a read. Writes that bypass the System
+	// (direct engine or storage calls) are outside this lock and follow the
+	// storage layer's writer contract.
+	execMu sync.Mutex
+
+	// readers counts in-flight snapshot reads; readsDone counts completed
+	// ones. DrainReaders waits on the former during graceful shutdown, and
+	// the benchmark/stats surfaces report both.
+	readers   atomic.Int64
+	readsDone atomic.Uint64
 
 	// Caches keyed on normalized SQL. Cached values are shared across
 	// sessions and treated as immutable: the engine never mutates an AST,
@@ -97,10 +108,14 @@ type System struct {
 	graphCache *cache.Cache[*querygraph.Graph]
 	transCache *cache.Cache[*querytotext.Translation]
 
-	// respCache holds full SELECT Responses keyed on (data generation,
-	// normalized SQL); dataGen advances on every DML applied through Ask,
-	// so stale answers can never be served. Writes that bypass Ask (direct
-	// engine or storage calls) must call InvalidateResults.
+	// respCache holds full SELECT Responses keyed on (snapshot seq, data
+	// generation, normalized SQL). The snapshot seq advances on every
+	// committed write the storage layer publishes — seqs only grow, so an
+	// entry recorded under one version can never be served for another. The
+	// generation guards the residue the seq cannot see (view definitions,
+	// out-of-band mutations): DML through Ask bumps it, and writes that
+	// bypass Ask (direct engine or storage calls) must call
+	// InvalidateResults.
 	respCache *cache.Cache[*Response]
 	dataGen   atomic.Int64
 }
@@ -337,19 +352,26 @@ type Response struct {
 // attach feedback for empty or very large answers. EXPLAIN PLAN statements
 // run the query and narrate the executed plan instead of the rows.
 func (s *System) Ask(sql string) (*Response, error) {
+	// Pin the MVCC version first: everything below — the response cache
+	// key, planning, execution, narration, feedback — is answered from
+	// this one immutable snapshot, no matter how many writers commit while
+	// the question is being handled.
+	snap := s.db.Snapshot()
+	pinPub := s.db.Published()
+
 	// Full-response fast path: repeated SELECTs over unchanged data are
 	// answered straight from the cache, before even parsing. Only SELECT
 	// responses are ever stored, so a hit cannot replay side effects. The
-	// key carries the data generation, so any DML applied through Ask
-	// makes every older entry unreachable — and since table statistics
-	// (hence plan choice) only change with the data, the generation also
-	// pins the plan: a cached Response can never be served under a
-	// different plan than the one recorded in its Plan field. The returned
-	// Response is shared; callers must not mutate it.
+	// key carries the snapshot seq and the data generation, so any
+	// committed write makes every older entry unreachable — and since
+	// table statistics (hence plan choice) only change with the data, the
+	// key also pins the plan: a cached Response can never be served under
+	// a different plan than the one recorded in its Plan field. The
+	// returned Response is shared; callers must not mutate it.
 	key := cache.NormalizeSQL(sql)
 	var respKey string
 	if s.respCache != nil {
-		respKey = fmt.Sprintf("%d|%s", s.dataGen.Load(), key)
+		respKey = fmt.Sprintf("%d|%d|%s", snap.Seq(), s.dataGen.Load(), key)
 		if cached, ok := s.respCache.Get(respKey); ok {
 			return cached, nil
 		}
@@ -368,14 +390,14 @@ func (s *System) Ask(sql string) (*Response, error) {
 	resp := &Response{Verification: verification}
 
 	if exp, isExplain := stmt.(*sqlparser.ExplainStmt); isExplain {
-		s.execMu.RLock()
-		diag, err := s.explain.ExplainPlan(exp.Query)
-		s.execMu.RUnlock()
+		done := s.beginRead()
+		diag, err := s.explainerAt(snap).ExplainPlan(exp.Query)
+		done()
 		if err != nil {
 			return nil, err
 		}
 		resp.Plan = diag.Plan
-		resp.Answer = diag.Text
+		resp.Answer = diag.Text + " " + s.snapshotNarration(snap, pinPub)
 		return resp, nil
 	}
 
@@ -395,9 +417,10 @@ func (s *System) Ask(sql string) (*Response, error) {
 		return resp, nil
 	}
 
-	s.execMu.RLock()
-	defer s.execMu.RUnlock()
-	res, plan, err := s.eng.SelectExplained(sel)
+	done := s.beginRead()
+	defer done()
+	eng := s.eng.At(snap)
+	res, plan, err := eng.SelectExplained(sel)
 	if err != nil {
 		return nil, err
 	}
@@ -405,14 +428,17 @@ func (s *System) Ask(sql string) (*Response, error) {
 	resp.Plan = plan.Summarize()
 	resp.Answer = s.NarrateResult(res)
 
+	// Feedback probes re-execute predicate subsets; running them on the
+	// same pinned snapshot guarantees the diagnosis describes the version
+	// the answer came from, not whatever a concurrent writer left behind.
 	switch {
 	case len(res.Rows) == 0:
-		diag, err := s.explain.ExplainEmpty(sel)
+		diag, err := explain.New(eng, s.queries).ExplainEmpty(sel)
 		if err == nil {
 			resp.Feedback = diag.Text
 		}
 	case len(res.Rows) > s.cfg.LargeThreshold:
-		diag, err := s.explain.ExplainLarge(sel, s.cfg.LargeThreshold)
+		diag, err := explain.New(eng, s.queries).ExplainLarge(sel, s.cfg.LargeThreshold)
 		if err == nil {
 			resp.Feedback = diag.Text
 		}
@@ -440,9 +466,62 @@ func (s *System) ExplainPlan(sql string) (*explain.PlanDiagnosis, error) {
 	default:
 		return nil, fmt.Errorf("core: EXPLAIN requires a SELECT statement")
 	}
-	s.execMu.RLock()
-	defer s.execMu.RUnlock()
-	return s.explain.ExplainPlan(sel)
+	snap := s.db.Snapshot()
+	pinPub := s.db.Published()
+	done := s.beginRead()
+	defer done()
+	diag, err := s.explainerAt(snap).ExplainPlan(sel)
+	if err != nil {
+		return nil, err
+	}
+	diag.Text += " " + s.snapshotNarration(snap, pinPub)
+	return diag, nil
+}
+
+// explainerAt builds a transient explainer bound to the pinned snapshot, so
+// its probe re-executions see exactly the version the answer came from.
+func (s *System) explainerAt(snap *storage.Snapshot) *explain.Explainer {
+	return explain.New(s.eng.At(snap), s.queries)
+}
+
+// snapshotNarration is the postscript the MVCC layer earns in EXPLAIN
+// output: it names the pinned version and how many writers committed while
+// the query ran — concurrency the reader never felt.
+func (s *System) snapshotNarration(snap *storage.Snapshot, publishedAtPin uint64) string {
+	committed := s.db.Published() - publishedAtPin
+	if committed == 0 {
+		return fmt.Sprintf("Answered from snapshot @%d.", snap.Seq())
+	}
+	return fmt.Sprintf("Answered from snapshot @%d while %s committed without blocking this read.",
+		snap.Seq(), lexicon.CountNoun(int(committed), "writer"))
+}
+
+// beginRead registers an in-flight snapshot read and returns its completion
+// func. Reads run without any System-level lock; this counter only exists so
+// DrainReaders can hand a quiescent database to the final checkpoint and so
+// the stats surfaces can report reader traffic.
+func (s *System) beginRead() func() {
+	s.readers.Add(1)
+	return func() {
+		s.readers.Add(-1)
+		s.readsDone.Add(1)
+	}
+}
+
+// ReaderStats reports in-flight and completed snapshot reads.
+func (s *System) ReaderStats() (inFlight int64, completed uint64) {
+	return s.readers.Load(), s.readsDone.Load()
+}
+
+// DrainReaders blocks until every in-flight snapshot read has completed.
+// Graceful shutdown calls it after the listener stops accepting work and
+// before the final checkpoint, so no reader is abandoned mid-pipeline. Reads
+// pin immutable snapshots, so the wait is bounded by query runtime — nothing
+// a writer or the checkpoint does can wedge it.
+func (s *System) DrainReaders() {
+	for s.readers.Load() > 0 {
+		time.Sleep(200 * time.Microsecond)
+	}
 }
 
 // InvalidateResults discards all cached SELECT responses. Ask does this
@@ -504,18 +583,21 @@ func (s *System) NarrateResult(res *engine.Result) string {
 	return text
 }
 
-// DescribeEntity narrates one entity (the Woody Allen narrative).
+// DescribeEntity narrates one entity (the Woody Allen narrative). The
+// narration reads a pinned snapshot, so a concurrent writer can neither
+// block it nor change the entity mid-sentence.
 func (s *System) DescribeEntity(rel, attr string, val value.Value) (string, error) {
-	s.execMu.RLock()
-	defer s.execMu.RUnlock()
-	return s.DataTranslator().DescribeEntity(rel, attr, val)
+	done := s.beginRead()
+	defer done()
+	return s.DataTranslator().WithSource(s.db.Snapshot()).DescribeEntity(rel, attr, val)
 }
 
-// DescribeDatabase narrates the database from a starting relation.
+// DescribeDatabase narrates the database from a starting relation, reading
+// one pinned snapshot throughout.
 func (s *System) DescribeDatabase(start string) (string, error) {
-	s.execMu.RLock()
-	defer s.execMu.RUnlock()
-	return s.DataTranslator().DescribeDatabase(start)
+	done := s.beginRead()
+	defer done()
+	return s.DataTranslator().WithSource(s.db.Snapshot()).DescribeDatabase(start)
 }
 
 // translatorFor resolves a transient translator personalized for the named
@@ -542,9 +624,9 @@ func (s *System) DescribeEntityAs(profile, rel, attr string, val value.Value) (s
 	if err != nil {
 		return "", err
 	}
-	s.execMu.RLock()
-	defer s.execMu.RUnlock()
-	return tr.DescribeEntity(rel, attr, val)
+	done := s.beginRead()
+	defer done()
+	return tr.WithSource(s.db.Snapshot()).DescribeEntity(rel, attr, val)
 }
 
 // DescribeDatabaseAs narrates the database under the named profile without
@@ -554,9 +636,9 @@ func (s *System) DescribeDatabaseAs(profile, start string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	s.execMu.RLock()
-	defer s.execMu.RUnlock()
-	return tr.DescribeDatabase(start)
+	done := s.beginRead()
+	defer done()
+	return tr.WithSource(s.db.Snapshot()).DescribeDatabase(start)
 }
 
 // DescribeSchema narrates the schema itself (§2.1: "describing the schema
@@ -599,9 +681,10 @@ func (s *System) DescribeSchema() string {
 // approximations are all, in some sense, small databases and can be
 // summarized textually".
 func (s *System) DescribeStatistics() string {
-	s.execMu.RLock()
-	defer s.execMu.RUnlock()
-	stats := s.db.Stats()
+	done := s.beginRead()
+	defer done()
+	snap := s.db.Snapshot()
+	stats := snap.Stats()
 	var sentences []string
 	var parts []string
 	for _, n := range s.graph.Nodes() {
@@ -623,7 +706,7 @@ func (s *System) DescribeStatistics() string {
 		if h == nil {
 			continue
 		}
-		distinct, err := s.db.DistinctCount(rel.Name, h.Name)
+		distinct, err := snap.DistinctCount(rel.Name, h.Name)
 		if err != nil || distinct == stats[rel.Name] {
 			continue
 		}

@@ -26,9 +26,12 @@ func NewDurable(db *storage.Database, fs wal.FS, opts storage.DurableOptions, cf
 	return sys, report, nil
 }
 
-// Checkpoint serializes every table to the checkpoint segment and truncates
-// the WAL, under the exclusive writer lock (no statement can be mid-flight).
-// The server calls it on graceful shutdown so restarts replay an empty log.
+// Checkpoint seals the current published version to the checkpoint segment
+// and truncates the WAL. It takes the DML writer lock so no Ask statement is
+// mid-flight, but snapshot readers are NOT excluded: the storage layer
+// serializes the checkpoint from the pinned immutable version, so queries
+// keep answering while it writes. The server calls it on graceful shutdown
+// so restarts replay an empty log.
 func (s *System) Checkpoint() error {
 	s.execMu.Lock()
 	defer s.execMu.Unlock()

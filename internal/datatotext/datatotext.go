@@ -76,9 +76,12 @@ type Options struct {
 	Profile *catalog.Profile
 }
 
-// Translator translates contents of one database.
+// Translator translates contents of one database. It reads through a
+// storage.TableSource — the live database, or a pinned MVCC snapshot via
+// WithSource, which is how concurrent describe requests narrate a consistent
+// committed state while writers keep committing.
 type Translator struct {
-	db    *storage.Database
+	db    storage.TableSource
 	graph *schemagraph.Graph
 	rels  []Relationship
 	opts  Options
@@ -90,6 +93,13 @@ func New(db *storage.Database, graph *schemagraph.Graph, opts Options) *Translat
 		opts.MaxTuplesPerRelation = 3
 	}
 	return &Translator{db: db, graph: graph, opts: opts}
+}
+
+// WithSource returns a translator that reads tables from src (typically a
+// pinned storage.Snapshot) while sharing the schema graph, relationship
+// annotations, and options. The clone is cheap; the original is not mutated.
+func (t *Translator) WithSource(src storage.TableSource) *Translator {
+	return &Translator{db: src, graph: t.graph, rels: t.rels, opts: t.opts}
 }
 
 // Options returns a copy of the translator's options.

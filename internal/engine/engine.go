@@ -19,12 +19,22 @@ import (
 //
 // Concurrency: an Engine is safe for concurrent queries (Query/Select/Exec
 // of SELECTs) — the view registry is lock-protected and query evaluation
-// never mutates engine or AST state. DML and CreateView synchronize with the
-// registry but follow the storage layer's contract: writers must not run
-// concurrently with readers of the same tables.
+// never mutates engine or AST state. Reads resolve tables through src, which
+// is either the live database (DML statements read their own writes) or a
+// pinned storage.Snapshot (At); snapshot-bound engines run the whole
+// planned/vectorized/naive pipeline against immutable frozen tables, so any
+// number of them execute concurrently with a committing writer. DML always
+// goes to the live database and follows the storage layer's contract.
 type Engine struct {
-	db *storage.Database
+	db  *storage.Database
+	src storage.TableSource
+	st  *engineState
+}
 
+// engineState is the mutable configuration shared between the root engine
+// and its snapshot-bound clones: one view registry and one set of pipeline
+// toggles, whichever surface a statement arrives through.
+type engineState struct {
 	vmu   sync.RWMutex
 	views map[string]*sqlparser.SelectStmt
 
@@ -49,8 +59,21 @@ type Engine struct {
 
 // New creates an engine over db.
 func New(db *storage.Database) *Engine {
-	return &Engine{db: db, views: make(map[string]*sqlparser.SelectStmt)}
+	return &Engine{db: db, src: db, st: &engineState{views: make(map[string]*sqlparser.SelectStmt)}}
 }
+
+// At returns a reader engine bound to the given snapshot: every table
+// resolution, statistic, and zone probe reads the snapshot's frozen state,
+// while views and pipeline toggles stay shared with the root engine. The
+// clone is cheap (three words) — core pins a snapshot per question and
+// discards the clone after answering.
+func (ex *Engine) At(snap *storage.Snapshot) *Engine {
+	return &Engine{db: ex.db, src: snap, st: ex.st}
+}
+
+// Source returns the read surface this engine resolves tables through — the
+// live database, or the pinned snapshot for an At clone.
+func (ex *Engine) Source() storage.TableSource { return ex.src }
 
 // Database exposes the underlying database.
 func (ex *Engine) Database() *storage.Database { return ex.db }
@@ -168,21 +191,21 @@ func (ex *Engine) CreateView(name string, q *sqlparser.SelectStmt) error {
 	if ex.db.Table(name) != nil {
 		return fmt.Errorf("engine: view %q collides with a table", name)
 	}
-	ex.vmu.Lock()
-	defer ex.vmu.Unlock()
-	if _, dup := ex.views[key]; dup {
+	ex.st.vmu.Lock()
+	defer ex.st.vmu.Unlock()
+	if _, dup := ex.st.views[key]; dup {
 		return fmt.Errorf("engine: duplicate view %q", name)
 	}
-	ex.views[key] = q
+	ex.st.views[key] = q
 	return nil
 }
 
 // View returns the definition of a named view, or nil. Safe for concurrent
 // use; callers treat the returned AST as immutable.
 func (ex *Engine) View(name string) *sqlparser.SelectStmt {
-	ex.vmu.RLock()
-	defer ex.vmu.RUnlock()
-	return ex.views[strings.ToLower(name)]
+	ex.st.vmu.RLock()
+	defer ex.st.vmu.RUnlock()
+	return ex.st.views[strings.ToLower(name)]
 }
 
 // ---------------------------------------------------------------------------
@@ -373,7 +396,7 @@ func (ex *Engine) flattenFrom(from []*sqlparser.TableRef) ([]fromEntry, error) {
 	var add func(t *sqlparser.TableRef, kind sqlparser.JoinKind, on sqlparser.Expr, explicit bool) error
 	add = func(t *sqlparser.TableRef, kind sqlparser.JoinKind, on sqlparser.Expr, explicit bool) error {
 		e := fromEntry{alias: t.Name(), joinKind: kind, joinOn: on, explicit: explicit}
-		if tbl := ex.db.Table(t.Relation); tbl != nil {
+		if tbl := ex.src.Table(t.Relation); tbl != nil {
 			e.rel, e.tbl = tbl.Relation(), tbl
 		} else if v := ex.View(t.Relation); v != nil {
 			inst, err := ex.materializeView(t.Relation, v)

@@ -20,7 +20,7 @@ func (ex *Engine) SetParallelism(n int) {
 	if n < 0 {
 		n = 0
 	}
-	ex.par.Store(int32(n))
+	ex.st.par.Store(int32(n))
 }
 
 // workersFor decides how many workers to use for n units of work.
@@ -28,7 +28,7 @@ func (ex *Engine) workersFor(n int) int {
 	if n < parallelThreshold {
 		return 1
 	}
-	w := int(ex.par.Load())
+	w := int(ex.st.par.Load())
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}

@@ -303,7 +303,7 @@ func (ex *Engine) tryVecAgg(sel *sqlparser.SelectStmt, entries []fromEntry, pq *
 	if vecAggStep(plan) == nil {
 		return nil, false, nil
 	}
-	if ex.noVecAgg.Load() {
+	if ex.st.noVecAgg.Load() {
 		downgradeVecAgg(plan)
 		return nil, false, nil
 	}

@@ -1076,7 +1076,7 @@ func (ex *Engine) runJoinStep(pq *plannedQuery, si int, st *planner.Step, cur ba
 // reports an enclosing scope whose bindings may satisfy otherwise
 // unresolvable column references (correlated subqueries).
 func (ex *Engine) planFor(sel *sqlparser.SelectStmt, entries []fromEntry, hasOuter bool) *planner.Plan {
-	if ex.noPlan.Load() {
+	if ex.st.noPlan.Load() {
 		return planner.NewFallback("planner disabled")
 	}
 	inputs := make([]planner.Input, len(entries))
@@ -1295,20 +1295,20 @@ func (pq *plannedQuery) flatOrderKeys(sel *sqlparser.SelectStmt, items []sqlpars
 // runs the naive environment pipeline — differential tests force this to
 // prove planned and naive execution produce identical rows. Safe for
 // concurrent use.
-func (ex *Engine) SetPlannerEnabled(on bool) { ex.noPlan.Store(!on) }
+func (ex *Engine) SetPlannerEnabled(on bool) { ex.st.noPlan.Store(!on) }
 
 // SetVecAggEnabled toggles the fused vectorized-aggregation pipeline.
 // Disabled, grouped queries that would take it run the streaming
 // row-at-a-time aggregation instead — differential tests force this to prove
 // the two produce identical rows. Safe for concurrent use.
-func (ex *Engine) SetVecAggEnabled(on bool) { ex.noVecAgg.Store(!on) }
+func (ex *Engine) SetVecAggEnabled(on bool) { ex.st.noVecAgg.Store(!on) }
 
 // SetZoneMapsEnabled toggles the zone-map layer as a whole (default on):
 // morsel pruning plus the encoded scan fast paths that ride on the same
 // metadata (frame-of-reference delta reads, sorted-dictionary rank compares).
 // Off reverts every scan to testing each row against plain payloads —
 // differential tests and benchmarks compare the two executions.
-func (ex *Engine) SetZoneMapsEnabled(on bool) { ex.noZoneMaps.Store(!on) }
+func (ex *Engine) SetZoneMapsEnabled(on bool) { ex.st.noZoneMaps.Store(!on) }
 
 // Plan builds (without executing) the plan the engine would use for sel.
 // Queries outside the planner's dialect return a plan with Fallback set.

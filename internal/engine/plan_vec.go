@@ -105,7 +105,7 @@ func (pq *plannedQuery) compileVecFilter(st *planner.Step, e sqlparser.Expr) (ve
 		if !ok {
 			return nil, false
 		}
-		fast := !pq.ex.noZoneMaps.Load()
+		fast := !pq.ex.st.noZoneMaps.Load()
 		if op == sqlparser.OpLike {
 			return vecLike(col, lit, fast)
 		}
@@ -202,7 +202,7 @@ func vecCompare(col storage.Col, op sqlparser.BinaryOp, lit value.Value, fast bo
 			// Frame-of-reference path: stream one delta byte per row instead
 			// of eight payload bytes (value = zone base + delta).
 			return notNull(col, func(ti int) bool {
-				x := fb[ti>>storage.ZoneShift] + int64(d8[ti])
+				x := fb[ti>>storage.ZoneShift] + int64(d8[ti>>storage.ZoneShift][ti&storage.ZoneMask])
 				return test(cmpFloat(float64(x), lf))
 			}), true
 		}
@@ -216,7 +216,7 @@ func vecCompare(col storage.Col, op sqlparser.BinaryOp, lit value.Value, fast bo
 		ld := lit.DateDays()
 		if fb, d8, ok := col.FORInts(); ok && fast {
 			return notNull(col, func(ti int) bool {
-				x := fb[ti>>storage.ZoneShift] + int64(d8[ti])
+				x := fb[ti>>storage.ZoneShift] + int64(d8[ti>>storage.ZoneShift][ti&storage.ZoneMask])
 				return test(cmpInt(x, ld))
 			}), true
 		}
@@ -332,7 +332,7 @@ func (pq *plannedQuery) vecBetween(st *planner.Step, x *sqlparser.BetweenExpr) (
 	if !comparableKinds(col.Kind(), lo.Kind()) || !comparableKinds(col.Kind(), hi.Kind()) {
 		return nil, false
 	}
-	fast := !pq.ex.noZoneMaps.Load()
+	fast := !pq.ex.st.noZoneMaps.Load()
 	ge, ok := vecCompare(col, sqlparser.OpGe, lo, fast)
 	if !ok {
 		return nil, false

@@ -190,7 +190,7 @@ func (pq *plannedQuery) finishZoneSkip() {
 // out of sync with the table), the shape step is removed in place.
 func (pq *plannedQuery) compileZoneSkip() {
 	plan := pq.plan
-	if pq.ex.noZoneMaps.Load() {
+	if pq.ex.st.noZoneMaps.Load() {
 		removeZoneSkip(plan)
 		return
 	}

@@ -74,7 +74,7 @@ func (e *Explainer) ExplainEmpty(sel *sqlparser.SelectStmt) (*EmptyDiagnosis, er
 		}, nil
 	}
 
-	g, err := querygraph.Build(sel, e.ex.Database().Schema())
+	g, err := querygraph.Build(sel, e.ex.Source().Schema())
 	if err != nil {
 		return nil, err
 	}
@@ -216,11 +216,11 @@ func (e *Explainer) ExplainLarge(sel *sqlparser.SelectStmt, threshold int) (*Lar
 		return diag, nil
 	}
 
-	g, err := querygraph.Build(sel, e.ex.Database().Schema())
+	g, err := querygraph.Build(sel, e.ex.Source().Schema())
 	if err != nil {
 		return nil, err
 	}
-	stats := e.ex.Database().Stats()
+	stats := e.ex.Source().Stats()
 
 	// Per-box: relation size and unary-filter selectivity.
 	for _, box := range g.Boxes {

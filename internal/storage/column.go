@@ -16,13 +16,22 @@ import (
 // the API boundary — they are materialized on demand from the vectors.
 
 // bitmap is a packed bit set marking NULL positions of one column.
+//
+// A frozen (snapshot) bitmap shares the writer's fully-populated words as a
+// length-capped prefix and carries the boundary word — the one the writer is
+// still filling — as a private masked copy in tail. Writer bitmaps keep
+// tail == 0, so the extra branch in get never changes live semantics.
 type bitmap struct {
 	words []uint64
+	tail  uint64
 }
 
 func (b *bitmap) get(i int) bool {
 	w := i >> 6
 	if w >= len(b.words) {
+		if w == len(b.words) {
+			return b.tail&(1<<(uint(i)&63)) != 0
+		}
 		return false
 	}
 	return b.words[w]&(1<<(uint(i)&63)) != 0
@@ -67,6 +76,11 @@ func (b *bitmap) truncate(n int) {
 type dict struct {
 	strs []string
 	code map[string]uint32
+	// codeMu guards the code map, which is shared between the writer's dict
+	// and the frozen clones handed to snapshots: the writer interns under the
+	// write lock while snapshot readers probe DictCode concurrently. The
+	// pointer is shared across clones so everyone serializes on one lock.
+	codeMu *sync.RWMutex
 	// refs[c] counts live rows holding code c; live counts codes with
 	// refs > 0. Maintained by the writer paths (appendVal/setVal/releaseRow).
 	refs []int32
@@ -84,22 +98,47 @@ type dict struct {
 }
 
 func newDict() *dict {
-	return &dict{code: make(map[string]uint32)}
+	return &dict{code: make(map[string]uint32), codeMu: &sync.RWMutex{}}
 }
 
 // intern returns the code for s, assigning the next one on first sight.
 func (d *dict) intern(s string) uint32 {
-	if c, ok := d.code[s]; ok {
+	d.codeMu.RLock()
+	c, ok := d.code[s]
+	d.codeMu.RUnlock()
+	if ok {
 		return c
 	}
-	c := uint32(len(d.strs))
+	c = uint32(len(d.strs))
 	d.strs = append(d.strs, s)
+	d.codeMu.Lock()
 	d.code[s] = c
+	d.codeMu.Unlock()
 	d.refs = append(d.refs, 0)
 	if d.ranked {
 		d.rankStale.Store(true)
 	}
 	return c
+}
+
+// freeze builds a snapshot clone of the dictionary: the vocabulary is the
+// length-capped strs prefix (the writer only appends), the code map is shared
+// under codeMu with lookups filtered to the frozen vocabulary, and the rank
+// tables rebuild lazily — privately, over the frozen vocabulary — on the
+// clone's first ranked read. refs stay with the writer; a frozen dict never
+// retains or releases.
+func (d *dict) freeze() *dict {
+	fd := &dict{
+		strs:   d.strs[:len(d.strs):len(d.strs)],
+		code:   d.code,
+		codeMu: d.codeMu,
+		live:   d.live,
+		ranked: d.ranked,
+	}
+	if fd.ranked {
+		fd.rankStale.Store(true)
+	}
+	return fd
 }
 
 // column is one attribute's storage: a typed vector (selected by kind) and
@@ -119,11 +158,47 @@ type column struct {
 	// cover (== the table's row count whenever no write is in flight).
 	zones []zone
 	zrows int
-	// Frame-of-reference encoding: fb holds one base per zone, d8 one byte
-	// delta per row. forOff sticks once any zone's span overflows a byte.
+	// ztail is a frozen column's private copy of the partial boundary zone the
+	// writer is still extending; zoneAt routes reads past len(zones) to it.
+	// Writer columns keep hasZTail false.
+	ztail    zone
+	hasZTail bool
+	// Frame-of-reference encoding: fb holds one base per zone, d8 one
+	// ZoneRows-capacity chunk of byte deltas per zone (value = fb[z] +
+	// d8[z][row&ZoneMask]). forOff sticks once any zone's span overflows a
+	// byte. d8Cow marks the current partial chunk as shared with a frozen
+	// snapshot: a rebase (the only in-place mutation) clones it first.
 	fb     []int64
-	d8     []uint8
+	d8     [][]uint8
+	d8Cow  bool
 	forOff bool
+}
+
+// zoneAt returns the zone summary for index z, routing a frozen column's
+// boundary-zone reads to its private tail copy.
+func (c *column) zoneAt(z int) *zone {
+	if z < len(c.zones) {
+		return &c.zones[z]
+	}
+	return &c.ztail
+}
+
+// zoneCount returns the number of zones summarizing the column, including a
+// frozen column's private tail zone.
+func (c *column) zoneCount() int {
+	n := len(c.zones)
+	if c.hasZTail {
+		n++
+	}
+	return n
+}
+
+// d8Rows returns the number of rows the frame-of-reference chunks cover.
+func (c *column) d8Rows() int {
+	if len(c.d8) == 0 {
+		return 0
+	}
+	return (len(c.d8)-1)<<ZoneShift + len(c.d8[len(c.d8)-1])
 }
 
 func newColumn(kind value.Kind) column {
@@ -412,7 +487,7 @@ func (c Col) HasNulls() bool {
 			return true
 		}
 	}
-	return false
+	return c.c.nulls.tail != 0
 }
 
 // Ints exposes the Int payloads — or, for Date columns, the epoch days.
@@ -434,9 +509,18 @@ func (c Col) DictLen() int { return len(c.c.dict.strs) }
 func (c Col) DictString(code uint32) string { return c.c.dict.strs[code] }
 
 // DictCode looks up the code for s; ok is false when s never occurred in the
-// column — which proves no row equals s without touching a single string.
+// column — which proves no row equals s without touching a single string. The
+// map is shared with the writer's dictionary (codeMu serializes against
+// interning), and codes past the frozen vocabulary — strings first seen after
+// the snapshot — report as absent.
 func (c Col) DictCode(s string) (uint32, bool) {
-	code, ok := c.c.dict.code[s]
+	d := c.c.dict
+	d.codeMu.RLock()
+	code, ok := d.code[s]
+	d.codeMu.RUnlock()
+	if ok && code >= uint32(len(d.strs)) {
+		return 0, false
+	}
 	return code, ok
 }
 

@@ -197,6 +197,12 @@ func (db *Database) EnableDurability(fs wal.FS, opts DurableOptions) (*RecoveryR
 		return nil, errors.New("storage: durable state exists but the database is not empty; recover into a schema-only database")
 	}
 
+	// Recovery replays through the ordinary DML paths; suppress the per-op
+	// snapshot publishes they would trigger and install one version at the
+	// end, at the recovered sequence.
+	db.recovering.Store(true)
+	defer db.recovering.Store(false)
+
 	var lastSeq uint64
 	var ckData []byte
 	if ok, _ := fs.Exists(CheckpointFileName); ok {
@@ -236,14 +242,37 @@ func (db *Database) EnableDurability(fs wal.FS, opts DurableOptions) (*RecoveryR
 			return nil, fmt.Errorf("storage: syncing directory: %w", err)
 		}
 	}
+	ckExists, _ := fs.Exists(CheckpointFileName)
+	if !ckExists {
+		// Adopting an in-memory database that may already have published
+		// versions (a seeded dataset): continue sequence numbering above them
+		// so snapshot seqs never regress. The initial checkpoint below records
+		// this floor, keeping later recoveries consistent with it.
+		db.mu.Lock()
+		if db.pubSeq > appliedSeq {
+			appliedSeq = db.pubSeq
+		}
+		db.mu.Unlock()
+	}
 	dur := &durability{fs: fs, w: wal.NewWriter(f, int64(validEnd)), opts: opts, report: report}
 	dur.seq.Store(appliedSeq)
 	dur.walBytes.Store(int64(validEnd))
 	db.dur = dur
 
+	// Recovery is done: publish the recovered state as one version at the
+	// recovered sequence, so snapshot readers and the initial checkpoint see
+	// it.
+	db.recovering.Store(false)
+	db.mu.Lock()
+	for _, t := range db.tables {
+		t.dirty = true
+	}
+	db.publishLocked(appliedSeq)
+	db.mu.Unlock()
+
 	// First boot of this directory (or a crash before the first checkpoint
 	// completed): checkpoint now, adopting whatever db already holds.
-	if ok, _ := fs.Exists(CheckpointFileName); !ok {
+	if !ckExists {
 		if err := db.Checkpoint(); err != nil {
 			db.dur = nil
 			return nil, err
@@ -406,10 +435,16 @@ func writeFile(fs wal.FS, name string, data []byte) error {
 	return f.Close()
 }
 
-// Checkpoint serializes every table to the checkpoint segment (temporary
-// file + atomic rename) and truncates the WAL. It fails with an error when a
-// statement batch is open or ops are waiting to flush; the automatic
-// checkpoint path simply retries at a later commit.
+// Checkpoint seals and persists the published version to the checkpoint
+// segment (temporary file + atomic rename) and truncates the WAL. It fails
+// with an error when a statement batch is open or ops are waiting to flush;
+// the automatic checkpoint path simply retries at a later commit.
+//
+// Holding durability.mu for the whole call blocks commits (so no record can
+// land above the floor while the segment writes), but serialization reads
+// only the pinned snapshot's frozen tables — concurrent snapshot readers are
+// never blocked, and neither is the application of new mutations (they queue
+// at the commit fence, not the apply path).
 func (db *Database) Checkpoint() error {
 	d := db.dur
 	if d == nil {
@@ -420,27 +455,27 @@ func (db *Database) Checkpoint() error {
 	if err := d.failedErr(); err != nil {
 		return err
 	}
+	// One db.mu acquisition must span the busy check and the version pin:
+	// with separate acquisitions a concurrent writer could apply an op in
+	// between, and its record — flushed to the rotated log with a sequence
+	// above the floor — would replay on top of a checkpoint that already
+	// contains the mutation. Every committed record installed its version
+	// before releasing durability.mu, so the pinned snapshot reflects exactly
+	// the records at or below the floor.
+	db.mu.RLock()
+	if d.depth > 0 || d.pendingOps > 0 {
+		db.mu.RUnlock()
+		return errCheckpointBusy
+	}
+	floor := d.seq.Load()
+	snap := db.version.Load()
+	db.mu.RUnlock()
 	f, err := d.fs.Create(checkpointTmpName)
 	if err != nil {
 		return fmt.Errorf("storage: checkpoint: %w", err)
 	}
 	w := wal.NewWriter(f, 0)
-	// One db.mu acquisition must span the busy check and the serialization:
-	// with separate acquisitions a concurrent writer could apply and log an op
-	// in between, and its record — flushed to the rotated log with a sequence
-	// above the floor — would replay on top of a checkpoint that already
-	// contains the mutation.
-	db.mu.RLock()
-	if d.depth > 0 || d.pendingOps > 0 {
-		db.mu.RUnlock()
-		w.Close()
-		_ = d.fs.Remove(checkpointTmpName)
-		return errCheckpointBusy
-	}
-	floor := d.seq.Load()
-	err = db.writeCheckpoint(w, floor)
-	db.mu.RUnlock()
-	if err != nil {
+	if err := db.writeCheckpointTables(w, snap.tables, floor); err != nil {
 		w.Close()
 		_ = d.fs.Remove(checkpointTmpName)
 		return err
@@ -624,16 +659,28 @@ func (d *durability) commit(db *Database) error {
 	ops := d.pendingOps
 	d.pending = d.pending[:0]
 	d.pendingOps = 0
+	// Freeze the batch's tables into a version at the WAL sequence while
+	// still inside the db.mu window — the state the record describes cannot
+	// drift before the fsync, because any later mutation queues behind
+	// durability.mu for the NEXT record. The version installs only after the
+	// fsync succeeds: a snapshot seq always names an acknowledged, durable
+	// prefix of the log.
+	snap, frozen := db.buildVersionLocked(seq)
 	db.mu.Unlock()
 	if err := d.w.Append(d.rec); err != nil {
 		d.latch(err)
+		db.redirty(frozen)
 		d.mu.Unlock()
 		return fmt.Errorf("storage: wal append: %w; writes are rejected until restart", err)
 	}
 	if err := d.w.Sync(); err != nil {
 		d.latch(err)
+		db.redirty(frozen)
 		d.mu.Unlock()
 		return fmt.Errorf("storage: wal fsync: %w; writes are rejected until restart", err)
+	}
+	if snap != nil {
+		db.installVersion(snap)
 	}
 	d.batches.Add(1)
 	d.ops.Add(uint64(ops))

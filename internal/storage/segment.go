@@ -34,16 +34,16 @@ func SchemaFingerprint(db *Database) uint64 {
 	return h.Sum64()
 }
 
-// writeCheckpoint serializes every table into w: header record first, then
-// one record per table in sorted name order. lastSeq is the WAL sequence
-// floor — recovery skips WAL records at or below it, which makes the
+// writeCheckpointTables serializes the given tables into w: header record
+// first, then one record per table in sorted name order. lastSeq is the WAL
+// sequence floor — recovery skips WAL records at or below it, which makes the
 // checkpoint-then-truncate sequence crash-safe at every intermediate point.
-// The caller must hold db.mu (read or write): one lock acquisition has to
-// span the no-pending-ops check and the serialization, or a concurrent
-// writer could slip an applied-but-unflushed mutation in between.
-func (db *Database) writeCheckpoint(w *wal.Writer, lastSeq uint64) error {
-	names := make([]string, 0, len(db.tables))
-	for name := range db.tables {
+// Checkpoints pass a pinned snapshot's frozen tables, so serialization runs
+// without db.mu and never blocks readers or writers; the caller guarantees
+// the floor and the table set describe the same committed prefix.
+func (db *Database) writeCheckpointTables(w *wal.Writer, tables map[string]*Table, lastSeq uint64) error {
+	names := make([]string, 0, len(tables))
+	for name := range tables {
 		names = append(names, name)
 	}
 	sort.Strings(names)
@@ -57,7 +57,7 @@ func (db *Database) writeCheckpoint(w *wal.Writer, lastSeq uint64) error {
 		return err
 	}
 	for _, name := range names {
-		tbl := db.tables[name]
+		tbl := tables[name]
 		buf = tbl.appendSegment(buf[:0])
 		if err := w.Append(buf); err != nil {
 			return fmt.Errorf("storage: checkpointing %s: %w", tbl.rel.Name, err)
@@ -99,22 +99,34 @@ func (c *column) appendSegment(buf []byte, rows int) []byte {
 		ranked = 1
 	}
 	buf = append(buf, ranked)
-	// Null bitmap: word count, then raw words.
-	buf = appendUvarint(buf, uint64(len(c.nulls.words)))
+	// Null bitmap: word count, then raw words. A frozen column keeps its
+	// masked boundary bits in a private tail word; emit it as one more word —
+	// exactly the live representation the decoder rebuilds.
+	words := uint64(len(c.nulls.words))
+	if c.nulls.tail != 0 {
+		words++
+	}
+	buf = appendUvarint(buf, words)
 	for _, w := range c.nulls.words {
 		buf = appendUvarint(buf, w)
 	}
+	if c.nulls.tail != 0 {
+		buf = appendUvarint(buf, c.nulls.tail)
+	}
 	switch c.kind {
 	case value.Int, value.Date:
-		if !c.forOff && len(c.d8) == rows && c.zrows == rows && rows > 0 {
+		if !c.forOff && c.d8Rows() == rows && c.zrows == rows && rows > 0 {
 			// Frame-of-reference page: the PR-6 in-memory encoding is the
-			// on-disk format — one base per zone, one byte per row.
+			// on-disk format — one base per zone, one byte per row (the
+			// per-zone delta chunks concatenate back into the flat page).
 			buf = append(buf, colEncFOR)
 			buf = appendUvarint(buf, uint64(len(c.fb)))
 			for _, b := range c.fb {
 				buf = appendVarint(buf, b)
 			}
-			buf = append(buf, c.d8...)
+			for _, ch := range c.d8 {
+				buf = append(buf, ch...)
+			}
 		} else {
 			buf = append(buf, colEncRaw)
 			for _, x := range c.ints[:rows] {

@@ -1,0 +1,176 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+	"repro/internal/wal"
+)
+
+// snapDump fingerprints the state visible through a snapshot: every table's
+// rows in insertion order, materialized through the frozen columns.
+func snapDump(s *Snapshot) string {
+	var sb strings.Builder
+	for _, name := range s.TableNames() {
+		sb.WriteString("== " + name + "\n")
+		for _, tup := range s.Table(name).Tuples() {
+			for i, v := range tup {
+				if i > 0 {
+					sb.WriteByte(',')
+				}
+				sb.WriteString(v.Key())
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// TestSnapshotTuplesCacheIsolation pins the compatibility contract of the
+// naive scan path under MVCC: a frozen table caches its own materialized
+// []Tuple view, the cache is shared by repeated calls on the same snapshot,
+// and live writes neither invalidate it nor leak into it.
+func TestSnapshotTuplesCacheIsolation(t *testing.T) {
+	db := newDurDB(t)
+	for i := 0; i < 5; i++ {
+		if err := db.Insert("DIRECTOR", Tuple{
+			value.NewInt(int64(i)), value.NewText(fmt.Sprintf("dir-%d", i)), value.NewDateDays(int64(i)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap1 := db.Snapshot()
+	frozen := snap1.Table("DIRECTOR")
+	first := frozen.Tuples()
+	if len(first) != 5 {
+		t.Fatalf("snapshot sees %d rows, want 5", len(first))
+	}
+	second := frozen.Tuples()
+	if &first[0][0] != &second[0][0] {
+		t.Fatal("repeated Tuples() on one snapshot did not reuse the cached materialization")
+	}
+
+	// Mutate the live table every way that could disturb shared vectors:
+	// append past the frozen length, COW-update a frozen row, delete.
+	for i := 5; i < 10; i++ {
+		if err := db.Insert("DIRECTOR", Tuple{
+			value.NewInt(int64(i)), value.NewText(fmt.Sprintf("dir-%d", i)), value.NewNull(),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.Update("DIRECTOR",
+		func(tup Tuple) bool { return tup[0].Int() == 0 },
+		func(tup Tuple) Tuple { tup[1] = value.NewText("renamed"); return tup }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Delete("DIRECTOR", func(tup Tuple) bool { return tup[0].Int() == 3 }); err != nil {
+		t.Fatal(err)
+	}
+
+	third := frozen.Tuples()
+	if &first[0][0] != &third[0][0] {
+		t.Fatal("live writes invalidated a frozen table's materialization cache")
+	}
+	if got := third[0][1].Text(); got != "dir-0" {
+		t.Fatalf("live update leaked into the pinned snapshot: row 0 name %q", got)
+	}
+	if len(third) != 5 {
+		t.Fatalf("pinned snapshot length changed to %d", len(third))
+	}
+
+	// The new version sees everything; its cache is its own.
+	snap2 := db.Snapshot()
+	if snap2 == snap1 {
+		t.Fatal("writes did not publish a new version")
+	}
+	now := snap2.Table("DIRECTOR").Tuples()
+	if len(now) != 9 {
+		t.Fatalf("current snapshot sees %d rows, want 9", len(now))
+	}
+	if got := now[0][1].Text(); got != "renamed" {
+		t.Fatalf("current snapshot missed the update: row 0 name %q", got)
+	}
+}
+
+// TestFailedCommitInstallsNoVersion closes the seal/install window from the
+// failure side: when the WAL fsync fails, the version built for the record
+// must never install — readers keep the last acknowledged state, the
+// published counter does not move, and the layer latches.
+func TestFailedCommitInstallsNoVersion(t *testing.T) {
+	fs := wal.NewFaultFS(wal.NewMemFS())
+	db := newDurDB(t)
+	if _, err := db.EnableDurability(fs, DurableOptions{CheckpointBytes: -1}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := db.Insert("DIRECTOR", Tuple{
+			value.NewInt(int64(i)), value.NewText(fmt.Sprintf("dir-%d", i)), value.NewNull(),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := db.Snapshot()
+	pubBefore := db.Published()
+	want := snapDump(before)
+
+	fs.FailSyncsAfter(0)
+	err := db.Insert("DIRECTOR", Tuple{value.NewInt(99), value.NewText("phantom"), value.NewNull()})
+	if err == nil {
+		t.Fatal("insert acknowledged despite fsync failure")
+	}
+
+	if db.Snapshot() != before {
+		t.Fatal("failed commit installed a version the log never acknowledged")
+	}
+	if db.Published() != pubBefore {
+		t.Fatalf("published counter moved on a failed commit: %d -> %d", pubBefore, db.Published())
+	}
+	if got := snapDump(db.Snapshot()); got != want {
+		t.Fatalf("reader-visible state changed across a failed commit:\n--- want\n%s\n--- got\n%s", want, got)
+	}
+	if err := db.Insert("DIRECTOR", Tuple{value.NewInt(100), value.NewText("after"), value.NewNull()}); err == nil {
+		t.Fatal("writes not latched after fsync failure")
+	}
+}
+
+// TestCrashMatrixSealInstallWindow extends the crash matrix to the MVCC
+// commit's last window: the record fsynced into the log ("sealed") but the
+// process gone before installVersion made it visible to readers. Install is
+// volatile — the disk after a completed commit is byte-identical to a crash
+// inside that window — so recovering a clone taken after any workload prefix
+// must land exactly on the state of the version the crashed process had (or
+// was about to have) installed, at the same committed sequence.
+func TestCrashMatrixSealInstallWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	steps := matrixWorkload(rng)
+
+	fs := wal.NewMemFS()
+	live := newDurDB(t)
+	if _, err := live.EnableDurability(fs, DurableOptions{CheckpointBytes: -1}); err != nil {
+		t.Fatal(err)
+	}
+	for i, step := range steps {
+		step.apply(t, live)
+		if i%5 != 0 {
+			continue
+		}
+		disk := fs.Clone()
+		db2 := newDurDB(t)
+		if _, err := db2.EnableDurability(disk, DurableOptions{CheckpointBytes: -1}); err != nil {
+			t.Fatalf("recovery after step %d: %v", i, err)
+		}
+		if got, want := matrixPrint(t, db2), matrixPrint(t, live); got != want {
+			t.Fatalf("step %d: seal/install-window recovery diverges from the installed version\n--- want\n%s\n--- got\n%s", i, want, got)
+		}
+		if got, want := db2.Snapshot().Seq(), live.Snapshot().Seq(); got != want {
+			t.Fatalf("step %d: recovered snapshot seq %d, live %d", i, got, want)
+		}
+		if got, want := snapDump(db2.Snapshot()), snapDump(live.Snapshot()); got != want {
+			t.Fatalf("step %d: recovered snapshot contents diverge\n--- want\n%s\n--- got\n%s", i, want, got)
+		}
+	}
+}

@@ -151,9 +151,14 @@ func (t *Table) fixStatBounds() {
 	}
 }
 
-// Stats returns a snapshot of the table's statistics. Safe for concurrent
-// readers under the storage contract (writers are exclusive).
+// Stats returns a snapshot of the table's statistics. A frozen snapshot view
+// returns the statistics captured at its freeze point; the live table builds
+// them from the incrementally maintained counters (safe under the storage
+// contract — writers are exclusive).
 func (t *Table) Stats() TableStats {
+	if t.statsView != nil {
+		return *t.statsView
+	}
 	out := TableStats{
 		Rows:  t.rows,
 		Zones: (t.rows + ZoneRows - 1) / ZoneRows,

@@ -91,9 +91,29 @@ type Table struct {
 	// per the storage contract, readers never touch it.
 	keyBuf []byte
 	// mat caches the materialized []Tuple view handed out by Tuples() and
-	// Scan; any write clears it. Concurrent readers may race to fill it —
-	// materialization is deterministic, so last-store-wins is harmless.
+	// Scan; any write clears it. A frozen table gets its own zero-value mat,
+	// so each snapshot caches its own materialization and naive-engine
+	// readers can never observe a half-committed write. Concurrent readers
+	// may race to fill it — materialization is deterministic, so
+	// last-store-wins is harmless.
 	mat atomic.Pointer[[]Tuple]
+	// idxMu guards pk and the secondary buckets, which are shared between the
+	// live table and its frozen snapshot views: writers mutate under it,
+	// snapshot probes read under it and filter positions past their frozen
+	// row count. The pointer is shared across freezes.
+	idxMu *sync.RWMutex
+	// frozen marks an immutable snapshot view (see snapshot.go); statsView is
+	// its point-in-time statistics. Live tables compute Stats() from the
+	// incrementally maintained tableStats instead.
+	frozen    bool
+	statsView *TableStats
+	// shared marks that the live vectors are referenced by a published
+	// snapshot: the next in-place mutation must prepareMutate first, and
+	// dictionary compaction is deferred until then. dirty marks the table as
+	// changed since the last publish, so a publish re-freezes only what a
+	// statement touched. Both are guarded by db.mu.
+	shared bool
+	dirty  bool
 }
 
 type hashIndex struct {
@@ -221,7 +241,12 @@ func (t *Table) LookupPK(key Tuple) (Tuple, bool) {
 	}
 	var kb [64]byte
 	buf := key.AppendKey(kb[:0], identityPositions(len(key)))
-	if pos, ok := t.pk[string(buf)]; ok {
+	t.idxMu.RLock()
+	pos, ok := t.pk[string(buf)]
+	t.idxMu.RUnlock()
+	// Positions at or past the view's row count belong to rows committed
+	// after a frozen snapshot — invisible to it.
+	if ok && pos < t.rows {
 		return t.Tuple(pos), true
 	}
 	return nil, false
@@ -255,7 +280,12 @@ func (t *Table) PKPositions() []int {
 // (built with Tuple.AppendKey / value.AppendKey over PKPositions). The caller
 // must not encode NULL key values — a NULL probe never matches.
 func (t *Table) LookupPKPos(key []byte) (int, bool) {
+	t.idxMu.RLock()
 	pos, ok := t.pk[string(key)]
+	t.idxMu.RUnlock()
+	if ok && pos >= t.rows {
+		return 0, false // inserted after this view froze
+	}
 	return pos, ok
 }
 
@@ -283,18 +313,30 @@ func (t *Table) CreateIndex(name string, attrs ...string) error {
 		t.keyBuf = t.appendKeyAt(t.keyBuf[:0], pos, positions)
 		idx.buckets[string(t.keyBuf)] = append(idx.buckets[string(t.keyBuf)], pos)
 	}
+	t.idxMu.Lock()
 	if t.secondary == nil {
 		t.secondary = make(map[string]*hashIndex)
 	}
 	t.secondary[name] = idx
+	t.idxMu.Unlock()
 	if t.owner != nil && t.owner.dur != nil {
 		// The pending buffer is guarded by db.mu. During recovery dur is nil
 		// (this branch is never taken under loadCheckpoint's lock), so taking
 		// the lock here cannot deadlock.
 		t.owner.mu.Lock()
+		t.dirty = true
 		t.owner.dur.logCreateIndex(t.rel.Name, name, attrs)
 		t.owner.mu.Unlock()
 		return t.owner.autoCommit()
+	}
+	if t.owner != nil && !t.owner.recovering.Load() {
+		// In-memory path: publish so snapshot planners see the access path.
+		// During recovery (loadCheckpoint holds db.mu) publishes are
+		// suppressed, which also keeps this lock acquisition safe.
+		t.owner.mu.Lock()
+		t.dirty = true
+		t.owner.publishLocked(t.owner.nextPubSeqLocked())
+		t.owner.mu.Unlock()
 	}
 	return nil
 }
@@ -304,7 +346,9 @@ func (t *Table) CreateIndex(name string, attrs ...string) error {
 // indexed attribute are never returned — identical to what a scan evaluating
 // `attr = key` would keep.
 func (t *Table) LookupIndex(name string, key ...value.Value) ([]Tuple, error) {
+	t.idxMu.RLock()
 	idx, ok := t.secondary[name]
+	t.idxMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("storage: unknown index %q on %s", name, t.rel.Name)
 	}
@@ -318,10 +362,15 @@ func (t *Table) LookupIndex(name string, key ...value.Value) ([]Tuple, error) {
 	}
 	var kb [64]byte
 	buf := Tuple(key).AppendKey(kb[:0], identityPositions(len(key)))
+	t.idxMu.RLock()
 	positions := idx.buckets[string(buf)]
-	out := make([]Tuple, len(positions))
-	for i, p := range positions {
-		out[i] = t.Tuple(p)
+	t.idxMu.RUnlock()
+	out := make([]Tuple, 0, len(positions))
+	for _, p := range positions {
+		if p >= t.rows {
+			break // appended after this view froze; bucket positions ascend
+		}
+		out = append(out, t.Tuple(p))
 	}
 	return out, nil
 }
@@ -335,7 +384,9 @@ type Index struct {
 
 // Index returns a handle on the named secondary index, or nil.
 func (t *Table) Index(name string) *Index {
+	t.idxMu.RLock()
 	idx, ok := t.secondary[name]
+	t.idxMu.RUnlock()
 	if !ok {
 		return nil
 	}
@@ -350,7 +401,17 @@ func (ix *Index) KeyPositions() []int { return ix.idx.positions }
 // value.AppendKey over the key values in KeyPositions order), in insertion
 // order. The slice is shared; callers must not mutate it. Callers must not
 // encode NULL key values — a NULL probe never matches.
-func (ix *Index) Probe(key []byte) []int { return ix.idx.buckets[string(key)] }
+func (ix *Index) Probe(key []byte) []int {
+	ix.t.idxMu.RLock()
+	positions := ix.idx.buckets[string(key)]
+	ix.t.idxMu.RUnlock()
+	// Positions appended after a frozen view's boundary belong to rows it
+	// cannot see; buckets grow in ascending order, so trim from the tail.
+	for len(positions) > 0 && positions[len(positions)-1] >= ix.t.rows {
+		positions = positions[:len(positions)-1]
+	}
+	return positions
+}
 
 // IndexInfo describes one secondary index for planning.
 type IndexInfo struct {
@@ -364,11 +425,14 @@ type IndexInfo struct {
 // IndexInfos lists the table's secondary indexes sorted by name (so plans
 // are deterministic).
 func (t *Table) IndexInfos() []IndexInfo {
-	if len(t.secondary) == 0 {
+	t.idxMu.RLock()
+	secondary := t.secondary
+	t.idxMu.RUnlock()
+	if len(secondary) == 0 {
 		return nil
 	}
-	out := make([]IndexInfo, 0, len(t.secondary))
-	for name, idx := range t.secondary {
+	out := make([]IndexInfo, 0, len(secondary))
+	for name, idx := range secondary {
 		info := IndexInfo{Name: name, Positions: idx.positions}
 		for _, p := range idx.positions {
 			info.Attrs = append(info.Attrs, t.rel.Attributes[p].Name)
@@ -389,6 +453,15 @@ type Database struct {
 	// in-memory database. It is set once by EnableDurability before any
 	// concurrent use and consulted by the DML paths to log applied ops.
 	dur *durability
+	// version is the published MVCC snapshot (snapshot.go): readers pin it
+	// once and run lock-free against frozen tables. pubSeq is the sequence of
+	// the last publish (guarded by db.mu); durable commits publish at the WAL
+	// sequence instead. published counts installed versions; recovering
+	// suppresses per-op publishes while the WAL replays.
+	version    atomic.Pointer[Snapshot]
+	pubSeq     uint64
+	published  atomic.Uint64
+	recovering atomic.Bool
 }
 
 // NewDatabase creates empty tables for every relation in the schema.
@@ -398,7 +471,7 @@ func NewDatabase(schema *catalog.Schema) (*Database, error) {
 	}
 	db := &Database{schema: schema, tables: make(map[string]*Table)}
 	for _, r := range schema.Relations() {
-		tbl := &Table{rel: r, cols: make([]column, len(r.Attributes)), owner: db}
+		tbl := &Table{rel: r, cols: make([]column, len(r.Attributes)), owner: db, idxMu: &sync.RWMutex{}}
 		for i, a := range r.Attributes {
 			tbl.cols[i] = newColumn(value.CatalogKind(a.Type))
 		}
@@ -410,8 +483,13 @@ func NewDatabase(schema *catalog.Schema) (*Database, error) {
 				tbl.pkPos[i] = r.AttrIndex(k)
 			}
 		}
+		tbl.dirty = true
 		db.tables[strings.ToLower(r.Name)] = tbl
 	}
+	// Publish version zero so snapshot readers exist from the first moment.
+	db.mu.Lock()
+	db.publishLocked(0)
+	db.mu.Unlock()
 	return db, nil
 }
 
@@ -456,6 +534,12 @@ func (db *Database) Insert(relName string, tup Tuple) error {
 	}
 	db.mu.Lock()
 	err := db.insertLocked(relName, tup)
+	if db.dur == nil {
+		// In-memory commit point: install the new version while still holding
+		// db.mu. Durable databases publish at WAL-commit time instead, so the
+		// snapshot seq always names an fsynced prefix.
+		db.publishLocked(db.nextPubSeqLocked())
+	}
 	db.mu.Unlock()
 	if err != nil {
 		return err
@@ -505,6 +589,10 @@ func (db *Database) insertLocked(relName string, tup Tuple) error {
 			return err
 		}
 	}
+	// Index insertions mutate maps shared with frozen snapshot views, so they
+	// run under idxMu; the new positions sit at or past every frozen row
+	// count, which the snapshot-side probes filter out.
+	tbl.idxMu.Lock()
 	for _, idx := range tbl.secondary {
 		if nullKey(tup, idx.positions) {
 			continue
@@ -512,16 +600,18 @@ func (db *Database) insertLocked(relName string, tup Tuple) error {
 		k := tup.Key(idx.positions)
 		idx.buckets[k] = append(idx.buckets[k], tbl.rows)
 	}
+	if tbl.pk != nil {
+		tbl.pk[pkKey] = tbl.rows
+	}
+	tbl.idxMu.Unlock()
 	for i := range tbl.cols {
 		tbl.cols[i].appendVal(tup[i], tbl.rows)
 	}
 	tbl.rows++
-	if tbl.pk != nil {
-		tbl.pk[pkKey] = tbl.rows - 1
-	}
 	tbl.stats.add(tup, &tbl.keyBuf)
 	// Zone maps were extended incrementally by appendVal; sorted-dict ranks
 	// rebuild lazily on the next ranked read, so bulk loads stay linear.
+	tbl.dirty = true
 	tbl.invalidate()
 	if db.dur != nil {
 		db.dur.logInsert(r.Name, tup)
@@ -598,6 +688,9 @@ func (db *Database) Delete(relName string, pred func(Tuple) bool) (int, error) {
 	}
 	db.mu.Lock()
 	removed, _, err := db.deleteLocked(relName, func(_ int, tup Tuple) bool { return pred(tup) })
+	if db.dur == nil {
+		db.publishLocked(db.nextPubSeqLocked())
+	}
 	db.mu.Unlock()
 	// Flush even on error: a failed scan may still have removed rows before
 	// the failure, and those are applied state that must reach the log now —
@@ -630,6 +723,10 @@ func (db *Database) deleteLocked(relName string, pred func(int, Tuple) bool) (in
 		if pred(i, scratch) {
 			if dirtyFrom < 0 {
 				dirtyFrom = i
+				// First in-place mutation of a possibly-shared table: unshare
+				// the vectors so frozen snapshot readers keep the originals.
+				// A zero-match delete never pays for the clone.
+				tbl.prepareMutate()
 			}
 			positions = append(positions, i)
 			tbl.stats.remove(scratch, &tbl.keyBuf)
@@ -652,6 +749,7 @@ func (db *Database) deleteLocked(relName string, pred func(int, Tuple) bool) (in
 	tbl.rebuildIndexes()
 	tbl.finishWrite(dirtyFrom)
 	tbl.fixStatBounds() // after finishWrite: minMax folds the fresh zones
+	tbl.dirty = true
 	tbl.invalidate()
 	if db.dur != nil && len(positions) > 0 {
 		db.dur.logDelete(tbl.rel.Name, positions)
@@ -668,6 +766,9 @@ func (db *Database) Update(relName string, pred func(Tuple) bool, fn func(Tuple)
 	}
 	db.mu.Lock()
 	updated, err := db.updateLocked(relName, func(_ int, tup Tuple) bool { return pred(tup) }, fn)
+	if db.dur == nil {
+		db.publishLocked(db.nextPubSeqLocked())
+	}
 	db.mu.Unlock()
 	// Flush even on error: rows updated before a mid-scan constraint failure
 	// are applied state and must reach the log at this statement boundary.
@@ -696,6 +797,7 @@ func (db *Database) updateLocked(relName string, pred func(int, Tuple) bool, fn 
 		tbl.rebuildIndexes()
 		tbl.finishWrite(dirtyFrom)
 		tbl.fixStatBounds() // after finishWrite: minMax folds the fresh zones
+		tbl.dirty = true
 		tbl.invalidate()
 		if db.dur != nil && len(changed) > 0 {
 			db.dur.logUpdate(tbl.rel.Name, changed)
@@ -728,6 +830,9 @@ func (db *Database) updateLocked(relName string, pred func(int, Tuple) bool, fn 
 		}
 		if dirtyFrom < 0 {
 			dirtyFrom = i
+			// First overwrite of a possibly-shared table: unshare the vectors
+			// so frozen snapshot readers keep the originals.
+			tbl.prepareMutate()
 		}
 		for j := range tbl.cols {
 			tbl.cols[j].setVal(i, repl[j])
@@ -740,24 +845,43 @@ func (db *Database) updateLocked(relName string, pred func(int, Tuple) bool, fn 
 	return updated, nil
 }
 
+// rebuildIndexes rebuilds the primary-key map and every secondary index after
+// rows moved (DELETE compaction, UPDATE key changes). It builds fresh maps
+// and swaps them in under idxMu: frozen snapshot views keep the previous —
+// now immutable — maps, whose positions still describe the frozen row layout
+// that the frozen vectors hold.
 func (t *Table) rebuildIndexes() {
+	var pk map[string]int
 	if t.pk != nil {
-		t.pk = make(map[string]int, t.rows)
+		pk = make(map[string]int, t.rows)
 		for pos := 0; pos < t.rows; pos++ {
 			t.keyBuf = t.appendKeyAt(t.keyBuf[:0], pos, t.pkPos)
-			t.pk[string(t.keyBuf)] = pos
+			pk[string(t.keyBuf)] = pos
 		}
 	}
-	for _, idx := range t.secondary {
-		idx.buckets = make(map[string][]int, t.rows)
-		for pos := 0; pos < t.rows; pos++ {
-			if t.nullKeyAt(pos, idx.positions) {
-				continue
+	var secondary map[string]*hashIndex
+	if len(t.secondary) > 0 {
+		secondary = make(map[string]*hashIndex, len(t.secondary))
+		for name, idx := range t.secondary {
+			fresh := &hashIndex{positions: idx.positions, buckets: make(map[string][]int, t.rows)}
+			for pos := 0; pos < t.rows; pos++ {
+				if t.nullKeyAt(pos, fresh.positions) {
+					continue
+				}
+				t.keyBuf = t.appendKeyAt(t.keyBuf[:0], pos, fresh.positions)
+				fresh.buckets[string(t.keyBuf)] = append(fresh.buckets[string(t.keyBuf)], pos)
 			}
-			t.keyBuf = t.appendKeyAt(t.keyBuf[:0], pos, idx.positions)
-			idx.buckets[string(t.keyBuf)] = append(idx.buckets[string(t.keyBuf)], pos)
+			secondary[name] = fresh
 		}
 	}
+	t.idxMu.Lock()
+	if pk != nil {
+		t.pk = pk
+	}
+	if secondary != nil {
+		t.secondary = secondary
+	}
+	t.idxMu.Unlock()
 }
 
 // LoadCSV bulk-loads a relation from CSV with a header row naming the
@@ -823,6 +947,9 @@ func (db *Database) LoadCSV(relName string, r io.Reader) (int, error) {
 			return 0, fmt.Errorf("storage: %s row %d: %v", relName, n+1, err)
 		}
 	}
+	if db.dur == nil {
+		db.publishLocked(db.nextPubSeqLocked())
+	}
 	db.mu.Unlock()
 	if err := db.CommitBatch(); err != nil {
 		return 0, err
@@ -851,6 +978,7 @@ func (db *Database) rollbackSuffixLocked(tbl *Table, start int) {
 	tbl.rebuildIndexes()
 	tbl.finishWrite(start)
 	tbl.fixStatBounds()
+	tbl.dirty = true
 	tbl.invalidate()
 }
 

@@ -40,7 +40,9 @@ const (
 	// morsel-parallel scans and zone maps always agree on the unit.
 	ZoneRows = 1 << ZoneShift
 
-	zoneMask = ZoneRows - 1
+	// ZoneMask extracts a row's offset within its zone; the engine indexes
+	// frame-of-reference delta chunks with d8[i>>ZoneShift][i&ZoneMask].
+	ZoneMask = ZoneRows - 1
 )
 
 // zone summarizes rows [z*ZoneRows, (z+1)*ZoneRows) of one column. Bounds
@@ -70,6 +72,8 @@ func (c *column) zoneExtend(row int) {
 		c.zones = append(c.zones, zone{lastRow: -1})
 		if !c.forOff {
 			c.fb = append(c.fb, 0)
+			c.d8 = append(c.d8, nil)
+			c.d8Cow = false // a fresh chunk is writer-private
 		}
 	}
 	c.zrows = row + 1
@@ -77,7 +81,7 @@ func (c *column) zoneExtend(row int) {
 	if c.nulls.get(row) {
 		zn.nulls++
 		if !c.forOff {
-			c.d8 = append(c.d8, 0) // placeholder; never read for NULL rows
+			c.d8[z] = append(c.d8[z], 0) // placeholder; never read for NULL rows
 		}
 		return
 	}
@@ -89,7 +93,7 @@ func (c *column) zoneExtend(row int) {
 			zn.minI, zn.maxI = x, x
 			if !c.forOff {
 				c.fb[z] = x
-				c.d8 = append(c.d8, 0)
+				c.d8[z] = append(c.d8[z], 0)
 			}
 		} else {
 			if x < c.ints[zn.lastRow] {
@@ -168,10 +172,12 @@ func (c *column) zoneExtend(row int) {
 // forAppend extends the frame-of-reference deltas with x. The base is
 // maintained as the zone minimum: a value below it rebases the zone's deltas
 // (bounded by the zone size), a span past a byte drops the encoding for good.
+// A rebase is the only in-place chunk mutation, so it is the one spot that
+// honors the copy-on-write flag a snapshot freeze leaves behind.
 func (c *column) forAppend(z, row int, x int64) {
 	base := c.fb[z]
 	if d := x - base; d >= 0 && d <= 255 {
-		c.d8 = append(c.d8, uint8(d))
+		c.d8[z] = append(c.d8[z], uint8(d))
 		return
 	}
 	zn := &c.zones[z]
@@ -180,13 +186,20 @@ func (c *column) forAppend(z, row int, x int64) {
 		c.forDrop()
 		return
 	}
+	if c.d8Cow {
+		// The chunk is shared with a frozen snapshot (which also keeps its own
+		// copy of the old base); shift a private clone instead.
+		c.d8[z] = append([]uint8(nil), c.d8[z]...)
+		c.d8Cow = false
+	}
 	// x became the new minimum: shift the zone's deltas onto the new base.
 	shift := uint8(base - zn.minI)
-	for i := z << ZoneShift; i < row; i++ {
-		c.d8[i] += shift // NULL placeholders shift too; they are never read
+	chunk := c.d8[z]
+	for i := range chunk {
+		chunk[i] += shift // NULL placeholders shift too; they are never read
 	}
 	c.fb[z] = zn.minI
-	c.d8 = append(c.d8, uint8(x-zn.minI))
+	c.d8[z] = append(chunk, uint8(x-zn.minI))
 }
 
 func (c *column) forDrop() {
@@ -206,7 +219,8 @@ func (c *column) rebuildZonesFrom(row, n int) {
 	c.zrows = z0 << ZoneShift
 	if !c.forOff {
 		c.fb = c.fb[:z0]
-		c.d8 = c.d8[:c.zrows]
+		c.d8 = c.d8[:z0]
+		c.d8Cow = false // the partial chunk was dropped; re-extension allocates fresh
 	}
 	for r := c.zrows; r < n; r++ {
 		c.zoneExtend(r)
@@ -342,7 +356,9 @@ func (c *column) maybeCompactDict() {
 	code := make(map[string]uint32, d.live)
 	for old, s := range d.strs {
 		if d.refs[old] <= 0 {
-			delete(d.code, s)
+			// Dead entries are simply left out of the fresh map — the old map
+			// is never mutated, because frozen snapshots may still read it
+			// (their rows legitimately hold codes the live table dropped).
 			continue
 		}
 		nc := uint32(len(strs))
@@ -358,7 +374,10 @@ func (c *column) maybeCompactDict() {
 			c.codes[i] = remap[c.codes[i]]
 		}
 	}
-	d.strs, d.refs, d.code = strs, refs, code
+	d.strs, d.refs = strs, refs
+	d.codeMu.Lock()
+	d.code = code
+	d.codeMu.Unlock()
 	if d.ranked {
 		d.rankStale.Store(true)
 	}
@@ -395,7 +414,12 @@ func (t *Table) finishWrite(dirtyFrom int) {
 		if dirtyFrom >= 0 {
 			c.rebuildZonesFrom(dirtyFrom, t.rows)
 		}
-		c.maybeCompactDict()
+		if !t.shared {
+			// Compaction remaps the code vector in place, so it may only run
+			// when prepareMutate has unshared it from every snapshot. The
+			// rollback path skips it; the next delete/update compacts instead.
+			c.maybeCompactDict()
+		}
 	}
 }
 
@@ -404,6 +428,13 @@ func (t *Table) finishWrite(dirtyFrom int) {
 // range and LIKE-prefix predicates compare integer ranks. The tables are
 // rebuilt at write completion whenever the vocabulary changed.
 func (db *Database) EnableSortedDict(relName, attr string) error {
+	if d := db.dur; d != nil {
+		// Serialize against commits so the re-publish below cannot interleave
+		// with a commit's freeze/install window (lock order: durability.mu
+		// before db.mu).
+		d.mu.Lock()
+		defer d.mu.Unlock()
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	tbl := db.tables[strings.ToLower(relName)]
@@ -421,6 +452,11 @@ func (db *Database) EnableSortedDict(relName, attr string) error {
 	if !c.dict.ranked {
 		c.dict.ranked = true
 		c.dict.buildRanks()
+		// Re-publish at the same sequence: results are identical, but the
+		// current snapshot's frozen dictionary must carry the ranked flag so
+		// snapshot readers get the rank-compare fast path too.
+		tbl.dirty = true
+		db.publishLocked(db.pubSeq)
 	}
 	return nil
 }
@@ -429,27 +465,28 @@ func (db *Database) EnableSortedDict(relName, attr string) error {
 // Read-side accessors (Col)
 // ---------------------------------------------------------------------------
 
-// ZoneCount returns the number of zones currently summarizing the column.
-func (c Col) ZoneCount() int { return len(c.c.zones) }
+// ZoneCount returns the number of zones currently summarizing the column
+// (including a frozen column's private boundary-zone copy).
+func (c Col) ZoneCount() int { return c.c.zoneCount() }
 
 // ZonesSynced reports whether the zones cover exactly n rows — the guard the
 // engine checks once per scan before trusting zone verdicts.
 func (c Col) ZonesSynced(n int) bool { return c.c.zrows == n }
 
 // ZoneNulls returns the NULL count of zone z.
-func (c Col) ZoneNulls(z int) int { return int(c.c.zones[z].nulls) }
+func (c Col) ZoneNulls(z int) int { return int(c.c.zoneAt(z).nulls) }
 
 // ZoneSorted reports whether zone z's bounded values are non-decreasing.
-func (c Col) ZoneSorted(z int) bool { return c.c.zones[z].sorted }
+func (c Col) ZoneSorted(z int) bool { return c.c.zoneAt(z).sorted }
 
 // ZoneHasNaN reports whether zone z holds any NaN (floats only): its bounds
 // cover the comparable values but cannot decide predicates wholesale.
-func (c Col) ZoneHasNaN(z int) bool { return c.c.zones[z].hasNaN }
+func (c Col) ZoneHasNaN(z int) bool { return c.c.zoneAt(z).hasNaN }
 
 // ZoneIntBounds returns zone z's Int/Date (or Bool, as 0/1) bounds; ok is
 // false when the zone holds no bounded value.
 func (c Col) ZoneIntBounds(z int) (lo, hi int64, ok bool) {
-	zn := &c.c.zones[z]
+	zn := c.c.zoneAt(z)
 	return zn.minI, zn.maxI, zn.has
 }
 
@@ -457,22 +494,23 @@ func (c Col) ZoneIntBounds(z int) (lo, hi int64, ok bool) {
 // ok is false when the zone holds no bounded value. Callers must also check
 // ZoneHasNaN before treating the bounds as covering every row.
 func (c Col) ZoneFloatBounds(z int) (lo, hi float64, ok bool) {
-	zn := &c.c.zones[z]
+	zn := c.c.zoneAt(z)
 	return zn.minF, zn.maxF, zn.has
 }
 
 // ZoneTextBounds returns zone z's Text bounds (shared dictionary strings); ok
 // is false when the zone holds no bounded value.
 func (c Col) ZoneTextBounds(z int) (lo, hi string, ok bool) {
-	zn := &c.c.zones[z]
+	zn := c.c.zoneAt(z)
 	return zn.minS, zn.maxS, zn.has
 }
 
 // FORInts exposes the frame-of-reference encoding of an Int/Date column: one
-// base per zone and one byte delta per row (value = base[i>>ZoneShift] +
-// delta[i]). ok is false when any zone's span overflowed a byte.
-func (c Col) FORInts() (base []int64, delta []uint8, ok bool) {
-	if c.c.forOff || len(c.c.d8) != c.c.zrows {
+// base per zone and one ZoneRows-sized chunk of byte deltas per zone
+// (value = base[i>>ZoneShift] + delta[i>>ZoneShift][i&ZoneMask]). ok is false
+// when any zone's span overflowed a byte.
+func (c Col) FORInts() (base []int64, delta [][]uint8, ok bool) {
+	if c.c.forOff || c.c.d8Rows() != c.c.zrows {
 		return nil, nil, false
 	}
 	return c.c.fb, c.c.d8, true

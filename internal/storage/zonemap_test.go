@@ -196,7 +196,7 @@ func checkZones(t *testing.T, tbl *Table) {
 				if col.Null(i) {
 					continue
 				}
-				if got := base[i>>ZoneShift] + int64(d8[i]); got != col.Ints()[i] {
+				if got := base[i>>ZoneShift] + int64(d8[i>>ZoneShift][i&ZoneMask]); got != col.Ints()[i] {
 					t.Fatalf("col %d row %d: FOR decodes %d, payload %d", p, i, got, col.Ints()[i])
 				}
 			}

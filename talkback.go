@@ -135,28 +135,45 @@
 // sentences. Every Ask response also records the fingerprint of the plan
 // that produced it — including responses served from the cache.
 //
-// # Concurrency guarantees
+// # Concurrency guarantees — MVCC snapshot reads
 //
-// A System is safe for concurrent use by many sessions. All read
-// operations — Ask with SELECT statements, DescribeQuery, QueryGraph,
+// A System is safe for concurrent use by many sessions, and reads never
+// wait on writers. The storage layer is multi-versioned: each table is an
+// immutable prefix of sealed 4096-row zones plus one mutable boundary
+// zone, and every commit freezes the tables it touched into a new
+// immutable version — column views share the sealed prefix, the boundary
+// state is privately copied, and in-place mutations of frozen rows
+// copy-on-write first — installed with a single atomic pointer store (on
+// a durable database, only after the WAL fsync, so a version always names
+// an acknowledged durable prefix of the log). Every read operation — Ask
+// with SELECT or EXPLAIN statements, DescribeQuery, QueryGraph,
 // DescribeEntity, DescribeDatabase, DescribeSchema, DescribeStatistics —
-// may run freely in parallel: schema metadata and translators are
-// immutable after construction, the engine's view registry and the
-// profile registry are lock-protected, and System.Profile swaps in a
-// personalized translator clone instead of mutating the shared one (use
-// DescribeEntityAs / DescribeDatabaseAs for per-session personalization).
-// Repeated SELECTs are answered from sharded LRU caches keyed on
-// normalized SQL; cached Translations, query graphs, and Responses are
-// shared across sessions and must be treated as read-only. The response
-// cache is generation-stamped: DML executed through Ask invalidates it
-// automatically, while writes that bypass Ask (direct engine or storage
-// calls) must be followed by System.InvalidateResults. DML submitted
-// through Ask is serialized against the System's own readers by an
-// internal reader/writer lock; writes that bypass the System must not run
-// concurrently with readers of the same tables (the storage contract).
-// Large joins and scans fan out across
-// GOMAXPROCS workers with deterministic output order; Engine.SetParallelism
-// caps or disables the fan-out.
+// pins the published version on entry and runs its whole pipeline
+// (planning with snapshot-local statistics, vectorized execution,
+// narration, empty/large-answer diagnosis) against those frozen tables
+// without taking any lock, so a long DML batch or a running checkpoint
+// cannot block it and can never change what it sees mid-query. EXPLAIN
+// narrates the fact: "Answered from snapshot @41 while two writers
+// committed without blocking this read."
+//
+// Schema metadata and translators are immutable after construction, the
+// engine's view registry and the profile registry are lock-protected, and
+// System.Profile swaps in a personalized translator clone instead of
+// mutating the shared one (use DescribeEntityAs / DescribeDatabaseAs for
+// per-session personalization). Repeated SELECTs are answered from
+// sharded LRU caches keyed on normalized SQL; cached Translations, query
+// graphs, and Responses are shared across sessions and must be treated as
+// read-only. The response cache key carries the snapshot sequence —
+// sequences only grow, so an answer recorded under one version is
+// unreachable under any other — plus a generation stamp for writes that
+// bypass Ask (direct engine or storage calls), which must be followed by
+// System.InvalidateResults. DML submitted through Ask is serialized
+// against other System DML by an internal writer lock; it does not
+// exclude readers. System.DrainReaders waits out in-flight snapshot reads
+// (talkbackd calls it between the HTTP drain and the final checkpoint).
+// Large joins and scans fan out across GOMAXPROCS workers with
+// deterministic output order; Engine.SetParallelism caps or disables the
+// fan-out.
 //
 // # Durability
 //
