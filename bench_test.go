@@ -7,10 +7,13 @@
 package talkback_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	talkback "repro"
 	"repro/internal/catalog"
@@ -1026,11 +1029,100 @@ func BenchmarkX18SnapshotReadDuringWrite(b *testing.B) {
 		b.StopTimer()
 		close(reqs)
 		wg.Wait()
-		_, completed := sys.ReaderStats()
+		_, completed, _ := sys.ReaderStats()
 		if completed < uint64(b.N) {
 			b.Fatalf("reader counter undercounts: %d < %d", completed, b.N)
 		}
 		b.ReportMetric(float64(during)/float64(b.N)*100, "%reads-during-commit")
+	})
+}
+
+// BenchmarkX19OverloadShed measures what overload costs the victims: with a
+// 1-query admission limit held by a writer wedged in an injected slow fsync
+// (FaultFS delays every WAL sync by 200ms), each op is one request hitting
+// the full valve — instant shed, OverloadError, narrated answer. The op must
+// return in microseconds even though the admitted query is stalled in disk
+// I/O for five orders of magnitude longer: shedding is gated on the valve,
+// never on the stalled disk. Every op asserts its latency stayed under the
+// 100ms request deadline; the max observed shed latency is reported as a
+// metric.
+//
+// Allocation gating: the shed path (context timer, valve bookkeeping, error,
+// narration) is deterministic and gated in cmd/benchgate/ceilings.json. Time
+// is not gated, per the bench-host discipline.
+func BenchmarkX19OverloadShed(b *testing.B) {
+	b.Run("instant-shed", func(b *testing.B) {
+		ffs := wal.NewFaultFS(wal.NewMemFS())
+		db, err := dataset.CuratedMovieDB()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys, _, err := core.NewDurable(db, ffs, storage.DurableOptions{CheckpointBytes: -1}, core.MovieConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ffs.DelaySyncs(200 * time.Millisecond)
+		adm := core.NewAdmission(1, 0)
+
+		// The admitted query: holds the single execution slot for the whole
+		// benchmark, each of its commits wedged in the delayed fsync.
+		release, err := adm.Acquire(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer release()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := sys.Ask(fmt.Sprintf(
+					"insert into ACTOR (id, name) values (%d, 'x19 stalled writer')", 2_000_000+i)); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+
+		const deadline = 100 * time.Millisecond
+		var maxShed time.Duration
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctx, cancel := context.WithTimeout(context.Background(), deadline)
+			start := time.Now()
+			rel, err := adm.Acquire(ctx)
+			elapsed := time.Since(start)
+			cancel()
+			if err == nil {
+				rel()
+				b.Fatal("request admitted past a full valve")
+			}
+			var ov *core.OverloadError
+			if !errors.As(err, &ov) {
+				b.Fatalf("shed returned %v, want OverloadError", err)
+			}
+			if ans := querytotext.OverloadEnglish(ov.Running, ov.Waiting, ov.Limit, ov.Waited, ov.TimedOut); ans == "" {
+				b.Fatal("empty shed narration")
+			}
+			if elapsed >= deadline {
+				b.Fatalf("shed request held %v, deadline %v — shedding is gated on the stalled disk", elapsed, deadline)
+			}
+			if elapsed > maxShed {
+				maxShed = elapsed
+			}
+		}
+		b.StopTimer()
+		close(stop)
+		wg.Wait()
+		ffs.ClearFaults()
+		b.ReportMetric(float64(maxShed.Nanoseconds()), "max-shed-ns")
 	})
 }
 

@@ -39,6 +39,39 @@
 //	                    An empty DIR is seeded (curated or -scale generated)
 //	                    and adopted; a DIR with existing state is recovered
 //	                    (checkpoint + WAL replay) and -scale is ignored.
+//	-deadline D         per-request execution deadline (default 10s)
+//	-max-concurrent N   queries executing at once (default 8)
+//	-queue N            admission wait-queue depth (default 16)
+//	-max-body N         request body cap in bytes (default 1 MiB)
+//	-max-sessions N     bound on the session-profile registry (default 4096)
+//
+// # Overload & cancellation
+//
+// Every query endpoint (/ask, /describe, /explain, /entity) runs under a
+// request budget and an admission valve. The budget is the -deadline (and
+// any client cancellation): execution loops poll it cooperatively at morsel
+// boundaries, so a query that runs long is stopped mid-scan, its snapshot
+// pin released, and the refusal narrated in English — the server talks back
+// even when it says no. A cancelled DML statement either commits whole
+// through the WAL or leaves no trace; it is never half-applied. The valve
+// admits -max-concurrent queries with -queue more waiting: a request that
+// finds both full is shed instantly with 429, one whose deadline fires while
+// queued gets 504, and both carry a narrated "answer" explaining the load:
+//
+//	$ curl -si localhost:8080/ask -d '{"sql":"select * from MOVIES"}'
+//	HTTP/1.1 429 Too Many Requests
+//	Retry-After: 1
+//	{
+//	  "error": "server overloaded: request shed, admission queue full",
+//	  "answer": "I turned this request away before running it — there are
+//	             eight queries already running against a limit of 8, and the
+//	             wait queue is full. Please retry in a moment."
+//	}
+//
+// A query stopped mid-execution answers in the same voice, e.g. "I stopped
+// this query after 2.0s — it ran past the request deadline — it had scanned
+// 3.1 million of 12 million rows. Narrow the predicate or raise the deadline
+// and ask again." GET /stats reports the valve under "admission".
 //
 // Durability: with -data, every DML statement is fsynced to the write-ahead
 // log before /ask acknowledges it. The server shuts down gracefully on
@@ -66,15 +99,22 @@ import (
 	talkback "repro"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/querytotext"
 	"repro/internal/storage"
 	"repro/internal/value"
 	"repro/internal/wal"
 )
 
-// server wraps one shared System plus the per-session profile registry.
+// server wraps one shared System plus the per-session profile registry and
+// the request-shaping knobs: the admission valve, the per-request deadline,
+// and the body/session caps.
 type server struct {
-	sys *core.System
+	sys         *core.System
+	adm         *core.Admission
+	deadline    time.Duration
+	maxBody     int64
+	maxSessions int
 
 	mu       sync.RWMutex
 	sessions map[string]string // session id -> profile name
@@ -85,6 +125,11 @@ func main() {
 	schema := flag.String("schema", "movie", "schema: movie or emp")
 	scale := flag.Int("scale", 0, "serve a generated movie DB with this many movies (0 = curated)")
 	dataDir := flag.String("data", "", "durable data directory (empty = in-memory only)")
+	deadline := flag.Duration("deadline", 10*time.Second, "per-request execution deadline")
+	maxConcurrent := flag.Int("max-concurrent", 8, "queries executing at once before requests queue")
+	queueDepth := flag.Int("queue", 16, "admission wait-queue depth before requests shed")
+	maxBody := flag.Int64("max-body", 1<<20, "request body cap in bytes")
+	maxSessions := flag.Int("max-sessions", 4096, "bound on the session-profile registry")
 	flag.Parse()
 
 	sys, err := buildSystem(*schema, *scale, *dataDir)
@@ -92,13 +137,20 @@ func main() {
 		log.Fatalf("building system: %v", err)
 	}
 
-	s := &server{sys: sys, sessions: make(map[string]string)}
+	s := &server{
+		sys:         sys,
+		adm:         core.NewAdmission(*maxConcurrent, *queueDepth),
+		deadline:    *deadline,
+		maxBody:     *maxBody,
+		maxSessions: *maxSessions,
+		sessions:    make(map[string]string),
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /ask", s.handleAsk)
-	mux.HandleFunc("POST /describe", s.handleDescribe)
-	mux.HandleFunc("POST /explain", s.handleExplain)
+	mux.HandleFunc("POST /ask", s.guard(s.handleAsk))
+	mux.HandleFunc("POST /describe", s.guard(s.handleDescribe))
+	mux.HandleFunc("POST /explain", s.guard(s.handleExplain))
 	mux.HandleFunc("GET /schema", s.handleSchema)
-	mux.HandleFunc("GET /entity", s.handleEntity)
+	mux.HandleFunc("GET /entity", s.guard(s.handleEntity))
 	mux.HandleFunc("POST /session", s.handleSession)
 	mux.HandleFunc("GET /stats", s.handleStats)
 
@@ -138,8 +190,8 @@ func main() {
 	// checkpoint run, so no query is abandoned mid-pipeline even if its
 	// connection was already hijacked or timed out.
 	sys.DrainReaders()
-	if inFlight, completed := sys.ReaderStats(); inFlight == 0 {
-		log.Printf("snapshot readers drained (%d reads served this run)", completed)
+	if inFlight, completed, cancelled := sys.ReaderStats(); inFlight == 0 {
+		log.Printf("snapshot readers drained (%d reads served, %d cancelled this run)", completed, cancelled)
 	}
 	if sys.Database().Durable() {
 		if err := sys.Checkpoint(); err != nil {
@@ -235,6 +287,69 @@ func recoverJSON(next http.Handler) http.Handler {
 	})
 }
 
+// guard wraps a query-serving handler with the request budget and the
+// admission valve. The budget is the -deadline joined to the client's own
+// cancellation (r.Context()); the valve sheds requests the server has no
+// room for before they pin a snapshot or plan anything. Shed requests and
+// queue-wait timeouts answer in English like everything else.
+func (s *server) guard(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.deadline)
+		defer cancel()
+		release, err := s.adm.Acquire(ctx)
+		if err != nil {
+			var ov *core.OverloadError
+			if errors.As(err, &ov) {
+				s.shed(w, ov)
+				return
+			}
+			httpError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		defer release()
+		h(w, r.WithContext(ctx))
+	}
+}
+
+// shed answers an admission refusal: 429 for an instant shed (queue full),
+// 504 for a request whose deadline expired while queued. Both narrate the
+// load in the same voice as query answers.
+func (s *server) shed(w http.ResponseWriter, ov *core.OverloadError) {
+	code := http.StatusTooManyRequests
+	if ov.TimedOut {
+		code = http.StatusGatewayTimeout
+	} else {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSONStatus(w, code, map[string]string{
+		"error":  ov.Error(),
+		"answer": querytotext.OverloadEnglish(ov.Running, ov.Waiting, ov.Limit, ov.Waited, ov.TimedOut),
+	})
+}
+
+// queryError answers a failed query. Budget cancellations — deadline, client
+// cancel, quota, WAL stall — get their own status codes and a narrated
+// answer saying how far the query got; everything else stays a plain 400.
+func (s *server) queryError(w http.ResponseWriter, err error) {
+	var ce *engine.CancelError
+	if !errors.As(err, &ce) {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.adm.NoteCancelled()
+	code := http.StatusGatewayTimeout
+	switch ce.Cause {
+	case engine.CauseRowQuota, engine.CauseMemQuota:
+		code = http.StatusBadRequest
+	case engine.CauseWALStall:
+		code = http.StatusServiceUnavailable
+	}
+	writeJSONStatus(w, code, map[string]string{
+		"error":  err.Error(),
+		"answer": querytotext.CancelEnglish(ce),
+	})
+}
+
 // askRequest is the body of POST /ask and POST /describe. Query responses
 // are not profile-sensitive, so there is no session field here; sessions
 // personalize the narration endpoints (GET /entity).
@@ -268,12 +383,12 @@ type askResponse struct {
 
 func (s *server) handleAsk(w http.ResponseWriter, r *http.Request) {
 	var req askRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	resp, err := s.sys.Ask(req.SQL)
+	resp, err := s.sys.AskContext(r.Context(), req.SQL)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.queryError(w, err)
 		return
 	}
 	out := askResponse{
@@ -305,7 +420,7 @@ func (s *server) handleAsk(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleDescribe(w http.ResponseWriter, r *http.Request) {
 	var req askRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	tr, err := s.sys.DescribeQuery(req.SQL)
@@ -318,12 +433,12 @@ func (s *server) handleDescribe(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	var req askRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	diag, err := s.sys.ExplainPlan(req.SQL)
+	diag, err := s.sys.ExplainPlanContext(r.Context(), req.SQL)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.queryError(w, err)
 		return
 	}
 	writeJSON(w, map[string]any{
@@ -362,9 +477,9 @@ func (s *server) handleEntity(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	text, err := s.sys.DescribeEntityAs(s.profileOf(q.Get("session")), rel, attr, v)
+	text, err := s.sys.DescribeEntityAsContext(r.Context(), s.profileOf(q.Get("session")), rel, attr, v)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.queryError(w, err)
 		return
 	}
 	writeJSON(w, map[string]string{"narrative": text})
@@ -378,7 +493,7 @@ type sessionRequest struct {
 
 func (s *server) handleSession(w http.ResponseWriter, r *http.Request) {
 	var req sessionRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if strings.TrimSpace(req.Session) == "" {
@@ -392,6 +507,13 @@ func (s *server) handleSession(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if req.Profile == "" {
 		delete(s.sessions, req.Session)
+	} else if _, known := s.sessions[req.Session]; !known && len(s.sessions) >= s.maxSessions {
+		// The registry is a per-session map fed by unauthenticated input;
+		// without a bound it is an open-ended memory leak.
+		s.mu.Unlock()
+		httpError(w, http.StatusTooManyRequests,
+			fmt.Errorf("session registry is full (%d sessions); retire one before binding another", s.maxSessions))
+		return
 	} else {
 		s.sessions[req.Session] = req.Profile
 	}
@@ -401,10 +523,24 @@ func (s *server) handleSession(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	ss := s.sys.Database().SnapshotStats()
-	inFlight, completed := s.sys.ReaderStats()
+	inFlight, completed, cancelled := s.sys.ReaderStats()
+	as := s.adm.Stats()
 	out := map[string]any{
 		"caches": s.sys.CacheStats(),
 		"tables": s.sys.Database().Stats(),
+		// The overload valve: how many queries are running/queued right now
+		// and how many the server has admitted, shed, timed out in the
+		// queue, or stopped mid-execution since boot.
+		"admission": map[string]any{
+			"limit":     as.Limit,
+			"queue":     as.Queue,
+			"running":   as.Running,
+			"in_queue":  as.Waiting,
+			"admitted":  as.Admitted,
+			"rejected":  as.Rejected,
+			"timed_out": as.TimedOut,
+			"cancelled": as.Cancelled,
+		},
 		// The MVCC shape: how much data sits in immutable sealed zones vs.
 		// mutable tails, which version readers are pinning, and how many
 		// versions writers have published since boot.
@@ -417,6 +553,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"rows":               ss.Rows,
 			"readers_in_flight":  inFlight,
 			"reads_completed":    completed,
+			"reads_cancelled":    cancelled,
 		},
 	}
 	if ds, ok := s.sys.DurabilityStats(); ok {
@@ -473,9 +610,19 @@ func translationOut(tr *talkback.Translation) *translationJSON {
 	}
 }
 
-func decodeBody(w http.ResponseWriter, r *http.Request, into any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+func (s *server) decodeBody(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
 	if err := dec.Decode(into); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			// An oversized body is a client asking too much, not a malformed
+			// request: 413, narrated like every other refusal.
+			writeJSONStatus(w, http.StatusRequestEntityTooLarge, map[string]string{
+				"error":  err.Error(),
+				"answer": querytotext.BodyLimitEnglish(tooBig.Limit),
+			})
+			return false
+		}
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err))
 		return false
 	}
@@ -484,6 +631,17 @@ func decodeBody(w http.ResponseWriter, r *http.Request, into any) bool {
 
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("encoding response: %v", err)
+	}
+}
+
+// writeJSONStatus is writeJSON with a non-200 status line.
+func writeJSONStatus(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/leakcheck"
+	"repro/internal/querytotext"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// pollCancelCtx cancels deterministically after a scripted number of Err()
+// polls — the same device the engine's differential suite uses, here driving
+// the full AskContext pipeline.
+type pollCancelCtx struct {
+	after int64
+	polls atomic.Int64
+	done  chan struct{}
+}
+
+func newPollCancelCtx(after int64) *pollCancelCtx {
+	return &pollCancelCtx{after: after, done: make(chan struct{})}
+}
+
+func (c *pollCancelCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *pollCancelCtx) Done() <-chan struct{}       { return c.done }
+func (c *pollCancelCtx) Value(any) any               { return nil }
+func (c *pollCancelCtx) Err() error {
+	if c.polls.Add(1) > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+func generatedMovieSystem(t *testing.T, movies int) *System {
+	t.Helper()
+	cfg := dataset.DefaultGenConfig()
+	cfg.Movies = movies
+	db, err := dataset.GenerateMovieDB(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysCfg := MovieConfig()
+	sysCfg.DisableCache = true      // every AskContext must really execute
+	sysCfg.LargeThreshold = 1 << 30 // keep feedback probes out of poll counts
+	sys, err := New(db, sysCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestAskContextCancelMidQuery drives a SELECT through AskContext with a
+// context that trips mid-execution: the call must return a narrated
+// *engine.CancelError, count the read as cancelled (not completed), release
+// the snapshot pin, and leave DrainReaders unblocked.
+func TestAskContextCancelMidQuery(t *testing.T) {
+	defer leakcheck.Check(t)()
+	sys := generatedMovieSystem(t, 400)
+	const q = `select m.title, a.name from MOVIES m, CAST c, ACTOR a
+	           where m.id = c.mid and c.aid = a.id and m.year > 1950`
+
+	// Count the query's polls, then cancel halfway.
+	ctr := newPollCancelCtx(1 << 62)
+	if _, err := sys.AskContext(ctr, q); err != nil {
+		t.Fatalf("uncancelled run: %v", err)
+	}
+	polls := ctr.polls.Load()
+	if polls < 2 {
+		t.Fatalf("query polled only %d times; cannot cancel mid-flight", polls)
+	}
+	_, _, cancelledBefore := sys.ReaderStats()
+
+	_, err := sys.AskContext(newPollCancelCtx(polls/2), q)
+	if !engine.IsCancel(err) {
+		t.Fatalf("mid-query cancel returned %v, want CancelError", err)
+	}
+	var ce *engine.CancelError
+	errors.As(err, &ce)
+	if text := querytotext.CancelEnglish(ce); !strings.Contains(text, "I stopped this query") {
+		t.Fatalf("narration: %q", text)
+	}
+
+	inFlight, _, cancelledAfter := sys.ReaderStats()
+	if inFlight != 0 {
+		t.Fatalf("cancelled read still pinned: %d in flight", inFlight)
+	}
+	if cancelledAfter != cancelledBefore+1 {
+		t.Fatalf("reads_cancelled %d, want %d", cancelledAfter, cancelledBefore+1)
+	}
+	// A wedged pin would hang here; returning at all is the assertion.
+	sys.DrainReaders()
+}
+
+// TestAskContextCancelledDMLNoTrace: a DML statement cancelled mid-flight
+// through the full Ask pipeline leaves the database byte-identical to never
+// having run.
+func TestAskContextCancelledDMLNoTrace(t *testing.T) {
+	defer leakcheck.Check(t)()
+	const stmt = `update MOVIES m set year = year + 1 where m.year > 1900`
+
+	// Poll count on a throwaway system.
+	probe := generatedMovieSystem(t, 120)
+	ctr := newPollCancelCtx(1 << 62)
+	if _, err := probe.AskContext(ctr, stmt); err != nil {
+		t.Fatal(err)
+	}
+	polls := ctr.polls.Load()
+
+	sys := generatedMovieSystem(t, 120)
+	before := dumpRel(t, sys, "MOVIES")
+	for p := int64(0); p < polls; p++ {
+		resp, err := sys.AskContext(newPollCancelCtx(p), stmt)
+		if err == nil {
+			// The trip landed after the last poll: the statement must have
+			// applied fully. Put the table back for the next round.
+			if resp.Affected == 0 {
+				t.Fatalf("poll %d: completed update affected nothing", p)
+			}
+			if _, err := sys.Ask(`update MOVIES m set year = year - 1 where m.year > 1900`); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		if !engine.IsCancel(err) {
+			t.Fatalf("poll %d: %v", p, err)
+		}
+		if got := dumpRel(t, sys, "MOVIES"); got != before {
+			t.Fatalf("cancel at poll %d left a trace in MOVIES", p)
+		}
+	}
+}
+
+func dumpRel(t *testing.T, sys *System, rel string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := sys.Database().DumpCSV(rel, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestAskRowQuota: the Config quota alone (no context) bounds a query and
+// the refusal narrates the quota.
+func TestAskRowQuota(t *testing.T) {
+	cfg := dataset.DefaultGenConfig()
+	cfg.Movies = 200
+	db, err := dataset.GenerateMovieDB(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysCfg := MovieConfig()
+	sysCfg.MaxRowsScanned = 50
+	sys, err := New(db, sysCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sys.Ask(`select m.title from MOVIES m where m.year > 1900`)
+	var ce *engine.CancelError
+	if !errors.As(err, &ce) || ce.Cause != engine.CauseRowQuota {
+		t.Fatalf("quota-bounded Ask returned %v, want row-quota CancelError", err)
+	}
+}
+
+// TestAskContextWALStall: a WAL fsync that outlives the request deadline
+// plus the grace window surfaces as a narrated wal-stall cancellation and
+// latches the log against further writes — the record's fate on disk is
+// unknown, so appending past it would risk silent loss.
+func TestAskContextWALStall(t *testing.T) {
+	defer leakcheck.Check(t)()
+	ffs := wal.NewFaultFS(wal.NewMemFS())
+	db, err := dataset.CuratedMovieDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, _, err := NewDurable(db, ffs, storage.DurableOptions{SyncGrace: 20 * time.Millisecond}, MovieConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs.DelaySyncs(400 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = sys.AskContext(ctx, "insert into MOVIES (id, title, year) values (998, 'Stalled', 2026)")
+	var ce *engine.CancelError
+	if !errors.As(err, &ce) || ce.Cause != engine.CauseWALStall {
+		t.Fatalf("stalled commit returned %v, want wal-stall CancelError", err)
+	}
+	// The caller got an answer bounded by deadline + grace, not by the disk.
+	if waited := time.Since(start); waited > 300*time.Millisecond {
+		t.Fatalf("stalled commit held the caller %v", waited)
+	}
+	if text := querytotext.CancelEnglish(ce); !strings.Contains(text, "write-ahead log") {
+		t.Fatalf("narration: %q", text)
+	}
+	var st *storage.StallError
+	if !errors.As(err, &st) {
+		t.Fatalf("CancelError does not wrap the StallError: %v", err)
+	}
+	// Latched: even with the disk healthy again, writes are rejected until
+	// restart, because the stalled record may or may not be on disk.
+	ffs.ClearFaults()
+	if _, err := sys.Ask("insert into MOVIES (id, title, year) values (997, 'After', 2026)"); err == nil {
+		t.Fatal("write accepted after a WAL stall")
+	}
+	// Reads still work.
+	if _, err := sys.Ask("select m.title from MOVIES m where m.id = 1"); err != nil {
+		t.Fatalf("read after stall: %v", err)
+	}
+}
+
+// TestAskContextSlowSyncWithinGrace: a sync slower than the deadline but
+// inside the grace window commits normally — an expired request deadline
+// alone must never latch the log or tear a statement that already applied.
+func TestAskContextSlowSyncWithinGrace(t *testing.T) {
+	defer leakcheck.Check(t)()
+	ffs := wal.NewFaultFS(wal.NewMemFS())
+	db, err := dataset.CuratedMovieDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, _, err := NewDurable(db, ffs, storage.DurableOptions{SyncGrace: 5 * time.Second}, MovieConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs.DelaySyncs(300 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	resp, err := sys.AskContext(ctx, "insert into MOVIES (id, title, year) values (996, 'Slow Disk', 2026)")
+	if err != nil {
+		t.Fatalf("slow-but-healthy sync failed the statement: %v", err)
+	}
+	if resp.Affected != 1 {
+		t.Fatalf("affected %d", resp.Affected)
+	}
+	ffs.ClearFaults()
+	// The statement committed whole: visible now and after the WAL latch
+	// check (writes were never rejected).
+	if ans := askCount(t, sys, "select m.title from MOVIES m where m.id = 996"); !strings.Contains(ans, "Slow Disk") {
+		t.Fatalf("committed row missing: %s", ans)
+	}
+	if _, err := sys.Ask("insert into MOVIES (id, title, year) values (995, 'Next', 2026)"); err != nil {
+		t.Fatalf("write after within-grace sync: %v", err)
+	}
+}
+
+// TestAskContextEntryRefusal: a context already dead on arrival is refused
+// before any snapshot is pinned or cache touched.
+func TestAskContextEntryRefusal(t *testing.T) {
+	sys, err := NewMovieSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sys.AskContext(ctx, "select m.title from MOVIES m"); !engine.IsCancel(err) {
+		t.Fatalf("dead-on-arrival context: %v", err)
+	}
+	if inFlight, _, _ := sys.ReaderStats(); inFlight != 0 {
+		t.Fatalf("refused request pinned a read: %d", inFlight)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/catalog"
+	"repro/internal/leakcheck"
 	"repro/internal/sqlparser"
 	"repro/internal/value"
 )
@@ -19,6 +20,7 @@ var movieQueryLabels = []string{"Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7", "Q8", 
 // is the serving layer's safety proof; without -race it still checks that
 // concurrent answers match the serial ones.
 func TestConcurrentSessions(t *testing.T) {
+	defer leakcheck.Check(t)()
 	sys, err := NewMovieSystem()
 	if err != nil {
 		t.Fatal(err)
@@ -123,6 +125,7 @@ func TestConcurrentSessions(t *testing.T) {
 // race-free, and every SELECT must observe a consistent table (each probe
 // actor id is inserted exactly once, so 0 or 1 rows — never garbage).
 func TestConcurrentDMLAndSelect(t *testing.T) {
+	defer leakcheck.Check(t)()
 	sys, err := NewMovieSystem()
 	if err != nil {
 		t.Fatal(err)
@@ -176,6 +179,7 @@ func TestConcurrentDMLAndSelect(t *testing.T) {
 // TestConcurrentCacheStats checks the cache counters add up after a
 // concurrent burst: every Ask is either a hit or a miss, never lost.
 func TestConcurrentCacheStats(t *testing.T) {
+	defer leakcheck.Check(t)()
 	sys, err := NewMovieSystem()
 	if err != nil {
 		t.Fatal(err)

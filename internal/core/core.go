@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -56,6 +57,13 @@ type Config struct {
 	// re-parses and re-translates. Differential tests use this to prove
 	// cached and uncached responses are identical.
 	DisableCache bool
+	// MaxRowsScanned caps the rows one request may examine before it is
+	// cancelled with a narrated quota error (0 = unbounded). Together with
+	// the context passed to AskContext it forms the request budget.
+	MaxRowsScanned int64
+	// MaxBytesScanned caps the approximate bytes one request may
+	// materialize into batches (0 = unbounded).
+	MaxBytesScanned int64
 }
 
 // System is a database that talks back.
@@ -95,10 +103,14 @@ type System struct {
 	execMu sync.Mutex
 
 	// readers counts in-flight snapshot reads; readsDone counts completed
-	// ones. DrainReaders waits on the former during graceful shutdown, and
-	// the benchmark/stats surfaces report both.
-	readers   atomic.Int64
-	readsDone atomic.Uint64
+	// ones and readsCancelled counts reads a budget stopped early.
+	// DrainReaders waits on the former during graceful shutdown, and the
+	// benchmark/stats surfaces report all three. Cancelled reads release
+	// their pin through the same path as completed ones, so a storm of
+	// cancellations can never wedge DrainReaders or a checkpoint.
+	readers        atomic.Int64
+	readsDone      atomic.Uint64
+	readsCancelled atomic.Uint64
 
 	// Caches keyed on normalized SQL. Cached values are shared across
 	// sessions and treated as immutable: the engine never mutates an AST,
@@ -350,8 +362,25 @@ type Response struct {
 
 // Ask runs the complete loop: translate, execute, narrate the answer, and
 // attach feedback for empty or very large answers. EXPLAIN PLAN statements
-// run the query and narrate the executed plan instead of the rows.
+// run the query and narrate the executed plan instead of the rows. Ask has
+// no deadline; AskContext is the bounded form.
 func (s *System) Ask(sql string) (*Response, error) {
+	return s.AskContext(context.Background(), sql)
+}
+
+// AskContext is Ask bounded by a request budget: ctx's deadline and
+// cancellation, plus the Config row/byte quotas, are polled cooperatively at
+// morsel boundaries throughout planning and execution. A tripped budget
+// surfaces as an *engine.CancelError carrying how far the query got; DML it
+// stops either commits whole through the WAL or leaves no trace. A context
+// that can never fire and zero quotas make AskContext byte-identical to Ask.
+func (s *System) AskContext(ctx context.Context, sql string) (resp *Response, err error) {
+	bud := engine.NewBudget(ctx, s.cfg.MaxRowsScanned, s.cfg.MaxBytesScanned)
+	// Requests already abandoned by their caller are refused before pinning
+	// a snapshot or touching any cache.
+	if err := bud.Step(0); err != nil {
+		return nil, err
+	}
 	// Pin the MVCC version first: everything below — the response cache
 	// key, planning, execution, narration, feedback — is answered from
 	// this one immutable snapshot, no matter how many writers commit while
@@ -387,12 +416,12 @@ func (s *System) Ask(sql string) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp := &Response{Verification: verification}
+	resp = &Response{Verification: verification}
 
 	if exp, isExplain := stmt.(*sqlparser.ExplainStmt); isExplain {
 		done := s.beginRead()
-		diag, err := s.explainerAt(snap).ExplainPlan(exp.Query)
-		done()
+		diag, err := s.explainerAt(snap, bud).ExplainPlan(exp.Query)
+		done(engine.IsCancel(err))
 		if err != nil {
 			return nil, err
 		}
@@ -403,14 +432,14 @@ func (s *System) Ask(sql string) (*Response, error) {
 
 	if !isSelect {
 		s.execMu.Lock()
-		_, n, err := s.eng.ExecStatement(stmt)
+		_, n, err := s.eng.WithBudget(bud).ExecStatement(stmt)
 		s.execMu.Unlock()
 		// Invalidate even on error: DML can partially apply before failing
 		// (e.g. a multi-row insert hitting a duplicate key), and cached
 		// SELECTs must not outlive the rows that did land.
 		s.InvalidateResults()
 		if err != nil {
-			return nil, err
+			return nil, bud.WrapWALStall(err)
 		}
 		resp.Affected = n
 		resp.Answer = lexicon.Sentence(fmt.Sprintf("Done; %s affected", lexicon.CountNoun(n, "row")))
@@ -418,8 +447,8 @@ func (s *System) Ask(sql string) (*Response, error) {
 	}
 
 	done := s.beginRead()
-	defer done()
-	eng := s.eng.At(snap)
+	defer func() { done(engine.IsCancel(err)) }()
+	eng := s.eng.At(snap).WithBudget(bud)
 	res, plan, err := eng.SelectExplained(sel)
 	if err != nil {
 		return nil, err
@@ -453,6 +482,17 @@ func (s *System) Ask(sql string) (*Response, error) {
 // English narration and optimization tips — the backbone of the /explain
 // endpoint. sql may be a SELECT or an EXPLAIN [PLAN] SELECT.
 func (s *System) ExplainPlan(sql string) (*explain.PlanDiagnosis, error) {
+	return s.ExplainPlanContext(context.Background(), sql)
+}
+
+// ExplainPlanContext is ExplainPlan bounded by the same request budget as
+// AskContext: the explain's probe executions poll ctx and the Config quotas
+// at morsel boundaries.
+func (s *System) ExplainPlanContext(ctx context.Context, sql string) (diag *explain.PlanDiagnosis, err error) {
+	bud := engine.NewBudget(ctx, s.cfg.MaxRowsScanned, s.cfg.MaxBytesScanned)
+	if err := bud.Step(0); err != nil {
+		return nil, err
+	}
 	stmt, _, err := s.parseCached(sql)
 	if err != nil {
 		return nil, err
@@ -469,8 +509,8 @@ func (s *System) ExplainPlan(sql string) (*explain.PlanDiagnosis, error) {
 	snap := s.db.Snapshot()
 	pinPub := s.db.Published()
 	done := s.beginRead()
-	defer done()
-	diag, err := s.explainerAt(snap).ExplainPlan(sel)
+	defer func() { done(engine.IsCancel(err)) }()
+	diag, err = s.explainerAt(snap, bud).ExplainPlan(sel)
 	if err != nil {
 		return nil, err
 	}
@@ -478,10 +518,11 @@ func (s *System) ExplainPlan(sql string) (*explain.PlanDiagnosis, error) {
 	return diag, nil
 }
 
-// explainerAt builds a transient explainer bound to the pinned snapshot, so
-// its probe re-executions see exactly the version the answer came from.
-func (s *System) explainerAt(snap *storage.Snapshot) *explain.Explainer {
-	return explain.New(s.eng.At(snap), s.queries)
+// explainerAt builds a transient explainer bound to the pinned snapshot and
+// request budget, so its probe re-executions see exactly the version the
+// answer came from and stop when the request does.
+func (s *System) explainerAt(snap *storage.Snapshot, bud *engine.Budget) *explain.Explainer {
+	return explain.New(s.eng.At(snap).WithBudget(bud), s.queries)
 }
 
 // snapshotNarration is the postscript the MVCC layer earns in EXPLAIN
@@ -497,20 +538,27 @@ func (s *System) snapshotNarration(snap *storage.Snapshot, publishedAtPin uint64
 }
 
 // beginRead registers an in-flight snapshot read and returns its completion
-// func. Reads run without any System-level lock; this counter only exists so
-// DrainReaders can hand a quiescent database to the final checkpoint and so
-// the stats surfaces can report reader traffic.
-func (s *System) beginRead() func() {
+// func; cancelled reports whether a budget stopped the read early. Reads run
+// without any System-level lock; this counter only exists so DrainReaders
+// can hand a quiescent database to the final checkpoint and so the stats
+// surfaces can report reader traffic — and distinguish reads that finished
+// from reads the deadline killed.
+func (s *System) beginRead() func(cancelled bool) {
 	s.readers.Add(1)
-	return func() {
+	return func(cancelled bool) {
 		s.readers.Add(-1)
-		s.readsDone.Add(1)
+		if cancelled {
+			s.readsCancelled.Add(1)
+		} else {
+			s.readsDone.Add(1)
+		}
 	}
 }
 
-// ReaderStats reports in-flight and completed snapshot reads.
-func (s *System) ReaderStats() (inFlight int64, completed uint64) {
-	return s.readers.Load(), s.readsDone.Load()
+// ReaderStats reports in-flight, completed, and budget-cancelled snapshot
+// reads.
+func (s *System) ReaderStats() (inFlight int64, completed, cancelled uint64) {
+	return s.readers.Load(), s.readsDone.Load(), s.readsCancelled.Load()
 }
 
 // DrainReaders blocks until every in-flight snapshot read has completed.
@@ -588,7 +636,7 @@ func (s *System) NarrateResult(res *engine.Result) string {
 // block it nor change the entity mid-sentence.
 func (s *System) DescribeEntity(rel, attr string, val value.Value) (string, error) {
 	done := s.beginRead()
-	defer done()
+	defer done(false)
 	return s.DataTranslator().WithSource(s.db.Snapshot()).DescribeEntity(rel, attr, val)
 }
 
@@ -596,7 +644,7 @@ func (s *System) DescribeEntity(rel, attr string, val value.Value) (string, erro
 // one pinned snapshot throughout.
 func (s *System) DescribeDatabase(start string) (string, error) {
 	done := s.beginRead()
-	defer done()
+	defer done(false)
 	return s.DataTranslator().WithSource(s.db.Snapshot()).DescribeDatabase(start)
 }
 
@@ -620,24 +668,45 @@ func (s *System) translatorFor(profile string) (*datatotext.Translator, error) {
 // changing the system-wide default — the per-session personalization path
 // (§2.2). An empty profile name uses the default translator.
 func (s *System) DescribeEntityAs(profile, rel, attr string, val value.Value) (string, error) {
+	return s.DescribeEntityAsContext(context.Background(), profile, rel, attr, val)
+}
+
+// DescribeEntityAsContext is DescribeEntityAs with the request context
+// checked on entry: a request whose deadline already expired (e.g. while
+// queued at admission) is refused before it pins a snapshot. Narration
+// itself runs row loops too short to need mid-flight polling; the serving
+// layer's write timeout bounds it.
+func (s *System) DescribeEntityAsContext(ctx context.Context, profile, rel, attr string, val value.Value) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
 	tr, err := s.translatorFor(profile)
 	if err != nil {
 		return "", err
 	}
 	done := s.beginRead()
-	defer done()
+	defer done(false)
 	return tr.WithSource(s.db.Snapshot()).DescribeEntity(rel, attr, val)
 }
 
 // DescribeDatabaseAs narrates the database under the named profile without
 // changing the system-wide default.
 func (s *System) DescribeDatabaseAs(profile, start string) (string, error) {
+	return s.DescribeDatabaseAsContext(context.Background(), profile, start)
+}
+
+// DescribeDatabaseAsContext is DescribeDatabaseAs with the request context
+// checked on entry (see DescribeEntityAsContext).
+func (s *System) DescribeDatabaseAsContext(ctx context.Context, profile, start string) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
 	tr, err := s.translatorFor(profile)
 	if err != nil {
 		return "", err
 	}
 	done := s.beginRead()
-	defer done()
+	defer done(false)
 	return tr.WithSource(s.db.Snapshot()).DescribeDatabase(start)
 }
 
@@ -682,7 +751,7 @@ func (s *System) DescribeSchema() string {
 // summarized textually".
 func (s *System) DescribeStatistics() string {
 	done := s.beginRead()
-	defer done()
+	defer done(false)
 	snap := s.db.Snapshot()
 	stats := snap.Stats()
 	var sentences []string

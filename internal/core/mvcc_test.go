@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/engine"
+	"repro/internal/leakcheck"
 	"repro/internal/storage"
 	"repro/internal/wal"
 )
@@ -84,6 +85,7 @@ func (sf *stallFile) Sync() error {
 // row is already applied to the live table. Under -race this also proves the
 // lock-free read path is sound against a writer frozen mid-commit.
 func TestReadersCompleteDuringStalledCommit(t *testing.T) {
+	defer leakcheck.Check(t)()
 	fs := newStallFS(wal.NewMemFS())
 	db, err := dataset.CuratedMovieDB()
 	if err != nil {
@@ -108,7 +110,7 @@ func TestReadersCompleteDuringStalledCommit(t *testing.T) {
 
 	// The writer is now provably mid-commit. Every read path must complete
 	// and answer from the last installed version.
-	_, completedBefore := sys.ReaderStats()
+	_, completedBefore, _ := sys.ReaderStats()
 	for i := 0; i < 3; i++ {
 		resp, err := sys.Ask("select a.name from ACTOR a where a.id = 7777")
 		if err != nil {
@@ -125,7 +127,7 @@ func TestReadersCompleteDuringStalledCommit(t *testing.T) {
 		t.Fatalf("describe during commit: %v", err)
 	}
 	_ = sys.DescribeStatistics()
-	if _, completedAfter := sys.ReaderStats(); completedAfter <= completedBefore {
+	if _, completedAfter, _ := sys.ReaderStats(); completedAfter <= completedBefore {
 		t.Fatalf("no reads counted as completed during the stalled commit (%d -> %d)",
 			completedBefore, completedAfter)
 	}
@@ -169,6 +171,7 @@ func renderEngineResult(res *engine.Result) string {
 // the present. Under -race this doubles as the proof that arbitrarily old
 // snapshots are safe against ongoing writes.
 func TestSnapshotDifferentialOracle(t *testing.T) {
+	defer leakcheck.Check(t)()
 	sys, err := NewMovieSystem()
 	if err != nil {
 		t.Fatal(err)
@@ -262,6 +265,7 @@ func TestSnapshotDifferentialOracle(t *testing.T) {
 // while a snapshot read is in flight, and must return promptly once the last
 // one completes.
 func TestDrainReaders(t *testing.T) {
+	defer leakcheck.Check(t)()
 	sys, err := NewMovieSystem()
 	if err != nil {
 		t.Fatal(err)
@@ -270,7 +274,7 @@ func TestDrainReaders(t *testing.T) {
 	done := sys.beginRead()
 	go func() {
 		<-release
-		done()
+		done(false)
 	}()
 
 	drained := make(chan struct{})
@@ -289,7 +293,7 @@ func TestDrainReaders(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("DrainReaders never returned after the last reader finished")
 	}
-	if inFlight, _ := sys.ReaderStats(); inFlight != 0 {
+	if inFlight, _, _ := sys.ReaderStats(); inFlight != 0 {
 		t.Fatalf("readers in flight after drain: %d", inFlight)
 	}
 }

@@ -1,0 +1,251 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/dataset"
+	"repro/internal/leakcheck"
+	"repro/internal/sqlparser"
+	"repro/internal/storage"
+)
+
+// pollCancelCtx is a deterministic cancellation source: its Err() flips to
+// context.Canceled after a scripted number of polls. Budgets poll Err() at
+// every Step, so "cancel after N polls" lands the trip at a precise,
+// repeatable point inside the execution loops — including mid-morsel inside
+// parallel workers, which poll concurrently (the counter is atomic).
+type pollCancelCtx struct {
+	after int64
+	polls atomic.Int64
+	done  chan struct{}
+}
+
+func newPollCancelCtx(after int64) *pollCancelCtx {
+	return &pollCancelCtx{after: after, done: make(chan struct{})}
+}
+
+func (c *pollCancelCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *pollCancelCtx) Done() <-chan struct{}       { return c.done }
+func (c *pollCancelCtx) Value(any) any               { return nil }
+func (c *pollCancelCtx) Err() error {
+	if c.polls.Add(1) > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+// budgetAfter binds ex to a budget that cancels after n polls and returns
+// both. after = 1<<62 never trips and is used to count a query's polls.
+func budgetAfter(ex *Engine, n int64) (*Engine, *pollCancelCtx) {
+	ctx := newPollCancelCtx(n)
+	return ex.WithBudget(budget.New(ctx, 0, 0)), ctx
+}
+
+// cancelTestDB is a generated movie DB big enough to trip the parallel and
+// vectorized paths once thresholds are lowered.
+func cancelTestDB(t testing.TB) *storage.Database {
+	t.Helper()
+	cfg := dataset.DefaultGenConfig()
+	cfg.Movies = 600
+	db, err := dataset.GenerateMovieDB(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestCancelDifferentialRandomPoints is the randomized cancel-point
+// differential: for every corpus query, cancelling at any poll either
+// returns the exact uncancelled answer (the trip came after the last poll)
+// or a *CancelError — never a wrong answer, a partial row set, or a hang.
+// Run with -race this also proves parallel workers racing a mid-morsel trip
+// stay sound.
+func TestCancelDifferentialRandomPoints(t *testing.T) {
+	defer leakcheck.Check(t)()
+	db := cancelTestDB(t)
+
+	oldThreshold := parallelThreshold
+	parallelThreshold = 64
+	defer func() { parallelThreshold = oldThreshold }()
+	oldMorsel := morselRows
+	morselRows = 128
+	defer func() { morselRows = oldMorsel }()
+
+	eng := New(db)
+	rng := rand.New(rand.NewSource(42))
+	for _, q := range parallelCorpus {
+		sel, err := sqlparser.ParseSelect(q)
+		if err != nil {
+			t.Fatalf("parse %s: %v", q, err)
+		}
+		baseline, err := eng.Select(sel)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		baseline = cloneResult(baseline)
+
+		// Count the query's polls with a budget that never trips; also a
+		// differential in itself — an untripped budget must not change rows.
+		counted, ctr := budgetAfter(eng, 1<<62)
+		res, err := counted.Select(sel)
+		if err != nil {
+			t.Fatalf("%s with inert budget: %v", q, err)
+		}
+		sameResult(t, q, baseline, res)
+		polls := ctr.polls.Load()
+		if polls == 0 {
+			t.Fatalf("%s: execution never polled its budget", q)
+		}
+
+		// Random cancel points, plus the edges: first poll and last poll.
+		points := []int64{0, polls - 1}
+		for i := 0; i < 12; i++ {
+			points = append(points, rng.Int63n(polls))
+		}
+		for _, p := range points {
+			bex, _ := budgetAfter(eng, p)
+			res, err := bex.Select(sel)
+			switch {
+			case err == nil:
+				sameResult(t, q, baseline, res)
+			case !IsCancel(err):
+				t.Fatalf("%s cancelled at poll %d/%d: non-cancel error %v", q, p, polls, err)
+			}
+		}
+	}
+}
+
+// TestCancelDMLLossFree is the DML half of the differential: a cancelled
+// INSERT/UPDATE/DELETE must leave the table byte-identical to never having
+// run, and a completed one must be byte-identical to the uncancelled run.
+// Never half of each.
+func TestCancelDMLLossFree(t *testing.T) {
+	defer leakcheck.Check(t)()
+	stmts := []struct{ name, sql, rel string }{
+		{"insert-select", `insert into GENRE (mid, genre) select distinct c.mid, 'cancelled' from CAST c where c.aid < 40`, "GENRE"},
+		{"insert-values", `insert into DIRECTOR (id, name) values (9001, 'A'), (9002, 'B'), (9003, 'C')`, "DIRECTOR"},
+		{"update", `update MOVIES m set year = year + 1 where m.year > 1980`, "MOVIES"},
+		{"delete", `delete from GENRE g where g.genre = 'drama'`, "GENRE"},
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range stmts {
+		t.Run(tc.name, func(t *testing.T) {
+			stmt, err := sqlparser.Parse(tc.sql)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The uncancelled outcome, on its own database.
+			wantDB := cancelTestDB(t)
+			wantEng := New(wantDB)
+			_, wantN, err := wantEng.ExecStatement(stmt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wantN == 0 {
+				t.Fatalf("%s: statement affects no rows; test is vacuous", tc.name)
+			}
+			wantAfter := dumpTable(t, wantDB, tc.rel)
+
+			// Poll count for this statement on a fresh database.
+			countDB := cancelTestDB(t)
+			countEng, ctr := budgetAfter(New(countDB), 1<<62)
+			if _, _, err := countEng.ExecStatement(stmt); err != nil {
+				t.Fatal(err)
+			}
+			polls := ctr.polls.Load()
+			if polls == 0 {
+				t.Fatalf("%s: DML never polled its budget", tc.name)
+			}
+			if got := dumpTable(t, countDB, tc.rel); got != wantAfter {
+				t.Fatalf("%s: inert budget changed the outcome", tc.name)
+			}
+
+			points := []int64{0, polls - 1}
+			for i := 0; i < 8; i++ {
+				points = append(points, rng.Int63n(polls))
+			}
+			for _, p := range points {
+				db := cancelTestDB(t)
+				before := dumpTable(t, db, tc.rel)
+				bex, _ := budgetAfter(New(db), p)
+				_, n, err := bex.ExecStatement(stmt)
+				after := dumpTable(t, db, tc.rel)
+				switch {
+				case err == nil:
+					if n != wantN {
+						t.Fatalf("%s at poll %d: affected %d rows, want %d", tc.name, p, n, wantN)
+					}
+					if after != wantAfter {
+						t.Fatalf("%s at poll %d: completed run diverged from uncancelled outcome", tc.name, p)
+					}
+				case IsCancel(err):
+					if after != before {
+						t.Fatalf("%s cancelled at poll %d/%d: table changed — cancellation left a trace", tc.name, p, polls)
+					}
+				default:
+					t.Fatalf("%s at poll %d: non-cancel error %v", tc.name, p, err)
+				}
+			}
+		})
+	}
+}
+
+func dumpTable(t *testing.T, db *storage.Database, rel string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := db.DumpCSV(rel, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestCancelErrorNarratesProgress pins the error surface: a deadline trip
+// reports cause, elapsed time, and the examined/total row counters the
+// narration layer renders.
+func TestCancelErrorNarratesProgress(t *testing.T) {
+	db := cancelTestDB(t)
+	eng, _ := budgetAfter(New(db), 2)
+	sel, err := sqlparser.ParseSelect(`select m.title from MOVIES m where m.year > 1900`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = eng.Select(sel)
+	if err == nil {
+		t.Fatal("query with a 2-poll budget completed")
+	}
+	ce, ok := err.(*CancelError)
+	if !ok {
+		t.Fatalf("error type %T: %v", err, err)
+	}
+	if ce.Cause != CauseCancelled {
+		t.Fatalf("cause %q, want %q", ce.Cause, CauseCancelled)
+	}
+	if ce.TotalRows == 0 {
+		t.Fatal("cancel error lost the planned total-rows counter")
+	}
+}
+
+// TestRowQuotaTrips pins the quota half of the budget: no context at all,
+// just a rows-examined ceiling.
+func TestRowQuotaTrips(t *testing.T) {
+	db := cancelTestDB(t)
+	eng := New(db).WithBudget(budget.New(context.Background(), 10, 0))
+	sel, err := sqlparser.ParseSelect(`select m.title from MOVIES m where m.year > 1900`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = eng.Select(sel)
+	ce, ok := err.(*CancelError)
+	if !ok {
+		t.Fatalf("error %v (%T), want row-quota CancelError", err, err)
+	}
+	if ce.Cause != CauseRowQuota || ce.Limit != 10 {
+		t.Fatalf("cause %q limit %d, want %q limit 10", ce.Cause, ce.Limit, CauseRowQuota)
+	}
+}

@@ -13,10 +13,21 @@ import (
 // remain in the table (matching the storage layer's partial-apply
 // semantics), and they flush to the log even on the error path — the commit
 // error, if any, outranks none but never masks the statement's own.
+//
+// Cancellation is the exception to partial apply: a budget that trips mid-
+// statement rolls the inserted suffix back and discards the batch's ops, so
+// a cancelled INSERT leaves no trace in memory or in the log. Once every row
+// is applied the statement commits even if the deadline has passed — the
+// loss-free contract is "commits through the WAL or leaves no trace", never
+// half of each.
 func (ex *Engine) execInsert(stmt *sqlparser.InsertStmt) (n int, err error) {
 	ex.db.BeginBatch()
+	batchClosed := false
 	defer func() {
-		if cerr := ex.db.CommitBatch(); cerr != nil && err == nil {
+		if batchClosed {
+			return
+		}
+		if cerr := ex.commitBatch(); cerr != nil && err == nil {
 			err = cerr
 		}
 	}()
@@ -25,6 +36,16 @@ func (ex *Engine) execInsert(stmt *sqlparser.InsertStmt) (n int, err error) {
 		return 0, fmt.Errorf("engine: unknown relation %q", stmt.Relation)
 	}
 	rel := tbl.Relation()
+	start := tbl.Len()
+	// cancelled rolls a tripped statement back: in-memory suffix first, then
+	// the batch's pending log ops. The batch is closed by the discard, so the
+	// deferred commit stays out of the way.
+	cancelled := func(cerr error) (int, error) {
+		ex.db.RollbackInsertSuffix(rel.Name, start)
+		ex.db.DiscardBatch()
+		batchClosed = true
+		return 0, cerr
+	}
 
 	// Map statement columns to attribute positions; default is declaration
 	// order over all attributes.
@@ -62,9 +83,12 @@ func (ex *Engine) execInsert(stmt *sqlparser.InsertStmt) (n int, err error) {
 	if stmt.Query != nil {
 		res, err := ex.execSelect(stmt.Query, nil)
 		if err != nil {
-			return 0, err
+			return 0, err // source SELECT failed or was cancelled: nothing applied yet
 		}
 		for _, row := range res.Rows {
+			if cerr := ex.bud.Tick(n); cerr != nil {
+				return cancelled(cerr)
+			}
 			if err := insertRow(row); err != nil {
 				return n, err
 			}
@@ -73,6 +97,9 @@ func (ex *Engine) execInsert(stmt *sqlparser.InsertStmt) (n int, err error) {
 		return n, nil
 	}
 	for _, row := range stmt.Rows {
+		if cerr := ex.bud.Tick(n); cerr != nil {
+			return cancelled(cerr)
+		}
 		vals := make([]value.Value, len(row))
 		for i, e := range row {
 			v, err := ex.evalExpr(e, &env{}, nil)
@@ -91,10 +118,15 @@ func (ex *Engine) execInsert(stmt *sqlparser.InsertStmt) (n int, err error) {
 
 // execUpdate runs UPDATE ... SET ... WHERE; SET expressions may reference
 // the current tuple. The statement runs as one WAL batch (see execInsert).
+//
+// With a budget bound, the WHERE predicate is evaluated in a cancellable
+// pre-scan before any row mutates: a trip during the scan returns with the
+// table untouched (no trace), and the mutation pass then consults the
+// precomputed mask. Statements past the scan commit whole.
 func (ex *Engine) execUpdate(stmt *sqlparser.UpdateStmt) (n int, err error) {
 	ex.db.BeginBatch()
 	defer func() {
-		if cerr := ex.db.CommitBatch(); cerr != nil && err == nil {
+		if cerr := ex.commitBatch(); cerr != nil && err == nil {
 			err = cerr
 		}
 	}()
@@ -126,6 +158,15 @@ func (ex *Engine) execUpdate(stmt *sqlparser.UpdateStmt) (n int, err error) {
 		}
 		return !v.IsNull() && v.Kind() == value.Bool && v.Bool()
 	}
+	if ex.bud != nil {
+		maskPred, cerr := ex.dmlPrescan(tbl, stmt.Where, alias)
+		if cerr != nil {
+			return 0, cerr
+		}
+		if maskPred != nil {
+			pred = maskPred
+		}
+	}
 	apply := func(tup storage.Tuple) storage.Tuple {
 		en := &env{bindings: []binding{{alias: alias, rel: rel, tuple: tup}}}
 		// Evaluate all RHS before assigning, per SQL simultaneous-update
@@ -152,11 +193,12 @@ func (ex *Engine) execUpdate(stmt *sqlparser.UpdateStmt) (n int, err error) {
 }
 
 // execDelete runs DELETE FROM ... WHERE. The statement runs as one WAL
-// batch (see execInsert).
+// batch (see execInsert); with a budget bound the WHERE predicate runs as a
+// cancellable pre-scan exactly like execUpdate.
 func (ex *Engine) execDelete(stmt *sqlparser.DeleteStmt) (n int, err error) {
 	ex.db.BeginBatch()
 	defer func() {
-		if cerr := ex.db.CommitBatch(); cerr != nil && err == nil {
+		if cerr := ex.commitBatch(); cerr != nil && err == nil {
 			err = cerr
 		}
 	}()
@@ -182,9 +224,62 @@ func (ex *Engine) execDelete(stmt *sqlparser.DeleteStmt) (n int, err error) {
 		}
 		return !v.IsNull() && v.Kind() == value.Bool && v.Bool()
 	}
+	if ex.bud != nil {
+		maskPred, cerr := ex.dmlPrescan(tbl, stmt.Where, alias)
+		if cerr != nil {
+			return 0, cerr
+		}
+		if maskPred != nil {
+			pred = maskPred
+		}
+	}
 	n, err = ex.db.Delete(rel.Name, pred)
 	if evalErr != nil {
 		return n, evalErr
 	}
 	return n, err
+}
+
+// dmlPrescan evaluates where over every row of tbl with cooperative budget
+// polls, before any mutation. It returns a position-counting predicate that
+// replays the decisions during the storage layer's locked scan (the scan
+// visits rows 0..Len-1 in order, calling the predicate exactly once per
+// row), or (nil, nil) when there is no WHERE to pre-evaluate — the trivial
+// all-rows predicate cannot block on expression evaluation. A budget trip
+// or an evaluation error during the pre-scan aborts the statement before it
+// touches a single row.
+//
+// The replay is positionally consistent because engine DML is serialized
+// (core holds execMu) — nothing mutates the table between the pre-scan and
+// the locked scan.
+func (ex *Engine) dmlPrescan(tbl *storage.Table, where sqlparser.Expr, alias string) (func(storage.Tuple) bool, error) {
+	if err := ex.bud.Step(0); err != nil {
+		return nil, err
+	}
+	if where == nil {
+		return nil, nil
+	}
+	rel := tbl.Relation()
+	nrows := tbl.Len()
+	ex.bud.AddTotal(nrows)
+	mask := make([]bool, nrows)
+	scratch := make(storage.Tuple, len(rel.Attributes))
+	for i := 0; i < nrows; i++ {
+		if err := ex.bud.Tick(i); err != nil {
+			return nil, err
+		}
+		tbl.CopyRow(scratch, i)
+		en := &env{bindings: []binding{{alias: alias, rel: rel, tuple: scratch}}}
+		v, err := ex.evalExpr(where, en, nil)
+		if err != nil {
+			return nil, err
+		}
+		mask[i] = !v.IsNull() && v.Kind() == value.Bool && v.Bool()
+	}
+	next := 0
+	return func(storage.Tuple) bool {
+		ok := next < len(mask) && mask[next]
+		next++
+		return ok
+	}, nil
 }

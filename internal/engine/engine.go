@@ -29,6 +29,7 @@ type Engine struct {
 	db  *storage.Database
 	src storage.TableSource
 	st  *engineState
+	bud *Budget // per-request budget; nil = unbounded (see cancel.go)
 }
 
 // engineState is the mutable configuration shared between the root engine
@@ -68,7 +69,7 @@ func New(db *storage.Database) *Engine {
 // clone is cheap (three words) — core pins a snapshot per question and
 // discards the clone after answering.
 func (ex *Engine) At(snap *storage.Snapshot) *Engine {
-	return &Engine{db: ex.db, src: snap, st: ex.st}
+	return &Engine{db: ex.db, src: snap, st: ex.st, bud: ex.bud}
 }
 
 // Source returns the read surface this engine resolves tables through — the
@@ -253,6 +254,9 @@ func (ex *Engine) execSelectBounded(sel *sqlparser.SelectStmt, outer *env, early
 // slot-addressed pipeline; everything else falls back to the environment
 // pipeline, reported as a Fallback plan.
 func (ex *Engine) execSelectExplained(sel *sqlparser.SelectStmt, outer *env, earlyLimit int) (*Result, *planner.Plan, error) {
+	if err := ex.bud.Step(0); err != nil {
+		return nil, nil, err
+	}
 	entries, err := ex.flattenFrom(sel.From)
 	if err != nil {
 		return nil, nil, err
@@ -560,6 +564,10 @@ func conjBound(c sqlparser.Expr, bound map[string]*catalog.Relation, last bool) 
 // hash table over e once and probes it per environment.
 func (ex *Engine) joinStep(envs []*env, e *fromEntry, stepConj []sqlparser.Expr) ([]*env, error) {
 	tuples := e.tuples()
+	ex.bud.AddTotal(len(tuples))
+	if err := ex.bud.Step(0); err != nil {
+		return nil, err
+	}
 
 	// Hash-join fast path: find an equality conjunct linking e to an
 	// already-bound alias.
@@ -634,7 +642,10 @@ func (ex *Engine) joinStep(envs []*env, e *fromEntry, stepConj []sqlparser.Expr)
 		// Probe the (read-only) hash table for a chunk of environments.
 		probeRange := func(lo, hi int) ([]*env, error) {
 			var out []*env
-			for _, base := range envs[lo:hi] {
+			for bi, base := range envs[lo:hi] {
+				if err := ex.bud.Tick(bi); err != nil {
+					return nil, err
+				}
 				pv, err := ex.evalExpr(probeExpr, base, nil)
 				if err != nil {
 					return nil, err
@@ -668,8 +679,14 @@ func (ex *Engine) joinStep(envs []*env, e *fromEntry, stepConj []sqlparser.Expr)
 	// variant below shares: bases × tups, in order.
 	crossMatch := func(bases []*env, tups []storage.Tuple) ([]*env, error) {
 		var out []*env
-		for _, base := range bases {
-			for _, tup := range tups {
+		for bi, base := range bases {
+			if err := ex.bud.Tick(bi); err != nil {
+				return nil, err
+			}
+			for tj, tup := range tups {
+				if err := ex.bud.Tick(tj); err != nil {
+					return nil, err
+				}
 				cand, err := matchTuple(base, tup, stepConj)
 				if err != nil {
 					return nil, err
@@ -711,9 +728,15 @@ func (ex *Engine) outerJoinStep(envs []*env, e *fromEntry, conds []sqlparser.Exp
 	nullTuple := make(storage.Tuple, len(e.rel.Attributes))
 	var out []*env
 	matchedRight := make([]bool, len(tuples))
-	for _, base := range envs {
+	for bi, base := range envs {
+		if err := ex.bud.Tick(bi); err != nil {
+			return nil, err
+		}
 		matched := false
 		for ti, tup := range tuples {
+			if err := ex.bud.Tick(ti); err != nil {
+				return nil, err
+			}
 			cand := &env{parent: base.parent}
 			cand.bindings = append(append([]binding{}, base.bindings...), binding{alias: e.alias, rel: e.rel, tuple: tup})
 			ok := true
@@ -829,7 +852,10 @@ func (ex *Engine) execUngrouped(sel *sqlparser.SelectStmt, entries []fromEntry, 
 	}
 	out := &Result{Columns: cols}
 	var rowEnvs []*env
-	for _, en := range envs {
+	for ei, en := range envs {
+		if err := ex.bud.Tick(ei); err != nil {
+			return nil, nil, err
+		}
 		row := make(storage.Tuple, len(items))
 		for i, it := range items {
 			v, err := ex.evalExpr(it.Expr, en, nil)
@@ -978,7 +1004,10 @@ func (ex *Engine) execGrouped(sel *sqlparser.SelectStmt, entries []fromEntry, en
 	groupsByKey := map[string]*group{}
 	var order []string
 	var keyBuf []byte // reused; value.AppendKey keys cannot collide across adjacent values
-	for _, en := range envs {
+	for ei, en := range envs {
+		if err := ex.bud.Tick(ei); err != nil {
+			return nil, nil, err
+		}
 		keyBuf = keyBuf[:0]
 		for _, g := range sel.GroupBy {
 			v, err := ex.evalExpr(g, en, nil)

@@ -1116,6 +1116,7 @@ func (ex *Engine) runVecAgg(sel *sqlparser.SelectStmt, pq *plannedQuery, va *vec
 		final = fc.state
 	} else {
 		n := st0.Input.Tbl.Len()
+		ex.bud.AddTotal(n)
 		workers := 1
 		if va.parallel {
 			workers = ex.workersFor(n)
@@ -1126,11 +1127,28 @@ func (ex *Engine) runVecAgg(sel *sqlparser.SelectStmt, pq *plannedQuery, va *vec
 		if workers <= 1 {
 			fc := fx.newCtx(va)
 			ctxs = []*fusedCtx{fc}
-			fx.feedRange(fc, 0, n)
+			if bud := ex.bud; bud != nil {
+				// Feed morsel by morsel so cancellation lands at morsel
+				// boundaries; fc.m/fc.seq are untouched, so the first-seen
+				// stamps match the single feedRange(0, n) call exactly.
+				for lo := 0; lo < n; lo += morselRows {
+					hi := lo + morselRows
+					if hi > n {
+						hi = n
+					}
+					if err := bud.Step(hi - lo); err != nil {
+						return nil, err
+					}
+					fx.feedRange(fc, lo, hi)
+				}
+			} else {
+				fx.feedRange(fc, 0, n)
+			}
 			final = fc.state
 		} else {
 			nMorsels := (n + morselRows - 1) / morselRows
 			ctxs = make([]*fusedCtx, workers)
+			bud := ex.bud
 			var cursor atomic.Int64
 			var wg sync.WaitGroup
 			for w := 0; w < workers; w++ {
@@ -1149,12 +1167,21 @@ func (ex *Engine) runVecAgg(sel *sqlparser.SelectStmt, pq *plannedQuery, va *vec
 						if hi > n {
 							hi = n
 						}
+						// A tripped budget stops every worker at its next
+						// morsel claim; the latched cause surfaces after the
+						// join below.
+						if bud.Step(hi-lo) != nil {
+							return
+						}
 						fc.m, fc.seq = int32(m), 0
 						fx.feedRange(fc, lo, hi)
 					}
 				}(fc)
 			}
 			wg.Wait()
+			if err := bud.Err(); err != nil {
+				return nil, err
+			}
 			states := make([]*vecAggState, len(ctxs))
 			for i, fc := range ctxs {
 				states[i] = fc.state

@@ -645,12 +645,38 @@ func (ec *evalCtx) emit(out *batch, base []value.Value, baseProv []int32, st *pl
 }
 
 // gatherBatches fans fn out over [0, n) in order-preserving chunks, each
-// worker with its own evalCtx and arenas.
+// worker with its own evalCtx and arenas. With a budget bound, every worker
+// sub-chunks its range at storage-zone boundaries and polls the budget
+// between sub-chunks — the cooperative cancellation point of every planned
+// scan, join, and residual-filter loop. Zone alignment keeps zoneWalk's
+// "owned" accounting identical to the unbudgeted walk.
 func (ex *Engine) gatherBatches(pq *plannedQuery, n int, fn func(ec *evalCtx, lo, hi int, out *batch) error) (batch, error) {
+	if bud := ex.bud; bud != nil {
+		inner := fn
+		fn = func(ec *evalCtx, lo, hi int, out *batch) error {
+			for s := lo; s < hi; {
+				e := (s>>storage.ZoneShift + 1) << storage.ZoneShift
+				if e > hi {
+					e = hi
+				}
+				if err := bud.Step(e - s); err != nil {
+					return err
+				}
+				if err := inner(ec, s, e, out); err != nil {
+					return err
+				}
+				s = e
+			}
+			return nil
+		}
+	}
 	workers := ex.workersFor(n)
 	if workers <= 1 {
 		var out batch
 		err := fn(pq.newCtx(), 0, n, &out)
+		if err == nil {
+			err = growBatch(ex.bud, &out)
+		}
 		return out, err
 	}
 	chunk := (n + workers - 1) / workers
@@ -691,7 +717,21 @@ func (ex *Engine) gatherBatches(pq *plannedQuery, n int, fn func(ec *evalCtx, lo
 		merged.rows = append(merged.rows, outs[w].rows...)
 		merged.prov = append(merged.prov, outs[w].prov...)
 	}
+	if err := growBatch(ex.bud, &merged); err != nil {
+		return batch{}, err
+	}
 	return merged, nil
+}
+
+// growBatch charges a stage's materialized rows against the memory quota.
+// The estimate is deliberately coarse — slots dominate an arena row's
+// footprint — and zero-cost for nil budgets.
+func growBatch(bud *Budget, b *batch) error {
+	if bud == nil || len(b.rows) == 0 {
+		return nil
+	}
+	const slotBytes = 24
+	return bud.Grow(len(b.rows) * len(b.rows[0]) * slotBytes)
 }
 
 // runPlan executes the pipeline and returns the joined, residual-filtered
@@ -817,6 +857,7 @@ func (ex *Engine) runScanStep(pq *plannedQuery, st *planner.Step) (batch, error)
 		return out, nil
 
 	default: // ScanFull
+		ex.bud.AddTotal(tbl.Len())
 		zp := pq.zp
 		out, err := ex.gatherBatches(pq, tbl.Len(), func(ec *evalCtx, lo, hi int, out *batch) error {
 			if zp == nil {

@@ -565,12 +565,17 @@ func (ex *Engine) tryVecScan(sel *sqlparser.SelectStmt, entries []fromEntry, pq 
 
 	preds := pq.stepVec[0]
 	n := tbl.Len()
+	bud := ex.bud
+	bud.AddTotal(n)
 	matched := 0
 	if zp := pq.zp; zp != nil {
 		// Zone-pruned counting: a morsel whose bounds disprove the filters
 		// contributes nothing without touching a payload, and one the probes
 		// prove all-true contributes its full length without testing a row.
 		zoneWalk(0, n, func(z, segLo, segHi int, owned bool) bool {
+			if bud.Step(segHi-segLo) != nil {
+				return false
+			}
 			v := zp.verdict(z)
 			if owned {
 				zp.note(v)
@@ -588,10 +593,16 @@ func (ex *Engine) tryVecScan(sel *sqlparser.SelectStmt, entries []fromEntry, pq 
 			}
 			return true
 		})
+		if err := bud.Err(); err != nil {
+			return nil, true, err
+		}
 		pq.finishZoneSkip()
 	} else {
 	scan:
 		for ti := 0; ti < n; ti++ {
+			if err := bud.Tick(ti); err != nil {
+				return nil, true, err
+			}
 			for _, p := range preds {
 				if !p(ti) {
 					continue scan
@@ -621,6 +632,9 @@ func (ex *Engine) tryVecScan(sel *sqlparser.SelectStmt, entries []fromEntry, pq 
 
 	out := &Result{Columns: cols, Rows: make([]storage.Tuple, 0, emitN)}
 	w := len(items)
+	if err := bud.Grow(emitN * w * 24); err != nil {
+		return nil, true, err
+	}
 	flat := make([]value.Value, emitN*w)
 	project := func(ti int) {
 		row := flat[:w:w]
@@ -638,6 +652,9 @@ func (ex *Engine) tryVecScan(sel *sqlparser.SelectStmt, entries []fromEntry, pq 
 		// Same pruning as the counting pass (verdicts were already accounted
 		// there); all-true morsels project without re-testing the filters.
 		zoneWalk(0, n, func(z, segLo, segHi int, _ bool) bool {
+			if bud.Step(0) != nil {
+				return false
+			}
 			v := zp.verdict(z)
 			if v == zoneAllFalse {
 				return len(out.Rows) < emitN
@@ -650,9 +667,15 @@ func (ex *Engine) tryVecScan(sel *sqlparser.SelectStmt, entries []fromEntry, pq 
 			}
 			return len(out.Rows) < emitN
 		})
+		if err := bud.Err(); err != nil {
+			return nil, true, err
+		}
 	} else {
 	fill:
 		for ti := 0; ti < n && len(out.Rows) < emitN; ti++ {
+			if err := bud.Tick(ti); err != nil {
+				return nil, true, err
+			}
 			for _, p := range preds {
 				if !p(ti) {
 					continue fill

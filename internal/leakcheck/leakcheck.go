@@ -1,0 +1,38 @@
+// Package leakcheck is a test helper that fails a test when goroutines
+// outlive it. Cancellation tests lean on it: a query stopped mid-morsel
+// must unwind its whole worker fan-out, not abandon goroutines blocked on
+// channels nobody will read.
+package leakcheck
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Check records the current goroutine count and returns a func — defer it —
+// that fails t if the count has not settled back to the baseline within a
+// grace window. The window absorbs goroutines that are mid-exit when the
+// test body returns (worker pools unwinding, timers firing); anything still
+// alive after it is a leak, reported with a full stack dump.
+func Check(t testing.TB) func() {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	return func() {
+		deadline := time.Now().Add(5 * time.Second)
+		var n int
+		for {
+			n = runtime.NumGoroutine()
+			if n <= base {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("goroutine leak: %d running, baseline was %d\n%s", n, base, buf)
+	}
+}

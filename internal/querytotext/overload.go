@@ -1,0 +1,125 @@
+// Overload narration: deadline, quota, and admission-control outcomes
+// rendered as the same first-person English the system uses everywhere else.
+// A server under pressure should say what it stopped, how far the work got,
+// and what the caller can do — not just emit a status code.
+package querytotext
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/lexicon"
+)
+
+// CancelEnglish renders a budget cancellation as spoken English: what
+// stopped the query, how far it had got ("it had scanned 3 of 12 million
+// rows"), and a tip for the retry.
+func CancelEnglish(e *budget.CancelError) string {
+	if e == nil {
+		return ""
+	}
+	var why, tip string
+	switch e.Cause {
+	case budget.CauseDeadline:
+		why = fmt.Sprintf("I stopped this query after %s — it ran past the request deadline", englishElapsed(e.Elapsed))
+		tip = "Narrow the predicate or raise the deadline and ask again"
+	case budget.CauseCancelled:
+		why = fmt.Sprintf("I stopped this query after %s because the request was cancelled", englishElapsed(e.Elapsed))
+	case budget.CauseRowQuota:
+		why = fmt.Sprintf("I stopped this query after %s — it went past its quota of %s examined",
+			englishElapsed(e.Elapsed), countRows(e.Limit))
+		tip = "Narrow the predicate so the plan touches fewer rows"
+	case budget.CauseMemQuota:
+		why = fmt.Sprintf("I stopped this query after %s — its results grew past the %s memory quota",
+			englishElapsed(e.Elapsed), lexicon.CountNoun(int(e.Limit), "byte"))
+		tip = "Select fewer columns or add a more selective filter"
+	case budget.CauseWALStall:
+		why = fmt.Sprintf("I stopped this statement after %s because the write-ahead log stalled mid-sync; "+
+			"its record's fate on disk is unknown, so I am rejecting writes until restart", englishElapsed(e.Elapsed))
+		tip = "Check the data disk, then restart to recover from the log"
+	default:
+		why = fmt.Sprintf("I stopped this query after %s", englishElapsed(e.Elapsed))
+	}
+	s := why
+	switch {
+	case e.Rows > 0 && e.TotalRows > 0:
+		s += fmt.Sprintf(" — it had scanned %s of %s rows", englishCount(e.Rows), englishCount(e.TotalRows))
+	case e.Rows > 0:
+		s += fmt.Sprintf(" — it had scanned %s", countRows(e.Rows))
+	}
+	s = lexicon.Sentence(s)
+	if tip != "" {
+		s += " " + lexicon.Sentence(tip)
+	}
+	return s
+}
+
+// OverloadEnglish renders an admission-control shed as spoken English.
+// running/waiting/limit describe the valve at the decision; waited is how
+// long the request queued (zero when it never got a queue slot); timedOut
+// distinguishes a queue-wait deadline from an instant shed.
+func OverloadEnglish(running, waiting, limit int, waited time.Duration, timedOut bool) string {
+	load := fmt.Sprintf("%s already running against a limit of %d",
+		lexicon.CountNoun(running, "query"), limit)
+	if waiting > 0 {
+		load += fmt.Sprintf(" and %s waiting", lexicon.NumberWord(waiting))
+	}
+	var s string
+	if timedOut {
+		s = fmt.Sprintf("I had to give up on this request — it waited %s in the admission queue with %s, "+
+			"and its deadline expired before a slot freed", englishElapsed(waited), load)
+	} else {
+		be := "are"
+		if running == 1 && waiting == 0 {
+			be = "is"
+		}
+		s = fmt.Sprintf("I turned this request away before running it — there %s %s, and the wait queue is full", be, load)
+	}
+	return lexicon.Sentence(s) + " " + lexicon.Sentence("Please retry in a moment")
+}
+
+// BodyLimitEnglish renders a request-body-too-large refusal.
+func BodyLimitEnglish(limit int64) string {
+	return lexicon.Sentence(fmt.Sprintf(
+		"I refused to read this request — its body is larger than the %s I accept", countBytes(limit))) +
+		" " + lexicon.Sentence("Send a shorter statement")
+}
+
+// englishElapsed renders a duration at narration precision ("2.0s", "150ms").
+func englishElapsed(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.1fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%dms", d.Milliseconds())
+	default:
+		return d.String()
+	}
+}
+
+// englishCount renders large row counts the way people say them
+// ("12 million", "3.4 million"), and small ones as digits.
+func englishCount(n int64) string {
+	if n >= 1_000_000 {
+		if n%1_000_000 == 0 {
+			return fmt.Sprintf("%d million", n/1_000_000)
+		}
+		return fmt.Sprintf("%.1f million", float64(n)/1e6)
+	}
+	return fmt.Sprintf("%d", n)
+}
+
+func countRows(n int64) string {
+	if n == 1 {
+		return "one row"
+	}
+	return englishCount(n) + " rows"
+}
+
+func countBytes(n int64) string {
+	if n == 1 {
+		return "one byte"
+	}
+	return englishCount(n) + " bytes"
+}

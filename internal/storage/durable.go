@@ -1,10 +1,12 @@
 package storage
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/wal"
 )
@@ -48,13 +50,47 @@ const (
 // checkpoint when DurableOptions does not say otherwise.
 const DefaultCheckpointBytes = 4 << 20
 
+// DefaultSyncGrace is how long past a request's deadline a WAL append+fsync
+// may keep running before the commit abandons it as stalled, when
+// DurableOptions does not say otherwise. A healthy disk finishes an fsync
+// in well under this; only a genuinely wedged device trips it.
+const DefaultSyncGrace = 500 * time.Millisecond
+
 // DurableOptions tunes the durability layer.
 type DurableOptions struct {
 	// CheckpointBytes auto-checkpoints once the log grows past this size.
 	// Zero means DefaultCheckpointBytes; negative disables auto-checkpoints
 	// (explicit Checkpoint calls still work).
 	CheckpointBytes int64
+
+	// SyncGrace bounds how long a commit waits for the WAL append+fsync
+	// after its request context expires. Zero means DefaultSyncGrace. The
+	// grace applies only to deadline-carrying commits
+	// (CommitBatchContext); plain commits wait for the disk indefinitely.
+	SyncGrace time.Duration
 }
+
+// StallError reports a WAL append/fsync that outlived its request's
+// deadline plus the grace window — a stalled disk surfaced as a bounded
+// error instead of an indefinite hang. The commit that observed it latched
+// the durability layer (the record's on-disk fate is unknown, so appending
+// past it would be unsafe); writes are rejected until restart, when
+// recovery decides from the log itself whether the record committed.
+type StallError struct {
+	// Op names the stalled operation ("wal fsync").
+	Op string
+	// Grace is the window the disk was given past the deadline.
+	Grace time.Duration
+	// Err is the context error that started the grace clock.
+	Err error
+}
+
+func (e *StallError) Error() string {
+	return fmt.Sprintf("storage: %s stalled beyond the request deadline (+%s grace); writes are rejected until restart", e.Op, e.Grace)
+}
+
+// Unwrap exposes the context error so errors.Is sees the deadline.
+func (e *StallError) Unwrap() error { return e.Err }
 
 // RecoveryReport describes what EnableDurability found and did. It is
 // immutable once returned; the explainer renders it in English.
@@ -141,6 +177,12 @@ type durability struct {
 	// failed latches the first WAL append/fsync error; once set, every
 	// commit and checkpoint is rejected with ErrWALFailed.
 	failed atomic.Pointer[walFailure]
+
+	// io tracks in-flight append+fsync goroutines: a deadline-bounded
+	// commit that abandons a stalled sync leaves the goroutine running
+	// (latched, so nothing else touches the writer), and CloseDurability
+	// waits it out before closing the file.
+	io sync.WaitGroup
 
 	seq         atomic.Uint64
 	batches     atomic.Uint64
@@ -522,6 +564,9 @@ func (db *Database) CloseDurability() error {
 	db.dur = nil
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	// An abandoned (stalled) append+fsync goroutine may still hold the
+	// writer; wait it out so Close never races the file handle.
+	d.io.Wait()
 	return d.w.Close()
 }
 
@@ -573,6 +618,15 @@ func (db *Database) BeginBatch() {
 // flush and fsync; the error (e.g. a failed fsync) must reach the client
 // before the statement is acknowledged.
 func (db *Database) CommitBatch() error {
+	return db.CommitBatchContext(nil)
+}
+
+// CommitBatchContext is CommitBatch with the request's context threaded
+// down to the WAL flush: when ctx carries a deadline or cancellation, the
+// append+fsync is bounded — a disk still stalled SyncGrace past the
+// context's expiry surfaces as a *StallError instead of hanging the
+// request forever. A nil or non-cancellable ctx waits indefinitely.
+func (db *Database) CommitBatchContext(ctx context.Context) error {
 	d := db.dur
 	if d == nil {
 		return nil
@@ -589,7 +643,7 @@ func (db *Database) CommitBatch() error {
 	if still {
 		return nil
 	}
-	return d.commit(db)
+	return d.commit(db, ctx)
 }
 
 // DiscardBatch closes the innermost batch and rolls its ops out of the
@@ -619,7 +673,7 @@ func (db *Database) autoCommit() error {
 	if d == nil {
 		return nil
 	}
-	return d.commit(db)
+	return d.commit(db, nil)
 }
 
 // commit writes the pending ops as one framed, fsynced WAL record. It takes
@@ -629,7 +683,7 @@ func (db *Database) autoCommit() error {
 // error latches the layer failed: the record may sit torn at the log's end,
 // and appending past it would doom every later acknowledged statement to
 // quarantine at recovery.
-func (d *durability) commit(db *Database) error {
+func (d *durability) commit(db *Database, ctx context.Context) error {
 	d.mu.Lock()
 	db.mu.Lock()
 	if d.depth > 0 {
@@ -667,17 +721,11 @@ func (d *durability) commit(db *Database) error {
 	// prefix of the log.
 	snap, frozen := db.buildVersionLocked(seq)
 	db.mu.Unlock()
-	if err := d.w.Append(d.rec); err != nil {
+	if err := d.walIO(ctx, d.rec); err != nil {
 		d.latch(err)
 		db.redirty(frozen)
 		d.mu.Unlock()
-		return fmt.Errorf("storage: wal append: %w; writes are rejected until restart", err)
-	}
-	if err := d.w.Sync(); err != nil {
-		d.latch(err)
-		db.redirty(frozen)
-		d.mu.Unlock()
-		return fmt.Errorf("storage: wal fsync: %w; writes are rejected until restart", err)
+		return err
 	}
 	if snap != nil {
 		db.installVersion(snap)
@@ -696,6 +744,54 @@ func (d *durability) commit(db *Database) error {
 		}
 	}
 	return nil
+}
+
+// walIO appends rec and fsyncs it, bounded by ctx when it can expire. The
+// unbounded path runs inline (no goroutine, no allocation); the bounded
+// path runs the IO on a tracked goroutine and waits for whichever comes
+// first — the result, or the context plus a grace window. A sync that
+// completes inside the grace commits normally even though the request gave
+// up: past the append the record is applied state, and the loss-free
+// contract is commit-or-no-trace, never half of each. Only a genuine stall
+// returns a *StallError; the caller latches, so the orphaned goroutine is
+// the last thing that ever touches the writer before CloseDurability waits
+// it out.
+func (d *durability) walIO(ctx context.Context, rec []byte) error {
+	appendSync := func() error {
+		if err := d.w.Append(rec); err != nil {
+			return fmt.Errorf("storage: wal append: %w; writes are rejected until restart", err)
+		}
+		if err := d.w.Sync(); err != nil {
+			return fmt.Errorf("storage: wal fsync: %w; writes are rejected until restart", err)
+		}
+		return nil
+	}
+	if ctx == nil || ctx.Done() == nil {
+		return appendSync()
+	}
+	ch := make(chan error, 1)
+	d.io.Add(1)
+	go func() {
+		defer d.io.Done()
+		ch <- appendSync()
+	}()
+	select {
+	case err := <-ch:
+		return err
+	case <-ctx.Done():
+	}
+	grace := d.opts.SyncGrace
+	if grace <= 0 {
+		grace = DefaultSyncGrace
+	}
+	t := time.NewTimer(grace)
+	defer t.Stop()
+	select {
+	case err := <-ch:
+		return err
+	case <-t.C:
+		return &StallError{Op: "wal fsync", Grace: grace, Err: ctx.Err()}
+	}
 }
 
 // ---------------------------------------------------------------------------

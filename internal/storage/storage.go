@@ -982,6 +982,24 @@ func (db *Database) rollbackSuffixLocked(tbl *Table, start int) {
 	tbl.invalidate()
 }
 
+// RollbackInsertSuffix removes relName's rows from position keep onward —
+// the in-memory half of cancelling a partially applied INSERT (the caller
+// discards the statement's batch for the log-side half). Statistics,
+// indexes, and zone maps are restored; a non-durable database publishes the
+// rolled-back state so snapshot readers never see the cancelled suffix.
+func (db *Database) RollbackInsertSuffix(relName string, keep int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	tbl := db.tables[strings.ToLower(relName)]
+	if tbl == nil {
+		return
+	}
+	db.rollbackSuffixLocked(tbl, keep)
+	if db.dur == nil {
+		db.publishLocked(db.nextPubSeqLocked())
+	}
+}
+
 // DumpCSV writes the relation as CSV with a header row.
 func (db *Database) DumpCSV(relName string, w io.Writer) error {
 	tbl := db.Table(relName)

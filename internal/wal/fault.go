@@ -4,6 +4,7 @@ import (
 	"errors"
 	"io"
 	"sync"
+	"time"
 )
 
 // This file is the deterministic fault harness. FaultFS wraps any FS and
@@ -35,6 +36,11 @@ type FaultFS struct {
 	writesLeft int
 	// shortReads maps file name -> byte budget for Open readers.
 	shortReads map[string]int
+	// delaySync stalls every Sync (and SyncDir) by this duration before the
+	// sync proceeds; zero disables. Models a disk that is slow, not broken.
+	delaySync time.Duration
+	// delayWrite stalls every Write the same way.
+	delayWrite time.Duration
 }
 
 // NewFaultFS wraps inner with no faults armed.
@@ -68,6 +74,23 @@ func (f *FaultFS) ShortRead(name string, limit int) {
 	f.shortReads[name] = limit
 }
 
+// DelaySyncs arms the slow-disk fault: every subsequent Sync (and SyncDir)
+// sleeps d before proceeding. The sync still succeeds — the fault models
+// latency, not loss. d <= 0 disarms.
+func (f *FaultFS) DelaySyncs(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.delaySync = d
+}
+
+// DelayWrites arms the slow-disk fault for Writes: every subsequent Write
+// sleeps d before landing. d <= 0 disarms.
+func (f *FaultFS) DelayWrites(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.delayWrite = d
+}
+
 // ClearFaults disarms every scripted fault.
 func (f *FaultFS) ClearFaults() {
 	f.mu.Lock()
@@ -75,6 +98,26 @@ func (f *FaultFS) ClearFaults() {
 	f.syncsLeft = -1
 	f.writesLeft = -1
 	f.shortReads = make(map[string]int)
+	f.delaySync = 0
+	f.delayWrite = 0
+}
+
+func (f *FaultFS) sleepSync() {
+	f.mu.Lock()
+	d := f.delaySync
+	f.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+func (f *FaultFS) sleepWrite() {
+	f.mu.Lock()
+	d := f.delayWrite
+	f.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
 }
 
 func (f *FaultFS) syncErr() error {
@@ -141,6 +184,7 @@ func (f *FaultFS) Size(name string) (int64, error)      { return f.inner.Size(na
 // SyncDir routes through the same sync script as file Syncs: a scripted
 // fsync fault also breaks directory syncs, as a failing disk would.
 func (f *FaultFS) SyncDir() error {
+	f.sleepSync()
 	if err := f.syncErr(); err != nil {
 		return err
 	}
@@ -155,6 +199,7 @@ type faultFile struct {
 }
 
 func (f *faultFile) Write(p []byte) (int, error) {
+	f.fs.sleepWrite()
 	if f.fs.writeTears() {
 		n, _ := f.File.Write(p[:len(p)/2])
 		return n, ErrInjectedWrite
@@ -163,6 +208,7 @@ func (f *faultFile) Write(p []byte) (int, error) {
 }
 
 func (f *faultFile) Sync() error {
+	f.fs.sleepSync()
 	if err := f.fs.syncErr(); err != nil {
 		return err
 	}

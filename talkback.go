@@ -198,6 +198,31 @@
 // statements in the log; the last five were torn by the crash"). Render
 // the report with querytotext.RecoveryEnglish; inspect the counters with
 // System.DurabilityStats.
+//
+// # Overload & cancellation
+//
+// Every request carries a budget: core.System.AskContext (and the
+// Context variants of ExplainPlan and the describes) derives one from
+// the caller's context deadline plus the Config.MaxRowsScanned /
+// MaxBytesScanned quotas, and every execution loop polls it — parallel
+// scan morsels, the fused vectorized aggregate, row pipelines, and DML.
+// A tripped budget returns a *engine.CancelError that names the cause
+// (deadline, cancellation, row quota, memory quota, wal-stall) and how
+// far the query got; querytotext.CancelEnglish renders it as a
+// first-person refusal. Cancellation is loss-free: a cancelled SELECT
+// returns the exact full answer or a refusal — never a partial row set
+// — and a cancelled DML either commits whole through the WAL or leaves
+// storage byte-identical to never having run. Cancelled readers release
+// their snapshot pins, so DrainReaders never waits on an abandoned
+// request. WAL fsyncs get a grace window (DurableOptions.SyncGrace)
+// past the request deadline: a sync inside it commits normally even
+// though the client is gone; one that outlives deadline + grace returns
+// a narrated wal-stall refusal in bounded time and latches the log
+// against further writes. core.Admission is the serving-layer valve —
+// a bounded semaphore plus a short wait queue whose shed and timeout
+// outcomes querytotext.OverloadEnglish narrates; talkbackd wraps every
+// query endpoint in it (429/504 with a narrated answer, 413 for
+// oversized bodies, a bounded session registry).
 package talkback
 
 import (
