@@ -10,6 +10,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"runtime"
 	"sync"
 	"testing"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/queryclassify"
 	"repro/internal/querygraph"
 	"repro/internal/querytotext"
+	"repro/internal/repl"
 	"repro/internal/schemagraph"
 	"repro/internal/speech"
 	"repro/internal/sqlparser"
@@ -1150,4 +1152,130 @@ func recoveryBenchDB(b *testing.B) *storage.Database {
 		b.Fatal(err)
 	}
 	return db
+}
+
+// ---------------------------------------------------------------------------
+// X20: WAL-shipping replication
+// ---------------------------------------------------------------------------
+
+// BenchmarkX20Replication measures the replication pipeline end to end over
+// loopback TCP, primary and follower in one process so allocations on both
+// sides of the wire land in the same meter.
+//
+//   - replicated-commit: each op is one durable INSERT committed on the
+//     primary and waited onto the follower — WAL append + fsync + commit-sink
+//     copy on one side, frame decode + record-atomic apply + version publish +
+//     ack on the other. ns/op is dominated by the convergence wait (loopback
+//     latency), which is exactly the point: commits themselves never wait.
+//   - follower-catchup: each op is one cold follower joining a primary with a
+//     seeded checkpoint and a 1000-record log — the full re-seed + replay
+//     path a rebuilt replica takes, reported as records/s.
+//
+// Allocation gating: both shapes move a fixed record count through a fixed
+// pipeline, so allocs/op is deterministic and gated in
+// cmd/benchgate/ceilings.json. Time is not gated, per the bench-host
+// discipline.
+func BenchmarkX20Replication(b *testing.B) {
+	startPrimary := func(b *testing.B) (*storage.Database, *repl.Primary, string) {
+		b.Helper()
+		db, err := dataset.CuratedMovieDB()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.EnableDurability(wal.NewMemFS(), storage.DurableOptions{CheckpointBytes: -1}); err != nil {
+			b.Fatal(err)
+		}
+		p, err := repl.NewPrimary(db, repl.PrimaryOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Start(ln)
+		return db, p, ln.Addr().String()
+	}
+	startFollower := func(b *testing.B, addr string) *repl.Follower {
+		b.Helper()
+		fdb, err := storage.NewDatabase(dataset.MovieSchema())
+		if err != nil {
+			b.Fatal(err)
+		}
+		f, err := repl.StartFollower(fdb, repl.FollowerOptions{Addr: addr})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return f
+	}
+	waitApplied := func(b *testing.B, f *repl.Follower, seq uint64) {
+		b.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for f.Status().AppliedSeq < seq {
+			if q := f.Quarantined(); q != nil {
+				b.Fatalf("follower quarantined at %d: %s", q.Seq, q.Reason)
+			}
+			if time.Now().After(deadline) {
+				b.Fatalf("follower stuck at %d, want %d", f.Status().AppliedSeq, seq)
+			}
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+
+	b.Run("replicated-commit", func(b *testing.B) {
+		db, p, addr := startPrimary(b)
+		defer func() {
+			p.Close()
+			if err := db.CloseDurability(); err != nil {
+				b.Fatal(err)
+			}
+		}()
+		f := startFollower(b, addr)
+		defer f.Close()
+		waitApplied(b, f, p.Stats().LastSeq) // baseline re-seed off the clock
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := db.Insert("ACTOR", storage.Tuple{
+				value.NewInt(int64(3_000_000 + i)), value.NewText("x20 replicated"),
+			}); err != nil {
+				b.Fatal(err)
+			}
+			waitApplied(b, f, p.Stats().LastSeq)
+		}
+		b.StopTimer()
+		st := p.Stats()
+		if st.Dropped != 0 || len(st.Followers) != 1 {
+			b.Fatalf("primary stats after run: %+v", st)
+		}
+	})
+
+	b.Run("follower-catchup", func(b *testing.B) {
+		const records = 1000
+		db, p, addr := startPrimary(b)
+		defer func() {
+			p.Close()
+			if err := db.CloseDurability(); err != nil {
+				b.Fatal(err)
+			}
+		}()
+		for i := 0; i < records; i++ {
+			if err := db.Insert("ACTOR", storage.Tuple{
+				value.NewInt(int64(4_000_000 + i)), value.NewText("x20 backlog"),
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		last := p.Stats().LastSeq
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f := startFollower(b, addr)
+			waitApplied(b, f, last)
+			if err := f.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+	})
 }

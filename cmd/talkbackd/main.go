@@ -44,6 +44,53 @@
 //	-queue N            admission wait-queue depth (default 16)
 //	-max-body N         request body cap in bytes (default 1 MiB)
 //	-max-sessions N     bound on the session-profile registry (default 4096)
+//	-listen-repl ADDR   serve WAL-shipping replication to followers on ADDR
+//	                    (requires -data: the log is the replication outbox)
+//	-replicate-from A   run as a read-only follower of the primary at A
+//	-max-lag N          follower: refuse reads with a narrated 503 once more
+//	                    than N statements behind (0 = serve any staleness)
+//
+// # Replication & failover
+//
+// A durable primary ships every committed WAL record — the same CRC32C
+// frames it fsyncs — to followers over TCP. Followers apply them through the
+// crash-recovery replay path, publish one MVCC version per record, and serve
+// the full read surface; DML gets a 403 that says to ask the primary.
+// Replication is asynchronous with a bounded outbox, so a wedged follower
+// never stalls a commit; followers reconnect with jittered backoff and
+// resume from their applied sequence, and provable divergence (a sequence
+// gap, a corrupt frame, a checkpoint behind the follower's state) latches a
+// quarantine that keeps serving the last consistent snapshot while narrating
+// why. A worked two-process session:
+//
+//	talkbackd -addr :8080 -data ./primary-data -listen-repl :9090 &
+//	talkbackd -addr :8081 -replicate-from localhost:9090 -max-lag 100 &
+//
+//	# Writes go to the primary; the follower applies them from the log.
+//	curl -s localhost:8080/ask -d '{"sql":"insert into MOVIES (id, title, year) values (999, '\''Replicated'\'', 2026)"}'
+//	curl -s localhost:8081/ask -d '{"sql":"select m.title from MOVIES m where m.id = 999"}'
+//
+//	# The follower names its role and lag in EXPLAIN answers...
+//	curl -s localhost:8081/explain -d '{"sql":"select m.title from MOVIES m"}'
+//	#   → "... Answered by a follower at snapshot @78, fully caught up with
+//	#      the primary."
+//
+//	# ...refuses writes in English...
+//	curl -si localhost:8081/ask -d '{"sql":"delete from MOVIES"}'
+//	#   → HTTP/1.1 403 Forbidden
+//	#     "I am a read-only follower, so I cannot change data. Send writes to
+//	#      the primary and they will reach me through its log."
+//
+//	# ...and reports the link under /stats → "replication": role, applied
+//	# and primary sequences, lag, reconnects, and the catch-up narrative;
+//	# the primary's side lists each follower with its acknowledged sequence.
+//	curl -s localhost:8081/stats | jq .replication
+//
+// Failover is manual and honest about it: when the primary dies, followers
+// keep answering reads at their last applied sequence (narrating how far
+// behind they stand, or refusing with 503 past -max-lag) and reconnect with
+// backoff until the primary returns. Promoting a follower means restarting
+// it against the primary's -data directory.
 //
 // # Overload & cancellation
 //
@@ -115,6 +162,8 @@ type server struct {
 	deadline    time.Duration
 	maxBody     int64
 	maxSessions int
+	// repl is the replication role (primary or follower); nil standalone.
+	repl *replication
 
 	mu       sync.RWMutex
 	sessions map[string]string // session id -> profile name
@@ -130,11 +179,40 @@ func main() {
 	queueDepth := flag.Int("queue", 16, "admission wait-queue depth before requests shed")
 	maxBody := flag.Int64("max-body", 1<<20, "request body cap in bytes")
 	maxSessions := flag.Int("max-sessions", 4096, "bound on the session-profile registry")
+	listenRepl := flag.String("listen-repl", "", "serve WAL-shipping replication to followers on this address (requires -data)")
+	replicateFrom := flag.String("replicate-from", "", "run as a read-only follower of the primary at this address")
+	maxLag := flag.Uint64("max-lag", 0, "follower: refuse reads with 503 when more than this many statements behind (0 = serve any lag)")
 	flag.Parse()
 
-	sys, err := buildSystem(*schema, *scale, *dataDir)
-	if err != nil {
-		log.Fatalf("building system: %v", err)
+	var sys *core.System
+	var rp *replication
+	var err error
+	switch {
+	case *replicateFrom != "":
+		if *dataDir != "" || *listenRepl != "" {
+			log.Fatalf("-replicate-from is exclusive with -data and -listen-repl: a follower's contents are the primary's log")
+		}
+		sys, rp, err = buildFollower(*schema, *replicateFrom, *maxLag)
+		if err != nil {
+			log.Fatalf("building follower: %v", err)
+		}
+		if waitConnected(rp.follower, 5*time.Second) {
+			log.Printf("replicating from %s", *replicateFrom)
+		} else {
+			log.Printf("primary %s not reachable yet; retrying with backoff", *replicateFrom)
+		}
+	default:
+		sys, err = buildSystem(*schema, *scale, *dataDir)
+		if err != nil {
+			log.Fatalf("building system: %v", err)
+		}
+		if *listenRepl != "" {
+			rp, err = startPrimary(sys, *listenRepl)
+			if err != nil {
+				log.Fatalf("starting replication primary: %v", err)
+			}
+			log.Printf("shipping the log to followers on %s", rp.addr)
+		}
 	}
 
 	s := &server{
@@ -143,6 +221,7 @@ func main() {
 		deadline:    *deadline,
 		maxBody:     *maxBody,
 		maxSessions: *maxSessions,
+		repl:        rp,
 		sessions:    make(map[string]string),
 	}
 	mux := http.NewServeMux()
@@ -185,6 +264,11 @@ func main() {
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("drain incomplete: %v", err)
 	}
+	// Replication closes between the HTTP drain and the reader drain: a
+	// follower stops admitting records before readers are counted down, and a
+	// primary detaches its commit sink and sender goroutines before the final
+	// checkpoint rotates the log they read from.
+	rp.close()
 	// HTTP drain covers connections; this covers the snapshot readers inside
 	// them. Only after every in-flight read has finished does the final
 	// checkpoint run, so no query is abandoned mid-pipeline even if its
@@ -294,6 +378,11 @@ func recoverJSON(next http.Handler) http.Handler {
 // queue-wait timeouts answer in English like everything else.
 func (s *server) guard(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		// A bounded-staleness follower sheds stale reads before admission:
+		// the refusal is cheaper than a queue slot and narrated all the same.
+		if s.refuseStale(w) {
+			return
+		}
 		ctx, cancel := context.WithTimeout(r.Context(), s.deadline)
 		defer cancel()
 		release, err := s.adm.Acquire(ctx)
@@ -331,6 +420,15 @@ func (s *server) shed(w http.ResponseWriter, ov *core.OverloadError) {
 // cancel, quota, WAL stall — get their own status codes and a narrated
 // answer saying how far the query got; everything else stays a plain 400.
 func (s *server) queryError(w http.ResponseWriter, err error) {
+	if errors.Is(err, storage.ErrReadOnlyReplica) {
+		// DML on a follower: a role violation, not a malformed query — 403
+		// with the refusal narrated and the fix (ask the primary) named.
+		writeJSONStatus(w, http.StatusForbidden, map[string]string{
+			"error":  err.Error(),
+			"answer": querytotext.ReadOnlyEnglish(),
+		})
+		return
+	}
 	var ce *engine.CancelError
 	if !errors.As(err, &ce) {
 		httpError(w, http.StatusBadRequest, err)
@@ -555,6 +653,12 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"reads_completed":    completed,
 			"reads_cancelled":    cancelled,
 		},
+	}
+	if s.repl != nil {
+		// The replication role: a primary reports its outbox and per-follower
+		// ack sequences; a follower reports its lag, reconnects, and — when
+		// latched — the narrated quarantine.
+		out["replication"] = s.repl.statsJSON()
 	}
 	if ds, ok := s.sys.DurabilityStats(); ok {
 		durable := map[string]any{

@@ -1,0 +1,295 @@
+package main
+
+import (
+	"encoding/binary"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/leakcheck"
+	"repro/internal/repl"
+	"repro/internal/storage"
+)
+
+// newReplServer is newTestServer with a replication role attached, so guard's
+// staleness shedding and /stats' replication section are live.
+func newReplServer(t *testing.T, sys *core.System, rp *replication) *httptest.Server {
+	t.Helper()
+	s := &server{
+		sys:         sys,
+		adm:         core.NewAdmission(8, 16),
+		deadline:    10 * time.Second,
+		maxBody:     1 << 20,
+		maxSessions: 4096,
+		sessions:    make(map[string]string),
+		repl:        rp,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ask", s.guard(s.handleAsk))
+	mux.HandleFunc("GET /stats", s.handleStats)
+	ts := httptest.NewServer(recoverJSON(mux))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func waitUntil(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestReplicatedPairOverHTTP runs the worked example from the package docs on
+// loopback: a durable seeded primary serving followers, a bare follower fed
+// entirely over the wire, and HTTP traffic against both. The follower must
+// serve the primary's data (baseline checkpoint plus live DML), narrate its
+// role in EXPLAIN answers, refuse local writes with a narrated 403, and both
+// /stats replication sections must agree on the sequence.
+func TestReplicatedPairOverHTTP(t *testing.T) {
+	t.Cleanup(leakcheck.Check(t))
+
+	sys, err := buildSystem("movie", 0, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := startPrimary(sys, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = sys.Database().CloseDurability() })
+	t.Cleanup(rp.close)
+	pts := newReplServer(t, sys, rp)
+
+	fsys, frp, err := buildFollower("movie", rp.addr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(frp.close)
+	fts := newReplServer(t, fsys, frp)
+
+	if !waitConnected(frp.follower, 5*time.Second) {
+		t.Fatalf("follower never connected: %+v", frp.follower.Status())
+	}
+
+	// DML lands on the primary and must flow to the follower.
+	code, out := postAsk(t, pts, "insert into MOVIES (id, title, year) values (999, 'Shipped Over The Wire', 2026)")
+	if code != http.StatusOK {
+		t.Fatalf("insert on primary: %d %v", code, out)
+	}
+	last := rp.primary.Stats().LastSeq
+	waitUntil(t, 5*time.Second, "follower catch-up", func() bool {
+		return frp.follower.Status().AppliedSeq == last
+	})
+
+	// The seeded baseline was adopted into the primary's checkpoint with no
+	// WAL records behind it; the follower can only have it via a shipped
+	// checkpoint re-seed.
+	if st := frp.follower.Status(); st.Reseeds == 0 || st.Catchup.CheckpointRows == 0 {
+		t.Fatalf("follower never re-seeded from the primary's checkpoint: %+v", st)
+	}
+
+	code, out = postAsk(t, fts, "select m.title from MOVIES m where m.id = 999")
+	if code != http.StatusOK {
+		t.Fatalf("select on follower: %d %v", code, out)
+	}
+	if ans, _ := out["answer"].(string); !strings.Contains(ans, "Shipped Over The Wire") {
+		t.Fatalf("follower answer missing replicated row: %q", ans)
+	}
+
+	// Seeded rows converged too: both nodes count the same movies.
+	_, pCount := postAsk(t, pts, "select count(*) from MOVIES m")
+	_, fCount := postAsk(t, fts, "select count(*) from MOVIES m")
+	if pCount["answer"] != fCount["answer"] {
+		t.Fatalf("counts diverge: primary %q follower %q", pCount["answer"], fCount["answer"])
+	}
+
+	// EXPLAIN on the follower speaks in the follower's voice.
+	code, out = postAsk(t, fts, "explain plan select m.title from MOVIES m where m.id = 999")
+	if code != http.StatusOK {
+		t.Fatalf("explain on follower: %d %v", code, out)
+	}
+	if ans, _ := out["answer"].(string); !strings.Contains(ans, "Answered by a follower at snapshot @") {
+		t.Fatalf("follower explain lacks the follower postscript: %q", ans)
+	}
+
+	// Local DML on the follower is a narrated role violation, not a 500.
+	code, out = postAsk(t, fts, "insert into MOVIES (id, title, year) values (1000, 'Local Write', 2026)")
+	if code != http.StatusForbidden {
+		t.Fatalf("DML on follower: %d %v, want 403", code, out)
+	}
+	if ans, _ := out["answer"].(string); !strings.Contains(ans, "read-only follower") {
+		t.Fatalf("403 answer: %q", ans)
+	}
+
+	// /stats on the follower: role, sequences, session counters.
+	fstats, ok := getJSON(t, fts, "/stats", http.StatusOK)["replication"].(map[string]any)
+	if !ok {
+		t.Fatal("follower /stats has no replication section")
+	}
+	if fstats["role"] != "follower" || fstats["quarantined"] != false {
+		t.Fatalf("follower replication stats: %v", fstats)
+	}
+	if fstats["applied_seq"].(float64) != float64(last) {
+		t.Fatalf("follower applied_seq = %v, want %d", fstats["applied_seq"], last)
+	}
+	if catchup, _ := fstats["catchup"].(string); !strings.Contains(catchup, "re-seeded") {
+		t.Fatalf("follower catch-up narration: %q", catchup)
+	}
+
+	// /stats on the primary: the follower's link with its acked sequence.
+	// Acks are async; poll until the link reports caught-up.
+	waitUntil(t, 5*time.Second, "primary /stats ack", func() bool {
+		pstats, ok := getJSON(t, pts, "/stats", http.StatusOK)["replication"].(map[string]any)
+		if !ok {
+			t.Fatal("primary /stats has no replication section")
+		}
+		if pstats["role"] != "primary" {
+			t.Fatalf("primary replication stats: %v", pstats)
+		}
+		followers, _ := pstats["followers"].([]any)
+		if len(followers) != 1 {
+			return false
+		}
+		link := followers[0].(map[string]any)
+		return link["ack_seq"].(float64) == float64(last) && link["lag"].(float64) == 0
+	})
+}
+
+// TestFollowerShedsStaleReads pins the -max-lag refusal: a follower that has
+// heard the primary's sequence but cannot pull records (its link stalls right
+// after the welcome) must answer reads with a narrated 503, not stale data.
+func TestFollowerShedsStaleReads(t *testing.T) {
+	t.Cleanup(leakcheck.Check(t))
+
+	sys, err := buildSystem("movie", 0, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := startPrimary(sys, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = sys.Database().CloseDurability() })
+	t.Cleanup(rp.close)
+
+	// The welcome frame is the first thing a follower reads: kind byte plus
+	// uvarint protocol version (1), schema fingerprint, and last sequence,
+	// wrapped in the 8-byte wal frame header. Stalling reads exactly there
+	// lets the follower learn the primary's sequence but never a record.
+	welcome := []byte{'W'}
+	welcome = binary.AppendUvarint(welcome, 1)
+	welcome = binary.AppendUvarint(welcome, storage.SchemaFingerprint(sys.Database()))
+	welcome = binary.AppendUvarint(welcome, rp.primary.Stats().LastSeq)
+	plan := repl.NoFaults()
+	plan.StallReadAt = int64(8 + len(welcome))
+	plan.StallFor = 30 * time.Second
+
+	db, err := storage.NewDatabase(dataset.MovieSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsys, err := core.New(db, core.MovieConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := repl.StartFollower(db, repl.FollowerOptions{
+		Addr: rp.addr,
+		Dial: func(addr string) (net.Conn, error) {
+			c, err := net.DialTimeout("tcp", addr, time.Second)
+			if err != nil {
+				return nil, err
+			}
+			return repl.NewFaultConn(c, plan), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = f.Close() })
+	frp := &replication{follower: f, addr: rp.addr, maxLag: 5}
+	fts := newReplServer(t, fsys, frp)
+
+	waitUntil(t, 5*time.Second, "follower to learn the primary's sequence", func() bool {
+		st := f.Status()
+		return st.Lag > frp.maxLag
+	})
+
+	code, out := postAsk(t, fts, "select count(*) from MOVIES m")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("stale read: %d %v, want 503", code, out)
+	}
+	ans, _ := out["answer"].(string)
+	for _, want := range []string{
+		"statements behind the primary",
+		"Ask the primary",
+		"The primary has shipped me nothing yet this session.",
+	} {
+		if !strings.Contains(ans, want) {
+			t.Fatalf("503 answer = %q, want it to contain %q", ans, want)
+		}
+	}
+	if msg, _ := out["error"].(string); !strings.Contains(msg, "exceeds -max-lag 5") {
+		t.Fatalf("503 error: %q", msg)
+	}
+}
+
+// TestQuarantinedFollowerOverHTTP: a follower latched by divergence (here a
+// schema mismatch) answers reads with the quarantine narration when -max-lag
+// is set, and /stats carries the latched cause.
+func TestQuarantinedFollowerOverHTTP(t *testing.T) {
+	t.Cleanup(leakcheck.Check(t))
+
+	sys, err := buildSystem("emp", 0, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := startPrimary(sys, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = sys.Database().CloseDurability() })
+	t.Cleanup(rp.close)
+
+	fsys, frp, err := buildFollower("movie", rp.addr, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(frp.close)
+	fts := newReplServer(t, fsys, frp)
+
+	waitUntil(t, 5*time.Second, "quarantine latch", func() bool {
+		return frp.follower.Status().Quarantined
+	})
+
+	code, out := postAsk(t, fts, "select count(*) from MOVIES m")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("read on quarantined follower: %d %v, want 503", code, out)
+	}
+	if ans, _ := out["answer"].(string); !strings.Contains(ans, "I stopped replicating at sequence") {
+		t.Fatalf("quarantine answer: %q", ans)
+	}
+
+	fstats, ok := getJSON(t, fts, "/stats", http.StatusOK)["replication"].(map[string]any)
+	if !ok {
+		t.Fatal("follower /stats has no replication section")
+	}
+	if fstats["quarantined"] != true {
+		t.Fatalf("quarantined = %v", fstats["quarantined"])
+	}
+	if reason, _ := fstats["quarantine_reason"].(string); !strings.Contains(reason, "schemas differ") {
+		t.Fatalf("quarantine_reason = %q", reason)
+	}
+	if narrative, _ := fstats["narrative"].(string); !strings.Contains(narrative, "serving my last consistent snapshot") {
+		t.Fatalf("narrative = %q", narrative)
+	}
+}

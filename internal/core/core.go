@@ -130,6 +130,10 @@ type System struct {
 	// InvalidateResults.
 	respCache *cache.Cache[*Response]
 	dataGen   atomic.Int64
+
+	// replica holds the replication-status provider a follower process
+	// registers via SetReplica; nil on a standalone node or primary.
+	replica atomic.Pointer[func() ReplicaStatus]
 }
 
 // New assembles a System over db.
@@ -529,6 +533,9 @@ func (s *System) explainerAt(snap *storage.Snapshot, bud *engine.Budget) *explai
 // output: it names the pinned version and how many writers committed while
 // the query ran — concurrency the reader never felt.
 func (s *System) snapshotNarration(snap *storage.Snapshot, publishedAtPin uint64) string {
+	if rs, ok := s.ReplicaStatus(); ok && rs.Follower {
+		return replicaNarration(rs, snap.Seq())
+	}
 	committed := s.db.Published() - publishedAtPin
 	if committed == 0 {
 		return fmt.Sprintf("Answered from snapshot @%d.", snap.Seq())

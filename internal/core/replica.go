@@ -1,0 +1,55 @@
+package core
+
+import (
+	"repro/internal/querytotext"
+	"repro/internal/storage"
+)
+
+// ReplicaStatus describes this node's replication role for narration and
+// stats. The server layer provides it (core does not dial anything): a
+// follower process registers a provider backed by its replication link, and
+// every answer's snapshot postscript switches to the follower's voice.
+type ReplicaStatus struct {
+	Follower         bool
+	AppliedSeq       uint64
+	PrimarySeq       uint64
+	Lag              uint64
+	Connected        bool
+	Quarantined      bool
+	QuarantineSeq    uint64
+	QuarantineReason string
+	// Catchup is what the current replication session has shipped, in the
+	// recovery report's vocabulary.
+	Catchup storage.RecoveryReport
+}
+
+// SetReplica registers the replication-status provider; nil unregisters it.
+// The provider is called per answered read, so it must be cheap.
+func (s *System) SetReplica(fn func() ReplicaStatus) {
+	if fn == nil {
+		s.replica.Store(nil)
+		return
+	}
+	s.replica.Store(&fn)
+}
+
+// ReplicaStatus reports the registered replication status; ok is false on a
+// standalone node (no provider registered).
+func (s *System) ReplicaStatus() (ReplicaStatus, bool) {
+	p := s.replica.Load()
+	if p == nil {
+		return ReplicaStatus{}, false
+	}
+	return (*p)(), true
+}
+
+// replicaNarration is the follower's version of the snapshot postscript:
+// which snapshot answered, how far behind the primary it stands, and — when
+// replication has latched — why it stopped advancing.
+func replicaNarration(rs ReplicaStatus, snapSeq uint64) string {
+	n := querytotext.FollowerSnapshotEnglish(snapSeq, rs.Lag)
+	if rs.Quarantined {
+		n += " " + querytotext.QuarantineEnglish(rs.QuarantineSeq, rs.QuarantineReason)
+	}
+	return n
+}

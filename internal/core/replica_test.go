@@ -1,0 +1,116 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/sqlparser"
+	"repro/internal/storage"
+)
+
+// followerSystem marks a movie system's database as a read-only follower and
+// registers a static replication status.
+func followerSystem(t *testing.T, rs ReplicaStatus) *System {
+	t.Helper()
+	s, err := NewMovieSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Database().SetReadOnly(true)
+	s.SetReplica(func() ReplicaStatus { return rs })
+	return s
+}
+
+// TestFollowerNarratesAnswers: on a follower, EXPLAIN's snapshot postscript
+// switches to the follower's voice, naming the lag behind the primary.
+func TestFollowerNarratesAnswers(t *testing.T) {
+	s := followerSystem(t, ReplicaStatus{Follower: true, AppliedSeq: 12, PrimarySeq: 15, Lag: 3})
+	resp, err := s.Ask("explain plan " + sqlparser.PaperQueries["Q1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Answered by a follower at snapshot @",
+		"three statements behind the primary.",
+	} {
+		if !strings.Contains(resp.Answer, want) {
+			t.Errorf("answer = %q, want it to contain %q", resp.Answer, want)
+		}
+	}
+	if strings.Contains(resp.Answer, "Answered from snapshot") {
+		t.Errorf("answer %q still uses the standalone snapshot voice", resp.Answer)
+	}
+
+	// Caught up, the postscript says so instead of naming a lag.
+	s.SetReplica(func() ReplicaStatus { return ReplicaStatus{Follower: true, AppliedSeq: 15, PrimarySeq: 15} })
+	diag, err := s.ExplainPlan(sqlparser.PaperQueries["Q1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(diag.Text, "fully caught up with the primary") {
+		t.Errorf("diagnosis = %q, want the caught-up postscript", diag.Text)
+	}
+}
+
+// TestFollowerNarratesQuarantine: a latched quarantine rides along on every
+// EXPLAIN answer, so a stale follower explains itself unprompted.
+func TestFollowerNarratesQuarantine(t *testing.T) {
+	s := followerSystem(t, ReplicaStatus{
+		Follower: true, AppliedSeq: 4, PrimarySeq: 9, Lag: 5,
+		Quarantined: true, QuarantineSeq: 4,
+		QuarantineReason: "sequence gap: record 9 arrived while I stood at 4",
+	})
+	diag, err := s.ExplainPlan(sqlparser.PaperQueries["Q1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"I stopped replicating at sequence 4: sequence gap: record 9 arrived while I stood at 4.",
+		"serving my last consistent snapshot",
+	} {
+		if !strings.Contains(diag.Text, want) {
+			t.Errorf("diagnosis = %q, want it to contain %q", diag.Text, want)
+		}
+	}
+}
+
+// TestFollowerRefusesDML: DML through the full Ask loop on a follower
+// surfaces the storage layer's read-only refusal, identifiable with
+// errors.Is so the server can map it to a narrated 403.
+func TestFollowerRefusesDML(t *testing.T) {
+	s := followerSystem(t, ReplicaStatus{Follower: true})
+	_, err := s.Ask("insert into ACTOR (id, name) values (7777, 'Local Write')")
+	if !errors.Is(err, storage.ErrReadOnlyReplica) {
+		t.Fatalf("DML on follower: %v, want ErrReadOnlyReplica", err)
+	}
+	// SELECTs keep working against the last applied snapshot.
+	if _, err := s.Ask("select count(*) from MOVIES m"); err != nil {
+		t.Fatalf("read on follower: %v", err)
+	}
+}
+
+// TestStandaloneNarrationUnchanged: without a registered replica provider
+// the postscript stays in the standalone voice — replication costs nothing
+// when it is not configured.
+func TestStandaloneNarrationUnchanged(t *testing.T) {
+	s, err := NewMovieSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diag, err := s.ExplainPlan(sqlparser.PaperQueries["Q1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(diag.Text, "Answered from snapshot @") {
+		t.Errorf("diagnosis = %q, want the standalone snapshot postscript", diag.Text)
+	}
+	if _, ok := s.ReplicaStatus(); ok {
+		t.Fatal("standalone system reports a replica status")
+	}
+	s.SetReplica(func() ReplicaStatus { return ReplicaStatus{Follower: true} })
+	s.SetReplica(nil)
+	if _, ok := s.ReplicaStatus(); ok {
+		t.Fatal("SetReplica(nil) did not unregister the provider")
+	}
+}

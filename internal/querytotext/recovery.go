@@ -33,17 +33,20 @@ func RecoveryEnglish(r *storage.RecoveryReport) string {
 	if recovered > 0 || r.LostBatches > 0 {
 		total := recovered + r.LostBatches
 		if r.LostBatches > 0 {
-			parts = append(parts, fmt.Sprintf("replayed %d of the %s in the log",
-				recovered, lexicon.CountNoun(total, "statement")))
+			parts = append(parts, fmt.Sprintf("replayed %d of the %s in the log%s",
+				recovered, lexicon.CountNoun(total, "statement"), seqRange(r)))
 		} else if r.ReplayedBatches > 0 {
-			parts = append(parts, fmt.Sprintf("replayed %s from the log",
-				lexicon.CountNoun(r.ReplayedBatches, "statement")))
+			parts = append(parts, fmt.Sprintf("replayed %s from the log%s",
+				lexicon.CountNoun(r.ReplayedBatches, "statement"), seqRange(r)))
 		}
 	}
 	if len(parts) == 0 {
 		parts = append(parts, "found an empty log and nothing to replay")
 	}
 	s := "I " + lexicon.JoinAnd(parts)
+	if r.LastSeq > 0 {
+		s += fmt.Sprintf(", which brings me to sequence %d", r.LastSeq)
+	}
 
 	if r.Clean() {
 		return lexicon.Sentence(s) + " " + lexicon.Sentence("nothing was lost")
@@ -60,6 +63,18 @@ func RecoveryEnglish(r *storage.RecoveryReport) string {
 		s += " " + lexicon.Sentence("the damaged tail could not be read back, so there was nothing to set aside")
 	}
 	return s
+}
+
+// seqRange renders the replayed sequence span (" (sequences 3 through 9)"),
+// or the single sequence when one record replayed; empty when none did.
+func seqRange(r *storage.RecoveryReport) string {
+	if r.FirstSeq == 0 || r.LastSeq == 0 {
+		return ""
+	}
+	if r.FirstSeq == r.LastSeq {
+		return fmt.Sprintf(" (sequence %d)", r.FirstSeq)
+	}
+	return fmt.Sprintf(" (sequences %d through %d)", r.FirstSeq, r.LastSeq)
 }
 
 // pluralVerb renders "count was/were": "one was", "five were".

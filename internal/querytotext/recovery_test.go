@@ -29,6 +29,22 @@ func TestRecoveryEnglish(t *testing.T) {
 			"I restored 120 rows from the last checkpoint and replayed four statements from the log. Nothing was lost.",
 		},
 		{
+			"clean replay with sequence range",
+			&storage.RecoveryReport{CheckpointRows: 120, CheckpointSeq: 8, ReplayedBatches: 4, FirstSeq: 9, LastSeq: 12},
+			"I restored 120 rows from the last checkpoint and replayed four statements from the log " +
+				"(sequences 9 through 12), which brings me to sequence 12. Nothing was lost.",
+		},
+		{
+			"single replayed sequence",
+			&storage.RecoveryReport{ReplayedBatches: 1, FirstSeq: 5, LastSeq: 5},
+			"I replayed one statement from the log (sequence 5), which brings me to sequence 5. Nothing was lost.",
+		},
+		{
+			"checkpoint only carries its floor",
+			&storage.RecoveryReport{CheckpointRows: 10, CheckpointSeq: 7, LastSeq: 7},
+			"I restored ten rows from the last checkpoint, which brings me to sequence 7. Nothing was lost.",
+		},
+		{
 			"clean empty log",
 			&storage.RecoveryReport{},
 			"I found an empty log and nothing to replay. Nothing was lost.",

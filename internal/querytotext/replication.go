@@ -1,0 +1,68 @@
+// Replication narration: a follower explains its role the same way the rest
+// of the system explains itself — first person, plain English. The paper's
+// "DBMSs should talk back" applies to topology too: a replica should say it
+// is a replica, how far behind it stands, and — when it stops — why.
+package querytotext
+
+import (
+	"fmt"
+
+	"repro/internal/lexicon"
+	"repro/internal/storage"
+)
+
+// FollowerSnapshotEnglish is the snapshot postscript a follower attaches to
+// answers in place of the primary's "Answered from snapshot @N".
+func FollowerSnapshotEnglish(seq, lag uint64) string {
+	if lag == 0 {
+		return fmt.Sprintf("Answered by a follower at snapshot @%d, fully caught up with the primary.", seq)
+	}
+	return fmt.Sprintf("Answered by a follower at snapshot @%d, %s behind the primary.",
+		seq, lexicon.CountNoun(int(lag), "statement"))
+}
+
+// FollowerLagEnglish narrates a read refused because the follower's lag
+// exceeds the staleness bound the operator configured.
+func FollowerLagEnglish(lag, maxLag uint64) string {
+	return lexicon.Sentence(fmt.Sprintf(
+		"I am a follower running %s behind the primary, more than the %s of staleness I am allowed to serve",
+		lexicon.CountNoun(int(lag), "statement"), lexicon.CountNoun(int(maxLag), "statement"))) +
+		" " + lexicon.Sentence("ask the primary, or ask me again once I catch up")
+}
+
+// QuarantineEnglish narrates a latched replication quarantine: the follower
+// names the sequence it stopped at, the cause, and what it still serves.
+func QuarantineEnglish(seq uint64, reason string) string {
+	return lexicon.Sentence(fmt.Sprintf("I stopped replicating at sequence %d: %s", seq, reason)) +
+		" " + lexicon.Sentence("I am still serving my last consistent snapshot, "+
+		"but it will not advance until an operator rebuilds me from the primary")
+}
+
+// ReadOnlyEnglish narrates a write refused by a read-only follower.
+func ReadOnlyEnglish() string {
+	return lexicon.Sentence("I am a read-only follower, so I cannot change data") +
+		" " + lexicon.Sentence("send writes to the primary and they will reach me through its log")
+}
+
+// CatchupEnglish narrates what the current replication session has shipped,
+// reusing the recovery report's sequence-range vocabulary: catching up from
+// a primary and replaying a log after a crash are the same story.
+func CatchupEnglish(r *storage.RecoveryReport) string {
+	if r == nil || (r.CheckpointRows == 0 && r.ReplayedBatches == 0) {
+		return lexicon.Sentence("the primary has shipped me nothing yet this session")
+	}
+	var parts []string
+	if r.CheckpointRows > 0 {
+		parts = append(parts, fmt.Sprintf("re-seeded %s from the primary's checkpoint",
+			lexicon.CountNoun(r.CheckpointRows, "row")))
+	}
+	if r.ReplayedBatches > 0 {
+		parts = append(parts, fmt.Sprintf("applied %s%s",
+			lexicon.CountNoun(r.ReplayedBatches, "statement"), seqRange(r)))
+	}
+	s := "this session I " + lexicon.JoinAnd(parts)
+	if r.LastSeq > 0 {
+		s += fmt.Sprintf(", which brings me to sequence %d", r.LastSeq)
+	}
+	return lexicon.Sentence(s)
+}

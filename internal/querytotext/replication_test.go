@@ -1,0 +1,72 @@
+package querytotext
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func TestReplicationEnglish(t *testing.T) {
+	cases := []struct{ name, got, want string }{
+		{
+			"follower caught up",
+			FollowerSnapshotEnglish(12, 0),
+			"Answered by a follower at snapshot @12, fully caught up with the primary.",
+		},
+		{
+			"follower behind",
+			FollowerSnapshotEnglish(12, 3),
+			"Answered by a follower at snapshot @12, three statements behind the primary.",
+		},
+		{
+			"follower one behind",
+			FollowerSnapshotEnglish(7, 1),
+			"Answered by a follower at snapshot @7, one statement behind the primary.",
+		},
+		{
+			"lag bound exceeded",
+			FollowerLagEnglish(12, 5),
+			"I am a follower running twelve statements behind the primary, more than the five statements " +
+				"of staleness I am allowed to serve. Ask the primary, or ask me again once I catch up.",
+		},
+		{
+			"quarantine",
+			QuarantineEnglish(4, "sequence gap: record 9 arrived while I stood at 4"),
+			"I stopped replicating at sequence 4: sequence gap: record 9 arrived while I stood at 4. " +
+				"I am still serving my last consistent snapshot, but it will not advance until an operator " +
+				"rebuilds me from the primary.",
+		},
+		{
+			"read-only refusal",
+			ReadOnlyEnglish(),
+			"I am a read-only follower, so I cannot change data. " +
+				"Send writes to the primary and they will reach me through its log.",
+		},
+		{
+			"catch-up with checkpoint and records",
+			CatchupEnglish(&storage.RecoveryReport{
+				CheckpointRows: 40, CheckpointSeq: 3,
+				ReplayedBatches: 5, FirstSeq: 4, LastSeq: 8,
+			}),
+			"This session I re-seeded forty rows from the primary's checkpoint and applied five statements " +
+				"(sequences 4 through 8), which brings me to sequence 8.",
+		},
+		{
+			"catch-up records only",
+			CatchupEnglish(&storage.RecoveryReport{ReplayedBatches: 1, FirstSeq: 6, LastSeq: 6}),
+			"This session I applied one statement (sequence 6), which brings me to sequence 6.",
+		},
+		{
+			"catch-up empty",
+			CatchupEnglish(&storage.RecoveryReport{}),
+			"The primary has shipped me nothing yet this session.",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.got != tc.want {
+				t.Errorf("got:  %q\nwant: %q", tc.got, tc.want)
+			}
+		})
+	}
+}

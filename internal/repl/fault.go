@@ -1,0 +1,238 @@
+package repl
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjectedCut is what a FaultConn returns when its plan severs the link.
+var ErrInjectedCut = errors.New("repl: fault injection severed the connection")
+
+// FaultPlan scripts deterministic transport faults against the byte stream a
+// connection reads. Offsets count bytes delivered to the reader; -1 disables
+// a fault. Faults are one-shot: each fires at most once per connection.
+type FaultPlan struct {
+	// CutReadAt severs the read side after exactly N bytes have been
+	// delivered: the next Read returns ErrInjectedCut. Cutting mid-frame
+	// leaves the reader with a torn frame — a transport fault, not damage.
+	CutReadAt int64
+	// CorruptReadAt XORs CorruptMask into the byte at that offset as it
+	// flows past: the frame covering it fails its checksum — damage.
+	CorruptReadAt int64
+	CorruptMask   byte
+	// DupReadFrom/DupReadTo replay the byte range [from, to) a second time
+	// immediately after offset DupReadTo — duplicated frames on the wire.
+	DupReadFrom int64
+	DupReadTo   int64
+	// StallReadAt freezes reads at that offset for StallFor (writes keep
+	// flowing), simulating a one-way hang; reads then resume.
+	StallReadAt int64
+	StallFor    time.Duration
+	// PartitionAt freezes BOTH directions at that read offset for StallFor,
+	// then severs the connection — a full partition with no FIN.
+	PartitionAt int64
+}
+
+// NoFaults is the identity plan: every fault disabled.
+func NoFaults() FaultPlan {
+	return FaultPlan{
+		CutReadAt:     -1,
+		CorruptReadAt: -1,
+		DupReadFrom:   -1,
+		DupReadTo:     -1,
+		StallReadAt:   -1,
+		PartitionAt:   -1,
+	}
+}
+
+// FaultConn wraps a net.Conn, executing a FaultPlan against the bytes the
+// wrapped connection delivers to Read. Injected (duplicated) bytes do not
+// advance the fault offset, so plans are expressed in clean-stream offsets.
+type FaultConn struct {
+	net.Conn
+	plan FaultPlan
+
+	mu       sync.Mutex
+	rOff     int64  // clean bytes delivered so far
+	pending  []byte // duplicated bytes queued for re-delivery
+	retained []byte // bytes captured for the duplication window
+	cut      bool
+	stalled  bool // one-shot: stall/partition already fired
+	parted   bool // partition fired: connection is dead both ways
+
+	closeOnce sync.Once
+	closeCh   chan struct{} // closed by Close; aborts an in-progress stall
+}
+
+// NewFaultConn wraps conn with plan.
+func NewFaultConn(conn net.Conn, plan FaultPlan) *FaultConn {
+	return &FaultConn{Conn: conn, plan: plan, closeCh: make(chan struct{})}
+}
+
+// boundary returns how many bytes may be delivered before the next fault
+// trigger at clean offset off, and which trigger that is.
+func (c *FaultConn) boundary(off int64, max int) int {
+	n := max
+	clamp := func(at int64) {
+		if at >= off && at-off < int64(n) {
+			n = int(at - off)
+		}
+	}
+	if c.plan.CutReadAt >= 0 && !c.cut {
+		clamp(c.plan.CutReadAt)
+	}
+	if c.plan.CorruptReadAt >= 0 {
+		// Deliver up to and including the corrupted byte in one chunk.
+		if c.plan.CorruptReadAt >= off && c.plan.CorruptReadAt-off+1 < int64(n) {
+			n = int(c.plan.CorruptReadAt - off + 1)
+		}
+	}
+	if c.plan.DupReadTo >= 0 {
+		clamp(c.plan.DupReadTo)
+	}
+	if c.plan.StallReadAt >= 0 && !c.stalled {
+		clamp(c.plan.StallReadAt)
+	}
+	if c.plan.PartitionAt >= 0 && !c.stalled {
+		clamp(c.plan.PartitionAt)
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// stall blocks for d or until the connection closes.
+func (c *FaultConn) stall(d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-c.closeCh:
+	}
+}
+
+func (c *FaultConn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.cut || c.parted {
+		c.mu.Unlock()
+		return 0, ErrInjectedCut
+	}
+	// Fire point faults scheduled exactly at the current offset.
+	if c.plan.CutReadAt >= 0 && c.rOff >= c.plan.CutReadAt {
+		c.cut = true
+		c.mu.Unlock()
+		return 0, ErrInjectedCut
+	}
+	if !c.stalled && c.plan.PartitionAt >= 0 && c.rOff >= c.plan.PartitionAt {
+		c.stalled = true
+		c.parted = true
+		c.mu.Unlock()
+		c.stall(c.plan.StallFor)
+		c.Conn.Close()
+		return 0, ErrInjectedCut
+	}
+	if !c.stalled && c.plan.StallReadAt >= 0 && c.rOff >= c.plan.StallReadAt {
+		c.stalled = true
+		c.mu.Unlock()
+		c.stall(c.plan.StallFor)
+		c.mu.Lock()
+	}
+	// Drain duplicated bytes first; they do not advance the clean offset.
+	if len(c.pending) > 0 {
+		n := copy(p, c.pending)
+		c.pending = c.pending[n:]
+		c.mu.Unlock()
+		return n, nil
+	}
+	off := c.rOff
+	limit := c.boundary(off, len(p))
+	c.mu.Unlock()
+
+	n, err := c.Conn.Read(p[:limit])
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n > 0 {
+		if at := c.plan.CorruptReadAt; at >= off && at < off+int64(n) {
+			p[at-off] ^= c.plan.CorruptMask
+		}
+		if from, to := c.plan.DupReadFrom, c.plan.DupReadTo; from >= 0 && to > from {
+			lo, hi := off, off+int64(n)
+			if from < hi && to > lo {
+				s, e := max64(from, lo), min64(to, hi)
+				c.retained = append(c.retained, p[s-off:e-off]...)
+			}
+			if hi >= to && c.retained != nil {
+				c.pending = append(c.pending, c.retained...)
+				c.retained = nil
+			}
+		}
+		c.rOff += int64(n)
+	}
+	return n, err
+}
+
+func (c *FaultConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	parted := c.parted
+	c.mu.Unlock()
+	if parted {
+		// Both directions frozen: hold the writer for the stall window too.
+		c.stall(c.plan.StallFor)
+		return 0, ErrInjectedCut
+	}
+	return c.Conn.Write(p)
+}
+
+func (c *FaultConn) Close() error {
+	c.closeOnce.Do(func() { close(c.closeCh) })
+	return c.Conn.Close()
+}
+
+// FaultListener wraps a net.Listener, applying one FaultPlan per accepted
+// connection in order; connections past the last plan are clean. It injects
+// faults on the primary side, so the follower→primary ack direction is
+// covered too.
+type FaultListener struct {
+	net.Listener
+	mu    sync.Mutex
+	plans []FaultPlan
+	next  int
+}
+
+// NewFaultListener wraps ln; the i-th accepted connection gets plans[i].
+func NewFaultListener(ln net.Listener, plans ...FaultPlan) *FaultListener {
+	return &FaultListener{Listener: ln, plans: plans}
+}
+
+func (l *FaultListener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	plan := NoFaults()
+	if l.next < len(l.plans) {
+		plan = l.plans[l.next]
+	}
+	l.next++
+	l.mu.Unlock()
+	return NewFaultConn(conn, plan), nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

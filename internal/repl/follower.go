@@ -1,0 +1,363 @@
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// Default tuning for FollowerOptions zero values.
+const (
+	DefaultReconnectMin = 100 * time.Millisecond
+	DefaultReconnectMax = 5 * time.Second
+	DefaultReadTimeout  = 2 * time.Second
+)
+
+// FollowerOptions tunes a replication follower.
+type FollowerOptions struct {
+	// Addr is the primary's replication address.
+	Addr string
+	// Dial overrides how connections are made; tests inject faulty
+	// transports here. Nil means a plain TCP dial with ReadTimeout as the
+	// dial timeout.
+	Dial func(addr string) (net.Conn, error)
+	// ReconnectMin/ReconnectMax bound the jittered exponential backoff
+	// between connection attempts.
+	ReconnectMin time.Duration
+	ReconnectMax time.Duration
+	// ReadTimeout bounds silence on the link. The primary's heartbeat must
+	// fit inside it; a healthy idle link never trips it.
+	ReadTimeout time.Duration
+	// SendTimeout bounds handshake and ack writes.
+	SendTimeout time.Duration
+}
+
+func (o *FollowerOptions) fill() {
+	if o.ReconnectMin <= 0 {
+		o.ReconnectMin = DefaultReconnectMin
+	}
+	if o.ReconnectMax <= 0 {
+		o.ReconnectMax = DefaultReconnectMax
+	}
+	if o.ReadTimeout <= 0 {
+		o.ReadTimeout = DefaultReadTimeout
+	}
+	if o.SendTimeout <= 0 {
+		o.SendTimeout = DefaultSendTimeout
+	}
+	if o.Dial == nil {
+		timeout := o.ReadTimeout
+		o.Dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+}
+
+// Quarantine is the latched divergence state of a follower: once set it never
+// clears, mirroring the WAL failure latch. Seq is the last sequence the
+// follower applied cleanly — the snapshot it keeps serving.
+type Quarantine struct {
+	Seq    uint64
+	Reason string
+}
+
+// FollowerStatus snapshots a follower for /stats and narration.
+type FollowerStatus struct {
+	AppliedSeq       uint64
+	PrimarySeq       uint64 // last seq the primary reported (welcome/heartbeat)
+	Lag              uint64 // PrimarySeq - AppliedSeq when positive
+	Connected        bool
+	Reconnects       uint64 // completed reconnections after the first session
+	Records          uint64 // records applied over the follower's lifetime
+	Duplicates       uint64 // re-shipped records skipped (seq <= applied)
+	Reseeds          uint64 // checkpoint re-seeds accepted
+	Quarantined      bool
+	QuarantineSeq    uint64
+	QuarantineReason string
+	Catchup          storage.RecoveryReport // what the current/last session shipped
+}
+
+// Follower keeps a read-only database converged with a primary's record
+// stream. Create with StartFollower; stop with Close. A quarantined follower
+// stops replicating permanently but its database keeps serving the last
+// consistent snapshot.
+type Follower struct {
+	db   *storage.Database
+	opts FollowerOptions
+
+	applied    atomic.Uint64
+	primarySeq atomic.Uint64
+	connected  atomic.Bool
+	reconnects atomic.Uint64
+	records    atomic.Uint64
+	duplicates atomic.Uint64
+	reseeds    atomic.Uint64
+	quar       atomic.Pointer[Quarantine]
+
+	closeCh chan struct{}
+	closed  atomic.Bool
+	wg      sync.WaitGroup
+
+	mu      sync.Mutex
+	conn    net.Conn
+	catchup storage.RecoveryReport
+}
+
+// StartFollower marks db read-only and begins replicating from the primary,
+// reconnecting with jittered exponential backoff until Close or quarantine.
+// The database must be in-memory: its contents belong to the primary's log.
+func StartFollower(db *storage.Database, opts FollowerOptions) (*Follower, error) {
+	if db.Durable() {
+		return nil, errors.New("repl: a follower database must not have its own WAL; it replays the primary's")
+	}
+	if opts.Addr == "" && opts.Dial == nil {
+		return nil, errors.New("repl: follower needs a primary address")
+	}
+	opts.fill()
+	f := &Follower{db: db, opts: opts, closeCh: make(chan struct{})}
+	db.SetReadOnly(true)
+	f.applied.Store(db.Snapshot().Seq())
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		f.run()
+	}()
+	return f, nil
+}
+
+// run is the reconnect loop: dial, run a session, back off, repeat — until
+// Close, or until divergence latches the quarantine.
+func (f *Follower) run() {
+	delay := f.opts.ReconnectMin
+	first := true
+	for {
+		if f.closed.Load() || f.quar.Load() != nil {
+			return
+		}
+		conn, err := f.opts.Dial(f.opts.Addr)
+		if err == nil {
+			if !first {
+				f.reconnects.Add(1)
+			}
+			first = false
+			f.mu.Lock()
+			f.conn = conn
+			f.mu.Unlock()
+			f.connected.Store(true)
+			healthy := f.session(conn)
+			f.connected.Store(false)
+			f.mu.Lock()
+			f.conn = nil
+			f.mu.Unlock()
+			conn.Close()
+			if healthy {
+				delay = f.opts.ReconnectMin
+			}
+		}
+		if f.closed.Load() || f.quar.Load() != nil {
+			return
+		}
+		// Jittered exponential backoff: uniformly within [delay/2, delay],
+		// so a herd of followers never reconnects in lockstep.
+		sleep := delay/2 + time.Duration(rand.Int64N(int64(delay/2)+1))
+		select {
+		case <-f.closeCh:
+			return
+		case <-time.After(sleep):
+		}
+		if delay *= 2; delay > f.opts.ReconnectMax {
+			delay = f.opts.ReconnectMax
+		}
+	}
+}
+
+// session runs one connection: handshake with the applied seq, then apply
+// whatever arrives until the link breaks (return: reconnect) or diverges
+// (quarantine latches; return). Reports whether the session made progress,
+// which resets the backoff.
+func (f *Follower) session(conn net.Conn) (healthy bool) {
+	var scratch, payload []byte
+	applied := f.applied.Load()
+	payload = appendMessage(payload[:0], msgHandshake, nil,
+		protoVersion, storage.SchemaFingerprint(f.db), applied)
+	if sendMessage(conn, f.opts.SendTimeout, &scratch, payload) != nil {
+		return false
+	}
+	f.mu.Lock()
+	f.catchup = storage.RecoveryReport{}
+	f.mu.Unlock()
+	sc := wal.NewFrameScanner(deadlineReader{conn, f.opts.ReadTimeout})
+	for sc.Scan() {
+		msg, err := parseMessage(sc.Frame().Payload)
+		if err != nil {
+			f.quarantine(fmt.Sprintf("the primary sent something I cannot parse: %v", err))
+			return healthy
+		}
+		switch msg.kind {
+		case msgWelcome:
+			if msg.a != protoVersion {
+				f.quarantine(fmt.Sprintf("the primary speaks replication protocol version %d; I speak %d", msg.a, protoVersion))
+				return healthy
+			}
+			if fp := storage.SchemaFingerprint(f.db); msg.b != fp {
+				f.quarantine("the primary's schema differs from mine; I cannot apply its log")
+				return healthy
+			}
+			f.notePrimarySeq(msg.c)
+			healthy = true
+		case msgReject:
+			f.quarantine("the primary refused me: " + string(msg.body))
+			return healthy
+		case msgCheckpoint:
+			floor, err := storage.CheckpointFloor(msg.body)
+			if err != nil {
+				f.quarantine(fmt.Sprintf("the primary shipped a checkpoint I cannot read: %v", err))
+				return healthy
+			}
+			if cur := f.applied.Load(); floor < cur {
+				f.quarantine(fmt.Sprintf("the primary offered a checkpoint at sequence %d while I stand at %d; our histories diverged", floor, cur))
+				return healthy
+			}
+			_, rows, err := f.db.LoadReplicatedCheckpoint(msg.body)
+			if err != nil {
+				f.quarantine(fmt.Sprintf("the primary's checkpoint failed to load: %v", err))
+				return healthy
+			}
+			f.applied.Store(floor)
+			f.reseeds.Add(1)
+			f.notePrimarySeq(floor)
+			f.mu.Lock()
+			f.catchup.CheckpointRows = rows
+			f.catchup.CheckpointSeq = floor
+			if f.catchup.LastSeq < floor {
+				f.catchup.LastSeq = floor
+			}
+			f.mu.Unlock()
+			if !f.sendAck(conn, &scratch, floor) {
+				return healthy
+			}
+		case msgRecord:
+			seq, ok := storage.RecordSeq(msg.body)
+			if !ok {
+				f.quarantine("the primary shipped a record with no sequence")
+				return healthy
+			}
+			cur := f.applied.Load()
+			if seq <= cur {
+				f.duplicates.Add(1)
+				continue
+			}
+			if seq != cur+1 {
+				f.quarantine(fmt.Sprintf("sequence gap: record %d arrived while I stood at %d", seq, cur))
+				return healthy
+			}
+			_, ops, err := f.db.ApplyReplicatedRecord(msg.body)
+			if err != nil {
+				f.quarantine(fmt.Sprintf("record %d failed to apply: %v", seq, err))
+				return healthy
+			}
+			f.applied.Store(seq)
+			f.records.Add(1)
+			f.notePrimarySeq(seq)
+			f.mu.Lock()
+			if f.catchup.FirstSeq == 0 {
+				f.catchup.FirstSeq = seq
+			}
+			f.catchup.LastSeq = seq
+			f.catchup.ReplayedBatches++
+			f.catchup.ReplayedOps += ops
+			f.mu.Unlock()
+			healthy = true
+			if !f.sendAck(conn, &scratch, seq) {
+				return healthy
+			}
+		case msgHeartbeat:
+			f.notePrimarySeq(msg.a)
+			if !f.sendAck(conn, &scratch, f.applied.Load()) {
+				return healthy
+			}
+		default:
+			f.quarantine(fmt.Sprintf("the primary sent a %q frame I did not expect", msg.kind))
+			return healthy
+		}
+	}
+	// The scan ended. A corrupt frame is divergence — the stream can no
+	// longer be trusted at this sequence. A severed or silent link is not:
+	// reconnect and resume from the applied sequence.
+	var fe *wal.FrameError
+	if err := sc.Err(); errors.As(err, &fe) && fe.Corrupt() {
+		f.quarantine(fmt.Sprintf("the replication stream corrupted in flight (%s)", fe.Reason))
+	}
+	return healthy
+}
+
+func (f *Follower) sendAck(conn net.Conn, scratch *[]byte, seq uint64) bool {
+	payload := appendMessage(nil, msgAck, nil, seq)
+	return sendMessage(conn, f.opts.SendTimeout, scratch, payload) == nil
+}
+
+func (f *Follower) notePrimarySeq(seq uint64) {
+	for {
+		cur := f.primarySeq.Load()
+		if seq <= cur || f.primarySeq.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
+}
+
+// quarantine latches the divergence state; only the first cause sticks.
+func (f *Follower) quarantine(reason string) {
+	q := &Quarantine{Seq: f.applied.Load(), Reason: reason}
+	f.quar.CompareAndSwap(nil, q)
+}
+
+// Quarantined returns the latched divergence state, or nil while healthy.
+func (f *Follower) Quarantined() *Quarantine { return f.quar.Load() }
+
+// Status snapshots the follower's replication state.
+func (f *Follower) Status() FollowerStatus {
+	st := FollowerStatus{
+		AppliedSeq: f.applied.Load(),
+		PrimarySeq: f.primarySeq.Load(),
+		Connected:  f.connected.Load(),
+		Reconnects: f.reconnects.Load(),
+		Records:    f.records.Load(),
+		Duplicates: f.duplicates.Load(),
+		Reseeds:    f.reseeds.Load(),
+	}
+	if st.PrimarySeq > st.AppliedSeq {
+		st.Lag = st.PrimarySeq - st.AppliedSeq
+	}
+	if q := f.quar.Load(); q != nil {
+		st.Quarantined = true
+		st.QuarantineSeq = q.Seq
+		st.QuarantineReason = q.Reason
+	}
+	f.mu.Lock()
+	st.Catchup = f.catchup
+	f.mu.Unlock()
+	return st
+}
+
+// Close stops replicating and waits for the follower's goroutine to exit.
+// The database stays read-only, serving its last applied snapshot.
+func (f *Follower) Close() error {
+	if !f.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(f.closeCh)
+	f.mu.Lock()
+	if f.conn != nil {
+		f.conn.Close()
+	}
+	f.mu.Unlock()
+	f.wg.Wait()
+	return nil
+}

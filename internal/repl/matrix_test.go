@@ -1,0 +1,254 @@
+package repl
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/leakcheck"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// recorder captures every byte a connection delivers to its reader.
+type recorder struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (r *recorder) bytes() []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]byte(nil), r.buf.Bytes()...)
+}
+
+type recordingConn struct {
+	net.Conn
+	rec *recorder
+}
+
+func (c recordingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		c.rec.mu.Lock()
+		c.rec.buf.Write(p[:n])
+		c.rec.mu.Unlock()
+	}
+	return n, err
+}
+
+// faultDial wraps the i-th connection attempt with plans[i]; attempts past
+// the last plan are clean. Faults are therefore one-shot per schedule: the
+// follower's reconnect sees an honest link.
+func faultDial(plans ...FaultPlan) func(addr string) (net.Conn, error) {
+	var mu sync.Mutex
+	attempt := 0
+	return func(addr string) (net.Conn, error) {
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		i := attempt
+		attempt++
+		mu.Unlock()
+		if i < len(plans) {
+			return NewFaultConn(conn, plans[i]), nil
+		}
+		return conn, nil
+	}
+}
+
+// frameSpan locates one frame in the recorded clean stream.
+type frameSpan struct {
+	kind       byte
+	start, end int64 // [start, end) in clean-stream byte offsets
+}
+
+func parseSpans(t *testing.T, stream []byte) []frameSpan {
+	t.Helper()
+	var spans []frameSpan
+	sc := wal.NewFrameScanner(bytes.NewReader(stream))
+	for sc.Scan() {
+		end := sc.Offset()
+		payload := sc.Frame().Payload
+		spans = append(spans, frameSpan{
+			kind:  payload[0],
+			start: end - int64(len(payload)) - 8,
+			end:   end,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("recorded stream does not parse: %v", err)
+	}
+	return spans
+}
+
+// TestPartitionMatrix drives every scripted transport fault against a live
+// primary/follower pair and accepts exactly two outcomes: byte-identical
+// convergence at the primary's sequence, or a latched quarantine with a
+// narrated cause. Any third state — wedged, silently diverged, crashed —
+// fails the schedule.
+func TestPartitionMatrix(t *testing.T) {
+	defer leakcheck.Check(t)()
+
+	// Primary state: 3 rows below a checkpoint, 5 above it, so catch-up
+	// exercises both the segment re-seed and the record stream.
+	pdb := newPrimaryDB(t)
+	for i := 1; i <= 3; i++ {
+		insRow(t, pdb, i)
+	}
+	if err := pdb.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 4; i <= 8; i++ {
+		insRow(t, pdb, i)
+	}
+	const lastSeq = 8
+	p, addr := startPrimary(t, pdb, PrimaryOptions{
+		Heartbeat:   500 * time.Millisecond,
+		SendTimeout: 2 * time.Second,
+	})
+	defer p.Close()
+	want := dump(pdb)
+
+	// Probe run: record the clean catch-up stream so fault offsets can be
+	// aimed at specific frames of a byte-identical replay.
+	rec := &recorder{}
+	probeOpts := fastFollowerOpts(addr)
+	probeOpts.Dial = func(a string) (net.Conn, error) {
+		conn, err := net.DialTimeout("tcp", a, time.Second)
+		if err != nil {
+			return nil, err
+		}
+		return recordingConn{conn, rec}, nil
+	}
+	probeDB := newReplDB(t)
+	probe, err := StartFollower(probeDB, probeOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "probe convergence", func() bool {
+		return probe.Status().AppliedSeq == lastSeq
+	})
+	probe.Close()
+	spans := parseSpans(t, rec.bytes())
+	if len(spans) < 3 || spans[0].kind != msgWelcome || spans[1].kind != msgCheckpoint {
+		t.Fatalf("unexpected probe stream shape: %+v", spans)
+	}
+
+	type schedule struct {
+		name string
+		plan FaultPlan
+		// expect is "converge", "quarantine", or "either"; quarantine
+		// schedules also pin a substring of the narrated cause.
+		expect string
+		reason string
+	}
+	var schedules []schedule
+	for i, sp := range spans {
+		kindName := fmt.Sprintf("%c%d", sp.kind, i)
+		cut := NoFaults()
+		cut.CutReadAt = sp.start
+		schedules = append(schedules, schedule{
+			name: "cut-at-boundary-" + kindName, plan: cut, expect: "converge"})
+		mid := NoFaults()
+		mid.CutReadAt = sp.start + 5
+		schedules = append(schedules, schedule{
+			name: "cut-mid-frame-" + kindName, plan: mid, expect: "converge"})
+		cor := NoFaults()
+		cor.CorruptReadAt = sp.start + 8 // first payload byte
+		cor.CorruptMask = 0x40
+		schedules = append(schedules, schedule{
+			name: "corrupt-" + kindName, plan: cor,
+			expect: "quarantine", reason: "corrupted in flight (checksum mismatch)"})
+		dup := NoFaults()
+		dup.DupReadFrom, dup.DupReadTo = sp.start, sp.end
+		schedules = append(schedules, schedule{
+			name: "duplicate-" + kindName, plan: dup, expect: "converge"})
+		// Corrupting a length-prefix byte may instead classify as a torn or
+		// truncated frame — transient, so the follower reconnects. Either
+		// outcome is legal; the matrix only forbids a third state.
+		hdr := NoFaults()
+		hdr.CorruptReadAt = sp.start + 1
+		hdr.CorruptMask = 0x10
+		schedules = append(schedules, schedule{
+			name: "corrupt-header-" + kindName, plan: hdr, expect: "either"})
+	}
+	midStream := spans[len(spans)/2].start
+	stall := NoFaults()
+	stall.StallReadAt, stall.StallFor = midStream, 300*time.Millisecond
+	schedules = append(schedules, schedule{name: "stall-short", plan: stall, expect: "converge"})
+	longStall := NoFaults()
+	longStall.StallReadAt, longStall.StallFor = midStream, 1200*time.Millisecond
+	schedules = append(schedules, schedule{name: "stall-past-read-timeout", plan: longStall, expect: "converge"})
+	part := NoFaults()
+	part.PartitionAt, part.StallFor = midStream, 300*time.Millisecond
+	schedules = append(schedules, schedule{name: "partition-both-ways", plan: part, expect: "converge"})
+
+	for _, sched := range schedules {
+		t.Run(sched.name, func(t *testing.T) {
+			opts := fastFollowerOpts(addr)
+			opts.ReadTimeout = time.Second
+			opts.Dial = faultDial(sched.plan)
+			fdb := newReplDB(t)
+			f, err := StartFollower(fdb, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			var outcome string
+			deadline := time.Now().Add(15 * time.Second)
+			for {
+				if q := f.Quarantined(); q != nil {
+					outcome = "quarantine"
+					if q.Reason == "" {
+						t.Fatal("quarantined without a narrated cause")
+					}
+					break
+				}
+				if f.Status().AppliedSeq == lastSeq && dump(fdb) == want {
+					outcome = "converge"
+					break
+				}
+				if time.Now().After(deadline) {
+					st := f.Status()
+					t.Fatalf("third state: neither converged nor quarantined (status %+v)", st)
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+			switch sched.expect {
+			case "converge", "quarantine":
+				if outcome != sched.expect {
+					detail := ""
+					if q := f.Quarantined(); q != nil {
+						detail = ": " + q.Reason
+					}
+					t.Fatalf("outcome %s%s, want %s", outcome, detail, sched.expect)
+				}
+			}
+			if sched.reason != "" {
+				q := f.Quarantined()
+				if q == nil || !bytes.Contains([]byte(q.Reason), []byte(sched.reason)) {
+					t.Fatalf("quarantine reason %q does not mention %q", q.Reason, sched.reason)
+				}
+			}
+			if outcome == "converge" {
+				// Converged means converged exactly: same seq, same bytes.
+				if got := fdb.Snapshot().Seq(); got != lastSeq {
+					t.Fatalf("converged at seq %d, want %d", got, lastSeq)
+				}
+			}
+		})
+	}
+
+	// The primary survived the whole gauntlet with commits unharmed.
+	insRow(t, pdb, 9)
+	if got, _ := pdb.DurabilityStats(); got.LastSeq != lastSeq+1 {
+		t.Fatalf("primary seq %d after the matrix, want %d", got.LastSeq, lastSeq+1)
+	}
+	_ = storage.ErrReadOnlyReplica // keep the contract import explicit
+}

@@ -1,0 +1,410 @@
+package repl
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// Default tuning for PrimaryOptions zero values.
+const (
+	DefaultHeartbeat        = 500 * time.Millisecond
+	DefaultSendTimeout      = 5 * time.Second
+	DefaultHandshakeTimeout = 5 * time.Second
+	DefaultOutboxBytes      = 1 << 20
+)
+
+// PrimaryOptions tunes a replication primary.
+type PrimaryOptions struct {
+	// Heartbeat is how often an idle link carries the primary's last
+	// committed sequence, so followers measure lag without traffic.
+	Heartbeat time.Duration
+	// SendTimeout bounds every frame write. A follower that stops reading
+	// backs TCP up until a write trips this and the link drops — the sender
+	// goroutine is never wedged longer than one timeout.
+	SendTimeout time.Duration
+	// HandshakeTimeout bounds how long an accepted connection may take to
+	// present its handshake frame.
+	HandshakeTimeout time.Duration
+	// AckTimeout bounds silence on the follower→primary ack stream; zero
+	// defaults to four heartbeats. A partitioned follower trips it and is
+	// dropped rather than tracked as live forever.
+	AckTimeout time.Duration
+	// OutboxBytes bounds the in-memory ring of recent committed records.
+	// Followers that fall off the ring catch up from the checkpoint + log on
+	// disk, so the bound costs catch-up IO, never commit latency.
+	OutboxBytes int
+}
+
+func (o *PrimaryOptions) fill() {
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = DefaultHeartbeat
+	}
+	if o.SendTimeout <= 0 {
+		o.SendTimeout = DefaultSendTimeout
+	}
+	if o.HandshakeTimeout <= 0 {
+		o.HandshakeTimeout = DefaultHandshakeTimeout
+	}
+	if o.AckTimeout <= 0 {
+		o.AckTimeout = 4 * o.Heartbeat
+	}
+	if o.OutboxBytes <= 0 {
+		o.OutboxBytes = DefaultOutboxBytes
+	}
+}
+
+// followerLink is the primary's view of one connected follower.
+type followerLink struct {
+	conn   net.Conn
+	addr   string
+	since  time.Time
+	ack    atomic.Uint64 // highest acknowledged applied seq
+	sent   atomic.Uint64 // highest record seq shipped
+	notify chan struct{} // capacity 1: a pending token means "new commits"
+}
+
+// FollowerLinkStats describes one live link on /stats.
+type FollowerLinkStats struct {
+	Addr         string
+	AckSeq       uint64
+	SentSeq      uint64
+	Lag          uint64 // primary last seq minus acknowledged seq
+	ConnectedFor time.Duration
+}
+
+// PrimaryStats is the primary-side replication snapshot for /stats.
+type PrimaryStats struct {
+	LastSeq      uint64
+	Accepted     uint64 // connections accepted over the primary's lifetime
+	Dropped      uint64 // links the primary severed (deadline, bad ack stream)
+	OutboxFrames int
+	OutboxBytes  int
+	Followers    []FollowerLinkStats
+}
+
+// Primary streams committed WAL records to followers. Create with
+// NewPrimary, serve with Start (or Serve), stop with Close.
+type Primary struct {
+	db   *storage.Database
+	opts PrimaryOptions
+
+	lastSeq  atomic.Uint64
+	accepted atomic.Uint64
+	dropped  atomic.Uint64
+
+	closeCh chan struct{}
+	wg      sync.WaitGroup
+
+	mu        sync.Mutex
+	closed    bool
+	ln        net.Listener
+	links     map[*followerLink]struct{}
+	ring      []storage.CommitFrame // contiguous seqs; bounded by OutboxBytes
+	ringBytes int
+}
+
+// NewPrimary attaches a replication primary to a durable database: its
+// commit sink feeds the outbox ring from here on. Call Start to accept
+// followers.
+func NewPrimary(db *storage.Database, opts PrimaryOptions) (*Primary, error) {
+	if !db.Durable() {
+		return nil, errors.New("repl: a replication primary requires a durable database (the WAL is the outbox)")
+	}
+	opts.fill()
+	p := &Primary{
+		db:      db,
+		opts:    opts,
+		closeCh: make(chan struct{}),
+		links:   make(map[*followerLink]struct{}),
+	}
+	stats, _ := db.DurabilityStats()
+	p.lastSeq.Store(stats.LastSeq)
+	if err := db.SetCommitSink(p.onCommit); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// onCommit is the storage commit sink: called in commit order, after the
+// fsync, with the durability mutex held. It copies the record into the ring,
+// evicts the oldest frames past the byte budget, and nudges every sender —
+// all non-blocking, so a commit never waits on replication.
+func (p *Primary) onCommit(seq uint64, record []byte) {
+	cp := append([]byte(nil), record...)
+	p.mu.Lock()
+	p.ring = append(p.ring, storage.CommitFrame{Seq: seq, Record: cp})
+	p.ringBytes += len(cp)
+	for p.ringBytes > p.opts.OutboxBytes && len(p.ring) > 1 {
+		p.ringBytes -= len(p.ring[0].Record)
+		p.ring[0] = storage.CommitFrame{}
+		p.ring = p.ring[1:]
+	}
+	if cap(p.ring) > 2*len(p.ring)+16 {
+		p.ring = append(make([]storage.CommitFrame, 0, len(p.ring)), p.ring...)
+	}
+	p.lastSeq.Store(seq)
+	for l := range p.links {
+		select {
+		case l.notify <- struct{}{}:
+		default:
+		}
+	}
+	p.mu.Unlock()
+}
+
+// Start runs Serve on a tracked goroutine and returns immediately.
+func (p *Primary) Start(ln net.Listener) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		p.Serve(ln)
+	}()
+}
+
+// Serve accepts follower connections on ln until it closes (Close closes
+// it). Each follower gets a sender goroutine and an ack-reader goroutine.
+func (p *Primary) Serve(ln net.Listener) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		ln.Close()
+		return
+	}
+	p.ln = ln
+	p.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		p.accepted.Add(1)
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.serveFollower(conn)
+		}()
+	}
+}
+
+// serveFollower runs one link: handshake, then the send loop, with a
+// concurrent ack reader. Any error on either side severs the connection; the
+// follower is expected to reconnect and resume.
+func (p *Primary) serveFollower(conn net.Conn) {
+	defer conn.Close()
+	var scratch, payload []byte
+	msg, err := readHandshake(conn, p.opts.HandshakeTimeout)
+	if err != nil {
+		return
+	}
+	if msg.a != protoVersion {
+		payload = appendMessage(payload[:0], msgReject, []byte("we speak different replication protocol versions"))
+		_ = sendMessage(conn, p.opts.SendTimeout, &scratch, payload)
+		return
+	}
+	if fp := storage.SchemaFingerprint(p.db); msg.b != fp {
+		payload = appendMessage(payload[:0], msgReject, []byte("our schemas differ; a follower must be built from the primary's schema"))
+		_ = sendMessage(conn, p.opts.SendTimeout, &scratch, payload)
+		return
+	}
+	link := &followerLink{
+		conn:   conn,
+		addr:   conn.RemoteAddr().String(),
+		since:  time.Now(),
+		notify: make(chan struct{}, 1),
+	}
+	link.ack.Store(msg.c)
+	link.sent.Store(msg.c)
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.links[link] = struct{}{}
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		delete(p.links, link)
+		p.mu.Unlock()
+	}()
+	payload = appendMessage(payload[:0], msgWelcome, nil, protoVersion, storage.SchemaFingerprint(p.db), p.lastSeq.Load())
+	if err := sendMessage(conn, p.opts.SendTimeout, &scratch, payload); err != nil {
+		return
+	}
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		p.readAcks(link)
+	}()
+	p.sendLoop(link, msg.c)
+}
+
+// readHandshake reads and validates the first frame of a new connection.
+func readHandshake(conn net.Conn, timeout time.Duration) (message, error) {
+	sc := wal.NewFrameScanner(deadlineReader{conn, timeout})
+	if !sc.Scan() {
+		err := sc.Err()
+		if err == nil {
+			err = errors.New("repl: connection closed before handshake")
+		}
+		return message{}, err
+	}
+	msg, err := parseMessage(sc.Frame().Payload)
+	if err != nil {
+		return message{}, err
+	}
+	if msg.kind != msgHandshake {
+		return message{}, errors.New("repl: first frame was not a handshake")
+	}
+	return msg, nil
+}
+
+// readAcks consumes the follower→primary ack stream, keeping the link's
+// acknowledged seq fresh for /stats and lag accounting. Silence past
+// AckTimeout, or an unintelligible frame, severs the connection — the send
+// loop then fails its next write and the follower reconnects.
+func (p *Primary) readAcks(link *followerLink) {
+	sc := wal.NewFrameScanner(deadlineReader{link.conn, p.opts.AckTimeout})
+	for sc.Scan() {
+		msg, err := parseMessage(sc.Frame().Payload)
+		if err != nil || msg.kind != msgAck {
+			break
+		}
+		if msg.a > link.ack.Load() {
+			link.ack.Store(msg.a)
+		}
+	}
+	link.conn.Close()
+}
+
+// sendLoop ships the backlog from the follower's applied seq, then follows
+// the live tail: commit notifications wake it, heartbeats cover silence.
+// Every write is deadline-bounded; the first failure drops the link.
+func (p *Primary) sendLoop(link *followerLink, applied uint64) {
+	next := applied + 1
+	var scratch, payload []byte
+	hb := time.NewTicker(p.opts.Heartbeat)
+	defer hb.Stop()
+	for {
+		for next <= p.lastSeq.Load() {
+			ck, frames, last, err := p.framesFrom(next)
+			if err != nil {
+				p.dropped.Add(1)
+				return
+			}
+			if ck != nil {
+				payload = appendMessage(payload[:0], msgCheckpoint, ck)
+				if sendMessage(link.conn, p.opts.SendTimeout, &scratch, payload) != nil {
+					p.dropped.Add(1)
+					return
+				}
+			}
+			for _, fr := range frames {
+				payload = appendMessage(payload[:0], msgRecord, fr.Record)
+				if sendMessage(link.conn, p.opts.SendTimeout, &scratch, payload) != nil {
+					p.dropped.Add(1)
+					return
+				}
+				link.sent.Store(fr.Seq)
+			}
+			if last+1 <= next {
+				break // nothing new surfaced; wait for a notification
+			}
+			next = last + 1
+		}
+		select {
+		case <-p.closeCh:
+			return
+		case <-link.notify:
+		case <-hb.C:
+			payload = appendMessage(payload[:0], msgHeartbeat, nil, p.lastSeq.Load())
+			if sendMessage(link.conn, p.opts.SendTimeout, &scratch, payload) != nil {
+				p.dropped.Add(1)
+				return
+			}
+		}
+	}
+}
+
+// framesFrom returns what a follower whose next needed seq is `next` should
+// receive. The ring serves the live tail without touching disk; a follower
+// that fell off it is fed from the durable backlog (checkpoint + log), which
+// is the unbounded source of truth.
+func (p *Primary) framesFrom(next uint64) (ck []byte, frames []storage.CommitFrame, last uint64, err error) {
+	p.mu.Lock()
+	if n := len(p.ring); n > 0 && p.ring[0].Seq <= next {
+		idx := int(next - p.ring[0].Seq)
+		if idx >= n {
+			p.mu.Unlock()
+			return nil, nil, next - 1, nil
+		}
+		frames = append(frames, p.ring[idx:]...)
+		p.mu.Unlock()
+		return nil, frames, frames[len(frames)-1].Seq, nil
+	}
+	p.mu.Unlock()
+	// Lock order: the storage read takes durability.mu; never hold p.mu
+	// across it (the commit sink runs under durability.mu and takes p.mu).
+	return p.db.ReplicationBacklog(next - 1)
+}
+
+// Stats snapshots the primary's replication counters and per-link state.
+func (p *Primary) Stats() PrimaryStats {
+	last := p.lastSeq.Load()
+	out := PrimaryStats{
+		LastSeq:  last,
+		Accepted: p.accepted.Load(),
+		Dropped:  p.dropped.Load(),
+	}
+	now := time.Now()
+	p.mu.Lock()
+	out.OutboxFrames = len(p.ring)
+	out.OutboxBytes = p.ringBytes
+	for l := range p.links {
+		ack := l.ack.Load()
+		st := FollowerLinkStats{
+			Addr:         l.addr,
+			AckSeq:       ack,
+			SentSeq:      l.sent.Load(),
+			ConnectedFor: now.Sub(l.since),
+		}
+		if last > ack {
+			st.Lag = last - ack
+		}
+		out.Followers = append(out.Followers, st)
+	}
+	p.mu.Unlock()
+	return out
+}
+
+// Close detaches the commit sink, stops accepting, severs every link, and
+// waits for all replication goroutines to exit.
+func (p *Primary) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	ln := p.ln
+	links := make([]*followerLink, 0, len(p.links))
+	for l := range p.links {
+		links = append(links, l)
+	}
+	p.mu.Unlock()
+	_ = p.db.SetCommitSink(nil)
+	close(p.closeCh)
+	if ln != nil {
+		ln.Close()
+	}
+	for _, l := range links {
+		l.conn.Close()
+	}
+	p.wg.Wait()
+	return nil
+}

@@ -1,0 +1,139 @@
+// Package repl implements WAL-shipping replication: a primary streams the
+// committed records its write-ahead log fsyncs — the exact CRC32C-framed
+// payloads, tagged with their sequence — to N followers over a small
+// length-prefixed TCP protocol, and each follower applies them through the
+// same record-atomic replay path crash recovery uses, publishing one MVCC
+// version per record. A follower is therefore always at some consistent
+// snapshot @seq and can serve read-only traffic, narrating how far behind
+// the primary it stands.
+//
+// Robustness is the design center, not the transport:
+//
+//   - Replication is asynchronous and pull-shaped. The WAL itself is the
+//     outbox: the primary keeps only a bounded in-memory ring of recent
+//     records, and a follower that falls off it is re-fed from the
+//     checkpoint segment plus the log. Commits never wait for a follower.
+//   - Every send carries a deadline; a wedged follower trips it and is
+//     dropped, never stalling the sender goroutine indefinitely.
+//   - Followers reconnect with jittered exponential backoff, resuming from
+//     their applied sequence via the handshake.
+//   - Divergence — a sequence gap, a corrupt frame, a checkpoint behind the
+//     follower's own state, a record that fails to apply — latches the
+//     follower into a quarantine mirroring the WAL failure latch: it stops
+//     applying, keeps serving its last consistent snapshot, and narrates
+//     why. A severed or silent link, by contrast, is merely retried.
+//
+// Wire format: every message is one wal frame ([4B length][4B CRC32C]
+// [payload]); the payload's first byte is the message kind, followed by
+// uvarint fields and/or an opaque body. Corruption anywhere therefore
+// surfaces as a checksum mismatch, which the follower treats as divergence.
+package repl
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// protoVersion gates the handshake; both ends must speak the same version.
+const protoVersion = 1
+
+// Message kinds (the first payload byte of every frame).
+const (
+	msgHandshake  = 'H' // follower → primary: version, schema fingerprint, applied seq
+	msgWelcome    = 'W' // primary → follower: version, schema fingerprint, last committed seq
+	msgCheckpoint = 'C' // primary → follower: raw checkpoint segment (re-seed below the floor)
+	msgRecord     = 'R' // primary → follower: one committed WAL record payload
+	msgHeartbeat  = 'B' // primary → follower: last committed seq (lag without traffic)
+	msgAck        = 'A' // follower → primary: applied seq
+	msgReject     = 'E' // primary → follower: terminal refusal, body is the reason
+)
+
+// message is a decoded protocol frame. The uvarint fields a, b, c mean, per
+// kind: H/W carry (version, fingerprint, seq); B and A carry (seq) in a.
+// body is the opaque payload of C (checkpoint bytes), R (record), E (reason).
+type message struct {
+	kind    byte
+	a, b, c uint64
+	body    []byte
+}
+
+// uvarintCount is how many leading uvarint fields each kind carries.
+func uvarintCount(kind byte) int {
+	switch kind {
+	case msgHandshake, msgWelcome:
+		return 3
+	case msgHeartbeat, msgAck:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// parseMessage decodes one frame payload. Unknown kinds and short fields are
+// errors — on the follower side they count as divergence, not damage to skip.
+func parseMessage(payload []byte) (message, error) {
+	if len(payload) == 0 {
+		return message{}, fmt.Errorf("repl: empty message")
+	}
+	m := message{kind: payload[0]}
+	switch m.kind {
+	case msgHandshake, msgWelcome, msgCheckpoint, msgRecord, msgHeartbeat, msgAck, msgReject:
+	default:
+		return message{}, fmt.Errorf("repl: unknown message kind %q", m.kind)
+	}
+	rest := payload[1:]
+	fields := [3]*uint64{&m.a, &m.b, &m.c}
+	for i := 0; i < uvarintCount(m.kind); i++ {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return message{}, fmt.Errorf("repl: message %q field %d is malformed", m.kind, i)
+		}
+		*fields[i] = v
+		rest = rest[n:]
+	}
+	m.body = rest
+	return m, nil
+}
+
+// appendMessage encodes kind + uvarint fields + body into buf.
+func appendMessage(buf []byte, kind byte, body []byte, fields ...uint64) []byte {
+	buf = append(buf, kind)
+	for _, v := range fields {
+		buf = binary.AppendUvarint(buf, v)
+	}
+	return append(buf, body...)
+}
+
+// sendMessage frames payload and writes it with a deadline. scratch is
+// reused across calls so steady-state sends do not allocate.
+func sendMessage(conn net.Conn, timeout time.Duration, scratch *[]byte, payload []byte) error {
+	*scratch = wal.AppendRecord((*scratch)[:0], payload)
+	if timeout > 0 {
+		if err := conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
+			return err
+		}
+	}
+	_, err := conn.Write(*scratch)
+	return err
+}
+
+// deadlineReader refreshes a read deadline before every Read, so a frame
+// scanner over a link fails after `timeout` of silence instead of blocking
+// forever. Heartbeats keep a healthy idle link under the limit.
+type deadlineReader struct {
+	conn    net.Conn
+	timeout time.Duration
+}
+
+func (r deadlineReader) Read(p []byte) (int, error) {
+	if r.timeout > 0 {
+		if err := r.conn.SetReadDeadline(time.Now().Add(r.timeout)); err != nil {
+			return 0, err
+		}
+	}
+	return r.conn.Read(p)
+}

@@ -112,6 +112,15 @@ type RecoveryReport struct {
 	LostBatches int
 	// QuarantinedBytes is the size of the tail moved to CorruptFile.
 	QuarantinedBytes int
+	// CheckpointSeq is the WAL sequence floor the loaded checkpoint covered
+	// (zero when recovery started without one).
+	CheckpointSeq uint64
+	// FirstSeq and LastSeq delimit the recovered sequence range: FirstSeq is
+	// the first record replayed from the log (zero when none were), LastSeq
+	// the sequence the database stands at once recovery finishes. The
+	// follower catch-up narration reuses them for its "brought me from
+	// sequence A to B" sentence.
+	FirstSeq, LastSeq uint64
 	// TailReason classifies the damage in plain words ("torn frame header",
 	// "checksum mismatch", ...); empty for a clean log.
 	TailReason string
@@ -191,6 +200,15 @@ type durability struct {
 	checkpoints atomic.Uint64
 	walBytes    atomic.Int64
 
+	// floor is the WAL sequence the checkpoint segment covers: records at or
+	// below it are not in the log. Replication catch-up reads consult it to
+	// decide between shipping log records and re-seeding from the checkpoint.
+	floor atomic.Uint64
+
+	// sink, when set, observes every committed record (replication.go). It
+	// is called with mu held, after the fsync and version install.
+	sink func(seq uint64, record []byte)
+
 	report *RecoveryReport
 }
 
@@ -258,6 +276,7 @@ func (db *Database) EnableDurability(fs wal.FS, opts DurableOptions) (*RecoveryR
 			return nil, err
 		}
 		report.CheckpointRows = db.totalRows()
+		report.CheckpointSeq = lastSeq
 	}
 
 	appliedSeq := lastSeq
@@ -299,7 +318,10 @@ func (db *Database) EnableDurability(fs wal.FS, opts DurableOptions) (*RecoveryR
 	dur := &durability{fs: fs, w: wal.NewWriter(f, int64(validEnd)), opts: opts, report: report}
 	dur.seq.Store(appliedSeq)
 	dur.walBytes.Store(int64(validEnd))
+	dur.floor.Store(lastSeq)
 	db.dur = dur
+
+	report.LastSeq = appliedSeq
 
 	// Recovery is done: publish the recovered state as one version at the
 	// recovered sequence, so snapshot readers and the initial checkpoint see
@@ -359,6 +381,9 @@ func (db *Database) replayWAL(fs wal.FS, ckData []byte, lastSeq uint64, appliedS
 			ops, err = db.replayBatch(d)
 			if err == nil {
 				*appliedSeq = seq
+				if report.FirstSeq == 0 {
+					report.FirstSeq = seq
+				}
 				report.ReplayedBatches++
 				report.ReplayedOps += ops
 			}
@@ -550,6 +575,7 @@ func (db *Database) Checkpoint() error {
 	}
 	d.w = wal.NewWriter(nf, 0)
 	d.walBytes.Store(0)
+	d.floor.Store(floor)
 	d.checkpoints.Add(1)
 	return nil
 }
@@ -729,6 +755,9 @@ func (d *durability) commit(db *Database, ctx context.Context) error {
 	}
 	if snap != nil {
 		db.installVersion(snap)
+	}
+	if d.sink != nil {
+		d.sink(seq, d.rec)
 	}
 	d.batches.Add(1)
 	d.ops.Add(uint64(ops))

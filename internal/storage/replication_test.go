@@ -1,0 +1,250 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/value"
+	"repro/internal/wal"
+)
+
+// newReplicatedPair builds a durable primary (MemFS) with its commit sink
+// collecting frames, plus an empty in-memory follower over the same schema.
+func newReplicatedPair(t *testing.T) (primary *Database, follower *Database, frames *[]CommitFrame) {
+	t.Helper()
+	primary = newDurDB(t)
+	if _, err := primary.EnableDurability(wal.NewMemFS(), DurableOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	collected := &[]CommitFrame{}
+	if err := primary.SetCommitSink(func(seq uint64, record []byte) {
+		*collected = append(*collected, CommitFrame{Seq: seq, Record: append([]byte(nil), record...)})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	follower = newDurDB(t)
+	follower.SetReadOnly(true)
+	return primary, follower, collected
+}
+
+func insDirector(t *testing.T, db *Database, id int) {
+	t.Helper()
+	ins(t, db, "DIRECTOR", value.NewInt(int64(id)), value.NewText(fmt.Sprintf("d-%d", id)), value.NewNull())
+}
+
+// TestCommitSinkStreamsRecords pins the sink contract: one call per commit,
+// in sequence order, carrying exactly the record payload the WAL framed.
+func TestCommitSinkStreamsRecords(t *testing.T) {
+	primary, _, frames := newReplicatedPair(t)
+	for i := 0; i < 5; i++ {
+		insDirector(t, primary, i)
+	}
+	if len(*frames) != 5 {
+		t.Fatalf("sink saw %d commits, want 5", len(*frames))
+	}
+	for i, fr := range *frames {
+		if fr.Seq != uint64(i+1) {
+			t.Fatalf("frame %d has seq %d, want %d", i, fr.Seq, i+1)
+		}
+		seq, ok := RecordSeq(fr.Record)
+		if !ok || seq != fr.Seq {
+			t.Fatalf("frame %d: payload seq %d (ok=%v), want %d", i, seq, ok, fr.Seq)
+		}
+	}
+	// The sink stream must be byte-identical to the fsynced log.
+	_, diskFrames, _, err := primary.ReplicationBacklog(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diskFrames) != len(*frames) {
+		t.Fatalf("disk backlog has %d frames, sink saw %d", len(diskFrames), len(*frames))
+	}
+	for i := range diskFrames {
+		if diskFrames[i].Seq != (*frames)[i].Seq || string(diskFrames[i].Record) != string((*frames)[i].Record) {
+			t.Fatalf("frame %d: disk and sink disagree", i)
+		}
+	}
+}
+
+// TestApplyReplicatedRecord pins the follower apply path: shipped records
+// replay into an identical database, one published version per record at the
+// record's sequence, while local writes stay refused.
+func TestApplyReplicatedRecord(t *testing.T) {
+	primary, follower, frames := newReplicatedPair(t)
+	if err := follower.Insert("DIRECTOR", Tuple{value.NewInt(99), value.NewText("local"), value.NewNull()}); !errors.Is(err, ErrReadOnlyReplica) {
+		t.Fatalf("local insert on follower: %v, want ErrReadOnlyReplica", err)
+	}
+	for i := 0; i < 4; i++ {
+		insDirector(t, primary, i)
+	}
+	if _, err := primary.Delete("DIRECTOR", func(tup Tuple) bool { return tup[0].Int() == 2 }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := primary.Update("DIRECTOR", func(tup Tuple) bool { return tup[0].Int() == 1 },
+		func(tup Tuple) Tuple {
+			out := append(Tuple(nil), tup...)
+			out[1] = value.NewText("renamed")
+			return out
+		}); err != nil {
+		t.Fatal(err)
+	}
+	published := follower.Published()
+	for _, fr := range *frames {
+		seq, _, err := follower.ApplyReplicatedRecord(fr.Record)
+		if err != nil {
+			t.Fatalf("apply seq %d: %v", fr.Seq, err)
+		}
+		if seq != fr.Seq {
+			t.Fatalf("apply decoded seq %d, want %d", seq, fr.Seq)
+		}
+		if got := follower.Snapshot().Seq(); got != fr.Seq {
+			t.Fatalf("follower snapshot at seq %d after applying %d", got, fr.Seq)
+		}
+	}
+	if got := follower.Published() - published; got != uint64(len(*frames)) {
+		t.Fatalf("follower published %d versions for %d records", got, len(*frames))
+	}
+	if got, want := snapDump(follower.Snapshot()), snapDump(primary.Snapshot()); got != want {
+		t.Fatalf("follower diverged from primary:\n%s\n----\n%s", got, want)
+	}
+	if err := follower.Insert("DIRECTOR", Tuple{value.NewInt(99), value.NewText("local"), value.NewNull()}); !errors.Is(err, ErrReadOnlyReplica) {
+		t.Fatalf("local insert after applies: %v, want ErrReadOnlyReplica", err)
+	}
+}
+
+// TestApplyReplicatedRecordPartialFailure pins record atomicity on the
+// follower: a record that fails midway publishes nothing — readers never see
+// half a statement batch, they see the last fully applied sequence.
+func TestApplyReplicatedRecordPartialFailure(t *testing.T) {
+	primary, follower, frames := newReplicatedPair(t)
+	insDirector(t, primary, 1)
+	insDirector(t, primary, 2)
+	first, second := (*frames)[0], (*frames)[1]
+	if _, _, err := follower.ApplyReplicatedRecord(first.Record); err != nil {
+		t.Fatal(err)
+	}
+	// Craft a record whose first op inserts id 2 (fresh — it applies) and
+	// whose second op inserts id 2 again (primary-key violation): the apply
+	// fails midway with one row already in the live tables.
+	_, n := binary.Uvarint(second.Record)
+	_, n2 := binary.Uvarint(second.Record[n:])
+	ops := second.Record[n+n2:]
+	bad := binary.AppendUvarint(nil, second.Seq)
+	bad = binary.AppendUvarint(bad, 2)
+	bad = append(bad, ops...)
+	bad = append(bad, ops...)
+	before := snapDump(follower.Snapshot())
+	seq, _, err := follower.ApplyReplicatedRecord(bad)
+	if err == nil {
+		t.Fatal("duplicate-key record applied cleanly")
+	}
+	if seq != second.Seq {
+		t.Fatalf("decoded seq %d, want %d", seq, second.Seq)
+	}
+	if got := snapDump(follower.Snapshot()); got != before {
+		t.Fatalf("failed record leaked into a published version:\n%s", got)
+	}
+	if got := follower.Snapshot().Seq(); got != first.Seq {
+		t.Fatalf("follower snapshot moved to seq %d after a failed apply", got)
+	}
+}
+
+// TestReplicationBacklog pins the catch-up read: below the checkpoint floor
+// the backlog re-seeds from the segment, above it ships log records, and the
+// result always reconstructs the primary byte-for-byte.
+func TestReplicationBacklog(t *testing.T) {
+	primary, follower, _ := newReplicatedPair(t)
+	for i := 0; i < 3; i++ {
+		insDirector(t, primary, i)
+	}
+	// No checkpoint yet beyond the adopting one (floor 0): a follower at 0
+	// needs no segment, only records.
+	ck, frames, last, err := primary.ReplicationBacklog(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck != nil {
+		t.Fatalf("backlog above the floor shipped a checkpoint")
+	}
+	if len(frames) != 3 || last != 3 {
+		t.Fatalf("backlog: %d frames to %d, want 3 to 3", len(frames), last)
+	}
+	// Rotate the log: records 1..3 now live only in the checkpoint.
+	if err := primary.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 3; i < 5; i++ {
+		insDirector(t, primary, i)
+	}
+	ck, frames, last, err = primary.ReplicationBacklog(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck == nil {
+		t.Fatal("backlog below the floor must ship the checkpoint")
+	}
+	if len(frames) != 2 || last != 5 {
+		t.Fatalf("backlog: %d frames to %d, want 2 to 5", len(frames), last)
+	}
+	floor, rows, err := follower.LoadReplicatedCheckpoint(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if floor != 3 || rows != 3 {
+		t.Fatalf("checkpoint load: floor %d rows %d, want 3 and 3", floor, rows)
+	}
+	if got := follower.Snapshot().Seq(); got != 3 {
+		t.Fatalf("follower snapshot at seq %d after re-seed, want 3", got)
+	}
+	for _, fr := range frames {
+		if _, _, err := follower.ApplyReplicatedRecord(fr.Record); err != nil {
+			t.Fatalf("apply seq %d: %v", fr.Seq, err)
+		}
+	}
+	if got, want := snapDump(follower.Snapshot()), snapDump(primary.Snapshot()); got != want {
+		t.Fatalf("catch-up diverged:\n%s\n----\n%s", got, want)
+	}
+	// A caught-up follower asking again gets nothing.
+	ck, frames, last, err = primary.ReplicationBacklog(5)
+	if err != nil || ck != nil || len(frames) != 0 || last != 5 {
+		t.Fatalf("caught-up backlog: ck=%v frames=%d last=%d err=%v", ck != nil, len(frames), last, err)
+	}
+}
+
+// TestRecoveryReportSeqRange pins the recovered sequence range satellite:
+// recovery reports the checkpoint floor and the replayed span.
+func TestRecoveryReportSeqRange(t *testing.T) {
+	fs := wal.NewMemFS()
+	db := newDurDB(t)
+	if _, err := db.EnableDurability(fs, DurableOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		insDirector(t, db, i)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 3; i < 7; i++ {
+		insDirector(t, db, i)
+	}
+	if err := db.CloseDurability(); err != nil {
+		t.Fatal(err)
+	}
+	re := newDurDB(t)
+	report, err := re.EnableDurability(fs, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.CheckpointSeq != 3 {
+		t.Fatalf("CheckpointSeq %d, want 3", report.CheckpointSeq)
+	}
+	if report.FirstSeq != 4 || report.LastSeq != 7 {
+		t.Fatalf("seq range %d..%d, want 4..7", report.FirstSeq, report.LastSeq)
+	}
+	if got := re.Snapshot().Seq(); got != 7 {
+		t.Fatalf("recovered snapshot at %d, want 7", got)
+	}
+}

@@ -462,6 +462,9 @@ type Database struct {
 	pubSeq     uint64
 	published  atomic.Uint64
 	recovering atomic.Bool
+	// readOnly marks a replication follower (replication.go): local mutations
+	// are refused, replicated applies replay under the recovering flag.
+	readOnly atomic.Bool
 }
 
 // NewDatabase creates empty tables for every relation in the schema.
@@ -515,10 +518,15 @@ func (db *Database) TableNames() []string {
 	return names
 }
 
-// writeOK rejects a mutation up front when the WAL has latched failed: the
+// writeOK rejects a mutation up front when the WAL has latched failed (the
 // op could never be flushed, so refusing before applying keeps the in-memory
-// state aligned with what the log can acknowledge.
+// state aligned with what the log can acknowledge) or when the database is a
+// read-only replication follower (replicated applies run under the
+// recovering flag and pass).
 func (db *Database) writeOK() error {
+	if db.readOnly.Load() && !db.recovering.Load() {
+		return ErrReadOnlyReplica
+	}
 	if d := db.dur; d != nil {
 		return d.failedErr()
 	}

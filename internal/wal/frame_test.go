@@ -1,0 +1,139 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+	"testing/iotest"
+)
+
+// TestFrameScannerDifferential pins the streaming decoder to Scan: for a log
+// cut at every byte offset, both must agree on the decoded prefix and on how
+// they classify the damage.
+func TestFrameScannerDifferential(t *testing.T) {
+	data := buildLog(t,
+		[]byte("first"),
+		[]byte{},
+		[]byte("third record with more bytes"),
+		bytes.Repeat([]byte{0xAB}, 300),
+	)
+	for cut := 0; cut <= len(data); cut++ {
+		records, tail := Scan(data[:cut])
+		frames, err := ReadFrames(bytes.NewReader(data[:cut]))
+		if len(frames) != len(records) {
+			t.Fatalf("cut %d: stream decoded %d frames, Scan %d records", cut, len(frames), len(records))
+		}
+		for i := range frames {
+			if !bytes.Equal(frames[i].Payload, records[i].Payload) {
+				t.Fatalf("cut %d: frame %d payload mismatch", cut, i)
+			}
+		}
+		if tail == nil {
+			if err != nil {
+				t.Fatalf("cut %d: Scan saw a clean end, stream saw %v", cut, err)
+			}
+			continue
+		}
+		var fe *FrameError
+		if !errors.As(err, &fe) {
+			t.Fatalf("cut %d: Scan saw tail %q, stream saw %v", cut, tail.Reason, err)
+		}
+		if fe.Reason != tail.Reason {
+			t.Fatalf("cut %d: Scan classified %q, stream classified %q", cut, tail.Reason, fe.Reason)
+		}
+	}
+}
+
+// TestFrameScannerCorruption flips every byte of a short log in turn: the
+// streaming decoder must classify each flip exactly as Scan does, and the
+// flips that damage payload bytes or checksums must report Corrupt().
+func TestFrameScannerCorruption(t *testing.T) {
+	data := buildLog(t, []byte("alpha"), []byte("beta"), []byte("gamma"))
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x40
+		records, tail := Scan(mut)
+		frames, err := ReadFrames(bytes.NewReader(mut))
+		if len(frames) != len(records) {
+			t.Fatalf("flip %d: stream decoded %d frames, Scan %d records", i, len(frames), len(records))
+		}
+		if tail == nil {
+			if err != nil {
+				t.Fatalf("flip %d: Scan clean, stream saw %v", i, err)
+			}
+			continue
+		}
+		var fe *FrameError
+		if !errors.As(err, &fe) || fe.Reason != tail.Reason {
+			t.Fatalf("flip %d: Scan classified %q, stream saw %v", i, tail.Reason, err)
+		}
+		switch fe.Reason {
+		case "checksum mismatch", "implausible record length":
+			if !fe.Corrupt() {
+				t.Fatalf("flip %d: %q must report Corrupt()", i, fe.Reason)
+			}
+		default:
+			if fe.Corrupt() {
+				t.Fatalf("flip %d: %q must not report Corrupt()", i, fe.Reason)
+			}
+		}
+	}
+}
+
+// TestFrameScannerOneByteReads drives the scanner through a reader that
+// yields one byte at a time: incremental reads must not change the result.
+func TestFrameScannerOneByteReads(t *testing.T) {
+	payloads := [][]byte{[]byte("one"), {}, bytes.Repeat([]byte{7}, 999)}
+	data := buildLog(t, payloads...)
+	s := NewFrameScanner(iotest.OneByteReader(bytes.NewReader(data)))
+	for i, want := range payloads {
+		if !s.Scan() {
+			t.Fatalf("Scan stopped at frame %d: %v", i, s.Err())
+		}
+		if !bytes.Equal(s.Frame().Payload, want) {
+			t.Fatalf("frame %d: payload mismatch", i)
+		}
+	}
+	if s.Scan() || s.Err() != nil {
+		t.Fatalf("expected clean end, got err %v", s.Err())
+	}
+	if s.Offset() != int64(len(data)) {
+		t.Fatalf("offset %d, want %d", s.Offset(), len(data))
+	}
+}
+
+// TestFrameScannerSeveredStream pins the retryable classification: a reader
+// that fails mid-frame with a transport error is severed, not corrupt, and
+// the cause is preserved for the reconnect path.
+func TestFrameScannerSeveredStream(t *testing.T) {
+	data := buildLog(t, []byte("payload"))
+	cause := errors.New("connection reset")
+	for cut := 1; cut < len(data); cut++ {
+		r := io.MultiReader(bytes.NewReader(data[:cut]), iotest.ErrReader(cause))
+		_, err := ReadFrames(r)
+		var fe *FrameError
+		if !errors.As(err, &fe) {
+			t.Fatalf("cut %d: want FrameError, got %v", cut, err)
+		}
+		if fe.Corrupt() {
+			t.Fatalf("cut %d: severed stream misclassified as corrupt (%q)", cut, fe.Reason)
+		}
+		if !errors.Is(err, cause) {
+			t.Fatalf("cut %d: cause not preserved: %v", cut, err)
+		}
+	}
+}
+
+// TestFrameScannerImplausibleLength pins that a giant length prefix is
+// corruption, not an allocation request.
+func TestFrameScannerImplausibleLength(t *testing.T) {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[:], MaxRecord+1)
+	_, err := ReadFrames(bytes.NewReader(hdr[:]))
+	var fe *FrameError
+	if !errors.As(err, &fe) || fe.Reason != "implausible record length" || !fe.Corrupt() {
+		t.Fatalf("want corrupt implausible-length error, got %v", err)
+	}
+}

@@ -223,6 +223,27 @@
 // outcomes querytotext.OverloadEnglish narrates; talkbackd wraps every
 // query endpoint in it (429/504 with a narrated answer, 413 for
 // oversized bodies, a bounded session registry).
+//
+// # Replication & failover
+//
+// internal/repl ships the WAL: a primary (repl.NewPrimary on a durable
+// database) streams every committed record — the exact CRC32C frames the
+// log fsyncs — to followers over TCP, and a follower (repl.StartFollower
+// on a bare in-memory database) applies them through the crash-recovery
+// replay path, publishing one MVCC version per record. The WAL is the
+// outbox: a bounded in-memory ring covers the live tail and a follower
+// that falls off it is re-fed from the checkpoint segment plus the log,
+// so shipping is asynchronous and a wedged follower never stalls a
+// commit. Links heartbeat, reconnect with jittered backoff, and resume
+// from the follower's applied sequence; provable divergence (a sequence
+// gap, a corrupt frame, a stale checkpoint, a schema mismatch) latches a
+// quarantine that keeps serving the last consistent snapshot while
+// narrating why. A follower's answers speak in its own voice — "Answered
+// by a follower at snapshot @78, three statements behind the primary." —
+// local DML is refused with storage.ErrReadOnlyReplica (narrated by
+// querytotext.ReadOnlyEnglish), and core.System.SetReplica registers the
+// status provider that switches the narration. talkbackd exposes the
+// whole thing as -listen-repl / -replicate-from / -max-lag.
 package talkback
 
 import (
